@@ -1,0 +1,112 @@
+//! Criterion micro/macro benchmarks of every pipeline stage and tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disasm_baselines::Baseline;
+use disasm_core::superset::Superset;
+use disasm_core::viability::Viability;
+use disasm_core::{Config, Disassembler};
+use disasm_eval::{image_of, train_standard_model};
+
+fn workload() -> bingen::Workload {
+    bingen::Workload::generate(&bingen::GenConfig::new(
+        55_000,
+        bingen::OptProfile::O2,
+        200,
+        0.10,
+    ))
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Bytes(w.text.len() as u64));
+    g.bench_function("linear_decode_text", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            let mut count = 0usize;
+            while pos < w.text.len() {
+                match x86_isa::decode(&w.text[pos..]) {
+                    Ok(i) => {
+                        pos += i.len as usize;
+                        count += 1;
+                    }
+                    Err(_) => pos += 1,
+                }
+            }
+            count
+        })
+    });
+    g.finish();
+}
+
+fn bench_superset(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("superset");
+    g.throughput(Throughput::Bytes(w.text.len() as u64));
+    g.bench_function("build", |b| b.iter(|| Superset::build(&w.text)));
+    let ss = Superset::build(&w.text);
+    g.bench_function("viability", |b| b.iter(|| Viability::compute(&ss)));
+    g.finish();
+}
+
+fn bench_tools(c: &mut Criterion) {
+    let w = workload();
+    let image = image_of(&w);
+    let model = train_standard_model(4);
+    let mut g = c.benchmark_group("tools");
+    g.throughput(Throughput::Bytes(w.text.len() as u64));
+    g.sample_size(20);
+    for b in Baseline::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("baseline", b.name()),
+            &image,
+            |bch, img| bch.iter(|| b.disassemble(img)),
+        );
+    }
+    let dis = Disassembler::new(Config {
+        model: Some(model),
+        ..Config::default()
+    });
+    g.bench_with_input(BenchmarkId::new("ours", "full"), &image, |bch, img| {
+        bch.iter(|| dis.disassemble(img))
+    });
+    let self_train = Disassembler::new(Config::default());
+    g.bench_with_input(
+        BenchmarkId::new("ours", "self-trained"),
+        &image,
+        |bch, img| bch.iter(|| self_train.disassemble(img)),
+    );
+    g.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bingen");
+    g.sample_size(20);
+    g.bench_function("generate_200_functions", |b| b.iter(workload));
+    g.finish();
+}
+
+fn bench_analysis_surfaces(c: &mut Criterion) {
+    use disasm_core::{cfg::Cfg, ListingOptions, Report};
+    let w = workload();
+    let image = image_of(&w);
+    let d = Disassembler::new(Config::default()).disassemble(&image);
+    let mut g = c.benchmark_group("surfaces");
+    g.sample_size(20);
+    g.bench_function("cfg_build", |b| b.iter(|| Cfg::build(&image, &d)));
+    g.bench_function("listing_render", |b| {
+        b.iter(|| disasm_core::render_listing(&image, &d, &ListingOptions::default()))
+    });
+    g.bench_function("report_build", |b| b.iter(|| Report::build(&image, &d)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode,
+    bench_superset,
+    bench_tools,
+    bench_generator,
+    bench_analysis_surfaces
+);
+criterion_main!(benches);

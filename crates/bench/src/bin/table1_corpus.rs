@@ -1,0 +1,76 @@
+//! Table 1 — evaluation corpus summary.
+//!
+//! Mirrors the paper's dataset table: per optimization profile, the number
+//! of binaries, total text size, code/data byte split, function and jump
+//! table counts.
+
+use bench::{banner, scaled};
+use bingen::{ByteLabel, GenConfig, OptProfile, Workload};
+use disasm_eval::table::{pct, TextTable};
+
+fn main() {
+    banner(
+        "Table 1",
+        "corpus summary",
+        "a mixed corpus across O0-O3 with ~10% embedded data in .text",
+    );
+    let per_profile = scaled(6);
+    let mut t = TextTable::new([
+        "profile",
+        "binaries",
+        "text KiB",
+        "code bytes",
+        "data bytes",
+        "pad bytes",
+        "density",
+        "functions",
+        "jump tables",
+    ]);
+    let mut tot = [0usize; 6];
+    for profile in OptProfile::ALL {
+        let mut text = 0usize;
+        let mut code = 0usize;
+        let mut data = 0usize;
+        let mut pad = 0usize;
+        let mut funcs = 0usize;
+        let mut tables = 0usize;
+        for i in 0..per_profile as u64 {
+            let w = Workload::generate(&GenConfig::new(1000 + i, profile, 40, 0.10));
+            text += w.text.len();
+            code += w.truth.count(ByteLabel::Code);
+            data += w.truth.count(ByteLabel::Data);
+            pad += w.truth.count(ByteLabel::Padding);
+            funcs += w.truth.func_starts.len();
+            tables += w.truth.jump_tables.len();
+        }
+        t.row([
+            profile.name().to_string(),
+            per_profile.to_string(),
+            format!("{:.1}", text as f64 / 1024.0),
+            code.to_string(),
+            data.to_string(),
+            pad.to_string(),
+            pct(data as f64 / text as f64),
+            funcs.to_string(),
+            tables.to_string(),
+        ]);
+        tot[0] += text;
+        tot[1] += code;
+        tot[2] += data;
+        tot[3] += pad;
+        tot[4] += funcs;
+        tot[5] += tables;
+    }
+    t.row([
+        "total".to_string(),
+        (per_profile * 4).to_string(),
+        format!("{:.1}", tot[0] as f64 / 1024.0),
+        tot[1].to_string(),
+        tot[2].to_string(),
+        tot[3].to_string(),
+        pct(tot[2] as f64 / tot[0] as f64),
+        tot[4].to_string(),
+        tot[5].to_string(),
+    ]);
+    print!("{}", t.render());
+}

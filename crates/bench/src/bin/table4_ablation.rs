@@ -1,0 +1,96 @@
+//! Table 4 — ablation of the pipeline components.
+//!
+//! Disables one ingredient at a time: behavioral viability, jump-table
+//! analysis, address-taken scanning, the statistical model, and the
+//! prioritization of the error-correction pass.
+
+use bench::{banner, scaled};
+use disasm_core::Config;
+use disasm_eval::harness::{evaluate, Tool};
+use disasm_eval::table::{f4, TextTable};
+use disasm_eval::{train_standard_model, CorpusSpec};
+
+fn main() {
+    banner(
+        "Table 4",
+        "component ablation",
+        "every component contributes; removing statistics or viability hurts most",
+    );
+    let mut spec = CorpusSpec::standard();
+    spec.count = scaled(spec.count);
+    let corpus = spec.generate();
+    let model = train_standard_model(scaled(12));
+
+    let full = Config {
+        model: Some(model.clone()),
+        ..Config::default()
+    };
+    let variants: Vec<(&str, Config)> = vec![
+        ("full pipeline", full.clone()),
+        (
+            "no viability (behavioral)",
+            Config {
+                enable_viability: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no jump tables",
+            Config {
+                enable_jump_tables: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no address-taken",
+            Config {
+                enable_address_taken: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no statistics",
+            Config {
+                enable_stats: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "no def-use linking",
+            Config {
+                enable_defuse: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "unprioritized correction",
+            Config {
+                prioritized: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "statistics only",
+            Config {
+                enable_viability: false,
+                enable_jump_tables: false,
+                enable_address_taken: false,
+                ..full
+            },
+        ),
+    ];
+
+    let mut t = TextTable::new(["variant", "precision", "recall", "F1", "errors"]);
+    for (name, cfg) in variants {
+        let r = evaluate(&Tool::Ours(cfg), &corpus);
+        let m = r.score.inst;
+        t.row([
+            name.to_string(),
+            f4(m.precision()),
+            f4(m.recall()),
+            f4(m.f1()),
+            m.errors().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

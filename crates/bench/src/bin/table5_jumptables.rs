@@ -1,0 +1,55 @@
+//! Table 5 — jump-table detection quality.
+
+use bench::{banner, scaled};
+use disasm_eval::harness::{evaluate, Tool};
+use disasm_eval::table::{f4, TextTable};
+use disasm_eval::{image_of, train_standard_model, CorpusSpec};
+
+fn main() {
+    banner(
+        "Table 5",
+        "jump-table detection precision/recall and table-byte classification",
+        "nearly all generated tables are found with exact extents",
+    );
+    let mut spec = CorpusSpec::jump_table_heavy();
+    spec.count = scaled(spec.count);
+    let corpus = spec.generate();
+    let model = train_standard_model(scaled(8));
+    let tool = Tool::ours(model);
+
+    let r = evaluate(&tool, &corpus);
+    let m = r.score.tables;
+    let mut t = TextTable::new(["metric", "value"]);
+    t.row([
+        "truth tables".to_string(),
+        corpus.total_jump_tables().to_string(),
+    ]);
+    t.row(["detected (matched)".to_string(), m.tp.to_string()]);
+    t.row(["missed".to_string(), m.fn_.to_string()]);
+    t.row(["spurious".to_string(), m.fp.to_string()]);
+    t.row(["precision".to_string(), f4(m.precision())]);
+    t.row(["recall".to_string(), f4(m.recall())]);
+    print!("{}", t.render());
+
+    // entry-exactness: how many truth tables were recovered with the exact
+    // entry count and targets
+    let mut exact = 0usize;
+    let mut total = 0usize;
+    for w in &corpus.workloads {
+        let d = tool.run(&image_of(w));
+        for jt in &w.truth.jump_tables {
+            total += 1;
+            if d.jump_tables.iter().any(|dt| {
+                let place = if jt.in_rodata {
+                    !dt.in_text && dt.table_va == w.config.rodata_base + jt.table_off as u64
+                } else {
+                    dt.in_text && dt.table_off == jt.table_off
+                };
+                place && dt.entry_size == jt.entry_size && dt.targets == jt.targets
+            }) {
+                exact += 1;
+            }
+        }
+    }
+    println!("\nexact-extent recovery: {exact}/{total}");
+}

@@ -1,0 +1,46 @@
+//! Shared plumbing for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! reconstructed evaluation (see `DESIGN.md` and `EXPERIMENTS.md`):
+//!
+//! ```text
+//! cargo run -p bench --release --bin table2_accuracy
+//! ```
+//!
+//! Set `QUICK=1` to shrink corpora for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// `true` when the `QUICK` environment variable asks for reduced corpora.
+pub fn quick() -> bool {
+    std::env::var_os("QUICK").is_some()
+}
+
+/// Scale a corpus count down under `QUICK=1`.
+pub fn scaled(n: usize) -> usize {
+    if quick() {
+        (n / 3).max(1)
+    } else {
+        n
+    }
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, title: &str, expectation: &str) {
+    println!("== {id}: {title}");
+    println!("   expectation: {expectation}");
+    if quick() {
+        println!("   (QUICK mode: reduced corpus)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_is_at_least_one() {
+        assert!(super::scaled(1) >= 1);
+        assert!(super::scaled(12) >= 1);
+    }
+}

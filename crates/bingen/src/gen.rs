@@ -1,0 +1,966 @@
+//! The workload generator proper: emits compiler-style x86-64 functions with
+//! embedded data while recording exact ground truth.
+
+use crate::{ByteLabel, GenConfig, GroundTruth, JumpTableInfo, OptProfile, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use x86_isa::{Asm, Cond, Gp, Label, Mem, OpSize};
+
+/// Generate a workload from a configuration (entry point of the module).
+pub(crate) fn generate(cfg: &GenConfig) -> Workload {
+    let mut g = Gen::new(cfg);
+    g.run();
+    g.into_workload()
+}
+
+/// Registers the body generator allocates from (excludes RSP/RBP, which are
+/// reserved for stack discipline).
+const POOL: [Gp; 10] = [
+    Gp::RAX,
+    Gp::RCX,
+    Gp::RDX,
+    Gp::RSI,
+    Gp::RDI,
+    Gp::R8,
+    Gp::R9,
+    Gp::R10,
+    Gp::R11,
+    Gp::RBX,
+];
+
+struct Gen<'c> {
+    cfg: &'c GenConfig,
+    rng: StdRng,
+    asm: Asm,
+    /// Per-function entry labels, created up front so calls may reference
+    /// functions emitted later.
+    func_labels: Vec<Label>,
+    /// (start, len_unknown) — instruction starts; lengths recovered by decode
+    /// at the end, so we only record starts here.
+    inst_starts: Vec<u32>,
+    pad_starts: Vec<u32>,
+    data_ranges: Vec<(u32, u32)>,
+    /// Jump tables recorded with already-resolved target offsets.
+    jump_tables: Vec<JumpTableInfo>,
+    rodata: Vec<u8>,
+    /// (.rodata offset, case labels) of tables patched after label binding.
+    pending_rodata_tables: Vec<(usize, Vec<Label>)>,
+    /// PLT-style stub entry labels (callable like functions).
+    stub_labels: Vec<Label>,
+    /// (.rodata GOT-slot offset, function the slot resolves to).
+    pending_got: Vec<(usize, Label)>,
+    code_bytes: usize,
+    data_bytes: usize,
+}
+
+impl<'c> Gen<'c> {
+    fn new(cfg: &'c GenConfig) -> Self {
+        Gen {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed ^ SEED_MIX),
+            asm: Asm::new(),
+            func_labels: Vec::new(),
+            inst_starts: Vec::new(),
+            pad_starts: Vec::new(),
+            data_ranges: Vec::new(),
+            jump_tables: Vec::new(),
+            rodata: Vec::new(),
+            pending_rodata_tables: Vec::new(),
+            stub_labels: Vec::new(),
+            pending_got: Vec::new(),
+            code_bytes: 0,
+            data_bytes: 0,
+        }
+    }
+
+    // ----- recording helpers ------------------------------------------------
+
+    /// Emit exactly one instruction through `f`, recording its start.
+    fn code1<F: FnOnce(&mut Asm)>(&mut self, f: F) {
+        let start = self.asm.len();
+        f(&mut self.asm);
+        debug_assert!(self.asm.len() > start, "code1 closure emitted nothing");
+        self.inst_starts.push(start as u32);
+        self.code_bytes += self.asm.len() - start;
+    }
+
+    /// Emit exactly one padding instruction.
+    fn pad1<F: FnOnce(&mut Asm)>(&mut self, f: F) {
+        let start = self.asm.len();
+        f(&mut self.asm);
+        self.pad_starts.push(start as u32);
+        self.code_bytes += self.asm.len() - start;
+    }
+
+    /// Emit raw data through `f`, recording the range.
+    fn data<F: FnOnce(&mut Asm)>(&mut self, f: F) {
+        let start = self.asm.len();
+        f(&mut self.asm);
+        let end = self.asm.len();
+        if end > start {
+            self.data_ranges.push((start as u32, end as u32));
+            self.data_bytes += end - start;
+        }
+    }
+
+    fn data_fraction(&self) -> f64 {
+        self.data_bytes as f64 / (self.code_bytes + self.data_bytes).max(1) as f64
+    }
+
+    fn reg(&mut self) -> Gp {
+        POOL[self.rng.gen_range(0..POOL.len())]
+    }
+
+    fn reg2(&mut self) -> (Gp, Gp) {
+        let a = self.reg();
+        loop {
+            let b = self.reg();
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+
+    fn cond(&mut self) -> Cond {
+        // Realistic skew: e/ne/l/le/g/ge/a/b dominate compiler output.
+        const COMMON: [Cond; 10] = [
+            Cond::E,
+            Cond::NE,
+            Cond::L,
+            Cond::LE,
+            Cond::G,
+            Cond::GE,
+            Cond::A,
+            Cond::B,
+            Cond::AE,
+            Cond::BE,
+        ];
+        COMMON[self.rng.gen_range(0..COMMON.len())]
+    }
+
+    fn gp_size(&mut self) -> OpSize {
+        if self.rng.gen_bool(0.55) {
+            OpSize::Q
+        } else {
+            OpSize::D
+        }
+    }
+
+    // ----- top level ----------------------------------------------------------
+
+    fn run(&mut self) {
+        for _ in 0..self.cfg.functions {
+            let l = self.asm.label();
+            self.func_labels.push(l);
+        }
+        // PLT-style stubs: some calls route through `jmp [rip+GOT]`
+        // trampolines whose GOT slots live in .rodata
+        let stub_count = if self.cfg.functions >= 4 {
+            (self.cfg.functions / 5).max(2)
+        } else {
+            0
+        };
+        for _ in 0..stub_count {
+            let l = self.asm.label();
+            self.stub_labels.push(l);
+        }
+        for i in 0..self.cfg.functions {
+            self.maybe_align();
+            let l = self.func_labels[i];
+            self.asm.bind(l);
+            self.gen_function();
+            if self.cfg.adversarial && self.rng.gen_bool(0.7) {
+                self.emit_desync_junk();
+            }
+            self.inter_function_data();
+        }
+        self.emit_plt_stubs();
+    }
+
+    /// The stub region: 16-byte-aligned `jmp qword [rip+GOT_i]` entries.
+    fn emit_plt_stubs(&mut self) {
+        for i in 0..self.stub_labels.len() {
+            while !self.asm.len().is_multiple_of(16) {
+                self.pad1(|a| a.nop(1));
+            }
+            let l = self.stub_labels[i];
+            self.asm.bind(l);
+            // reserve the GOT slot and resolve it to a random function
+            let got_off = self.rodata.len();
+            self.rodata.extend_from_slice(&[0u8; 8]);
+            let callee = self.func_labels[self.rng.gen_range(0..self.func_labels.len())];
+            self.pending_got.push((got_off, callee));
+            let got_va = self.cfg.rodata_base + got_off as u64;
+            // jmp [rip+disp] is exactly 6 bytes
+            let next_va = self.cfg.text_base + self.asm.len() as u64 + 6;
+            let disp = (got_va as i64 - next_va as i64) as i32;
+            self.code1(move |a| a.jmp_rip_disp(disp));
+        }
+    }
+
+    /// Anti-disassembly junk: the leading bytes of a *long* instruction,
+    /// placed where execution never reaches (after an unconditional
+    /// transfer). A linear decoder swallows the following real instruction
+    /// into the junk's operand bytes and desynchronizes.
+    fn emit_desync_junk(&mut self) {
+        const JUNK: [&[u8]; 7] = [
+            &[0xe8],             // call rel32: eats the next 4 bytes
+            &[0xe9],             // jmp rel32
+            &[0x48, 0xb8],       // movabs rax, imm64: eats 8 bytes
+            &[0x0f, 0x84],       // jz rel32
+            &[0x48, 0x8b],       // mov r64, r/m64: eats ModRM+
+            &[0x81],             // alu r/m32, imm32
+            &[0x66, 0x0f, 0x1f], // long nop prefix
+        ];
+        let junk = JUNK[self.rng.gen_range(0..JUNK.len())];
+        self.data(|a| a.bytes(junk));
+    }
+
+    fn maybe_align(&mut self) {
+        let want_align = match self.cfg.profile {
+            OptProfile::O0 => false,
+            OptProfile::O1 => self.rng.gen_bool(0.5),
+            OptProfile::O2 | OptProfile::O3 => true,
+        };
+        if !want_align {
+            return;
+        }
+        let int3_p = if self.cfg.profile == OptProfile::O3 {
+            0.4
+        } else {
+            0.2
+        };
+        let use_int3 = self.rng.gen_bool(int3_p);
+        while !self.asm.len().is_multiple_of(16) {
+            if use_int3 {
+                self.pad1(|a| a.int3());
+            } else {
+                let rem = 16 - self.asm.len() % 16;
+                let n = rem.min(8);
+                self.pad1(|a| a.nop(n));
+            }
+        }
+    }
+
+    /// Emit embedded-data blobs until the density budget is (roughly) met.
+    fn inter_function_data(&mut self) {
+        let target = self.cfg.data_density;
+        if target <= 0.0 {
+            return;
+        }
+        let mut guard = 0;
+        while self.data_fraction() < target && guard < 16 {
+            self.emit_data_blob();
+            guard += 1;
+        }
+    }
+
+    fn emit_data_blob(&mut self) {
+        match self.rng.gen_range(0..5) {
+            0 => {
+                // raw bytes (packed/encrypted-looking)
+                let n = self.rng.gen_range(8..96);
+                let bytes: Vec<u8> = (0..n).map(|_| self.rng.gen()).collect();
+                self.data(|a| a.bytes(&bytes));
+            }
+            1 => {
+                // ASCII string pool
+                let count = self.rng.gen_range(1..4);
+                let mut blob = Vec::new();
+                for _ in 0..count {
+                    let len = self.rng.gen_range(4..24);
+                    for _ in 0..len {
+                        blob.push(self.rng.gen_range(0x20..0x7f) as u8);
+                    }
+                    blob.push(0);
+                }
+                self.data(|a| a.bytes(&blob));
+            }
+            2 => {
+                // u32 constant array
+                let n = self.rng.gen_range(3..12);
+                let vals: Vec<u32> = (0..n).map(|_| self.rng.gen_range(0..100_000)).collect();
+                self.data(|a| {
+                    for v in vals {
+                        a.dd(v);
+                    }
+                });
+            }
+            3 => {
+                // f64 constant pool (bit patterns of small doubles)
+                let n = self.rng.gen_range(2..6);
+                let vals: Vec<u64> = (0..n)
+                    .map(|_| (self.rng.gen_range(-1000i32..1000) as f64 / 8.0).to_bits())
+                    .collect();
+                self.data(|a| {
+                    for v in vals {
+                        a.dq(v);
+                    }
+                });
+            }
+            _ => {
+                // address pool: absolute pointers to functions ("address
+                // taken" constants living inside .text)
+                let n = self.rng.gen_range(2..5).min(self.func_labels.len());
+                let base = self.cfg.text_base;
+                let labels: Vec<Label> = (0..n)
+                    .map(|_| self.func_labels[self.rng.gen_range(0..self.func_labels.len())])
+                    .collect();
+                self.data(|a| {
+                    for l in labels {
+                        a.dq_label_abs(l, base);
+                    }
+                });
+            }
+        }
+    }
+
+    // ----- functions -------------------------------------------------------------
+
+    fn gen_function(&mut self) {
+        let profile = self.cfg.profile;
+        let frame_ptr = matches!(profile, OptProfile::O0 | OptProfile::O1);
+        let frame_size = match profile {
+            OptProfile::O0 => self.rng.gen_range(4..16) * 8,
+            OptProfile::O1 => self.rng.gen_range(2..10) * 8,
+            _ => self.rng.gen_range(0..6) * 8,
+        };
+        let saved: Vec<Gp> =
+            if matches!(profile, OptProfile::O2 | OptProfile::O3) && self.rng.gen_bool(0.6) {
+                let max = if profile == OptProfile::O3 { 5 } else { 4 };
+                let n = self.rng.gen_range(1..max);
+                [Gp::RBX, Gp::R12, Gp::R13, Gp::R14, Gp::R15][..n].to_vec()
+            } else {
+                Vec::new()
+            };
+
+        // prologue
+        if frame_ptr {
+            self.code1(|a| a.push_r(Gp::RBP));
+            self.code1(|a| a.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP));
+        }
+        for &r in &saved {
+            self.code1(move |a| a.push_r(r));
+        }
+        if frame_size > 0 {
+            self.code1(move |a| a.sub_ri(OpSize::Q, Gp::RSP, frame_size));
+        }
+
+        // body
+        let budget = match profile {
+            OptProfile::O0 => self.rng.gen_range(6..18),
+            OptProfile::O1 => self.rng.gen_range(6..22),
+            OptProfile::O2 => self.rng.gen_range(8..28),
+            // aggressive inlining: bigger function bodies
+            OptProfile::O3 => self.rng.gen_range(12..36),
+        };
+        let frame = FrameCtx {
+            frame_ptr,
+            frame_size,
+        };
+        self.gen_block(budget, 0, frame);
+
+        // return value + epilogue
+        if self.rng.gen_bool(0.5) {
+            let v = self.rng.gen_range(-4..100);
+            self.code1(move |a| a.mov_ri32(Gp::RAX, v));
+        } else {
+            let r = self.reg();
+            if r != Gp::RAX {
+                self.code1(move |a| a.mov_rr(OpSize::Q, Gp::RAX, r));
+            }
+        }
+        if frame_size > 0 && !frame_ptr {
+            self.code1(move |a| a.add_ri(OpSize::Q, Gp::RSP, frame_size));
+        }
+        for &r in saved.iter().rev() {
+            self.code1(move |a| a.pop_r(r));
+        }
+        if frame_ptr {
+            if self.rng.gen_bool(0.5) {
+                self.code1(|a| a.leave());
+            } else {
+                if frame_size > 0 {
+                    self.code1(move |a| a.add_ri(OpSize::Q, Gp::RSP, frame_size));
+                }
+                self.code1(|a| a.pop_r(Gp::RBP));
+            }
+        }
+        // optimized builds frequently tail-call instead of returning
+        let tail_call =
+            matches!(profile, OptProfile::O2 | OptProfile::O3) && self.rng.gen_bool(0.15);
+        if tail_call {
+            let callee = self.func_labels[self.rng.gen_range(0..self.func_labels.len())];
+            self.code1(|a| a.jmp_label(callee));
+        } else {
+            self.code1(|a| a.ret());
+        }
+    }
+
+    // ----- statement generator ---------------------------------------------------
+
+    fn gen_block(&mut self, budget: usize, depth: usize, frame: FrameCtx) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            remaining -= 1;
+            let roll: f64 = self.rng.gen();
+            let profile = self.cfg.profile;
+            match () {
+                _ if roll < 0.30 => self.stmt_arith(),
+                _ if roll < 0.50 => self.stmt_memory(frame),
+                _ if roll < 0.60 && depth < 2 => self.stmt_if(depth, frame),
+                _ if roll < 0.68 && depth < 2 => self.stmt_loop(depth, frame),
+                _ if roll < 0.78 => self.stmt_call(),
+                _ if roll < 0.82 => self.stmt_setcc_cmov(),
+                _ if roll < 0.86 && matches!(profile, OptProfile::O2 | OptProfile::O3) => {
+                    self.stmt_sse(frame)
+                }
+                _ if roll < 0.89
+                    && depth == 0
+                    && self.cfg.jump_tables
+                    && self.table_budget_ok() =>
+                {
+                    self.stmt_switch(frame)
+                }
+                _ if roll < 0.91 && self.data_fraction() < self.cfg.data_density => {
+                    self.stmt_inline_data()
+                }
+                _ if roll < 0.92 => self.stmt_rodata_ref(),
+                _ if roll < 0.93 => self.stmt_indirect_call(),
+                _ if roll < 0.94 => self.stmt_bitops(),
+                _ if roll < 0.95 => self.stmt_string_op(),
+                _ if roll < 0.96 => self.stmt_atomic(frame),
+                _ if roll < 0.97 => self.stmt_muldiv(),
+                _ => self.stmt_arith(),
+            }
+        }
+    }
+
+    fn table_budget_ok(&self) -> bool {
+        self.data_fraction() < (self.cfg.data_density.max(0.02) + 0.02)
+    }
+
+    fn stmt_arith(&mut self) {
+        let n = self.rng.gen_range(1..4);
+        for _ in 0..n {
+            let size = self.gp_size();
+            let (a, b) = self.reg2();
+            match self.rng.gen_range(0..8) {
+                0 => self.code1(move |asm| asm.add_rr(size, a, b)),
+                1 => self.code1(move |asm| asm.sub_rr(size, a, b)),
+                2 => self.code1(move |asm| asm.xor_rr(size, a, b)),
+                3 => self.code1(move |asm| asm.and_rr(size, a, b)),
+                4 => {
+                    let imm = self.rng.gen_range(-128..1024);
+                    self.code1(move |asm| asm.add_ri(size, a, imm));
+                }
+                5 => {
+                    let c = self.rng.gen_range(1..31);
+                    self.code1(move |asm| asm.shl_ri(size, a, c));
+                }
+                6 => self.code1(move |asm| asm.imul_rr(size, a, b)),
+                _ => {
+                    let imm = self.rng.gen_range(0..0x10000);
+                    self.code1(move |asm| asm.mov_ri32(a, imm));
+                }
+            }
+        }
+    }
+
+    fn frame_slot(&mut self, frame: FrameCtx) -> Mem {
+        if frame.frame_ptr && frame.frame_size > 0 {
+            let slot = self.rng.gen_range(1..=(frame.frame_size / 8).max(1));
+            Mem::base_disp(Gp::RBP, -(slot * 8))
+        } else if frame.frame_size > 0 {
+            let slot = self.rng.gen_range(0..(frame.frame_size / 8).max(1));
+            Mem::base_disp(Gp::RSP, slot * 8)
+        } else {
+            Mem::base_disp(Gp::RSP, 8 * self.rng.gen_range(0..4))
+        }
+    }
+
+    fn stmt_memory(&mut self, frame: FrameCtx) {
+        let size = self.gp_size();
+        let r = self.reg();
+        let mem = self.frame_slot(frame);
+        match self.rng.gen_range(0..5) {
+            0 => self.code1(move |a| a.mov_store(size, mem, r)),
+            1 => self.code1(move |a| a.mov_load(size, r, mem)),
+            2 => {
+                let imm = self.rng.gen_range(-16..512);
+                self.code1(move |a| a.mov_store_imm(size, mem, imm));
+            }
+            3 => self.code1(move |a| a.add_load(size, r, mem)),
+            _ => {
+                // array-style access: base + index*scale
+                let (b, i) = self.reg2();
+                let idx = if i == Gp::RSP { Gp::RCX } else { i };
+                let scale = [1u8, 2, 4, 8][self.rng.gen_range(0..4)];
+                let disp = self.rng.gen_range(0..64) * 4;
+                self.code1(move |a| a.mov_load(size, r, Mem::base_index(b, idx, scale, disp)));
+            }
+        }
+    }
+
+    fn stmt_if(&mut self, depth: usize, frame: FrameCtx) {
+        let (a, b) = self.reg2();
+        if self.rng.gen_bool(0.5) {
+            let size = self.gp_size();
+            self.code1(move |asm| asm.cmp_rr(size, a, b));
+        } else {
+            let imm = self.rng.gen_range(-8..256);
+            self.code1(move |asm| asm.cmp_ri(OpSize::Q, a, imm));
+        }
+        let cc = self.cond();
+        let l_else = self.asm.label();
+        self.code1(|asm| asm.jcc_label(cc, l_else));
+        let then_budget = self.rng.gen_range(1..5);
+        self.gen_block(then_budget, depth + 1, frame);
+        if self.rng.gen_bool(0.5) {
+            // if/else diamond
+            let l_end = self.asm.label();
+            self.code1(|asm| asm.jmp_label(l_end));
+            if self.cfg.adversarial && self.rng.gen_bool(0.5) {
+                // junk in the never-executed slot between the jmp and the
+                // else-branch label
+                self.emit_desync_junk();
+            }
+            self.asm.bind(l_else);
+            let else_budget = self.rng.gen_range(1..4);
+            self.gen_block(else_budget, depth + 1, frame);
+            self.asm.bind(l_end);
+        } else {
+            self.asm.bind(l_else);
+        }
+    }
+
+    fn stmt_loop(&mut self, depth: usize, frame: FrameCtx) {
+        let counter = self.reg();
+        let n = self.rng.gen_range(1..64);
+        self.code1(move |a| a.mov_ri32(counter, n));
+        let top = self.asm.here();
+        let body_budget = self.rng.gen_range(1..4);
+        self.gen_block(body_budget, depth + 1, frame);
+        self.code1(move |a| a.dec_r(OpSize::D, counter));
+        // backward branch: distance is known, pick short when it fits
+        let dist = self.asm.len() - self.asm.label_offset(top).unwrap();
+        if dist <= 120 {
+            self.code1(|a| a.jcc_short(Cond::NE, top));
+        } else {
+            self.code1(|a| a.jcc_label(Cond::NE, top));
+        }
+    }
+
+    fn stmt_call(&mut self) {
+        // argument setup then a direct call to a random function
+        let nargs = self.rng.gen_range(0..3);
+        const ARGS: [Gp; 3] = [Gp::RDI, Gp::RSI, Gp::RDX];
+        for &arg in ARGS.iter().take(nargs) {
+            let v = self.rng.gen_range(0..4096);
+            self.code1(move |a| a.mov_ri32(arg, v));
+        }
+        let callee = if !self.stub_labels.is_empty() && self.rng.gen_bool(0.2) {
+            // external-looking call through a PLT-style stub
+            self.stub_labels[self.rng.gen_range(0..self.stub_labels.len())]
+        } else {
+            self.func_labels[self.rng.gen_range(0..self.func_labels.len())]
+        };
+        self.code1(|a| a.call_label(callee));
+        if self.rng.gen_bool(0.4) {
+            let r = self.reg();
+            if r != Gp::RAX {
+                self.code1(move |a| a.mov_rr(OpSize::Q, r, Gp::RAX));
+            }
+        }
+    }
+
+    fn stmt_indirect_call(&mut self) {
+        let callee = self.func_labels[self.rng.gen_range(0..self.func_labels.len())];
+        let r = self.reg();
+        self.code1(move |a| a.lea_rip_label(r, callee));
+        self.code1(move |a| a.call_ind(r));
+    }
+
+    fn stmt_setcc_cmov(&mut self) {
+        let (a, b) = self.reg2();
+        let cc = self.cond();
+        let size = self.gp_size();
+        self.code1(move |asm| asm.cmp_rr(size, a, b));
+        if self.rng.gen_bool(0.5) {
+            let d = self.reg();
+            self.code1(move |asm| asm.setcc(cc, d));
+            self.code1(move |asm| asm.movzx_rr(d, d, OpSize::B));
+        } else {
+            let (d, s) = self.reg2();
+            self.code1(move |asm| asm.cmovcc_rr(OpSize::Q, cc, d, s));
+        }
+    }
+
+    fn stmt_sse(&mut self, frame: FrameCtx) {
+        let x = self.rng.gen_range(0..8) as u8;
+        let y = self.rng.gen_range(0..8) as u8;
+        let mem = self.frame_slot(frame);
+        match self.rng.gen_range(0..5) {
+            0 => self.code1(move |a| a.movsd_load(x, mem)),
+            1 => self.code1(move |a| a.movsd_store(mem, x)),
+            2 => self.code1(move |a| a.addsd_rr(x, y)),
+            3 => self.code1(move |a| a.mulsd_rr(x, y)),
+            _ => self.code1(move |a| a.pxor_rr(x, x)),
+        }
+    }
+
+    fn stmt_string_op(&mut self) {
+        let n = self.rng.gen_range(1..256);
+        self.code1(move |a| a.mov_ri32(Gp::RCX, n));
+        self.code1(|a| {
+            a.db(0xf3);
+            a.db(0xa4); // rep movsb
+        });
+    }
+
+    /// A RIP-relative reference to a constant in `.rodata` — the bread and
+    /// butter of position-independent compiler output.
+    fn stmt_rodata_ref(&mut self) {
+        if self.rodata.len() < 8 {
+            // materialize a constant to reference
+            let v: u64 = self.rng.gen();
+            self.rodata.extend_from_slice(&v.to_le_bytes());
+        }
+        let off = self
+            .rng
+            .gen_range(0..self.rodata.len().saturating_sub(7).max(1));
+        let target_va = self.cfg.rodata_base + off as u64;
+        let dst = self.reg();
+        // both emitters produce exactly 7 bytes, so the displacement is
+        // relative to (current position + 7)
+        let next_va = self.cfg.text_base + self.asm.len() as u64 + 7;
+        let disp = (target_va as i64 - next_va as i64) as i32;
+        if self.rng.gen_bool(0.5) {
+            self.code1(move |a| a.lea_rip_disp(dst, disp));
+        } else {
+            self.code1(move |a| a.mov_load_rip_disp(dst, disp));
+        }
+    }
+
+    fn stmt_bitops(&mut self) {
+        let (a, b) = self.reg2();
+        let size = self.gp_size();
+        match self.rng.gen_range(0..6) {
+            0 => self.code1(move |asm| asm.popcnt_rr(size, a, b)),
+            1 => self.code1(move |asm| asm.tzcnt_rr(size, a, b)),
+            2 => self.code1(move |asm| asm.bsf_rr(size, a, b)),
+            3 => {
+                let bit = self.rng.gen_range(0..32);
+                self.code1(move |asm| asm.bt_ri(size, a, bit));
+                let cc = Cond::B; // carry = bit set
+                self.code1(move |asm| asm.setcc(cc, b));
+            }
+            4 => self.code1(move |asm| asm.bswap_r(size, a)),
+            _ => {
+                let c = self.rng.gen_range(1..16);
+                self.code1(move |asm| asm.shld_rri(size, a, b, c));
+            }
+        }
+    }
+
+    fn stmt_atomic(&mut self, frame: FrameCtx) {
+        let r = self.reg();
+        let mem = self.frame_slot(frame);
+        if self.rng.gen_bool(0.5) {
+            self.code1(move |a| a.lock_xadd_store(OpSize::Q, mem, r));
+        } else {
+            self.code1(move |a| a.lock_cmpxchg_store(OpSize::Q, mem, r));
+        }
+    }
+
+    fn stmt_muldiv(&mut self) {
+        let r = self.reg();
+        let d = if r == Gp::RDX { Gp::RCX } else { r };
+        self.code1(|a| a.cdq(OpSize::Q));
+        self.code1(move |a| a.idiv_r(OpSize::Q, d));
+    }
+
+    /// The classic "jump over an inline literal pool" idiom.
+    fn stmt_inline_data(&mut self) {
+        let skip = self.asm.label();
+        let n = self.rng.gen_range(8..80);
+        // the blob is < 127 bytes so a short jump always reaches
+        self.code1(|a| a.jmp_short(skip));
+        let bytes: Vec<u8> = (0..n).map(|_| self.rng.gen()).collect();
+        self.data(|a| a.bytes(&bytes));
+        self.asm.bind(skip);
+    }
+
+    /// A switch dispatched through a compact byte-offset table (clang/GCC
+    /// `-Os` idiom): `movzx X, byte [B+I]; add X, B; jmp X`. Case bodies are
+    /// deliberately tiny so every offset fits in one unsigned byte.
+    fn stmt_switch_compact(&mut self) {
+        let entries = self.rng.gen_range(3..7u32);
+        let idx = self.reg();
+        let l_end = self.asm.label();
+        let l_table = self.asm.label();
+        let case_labels: Vec<Label> = (0..entries).map(|_| self.asm.label()).collect();
+        let bound = entries as i32 - 1;
+        self.code1(move |a| a.cmp_ri(OpSize::Q, idx, bound));
+        self.code1(|a| a.jcc_label(Cond::A, l_end));
+        let base = self.reg();
+        let scratch = {
+            let mut s = self.reg();
+            while s == base || s == idx {
+                s = self.reg();
+            }
+            s
+        };
+        self.code1(move |a| a.lea_rip_label(base, l_table));
+        self.code1(move |a| a.movzx_load(scratch, Mem::base_index(base, idx, 1, 0), OpSize::B));
+        self.code1(move |a| a.add_rr(OpSize::Q, scratch, base));
+        self.code1(move |a| a.jmp_ind(scratch));
+        self.asm.bind(l_table);
+        let table_off = self.asm.len() as u32;
+        {
+            let cl = case_labels.clone();
+            self.data(move |a| {
+                for l in cl {
+                    a.db_label_diff(l, l_table);
+                }
+            });
+        }
+        let mut targets = Vec::with_capacity(entries as usize);
+        for l in &case_labels {
+            self.asm.bind(*l);
+            targets.push(self.asm.label_offset(*l).unwrap() as u32);
+            let r = self.reg();
+            let v = self.rng.gen_range(0..256);
+            self.code1(move |a| a.mov_ri32(r, v));
+            self.code1(|a| a.jmp_label(l_end));
+        }
+        self.asm.bind(l_end);
+        self.jump_tables.push(JumpTableInfo {
+            table_off,
+            entries,
+            entry_size: 1,
+            targets,
+            in_rodata: false,
+        });
+    }
+
+    /// A switch dispatched through an absolute-address table living in
+    /// `.rodata` — GCC's default, the "easy" case that every tool should
+    /// get right: `mov X, [I*8 + table_va]; jmp X`.
+    fn stmt_switch_rodata(&mut self) {
+        let entries = self.rng.gen_range(4..10u32);
+        let idx = self.reg();
+        let l_end = self.asm.label();
+        let case_labels: Vec<Label> = (0..entries).map(|_| self.asm.label()).collect();
+        let bound = entries as i32 - 1;
+        self.code1(move |a| a.cmp_ri(OpSize::Q, idx, bound));
+        self.code1(|a| a.jcc_label(Cond::A, l_end));
+        // reserve the table in .rodata; entries patched after label binding
+        let rodata_off = self.rodata.len();
+        self.rodata
+            .extend(std::iter::repeat_n(0u8, entries as usize * 8));
+        self.pending_rodata_tables
+            .push((rodata_off, case_labels.clone()));
+        let table_va = self.cfg.rodata_base + rodata_off as u64;
+        let scratch = {
+            let mut s = self.reg();
+            while s == idx {
+                s = self.reg();
+            }
+            s
+        };
+        self.code1(move |a| {
+            a.mov_load(OpSize::Q, scratch, Mem::index_disp(idx, 8, table_va as i32))
+        });
+        self.code1(move |a| a.jmp_ind(scratch));
+        let mut targets = Vec::with_capacity(entries as usize);
+        for l in &case_labels {
+            self.asm.bind(*l);
+            targets.push(self.asm.label_offset(*l).unwrap() as u32);
+            let r = self.reg();
+            let v = self.rng.gen_range(0..512);
+            self.code1(move |a| a.mov_ri32(r, v));
+            self.code1(|a| a.jmp_label(l_end));
+        }
+        self.asm.bind(l_end);
+        self.jump_tables.push(JumpTableInfo {
+            table_off: rodata_off as u32,
+            entries,
+            entry_size: 8,
+            targets,
+            in_rodata: true,
+        });
+    }
+
+    /// A switch dispatched through a jump table embedded in `.text`.
+    fn stmt_switch(&mut self, frame: FrameCtx) {
+        let flavor: f64 = self.rng.gen();
+        if flavor < 0.15 {
+            self.stmt_switch_compact();
+            return;
+        }
+        if flavor < 0.35 {
+            self.stmt_switch_rodata();
+            return;
+        }
+        let entries = self.rng.gen_range(4..12u32);
+        let idx = self.reg();
+        let pic = self.rng.gen_bool(0.6);
+        let l_default = self.asm.label();
+        let l_end = self.asm.label();
+        let l_table = self.asm.label();
+        let case_labels: Vec<Label> = (0..entries).map(|_| self.asm.label()).collect();
+
+        // bounds check
+        let bound = entries as i32 - 1;
+        self.code1(move |a| a.cmp_ri(OpSize::Q, idx, bound));
+        self.code1(|a| a.jcc_label(Cond::A, l_default));
+
+        let base = self.reg();
+        let scratch = {
+            let mut s = self.reg();
+            while s == base || s == idx {
+                s = self.reg();
+            }
+            s
+        };
+        if pic {
+            // lea base,[rip+table]; movsxd scratch,[base+idx*4]; add scratch,base; jmp scratch
+            self.code1(move |a| a.lea_rip_label(base, l_table));
+            self.code1(move |a| a.movsxd_load(scratch, Mem::base_index(base, idx, 4, 0)));
+            self.code1(move |a| a.add_rr(OpSize::Q, scratch, base));
+            self.code1(move |a| a.jmp_ind(scratch));
+        } else {
+            // lea base,[rip+table]; mov scratch,[base+idx*8]; jmp scratch
+            // (8-byte absolute-address entries)
+            self.code1(move |a| a.lea_rip_label(base, l_table));
+            self.code1(move |a| a.mov_load(OpSize::Q, scratch, Mem::base_index(base, idx, 8, 0)));
+            self.code1(move |a| a.jmp_ind(scratch));
+        }
+
+        // the table itself: data embedded in text
+        self.asm.bind(l_table);
+        let table_off = self.asm.len() as u32;
+        let text_base = self.cfg.text_base;
+        if pic {
+            let cl = case_labels.clone();
+            self.data(move |a| {
+                for l in cl {
+                    a.dd_label_diff(l, l_table);
+                }
+            });
+        } else {
+            let cl = case_labels.clone();
+            self.data(move |a| {
+                for l in cl {
+                    a.dq_label_abs(l, text_base);
+                }
+            });
+        }
+
+        // case bodies
+        let mut targets = Vec::with_capacity(entries as usize);
+        for l in &case_labels {
+            self.asm.bind(*l);
+            targets.push(self.asm.label_offset(*l).unwrap() as u32);
+            let body = self.rng.gen_range(1..3);
+            self.gen_block(body, 2, frame);
+            self.code1(|a| a.jmp_label(l_end));
+        }
+        self.asm.bind(l_default);
+        self.gen_block(1, 2, frame);
+        self.asm.bind(l_end);
+
+        self.jump_tables.push(JumpTableInfo {
+            table_off,
+            entries,
+            entry_size: if pic { 4 } else { 8 },
+            targets,
+            in_rodata: false,
+        });
+    }
+
+    // ----- output ----------------------------------------------------------------
+
+    fn into_workload(mut self) -> Workload {
+        let func_starts: Vec<u32> = self
+            .func_labels
+            .iter()
+            .map(|&l| self.asm.label_offset(l).expect("function label bound") as u32)
+            .collect();
+        let entry_off = func_starts[0];
+        let stub_starts: Vec<u32> = self
+            .stub_labels
+            .iter()
+            .map(|&l| self.asm.label_offset(l).expect("stub bound") as u32)
+            .collect();
+
+        // resolve GOT slots to their functions' virtual addresses
+        for (off, label) in std::mem::take(&mut self.pending_got) {
+            let target = self.asm.label_offset(label).expect("got target bound") as u64;
+            let va = self.cfg.text_base + target;
+            self.rodata[off..off + 8].copy_from_slice(&va.to_le_bytes());
+        }
+
+        // patch .rodata jump tables now that every case label is bound
+        for (off, labels) in std::mem::take(&mut self.pending_rodata_tables) {
+            for (i, l) in labels.iter().enumerate() {
+                let target = self.asm.label_offset(*l).expect("case label bound") as u64;
+                let va = self.cfg.text_base + target;
+                self.rodata[off + i * 8..off + (i + 1) * 8].copy_from_slice(&va.to_le_bytes());
+            }
+        }
+
+        let text = self.asm.finish().expect("generator fixups resolve");
+
+        let mut labels = vec![ByteLabel::Code; text.len()];
+        for &(s, e) in &self.data_ranges {
+            for b in s..e {
+                labels[b as usize] = ByteLabel::Data;
+            }
+        }
+        self.pad_starts.sort_unstable();
+        for &p in &self.pad_starts {
+            let inst = x86_isa::decode(&text[p as usize..]).expect("padding decodes");
+            for b in p..p + inst.len as u32 {
+                labels[b as usize] = ByteLabel::Padding;
+            }
+        }
+        self.inst_starts.sort_unstable();
+        self.inst_starts.dedup();
+
+        // small rodata section so the image has a plausible layout
+        if self.rodata.is_empty() {
+            let mut r = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(11));
+            self.rodata = (0..256).map(|_| r.gen()).collect();
+        }
+
+        let mut func_sorted = func_starts.clone();
+        // PLT-style stubs are callable entry points too
+        func_sorted.extend(stub_starts);
+        func_sorted.sort_unstable();
+        Workload {
+            config: self.cfg.clone(),
+            text,
+            rodata: self.rodata,
+            entry_off,
+            truth: GroundTruth {
+                labels,
+                inst_starts: self.inst_starts,
+                pad_inst_starts: self.pad_starts,
+                func_starts: func_sorted,
+                jump_tables: self.jump_tables,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameCtx {
+    frame_ptr: bool,
+    frame_size: i32,
+}
+
+/// Seed-mixing constant so that workload seeds and the statistical-model
+/// training seeds (which use raw values) never collide.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;

@@ -1,0 +1,478 @@
+//! # bingen
+//!
+//! A synthetic x86-64 binary workload generator with **exact ground truth**.
+//!
+//! The paper evaluates on real-world stripped binaries whose ground truth had
+//! to be recovered from compiler listings. We do not have that corpus; this
+//! crate substitutes it with a generator that emits realistic compiler-style
+//! code — prologues/epilogues, diamond and loop control flow, direct and
+//! indirect calls, jump tables *embedded in `.text`*, literal pools, strings,
+//! alignment padding — while recording a perfect per-byte label and the exact
+//! instruction/function boundary sets.
+//!
+//! The generator is fully deterministic given a [`GenConfig`] (seeded
+//! `StdRng`), so every experiment in the repository is reproducible.
+//!
+//! ```
+//! use bingen::{GenConfig, Workload};
+//!
+//! let w = Workload::generate(&GenConfig::small(42));
+//! assert!(!w.text.is_empty());
+//! assert_eq!(w.truth.labels.len(), w.text.len());
+//! // ground truth instruction starts all decode
+//! for &off in &w.truth.inst_starts {
+//!     x86_isa::decode(&w.text[off as usize..]).expect("truth decodes");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays are intentional
+#![warn(missing_docs)]
+
+mod gen;
+
+use elfobj::{Elf, Section};
+
+/// Per-byte ground-truth label of the generated `.text` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ByteLabel {
+    /// Part of a real instruction.
+    Code,
+    /// Embedded data (jump tables, literal pools, strings, raw blobs).
+    Data,
+    /// Alignment / inter-function padding (NOPs, int3). Real instructions,
+    /// but never executed; scored separately by the evaluation.
+    Padding,
+}
+
+/// An "optimization level"-like generation profile controlling instruction
+/// mix and layout, mirroring how the paper's corpus varies O0–O3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptProfile {
+    /// Frame pointers, stack-slot round trips, short functions.
+    O0,
+    /// Mixed register/stack traffic.
+    O1,
+    /// No frame pointer, denser register use, cmov/setcc, 16-byte function
+    /// alignment.
+    O2,
+    /// Like O2 plus SSE blocks and aggressive padding.
+    O3,
+}
+
+impl OptProfile {
+    /// All profiles in ascending optimization order.
+    pub const ALL: [OptProfile; 4] = [
+        OptProfile::O0,
+        OptProfile::O1,
+        OptProfile::O2,
+        OptProfile::O3,
+    ];
+
+    /// Short display name ("O0".."O3").
+    pub fn name(self) -> &'static str {
+        match self {
+            OptProfile::O0 => "O0",
+            OptProfile::O1 => "O1",
+            OptProfile::O2 => "O2",
+            OptProfile::O3 => "O3",
+        }
+    }
+}
+
+/// Configuration for one generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// RNG seed; everything else equal, the same seed yields identical bytes.
+    pub seed: u64,
+    /// Instruction-mix profile.
+    pub profile: OptProfile,
+    /// Number of functions to emit.
+    pub functions: usize,
+    /// Target fraction of `.text` bytes that are embedded data (0.0–0.9).
+    /// Jump tables placed in text count toward this budget.
+    pub data_density: f64,
+    /// Emit switch statements backed by jump tables.
+    pub jump_tables: bool,
+    /// Anti-disassembly mode: sprinkle desynchronizing junk bytes (opcode
+    /// prefixes of long instructions) into never-executed gaps after
+    /// unconditional transfers — the classic opaque-junk obfuscation that
+    /// makes linear sweep decode straight through real instruction
+    /// boundaries.
+    pub adversarial: bool,
+    /// Virtual address of the `.text` section.
+    pub text_base: u64,
+    /// Virtual address of the `.rodata` section.
+    pub rodata_base: u64,
+}
+
+impl GenConfig {
+    /// A small default workload, convenient for tests and doc examples.
+    pub fn small(seed: u64) -> GenConfig {
+        GenConfig {
+            seed,
+            profile: OptProfile::O1,
+            functions: 12,
+            data_density: 0.10,
+            jump_tables: true,
+            adversarial: false,
+            text_base: 0x401000,
+            rodata_base: 0x500000,
+        }
+    }
+
+    /// A workload of roughly `functions` functions at the given profile and
+    /// embedded-data density.
+    pub fn new(seed: u64, profile: OptProfile, functions: usize, data_density: f64) -> GenConfig {
+        GenConfig {
+            seed,
+            profile,
+            functions,
+            data_density,
+            jump_tables: true,
+            adversarial: false,
+            text_base: 0x401000,
+            rodata_base: 0x500000,
+        }
+    }
+
+    /// Like [`GenConfig::new`] but with anti-disassembly junk enabled.
+    pub fn adversarial(
+        seed: u64,
+        profile: OptProfile,
+        functions: usize,
+        data_density: f64,
+    ) -> GenConfig {
+        GenConfig {
+            adversarial: true,
+            ..GenConfig::new(seed, profile, functions, data_density)
+        }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig::small(0)
+    }
+}
+
+/// Location and shape of a generated jump table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JumpTableInfo {
+    /// Offset of the first table byte — within `.text` normally, or within
+    /// `.rodata` when `in_rodata` is set.
+    pub table_off: u32,
+    /// Number of entries.
+    pub entries: u32,
+    /// Bytes per entry (1 for compact offset tables, 4 for PIC offset
+    /// tables, 8 for absolute tables).
+    pub entry_size: u8,
+    /// Case-label offsets within `.text`.
+    pub targets: Vec<u32>,
+    /// `true` if the table lives in `.rodata` (the easy, GCC-default case)
+    /// instead of being embedded in `.text`.
+    pub in_rodata: bool,
+}
+
+impl JumpTableInfo {
+    /// Total size of the table in bytes.
+    pub fn byte_len(&self) -> u32 {
+        self.entries * self.entry_size as u32
+    }
+}
+
+/// Exact ground truth for a generated workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// One label per `.text` byte.
+    pub labels: Vec<ByteLabel>,
+    /// Sorted offsets of real instruction starts (excludes padding).
+    pub inst_starts: Vec<u32>,
+    /// Sorted offsets of padding-instruction starts (NOPs/int3 are valid
+    /// instructions too; kept separate so evaluations can choose).
+    pub pad_inst_starts: Vec<u32>,
+    /// Sorted offsets of function entry points.
+    pub func_starts: Vec<u32>,
+    /// Generated jump tables.
+    pub jump_tables: Vec<JumpTableInfo>,
+}
+
+impl GroundTruth {
+    /// Count of `.text` bytes with the given label.
+    pub fn count(&self, label: ByteLabel) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// `true` if offset `off` starts a real instruction.
+    pub fn is_inst_start(&self, off: u32) -> bool {
+        self.inst_starts.binary_search(&off).is_ok()
+    }
+}
+
+/// A generated workload: the stripped image plus its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Configuration that produced this workload.
+    pub config: GenConfig,
+    /// `.text` bytes.
+    pub text: Vec<u8>,
+    /// `.rodata` bytes (constants the code references; never code).
+    pub rodata: Vec<u8>,
+    /// Entry point offset within `.text`.
+    pub entry_off: u32,
+    /// Ground truth (never available to the disassemblers under test).
+    pub truth: GroundTruth,
+}
+
+impl Workload {
+    /// Generate a workload from a configuration.
+    pub fn generate(config: &GenConfig) -> Workload {
+        gen::generate(config)
+    }
+
+    /// Virtual address of the `.text` section.
+    pub fn text_base(&self) -> u64 {
+        self.config.text_base
+    }
+
+    /// Virtual address of the entry point.
+    pub fn entry_va(&self) -> u64 {
+        self.config.text_base + self.entry_off as u64
+    }
+
+    /// Package the workload as a stripped ELF executable.
+    pub fn to_elf(&self) -> Elf {
+        let mut e = Elf::new(self.entry_va());
+        e.push_section(Section::progbits(
+            ".text",
+            self.config.text_base,
+            self.text.clone(),
+            true,
+        ));
+        if !self.rodata.is_empty() {
+            e.push_section(Section::progbits(
+                ".rodata",
+                self.config.rodata_base,
+                self.rodata.clone(),
+                false,
+            ));
+        }
+        e
+    }
+
+    /// Package the workload as an ELF executable *with* function symbols —
+    /// the non-stripped variant used by the symbol-oracle comparator.
+    pub fn to_elf_with_symbols(&self) -> Elf {
+        let mut e = self.to_elf();
+        let mut sorted = self.truth.func_starts.clone();
+        sorted.sort_unstable();
+        let symbols: Vec<elfobj::Symbol> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| {
+                let end = sorted.get(i + 1).copied().unwrap_or(self.text.len() as u32);
+                elfobj::Symbol {
+                    name: format!("fn_{i}"),
+                    value: self.config.text_base + off as u64,
+                    size: (end - off) as u64,
+                    is_func: true,
+                }
+            })
+            .collect();
+        e.add_symbols(&symbols);
+        e
+    }
+
+    /// Fraction of text bytes that are embedded data.
+    pub fn actual_data_density(&self) -> f64 {
+        self.truth.count(ByteLabel::Data) as f64 / self.text.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = Workload::generate(&GenConfig::small(7));
+        let b = Workload::generate(&GenConfig::small(7));
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.truth, b.truth);
+        let c = Workload::generate(&GenConfig::small(8));
+        assert_ne!(a.text, c.text);
+    }
+
+    #[test]
+    fn labels_cover_every_byte() {
+        let w = Workload::generate(&GenConfig::small(1));
+        assert_eq!(w.truth.labels.len(), w.text.len());
+    }
+
+    #[test]
+    fn ground_truth_instructions_decode_and_tile() {
+        let w = Workload::generate(&GenConfig::small(2));
+        let mut starts: Vec<u32> = w
+            .truth
+            .inst_starts
+            .iter()
+            .chain(&w.truth.pad_inst_starts)
+            .copied()
+            .collect();
+        starts.sort_unstable();
+        for &off in &starts {
+            let inst = x86_isa::decode(&w.text[off as usize..])
+                .unwrap_or_else(|e| panic!("truth inst at {off} fails to decode: {e}"));
+            for b in off..off + inst.len as u32 {
+                assert_ne!(
+                    w.truth.labels[b as usize],
+                    ByteLabel::Data,
+                    "instruction at {off} overlaps data at {b}"
+                );
+            }
+        }
+        // Instructions tile the non-data bytes exactly.
+        let mut covered = vec![false; w.text.len()];
+        for &off in &starts {
+            let inst = x86_isa::decode(&w.text[off as usize..]).unwrap();
+            for b in off as usize..off as usize + inst.len as usize {
+                assert!(!covered[b], "byte {b} covered twice");
+                covered[b] = true;
+            }
+        }
+        for (i, (&cov, &label)) in covered.iter().zip(&w.truth.labels).enumerate() {
+            assert_eq!(
+                cov,
+                label != ByteLabel::Data,
+                "byte {i}: coverage/label mismatch ({label:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn density_is_respected_roughly() {
+        for &density in &[0.0, 0.1, 0.3] {
+            let mut cfg = GenConfig::small(3);
+            cfg.functions = 40;
+            cfg.data_density = density;
+            let w = Workload::generate(&cfg);
+            let actual = w.actual_data_density();
+            assert!(
+                (actual - density).abs() < 0.08,
+                "wanted density {density}, got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn function_starts_are_instruction_starts() {
+        let w = Workload::generate(&GenConfig::small(4));
+        assert!(!w.truth.func_starts.is_empty());
+        for &f in &w.truth.func_starts {
+            assert!(
+                w.truth.is_inst_start(f),
+                "function start {f} not an inst start"
+            );
+        }
+        assert!(w.truth.func_starts.contains(&w.entry_off));
+    }
+
+    #[test]
+    fn jump_table_targets_are_instruction_starts() {
+        let mut cfg = GenConfig::small(5);
+        cfg.functions = 30;
+        let w = Workload::generate(&cfg);
+        assert!(!w.truth.jump_tables.is_empty(), "expected jump tables");
+        let mut in_text = 0;
+        let mut in_rodata = 0;
+        for jt in &w.truth.jump_tables {
+            assert!(jt.entries >= 3);
+            for &t in &jt.targets {
+                assert!(
+                    w.truth.is_inst_start(t),
+                    "table target {t} not an inst start"
+                );
+            }
+            if jt.in_rodata {
+                in_rodata += 1;
+                // entries live in .rodata and hold absolute case addresses
+                for (i, &t) in jt.targets.iter().enumerate() {
+                    let off = jt.table_off as usize + i * 8;
+                    let va = u64::from_le_bytes(w.rodata[off..off + 8].try_into().unwrap());
+                    assert_eq!(va, w.config.text_base + t as u64);
+                }
+            } else {
+                in_text += 1;
+                for b in jt.table_off..jt.table_off + jt.byte_len() {
+                    assert_eq!(w.truth.labels[b as usize], ByteLabel::Data);
+                }
+            }
+        }
+        assert!(in_text > 0, "expected some text-embedded tables");
+        assert!(in_rodata > 0, "expected some .rodata tables");
+    }
+
+    #[test]
+    fn to_elf_roundtrip() {
+        let w = Workload::generate(&GenConfig::small(6));
+        let elf_bytes = w.to_elf().to_bytes();
+        let parsed = elfobj::Elf::parse(&elf_bytes).unwrap();
+        let text = parsed.section_by_name(".text").unwrap();
+        assert_eq!(text.data, w.text);
+        assert!(text.is_exec());
+        assert_eq!(parsed.entry, w.entry_va());
+    }
+
+    #[test]
+    fn profiles_differ() {
+        let mk = |p| {
+            let mut c = GenConfig::small(9);
+            c.profile = p;
+            Workload::generate(&c).text
+        };
+        assert_ne!(mk(OptProfile::O0), mk(OptProfile::O3));
+    }
+
+    #[test]
+    fn adversarial_mode_emits_desync_junk() {
+        let plain = Workload::generate(&GenConfig::new(11, OptProfile::O1, 20, 0.0));
+        let mut cfg = GenConfig::adversarial(11, OptProfile::O1, 20, 0.0);
+        cfg.jump_tables = false;
+        let adv = Workload::generate(&cfg);
+        // junk counts as data even at zero density
+        assert!(adv.truth.count(ByteLabel::Data) > 0);
+        assert_ne!(plain.text, adv.text);
+        // junk never overlaps real instructions (tiling test covers the
+        // rest); at least one junk blob must desynchronize a linear decode:
+        // decoding from the junk start must yield a different boundary set
+        // than the ground truth that follows it.
+        let mut found_desync = false;
+        let mut i = 0;
+        while i < adv.text.len() {
+            if adv.truth.labels[i] == ByteLabel::Data {
+                let junk_start = i;
+                while i < adv.text.len() && adv.truth.labels[i] == ByteLabel::Data {
+                    i += 1;
+                }
+                if let Ok(inst) = x86_isa::decode(&adv.text[junk_start..]) {
+                    if junk_start + (inst.len as usize) > i {
+                        found_desync = true; // decode ran past the junk into real code
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        assert!(found_desync, "no desynchronizing junk found");
+    }
+
+    #[test]
+    fn zero_density_has_no_data() {
+        let mut cfg = GenConfig::small(10);
+        cfg.data_density = 0.0;
+        cfg.jump_tables = false;
+        let w = Workload::generate(&cfg);
+        assert_eq!(w.truth.count(ByteLabel::Data), 0);
+        assert!(w.truth.jump_tables.is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property tests: generator invariants must hold for *every* configuration,
+//! not just the hand-picked ones in the unit tests.
+
+use bingen::{ByteLabel, GenConfig, OptProfile, Workload};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GenConfig> {
+    (
+        any::<u64>(),
+        0usize..4,
+        2usize..24,
+        0.0f64..0.4,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(seed, prof, functions, density, jt, adv)| GenConfig {
+            seed,
+            profile: OptProfile::ALL[prof],
+            functions,
+            data_density: density,
+            jump_tables: jt,
+            adversarial: adv,
+            text_base: 0x401000,
+            rodata_base: 0x500000,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Instructions and padding tile exactly the non-data bytes; every
+    /// ground-truth instruction decodes; no instruction overlaps data.
+    #[test]
+    fn generated_truth_is_consistent(cfg in config_strategy()) {
+        let w = Workload::generate(&cfg);
+        prop_assert_eq!(w.truth.labels.len(), w.text.len());
+        prop_assert!(w.truth.func_starts.len() >= cfg.functions); // + PLT-style stubs
+
+        let mut covered = vec![false; w.text.len()];
+        for &off in w.truth.inst_starts.iter().chain(&w.truth.pad_inst_starts) {
+            let inst = x86_isa::decode(&w.text[off as usize..])
+                .map_err(|e| TestCaseError::fail(format!("inst at {off}: {e}")))?;
+            for b in off as usize..off as usize + inst.len as usize {
+                prop_assert!(!covered[b], "byte {} covered twice", b);
+                covered[b] = true;
+                prop_assert_ne!(w.truth.labels[b], ByteLabel::Data);
+            }
+        }
+        for (i, &cov) in covered.iter().enumerate() {
+            prop_assert_eq!(cov, w.truth.labels[i] != ByteLabel::Data, "byte {}", i);
+        }
+    }
+
+    /// Direct control-flow edges of ground-truth instructions stay inside
+    /// the section and land exactly on ground-truth instruction starts.
+    #[test]
+    fn truth_control_flow_is_closed(cfg in config_strategy()) {
+        let w = Workload::generate(&cfg);
+        for &off in &w.truth.inst_starts {
+            let inst = x86_isa::decode(&w.text[off as usize..]).unwrap();
+            if let Some(rel) = inst.flow.rel_target() {
+                let tgt = off as i64 + inst.len as i64 + rel as i64;
+                prop_assert!(tgt >= 0 && (tgt as usize) < w.text.len(),
+                    "branch at {} exits section", off);
+                prop_assert!(w.truth.is_inst_start(tgt as u32),
+                    "branch at {} targets non-instruction {}", off, tgt);
+            }
+        }
+    }
+
+    /// Jump-table entries resolve to their recorded targets.
+    #[test]
+    fn jump_table_entries_match_targets(cfg in config_strategy()) {
+        let w = Workload::generate(&cfg);
+        for jt in &w.truth.jump_tables {
+            for (i, &t) in jt.targets.iter().enumerate() {
+                let off = jt.table_off as usize + i * jt.entry_size as usize;
+                if jt.in_rodata {
+                    let e = u64::from_le_bytes(w.rodata[off..off + 8].try_into().unwrap());
+                    prop_assert_eq!(e, cfg.text_base + t as u64);
+                    continue;
+                }
+                let resolved = match jt.entry_size {
+                    1 => jt.table_off as i64 + w.text[off] as i64,
+                    2 => {
+                        let e = u16::from_le_bytes(w.text[off..off + 2].try_into().unwrap());
+                        jt.table_off as i64 + e as i64
+                    }
+                    4 => {
+                        let e = i32::from_le_bytes(w.text[off..off + 4].try_into().unwrap());
+                        jt.table_off as i64 + e as i64
+                    }
+                    _ => {
+                        let e = u64::from_le_bytes(w.text[off..off + 8].try_into().unwrap());
+                        e as i64 - cfg.text_base as i64
+                    }
+                };
+                prop_assert_eq!(resolved, t as i64);
+            }
+        }
+    }
+}

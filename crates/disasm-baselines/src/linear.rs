@@ -1,0 +1,100 @@
+//! Linear sweep (objdump-style).
+//!
+//! Decode from the first byte of the section; each decoded instruction's
+//! length advances the cursor. An invalid encoding advances the cursor by a
+//! single byte (objdump prints `(bad)` and resynchronizes the same way).
+//! Everything that decodes is code — embedded data is happily swallowed,
+//! which is exactly the failure mode the paper quantifies.
+
+use crate::assemble_result;
+use disasm_core::{Disassembly, Image};
+use x86_isa::{decode_at, Mnemonic};
+
+/// Run a linear sweep over the image.
+pub fn disassemble(image: &Image) -> Disassembly {
+    let text = &image.text;
+    let n = text.len();
+    let mut owners: Vec<Option<u32>> = vec![None; n];
+    let mut starts = Vec::new();
+    for (pos, r) in x86_isa::linear_instructions(text) {
+        if let Ok(inst) = r {
+            for b in pos..pos + inst.len as usize {
+                owners[b] = Some(pos as u32);
+            }
+            starts.push(pos as u32);
+        }
+        // invalid bytes stay unowned (data); the iterator resynchronizes
+    }
+    let func_starts = prologue_scan(text, &starts);
+    let mut d = assemble_result(n, &owners, func_starts);
+    if let Some(e) = image.entry {
+        if !d.func_starts.contains(&e) {
+            d.func_starts.push(e);
+            d.func_starts.sort_unstable();
+        }
+    }
+    d
+}
+
+/// Identify function starts by the classic `push rbp; mov rbp, rsp`
+/// prologue among the swept instruction stream (linear sweep has no notion
+/// of functions otherwise).
+fn prologue_scan(text: &[u8], starts: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for &s in starts {
+        let Ok(a) = decode_at(text, s as usize) else {
+            continue;
+        };
+        if a.mnemonic != Mnemonic::Push {
+            continue;
+        }
+        let next = s as usize + a.len as usize;
+        if let Ok(b) = decode_at(text, next) {
+            if b.mnemonic == Mnemonic::Mov && b.to_string() == "mov rbp, rsp" {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disasm_core::ByteClass;
+
+    #[test]
+    fn sweeps_straight_code() {
+        let text = vec![0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3];
+        let d = disassemble(&Image::new(0x1000, text));
+        assert_eq!(d.inst_starts, vec![0, 1, 4, 5]);
+        assert_eq!(d.count(ByteClass::Data), 0);
+    }
+
+    #[test]
+    fn swallows_embedded_data() {
+        // jmp over 4 junk bytes that decode as instructions: linear sweep
+        // decodes straight through them.
+        let text = vec![0xeb, 0x04, 0x48, 0x48, 0x48, 0x55, 0xc3];
+        let d = disassemble(&Image::new(0x1000, text));
+        // 48 48 48 55 decodes as REX-prefixed push → sweep claims it as code
+        assert!(d.byte_class[2].is_code());
+    }
+
+    #[test]
+    fn resynchronizes_after_invalid() {
+        let text = vec![0x06, 0x90, 0xc3];
+        let d = disassemble(&Image::new(0x1000, text));
+        assert!(d.byte_class[0].is_data());
+        assert!(d.is_inst_start(1));
+        assert!(d.is_inst_start(2));
+    }
+
+    #[test]
+    fn finds_prologues() {
+        let mut text = vec![0x90, 0xc3];
+        text.extend_from_slice(&[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]);
+        let d = disassemble(&Image::new(0x1000, text));
+        assert!(d.func_starts.contains(&2));
+    }
+}

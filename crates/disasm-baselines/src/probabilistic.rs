@@ -1,0 +1,216 @@
+//! Probabilistic disassembly in the style of Miller et al. (ICSE'19).
+//!
+//! The original computes, for every superset candidate, the probability that
+//! the byte pattern arose from random data, from a small set of fixed
+//! empirically-weighted hints:
+//!
+//! * **control-flow convergence** — several candidates transfer to the same
+//!   target (very unlikely in random bytes);
+//! * **register define-use** — an instruction defines a register its
+//!   fall-through successor uses;
+//! * **terminated chains** — the fall-through chain reaches a return or an
+//!   unconditional jump without hitting an invalid encoding.
+//!
+//! Hint probabilities multiply along the fall-through chain (executing an
+//! instruction implies executing its successors, so downstream evidence
+//! counts), chains that run into invalid encodings are certain data, and
+//! overlapping survivors are resolved greedily in address order. This is a
+//! faithful simplification — the published system adds more hint types and a
+//! final normalization — and is expected to land between linear sweep and
+//! the full pipeline, as in the paper.
+
+use crate::assemble_result;
+use disasm_core::superset::{CandFlow, Superset, NO_TARGET};
+use disasm_core::{Disassembly, Image};
+use x86_isa::{decode_at, Flow, Operand, Reg};
+
+/// Probability that a convergent control-flow pattern appears in random
+/// data.
+const P_CONVERGENCE: f64 = 0.05;
+/// Probability of an accidental define-use pair.
+const P_DEFUSE: f64 = 0.4;
+/// Probability of an accidentally well-terminated chain.
+const P_TERMINATED: f64 = 0.3;
+/// Decision threshold on the data probability.
+const THRESHOLD: f64 = 0.25;
+
+/// Run probabilistic disassembly on the image.
+pub fn disassemble(image: &Image) -> Disassembly {
+    let text = &image.text;
+    let n = text.len();
+    let ss = Superset::build(text);
+
+    // incoming direct-target counts for the convergence hint
+    let mut target_count = vec![0u32; n + 1];
+    for (_, c) in ss.valid() {
+        if c.target != NO_TARGET {
+            target_count[c.target as usize] += 1;
+        }
+    }
+
+    // local hint probabilities
+    let mut local = vec![1.0f64; n];
+    for (off, c) in ss.valid() {
+        let mut p = 1.0;
+        if c.target != NO_TARGET && target_count[c.target as usize] >= 2 {
+            p *= P_CONVERGENCE;
+        }
+        if let Some(ft) = ss.fallthrough(off) {
+            if target_count[ft as usize] >= 1 {
+                p *= P_CONVERGENCE;
+            }
+            if defines_use_pair(text, off, ft) {
+                p *= P_DEFUSE;
+            }
+        }
+        if matches!(c.flow, CandFlow::Ret | CandFlow::Jmp | CandFlow::JmpInd) {
+            p *= P_TERMINATED;
+        }
+        local[off as usize] = p;
+    }
+
+    // chain propagation, processed backwards (fall-through successors have
+    // higher offsets)
+    let mut data_prob = vec![1.0f64; n];
+    for off in (0..n as u32).rev() {
+        let c = ss.at(off);
+        if !c.is_valid() {
+            data_prob[off as usize] = 1.0;
+            continue;
+        }
+        let needs_ft = matches!(
+            c.flow,
+            CandFlow::Seq | CandFlow::Cond | CandFlow::Call | CandFlow::CallInd
+        );
+        let succ = if needs_ft {
+            match ss.fallthrough(off) {
+                Some(ft) => data_prob[ft as usize],
+                None => 1.0, // runs off the section: certain data
+            }
+        } else {
+            // chain ends here (ret/jmp/term): no downstream factor
+            1.0
+        };
+        let p = if needs_ft && succ >= 0.999_999 {
+            1.0 // crossing an invalid region
+        } else {
+            (local[off as usize] * succ.max(1e-12)).max(1e-12)
+        };
+        data_prob[off as usize] = p.min(1.0);
+    }
+
+    // Greedy occlusion-resolving acceptance in address order, with forward
+    // propagation: accepting a candidate implies its whole execution
+    // closure is code (fall-through successors and direct targets).
+    let mut owners: Vec<Option<u32>> = vec![None; n];
+    let mut func_starts = Vec::new();
+    let accept_closure = |root: u32, owners: &mut Vec<Option<u32>>, fs: &mut Vec<u32>| {
+        let mut work = vec![root];
+        while let Some(off) = work.pop() {
+            let s = off as usize;
+            if s >= n || owners[s].is_some() {
+                continue;
+            }
+            let c = ss.at(off);
+            if !c.is_valid() {
+                continue;
+            }
+            let end = s + c.len as usize;
+            if end > n || owners[s..end].iter().any(Option::is_some) {
+                continue;
+            }
+            for b in s..end {
+                owners[b] = Some(off);
+            }
+            if let Some(ft) = ss.fallthrough(off) {
+                work.push(ft);
+            }
+            if c.target != NO_TARGET {
+                if c.flow == CandFlow::Call {
+                    fs.push(c.target);
+                }
+                work.push(c.target);
+            }
+        }
+    };
+    if let Some(e) = image.entry {
+        func_starts.push(e);
+        accept_closure(e, &mut owners, &mut func_starts);
+    }
+    for pos in 0..n {
+        if owners[pos].is_none() && data_prob[pos] < THRESHOLD {
+            accept_closure(pos as u32, &mut owners, &mut func_starts);
+        }
+    }
+
+    assemble_result(n, &owners, func_starts)
+}
+
+/// `true` if the instruction at `off` writes a register that the instruction
+/// at `succ` reads.
+fn defines_use_pair(text: &[u8], off: u32, succ: u32) -> bool {
+    let Ok(a) = decode_at(text, off as usize) else {
+        return false;
+    };
+    let Ok(b) = decode_at(text, succ as usize) else {
+        return false;
+    };
+    // writes: destination register of data-movement / ALU forms
+    let defined = match (a.flow, a.operands.first()) {
+        (Flow::Seq, Some(Operand::Reg(Reg::Gp { reg, .. }))) => Some(*reg),
+        _ => None,
+    };
+    let Some(def) = defined else {
+        return false;
+    };
+    b.operands.iter().any(|op| match op {
+        Operand::Reg(Reg::Gp { reg, .. }) => *reg == def,
+        Operand::Mem(m) => {
+            m.base.and_then(Reg::as_gp) == Some(def) || m.index.and_then(Reg::as_gp) == Some(def)
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x86_isa::{Asm, Gp, OpSize};
+
+    #[test]
+    fn accepts_real_function() {
+        let mut a = Asm::new();
+        a.push_r(Gp::RBP);
+        a.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP);
+        a.mov_ri32(Gp::RAX, 3);
+        a.add_ri(OpSize::Q, Gp::RAX, 4);
+        a.pop_r(Gp::RBP);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disassemble(&Image::new(0x1000, text));
+        assert!(d.is_inst_start(0));
+        assert!(d.inst_starts.len() >= 5);
+    }
+
+    #[test]
+    fn rejects_invalid_crossings() {
+        // junk that cannot reach a terminator
+        let text = vec![0x48, 0x48, 0x48, 0x06, 0x06, 0x06];
+        let d = disassemble(&Image::new(0x1000, text));
+        assert!(d.inst_starts.is_empty(), "{:?}", d.inst_starts);
+    }
+
+    #[test]
+    fn better_than_nothing_on_mixed_input() {
+        let mut a = Asm::new();
+        a.mov_ri32(Gp::RAX, 1);
+        a.ret();
+        let mut text = a.finish().unwrap();
+        text.extend_from_slice(&[0x06; 8]);
+        let d = disassemble(&Image::new(0x1000, text));
+        assert!(d.is_inst_start(0));
+        for b in 6..14 {
+            assert!(d.byte_class[b].is_data());
+        }
+    }
+}

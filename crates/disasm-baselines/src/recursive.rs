@@ -1,0 +1,185 @@
+//! Recursive traversal (IDA/Ghidra-style).
+//!
+//! Follow control flow from the entry point: fall-through edges, direct
+//! branch and call targets. Optionally, after traversal converges, scan the
+//! remaining bytes for function prologues and traverse from those too
+//! (`scan_prologues`) — this mirrors how interactive tools recover
+//! unreferenced functions. Indirect control flow (jump tables!) is the blind
+//! spot: case blocks reached only through tables stay undiscovered.
+
+use crate::assemble_result;
+use disasm_core::{Disassembly, Image};
+use x86_isa::{decode_at, Flow, Mnemonic};
+
+/// Recursive traversal seeded from explicit function entries (e.g. symbol
+/// values). With ground-truth entries this is the metadata-assisted upper
+/// bound — the configuration the paper's premise says is unavailable.
+pub fn disassemble_from(image: &Image, seeds: &[u32]) -> Disassembly {
+    let text = &image.text;
+    let n = text.len();
+    let mut owners: Vec<Option<u32>> = vec![None; n];
+    let mut func_starts: Vec<u32> = seeds.to_vec();
+    let mut work: Vec<u32> = seeds.to_vec();
+    if let Some(e) = image.entry {
+        work.push(e);
+        func_starts.push(e);
+    }
+    traverse(text, &mut owners, &mut func_starts, &mut work);
+    assemble_result(n, &owners, func_starts)
+}
+
+/// Run recursive traversal; `scan_prologues` additionally seeds traversal at
+/// prologue-looking unclaimed offsets.
+pub fn disassemble(image: &Image, scan_prologues: bool) -> Disassembly {
+    let text = &image.text;
+    let n = text.len();
+    let mut owners: Vec<Option<u32>> = vec![None; n];
+    let mut func_starts: Vec<u32> = Vec::new();
+
+    let mut work: Vec<u32> = Vec::new();
+    if let Some(e) = image.entry {
+        work.push(e);
+        func_starts.push(e);
+    }
+    traverse(text, &mut owners, &mut func_starts, &mut work);
+
+    if scan_prologues {
+        // Seed at unclaimed `push rbp; mov rbp, rsp` sites until no fresh
+        // ones appear. One seed per round: a traversal may claim bytes that
+        // disqualify later candidate sites. Seeds that fail to claim their
+        // own start (overlap with existing code) are remembered so they are
+        // not retried forever.
+        let mut tried = vec![false; n];
+        loop {
+            let seed = (0..n).find(|&s| owners[s].is_none() && !tried[s] && is_prologue(text, s));
+            match seed {
+                Some(s) => {
+                    tried[s] = true;
+                    let mut w = vec![s as u32];
+                    traverse(text, &mut owners, &mut func_starts, &mut w);
+                    if owners[s].is_some() {
+                        func_starts.push(s as u32);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    assemble_result(n, &owners, func_starts)
+}
+
+fn traverse(
+    text: &[u8],
+    owners: &mut [Option<u32>],
+    func_starts: &mut Vec<u32>,
+    work: &mut Vec<u32>,
+) {
+    while let Some(off) = work.pop() {
+        let s = off as usize;
+        if s >= text.len() || owners[s].is_some() {
+            continue;
+        }
+        let Ok(inst) = decode_at(text, s) else {
+            continue;
+        };
+        let end = s + inst.len as usize;
+        if end > text.len() || owners[s..end].iter().any(Option::is_some) {
+            continue; // overlap with already-claimed bytes: skip
+        }
+        for b in s..end {
+            owners[b] = Some(off);
+        }
+        if inst.flow.falls_through() {
+            work.push(end as u32);
+        }
+        if let Some(rel) = inst.flow.rel_target() {
+            let tgt = s as i64 + inst.len as i64 + rel as i64;
+            if tgt >= 0 && (tgt as usize) < text.len() {
+                if matches!(inst.flow, Flow::CallRel(_)) {
+                    func_starts.push(tgt as u32);
+                }
+                work.push(tgt as u32);
+            }
+        }
+    }
+}
+
+fn is_prologue(text: &[u8], s: usize) -> bool {
+    let Ok(a) = decode_at(text, s) else {
+        return false;
+    };
+    if a.mnemonic != Mnemonic::Push {
+        return false;
+    }
+    match decode_at(text, s + a.len as usize) {
+        Ok(b) => {
+            (b.mnemonic == Mnemonic::Mov && b.to_string() == "mov rbp, rsp")
+                || b.mnemonic == Mnemonic::Push
+                || (b.mnemonic == Mnemonic::Sub && b.to_string().starts_with("sub rsp"))
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn follows_entry_flow_only() {
+        // entry: jmp over junk to code; the junk is never decoded
+        let text = vec![0xeb, 0x02, 0x48, 0x48, 0x90, 0xc3];
+        let d = disassemble(&Image::new(0x1000, text), false);
+        assert!(d.is_inst_start(0));
+        assert!(d.is_inst_start(4));
+        assert!(d.byte_class[2].is_data());
+        assert!(d.byte_class[3].is_data());
+    }
+
+    #[test]
+    fn call_targets_traversed_and_recorded() {
+        // call +1; ret; ret
+        let text = vec![0xe8, 0x01, 0x00, 0x00, 0x00, 0xc3, 0xc3];
+        let d = disassemble(&Image::new(0x1000, text), false);
+        assert!(d.is_inst_start(6));
+        assert!(d.func_starts.contains(&6));
+    }
+
+    #[test]
+    fn unreferenced_function_needs_prologue_scan() {
+        let mut text = vec![0xc3]; // entry: just ret
+        text.extend_from_slice(&[0x00; 3]); // filler
+        text.extend_from_slice(&[0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]);
+        let plain = disassemble(&Image::new(0x1000, text.clone()), false);
+        assert!(!plain.is_inst_start(4));
+        let scanned = disassemble(&Image::new(0x1000, text), true);
+        assert!(scanned.is_inst_start(4));
+        assert!(scanned.func_starts.contains(&4));
+    }
+
+    #[test]
+    fn seeded_traversal_reaches_unreferenced_functions() {
+        let mut text = vec![0xc3]; // entry: ret
+        text.extend_from_slice(&[0x00; 3]);
+        text.extend_from_slice(&[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]); // mov eax,1; ret
+        let d = disassemble_from(&Image::new(0x1000, text), &[4]);
+        assert!(d.is_inst_start(4));
+        assert!(d.func_starts.contains(&4));
+    }
+
+    #[test]
+    fn misses_jump_table_cases() {
+        // dispatch via register jump: cases unreachable for the traversal
+        // mov rax, imm; jmp rax; <case: mov eax,1; ret>
+        let mut text = vec![0x48, 0xc7, 0xc0, 0x00, 0x00, 0x00, 0x00]; // mov rax, 0
+        text.extend_from_slice(&[0xff, 0xe0]); // jmp rax
+        let case_off = text.len();
+        text.extend_from_slice(&[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+        let d = disassemble(&Image::new(0x1000, text), false);
+        assert!(
+            !d.is_inst_start(case_off as u32),
+            "recursive should miss indirect targets"
+        );
+    }
+}

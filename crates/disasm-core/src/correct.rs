@@ -1,0 +1,794 @@
+//! The prioritized error correction algorithm.
+//!
+//! All evidence about a byte arrives as *hints* of different strengths:
+//!
+//! | Priority | Source |
+//! |----------|--------|
+//! | `Anchor` | the entry point and everything recursively reachable from it |
+//! | `Behavioral` | viability kills (bookkeeping only — candidates, not bytes) |
+//! | `Structural` | jump tables, address-taken constants, control-flow propagation out of weaker acceptances |
+//! | `Statistical` | likelihood-ratio classification of undecided regions |
+//! | `Default` | the final "leftover bytes are data" rule |
+//!
+//! Decisions are tentative: a later, *stronger* hint overrides a weaker
+//! earlier decision, erasing the losing instruction(s) and logging a
+//! [`Correction`]. The key propagation rule is that control flow out of an
+//! accepted instruction is stronger evidence than the statistics that
+//! accepted it: a statistically accepted chain promotes its direct targets
+//! to `Structural`, letting one confident region repair earlier mistakes in
+//! regions it references.
+
+use crate::jumptable;
+use crate::padding;
+use crate::stats::{StatModel, StatModelBuilder};
+use crate::superset::{CandFlow, Superset};
+use crate::viability::Viability;
+use crate::{ByteClass, Config, Disassembly, Image};
+use std::collections::BTreeSet;
+use x86_isa::OpClass;
+
+/// Hint strength classes, strongest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Entry point and its recursive closure.
+    Anchor = 0,
+    /// Behavioral candidate elimination (viability).
+    Behavioral = 1,
+    /// Structural facts: jump tables, address-taken targets, control-flow
+    /// propagation.
+    Structural = 2,
+    /// Statistical classification.
+    Statistical = 3,
+    /// Leftover-bytes-are-data default.
+    Default = 4,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 5;
+
+    fn from_u8(v: u8) -> Priority {
+        match v {
+            0 => Priority::Anchor,
+            1 => Priority::Behavioral,
+            2 => Priority::Structural,
+            3 => Priority::Statistical,
+            _ => Priority::Default,
+        }
+    }
+}
+
+/// One applied override: a stronger hint displaced a weaker decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Correction {
+    /// Text offset where the losing decision lived.
+    pub offset: u32,
+    /// Priority of the displaced decision.
+    pub loser: Priority,
+    /// Priority of the decision that displaced it.
+    pub winner: Priority,
+    /// `true` if the byte flipped from data-ish to code (else code→data).
+    pub to_code: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellKind {
+    Un,
+    /// Byte belongs to the accepted instruction starting at the payload.
+    Owner(u32),
+    Data,
+    Pad,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kind: CellKind,
+    prio: u8,
+}
+
+const FREE: Cell = Cell {
+    kind: CellKind::Un,
+    prio: u8::MAX,
+};
+
+/// Run the full pipeline over an image.
+pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
+    let text = &image.text;
+    let n = text.len();
+    let ss = Superset::build(text);
+    let viab = if cfg.enable_viability {
+        Viability::compute(&ss)
+    } else {
+        Viability::trivial(&ss)
+    };
+
+    let mut eng = Engine {
+        cfg,
+        ss: &ss,
+        viab: &viab,
+        cells: vec![FREE; n],
+        corrections: Vec::new(),
+        decisions: [0; Priority::COUNT],
+        func_starts: BTreeSet::new(),
+        jt_targets: BTreeSet::new(),
+    };
+    eng.decisions[Priority::Behavioral as usize] = viab.eliminated();
+
+    // ---- P0: anchor (entry point) + recursive closure
+    if let Some(entry) = image.entry {
+        eng.func_starts.insert(entry);
+        eng.accept_and_propagate(entry, Priority::Anchor as u8);
+    }
+
+    // ---- P2: structural — jump tables and address-taken constants
+    let tables = if cfg.enable_jump_tables {
+        jumptable::detect(
+            text,
+            image.text_va,
+            &image.data_regions,
+            &ss,
+            &viab,
+            cfg.max_table_entries,
+        )
+    } else {
+        Vec::new()
+    };
+    for t in &tables {
+        eng.jt_targets.extend(t.targets.iter().copied());
+    }
+
+    // Hint arrival order is configurable: the default applies the stronger
+    // structural phase first; `stats_first` simulates the adversarial order
+    // in which the whole byte stream is statistically classified before any
+    // structural fact arrives. With `prioritized` enabled the correction
+    // machinery repairs the early statistical mistakes either way; with it
+    // disabled (first-decision-wins) the adversarial order reproduces the
+    // behavior of naive tools.
+    if cfg.stats_first || !cfg.prioritized {
+        eng.statistical_phase(cfg, text);
+        eng.structural_phase(cfg, image, &tables);
+    } else {
+        eng.structural_phase(cfg, image, &tables);
+        eng.statistical_phase(cfg, text);
+    }
+    // padding sweep (also applies when stats are disabled)
+    eng.padding_pass();
+
+    // ---- P4: leftovers are data
+    for o in 0..n {
+        if eng.cells[o].kind == CellKind::Un {
+            eng.cells[o] = Cell {
+                kind: CellKind::Data,
+                prio: Priority::Default as u8,
+            };
+            eng.decisions[Priority::Default as usize] += 1;
+        }
+    }
+
+    eng.finish(tables)
+}
+
+struct Engine<'a> {
+    cfg: &'a Config,
+    ss: &'a Superset,
+    viab: &'a Viability,
+    cells: Vec<Cell>,
+    corrections: Vec<Correction>,
+    decisions: [usize; Priority::COUNT],
+    func_starts: BTreeSet<u32>,
+    jt_targets: BTreeSet<u32>,
+}
+
+impl<'a> Engine<'a> {
+    /// Structural hints: jump-table extents (data) and targets (code), the
+    /// dispatch sequences, and address-taken constants.
+    fn structural_phase(
+        &mut self,
+        cfg: &Config,
+        image: &Image,
+        tables: &[jumptable::DetectedTable],
+    ) {
+        for t in tables {
+            if t.in_text {
+                self.mark_range(
+                    t.table_off,
+                    t.table_off + t.byte_len(),
+                    CellKind::Data,
+                    Priority::Structural as u8,
+                );
+            }
+            for &target in &t.targets {
+                self.accept_and_propagate(target, Priority::Structural as u8);
+            }
+            // the dispatch sequence itself is certainly code
+            self.accept_and_propagate(t.lea_off, Priority::Structural as u8);
+        }
+        if cfg.enable_address_taken {
+            for target in address_taken(image, self.viab) {
+                if self.accept_and_propagate(target, Priority::Structural as u8)
+                    && !self.jt_targets.contains(&target)
+                {
+                    self.func_starts.insert(target);
+                }
+            }
+        }
+    }
+
+    /// Statistical hints over every still-undecided region.
+    fn statistical_phase(&mut self, cfg: &Config, text: &[u8]) {
+        if !cfg.enable_stats {
+            return;
+        }
+        let model = match &cfg.model {
+            Some(m) => Some(m.clone()),
+            None => self_train(text, self.viab, &self.cells),
+        };
+        if let Some(model) = model {
+            self.statistical_pass(&model, text, cfg.llr_threshold, cfg.enable_defuse);
+        }
+    }
+
+    fn effective(&self, p: u8) -> u8 {
+        if self.cfg.prioritized {
+            p
+        } else {
+            Priority::Structural as u8
+        }
+    }
+
+    /// Accept the candidate at `start` and everything its control flow
+    /// forces, at the given priority. Control flow *out of* accepted code is
+    /// promoted to `Structural` strength even when the root acceptance was
+    /// only `Statistical` — this is what lets a confident region repair
+    /// earlier mistakes in regions it references. Returns `true` if `start`
+    /// itself ended up accepted (now or previously).
+    fn accept_and_propagate(&mut self, start: u32, prio: u8) -> bool {
+        let mut work = vec![(start, prio)];
+        let mut accepted_root = false;
+        while let Some((off, p)) = work.pop() {
+            let child_prio = p.min(Priority::Structural as u8);
+            match self.try_accept(off, p) {
+                Accept::New => {
+                    if off == start {
+                        accepted_root = true;
+                    }
+                    let c = self.ss.at(off);
+                    if let Some(next) = self.ss.fallthrough(off) {
+                        work.push((next, child_prio));
+                    }
+                    if matches!(c.flow, CandFlow::Jmp | CandFlow::Cond | CandFlow::Call)
+                        && c.target != crate::superset::NO_TARGET
+                    {
+                        if c.flow == CandFlow::Call {
+                            self.func_starts.insert(c.target);
+                        }
+                        work.push((c.target, child_prio));
+                    }
+                }
+                Accept::Already => {
+                    if off == start {
+                        accepted_root = true;
+                    }
+                }
+                Accept::Rejected => {}
+            }
+        }
+        accepted_root
+    }
+
+    /// Try to accept a single candidate at `start`.
+    fn try_accept(&mut self, start: u32, prio_raw: u8) -> Accept {
+        let prio = self.effective(prio_raw);
+        let s = start as usize;
+        if s >= self.cells.len() {
+            return Accept::Rejected;
+        }
+        let cand = self.ss.at(start);
+        if !cand.is_valid() || !self.viab.is_viable(start) {
+            return Accept::Rejected;
+        }
+        if self.cells[s].kind == CellKind::Owner(start) {
+            return Accept::Already;
+        }
+        let end = s + cand.len as usize;
+        if end > self.cells.len() {
+            return Accept::Rejected;
+        }
+        // Conflict scan: every byte must be free or strictly weaker.
+        for b in s..end {
+            let cell = self.cells[b];
+            match cell.kind {
+                CellKind::Un => {}
+                _ => {
+                    if cell.prio <= prio {
+                        return Accept::Rejected;
+                    }
+                }
+            }
+        }
+        // Evict weaker owners / data.
+        for b in s..end {
+            let cell = self.cells[b];
+            match cell.kind {
+                CellKind::Un => {}
+                CellKind::Owner(owner) => {
+                    self.erase_inst(owner);
+                    self.corrections.push(Correction {
+                        offset: owner,
+                        loser: Priority::from_u8(cell.prio),
+                        winner: Priority::from_u8(prio),
+                        to_code: true,
+                    });
+                }
+                CellKind::Data | CellKind::Pad => {
+                    self.cells[b] = FREE;
+                    self.corrections.push(Correction {
+                        offset: b as u32,
+                        loser: Priority::from_u8(cell.prio),
+                        winner: Priority::from_u8(prio),
+                        to_code: true,
+                    });
+                }
+            }
+        }
+        for b in s..end {
+            self.cells[b] = Cell {
+                kind: CellKind::Owner(start),
+                prio,
+            };
+        }
+        self.decisions[prio_raw.min(4) as usize] += 1;
+        Accept::New
+    }
+
+    fn erase_inst(&mut self, owner: u32) {
+        let len = self.ss.at(owner).len as usize;
+        for b in owner as usize..(owner as usize + len).min(self.cells.len()) {
+            if self.cells[b].kind == CellKind::Owner(owner) {
+                self.cells[b] = FREE;
+            }
+        }
+    }
+
+    /// Mark `[start, end)` as data/padding at `prio`, byte-wise: stronger
+    /// existing decisions survive, weaker ones are evicted and logged.
+    fn mark_range(&mut self, start: u32, end: u32, kind: CellKind, prio_raw: u8) {
+        let prio = self.effective(prio_raw);
+        let end = (end as usize).min(self.cells.len());
+        for b in start as usize..end {
+            let cell = self.cells[b];
+            match cell.kind {
+                CellKind::Un => {
+                    self.cells[b] = Cell { kind, prio };
+                }
+                CellKind::Owner(owner) => {
+                    if cell.prio > prio {
+                        self.erase_inst(owner);
+                        self.corrections.push(Correction {
+                            offset: owner,
+                            loser: Priority::from_u8(cell.prio),
+                            winner: Priority::from_u8(prio),
+                            to_code: false,
+                        });
+                        self.cells[b] = Cell { kind, prio };
+                    }
+                }
+                CellKind::Data | CellKind::Pad => {
+                    if cell.prio > prio {
+                        self.cells[b] = Cell { kind, prio };
+                    }
+                }
+            }
+        }
+        self.decisions[prio_raw.min(4) as usize] += 1;
+    }
+
+    /// End of the undecided gap that starts at `o`.
+    fn gap_end(&self, o: u32) -> u32 {
+        let mut e = o as usize;
+        while e < self.cells.len() && self.cells[e].kind == CellKind::Un {
+            e += 1;
+        }
+        e as u32
+    }
+
+    /// Statistical classification of every remaining undecided region.
+    fn statistical_pass(&mut self, model: &StatModel, text: &[u8], threshold: f64, defuse: bool) {
+        let n = self.cells.len();
+        let mut o = 0u32;
+        while (o as usize) < n {
+            if self.cells[o as usize].kind != CellKind::Un {
+                o += 1;
+                continue;
+            }
+            let gap_end = self.gap_end(o);
+            // padding run: a maximal NOP/int3 tiling that fills the gap or
+            // reaches an alignment boundary
+            if let Some(pe) = self.padding_prefix(o, gap_end) {
+                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8);
+                o = pe;
+                continue;
+            }
+            let cand = self.ss.at(o);
+            if !cand.is_valid() || !self.viab.is_viable(o) {
+                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8);
+                o += 1;
+                continue;
+            }
+            // maximal undecided fall-through chain from o
+            let chain = self.undecided_chain(o, 256);
+            let classes: Vec<OpClass> = chain.iter().map(|&c| self.ss.at(c).opclass).collect();
+            let mut score = model.score_chain(&classes);
+            if defuse {
+                let (links, pairs) = crate::behavior::count_links(text, &chain);
+                score += model.defuse_chain_score(links, pairs);
+            }
+            // Long viable chains are themselves strong evidence: random
+            // data almost never survives 16+ consecutive decodes without
+            // hitting an invalid encoding, so the score bar drops for them.
+            let long_chain = chain.len() >= 16;
+            let accept = !classes.is_empty()
+                && (score >= threshold || (long_chain && score >= threshold / 3.0));
+            if accept {
+                self.accept_and_propagate(o, Priority::Statistical as u8);
+            } else {
+                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8);
+            }
+            o += 1;
+        }
+    }
+
+    /// Fall-through chain from `off` staying entirely within undecided
+    /// bytes.
+    fn undecided_chain(&self, off: u32, cap: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = off;
+        while out.len() < cap {
+            let c = match self.ss.get(cur) {
+                Some(c) if c.is_valid() && self.viab.is_viable(cur) => *c,
+                _ => break,
+            };
+            let end = cur as usize + c.len as usize;
+            if end > self.cells.len()
+                || self.cells[cur as usize..end]
+                    .iter()
+                    .any(|cell| cell.kind != CellKind::Un)
+            {
+                break;
+            }
+            out.push(cur);
+            match self.ss.fallthrough(cur) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// A padding tiling starting at `o` counts as real padding when it
+    /// either fills the whole undecided gap or ends on a 16-byte alignment
+    /// boundary (where the next function would start).
+    fn padding_prefix(&self, o: u32, gap_end: u32) -> Option<u32> {
+        let pe = padding::padding_prefix_end(self.ss, o, gap_end);
+        (pe > o && (pe == gap_end || pe.is_multiple_of(16))).then_some(pe)
+    }
+
+    /// Classify remaining undecided padding runs (needed when statistics are
+    /// disabled in ablations).
+    fn padding_pass(&mut self) {
+        let n = self.cells.len();
+        let mut o = 0u32;
+        while (o as usize) < n {
+            if self.cells[o as usize].kind != CellKind::Un {
+                o += 1;
+                continue;
+            }
+            let gap_end = self.gap_end(o);
+            if let Some(pe) = self.padding_prefix(o, gap_end) {
+                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8);
+                o = pe;
+            } else {
+                o = gap_end.max(o + 1);
+            }
+        }
+    }
+
+    fn finish(self, tables: Vec<jumptable::DetectedTable>) -> Disassembly {
+        let n = self.cells.len();
+        let mut byte_class = Vec::with_capacity(n);
+        let mut inst_starts = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let bc = match cell.kind {
+                CellKind::Owner(owner) => {
+                    if owner as usize == i {
+                        inst_starts.push(owner);
+                        ByteClass::InstStart
+                    } else {
+                        ByteClass::InstBody
+                    }
+                }
+                CellKind::Data | CellKind::Un => ByteClass::Data,
+                CellKind::Pad => ByteClass::Padding,
+            };
+            byte_class.push(bc);
+        }
+        // A function start only counts if the instruction there actually
+        // survived error correction (its candidate may have been rejected
+        // outright or displaced by a stronger hint later).
+        let func_starts = self
+            .func_starts
+            .into_iter()
+            .filter(|&f| {
+                self.cells
+                    .get(f as usize)
+                    .is_some_and(|c| c.kind == CellKind::Owner(f))
+            })
+            .collect();
+        Disassembly {
+            byte_class,
+            inst_starts,
+            func_starts,
+            jump_tables: tables,
+            corrections: self.corrections,
+            decisions_by_priority: self.decisions,
+        }
+    }
+}
+
+enum Accept {
+    New,
+    Already,
+    Rejected,
+}
+
+/// Scan data regions and the text itself for 8-byte constants that decode to
+/// viable text offsets ("address taken" hints).
+fn address_taken(image: &Image, viab: &Viability) -> Vec<u32> {
+    let lo = image.text_va;
+    let hi = image.text_va + image.text.len() as u64;
+    let mut out = BTreeSet::new();
+    let mut scan = |bytes: &[u8]| {
+        if bytes.len() < 8 {
+            return;
+        }
+        for w in 0..=bytes.len() - 8 {
+            let v = u64::from_le_bytes(bytes[w..w + 8].try_into().unwrap());
+            if v >= lo && v < hi {
+                let off = (v - lo) as u32;
+                if viab.is_viable(off) {
+                    out.insert(off);
+                }
+            }
+        }
+    };
+    scan(&image.text);
+    for (_, bytes) in &image.data_regions {
+        scan(bytes);
+    }
+    out.into_iter().collect()
+}
+
+/// Self-training fallback: learn the code model from the already-accepted
+/// (anchor-reachable) instructions and the data model from long runs of
+/// non-viable bytes. Returns `None` when the input provides too little
+/// signal.
+fn self_train(text: &[u8], viab: &Viability, cells: &[Cell]) -> Option<StatModel> {
+    let mut b = StatModelBuilder::new();
+    // code: the accepted (anchor-reachable) instruction stream
+    let starts: Vec<u32> = cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| match cell.kind {
+            CellKind::Owner(owner) if owner as usize == i => Some(owner),
+            _ => None,
+        })
+        .collect();
+    b.add_code_stream(text, &starts);
+    // data: long maximal runs of non-viable offsets
+    let mut run_start = None;
+    for o in 0..=text.len() {
+        let nonviable = o < text.len() && !viab.is_viable(o as u32);
+        match (nonviable, run_start) {
+            (true, None) => run_start = Some(o),
+            (false, Some(s)) => {
+                if o - s >= 16 {
+                    b.add_data_tokens(&crate::stats::linear_class_stream(&text[s..o]));
+                }
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    let model = b.build();
+    model.is_adequately_trained().then_some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use x86_isa::{Asm, Cond, Gp, Mem, OpSize};
+
+    fn disasm(text: Vec<u8>) -> Disassembly {
+        let image = Image::new(0x401000, text);
+        crate::Disassembler::new(Config::default()).disassemble(&image)
+    }
+
+    #[test]
+    fn straight_line_code_fully_accepted() {
+        let mut a = Asm::new();
+        a.push_r(Gp::RBP);
+        a.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP);
+        a.mov_ri32(Gp::RAX, 7);
+        a.pop_r(Gp::RBP);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disasm(text);
+        assert_eq!(d.inst_starts, vec![0, 1, 4, 9, 10]);
+        assert_eq!(d.count(ByteClass::Data), 0);
+    }
+
+    #[test]
+    fn trailing_garbage_is_data() {
+        let mut a = Asm::new();
+        a.mov_ri32(Gp::RAX, 0);
+        a.ret();
+        let mut text = a.finish().unwrap();
+        let code_len = text.len();
+        text.extend_from_slice(&[0x06, 0x07, 0x06, 0x07, 0xff, 0xff, 0x06, 0x07]);
+        let d = disasm(text);
+        assert!(d.is_inst_start(0));
+        for b in code_len..code_len + 8 {
+            assert!(d.byte_class[b].is_data(), "byte {b} should be data");
+        }
+    }
+
+    #[test]
+    fn call_targets_become_function_starts() {
+        let mut a = Asm::new();
+        let f = a.label();
+        a.call_label(f);
+        a.ret();
+        a.bind(f);
+        a.mov_ri32(Gp::RAX, 1);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disasm(text);
+        assert!(d.func_starts.contains(&6), "{:?}", d.func_starts);
+    }
+
+    #[test]
+    fn jump_over_embedded_blob() {
+        // entry: jmp over 16 junk bytes, then real code — the blob must be
+        // data, the code after it accepted via the anchor jump edge.
+        let mut a = Asm::new();
+        let skip = a.label();
+        a.jmp_short(skip);
+        a.bytes(&[0x06; 16]);
+        a.bind(skip);
+        a.mov_ri32(Gp::RAX, 3);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disasm(text);
+        assert!(d.is_inst_start(0));
+        assert!(d.is_inst_start(18));
+        for b in 2..18 {
+            assert!(d.byte_class[b].is_data(), "byte {b}");
+        }
+    }
+
+    #[test]
+    fn padding_between_functions_recognized() {
+        let mut a = Asm::new();
+        a.mov_ri32(Gp::RAX, 0);
+        a.ret();
+        while !a.len().is_multiple_of(16) {
+            a.nop(1);
+        }
+        let pad_end = a.len();
+        a.mov_ri32(Gp::RAX, 1);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disasm(text);
+        for b in 6..pad_end {
+            assert_eq!(d.byte_class[b], ByteClass::Padding, "byte {b}");
+        }
+    }
+
+    #[test]
+    fn jump_table_bytes_marked_data_and_cases_code() {
+        let mut a = Asm::new();
+        let l_table = a.label();
+        let l_default = a.label();
+        let l_end = a.label();
+        let cases: Vec<_> = (0..4).map(|_| a.label()).collect();
+        a.cmp_ri(OpSize::Q, Gp::RDI, 3);
+        a.jcc_label(Cond::A, l_default);
+        a.lea_rip_label(Gp::RAX, l_table);
+        a.movsxd_load(Gp::RCX, Mem::base_index(Gp::RAX, Gp::RDI, 4, 0));
+        a.add_rr(OpSize::Q, Gp::RCX, Gp::RAX);
+        a.jmp_ind(Gp::RCX);
+        a.bind(l_table);
+        let t0 = a.len();
+        for &c in &cases {
+            a.dd_label_diff(c, l_table);
+        }
+        let t1 = a.len();
+        let mut case_offs = vec![];
+        for &c in &cases {
+            a.bind(c);
+            case_offs.push(a.len() as u32);
+            a.mov_ri32(Gp::RAX, 5);
+            a.jmp_label(l_end);
+        }
+        a.bind(l_default);
+        a.mov_ri32(Gp::RAX, 0);
+        a.bind(l_end);
+        a.ret();
+        let text = a.finish().unwrap();
+        let d = disasm(text);
+        assert_eq!(d.jump_tables.len(), 1);
+        for b in t0..t1 {
+            assert!(d.byte_class[b].is_data(), "table byte {b}");
+        }
+        for &c in &case_offs {
+            assert!(d.is_inst_start(c), "case at {c}");
+        }
+    }
+
+    #[test]
+    fn address_taken_function_found_via_data_region() {
+        // A function NOT reachable from the entry, but whose address sits in
+        // .rodata. Entry just returns.
+        let mut a = Asm::new();
+        a.ret();
+        a.bytes(&[0x06; 7]); // filler so the target isn't adjacent
+        let f_off = a.len() as u32;
+        a.push_r(Gp::RBP);
+        a.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP);
+        a.pop_r(Gp::RBP);
+        a.ret();
+        let text = a.finish().unwrap();
+        let va = 0x401000u64;
+        let image = Image::new(va, text)
+            .with_data_region(0x500000, (va + f_off as u64).to_le_bytes().to_vec());
+        let d = crate::Disassembler::new(Config::default()).disassemble(&image);
+        assert!(d.is_inst_start(f_off));
+        assert!(d.func_starts.contains(&f_off));
+    }
+
+    #[test]
+    fn decisions_counted_per_priority() {
+        let mut a = Asm::new();
+        a.mov_ri32(Gp::RAX, 1);
+        a.ret();
+        let d = disasm(a.finish().unwrap());
+        assert!(d.decisions_by_priority[Priority::Anchor as usize] >= 2);
+    }
+
+    #[test]
+    fn ablation_flags_do_not_crash() {
+        let mut a = Asm::new();
+        a.mov_ri32(Gp::RAX, 1);
+        a.ret();
+        a.bytes(&[0xaa; 32]);
+        let text = a.finish().unwrap();
+        for (v, j, at, st, pr) in [
+            (false, true, true, true, true),
+            (true, false, true, true, true),
+            (true, true, false, true, true),
+            (true, true, true, false, true),
+            (true, true, true, true, false),
+        ] {
+            let cfg = Config {
+                enable_viability: v,
+                enable_jump_tables: j,
+                enable_address_taken: at,
+                enable_stats: st,
+                prioritized: pr,
+                ..Config::default()
+            };
+            let d = crate::Disassembler::new(cfg).disassemble(&Image::new(0x1000, text.clone()));
+            assert!(d.is_inst_start(0));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Structural comparison of two disassemblies of the same image.
+//!
+//! Tool-disagreement analysis is how the paper's evaluation localizes error
+//! sources: where does linear sweep desynchronize, which regions does
+//! recursive traversal never reach, which bytes do two tools class
+//! differently. This module computes those deltas.
+
+use crate::{ByteClass, Disassembly};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A maximal byte range on which the two disassemblies disagree about
+/// code-vs-data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictRegion {
+    /// First conflicting byte.
+    pub start: u32,
+    /// One past the last conflicting byte.
+    pub end: u32,
+    /// `true` if side A classed the first byte as code (B as data).
+    pub a_is_code: bool,
+}
+
+impl ConflictRegion {
+    /// Region length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// `true` for an empty region (never produced by [`diff`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The delta between two disassemblies.
+#[derive(Debug, Clone, Default)]
+pub struct DisasmDiff {
+    /// Instruction starts both tools accepted.
+    pub agreed_starts: usize,
+    /// Instruction starts only side A accepted.
+    pub only_a: Vec<u32>,
+    /// Instruction starts only side B accepted.
+    pub only_b: Vec<u32>,
+    /// Maximal byte regions with a code/data disagreement.
+    pub conflicts: Vec<ConflictRegion>,
+    /// Total bytes inside conflicting regions.
+    pub conflict_bytes: usize,
+}
+
+impl DisasmDiff {
+    /// Fraction of the union of accepted starts that both sides share.
+    pub fn start_agreement(&self) -> f64 {
+        let union = self.agreed_starts + self.only_a.len() + self.only_b.len();
+        if union == 0 {
+            1.0
+        } else {
+            self.agreed_starts as f64 / union as f64
+        }
+    }
+}
+
+impl fmt::Display for DisasmDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shared starts, {} only-A, {} only-B ({:.2}% agreement); {} conflict regions covering {} bytes",
+            self.agreed_starts,
+            self.only_a.len(),
+            self.only_b.len(),
+            self.start_agreement() * 100.0,
+            self.conflicts.len(),
+            self.conflict_bytes
+        )
+    }
+}
+
+/// Compare two disassemblies of the same text region.
+///
+/// # Panics
+///
+/// Panics if the two disassemblies cover different byte counts (they must
+/// come from the same image).
+pub fn diff(a: &Disassembly, b: &Disassembly) -> DisasmDiff {
+    assert_eq!(
+        a.byte_class.len(),
+        b.byte_class.len(),
+        "disassemblies cover different images"
+    );
+    let sa: BTreeSet<u32> = a.inst_starts.iter().copied().collect();
+    let sb: BTreeSet<u32> = b.inst_starts.iter().copied().collect();
+    let agreed_starts = sa.intersection(&sb).count();
+    let only_a: Vec<u32> = sa.difference(&sb).copied().collect();
+    let only_b: Vec<u32> = sb.difference(&sa).copied().collect();
+
+    let mut conflicts = Vec::new();
+    let mut conflict_bytes = 0usize;
+    let mut cur: Option<ConflictRegion> = None;
+    let classify = |c: ByteClass| c.is_code();
+    for i in 0..a.byte_class.len() {
+        let ca = classify(a.byte_class[i]);
+        let cb = classify(b.byte_class[i]);
+        if ca != cb {
+            conflict_bytes += 1;
+            match cur.as_mut() {
+                Some(r) if r.end as usize == i && r.a_is_code == ca => r.end += 1,
+                _ => {
+                    if let Some(r) = cur.take() {
+                        conflicts.push(r);
+                    }
+                    cur = Some(ConflictRegion {
+                        start: i as u32,
+                        end: i as u32 + 1,
+                        a_is_code: ca,
+                    });
+                }
+            }
+        } else if let Some(r) = cur.take() {
+            conflicts.push(r);
+        }
+    }
+    if let Some(r) = cur.take() {
+        conflicts.push(r);
+    }
+
+    DisasmDiff {
+        agreed_starts,
+        only_a,
+        only_b,
+        conflicts,
+        conflict_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Disassembler, Image};
+
+    fn identical_diff() -> DisasmDiff {
+        let text = vec![0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3];
+        let image = Image::new(0x1000, text);
+        let d1 = Disassembler::new(Config::default()).disassemble(&image);
+        let d2 = Disassembler::new(Config::default()).disassemble(&image);
+        diff(&d1, &d2)
+    }
+
+    #[test]
+    fn identical_disassemblies_have_no_delta() {
+        let d = identical_diff();
+        assert!(d.only_a.is_empty());
+        assert!(d.only_b.is_empty());
+        assert!(d.conflicts.is_empty());
+        assert_eq!(d.start_agreement(), 1.0);
+    }
+
+    #[test]
+    fn different_tools_disagree_on_embedded_data() {
+        let w = bingen::Workload::generate(&bingen::GenConfig::small(33));
+        let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+        let ours = Disassembler::new(Config::default()).disassemble(&image);
+        let linear = disassemble_linear(&image);
+        let d = diff(&ours, &linear);
+        assert!(d.conflict_bytes > 0, "expected disagreement over data");
+        assert!(d.start_agreement() < 1.0);
+        // regions tile the conflicting bytes exactly
+        let covered: usize = d.conflicts.iter().map(|r| r.len() as usize).sum();
+        assert_eq!(covered, d.conflict_bytes);
+        for r in &d.conflicts {
+            assert!(!r.is_empty());
+        }
+    }
+
+    // Local re-implementation of a linear sweep (the baselines crate depends
+    // on this one, so tests here cannot use it).
+    fn disassemble_linear(image: &Image) -> Disassembly {
+        let n = image.text.len();
+        let mut byte_class = vec![ByteClass::Data; n];
+        let mut inst_starts = Vec::new();
+        for (pos, r) in x86_isa::linear_instructions(&image.text) {
+            if let Ok(inst) = r {
+                inst_starts.push(pos as u32);
+                byte_class[pos] = ByteClass::InstStart;
+                for b in pos + 1..pos + inst.len as usize {
+                    byte_class[b] = ByteClass::InstBody;
+                }
+            }
+        }
+        Disassembly {
+            byte_class,
+            inst_starts,
+            func_starts: vec![],
+            jump_tables: vec![],
+            corrections: vec![],
+            decisions_by_priority: [0; crate::Priority::COUNT],
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different images")]
+    fn mismatched_lengths_panic() {
+        let a = Disassembler::new(Config::default()).disassemble(&Image::new(0, vec![0x90, 0xc3]));
+        let b = Disassembler::new(Config::default()).disassemble(&Image::new(0, vec![0xc3]));
+        let _ = diff(&a, &b);
+    }
+}

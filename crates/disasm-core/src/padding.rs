@@ -1,0 +1,104 @@
+//! Recognition of alignment / inter-function padding.
+//!
+//! Compilers fill the space between functions with NOP family instructions
+//! or `int3`. These bytes decode as perfectly valid instructions, so without
+//! special handling they pollute both the code and the data classes. The
+//! detector checks whether a region tiles exactly with padding instructions
+//! and ends at an alignment boundary or at a classification boundary.
+
+use crate::superset::Superset;
+
+/// `true` if `[start, end)` tiles exactly with padding instructions
+/// (NOP/int3) according to the superset table.
+pub fn is_padding_run(ss: &Superset, start: u32, end: u32) -> bool {
+    if start >= end || end as usize > ss.len() {
+        return false;
+    }
+    let mut cur = start;
+    while cur < end {
+        let c = match ss.get(cur) {
+            Some(c) if c.is_valid() && c.padding => c,
+            _ => return false,
+        };
+        cur += c.len as u32;
+    }
+    cur == end
+}
+
+/// End of the maximal padding tiling that begins at `start` and stays below
+/// `end`. Returns `start` when the first candidate is not padding.
+pub fn padding_prefix_end(ss: &Superset, start: u32, end: u32) -> u32 {
+    let end = end.min(ss.len() as u32);
+    let mut cur = start;
+    while cur < end {
+        match ss.get(cur) {
+            Some(c) if c.is_valid() && c.padding && cur + c.len as u32 <= end => {
+                cur += c.len as u32;
+            }
+            _ => break,
+        }
+    }
+    cur
+}
+
+/// The padding-instruction starts that tile `[start, end)`; empty if the
+/// region is not a padding run.
+pub fn padding_starts(ss: &Superset, start: u32, end: u32) -> Vec<u32> {
+    if !is_padding_run(ss, start, end) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut cur = start;
+    while cur < end {
+        out.push(cur);
+        cur += ss.at(cur).len as u32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_run_detected() {
+        // 90 90 0f1f00 = three padding instructions
+        let text = vec![0x90, 0x90, 0x0f, 0x1f, 0x00];
+        let ss = Superset::build(&text);
+        assert!(is_padding_run(&ss, 0, 5));
+        assert_eq!(padding_starts(&ss, 0, 5), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn int3_run_detected() {
+        let text = vec![0xcc; 7];
+        let ss = Superset::build(&text);
+        assert!(is_padding_run(&ss, 0, 7));
+    }
+
+    #[test]
+    fn non_padding_rejected() {
+        let text = vec![0x90, 0xc3, 0x90]; // nop, ret, nop
+        let ss = Superset::build(&text);
+        assert!(!is_padding_run(&ss, 0, 3));
+        assert!(is_padding_run(&ss, 2, 3));
+        assert!(padding_starts(&ss, 0, 3).is_empty());
+    }
+
+    #[test]
+    fn misaligned_tiling_rejected() {
+        // multi-byte nop cut short: region ends mid-instruction
+        let text = vec![0x0f, 0x1f, 0x00, 0x90];
+        let ss = Superset::build(&text);
+        assert!(!is_padding_run(&ss, 0, 2));
+        assert!(is_padding_run(&ss, 0, 4));
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let ss = Superset::build(&[0x90]);
+        assert!(!is_padding_run(&ss, 0, 0));
+        assert!(!is_padding_run(&ss, 0, 9));
+        assert!(!is_padding_run(&ss, 1, 0));
+    }
+}

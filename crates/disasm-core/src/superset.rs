@@ -1,0 +1,272 @@
+//! Superset disassembly: one candidate instruction per byte offset.
+//!
+//! This is the universe over which all later analyses operate. The candidate
+//! table stores a compact summary per offset; analyses that need full operand
+//! detail (jump-table detection) re-decode the handful of offsets they care
+//! about.
+
+use x86_isa::{decode, Flow, Inst, OpClass};
+
+/// Sentinel for "no direct successor".
+pub const NO_TARGET: u32 = u32::MAX;
+
+/// Compact control-flow kind of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandFlow {
+    /// Falls through only.
+    Seq,
+    /// Unconditional direct jump.
+    Jmp,
+    /// Conditional direct jump (falls through too).
+    Cond,
+    /// Direct call (falls through).
+    Call,
+    /// Indirect jump.
+    JmpInd,
+    /// Indirect call (falls through).
+    CallInd,
+    /// Return.
+    Ret,
+    /// Trap / halt.
+    Term,
+}
+
+/// One superset candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Encoded length (0 ⇒ invalid decode at this offset).
+    pub len: u8,
+    /// Statistical opcode class.
+    pub opclass: OpClass,
+    /// Control-flow kind.
+    pub flow: CandFlow,
+    /// Direct-branch target offset ([`NO_TARGET`] if none or out of
+    /// section).
+    pub target: u32,
+    /// Target fell outside the section (direct branch escaping text).
+    pub target_escapes: bool,
+    /// Privileged / wildly improbable instruction.
+    pub suspicious: bool,
+    /// NOP/int3-style padding instruction.
+    pub padding: bool,
+}
+
+impl Candidate {
+    /// `true` if this offset decodes to an instruction at all.
+    pub fn is_valid(&self) -> bool {
+        self.len > 0
+    }
+
+    const INVALID: Candidate = Candidate {
+        len: 0,
+        opclass: OpClass::Other,
+        flow: CandFlow::Term,
+        target: NO_TARGET,
+        target_escapes: false,
+        suspicious: false,
+        padding: false,
+    };
+}
+
+/// The superset table: one [`Candidate`] per text offset.
+#[derive(Debug, Clone)]
+pub struct Superset {
+    cands: Vec<Candidate>,
+}
+
+impl Superset {
+    /// Decode a candidate at every offset of `text`.
+    pub fn build(text: &[u8]) -> Superset {
+        let n = text.len();
+        let mut cands = Vec::with_capacity(n);
+        for off in 0..n {
+            cands.push(match decode(&text[off..]) {
+                Ok(inst) => summarize(off, &inst, n),
+                Err(_) => Candidate::INVALID,
+            });
+        }
+        Superset { cands }
+    }
+
+    /// Candidate at `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is out of range.
+    pub fn at(&self, off: u32) -> &Candidate {
+        &self.cands[off as usize]
+    }
+
+    /// Candidate at `off`, or `None` out of range.
+    pub fn get(&self, off: u32) -> Option<&Candidate> {
+        self.cands.get(off as usize)
+    }
+
+    /// Number of offsets (== text length).
+    pub fn len(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cands.is_empty()
+    }
+
+    /// Iterate `(offset, candidate)` over valid candidates.
+    pub fn valid(&self) -> impl Iterator<Item = (u32, &Candidate)> {
+        self.cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_valid())
+            .map(|(i, c)| (i as u32, c))
+    }
+
+    /// Fall-through successor of the candidate at `off`, when it has one and
+    /// it stays in-section.
+    pub fn fallthrough(&self, off: u32) -> Option<u32> {
+        let c = self.at(off);
+        if !c.is_valid() {
+            return None;
+        }
+        match c.flow {
+            CandFlow::Seq | CandFlow::Cond | CandFlow::Call | CandFlow::CallInd => {
+                let next = off + c.len as u32;
+                if (next as usize) < self.cands.len() {
+                    Some(next)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Walk the fall-through chain starting at `off`, yielding each
+    /// candidate offset including `off` itself, stopping at control-flow
+    /// breaks, invalid decodes or `max` steps.
+    pub fn chain(&self, off: u32, max: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = off;
+        while out.len() < max {
+            match self.get(cur) {
+                Some(c) if c.is_valid() => c,
+                _ => break,
+            };
+            out.push(cur);
+            match self.fallthrough(cur) {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+fn summarize(off: usize, inst: &Inst, section_len: usize) -> Candidate {
+    let (flow, target, escapes) = match inst.flow {
+        Flow::Seq => (CandFlow::Seq, NO_TARGET, false),
+        Flow::Ret => (CandFlow::Ret, NO_TARGET, false),
+        Flow::Term => (CandFlow::Term, NO_TARGET, false),
+        Flow::JmpInd => (CandFlow::JmpInd, NO_TARGET, false),
+        Flow::CallInd => (CandFlow::CallInd, NO_TARGET, false),
+        Flow::JmpRel(r) => resolve(off, inst.len, r, section_len, CandFlow::Jmp),
+        Flow::CondRel(r) => resolve(off, inst.len, r, section_len, CandFlow::Cond),
+        Flow::CallRel(r) => resolve(off, inst.len, r, section_len, CandFlow::Call),
+    };
+    Candidate {
+        len: inst.len,
+        opclass: inst.opclass(),
+        flow,
+        target,
+        target_escapes: escapes,
+        suspicious: inst.mnemonic.is_suspicious(),
+        padding: inst.is_padding(),
+    }
+}
+
+fn resolve(
+    off: usize,
+    len: u8,
+    rel: i32,
+    section_len: usize,
+    flow: CandFlow,
+) -> (CandFlow, u32, bool) {
+    let tgt = off as i64 + len as i64 + rel as i64;
+    if tgt >= 0 && (tgt as usize) < section_len {
+        (flow, tgt as u32, false)
+    } else {
+        (flow, NO_TARGET, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_at_every_offset() {
+        // mov rbp,rsp ; ret — offsets 1 and 2 decode to *something else*
+        let text = vec![0x48, 0x89, 0xe5, 0xc3];
+        let ss = Superset::build(&text);
+        assert_eq!(ss.len(), 4);
+        assert!(ss.at(0).is_valid());
+        assert_eq!(ss.at(0).len, 3);
+        // offset 1: 89 e5 = mov ebp, esp (valid overlap)
+        assert!(ss.at(1).is_valid());
+        assert_eq!(ss.at(1).len, 2);
+        assert_eq!(ss.at(3).flow, CandFlow::Ret);
+    }
+
+    #[test]
+    fn branch_targets_resolved_to_offsets() {
+        // jmp +2 ; nop ; nop ; ret
+        let text = vec![0xeb, 0x02, 0x90, 0x90, 0xc3];
+        let ss = Superset::build(&text);
+        assert_eq!(ss.at(0).flow, CandFlow::Jmp);
+        assert_eq!(ss.at(0).target, 4);
+    }
+
+    #[test]
+    fn escaping_branch_flagged() {
+        let text = vec![0xeb, 0x7f]; // jmp +127 — exits the 2-byte section
+        let ss = Superset::build(&text);
+        assert!(ss.at(0).target_escapes);
+        assert_eq!(ss.at(0).target, NO_TARGET);
+    }
+
+    #[test]
+    fn invalid_offsets_are_invalid() {
+        let text = vec![0x06, 0x07]; // both invalid in 64-bit mode
+        let ss = Superset::build(&text);
+        assert!(!ss.at(0).is_valid());
+        assert!(!ss.at(1).is_valid());
+    }
+
+    #[test]
+    fn fallthrough_and_chain() {
+        // nop; nop; ret
+        let text = vec![0x90, 0x90, 0xc3];
+        let ss = Superset::build(&text);
+        assert_eq!(ss.fallthrough(0), Some(1));
+        assert_eq!(ss.fallthrough(2), None); // ret
+        assert_eq!(ss.chain(0, 10), vec![0, 1, 2]);
+        assert_eq!(ss.chain(0, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn truncated_tail_is_invalid() {
+        // e8 = call rel32 but only 3 bytes follow
+        let text = vec![0xe8, 0x00, 0x00, 0x00];
+        let ss = Superset::build(&text);
+        assert!(!ss.at(0).is_valid());
+    }
+
+    #[test]
+    fn padding_and_suspicious_flags() {
+        let text = vec![0x90, 0xf4, 0xc3]; // nop, hlt, ret
+        let ss = Superset::build(&text);
+        assert!(ss.at(0).padding);
+        assert!(ss.at(1).suspicious);
+        assert!(!ss.at(2).suspicious);
+    }
+}

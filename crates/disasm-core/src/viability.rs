@@ -1,0 +1,251 @@
+//! Behavioral viability analysis: the invalid-fall-through closure.
+//!
+//! Real code cannot execute into invalid bytes. A superset candidate is
+//! *viable* only if every successor that execution is forced to reach is
+//! itself viable:
+//!
+//! * sequential instructions, conditional jumps, and calls must have a viable
+//!   fall-through successor inside the section;
+//! * direct jumps, conditional jumps and direct calls must have a viable,
+//!   in-section target (a direct branch that escapes the only text section of
+//!   a stripped executable is treated as behavioral evidence of data).
+//!
+//! The closure is computed as a backward worklist fixpoint over the superset
+//! table and is the single most effective data-flagging device: on random
+//! data, decode chains almost surely run into an invalid encoding within a
+//! few steps, killing the whole chain.
+
+use crate::superset::{CandFlow, Superset, NO_TARGET};
+
+/// Result of the viability closure.
+#[derive(Debug, Clone)]
+pub struct Viability {
+    viable: Vec<bool>,
+    eliminated: usize,
+}
+
+impl Viability {
+    /// `true` if the candidate at `off` survived the closure.
+    pub fn is_viable(&self, off: u32) -> bool {
+        self.viable.get(off as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of *valid-decoding* candidates eliminated by the closure.
+    pub fn eliminated(&self) -> usize {
+        self.eliminated
+    }
+
+    /// Borrow the raw table.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.viable
+    }
+
+    /// A trivial table treating every valid candidate as viable (used by
+    /// the ablation that disables the behavioral analysis).
+    pub fn trivial(ss: &Superset) -> Viability {
+        Viability {
+            viable: (0..ss.len() as u32).map(|i| ss.at(i).is_valid()).collect(),
+            eliminated: 0,
+        }
+    }
+
+    /// Compute the closure over a superset table.
+    pub fn compute(ss: &Superset) -> Viability {
+        let n = ss.len();
+        let mut viable: Vec<bool> = (0..n as u32).map(|i| ss.at(i).is_valid()).collect();
+
+        // Required successors per candidate (at most two).
+        let required = |off: u32| -> ([u32; 2], usize) {
+            let c = ss.at(off);
+            let mut out = [0u32; 2];
+            let mut k = 0;
+            match c.flow {
+                CandFlow::Seq | CandFlow::Cond | CandFlow::Call | CandFlow::CallInd => {
+                    match ss.fallthrough(off) {
+                        Some(next) => {
+                            out[k] = next;
+                            k += 1;
+                        }
+                        // falls off the end of the section: unsatisfiable —
+                        // signalled with an always-dead pseudo-successor
+                        None => return ([u32::MAX, 0], usize::MAX),
+                    }
+                }
+                _ => {}
+            }
+            match c.flow {
+                CandFlow::Jmp | CandFlow::Cond | CandFlow::Call => {
+                    if c.target != NO_TARGET {
+                        out[k] = c.target;
+                        k += 1;
+                    } else {
+                        // direct branch escaping the section
+                        return ([u32::MAX, 0], usize::MAX);
+                    }
+                }
+                _ => {}
+            }
+            (out, k)
+        };
+
+        // Reverse adjacency (CSR): which candidates require offset j?
+        let mut deg = vec![0u32; n + 1];
+        for (off, _) in ss.valid() {
+            let (succs, k) = required(off);
+            if k == usize::MAX {
+                continue;
+            }
+            for &s in &succs[..k] {
+                deg[s as usize] += 1;
+            }
+        }
+        let mut starts = vec![0u32; n + 1];
+        let mut acc = 0u32;
+        for i in 0..=n {
+            starts[i] = acc;
+            acc += deg.get(i).copied().unwrap_or(0);
+        }
+        let mut rev = vec![0u32; acc as usize];
+        let mut cursor = starts.clone();
+        for (off, _) in ss.valid() {
+            let (succs, k) = required(off);
+            if k == usize::MAX {
+                continue;
+            }
+            for &s in &succs[..k] {
+                rev[cursor[s as usize] as usize] = off;
+                cursor[s as usize] += 1;
+            }
+        }
+
+        // Seed the worklist with immediately-dead candidates.
+        let mut work: Vec<u32> = Vec::new();
+        for (off, _) in ss.valid() {
+            let (succs, k) = required(off);
+            let dead = if k == usize::MAX {
+                true
+            } else {
+                succs[..k].iter().any(|&s| !viable[s as usize])
+            };
+            if dead {
+                viable[off as usize] = false;
+                work.push(off);
+            }
+        }
+
+        // Backward propagation.
+        while let Some(dead) = work.pop() {
+            let d = dead as usize;
+            for &p in &rev[starts[d] as usize..starts[d + 1] as usize] {
+                if viable[p as usize] {
+                    viable[p as usize] = false;
+                    work.push(p);
+                }
+            }
+        }
+
+        let eliminated = (0..n as u32)
+            .filter(|&i| ss.at(i).is_valid() && !viable[i as usize])
+            .count();
+        Viability { viable, eliminated }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viability(text: &[u8]) -> Viability {
+        Viability::compute(&Superset::build(text))
+    }
+
+    #[test]
+    fn chain_into_invalid_dies() {
+        // nop; nop; 0x06 (invalid) — both nops must die, they flow into it.
+        let v = viability(&[0x90, 0x90, 0x06]);
+        assert!(!v.is_viable(0));
+        assert!(!v.is_viable(1));
+        assert!(!v.is_viable(2));
+        assert_eq!(v.eliminated(), 2);
+    }
+
+    #[test]
+    fn terminated_chain_survives() {
+        // nop; nop; ret; 0x06 — the ret terminates the chain before the junk.
+        let v = viability(&[0x90, 0x90, 0xc3, 0x06]);
+        assert!(v.is_viable(0));
+        assert!(v.is_viable(1));
+        assert!(v.is_viable(2));
+        assert!(!v.is_viable(3));
+    }
+
+    #[test]
+    fn jump_to_invalid_target_dies() {
+        // jmp +1 (lands mid-section at a valid nop) vs jmp into invalid
+        let ok = viability(&[0xeb, 0x01, 0x06, 0x90, 0xc3]);
+        // offset 0: jmp over the 0x06 to nop;ret — viable
+        assert!(ok.is_viable(0));
+        // jmp to an invalid byte: eb 00 points at 0x06
+        let bad = viability(&[0xeb, 0x00, 0x06]);
+        assert!(!bad.is_viable(0));
+    }
+
+    #[test]
+    fn escaping_branch_dies() {
+        // call rel32 with a target far outside the section
+        let mut text = vec![0xe8];
+        text.extend_from_slice(&0x1000i32.to_le_bytes());
+        text.push(0xc3);
+        let v = viability(&text);
+        assert!(!v.is_viable(0));
+        assert!(v.is_viable(5)); // the ret
+    }
+
+    #[test]
+    fn fallthrough_off_section_end_dies() {
+        // a lone nop at the very end has no successor
+        let v = viability(&[0xc3, 0x90]);
+        assert!(v.is_viable(0));
+        assert!(!v.is_viable(1));
+    }
+
+    #[test]
+    fn conditional_requires_both_edges() {
+        // je +1 over an invalid byte, then ret: fallthrough hits 0x06 → dead
+        let v = viability(&[0x74, 0x01, 0x06, 0xc3]);
+        assert!(!v.is_viable(0));
+        // je +1 over a nop to ret, fallthrough nop; ret: viable
+        let v2 = viability(&[0x74, 0x01, 0x90, 0xc3]);
+        assert!(v2.is_viable(0));
+    }
+
+    #[test]
+    fn random_data_mostly_dies() {
+        // Deterministic pseudo-random bytes: the closure should kill the
+        // overwhelming majority of valid-decoding candidates.
+        let mut x: u64 = 0x12345678;
+        let text: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let ss = Superset::build(&text);
+        let valid = ss.valid().count();
+        let v = Viability::compute(&ss);
+        let surviving = (0..text.len() as u32).filter(|&i| v.is_viable(i)).count();
+        assert!(
+            (surviving as f64) < 0.5 * valid as f64,
+            "viability should kill most of random data: {surviving}/{valid} survived"
+        );
+    }
+
+    #[test]
+    fn empty_section() {
+        let v = viability(&[]);
+        assert_eq!(v.eliminated(), 0);
+        assert!(!v.is_viable(0));
+    }
+}

@@ -1,0 +1,260 @@
+#![allow(clippy::needless_range_loop, clippy::field_reassign_with_default)]
+
+//! End-to-end pipeline tests against generated ground-truth workloads.
+//!
+//! These are the first line of evidence that the reproduction works: on
+//! realistic workloads with embedded data, the pipeline must recover almost
+//! all instructions while flagging almost all data.
+
+use bingen::{ByteLabel, GenConfig, OptProfile, Workload};
+use disasm_core::stats::{StatModel, StatModelBuilder};
+use disasm_core::{ByteClass, Config, Disassembler, Image};
+use x86_isa::OpClass;
+
+/// Train a model from generated corpora. Training seeds are offset far away
+/// from evaluation seeds so no workload is ever its own training data.
+fn train_model() -> StatModel {
+    let mut b = StatModelBuilder::new();
+    for seed in 9_000_000..9_000_006u64 {
+        let profile = OptProfile::ALL[(seed % 4) as usize];
+        let w = Workload::generate(&GenConfig::new(seed, profile, 24, 0.0));
+        add_truth_code(&mut b, &w);
+    }
+    // data corpus: the data bytes of high-density workloads + raw noise
+    for seed in 9_100_000..9_100_004u64 {
+        let w = Workload::generate(&GenConfig::new(seed, OptProfile::O1, 12, 0.35));
+        add_truth_data(&mut b, &w);
+    }
+    b.build()
+}
+
+fn add_truth_code(b: &mut StatModelBuilder, w: &Workload) {
+    let mut seq: Vec<OpClass> = Vec::new();
+    let mut expected: Option<u32> = None;
+    for &off in &w.truth.inst_starts {
+        let inst = x86_isa::decode(&w.text[off as usize..]).unwrap();
+        if expected != Some(off) && !seq.is_empty() {
+            b.add_code_sequence(&seq);
+            seq.clear();
+        }
+        seq.push(inst.opclass());
+        expected = Some(off + inst.len as u32);
+    }
+    if !seq.is_empty() {
+        b.add_code_sequence(&seq);
+    }
+}
+
+fn add_truth_data(b: &mut StatModelBuilder, w: &Workload) {
+    let mut run: Vec<u8> = Vec::new();
+    for (i, &l) in w.truth.labels.iter().enumerate() {
+        if l == ByteLabel::Data {
+            run.push(w.text[i]);
+        } else if !run.is_empty() {
+            b.add_data_bytes(&run);
+            run.clear();
+        }
+    }
+    if !run.is_empty() {
+        b.add_data_bytes(&run);
+    }
+}
+
+fn image_of(w: &Workload) -> Image {
+    let mut img = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    img.data_regions
+        .push((w.config.rodata_base, w.rodata.clone()));
+    img
+}
+
+struct Score {
+    inst_tp: usize,
+    inst_fn: usize,
+    inst_fp: usize,
+    data_bytes_as_code: usize,
+    code_bytes_as_data: usize,
+    data_total: usize,
+    code_total: usize,
+}
+
+fn score(w: &Workload, d: &disasm_core::Disassembly) -> Score {
+    let truth_starts: std::collections::BTreeSet<u32> =
+        w.truth.inst_starts.iter().copied().collect();
+    let pad_starts: std::collections::BTreeSet<u32> =
+        w.truth.pad_inst_starts.iter().copied().collect();
+    let pred: std::collections::BTreeSet<u32> = d.inst_starts.iter().copied().collect();
+    let inst_tp = truth_starts.intersection(&pred).count();
+    let inst_fn = truth_starts.difference(&pred).count();
+    // predicted starts on ground-truth padding are not errors
+    let inst_fp = pred
+        .difference(&truth_starts)
+        .filter(|o| !pad_starts.contains(o))
+        .count();
+    let mut data_bytes_as_code = 0;
+    let mut code_bytes_as_data = 0;
+    let mut data_total = 0;
+    let mut code_total = 0;
+    for (i, &l) in w.truth.labels.iter().enumerate() {
+        match l {
+            ByteLabel::Data => {
+                data_total += 1;
+                if d.byte_class[i].is_code() {
+                    data_bytes_as_code += 1;
+                }
+            }
+            ByteLabel::Code => {
+                code_total += 1;
+                if d.byte_class[i].is_data() {
+                    code_bytes_as_data += 1;
+                }
+            }
+            ByteLabel::Padding => {}
+        }
+    }
+    Score {
+        inst_tp,
+        inst_fn,
+        inst_fp,
+        data_bytes_as_code,
+        code_bytes_as_data,
+        data_total,
+        code_total,
+    }
+}
+
+#[test]
+fn high_accuracy_on_embedded_data_workloads() {
+    let model = train_model();
+    let mut cfg = Config::default();
+    cfg.model = Some(model);
+    let dis = Disassembler::new(cfg);
+
+    let mut total_tp = 0usize;
+    let mut total_fn = 0usize;
+    let mut total_fp = 0usize;
+    for seed in 100..106u64 {
+        let profile = OptProfile::ALL[(seed % 4) as usize];
+        let w = Workload::generate(&GenConfig::new(seed, profile, 30, 0.12));
+        let d = dis.disassemble(&image_of(&w));
+        let s = score(&w, &d);
+        let recall = s.inst_tp as f64 / (s.inst_tp + s.inst_fn).max(1) as f64;
+        let precision = s.inst_tp as f64 / (s.inst_tp + s.inst_fp).max(1) as f64;
+        assert!(
+            recall > 0.95,
+            "seed {seed} ({}) recall {recall:.4} (tp {} fn {})",
+            profile.name(),
+            s.inst_tp,
+            s.inst_fn
+        );
+        assert!(
+            precision > 0.95,
+            "seed {seed} ({}) precision {precision:.4} (tp {} fp {})",
+            profile.name(),
+            s.inst_tp,
+            s.inst_fp
+        );
+        // byte-level: most data recognized as data, most code as code
+        assert!(
+            (s.data_bytes_as_code as f64) < 0.15 * s.data_total.max(1) as f64,
+            "seed {seed}: {}/{} data bytes leaked into code",
+            s.data_bytes_as_code,
+            s.data_total
+        );
+        assert!(
+            (s.code_bytes_as_data as f64) < 0.05 * s.code_total.max(1) as f64,
+            "seed {seed}: {}/{} code bytes classified data",
+            s.code_bytes_as_data,
+            s.code_total
+        );
+        total_tp += s.inst_tp;
+        total_fn += s.inst_fn;
+        total_fp += s.inst_fp;
+    }
+    let f1 = 2.0 * total_tp as f64 / (2.0 * total_tp as f64 + (total_fn + total_fp) as f64);
+    assert!(f1 > 0.97, "aggregate F1 {f1:.4}");
+}
+
+#[test]
+fn jump_tables_found_in_workloads() {
+    let model = train_model();
+    let mut cfg = Config::default();
+    cfg.model = Some(model);
+    let dis = Disassembler::new(cfg);
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for seed in 300..305u64 {
+        let w = Workload::generate(&GenConfig::new(seed, OptProfile::O1, 30, 0.10));
+        let d = dis.disassemble(&image_of(&w));
+        total += w.truth.jump_tables.len();
+        for jt in &w.truth.jump_tables {
+            let hit = d.jump_tables.iter().any(|t| {
+                let place = if jt.in_rodata {
+                    !t.in_text && t.table_va == w.config.rodata_base + jt.table_off as u64
+                } else {
+                    t.in_text && t.table_off == jt.table_off
+                };
+                place && t.entries() >= jt.entries.min(2)
+            });
+            if hit {
+                found += 1;
+            }
+        }
+    }
+    assert!(total > 0, "no jump tables generated");
+    assert!(
+        found as f64 >= 0.9 * total as f64,
+        "found {found}/{total} jump tables"
+    );
+}
+
+#[test]
+fn self_training_fallback_works_on_large_binary() {
+    // Without a supplied model, the pipeline self-trains from the anchor
+    // closure; on a large enough binary it should still be accurate.
+    let w = Workload::generate(&GenConfig::new(42, OptProfile::O1, 60, 0.10));
+    let d = Disassembler::new(Config::default()).disassemble(&image_of(&w));
+    let s = score(&w, &d);
+    let recall = s.inst_tp as f64 / (s.inst_tp + s.inst_fn).max(1) as f64;
+    let precision = s.inst_tp as f64 / (s.inst_tp + s.inst_fp).max(1) as f64;
+    assert!(recall > 0.90, "self-train recall {recall:.4}");
+    assert!(precision > 0.90, "self-train precision {precision:.4}");
+}
+
+#[test]
+fn function_starts_recovered() {
+    let model = train_model();
+    let mut cfg = Config::default();
+    cfg.model = Some(model);
+    let dis = Disassembler::new(cfg);
+    let w = Workload::generate(&GenConfig::new(500, OptProfile::O2, 30, 0.10));
+    let d = dis.disassemble(&image_of(&w));
+    let truth: std::collections::BTreeSet<u32> = w.truth.func_starts.iter().copied().collect();
+    let pred: std::collections::BTreeSet<u32> = d.func_starts.iter().copied().collect();
+    let hit = truth.intersection(&pred).count();
+    // only called/address-taken functions are discoverable without symbols;
+    // most generated functions are referenced somewhere
+    assert!(
+        hit as f64 > 0.6 * truth.len() as f64,
+        "recovered {hit}/{} function starts",
+        truth.len()
+    );
+}
+
+#[test]
+fn zero_data_workload_is_all_code() {
+    let model = train_model();
+    let mut cfg = Config::default();
+    cfg.model = Some(model);
+    let mut gen_cfg = GenConfig::new(7, OptProfile::O0, 20, 0.0);
+    gen_cfg.jump_tables = false;
+    let w = Workload::generate(&gen_cfg);
+    let d = Disassembler::new(cfg).disassemble(&image_of(&w));
+    let s = score(&w, &d);
+    let recall = s.inst_tp as f64 / (s.inst_tp + s.inst_fn).max(1) as f64;
+    assert!(recall > 0.98, "recall {recall:.4}");
+    assert!(
+        d.count(ByteClass::Data) < w.text.len() / 50,
+        "{} spurious data bytes",
+        d.count(ByteClass::Data)
+    );
+}

@@ -1,0 +1,186 @@
+#![allow(clippy::needless_range_loop, clippy::field_reassign_with_default)]
+
+//! Property tests of pipeline invariants.
+//!
+//! Whatever bytes go in — structured workloads, random noise, corrupted
+//! binaries — the disassembler must terminate and produce a structurally
+//! sound result.
+
+use disasm_core::{ByteClass, Config, Disassembler, Image};
+use proptest::prelude::*;
+
+fn check_wellformed(text: &[u8], d: &disasm_core::Disassembly) -> Result<(), TestCaseError> {
+    prop_assert_eq!(d.byte_class.len(), text.len());
+
+    // instruction starts sorted, unique, decodable, and consistent with the
+    // per-byte classes
+    let mut sorted = d.inst_starts.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    prop_assert_eq!(&sorted, &d.inst_starts, "starts not sorted/unique");
+    let start_set: std::collections::BTreeSet<u32> = d.inst_starts.iter().copied().collect();
+
+    let mut covered = vec![false; text.len()];
+    for (i, &bc) in d.byte_class.iter().enumerate() {
+        match bc {
+            ByteClass::InstStart => {
+                prop_assert!(
+                    start_set.contains(&(i as u32)),
+                    "InstStart byte {} missing from starts",
+                    i
+                );
+                let inst = x86_isa::decode(&text[i..])
+                    .map_err(|e| TestCaseError::fail(format!("accepted undecodable {i}: {e}")))?;
+                for b in i..i + inst.len as usize {
+                    prop_assert!(!covered[b], "byte {} covered twice", b);
+                    covered[b] = true;
+                    prop_assert!(
+                        matches!(d.byte_class[b], ByteClass::InstStart | ByteClass::InstBody),
+                        "instruction at {} covers non-code byte {} ({:?})",
+                        i,
+                        b,
+                        d.byte_class[b]
+                    );
+                    if b > i {
+                        prop_assert_eq!(
+                            d.byte_class[b],
+                            ByteClass::InstBody,
+                            "interior byte {} of inst {} not InstBody",
+                            b,
+                            i
+                        );
+                    }
+                }
+            }
+            ByteClass::InstBody => {}
+            ByteClass::Data | ByteClass::Padding => {}
+        }
+    }
+    // every InstBody byte must be covered by exactly one accepted instruction
+    for (i, &bc) in d.byte_class.iter().enumerate() {
+        if bc == ByteClass::InstBody {
+            prop_assert!(covered[i], "orphan InstBody byte {}", i);
+        }
+        if bc == ByteClass::InstStart {
+            prop_assert!(covered[i]);
+        }
+    }
+    // function starts point at accepted instructions
+    for &f in &d.func_starts {
+        prop_assert!(
+            start_set.contains(&f),
+            "function start {} is not an accepted instruction",
+            f
+        );
+    }
+    // jump tables: extents classified as data, unless a stronger hint
+    // (anchor-reachable code) claimed the bytes — in which case they must
+    // belong to accepted instructions, never float as padding
+    for t in &d.jump_tables {
+        for b in t.table_off..t.table_off + t.byte_len() {
+            if (b as usize) < text.len() {
+                prop_assert!(
+                    matches!(
+                        d.byte_class[b as usize],
+                        ByteClass::Data | ByteClass::InstStart | ByteClass::InstBody
+                    ),
+                    "table byte {} is {:?}",
+                    b,
+                    d.byte_class[b as usize]
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes: never panic, always well-formed.
+    #[test]
+    fn random_bytes_produce_wellformed_output(
+        text in proptest::collection::vec(any::<u8>(), 0..2048)
+    ) {
+        let image = Image::new(0x1000, text.clone());
+        let d = Disassembler::new(Config::default()).disassemble(&image);
+        check_wellformed(&text, &d)?;
+    }
+
+    /// Structured workloads under every ablation combination.
+    #[test]
+    fn workloads_under_all_ablations(
+        seed in 0u64..5000,
+        viability in any::<bool>(),
+        tables in any::<bool>(),
+        addr in any::<bool>(),
+        stats in any::<bool>(),
+        prioritized in any::<bool>(),
+        stats_first in any::<bool>(),
+    ) {
+        let w = bingen::Workload::generate(&bingen::GenConfig::new(
+            seed,
+            bingen::OptProfile::ALL[(seed % 4) as usize],
+            6,
+            0.15,
+        ));
+        let cfg = Config {
+            enable_viability: viability,
+            enable_jump_tables: tables,
+            enable_address_taken: addr,
+            enable_stats: stats,
+            prioritized,
+            stats_first,
+            ..Config::default()
+        };
+        let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+        let d = Disassembler::new(cfg).disassemble(&image);
+        check_wellformed(&w.text, &d)?;
+        // the entry point must always be accepted (it is ground truth)
+        prop_assert!(d.is_inst_start(w.entry_off));
+    }
+
+    /// Corruption injection: flipping bytes inside ground-truth data regions
+    /// never breaks well-formedness (and never panics).
+    #[test]
+    fn corrupted_data_regions_are_safe(seed in 0u64..2000, flips in 1usize..32) {
+        let w = bingen::Workload::generate(&bingen::GenConfig::new(
+            seed, bingen::OptProfile::O1, 8, 0.2,
+        ));
+        let mut text = w.text.clone();
+        let data_offsets: Vec<usize> = w
+            .truth
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == bingen::ByteLabel::Data)
+            .map(|(i, _)| i)
+            .collect();
+        if data_offsets.is_empty() {
+            return Ok(());
+        }
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for _ in 0..flips {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = data_offsets[(x as usize >> 16) % data_offsets.len()];
+            text[idx] = (x >> 40) as u8;
+        }
+        let image = Image::new(w.text_base(), text.clone()).with_entry(w.entry_off);
+        let d = Disassembler::new(Config::default()).disassemble(&image);
+        check_wellformed(&text, &d)?;
+    }
+
+    /// Truncation injection: any prefix of a real workload disassembles to a
+    /// well-formed result.
+    #[test]
+    fn truncated_images_are_safe(seed in 0u64..2000, keep_permille in 1u32..1000) {
+        let w = bingen::Workload::generate(&bingen::GenConfig::new(
+            seed, bingen::OptProfile::O2, 6, 0.1,
+        ));
+        let keep = (w.text.len() as u64 * keep_permille as u64 / 1000) as usize;
+        let text = w.text[..keep.max(1)].to_vec();
+        let image = Image::new(w.text_base(), text.clone()).with_entry(0);
+        let d = Disassembler::new(Config::default()).disassemble(&image);
+        check_wellformed(&text, &d)?;
+    }
+}

@@ -1,0 +1,198 @@
+//! Evaluation corpora: named, reproducible sets of generated workloads.
+//!
+//! Seed discipline: evaluation corpora use seeds below 1,000,000; the
+//! standard training corpus ([`crate::model`]) uses seeds at 9,000,000+, so
+//! no binary is ever scored against a model trained on itself.
+
+use bingen::{GenConfig, OptProfile, Workload};
+
+/// Specification of a corpus of generated workloads.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// First seed; workload *i* uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Number of workloads.
+    pub count: usize,
+    /// Profiles cycled across workloads.
+    pub profiles: Vec<OptProfile>,
+    /// Functions per workload.
+    pub functions: usize,
+    /// Embedded-data density.
+    pub data_density: f64,
+    /// Generate jump tables.
+    pub jump_tables: bool,
+    /// Anti-disassembly junk (table 7).
+    pub adversarial: bool,
+}
+
+impl CorpusSpec {
+    /// The default mixed evaluation corpus (all four profiles, 10%
+    /// embedded data) used by the headline accuracy tables.
+    pub fn standard() -> CorpusSpec {
+        CorpusSpec {
+            base_seed: 1000,
+            count: 12,
+            profiles: OptProfile::ALL.to_vec(),
+            functions: 40,
+            data_density: 0.10,
+            jump_tables: true,
+            adversarial: false,
+        }
+    }
+
+    /// A corpus at a specific embedded-data density (figure 1 sweep).
+    pub fn with_density(density: f64) -> CorpusSpec {
+        CorpusSpec {
+            base_seed: 2000 + (density * 1000.0) as u64,
+            count: 6,
+            profiles: OptProfile::ALL.to_vec(),
+            functions: 30,
+            data_density: density,
+            jump_tables: true,
+            adversarial: false,
+        }
+    }
+
+    /// A corpus with roughly the requested text size (figure 2 sweep);
+    /// a generated function averages ~400 bytes including its share of
+    /// embedded data and padding.
+    pub fn with_size(approx_text_bytes: usize) -> CorpusSpec {
+        CorpusSpec {
+            base_seed: 3000 + approx_text_bytes as u64 % 997,
+            count: 3,
+            profiles: vec![OptProfile::O1, OptProfile::O2],
+            functions: (approx_text_bytes / 400).max(2),
+            data_density: 0.10,
+            jump_tables: true,
+            adversarial: false,
+        }
+    }
+
+    /// A corpus that stresses jump-table detection (table 5).
+    pub fn jump_table_heavy() -> CorpusSpec {
+        CorpusSpec {
+            base_seed: 4000,
+            count: 8,
+            profiles: vec![OptProfile::O1, OptProfile::O2, OptProfile::O3],
+            functions: 50,
+            data_density: 0.08,
+            jump_tables: true,
+            adversarial: false,
+        }
+    }
+
+    /// A corpus laced with anti-disassembly junk (table 7).
+    pub fn adversarial() -> CorpusSpec {
+        CorpusSpec {
+            base_seed: 5000,
+            count: 8,
+            profiles: OptProfile::ALL.to_vec(),
+            functions: 30,
+            data_density: 0.08,
+            jump_tables: true,
+            adversarial: true,
+        }
+    }
+
+    /// Generate the workloads.
+    pub fn generate(&self) -> Corpus {
+        let workloads = (0..self.count)
+            .map(|i| {
+                let profile = self.profiles[i % self.profiles.len()];
+                let mut cfg = GenConfig::new(
+                    self.base_seed + i as u64,
+                    profile,
+                    self.functions,
+                    self.data_density,
+                );
+                cfg.jump_tables = self.jump_tables;
+                cfg.adversarial = self.adversarial;
+                Workload::generate(&cfg)
+            })
+            .collect();
+        Corpus {
+            spec: self.clone(),
+            workloads,
+        }
+    }
+}
+
+/// A generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The spec that produced it.
+    pub spec: CorpusSpec,
+    /// The workloads.
+    pub workloads: Vec<Workload>,
+}
+
+impl Corpus {
+    /// Total text bytes across workloads.
+    pub fn total_text_bytes(&self) -> usize {
+        self.workloads.iter().map(|w| w.text.len()).sum()
+    }
+
+    /// Total ground-truth instructions.
+    pub fn total_instructions(&self) -> usize {
+        self.workloads
+            .iter()
+            .map(|w| w.truth.inst_starts.len())
+            .sum()
+    }
+
+    /// Total embedded-data bytes.
+    pub fn total_data_bytes(&self) -> usize {
+        self.workloads
+            .iter()
+            .map(|w| w.truth.count(bingen::ByteLabel::Data))
+            .sum()
+    }
+
+    /// Total jump tables.
+    pub fn total_jump_tables(&self) -> usize {
+        self.workloads
+            .iter()
+            .map(|w| w.truth.jump_tables.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_corpus_is_reproducible() {
+        let a = CorpusSpec::standard().generate();
+        let b = CorpusSpec::standard().generate();
+        assert_eq!(a.workloads.len(), 12);
+        assert_eq!(a.workloads[0].text, b.workloads[0].text);
+    }
+
+    #[test]
+    fn corpus_cycles_profiles() {
+        let c = CorpusSpec::standard().generate();
+        assert_eq!(c.workloads[0].config.profile, OptProfile::O0);
+        assert_eq!(c.workloads[1].config.profile, OptProfile::O1);
+        assert_eq!(c.workloads[4].config.profile, OptProfile::O0);
+    }
+
+    #[test]
+    fn size_spec_tracks_target() {
+        let c = CorpusSpec::with_size(64 * 1024).generate();
+        let avg = c.total_text_bytes() / c.workloads.len();
+        assert!(
+            avg > 32 * 1024 && avg < 128 * 1024,
+            "average text size {avg} far from 64KiB target"
+        );
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let c = CorpusSpec::with_density(0.2).generate();
+        assert!(c.total_text_bytes() > 0);
+        assert!(c.total_instructions() > 0);
+        let density = c.total_data_bytes() as f64 / c.total_text_bytes() as f64;
+        assert!((density - 0.2).abs() < 0.08, "density {density}");
+    }
+}

@@ -1,0 +1,205 @@
+//! The experiment harness: run any tool over a corpus, score and time it.
+
+use crate::corpus::Corpus;
+use crate::image_of;
+use crate::metrics::{score, WorkloadScore};
+use disasm_baselines::Baseline;
+use disasm_core::stats::StatModel;
+use disasm_core::{Config, Disassembler, Disassembly, Image};
+use std::time::{Duration, Instant};
+
+/// A disassembler under evaluation.
+#[derive(Debug, Clone)]
+pub enum Tool {
+    /// The paper's pipeline with the given configuration.
+    Ours(Config),
+    /// One of the reimplemented comparators.
+    Baseline(Baseline),
+    /// Recursive traversal seeded with ground-truth function symbols — the
+    /// metadata-assisted reference point the paper's setting forbids.
+    /// Revealingly, it still misses jump-table case blocks: metadata alone
+    /// does not solve embedded data. Only meaningful inside [`evaluate`],
+    /// which supplies the symbols.
+    SymbolOracle,
+}
+
+impl Tool {
+    /// The full default pipeline with a pre-trained model.
+    pub fn ours(model: StatModel) -> Tool {
+        Tool::Ours(Config {
+            model: Some(model),
+            ..Config::default()
+        })
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> String {
+        match self {
+            Tool::Ours(cfg) => {
+                if cfg.enable_viability
+                    && cfg.enable_jump_tables
+                    && cfg.enable_address_taken
+                    && cfg.enable_stats
+                    && cfg.prioritized
+                {
+                    "metadis (ours)".to_string()
+                } else {
+                    let mut parts = vec!["metadis"];
+                    if !cfg.enable_viability {
+                        parts.push("-viability");
+                    }
+                    if !cfg.enable_jump_tables {
+                        parts.push("-jumptables");
+                    }
+                    if !cfg.enable_address_taken {
+                        parts.push("-addrtaken");
+                    }
+                    if !cfg.enable_stats {
+                        parts.push("-stats");
+                    }
+                    if !cfg.prioritized {
+                        parts.push("-priorities");
+                    }
+                    parts.join("")
+                }
+            }
+            Tool::Baseline(b) => b.name().to_string(),
+            Tool::SymbolOracle => "symbol-assisted recursive".to_string(),
+        }
+    }
+
+    /// Run the tool on one image. The oracle falls back to plain recursive
+    /// traversal here; pass symbols via [`Tool::run_with_symbols`] or use
+    /// [`evaluate`], which supplies ground truth.
+    pub fn run(&self, image: &Image) -> Disassembly {
+        self.run_with_symbols(image, &[])
+    }
+
+    /// Run the tool; `symbols` are function-entry offsets consumed only by
+    /// [`Tool::SymbolOracle`].
+    pub fn run_with_symbols(&self, image: &Image, symbols: &[u32]) -> Disassembly {
+        match self {
+            Tool::Ours(cfg) => Disassembler::new(cfg.clone()).disassemble(image),
+            Tool::Baseline(b) => b.disassemble(image),
+            Tool::SymbolOracle => disasm_baselines::recursive::disassemble_from(image, symbols),
+        }
+    }
+}
+
+/// Aggregate result of one tool over one corpus.
+#[derive(Debug, Clone)]
+pub struct ToolReport {
+    /// Tool display name.
+    pub tool: String,
+    /// Aggregated scores across the corpus.
+    pub score: WorkloadScore,
+    /// Total wall time spent disassembling.
+    pub elapsed: Duration,
+    /// Total text bytes processed.
+    pub bytes: usize,
+    /// Per-workload scores, in corpus order.
+    pub per_workload: Vec<WorkloadScore>,
+}
+
+impl ToolReport {
+    /// Throughput in MiB/s.
+    pub fn throughput_mib_s(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.bytes as f64 / (1024.0 * 1024.0) / secs
+        }
+    }
+}
+
+/// Run `tool` over every workload of `corpus`, scoring against ground truth.
+pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
+    let mut total = WorkloadScore::default();
+    let mut per_workload = Vec::with_capacity(corpus.workloads.len());
+    let mut elapsed = Duration::ZERO;
+    let mut bytes = 0usize;
+    for w in &corpus.workloads {
+        let image = image_of(w);
+        let start = Instant::now();
+        let d = tool.run_with_symbols(&image, &w.truth.func_starts);
+        elapsed += start.elapsed();
+        bytes += w.text.len();
+        let s = score(w, &d);
+        total.add(s);
+        per_workload.push(s);
+    }
+    ToolReport {
+        tool: tool.name(),
+        score: total,
+        elapsed,
+        bytes,
+        per_workload,
+    }
+}
+
+/// The standard tool lineup of the headline tables: the baselines, the full
+/// pipeline, and the symbol oracle as an upper-bound reference.
+pub fn standard_lineup(model: StatModel) -> Vec<Tool> {
+    vec![
+        Tool::Baseline(Baseline::LinearSweep),
+        Tool::Baseline(Baseline::Recursive),
+        Tool::Baseline(Baseline::RecursiveScan),
+        Tool::Baseline(Baseline::Probabilistic),
+        Tool::ours(model),
+        Tool::SymbolOracle,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use crate::model::train_standard_model;
+
+    fn tiny_corpus() -> Corpus {
+        let mut spec = CorpusSpec::standard();
+        spec.count = 2;
+        spec.functions = 15;
+        spec.generate()
+    }
+
+    #[test]
+    fn ours_beats_every_baseline_on_errors() {
+        let corpus = tiny_corpus();
+        let model = train_standard_model(4);
+        let ours = evaluate(&Tool::ours(model), &corpus);
+        for b in Baseline::ALL {
+            let r = evaluate(&Tool::Baseline(b), &corpus);
+            assert!(
+                ours.score.inst.errors() < r.score.inst.errors(),
+                "ours {} errors vs {} {} errors",
+                ours.score.inst.errors(),
+                b.name(),
+                r.score.inst.errors()
+            );
+        }
+    }
+
+    #[test]
+    fn tool_names() {
+        assert_eq!(Tool::Baseline(Baseline::LinearSweep).name(), "linear-sweep");
+        let m = train_standard_model(2);
+        assert_eq!(Tool::ours(m.clone()).name(), "metadis (ours)");
+        let ablated = Tool::Ours(Config {
+            model: Some(m),
+            enable_stats: false,
+            ..Config::default()
+        });
+        assert_eq!(ablated.name(), "metadis-stats");
+    }
+
+    #[test]
+    fn report_throughput_positive() {
+        let corpus = tiny_corpus();
+        let r = evaluate(&Tool::Baseline(Baseline::LinearSweep), &corpus);
+        assert!(r.throughput_mib_s() > 0.0);
+        assert_eq!(r.per_workload.len(), 2);
+        assert_eq!(r.bytes, corpus.total_text_bytes());
+    }
+}

@@ -1,0 +1,58 @@
+//! # disasm-eval
+//!
+//! Ground-truth metrics, corpora and the experiment harness for the
+//! reproduction. Every table and figure in `EXPERIMENTS.md` is produced by
+//! combining pieces of this crate (see `crates/bench/src/bin/*`).
+//!
+//! ## Scoring policy
+//!
+//! Padding instructions (NOPs, `int3`) are valid instructions that are never
+//! executed; disassemblers legitimately disagree about whether they are
+//! "code". Following the paper's convention, ground-truth padding is
+//! excluded from both instruction-level and byte-level scoring: a predicted
+//! instruction start on a padding instruction is not a false positive, and a
+//! missed padding instruction is not a false negative.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)] // indexed loops over parallel arrays are intentional
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod harness;
+pub mod metrics;
+pub mod model;
+pub mod table;
+
+pub use corpus::{Corpus, CorpusSpec};
+pub use harness::{Tool, ToolReport};
+pub use metrics::{ByteMetrics, InstMetrics, SetMetrics, WorkloadScore};
+pub use model::train_standard_model;
+
+use bingen::Workload;
+use disasm_core::Image;
+
+/// Build the analysis [`Image`] for a generated workload (text + rodata,
+/// entry point set — never the ground truth).
+pub fn image_of(w: &Workload) -> Image {
+    let mut img = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    if !w.rodata.is_empty() {
+        img.data_regions
+            .push((w.config.rodata_base, w.rodata.clone()));
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bingen::GenConfig;
+
+    #[test]
+    fn image_of_strips_ground_truth() {
+        let w = Workload::generate(&GenConfig::small(1));
+        let img = image_of(&w);
+        assert_eq!(img.text, w.text);
+        assert_eq!(img.entry, Some(w.entry_off));
+        assert_eq!(img.data_regions.len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Ground-truth comparison metrics.
+
+use bingen::{ByteLabel, Workload};
+use disasm_core::Disassembly;
+use std::collections::BTreeSet;
+
+/// Precision/recall counts over a set-valued prediction (instruction starts,
+/// function starts, jump tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetMetrics {
+    /// Predicted and true.
+    pub tp: usize,
+    /// True but missed.
+    pub fn_: usize,
+    /// Predicted but false.
+    pub fp: usize,
+}
+
+impl SetMetrics {
+    /// Compare a predicted set against a truth set, ignoring `ignore`.
+    pub fn compare(truth: &BTreeSet<u32>, pred: &BTreeSet<u32>, ignore: &BTreeSet<u32>) -> Self {
+        let tp = truth.intersection(pred).count();
+        let fn_ = truth.difference(pred).count();
+        let fp = pred
+            .difference(truth)
+            .filter(|o| !ignore.contains(o))
+            .count();
+        SetMetrics { tp, fn_, fp }
+    }
+
+    /// Precision = tp / (tp + fp); 1.0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = tp / (tp + fn); 1.0 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let d = 2 * self.tp + self.fp + self.fn_;
+        if d == 0 {
+            1.0
+        } else {
+            2.0 * self.tp as f64 / d as f64
+        }
+    }
+
+    /// Total errors (the paper's headline count): misses plus spurious.
+    pub fn errors(&self) -> usize {
+        self.fn_ + self.fp
+    }
+
+    /// Accumulate another measurement.
+    pub fn add(&mut self, other: SetMetrics) {
+        self.tp += other.tp;
+        self.fn_ += other.fn_;
+        self.fp += other.fp;
+    }
+}
+
+/// Alias making intent explicit at use sites.
+pub type InstMetrics = SetMetrics;
+
+/// Byte-level confusion counts (truth-padding bytes excluded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteMetrics {
+    /// Ground-truth code bytes predicted code.
+    pub code_ok: usize,
+    /// Ground-truth code bytes predicted data.
+    pub code_as_data: usize,
+    /// Ground-truth data bytes predicted data.
+    pub data_ok: usize,
+    /// Ground-truth data bytes predicted code.
+    pub data_as_code: usize,
+}
+
+impl ByteMetrics {
+    /// Fraction of scored bytes classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.code_ok + self.code_as_data + self.data_ok + self.data_as_code;
+        if total == 0 {
+            1.0
+        } else {
+            (self.code_ok + self.data_ok) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of true data bytes that leaked into code.
+    pub fn data_leak_rate(&self) -> f64 {
+        let d = self.data_ok + self.data_as_code;
+        if d == 0 {
+            0.0
+        } else {
+            self.data_as_code as f64 / d as f64
+        }
+    }
+
+    /// Fraction of true code bytes lost to data.
+    pub fn code_loss_rate(&self) -> f64 {
+        let c = self.code_ok + self.code_as_data;
+        if c == 0 {
+            0.0
+        } else {
+            self.code_as_data as f64 / c as f64
+        }
+    }
+
+    /// Accumulate another measurement.
+    pub fn add(&mut self, other: ByteMetrics) {
+        self.code_ok += other.code_ok;
+        self.code_as_data += other.code_as_data;
+        self.data_ok += other.data_ok;
+        self.data_as_code += other.data_as_code;
+    }
+}
+
+/// All scores of one tool run on one workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkloadScore {
+    /// Instruction-start detection.
+    pub inst: InstMetrics,
+    /// Byte-level code/data classification.
+    pub bytes: ByteMetrics,
+    /// Function-start identification.
+    pub funcs: SetMetrics,
+    /// Jump-table detection (a truth table counts as found if a detected
+    /// table starts at the same offset with ≥ half its entries).
+    pub tables: SetMetrics,
+}
+
+impl WorkloadScore {
+    /// Accumulate another workload's scores.
+    pub fn add(&mut self, other: WorkloadScore) {
+        self.inst.add(other.inst);
+        self.bytes.add(other.bytes);
+        self.funcs.add(other.funcs);
+        self.tables.add(other.tables);
+    }
+}
+
+/// Score a disassembly against a workload's ground truth.
+pub fn score(w: &Workload, d: &Disassembly) -> WorkloadScore {
+    let truth_starts: BTreeSet<u32> = w.truth.inst_starts.iter().copied().collect();
+    let pad_starts: BTreeSet<u32> = w.truth.pad_inst_starts.iter().copied().collect();
+    let pred_starts: BTreeSet<u32> = d.inst_starts.iter().copied().collect();
+    let inst = SetMetrics::compare(&truth_starts, &pred_starts, &pad_starts);
+
+    let mut bytes = ByteMetrics::default();
+    for (i, &label) in w.truth.labels.iter().enumerate() {
+        let pred_code = d.byte_class[i].is_code();
+        match label {
+            ByteLabel::Code => {
+                if pred_code {
+                    bytes.code_ok += 1;
+                } else {
+                    bytes.code_as_data += 1;
+                }
+            }
+            ByteLabel::Data => {
+                if pred_code {
+                    bytes.data_as_code += 1;
+                } else {
+                    bytes.data_ok += 1;
+                }
+            }
+            ByteLabel::Padding => {}
+        }
+    }
+
+    let truth_funcs: BTreeSet<u32> = w.truth.func_starts.iter().copied().collect();
+    let pred_funcs: BTreeSet<u32> = d.func_starts.iter().copied().collect();
+    let funcs = SetMetrics::compare(&truth_funcs, &pred_funcs, &BTreeSet::new());
+
+    let mut tables = SetMetrics::default();
+    let pred_tables: Vec<_> = d.jump_tables.iter().collect();
+    let mut matched_pred = vec![false; pred_tables.len()];
+    for jt in &w.truth.jump_tables {
+        let hit = pred_tables.iter().enumerate().find(|(_, t)| {
+            let place_matches = if jt.in_rodata {
+                !t.in_text && t.table_va == w.config.rodata_base + jt.table_off as u64
+            } else {
+                t.in_text && t.table_off == jt.table_off
+            };
+            place_matches && t.entries() * 2 >= jt.entries
+        });
+        match hit {
+            Some((i, _)) => {
+                tables.tp += 1;
+                matched_pred[i] = true;
+            }
+            None => tables.fn_ += 1,
+        }
+    }
+    tables.fp = matched_pred.iter().filter(|&&m| !m).count();
+
+    WorkloadScore {
+        inst,
+        bytes,
+        funcs,
+        tables,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_metrics_math() {
+        let truth: BTreeSet<u32> = [1, 2, 3, 4].into_iter().collect();
+        let pred: BTreeSet<u32> = [2, 3, 4, 5, 6].into_iter().collect();
+        let ignore: BTreeSet<u32> = [6].into_iter().collect();
+        let m = SetMetrics::compare(&truth, &pred, &ignore);
+        assert_eq!(m.tp, 3);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.fp, 1); // 5 counts, 6 ignored
+        assert!((m.precision() - 0.75).abs() < 1e-9);
+        assert!((m.recall() - 0.75).abs() < 1e-9);
+        assert_eq!(m.errors(), 2);
+    }
+
+    #[test]
+    fn empty_sets_score_perfect() {
+        let e = BTreeSet::new();
+        let m = SetMetrics::compare(&e, &e, &e);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn byte_metrics_rates() {
+        let b = ByteMetrics {
+            code_ok: 90,
+            code_as_data: 10,
+            data_ok: 45,
+            data_as_code: 5,
+        };
+        assert!((b.accuracy() - 0.9).abs() < 1e-9);
+        assert!((b.data_leak_rate() - 0.1).abs() < 1e-9);
+        assert!((b.code_loss_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_perfect() {
+        let w = bingen::Workload::generate(&bingen::GenConfig::small(3));
+        // fabricate a perfect disassembly from ground truth
+        let mut byte_class = Vec::new();
+        for &l in &w.truth.labels {
+            byte_class.push(match l {
+                ByteLabel::Code => disasm_core::ByteClass::InstBody,
+                ByteLabel::Data => disasm_core::ByteClass::Data,
+                ByteLabel::Padding => disasm_core::ByteClass::Padding,
+            });
+        }
+        for &s in &w.truth.inst_starts {
+            byte_class[s as usize] = disasm_core::ByteClass::InstStart;
+        }
+        let d = Disassembly {
+            byte_class,
+            inst_starts: w.truth.inst_starts.clone(),
+            func_starts: w.truth.func_starts.clone(),
+            jump_tables: Vec::new(),
+            corrections: Vec::new(),
+            decisions_by_priority: [0; disasm_core::Priority::COUNT],
+        };
+        let s = score(&w, &d);
+        assert_eq!(s.inst.errors(), 0);
+        assert_eq!(s.bytes.code_as_data, 0);
+        assert_eq!(s.bytes.data_as_code, 0);
+        assert_eq!(s.funcs.errors(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal aligned-column text tables for the experiment binaries.
+//!
+//! The bench binaries print the same rows the paper's tables report; this
+//! keeps that output readable without pulling in a formatting dependency.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV (for plotting pipelines). Cells containing commas or
+    /// quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let render = |out: &mut String, row: &[String]| {
+            let cells: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        };
+        render(&mut out, &self.header);
+        for r in &self.rows {
+            render(&mut out, r);
+        }
+        out
+    }
+
+    /// Render with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for i in 0..cols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == cols {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}  ", w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Format a float with 4 decimal places (metric convention of the tables).
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with 2 decimal places.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["tool", "P", "R"]);
+        t.row(["linear-sweep", "0.81", "0.99"]);
+        t.row(["ours", "0.999", "0.998"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("tool"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[3].starts_with("ours"));
+        // columns aligned: 'P' column position identical in all rows
+        let p_pos = lines[0].find('P').unwrap();
+        assert_eq!(&lines[2][p_pos..p_pos + 4], "0.81");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1", "x,y"]);
+        t.row(["2", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n2,\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(pct(0.123), "12.30%");
+    }
+}

@@ -1,0 +1,742 @@
+//! # elfobj
+//!
+//! A minimal, dependency-free ELF64 reader and writer.
+//!
+//! The `metadis` pipeline analyzes *stripped* executables: the only trusted
+//! inputs are the program headers, section boundaries (when present) and the
+//! entry point — exactly what this crate models. There is deliberately no
+//! support for relocations, dynamic linking or DWARF: the paper's premise is
+//! that such metadata is absent.
+//!
+//! ```
+//! use elfobj::{Elf, Section, SectionKind};
+//!
+//! let mut elf = Elf::new(0x401000);
+//! elf.push_section(Section::progbits(".text", 0x401000, vec![0xc3], true));
+//! let bytes = elf.to_bytes();
+//! let parsed = Elf::parse(&bytes).unwrap();
+//! assert_eq!(parsed.entry, 0x401000);
+//! assert_eq!(parsed.section_by_name(".text").unwrap().data, vec![0xc3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// ELF file magic.
+pub const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+/// `e_machine` value for x86-64.
+pub const EM_X86_64: u16 = 62;
+/// `e_type` for an executable.
+pub const ET_EXEC: u16 = 2;
+
+const EHDR_SIZE: usize = 64;
+const SHDR_SIZE: usize = 64;
+const PHDR_SIZE: usize = 56;
+
+/// Section type subset used by the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// SHT_NULL.
+    Null,
+    /// SHT_PROGBITS.
+    Progbits,
+    /// SHT_NOBITS (.bss).
+    Nobits,
+    /// SHT_STRTAB.
+    Strtab,
+    /// Anything else (kept verbatim).
+    Other(u32),
+}
+
+impl SectionKind {
+    fn to_u32(self) -> u32 {
+        match self {
+            SectionKind::Null => 0,
+            SectionKind::Progbits => 1,
+            SectionKind::Strtab => 3,
+            SectionKind::Nobits => 8,
+            SectionKind::Other(v) => v,
+        }
+    }
+
+    fn from_u32(v: u32) -> SectionKind {
+        match v {
+            0 => SectionKind::Null,
+            1 => SectionKind::Progbits,
+            3 => SectionKind::Strtab,
+            8 => SectionKind::Nobits,
+            other => SectionKind::Other(other),
+        }
+    }
+}
+
+/// SHF_WRITE section flag.
+pub const SHF_WRITE: u64 = 0x1;
+/// SHF_ALLOC section flag.
+pub const SHF_ALLOC: u64 = 0x2;
+/// SHF_EXECINSTR section flag.
+pub const SHF_EXECINSTR: u64 = 0x4;
+
+/// SHT_SYMTAB section type value.
+pub const SHT_SYMTAB: u32 = 2;
+/// Size of one ELF64 symbol record.
+pub const SYM_ENTSIZE: usize = 24;
+
+/// A section with its in-file data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// Section type.
+    pub kind: SectionKind,
+    /// `sh_flags`.
+    pub flags: u64,
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// Section contents (empty for `Nobits`).
+    pub data: Vec<u8>,
+    /// Alignment (`sh_addralign`).
+    pub align: u64,
+    /// `sh_link` (e.g. a symtab's string table index).
+    pub link: u32,
+    /// `sh_entsize` (record size for table sections).
+    pub entsize: u64,
+}
+
+impl Section {
+    /// A PROGBITS section; executable iff `exec`.
+    pub fn progbits(name: &str, addr: u64, data: Vec<u8>, exec: bool) -> Section {
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Progbits,
+            flags: SHF_ALLOC | if exec { SHF_EXECINSTR } else { 0 },
+            addr,
+            data,
+            align: if exec { 16 } else { 8 },
+            link: 0,
+            entsize: 0,
+        }
+    }
+
+    /// A writable data section.
+    pub fn data(name: &str, addr: u64, data: Vec<u8>) -> Section {
+        Section {
+            name: name.to_string(),
+            kind: SectionKind::Progbits,
+            flags: SHF_ALLOC | SHF_WRITE,
+            addr,
+            data,
+            align: 8,
+            link: 0,
+            entsize: 0,
+        }
+    }
+
+    /// `true` if the section is mapped executable.
+    pub fn is_exec(&self) -> bool {
+        self.flags & SHF_EXECINSTR != 0
+    }
+
+    /// The virtual address one past the last byte.
+    pub fn end_addr(&self) -> u64 {
+        self.addr + self.data.len() as u64
+    }
+
+    /// `true` if `va` falls within this section.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.addr && va < self.end_addr()
+    }
+}
+
+/// A loadable program header (segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment flags: bit 0 = X, bit 1 = W, bit 2 = R (ELF `p_flags`).
+    pub flags: u32,
+    /// Virtual address.
+    pub vaddr: u64,
+    /// Size in memory.
+    pub memsz: u64,
+    /// Offset in file (filled in by the writer).
+    pub offset: u64,
+    /// Size in file.
+    pub filesz: u64,
+}
+
+/// Errors from [`Elf::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseElfError {
+    /// Too small or bad magic.
+    NotElf,
+    /// Not a 64-bit little-endian x86-64 image.
+    UnsupportedFormat,
+    /// A header points outside the file.
+    OutOfBounds(&'static str),
+    /// Malformed string table.
+    BadStrtab,
+}
+
+impl fmt::Display for ParseElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseElfError::NotElf => f.write_str("not an ELF file"),
+            ParseElfError::UnsupportedFormat => {
+                f.write_str("unsupported ELF format (need ELF64 LE x86-64)")
+            }
+            ParseElfError::OutOfBounds(what) => write!(f, "{what} points outside the file"),
+            ParseElfError::BadStrtab => f.write_str("malformed section string table"),
+        }
+    }
+}
+
+impl std::error::Error for ParseElfError {}
+
+/// A symbol-table entry (the subset the pipeline cares about).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Virtual address.
+    pub value: u64,
+    /// Size in bytes (0 if unknown).
+    pub size: u64,
+    /// `true` for STT_FUNC symbols.
+    pub is_func: bool,
+}
+
+/// An ELF64 executable image: entry point, sections and load segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Elf {
+    /// Program entry point virtual address.
+    pub entry: u64,
+    /// Sections (excluding the NULL section and `.shstrtab`, which the
+    /// writer synthesizes).
+    pub sections: Vec<Section>,
+    /// Load segments (synthesized from sections by the writer if empty).
+    pub segments: Vec<Segment>,
+}
+
+impl Elf {
+    /// New empty executable with the given entry point.
+    pub fn new(entry: u64) -> Elf {
+        Elf {
+            entry,
+            sections: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Append a section.
+    pub fn push_section(&mut self, s: Section) {
+        self.sections.push(s);
+    }
+
+    /// Look up a section by name.
+    pub fn section_by_name(&self, name: &str) -> Option<&Section> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// All executable sections, in file order.
+    pub fn exec_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(|s| s.is_exec())
+    }
+
+    /// The section containing virtual address `va`, if any.
+    pub fn section_at(&self, va: u64) -> Option<&Section> {
+        self.sections.iter().find(|s| s.contains(va))
+    }
+
+    /// Attach a symbol table (appends `.strtab` and `.symtab` sections).
+    /// Stripped binaries — the pipeline's normal diet — simply never call
+    /// this; it exists for the symbol-oracle comparator.
+    pub fn add_symbols(&mut self, symbols: &[Symbol]) {
+        let mut strtab = vec![0u8];
+        let mut records = vec![0u8; SYM_ENTSIZE]; // null symbol
+        for s in symbols {
+            let name_off = strtab.len() as u32;
+            strtab.extend_from_slice(s.name.as_bytes());
+            strtab.push(0);
+            let mut rec = [0u8; SYM_ENTSIZE];
+            rec[0..4].copy_from_slice(&name_off.to_le_bytes());
+            rec[4] = if s.is_func { 0x12 } else { 0x11 }; // GLOBAL FUNC/OBJECT
+            rec[6..8].copy_from_slice(&1u16.to_le_bytes()); // st_shndx: first section
+            rec[8..16].copy_from_slice(&s.value.to_le_bytes());
+            rec[16..24].copy_from_slice(&s.size.to_le_bytes());
+            records.extend_from_slice(&rec);
+        }
+        let strtab_shdr_index = self.sections.len() as u32 + 2; // NULL + existing + strtab
+        self.sections.push(Section {
+            name: ".strtab".into(),
+            kind: SectionKind::Strtab,
+            flags: 0,
+            addr: 0,
+            data: strtab,
+            align: 1,
+            link: 0,
+            entsize: 0,
+        });
+        self.sections.push(Section {
+            name: ".symtab".into(),
+            kind: SectionKind::Other(SHT_SYMTAB),
+            flags: 0,
+            addr: 0,
+            data: records,
+            align: 8,
+            link: strtab_shdr_index - 1, // informational; lookup is by name
+            entsize: SYM_ENTSIZE as u64,
+        });
+    }
+
+    /// Parse the symbol table, if present. Name resolution goes through the
+    /// `.strtab` section (by name, since parsed section indices shift after
+    /// the NULL/shstrtab entries are dropped).
+    pub fn symbols(&self) -> Vec<Symbol> {
+        let Some(symtab) = self
+            .sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Other(SHT_SYMTAB))
+        else {
+            return Vec::new();
+        };
+        let strtab = self
+            .section_by_name(".strtab")
+            .map(|s| s.data.as_slice())
+            .unwrap_or(&[]);
+        let mut out = Vec::new();
+        for rec in symtab.data.chunks_exact(SYM_ENTSIZE).skip(1) {
+            let name_off = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
+            let info = rec[4];
+            let value = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+            let size = u64::from_le_bytes(rec[16..24].try_into().unwrap());
+            let name = read_cstr(strtab, name_off).unwrap_or_default();
+            out.push(Symbol {
+                name,
+                value,
+                size,
+                is_func: info & 0xf == 2,
+            });
+        }
+        out
+    }
+
+    // ----- writer -----------------------------------------------------------
+
+    /// Serialize to an ELF64 executable image.
+    ///
+    /// Layout: ehdr, phdrs, section data (8-byte aligned), shstrtab, shdrs.
+    /// If no explicit segments were supplied, one PT_LOAD per section is
+    /// synthesized with permissions derived from the section flags.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let segments: Vec<Segment> = if self.segments.is_empty() {
+            self.sections
+                .iter()
+                .filter(|s| s.flags & SHF_ALLOC != 0)
+                .map(|s| Segment {
+                    flags: 0x4 | (u32::from(s.flags & SHF_WRITE != 0) * 2) | u32::from(s.is_exec()),
+                    vaddr: s.addr,
+                    memsz: s.data.len() as u64,
+                    offset: 0, // patched below
+                    filesz: s.data.len() as u64,
+                })
+                .collect()
+        } else {
+            self.segments.clone()
+        };
+
+        let phoff = EHDR_SIZE;
+        let mut pos = phoff + segments.len() * PHDR_SIZE;
+
+        // Section data placement.
+        let mut sec_offsets = Vec::with_capacity(self.sections.len());
+        for s in &self.sections {
+            pos = (pos + 7) & !7;
+            sec_offsets.push(pos);
+            if s.kind != SectionKind::Nobits {
+                pos += s.data.len();
+            }
+        }
+
+        // shstrtab: NULL name + each section name + ".shstrtab"
+        let mut shstr = vec![0u8];
+        let mut name_offsets = Vec::with_capacity(self.sections.len());
+        for s in &self.sections {
+            name_offsets.push(shstr.len() as u32);
+            shstr.extend_from_slice(s.name.as_bytes());
+            shstr.push(0);
+        }
+        let shstrtab_name_off = shstr.len() as u32;
+        shstr.extend_from_slice(b".shstrtab\0");
+
+        pos = (pos + 7) & !7;
+        let shstr_off = pos;
+        pos += shstr.len();
+        pos = (pos + 7) & !7;
+        let shoff = pos;
+
+        let shnum = self.sections.len() + 2; // + NULL + shstrtab
+        let total = shoff + shnum * SHDR_SIZE;
+        let mut out = vec![0u8; total];
+
+        // --- ehdr
+        out[0..4].copy_from_slice(&ELF_MAGIC);
+        out[4] = 2; // ELFCLASS64
+        out[5] = 1; // ELFDATA2LSB
+        out[6] = 1; // EV_CURRENT
+        put_u16(&mut out, 16, ET_EXEC);
+        put_u16(&mut out, 18, EM_X86_64);
+        put_u32(&mut out, 20, 1);
+        put_u64(&mut out, 24, self.entry);
+        put_u64(&mut out, 32, phoff as u64);
+        put_u64(&mut out, 40, shoff as u64);
+        put_u16(&mut out, 52, EHDR_SIZE as u16);
+        put_u16(&mut out, 54, PHDR_SIZE as u16);
+        put_u16(&mut out, 56, segments.len() as u16);
+        put_u16(&mut out, 58, SHDR_SIZE as u16);
+        put_u16(&mut out, 60, shnum as u16);
+        put_u16(&mut out, 62, (shnum - 1) as u16); // shstrndx = last
+
+        // --- phdrs (offset patched to the matching section when synthesized)
+        for (i, seg) in segments.iter().enumerate() {
+            let base = phoff + i * PHDR_SIZE;
+            let offset = if self.segments.is_empty() {
+                // synthesized 1:1 with ALLOC sections, in order
+                let alloc_idx = self
+                    .sections
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.flags & SHF_ALLOC != 0)
+                    .nth(i)
+                    .map(|(idx, _)| sec_offsets[idx])
+                    .unwrap_or(0);
+                alloc_idx as u64
+            } else {
+                seg.offset
+            };
+            put_u32(&mut out, base, 1); // PT_LOAD
+            put_u32(&mut out, base + 4, seg.flags);
+            put_u64(&mut out, base + 8, offset);
+            put_u64(&mut out, base + 16, seg.vaddr);
+            put_u64(&mut out, base + 24, seg.vaddr);
+            put_u64(&mut out, base + 32, seg.filesz);
+            put_u64(&mut out, base + 40, seg.memsz);
+            put_u64(&mut out, base + 48, 0x1000);
+        }
+
+        // --- section data
+        for (s, &off) in self.sections.iter().zip(&sec_offsets) {
+            if s.kind != SectionKind::Nobits {
+                out[off..off + s.data.len()].copy_from_slice(&s.data);
+            }
+        }
+        out[shstr_off..shstr_off + shstr.len()].copy_from_slice(&shstr);
+
+        // --- shdrs: NULL first
+        for (i, (s, &off)) in self.sections.iter().zip(&sec_offsets).enumerate() {
+            let base = shoff + (i + 1) * SHDR_SIZE;
+            put_u32(&mut out, base, name_offsets[i]);
+            put_u32(&mut out, base + 4, s.kind.to_u32());
+            put_u64(&mut out, base + 8, s.flags);
+            put_u64(&mut out, base + 16, s.addr);
+            put_u64(&mut out, base + 24, off as u64);
+            put_u64(&mut out, base + 32, s.data.len() as u64);
+            put_u32(&mut out, base + 40, s.link);
+            put_u64(&mut out, base + 48, s.align);
+            put_u64(&mut out, base + 56, s.entsize);
+        }
+        // shstrtab shdr (last)
+        let base = shoff + (shnum - 1) * SHDR_SIZE;
+        put_u32(&mut out, base, shstrtab_name_off);
+        put_u32(&mut out, base + 4, SectionKind::Strtab.to_u32());
+        put_u64(&mut out, base + 24, shstr_off as u64);
+        put_u64(&mut out, base + 32, shstr.len() as u64);
+        put_u64(&mut out, base + 48, 1);
+
+        out
+    }
+
+    // ----- reader -----------------------------------------------------------
+
+    /// Parse an ELF64 little-endian x86-64 image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseElfError`] on malformed or unsupported input; never
+    /// panics on arbitrary bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Elf, ParseElfError> {
+        if bytes.len() < EHDR_SIZE || bytes[0..4] != ELF_MAGIC {
+            return Err(ParseElfError::NotElf);
+        }
+        if bytes[4] != 2 || bytes[5] != 1 {
+            return Err(ParseElfError::UnsupportedFormat);
+        }
+        if get_u16(bytes, 18) != EM_X86_64 {
+            return Err(ParseElfError::UnsupportedFormat);
+        }
+        let entry = get_u64(bytes, 24);
+        let phoff = get_u64(bytes, 32) as usize;
+        let shoff = get_u64(bytes, 40) as usize;
+        let phnum = get_u16(bytes, 56) as usize;
+        let shnum = get_u16(bytes, 60) as usize;
+        let shstrndx = get_u16(bytes, 62) as usize;
+
+        let mut segments = Vec::with_capacity(phnum);
+        for i in 0..phnum {
+            let base = phoff + i * PHDR_SIZE;
+            if base + PHDR_SIZE > bytes.len() {
+                return Err(ParseElfError::OutOfBounds("program header"));
+            }
+            if get_u32(bytes, base) != 1 {
+                continue; // only PT_LOAD
+            }
+            segments.push(Segment {
+                flags: get_u32(bytes, base + 4),
+                offset: get_u64(bytes, base + 8),
+                vaddr: get_u64(bytes, base + 16),
+                filesz: get_u64(bytes, base + 32),
+                memsz: get_u64(bytes, base + 40),
+            });
+        }
+
+        // Locate shstrtab.
+        let shstr = if shnum > 0 && shstrndx < shnum {
+            let base = shoff + shstrndx * SHDR_SIZE;
+            if base + SHDR_SIZE > bytes.len() {
+                return Err(ParseElfError::OutOfBounds("section header"));
+            }
+            let off = get_u64(bytes, base + 24) as usize;
+            let size = get_u64(bytes, base + 32) as usize;
+            if off + size > bytes.len() {
+                return Err(ParseElfError::OutOfBounds("shstrtab"));
+            }
+            &bytes[off..off + size]
+        } else {
+            &[][..]
+        };
+
+        let mut sections = Vec::new();
+        for i in 1..shnum {
+            if i == shstrndx {
+                continue;
+            }
+            let base = shoff + i * SHDR_SIZE;
+            if base + SHDR_SIZE > bytes.len() {
+                return Err(ParseElfError::OutOfBounds("section header"));
+            }
+            let name_off = get_u32(bytes, base) as usize;
+            let kind = SectionKind::from_u32(get_u32(bytes, base + 4));
+            let flags = get_u64(bytes, base + 8);
+            let addr = get_u64(bytes, base + 16);
+            let off = get_u64(bytes, base + 24) as usize;
+            let size = get_u64(bytes, base + 32) as usize;
+            let link = get_u32(bytes, base + 40);
+            let align = get_u64(bytes, base + 48);
+            let entsize = get_u64(bytes, base + 56);
+            let data = if kind == SectionKind::Nobits {
+                Vec::new()
+            } else {
+                if off.checked_add(size).is_none_or(|end| end > bytes.len()) {
+                    return Err(ParseElfError::OutOfBounds("section data"));
+                }
+                bytes[off..off + size].to_vec()
+            };
+            let name = read_cstr(shstr, name_off).ok_or(ParseElfError::BadStrtab)?;
+            sections.push(Section {
+                name,
+                kind,
+                flags,
+                addr,
+                data,
+                align,
+                link,
+                entsize,
+            });
+        }
+
+        Ok(Elf {
+            entry,
+            sections,
+            segments,
+        })
+    }
+}
+
+fn read_cstr(table: &[u8], off: usize) -> Option<String> {
+    if off > table.len() {
+        return None;
+    }
+    let rest = &table[off..];
+    let end = rest.iter().position(|&b| b == 0)?;
+    String::from_utf8(rest[..end].to_vec()).ok()
+}
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    let mut b = [0u8; 2];
+    if off + 2 <= buf.len() {
+        b.copy_from_slice(&buf[off..off + 2]);
+    }
+    u16::from_le_bytes(b)
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    let mut b = [0u8; 4];
+    if off + 4 <= buf.len() {
+        b.copy_from_slice(&buf[off..off + 4]);
+    }
+    u32::from_le_bytes(b)
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    if off + 8 <= buf.len() {
+        b.copy_from_slice(&buf[off..off + 8]);
+    }
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Elf {
+        let mut e = Elf::new(0x401000);
+        e.push_section(Section::progbits(
+            ".text",
+            0x401000,
+            vec![0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3],
+            true,
+        ));
+        e.push_section(Section::data(".data", 0x402000, vec![1, 2, 3, 4]));
+        e.push_section(Section {
+            name: ".rodata".into(),
+            kind: SectionKind::Progbits,
+            flags: SHF_ALLOC,
+            addr: 0x403000,
+            data: vec![9; 32],
+            align: 8,
+            link: 0,
+            entsize: 0,
+        });
+        e
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let bytes = e.to_bytes();
+        let p = Elf::parse(&bytes).unwrap();
+        assert_eq!(p.entry, e.entry);
+        assert_eq!(p.sections.len(), 3);
+        assert_eq!(p.section_by_name(".text").unwrap().data, e.sections[0].data);
+        assert_eq!(p.section_by_name(".data").unwrap().addr, 0x402000);
+        assert!(p.section_by_name(".text").unwrap().is_exec());
+        assert!(!p.section_by_name(".rodata").unwrap().is_exec());
+        assert_eq!(p.segments.len(), 3);
+    }
+
+    #[test]
+    fn exec_sections_filter() {
+        let e = sample();
+        let names: Vec<_> = e.exec_sections().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec![".text"]);
+    }
+
+    #[test]
+    fn section_at_lookup() {
+        let e = sample();
+        assert_eq!(e.section_at(0x401003).unwrap().name, ".text");
+        assert_eq!(e.section_at(0x402001).unwrap().name, ".data");
+        assert!(e.section_at(0x500000).is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Elf::parse(&[]), Err(ParseElfError::NotElf));
+        assert_eq!(Elf::parse(&[0u8; 100]), Err(ParseElfError::NotElf));
+        let mut bad = sample().to_bytes();
+        bad[4] = 1; // ELFCLASS32
+        assert_eq!(Elf::parse(&bad), Err(ParseElfError::UnsupportedFormat));
+    }
+
+    #[test]
+    fn parse_never_panics_on_truncation() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = Elf::parse(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn synthesized_segment_permissions() {
+        let e = sample();
+        let p = Elf::parse(&e.to_bytes()).unwrap();
+        // .text → R+X, .data → R+W, .rodata → R
+        assert_eq!(p.segments[0].flags, 0x5);
+        assert_eq!(p.segments[1].flags, 0x6);
+        assert_eq!(p.segments[2].flags, 0x4);
+    }
+
+    #[test]
+    fn segment_file_offsets_point_at_section_data() {
+        let e = sample();
+        let bytes = e.to_bytes();
+        let p = Elf::parse(&bytes).unwrap();
+        let seg = p.segments[0];
+        let slice = &bytes[seg.offset as usize..(seg.offset + seg.filesz) as usize];
+        assert_eq!(slice, e.sections[0].data.as_slice());
+    }
+
+    #[test]
+    fn symbol_table_roundtrip() {
+        let mut e = sample();
+        e.add_symbols(&[
+            Symbol {
+                name: "main".into(),
+                value: 0x401000,
+                size: 6,
+                is_func: true,
+            },
+            Symbol {
+                name: "g_table".into(),
+                value: 0x403000,
+                size: 32,
+                is_func: false,
+            },
+        ]);
+        let p = Elf::parse(&e.to_bytes()).unwrap();
+        let syms = p.symbols();
+        assert_eq!(syms.len(), 2);
+        assert_eq!(syms[0].name, "main");
+        assert!(syms[0].is_func);
+        assert_eq!(syms[0].value, 0x401000);
+        assert_eq!(syms[1].name, "g_table");
+        assert!(!syms[1].is_func);
+    }
+
+    #[test]
+    fn no_symbols_means_empty() {
+        let p = Elf::parse(&sample().to_bytes()).unwrap();
+        assert!(p.symbols().is_empty());
+    }
+
+    #[test]
+    fn empty_elf_roundtrip() {
+        let e = Elf::new(0);
+        let p = Elf::parse(&e.to_bytes()).unwrap();
+        assert_eq!(p.sections.len(), 0);
+        assert_eq!(p.segments.len(), 0);
+    }
+}

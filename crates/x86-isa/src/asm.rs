@@ -1,0 +1,1259 @@
+//! A small x86-64 assembler covering the subset of the ISA emitted by the
+//! synthetic workload generator.
+//!
+//! The assembler and the decoder are developed together: every encoding the
+//! assembler can produce must round-trip through [`crate::decode`] with the
+//! same length, mnemonic and operands (verified by property tests). This is
+//! what makes the generated ground truth trustworthy.
+
+use crate::reg::{Gp, OpSize};
+use std::fmt;
+
+/// A forward-referenceable code location inside an [`Asm`] buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced when finalizing an [`Asm`] buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label used in a fixup was never bound.
+    UnboundLabel(Label),
+    /// A short (rel8) branch target was out of range.
+    ShortBranchOutOfRange {
+        /// Buffer position of the branch displacement byte.
+        at: usize,
+        /// Actual displacement that did not fit in i8.
+        disp: i64,
+    },
+    /// A narrow (1/2-byte) label difference overflowed its field.
+    DiffOutOfRange {
+        /// Buffer position of the difference field.
+        at: usize,
+        /// The difference value that did not fit.
+        diff: i64,
+        /// Field width in bytes.
+        width: u8,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {:?} was never bound", l),
+            AsmError::ShortBranchOutOfRange { at, disp } => {
+                write!(
+                    f,
+                    "short branch at {at:#x} has out-of-range displacement {disp}"
+                )
+            }
+            AsmError::DiffOutOfRange { at, diff, width } => {
+                write!(
+                    f,
+                    "label difference {diff} at {at:#x} does not fit in {width} byte(s)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A memory reference for assembler operands:
+/// `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mem {
+    base: Option<Gp>,
+    index: Option<(Gp, u8)>,
+    disp: i32,
+}
+
+impl Mem {
+    /// `[base]`.
+    pub fn base(base: Gp) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`.
+    pub fn base_disp(base: Gp, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[base + index*scale + disp]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8, or if `index` is RSP (not
+    /// encodable as an index register).
+    pub fn base_index(base: Gp, index: Gp, scale: u8, disp: i32) -> Mem {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "bad scale {scale}");
+        assert!(index != Gp::RSP, "rsp cannot be an index register");
+        Mem {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// `[index*scale + disp]` with no base register.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scale or an RSP index, as for
+    /// [`Mem::base_index`].
+    pub fn index_disp(index: Gp, scale: u8, disp: i32) -> Mem {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "bad scale {scale}");
+        assert!(index != Gp::RSP, "rsp cannot be an index register");
+        Mem {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    /// 4-byte displacement relative to the end of the field.
+    Rel32,
+    /// 1-byte displacement relative to the end of the field.
+    Rel8,
+    /// 8-byte absolute address: `image_base + label_offset`.
+    Abs64 { image_base: u64 },
+    /// 4-byte difference `label - anchor`.
+    Diff32 { anchor: Label },
+    /// Unsigned 1-byte difference `label - anchor` (compact jump tables).
+    Diff8 { anchor: Label },
+    /// Unsigned 2-byte difference `label - anchor`.
+    Diff16 { anchor: Label },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    pos: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// An append-only assembler buffer with labels and fixups.
+///
+/// ```
+/// use x86_isa::{Asm, Gp, OpSize};
+///
+/// let mut asm = Asm::new();
+/// asm.push_r(Gp::RBP);
+/// asm.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP);
+/// asm.pop_r(Gp::RBP);
+/// asm.ret();
+/// let bytes = asm.finish().unwrap();
+/// assert_eq!(bytes, vec![0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    buf: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+}
+
+impl Asm {
+    /// Create an empty assembler buffer.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Current length of the buffer in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.buf.len());
+    }
+
+    /// Create a label already bound to the current position.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Offset a bound label refers to, if bound.
+    pub fn label_offset(&self, label: Label) -> Option<usize> {
+        self.labels.get(label.0).copied().flatten()
+    }
+
+    /// Resolve all fixups and return the final bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any referenced label is unbound or a short branch
+    /// displacement does not fit in 8 bits.
+    pub fn finish(mut self) -> Result<Vec<u8>, AsmError> {
+        for f in std::mem::take(&mut self.fixups) {
+            let target = self.labels[f.label.0].ok_or(AsmError::UnboundLabel(f.label))? as i64;
+            match f.kind {
+                FixupKind::Rel32 => {
+                    let disp = target - (f.pos as i64 + 4);
+                    self.buf[f.pos..f.pos + 4].copy_from_slice(&(disp as i32).to_le_bytes());
+                }
+                FixupKind::Rel8 => {
+                    let disp = target - (f.pos as i64 + 1);
+                    let b = i8::try_from(disp)
+                        .map_err(|_| AsmError::ShortBranchOutOfRange { at: f.pos, disp })?;
+                    self.buf[f.pos] = b as u8;
+                }
+                FixupKind::Abs64 { image_base } => {
+                    let v = image_base.wrapping_add(target as u64);
+                    self.buf[f.pos..f.pos + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                FixupKind::Diff32 { anchor } => {
+                    let a = self.labels[anchor.0].ok_or(AsmError::UnboundLabel(anchor))? as i64;
+                    let v = (target - a) as i32;
+                    self.buf[f.pos..f.pos + 4].copy_from_slice(&v.to_le_bytes());
+                }
+                FixupKind::Diff8 { anchor } => {
+                    let a = self.labels[anchor.0].ok_or(AsmError::UnboundLabel(anchor))? as i64;
+                    let diff = target - a;
+                    let v = u8::try_from(diff).map_err(|_| AsmError::DiffOutOfRange {
+                        at: f.pos,
+                        diff,
+                        width: 1,
+                    })?;
+                    self.buf[f.pos] = v;
+                }
+                FixupKind::Diff16 { anchor } => {
+                    let a = self.labels[anchor.0].ok_or(AsmError::UnboundLabel(anchor))? as i64;
+                    let diff = target - a;
+                    let v = u16::try_from(diff).map_err(|_| AsmError::DiffOutOfRange {
+                        at: f.pos,
+                        diff,
+                        width: 2,
+                    })?;
+                    self.buf[f.pos..f.pos + 2].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        Ok(self.buf)
+    }
+
+    // ----- raw emission ----------------------------------------------------
+
+    /// Append raw bytes (data, or pre-encoded instructions).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn db(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Append a little-endian u32.
+    pub fn dd(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn dq(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an 8-byte absolute address of `label` (resolved as
+    /// `image_base + offset(label)`).
+    pub fn dq_label_abs(&mut self, label: Label, image_base: u64) {
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Abs64 { image_base },
+        });
+        self.dq(0);
+    }
+
+    /// Append a 4-byte `label - anchor` difference (PIC jump-table entry).
+    pub fn dd_label_diff(&mut self, label: Label, anchor: Label) {
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Diff32 { anchor },
+        });
+        self.dd(0);
+    }
+
+    /// Append an unsigned 1-byte `label - anchor` difference (compact
+    /// jump-table entry). Fails at [`Asm::finish`] if it does not fit.
+    pub fn db_label_diff(&mut self, label: Label, anchor: Label) {
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Diff8 { anchor },
+        });
+        self.db(0);
+    }
+
+    /// Append an unsigned 2-byte `label - anchor` difference.
+    pub fn dw_label_diff(&mut self, label: Label, anchor: Label) {
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Diff16 { anchor },
+        });
+        self.bytes(&[0, 0]);
+    }
+
+    /// Pad with multi-byte NOPs until the position is a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_nop(&mut self, align: usize) {
+        assert!(align.is_power_of_two());
+        while !self.buf.len().is_multiple_of(align) {
+            let pad = (align - self.buf.len() % align).min(8);
+            self.nop(pad);
+        }
+    }
+
+    // ----- encoding helpers -------------------------------------------------
+
+    fn rex(&mut self, size: OpSize, reg: u8, index: u8, base: u8, force: bool) {
+        let w = u8::from(size == OpSize::Q);
+        let r = (reg >> 3) & 1;
+        let x = (index >> 3) & 1;
+        let b = (base >> 3) & 1;
+        if w | r | x | b != 0 || force {
+            self.db(0x40 | (w << 3) | (r << 2) | (x << 1) | b);
+        }
+    }
+
+    fn opsize_prefix(&mut self, size: OpSize) {
+        if size == OpSize::W {
+            self.db(0x66);
+        }
+    }
+
+    /// Emit REX (as needed) + opcode bytes + ModRM(+SIB+disp) for a
+    /// register-direct rm.
+    fn enc_rr(&mut self, size: OpSize, opcode: &[u8], reg: u8, rm: u8) {
+        self.opsize_prefix(size);
+        let force =
+            size == OpSize::B && ((4..8).contains(&(reg & 0xf)) || (4..8).contains(&(rm & 0xf)));
+        self.rex(size, reg, 0, rm, force);
+        self.bytes(opcode);
+        self.db(0xc0 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /// Emit REX + opcode + ModRM/SIB/disp for a memory rm.
+    fn enc_rm(&mut self, size: OpSize, opcode: &[u8], reg: u8, mem: Mem) {
+        self.opsize_prefix(size);
+        let idx = mem.index.map_or(0, |(g, _)| g.0);
+        let base = mem.base.map_or(0, |g| g.0);
+        let force = size == OpSize::B && (4..8).contains(&(reg & 0xf));
+        self.rex(size, reg, idx, base, force);
+        self.bytes(opcode);
+        self.modrm_mem(reg, mem);
+    }
+
+    fn modrm_mem(&mut self, reg: u8, mem: Mem) {
+        let reg3 = (reg & 7) << 3;
+        match (mem.base, mem.index) {
+            (Some(b), None) if (b.0 & 7) != 4 => {
+                // plain [base+disp]; rbp/r13 need an explicit disp
+                let b3 = b.0 & 7;
+                if mem.disp == 0 && b3 != 5 {
+                    self.db(reg3 | b3);
+                } else if let Ok(d8) = i8::try_from(mem.disp) {
+                    self.db(0x40 | reg3 | b3);
+                    self.db(d8 as u8);
+                } else {
+                    self.db(0x80 | reg3 | b3);
+                    self.dd(mem.disp as u32);
+                }
+            }
+            (Some(b), index) => {
+                // SIB form (also required for rsp/r12 bases)
+                let (i3, ss) = match index {
+                    Some((i, s)) => (i.0 & 7, s.trailing_zeros() as u8),
+                    None => (4, 0),
+                };
+                let b3 = b.0 & 7;
+                let sib = (ss << 6) | (i3 << 3) | b3;
+                if mem.disp == 0 && b3 != 5 {
+                    self.db(reg3 | 4);
+                    self.db(sib);
+                } else if let Ok(d8) = i8::try_from(mem.disp) {
+                    self.db(0x40 | reg3 | 4);
+                    self.db(sib);
+                    self.db(d8 as u8);
+                } else {
+                    self.db(0x80 | reg3 | 4);
+                    self.db(sib);
+                    self.dd(mem.disp as u32);
+                }
+            }
+            (None, Some((i, s))) => {
+                // [index*scale + disp32]: mod=00, rm=100, SIB base=101
+                let sib = ((s.trailing_zeros() as u8) << 6) | ((i.0 & 7) << 3) | 5;
+                self.db(reg3 | 4);
+                self.db(sib);
+                self.dd(mem.disp as u32);
+            }
+            (None, None) => {
+                // absolute disp32 (via SIB, base=101, no index)
+                self.db(reg3 | 4);
+                self.db(0x25);
+                self.dd(mem.disp as u32);
+            }
+        }
+    }
+
+    /// RIP-relative ModRM pointing at `label`, with a Rel32 fixup.
+    fn modrm_rip_label(&mut self, reg: u8, label: Label) {
+        self.db(((reg & 7) << 3) | 5);
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel32,
+        });
+        self.dd(0);
+    }
+
+    fn imm_z(&mut self, size: OpSize, imm: i32) {
+        if size == OpSize::W {
+            self.buf.extend_from_slice(&(imm as i16).to_le_bytes());
+        } else {
+            self.dd(imm as u32);
+        }
+    }
+
+    // ----- instructions ------------------------------------------------------
+
+    /// `push r64`.
+    pub fn push_r(&mut self, r: Gp) {
+        if r.0 >= 8 {
+            self.db(0x41);
+        }
+        self.db(0x50 + (r.0 & 7));
+    }
+
+    /// `pop r64`.
+    pub fn pop_r(&mut self, r: Gp) {
+        if r.0 >= 8 {
+            self.db(0x41);
+        }
+        self.db(0x58 + (r.0 & 7));
+    }
+
+    /// `push imm` (8-bit form when the value fits).
+    pub fn push_imm(&mut self, imm: i32) {
+        if let Ok(i8v) = i8::try_from(imm) {
+            self.db(0x6a);
+            self.db(i8v as u8);
+        } else {
+            self.db(0x68);
+            self.dd(imm as u32);
+        }
+    }
+
+    /// `mov dst, src` (register to register).
+    pub fn mov_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0x88] } else { &[0x89] };
+        self.enc_rr(size, op, src.0, dst.0);
+    }
+
+    /// `mov dst, [mem]`.
+    pub fn mov_load(&mut self, size: OpSize, dst: Gp, mem: Mem) {
+        let op: &[u8] = if size == OpSize::B { &[0x8a] } else { &[0x8b] };
+        self.enc_rm(size, op, dst.0, mem);
+    }
+
+    /// `mov [mem], src`.
+    pub fn mov_store(&mut self, size: OpSize, mem: Mem, src: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0x88] } else { &[0x89] };
+        self.enc_rm(size, op, src.0, mem);
+    }
+
+    /// `mov [mem], imm32` (sign-extended for 64-bit size).
+    pub fn mov_store_imm(&mut self, size: OpSize, mem: Mem, imm: i32) {
+        if size == OpSize::B {
+            self.enc_rm(size, &[0xc6], 0, mem);
+            self.db(imm as u8);
+        } else {
+            self.enc_rm(size, &[0xc7], 0, mem);
+            self.imm_z(size, imm);
+        }
+    }
+
+    /// `mov r32, imm32` (zero-extends into the 64-bit register).
+    pub fn mov_ri32(&mut self, dst: Gp, imm: i32) {
+        self.rex(OpSize::D, 0, 0, dst.0, false);
+        self.db(0xb8 + (dst.0 & 7));
+        self.dd(imm as u32);
+    }
+
+    /// `movabs r64, imm64`.
+    pub fn mov_ri64(&mut self, dst: Gp, imm: u64) {
+        self.rex(OpSize::Q, 0, 0, dst.0, false);
+        self.db(0xb8 + (dst.0 & 7));
+        self.dq(imm);
+    }
+
+    /// `mov r64, imm32` sign-extended (C7 /0).
+    pub fn mov_ri_sext(&mut self, dst: Gp, imm: i32) {
+        self.rex(OpSize::Q, 0, 0, dst.0, false);
+        self.db(0xc7);
+        self.db(0xc0 | (dst.0 & 7));
+        self.dd(imm as u32);
+    }
+
+    /// `lea dst, [mem]`.
+    pub fn lea(&mut self, dst: Gp, mem: Mem) {
+        self.enc_rm(OpSize::Q, &[0x8d], dst.0, mem);
+    }
+
+    /// `lea dst, [rip + label]`.
+    pub fn lea_rip_label(&mut self, dst: Gp, label: Label) {
+        self.rex(OpSize::Q, dst.0, 0, 0, false);
+        self.db(0x8d);
+        self.modrm_rip_label(dst.0, label);
+    }
+
+    /// `mov dst, [rip + label]` (64-bit load of a code/data pointer).
+    pub fn mov_load_rip_label(&mut self, dst: Gp, label: Label) {
+        self.rex(OpSize::Q, dst.0, 0, 0, false);
+        self.db(0x8b);
+        self.modrm_rip_label(dst.0, label);
+    }
+
+    /// `lea dst, [rip + disp]` with a raw displacement (for cross-section
+    /// references whose target is not a label in this buffer). The emitted
+    /// instruction is always 7 bytes.
+    pub fn lea_rip_disp(&mut self, dst: Gp, disp: i32) {
+        self.rex(OpSize::Q, dst.0, 0, 0, false);
+        self.db(0x8d);
+        self.db(((dst.0 & 7) << 3) | 5);
+        self.dd(disp as u32);
+    }
+
+    /// `mov dst, qword [rip + disp]` with a raw displacement. Always
+    /// 7 bytes.
+    pub fn mov_load_rip_disp(&mut self, dst: Gp, disp: i32) {
+        self.rex(OpSize::Q, dst.0, 0, 0, false);
+        self.db(0x8b);
+        self.db(((dst.0 & 7) << 3) | 5);
+        self.dd(disp as u32);
+    }
+
+    /// `movsxd dst64, src32`.
+    pub fn movsxd_rr(&mut self, dst: Gp, src: Gp) {
+        self.enc_rr(OpSize::Q, &[0x63], dst.0, src.0)
+    }
+
+    /// `movsxd dst64, dword [mem]`.
+    pub fn movsxd_load(&mut self, dst: Gp, mem: Mem) {
+        self.enc_rm(OpSize::Q, &[0x63], dst.0, mem);
+    }
+
+    /// `movzx dst, byte/word src` (register form).
+    pub fn movzx_rr(&mut self, dst: Gp, src: Gp, src_size: OpSize) {
+        let op: &[u8] = if src_size == OpSize::B {
+            &[0x0f, 0xb6]
+        } else {
+            &[0x0f, 0xb7]
+        };
+        self.enc_rr(OpSize::D, op, dst.0, src.0);
+    }
+
+    /// `movzx dst, byte/word [mem]`.
+    pub fn movzx_load(&mut self, dst: Gp, mem: Mem, src_size: OpSize) {
+        let op: &[u8] = if src_size == OpSize::B {
+            &[0x0f, 0xb6]
+        } else {
+            &[0x0f, 0xb7]
+        };
+        self.enc_rm(OpSize::D, op, dst.0, mem);
+    }
+
+    fn alu_base(&mut self, base: u8, size: OpSize, dst: Gp, src: Gp) {
+        // `base` is the Ev,Gv opcode of the ALU family (01 add, 29 sub, ...).
+        let op = if size == OpSize::B { base - 1 } else { base };
+        self.enc_rr(size, &[op], src.0, dst.0);
+    }
+
+    /// `add dst, src`.
+    pub fn add_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x01, size, dst, src);
+    }
+
+    /// `or dst, src`.
+    pub fn or_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x09, size, dst, src);
+    }
+
+    /// `and dst, src`.
+    pub fn and_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x21, size, dst, src);
+    }
+
+    /// `sub dst, src`.
+    pub fn sub_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x29, size, dst, src);
+    }
+
+    /// `xor dst, src`.
+    pub fn xor_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x31, size, dst, src);
+    }
+
+    /// `cmp dst, src`.
+    pub fn cmp_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.alu_base(0x39, size, dst, src);
+    }
+
+    /// `test a, b`.
+    pub fn test_rr(&mut self, size: OpSize, a: Gp, b: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0x84] } else { &[0x85] };
+        self.enc_rr(size, op, b.0, a.0);
+    }
+
+    fn group1_imm(&mut self, ext: u8, size: OpSize, dst: Gp, imm: i32) {
+        if let Ok(i8v) = i8::try_from(imm) {
+            self.enc_rr(size, &[0x83], ext, dst.0);
+            self.db(i8v as u8);
+        } else {
+            self.enc_rr(size, &[0x81], ext, dst.0);
+            self.imm_z(size, imm);
+        }
+    }
+
+    /// `add dst, imm`.
+    pub fn add_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(0, size, dst, imm);
+    }
+
+    /// `or dst, imm`.
+    pub fn or_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(1, size, dst, imm);
+    }
+
+    /// `and dst, imm`.
+    pub fn and_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(4, size, dst, imm);
+    }
+
+    /// `sub dst, imm`.
+    pub fn sub_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(5, size, dst, imm);
+    }
+
+    /// `xor dst, imm`.
+    pub fn xor_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(6, size, dst, imm);
+    }
+
+    /// `cmp dst, imm`.
+    pub fn cmp_ri(&mut self, size: OpSize, dst: Gp, imm: i32) {
+        self.group1_imm(7, size, dst, imm);
+    }
+
+    /// `add dst, [mem]` (ALU load form).
+    pub fn add_load(&mut self, size: OpSize, dst: Gp, mem: Mem) {
+        self.enc_rm(size, &[0x03], dst.0, mem);
+    }
+
+    /// `add [mem], src` (ALU store form).
+    pub fn add_store(&mut self, size: OpSize, mem: Mem, src: Gp) {
+        self.enc_rm(size, &[0x01], src.0, mem);
+    }
+
+    /// `cmp dst, [mem]`.
+    pub fn cmp_load(&mut self, size: OpSize, dst: Gp, mem: Mem) {
+        self.enc_rm(size, &[0x3b], dst.0, mem);
+    }
+
+    /// `imul dst, src` (0F AF).
+    pub fn imul_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.enc_rr(size, &[0x0f, 0xaf], dst.0, src.0);
+    }
+
+    /// `imul dst, src, imm`.
+    pub fn imul_rri(&mut self, size: OpSize, dst: Gp, src: Gp, imm: i32) {
+        if let Ok(i8v) = i8::try_from(imm) {
+            self.enc_rr(size, &[0x6b], dst.0, src.0);
+            self.db(i8v as u8);
+        } else {
+            self.enc_rr(size, &[0x69], dst.0, src.0);
+            self.imm_z(size, imm);
+        }
+    }
+
+    /// `neg r`.
+    pub fn neg_r(&mut self, size: OpSize, r: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0xf6] } else { &[0xf7] };
+        self.enc_rr(size, op, 3, r.0);
+    }
+
+    /// `not r`.
+    pub fn not_r(&mut self, size: OpSize, r: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0xf6] } else { &[0xf7] };
+        self.enc_rr(size, op, 2, r.0);
+    }
+
+    /// `idiv r` (signed divide rDX:rAX by r).
+    pub fn idiv_r(&mut self, size: OpSize, r: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0xf6] } else { &[0xf7] };
+        self.enc_rr(size, op, 7, r.0);
+    }
+
+    /// `cdq` / `cqo` (sign-extend rAX into rDX).
+    pub fn cdq(&mut self, size: OpSize) {
+        if size == OpSize::Q {
+            self.db(0x48);
+        }
+        self.db(0x99);
+    }
+
+    fn shift_imm(&mut self, ext: u8, size: OpSize, r: Gp, count: u8) {
+        if count == 1 {
+            let op: &[u8] = if size == OpSize::B { &[0xd0] } else { &[0xd1] };
+            self.enc_rr(size, op, ext, r.0);
+        } else {
+            let op: &[u8] = if size == OpSize::B { &[0xc0] } else { &[0xc1] };
+            self.enc_rr(size, op, ext, r.0);
+            self.db(count);
+        }
+    }
+
+    /// `shl r, imm`.
+    pub fn shl_ri(&mut self, size: OpSize, r: Gp, count: u8) {
+        self.shift_imm(4, size, r, count);
+    }
+
+    /// `shr r, imm`.
+    pub fn shr_ri(&mut self, size: OpSize, r: Gp, count: u8) {
+        self.shift_imm(5, size, r, count);
+    }
+
+    /// `sar r, imm`.
+    pub fn sar_ri(&mut self, size: OpSize, r: Gp, count: u8) {
+        self.shift_imm(7, size, r, count);
+    }
+
+    /// `inc r` (FF /0).
+    pub fn inc_r(&mut self, size: OpSize, r: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0xfe] } else { &[0xff] };
+        self.enc_rr(size, op, 0, r.0);
+    }
+
+    /// `dec r` (FF /1).
+    pub fn dec_r(&mut self, size: OpSize, r: Gp) {
+        let op: &[u8] = if size == OpSize::B { &[0xfe] } else { &[0xff] };
+        self.enc_rr(size, op, 1, r.0);
+    }
+
+    /// `setcc r8`.
+    pub fn setcc(&mut self, cc: crate::Cond, r: Gp) {
+        self.enc_rr(OpSize::B, &[0x0f, 0x90 + (cc.0 & 0xf)], 0, r.0);
+    }
+
+    /// `cmovcc dst, src`.
+    pub fn cmovcc_rr(&mut self, size: OpSize, cc: crate::Cond, dst: Gp, src: Gp) {
+        self.enc_rr(size, &[0x0f, 0x40 + (cc.0 & 0xf)], dst.0, src.0);
+    }
+
+    // ----- bit manipulation / atomics ------------------------------------------
+
+    /// `popcnt dst, src` (32/64-bit only — the F3 mandatory prefix must
+    /// precede REX, which rules out the 66-prefixed 16-bit form here).
+    pub fn popcnt_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        debug_assert!(matches!(size, OpSize::D | OpSize::Q));
+        self.db(0xf3);
+        self.enc_rr(size, &[0x0f, 0xb8], dst.0, src.0);
+    }
+
+    /// `tzcnt dst, src` (32/64-bit only).
+    pub fn tzcnt_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        debug_assert!(matches!(size, OpSize::D | OpSize::Q));
+        self.db(0xf3);
+        self.enc_rr(size, &[0x0f, 0xbc], dst.0, src.0);
+    }
+
+    /// `bsf dst, src`.
+    pub fn bsf_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.enc_rr(size, &[0x0f, 0xbc], dst.0, src.0);
+    }
+
+    /// `bsr dst, src`.
+    pub fn bsr_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.enc_rr(size, &[0x0f, 0xbd], dst.0, src.0);
+    }
+
+    /// `bt dst, src` (bit test by register).
+    pub fn bt_rr(&mut self, size: OpSize, dst: Gp, src: Gp) {
+        self.enc_rr(size, &[0x0f, 0xa3], src.0, dst.0);
+    }
+
+    /// `bt dst, imm8` (group 8 /4).
+    pub fn bt_ri(&mut self, size: OpSize, dst: Gp, bit: u8) {
+        self.enc_rr(size, &[0x0f, 0xba], 4, dst.0);
+        self.db(bit);
+    }
+
+    /// `bts dst, imm8` (group 8 /5).
+    pub fn bts_ri(&mut self, size: OpSize, dst: Gp, bit: u8) {
+        self.enc_rr(size, &[0x0f, 0xba], 5, dst.0);
+        self.db(bit);
+    }
+
+    /// `bswap r` (32/64-bit).
+    pub fn bswap_r(&mut self, size: OpSize, r: Gp) {
+        debug_assert!(matches!(size, OpSize::D | OpSize::Q));
+        self.rex(size, 0, 0, r.0, false);
+        self.db(0x0f);
+        self.db(0xc8 + (r.0 & 7));
+    }
+
+    /// `shld dst, src, imm8`.
+    pub fn shld_rri(&mut self, size: OpSize, dst: Gp, src: Gp, count: u8) {
+        self.enc_rr(size, &[0x0f, 0xa4], src.0, dst.0);
+        self.db(count);
+    }
+
+    /// `lock xadd [mem], src`.
+    pub fn lock_xadd_store(&mut self, size: OpSize, mem: Mem, src: Gp) {
+        self.db(0xf0);
+        self.enc_rm(size, &[0x0f, 0xc1], src.0, mem);
+    }
+
+    /// `lock cmpxchg [mem], src`.
+    pub fn lock_cmpxchg_store(&mut self, size: OpSize, mem: Mem, src: Gp) {
+        self.db(0xf0);
+        self.enc_rm(size, &[0x0f, 0xb1], src.0, mem);
+    }
+
+    // ----- control flow -------------------------------------------------------
+
+    /// `call label` (rel32).
+    pub fn call_label(&mut self, label: Label) {
+        self.db(0xe8);
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel32,
+        });
+        self.dd(0);
+    }
+
+    /// `call r64`.
+    pub fn call_ind(&mut self, r: Gp) {
+        if r.0 >= 8 {
+            self.db(0x41);
+        }
+        self.db(0xff);
+        self.db(0xd0 | (r.0 & 7));
+    }
+
+    /// `jmp label` (rel32).
+    pub fn jmp_label(&mut self, label: Label) {
+        self.db(0xe9);
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel32,
+        });
+        self.dd(0);
+    }
+
+    /// `jmp label` (rel8; must resolve within -128..=127).
+    pub fn jmp_short(&mut self, label: Label) {
+        self.db(0xeb);
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel8,
+        });
+        self.db(0);
+    }
+
+    /// `jcc label` (rel32 near form).
+    pub fn jcc_label(&mut self, cc: crate::Cond, label: Label) {
+        self.db(0x0f);
+        self.db(0x80 + (cc.0 & 0xf));
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel32,
+        });
+        self.dd(0);
+    }
+
+    /// `jcc label` (rel8 short form; must resolve within -128..=127).
+    pub fn jcc_short(&mut self, cc: crate::Cond, label: Label) {
+        self.db(0x70 + (cc.0 & 0xf));
+        self.fixups.push(Fixup {
+            pos: self.buf.len(),
+            label,
+            kind: FixupKind::Rel8,
+        });
+        self.db(0);
+    }
+
+    /// `jmp r64`.
+    pub fn jmp_ind(&mut self, r: Gp) {
+        if r.0 >= 8 {
+            self.db(0x41);
+        }
+        self.db(0xff);
+        self.db(0xe0 | (r.0 & 7));
+    }
+
+    /// `jmp qword [rip + disp]` with a raw displacement — the PLT-stub
+    /// idiom (`ff 25 xx xx xx xx`, always 6 bytes).
+    pub fn jmp_rip_disp(&mut self, disp: i32) {
+        self.db(0xff);
+        self.db(0x25);
+        self.dd(disp as u32);
+    }
+
+    /// `jmp qword [mem]` (memory-indirect jump, e.g. through a jump table).
+    pub fn jmp_mem(&mut self, mem: Mem) {
+        // FF /4 defaults to 64-bit operand; no REX.W needed.
+        let idx = mem.index.map_or(0, |(g, _)| g.0);
+        let base = mem.base.map_or(0, |g| g.0);
+        self.rex(OpSize::D, 4, idx, base, false);
+        self.db(0xff);
+        self.modrm_mem(4, mem);
+    }
+
+    /// `ret`.
+    pub fn ret(&mut self) {
+        self.db(0xc3);
+    }
+
+    /// `leave`.
+    pub fn leave(&mut self) {
+        self.db(0xc9);
+    }
+
+    /// `int3`.
+    pub fn int3(&mut self) {
+        self.db(0xcc);
+    }
+
+    /// `ud2`.
+    pub fn ud2(&mut self) {
+        self.db(0x0f);
+        self.db(0x0b);
+    }
+
+    /// `syscall`.
+    pub fn syscall(&mut self) {
+        self.db(0x0f);
+        self.db(0x05);
+    }
+
+    /// A NOP of exactly `len` bytes (1..=8), using the canonical multi-byte
+    /// encodings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is 0 or greater than 8.
+    pub fn nop(&mut self, len: usize) {
+        let enc: &[u8] = match len {
+            1 => &[0x90],
+            2 => &[0x66, 0x90],
+            3 => &[0x0f, 0x1f, 0x00],
+            4 => &[0x0f, 0x1f, 0x40, 0x00],
+            5 => &[0x0f, 0x1f, 0x44, 0x00, 0x00],
+            6 => &[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00],
+            7 => &[0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00],
+            8 => &[0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00],
+            n => panic!("unsupported nop length {n}"),
+        };
+        self.bytes(enc);
+    }
+
+    // ----- SSE subset ----------------------------------------------------------
+
+    /// `movsd xmm, qword [mem]`.
+    pub fn movsd_load(&mut self, dst_xmm: u8, mem: Mem) {
+        self.db(0xf2);
+        let idx = mem.index.map_or(0, |(g, _)| g.0);
+        let base = mem.base.map_or(0, |g| g.0);
+        self.rex(OpSize::D, dst_xmm, idx, base, false);
+        self.bytes(&[0x0f, 0x10]);
+        self.modrm_mem(dst_xmm, mem);
+    }
+
+    /// `movsd qword [mem], xmm`.
+    pub fn movsd_store(&mut self, mem: Mem, src_xmm: u8) {
+        self.db(0xf2);
+        let idx = mem.index.map_or(0, |(g, _)| g.0);
+        let base = mem.base.map_or(0, |g| g.0);
+        self.rex(OpSize::D, src_xmm, idx, base, false);
+        self.bytes(&[0x0f, 0x11]);
+        self.modrm_mem(src_xmm, mem);
+    }
+
+    /// `addsd dst, src` (xmm registers).
+    pub fn addsd_rr(&mut self, dst_xmm: u8, src_xmm: u8) {
+        self.db(0xf2);
+        self.rex(OpSize::D, dst_xmm, 0, src_xmm, false);
+        self.bytes(&[0x0f, 0x58]);
+        self.db(0xc0 | ((dst_xmm & 7) << 3) | (src_xmm & 7));
+    }
+
+    /// `mulsd dst, src`.
+    pub fn mulsd_rr(&mut self, dst_xmm: u8, src_xmm: u8) {
+        self.db(0xf2);
+        self.rex(OpSize::D, dst_xmm, 0, src_xmm, false);
+        self.bytes(&[0x0f, 0x59]);
+        self.db(0xc0 | ((dst_xmm & 7) << 3) | (src_xmm & 7));
+    }
+
+    /// `pxor dst, src` (zeroing idiom when dst == src).
+    pub fn pxor_rr(&mut self, dst_xmm: u8, src_xmm: u8) {
+        self.db(0x66);
+        self.rex(OpSize::D, dst_xmm, 0, src_xmm, false);
+        self.bytes(&[0x0f, 0xef]);
+        self.db(0xc0 | ((dst_xmm & 7) << 3) | (src_xmm & 7));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::inst::{Flow, Mnemonic};
+
+    fn roundtrip(asm: Asm) -> Vec<u8> {
+        let bytes = asm.finish().expect("fixups resolve");
+        // Whole buffer must decode as a chain of valid instructions.
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let i = decode(&bytes[pos..])
+                .unwrap_or_else(|e| panic!("offset {pos}: {e}: {:02x?}", &bytes[pos..]));
+            pos += i.len as usize;
+        }
+        bytes
+    }
+
+    #[test]
+    fn prologue_epilogue() {
+        let mut a = Asm::new();
+        a.push_r(Gp::RBP);
+        a.mov_rr(OpSize::Q, Gp::RBP, Gp::RSP);
+        a.sub_ri(OpSize::Q, Gp::RSP, 0x20);
+        a.leave();
+        a.ret();
+        let b = roundtrip(a);
+        assert_eq!(
+            b,
+            vec![0x55, 0x48, 0x89, 0xe5, 0x48, 0x83, 0xec, 0x20, 0xc9, 0xc3]
+        );
+    }
+
+    #[test]
+    fn forward_branch_fixup() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jcc_label(crate::Cond::E, l);
+        a.nop(1);
+        a.bind(l);
+        a.ret();
+        let b = roundtrip(a);
+        // je +1 over the nop
+        let i = decode(&b).unwrap();
+        assert_eq!(i.flow, Flow::CondRel(1));
+    }
+
+    #[test]
+    fn short_backward_loop() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.dec_r(OpSize::D, Gp::RCX);
+        a.jcc_short(crate::Cond::NE, top);
+        a.ret();
+        let b = roundtrip(a);
+        let d = decode(&b[2..]).unwrap(); // the jne
+        assert_eq!(d.flow, Flow::CondRel(-4));
+    }
+
+    #[test]
+    fn short_branch_out_of_range_errors() {
+        let mut a = Asm::new();
+        let top = a.here();
+        for _ in 0..40 {
+            a.nop(8);
+        }
+        a.jcc_short(crate::Cond::E, top);
+        assert!(matches!(
+            a.finish(),
+            Err(AsmError::ShortBranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rip_relative_lea_roundtrip() {
+        let mut a = Asm::new();
+        let data = a.label();
+        a.lea_rip_label(Gp::RAX, data);
+        a.ret();
+        a.bind(data);
+        a.dq(0xdeadbeef);
+        let b = a.finish().unwrap();
+        let i = decode(&b).unwrap();
+        assert_eq!(i.mnemonic, Mnemonic::Lea);
+        // lea is 7 bytes, ret 1; data starts at 8 → disp = 8 - 7 = 1
+        match i.operands[1] {
+            crate::Operand::Mem(m) => assert_eq!(m.disp, 1),
+            ref other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_forms_encode_and_decode() {
+        let mut a = Asm::new();
+        a.mov_load(OpSize::Q, Gp::RAX, Mem::base_disp(Gp::RBP, -8));
+        a.mov_store(OpSize::D, Mem::base_disp(Gp::RSP, 4), Gp::RCX);
+        a.mov_load(
+            OpSize::Q,
+            Gp::RDX,
+            Mem::base_index(Gp::RDI, Gp::RCX, 8, 0x40),
+        );
+        a.mov_load(OpSize::D, Gp::RSI, Mem::index_disp(Gp::RAX, 4, 0x1000));
+        a.mov_load(OpSize::Q, Gp::R13, Mem::base(Gp::R12));
+        a.mov_load(OpSize::Q, Gp::RAX, Mem::base(Gp::RBP)); // must use disp8=0
+        a.ret();
+        roundtrip(a);
+    }
+
+    #[test]
+    fn jump_table_pic_pattern() {
+        // The PIC jump-table idiom the generator emits.
+        let mut a = Asm::new();
+        let table = a.label();
+        let case0 = a.label();
+        a.lea_rip_label(Gp::RAX, table);
+        a.movsxd_load(Gp::RCX, Mem::base_index(Gp::RAX, Gp::RCX, 4, 0));
+        a.add_rr(OpSize::Q, Gp::RCX, Gp::RAX);
+        a.jmp_ind(Gp::RCX);
+        a.bind(table);
+        a.dd_label_diff(case0, table);
+        a.bind(case0);
+        a.ret();
+        let b = a.finish().unwrap();
+        // table entry must equal case0 - table = 4
+        let table_off = b.len() - 5; // dd(4) + ret(1)... compute directly:
+        let entry = u32::from_le_bytes(b[table_off..table_off + 4].try_into().unwrap());
+        assert_eq!(entry, 4);
+    }
+
+    #[test]
+    fn abs64_table_entry() {
+        let mut a = Asm::new();
+        let target = a.label();
+        a.dq_label_abs(target, 0x400000);
+        a.bind(target);
+        a.ret();
+        let b = a.finish().unwrap();
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), 0x400008);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jmp_label(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn align_nop_pads_to_boundary() {
+        let mut a = Asm::new();
+        a.ret();
+        a.align_nop(16);
+        assert_eq!(a.len() % 16, 0);
+        roundtrip(a);
+    }
+
+    #[test]
+    fn byte_reg_needs_rex() {
+        // mov sil, dil must carry 0x40 REX
+        let mut a = Asm::new();
+        a.mov_rr(OpSize::B, Gp::RSI, Gp::RDI);
+        let b = a.finish().unwrap();
+        assert_eq!(b, vec![0x40, 0x88, 0xfe]);
+    }
+
+    #[test]
+    fn sse_roundtrip() {
+        let mut a = Asm::new();
+        a.movsd_load(0, Mem::base_disp(Gp::RBP, -16));
+        a.addsd_rr(0, 1);
+        a.mulsd_rr(2, 0);
+        a.pxor_rr(3, 3);
+        a.movsd_store(Mem::base_disp(Gp::RBP, -24), 0);
+        a.ret();
+        let b = roundtrip(a);
+        let i = decode(&b).unwrap();
+        assert_eq!(i.mnemonic, Mnemonic::Movsd);
+    }
+
+    #[test]
+    fn bitops_roundtrip() {
+        use crate::inst::Mnemonic;
+        let mut a = Asm::new();
+        a.popcnt_rr(OpSize::Q, Gp::RAX, Gp::RBX);
+        a.tzcnt_rr(OpSize::D, Gp::RCX, Gp::RDX);
+        a.bsf_rr(OpSize::Q, Gp::RSI, Gp::RDI);
+        a.bsr_rr(OpSize::D, Gp::R8, Gp::R9);
+        a.bt_rr(OpSize::Q, Gp::RAX, Gp::RCX);
+        a.bt_ri(OpSize::D, Gp::RAX, 7);
+        a.bts_ri(OpSize::Q, Gp::RBX, 33);
+        a.bswap_r(OpSize::D, Gp::RAX);
+        a.bswap_r(OpSize::Q, Gp::R12);
+        a.shld_rri(OpSize::D, Gp::RCX, Gp::RAX, 5);
+        a.lock_xadd_store(OpSize::D, Mem::base(Gp::RSP), Gp::RAX);
+        a.lock_cmpxchg_store(OpSize::Q, Mem::base_disp(Gp::RBP, -8), Gp::RCX);
+        a.ret();
+        let bytes = roundtrip(a);
+        let first = decode(&bytes).unwrap();
+        assert_eq!(first.mnemonic, Mnemonic::Popcnt);
+        assert_eq!(first.to_string(), "popcnt rax, rbx");
+    }
+
+    #[test]
+    fn extended_regs() {
+        let mut a = Asm::new();
+        a.mov_rr(OpSize::Q, Gp::R8, Gp::R15);
+        a.add_ri(OpSize::Q, Gp::R10, 0x1234);
+        a.push_r(Gp::R9);
+        a.pop_r(Gp::R9);
+        a.jmp_ind(Gp::R11);
+        roundtrip(a);
+    }
+}

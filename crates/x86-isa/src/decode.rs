@@ -1,0 +1,1447 @@
+//! Total x86-64 (long mode) instruction decoder.
+//!
+//! The decoder is built for *superset disassembly*: it is invoked at every
+//! byte offset of a section, over arbitrary bytes, so it must be total (never
+//! panic), bounded (never read more than [`crate::MAX_INST_LEN`] bytes) and
+//! length-exact for everything a compiler emits.
+//!
+//! Instructions outside the semantically-modeled subset (x87, most SSE,
+//! VEX/EVEX, privileged ops) are decoded *structurally*: prefixes, opcode
+//! maps, ModRM/SIB/displacement and immediate sizes are all honored so the
+//! reported length is correct, and the result is bucketed into a coarse
+//! catch-all [`Mnemonic`]. One documented approximation: for VEX/EVEX we
+//! assume a ModRM byte always follows the opcode and an imm8 follows for
+//! opcode map `0F 3A` (true for the overwhelming majority of the space).
+
+use crate::inst::{Cond, Flow, Inst, MemOperand, Mnemonic, Operand};
+use crate::reg::{Gp, OpSize, Reg, Xmm};
+use crate::MAX_INST_LEN;
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeError {
+    /// The bytes do not encode a valid long-mode instruction (or exceed the
+    /// 15-byte architectural limit).
+    Invalid,
+    /// The byte slice ended in the middle of an instruction.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Invalid => f.write_str("invalid instruction encoding"),
+            DecodeError::Truncated => f.write_str("byte slice ends mid-instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decode one instruction from the start of `bytes`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Invalid`] for undefined encodings and
+/// [`DecodeError::Truncated`] if `bytes` ends mid-instruction.
+///
+/// ```
+/// let inst = x86_isa::decode(&[0xc3]).unwrap();
+/// assert_eq!(inst.flow, x86_isa::Flow::Ret);
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Inst, DecodeError> {
+    Decoder::new(bytes).run()
+}
+
+/// Decode one instruction at `offset` within `bytes`.
+///
+/// # Errors
+///
+/// Same as [`decode`]; an out-of-range `offset` yields
+/// [`DecodeError::Truncated`].
+pub fn decode_at(bytes: &[u8], offset: usize) -> Result<Inst, DecodeError> {
+    if offset >= bytes.len() {
+        return Err(DecodeError::Truncated);
+    }
+    decode(&bytes[offset..])
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    truncated: bool,
+    // prefix state
+    opsize66: bool,
+    addr67: bool,
+    rep_f3: bool,
+    rep_f2: bool,
+    lock: bool,
+    rex: Option<u8>,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Decoder {
+            bytes,
+            pos: 0,
+            truncated: false,
+            opsize66: false,
+            addr67: false,
+            rep_f3: false,
+            rep_f2: false,
+            lock: false,
+            rex: None,
+        }
+    }
+
+    /// Fetch the next byte; sets `truncated` on slice end, and reports
+    /// `Invalid` once the 15-byte architectural cap is exceeded.
+    fn fetch(&mut self) -> Result<u8, DecodeError> {
+        if self.pos >= MAX_INST_LEN {
+            return Err(DecodeError::Invalid);
+        }
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => {
+                self.truncated = true;
+                Err(DecodeError::Truncated)
+            }
+        }
+    }
+
+    fn fetch_n(&mut self, n: usize) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for i in 0..n {
+            v |= (self.fetch()? as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn rex_bit(&self, bit: u8) -> u8 {
+        match self.rex {
+            Some(r) => (r >> bit) & 1,
+            None => 0,
+        }
+    }
+
+    fn rex_w(&self) -> bool {
+        self.rex_bit(3) == 1
+    }
+
+    /// Operand size for `v`-width operands (16/32/64).
+    fn opsize_v(&self) -> OpSize {
+        if self.rex_w() {
+            OpSize::Q
+        } else if self.opsize66 {
+            OpSize::W
+        } else {
+            OpSize::D
+        }
+    }
+
+    /// Operand size for 64-bit-default operands (push/pop, call/jmp ind).
+    fn opsize_d64(&self) -> OpSize {
+        if self.opsize66 {
+            OpSize::W
+        } else {
+            OpSize::Q
+        }
+    }
+
+    /// Immediate size for `z`-width immediates (2 or 4 bytes).
+    fn imm_z_len(&self) -> usize {
+        if self.opsize66 {
+            2
+        } else {
+            4
+        }
+    }
+
+    fn imm_z(&mut self) -> Result<i64, DecodeError> {
+        let n = self.imm_z_len();
+        let raw = self.fetch_n(n)?;
+        Ok(sign_extend(raw, n))
+    }
+
+    fn imm8(&mut self) -> Result<i64, DecodeError> {
+        Ok(self.fetch()? as i8 as i64)
+    }
+
+    fn run(mut self) -> Result<Inst, DecodeError> {
+        let op = match self.prefixes_and_opcode() {
+            Ok(op) => op,
+            Err(e) => return Err(self.fixup(e)),
+        };
+        let r = self.opcode(op);
+        match r {
+            Ok(mut inst) => {
+                inst.len = self.pos as u8;
+                inst.lock = self.lock;
+                inst.rep = self.rep_f3 || self.rep_f2;
+                Ok(inst)
+            }
+            Err(e) => Err(self.fixup(e)),
+        }
+    }
+
+    /// Truncation is only reported if the slice genuinely ended; an Invalid
+    /// determination stands even at a slice boundary.
+    fn fixup(&self, e: DecodeError) -> DecodeError {
+        if e == DecodeError::Truncated && !self.truncated {
+            DecodeError::Invalid
+        } else {
+            e
+        }
+    }
+
+    fn prefixes_and_opcode(&mut self) -> Result<u8, DecodeError> {
+        loop {
+            let b = self.fetch()?;
+            match b {
+                0x66 => {
+                    self.opsize66 = true;
+                    self.rex = None;
+                }
+                0x67 => {
+                    self.addr67 = true;
+                    self.rex = None;
+                }
+                0xf0 => {
+                    self.lock = true;
+                    self.rex = None;
+                }
+                0xf2 => {
+                    self.rep_f2 = true;
+                    self.rex = None;
+                }
+                0xf3 => {
+                    self.rep_f3 = true;
+                    self.rex = None;
+                }
+                0x2e | 0x36 | 0x3e | 0x26 | 0x64 | 0x65 => {
+                    // segment overrides (cs/ss/ds/es/fs/gs)
+                    self.rex = None;
+                }
+                0x40..=0x4f => {
+                    // REX: only effective when immediately preceding the
+                    // opcode; a later legacy prefix clears it (handled above).
+                    self.rex = Some(b);
+                }
+                _ => return Ok(b),
+            }
+        }
+    }
+
+    // ----- ModRM / SIB ---------------------------------------------------
+
+    /// Parse ModRM (+SIB +disp). Returns `(reg_field, rm_operand)` where
+    /// `reg_field` is the 3-bit reg extension field (REX.R applied) and the
+    /// rm operand is rendered at width `size`.
+    fn modrm(&mut self, size: OpSize) -> Result<(u8, Operand), DecodeError> {
+        let m = self.fetch()?;
+        let mod_ = m >> 6;
+        let reg = ((m >> 3) & 7) | (self.rex_bit(2) << 3);
+        let rm = m & 7;
+        if mod_ == 3 {
+            let num = rm | (self.rex_bit(0) << 3);
+            return Ok((reg, Operand::Reg(self.gp_or_xmm(num, size))));
+        }
+        let mut base: Option<Reg> = None;
+        let mut index: Option<Reg> = None;
+        let mut scale: u8 = 1;
+        let mut disp: i32 = 0;
+        let mut disp_len = match mod_ {
+            0 => 0usize,
+            1 => 1,
+            _ => 4,
+        };
+        if rm == 4 {
+            // SIB
+            let sib = self.fetch()?;
+            let sib_scale = sib >> 6;
+            let sib_index = ((sib >> 3) & 7) | (self.rex_bit(1) << 3);
+            let sib_base = (sib & 7) | (self.rex_bit(0) << 3);
+            scale = 1 << sib_scale;
+            if sib_index != 4 {
+                index = Some(Reg::q(Gp(sib_index)));
+            }
+            if (sib & 7) == 5 && mod_ == 0 {
+                disp_len = 4; // disp32, no base
+            } else {
+                base = Some(Reg::q(Gp(sib_base)));
+            }
+        } else if rm == 5 && mod_ == 0 {
+            // RIP-relative
+            base = Some(Reg::Rip);
+            disp_len = 4;
+        } else {
+            base = Some(Reg::q(Gp(rm | (self.rex_bit(0) << 3))));
+        }
+        if disp_len == 1 {
+            disp = self.fetch()? as i8 as i32;
+        } else if disp_len == 4 {
+            disp = self.fetch_n(4)? as u32 as i32;
+        }
+        Ok((
+            reg,
+            Operand::Mem(MemOperand {
+                base,
+                index,
+                scale,
+                disp,
+                size,
+            }),
+        ))
+    }
+
+    fn gp_or_xmm(&self, num: u8, size: OpSize) -> Reg {
+        if size == OpSize::X {
+            Reg::Xmm(Xmm(num))
+        } else if size == OpSize::B && self.rex.is_none() && (4..8).contains(&num) {
+            // Without REX, encodings 4-7 are ah/ch/dh/bh; we model them as
+            // the corresponding low-byte registers for analysis purposes.
+            Reg::Gp {
+                reg: Gp(num),
+                size: OpSize::B,
+            }
+        } else {
+            Reg::Gp { reg: Gp(num), size }
+        }
+    }
+
+    fn reg_op(&self, num: u8, size: OpSize) -> Operand {
+        Operand::Reg(self.gp_or_xmm(num, size))
+    }
+
+    // ----- opcode maps ----------------------------------------------------
+
+    fn opcode(&mut self, op: u8) -> Result<Inst, DecodeError> {
+        match op {
+            0x0f => {
+                let op2 = self.fetch()?;
+                match op2 {
+                    0x38 => {
+                        let op3 = self.fetch()?;
+                        let (_, rm) = self.modrm(self.opsize_v())?;
+                        Ok(inst(Mnemonic::ThreeByte38(op3), vec![rm], Flow::Seq))
+                    }
+                    0x3a => {
+                        let op3 = self.fetch()?;
+                        let (_, rm) = self.modrm(self.opsize_v())?;
+                        let imm = self.imm8()?;
+                        Ok(inst(
+                            Mnemonic::ThreeByte3A(op3),
+                            vec![rm, Operand::Imm(imm)],
+                            Flow::Seq,
+                        ))
+                    }
+                    _ => self.two_byte(op2),
+                }
+            }
+            0xc4 => self.vex3(),
+            0xc5 => self.vex2(),
+            0x62 => self.evex(),
+            _ => self.one_byte(op),
+        }
+    }
+
+    fn one_byte(&mut self, op: u8) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        // ALU block: opcodes 00-3D follow a regular 8-op pattern where the
+        // low three bits select the operand form and bits 3-5 the operation.
+        if op < 0x40 && (op & 7) < 6 {
+            const ALU: [Mnemonic; 8] = [
+                M::Add,
+                M::Or,
+                M::Adc,
+                M::Sbb,
+                M::And,
+                M::Sub,
+                M::Xor,
+                M::Cmp,
+            ];
+            return self.alu_form(ALU[(op >> 3) as usize], op & 7);
+        }
+        match op {
+            // invalid in 64-bit mode
+            0x06 | 0x07 | 0x0e | 0x16 | 0x17 | 0x1e | 0x1f | 0x27 | 0x2f | 0x37 | 0x3f | 0x60
+            | 0x61 | 0x82 | 0x9a | 0xc4 | 0xc5 | 0xce | 0xd4 | 0xd5 | 0xd6 | 0xea => {
+                Err(DecodeError::Invalid)
+            }
+            0x50..=0x57 => {
+                let num = (op - 0x50) | (self.rex_bit(0) << 3);
+                Ok(inst(
+                    M::Push,
+                    vec![self.reg_op(num, self.opsize_d64())],
+                    Flow::Seq,
+                ))
+            }
+            0x58..=0x5f => {
+                let num = (op - 0x58) | (self.rex_bit(0) << 3);
+                Ok(inst(
+                    M::Pop,
+                    vec![self.reg_op(num, self.opsize_d64())],
+                    Flow::Seq,
+                ))
+            }
+            0x63 => {
+                // movsxd Gv, Ed
+                let (reg, rm) = self.modrm(OpSize::D)?;
+                Ok(inst(
+                    M::Movsxd,
+                    vec![self.reg_op(reg, self.opsize_v()), rm],
+                    Flow::Seq,
+                ))
+            }
+            0x68 => {
+                let imm = self.imm_z()?;
+                Ok(inst(M::Push, vec![Operand::Imm(imm)], Flow::Seq))
+            }
+            0x69 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                let imm = self.imm_z()?;
+                Ok(inst(
+                    M::Imul,
+                    vec![self.reg_op(reg, size), rm, Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            0x6a => {
+                let imm = self.imm8()?;
+                Ok(inst(M::Push, vec![Operand::Imm(imm)], Flow::Seq))
+            }
+            0x6b => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                let imm = self.imm8()?;
+                Ok(inst(
+                    M::Imul,
+                    vec![self.reg_op(reg, size), rm, Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            0x6c | 0x6d => Ok(inst(M::Ins, vec![], Flow::Seq)),
+            0x6e | 0x6f => Ok(inst(M::Outs, vec![], Flow::Seq)),
+            0x70..=0x7f => {
+                let rel = self.imm8()? as i32;
+                Ok(inst(
+                    M::Jcc(Cond(op & 0xf)),
+                    vec![Operand::Rel(rel)],
+                    Flow::CondRel(rel),
+                ))
+            }
+            0x80 => self.group1(OpSize::B, false),
+            0x81 => self.group1(self.opsize_v(), false),
+            0x83 => self.group1(self.opsize_v(), true),
+            0x84 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(
+                    M::Test,
+                    vec![rm, self.reg_op(reg, OpSize::B)],
+                    Flow::Seq,
+                ))
+            }
+            0x85 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(M::Test, vec![rm, self.reg_op(reg, size)], Flow::Seq))
+            }
+            0x86 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(
+                    M::Xchg,
+                    vec![rm, self.reg_op(reg, OpSize::B)],
+                    Flow::Seq,
+                ))
+            }
+            0x87 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(M::Xchg, vec![rm, self.reg_op(reg, size)], Flow::Seq))
+            }
+            0x88 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(
+                    M::Mov,
+                    vec![rm, self.reg_op(reg, OpSize::B)],
+                    Flow::Seq,
+                ))
+            }
+            0x89 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(M::Mov, vec![rm, self.reg_op(reg, size)], Flow::Seq))
+            }
+            0x8a => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(
+                    M::Mov,
+                    vec![self.reg_op(reg, OpSize::B), rm],
+                    Flow::Seq,
+                ))
+            }
+            0x8b => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(M::Mov, vec![self.reg_op(reg, size), rm], Flow::Seq))
+            }
+            0x8c | 0x8e => {
+                // mov r/m, Sreg / mov Sreg, r/m — structural only
+                let (_, rm) = self.modrm(OpSize::W)?;
+                Ok(inst(M::Other(op), vec![rm], Flow::Seq))
+            }
+            0x8d => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                match rm {
+                    Operand::Mem(_) => {
+                        Ok(inst(M::Lea, vec![self.reg_op(reg, size), rm], Flow::Seq))
+                    }
+                    // lea with register rm is undefined
+                    _ => Err(DecodeError::Invalid),
+                }
+            }
+            0x8f => {
+                let (reg, rm) = self.modrm(self.opsize_d64())?;
+                if reg & 7 == 0 {
+                    Ok(inst(M::Pop, vec![rm], Flow::Seq))
+                } else {
+                    Err(DecodeError::Invalid)
+                }
+            }
+            0x90 => {
+                if self.rep_f3 {
+                    Ok(inst(M::Pause, vec![], Flow::Seq))
+                } else if self.rex_bit(0) == 1 {
+                    // REX.B promotes 90 back to a real `xchg rAX, r8`
+                    let size = self.opsize_v();
+                    Ok(inst(
+                        M::Xchg,
+                        vec![self.reg_op(0, size), self.reg_op(8, size)],
+                        Flow::Seq,
+                    ))
+                } else {
+                    Ok(inst(M::Nop, vec![], Flow::Seq))
+                }
+            }
+            0x91..=0x97 => {
+                let size = self.opsize_v();
+                let num = (op - 0x90) | (self.rex_bit(0) << 3);
+                Ok(inst(
+                    M::Xchg,
+                    vec![self.reg_op(0, size), self.reg_op(num, size)],
+                    Flow::Seq,
+                ))
+            }
+            0x98 => Ok(inst(M::Cbw, vec![], Flow::Seq)),
+            0x99 => Ok(inst(M::Cdq, vec![], Flow::Seq)),
+            0x9b => Ok(inst(M::Other(op), vec![], Flow::Seq)), // fwait
+            0x9c | 0x9d => Ok(inst(M::Other(op), vec![], Flow::Seq)), // pushf/popf
+            0x9e | 0x9f => Ok(inst(M::Other(op), vec![], Flow::Seq)), // sahf/lahf
+            0xa0 | 0xa2 => {
+                // mov AL, moffs8 / mov moffs8, AL — 64-bit absolute address
+                let n = if self.addr67 { 4 } else { 8 };
+                let _ = self.fetch_n(n)?;
+                Ok(inst(M::Other(op), vec![], Flow::Seq))
+            }
+            0xa1 | 0xa3 => {
+                let n = if self.addr67 { 4 } else { 8 };
+                let _ = self.fetch_n(n)?;
+                Ok(inst(M::Other(op), vec![], Flow::Seq))
+            }
+            0xa4 | 0xa5 => Ok(inst(M::Movs, vec![], Flow::Seq)),
+            0xa6 | 0xa7 => Ok(inst(M::Cmps, vec![], Flow::Seq)),
+            0xa8 => {
+                let imm = self.imm8()?;
+                Ok(inst(
+                    M::Test,
+                    vec![self.reg_op(0, OpSize::B), Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            0xa9 => {
+                let size = self.opsize_v();
+                let imm = self.imm_z()?;
+                Ok(inst(
+                    M::Test,
+                    vec![self.reg_op(0, size), Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            0xaa | 0xab => Ok(inst(M::Stos, vec![], Flow::Seq)),
+            0xac | 0xad => Ok(inst(M::Lods, vec![], Flow::Seq)),
+            0xae | 0xaf => Ok(inst(M::Scas, vec![], Flow::Seq)),
+            0xb0..=0xb7 => {
+                let num = (op - 0xb0) | (self.rex_bit(0) << 3);
+                let imm = self.fetch()? as i64;
+                Ok(inst(
+                    M::MovImm,
+                    vec![self.reg_op(num, OpSize::B), Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            0xb8..=0xbf => {
+                let size = self.opsize_v();
+                let num = (op - 0xb8) | (self.rex_bit(0) << 3);
+                let n = size.bytes() as usize;
+                let raw = self.fetch_n(n)?;
+                Ok(inst(
+                    M::MovImm,
+                    vec![self.reg_op(num, size), Operand::Imm(sign_extend(raw, n))],
+                    Flow::Seq,
+                ))
+            }
+            0xc0 => self.group2(OpSize::B, ShiftCount::Imm8),
+            0xc1 => self.group2(self.opsize_v(), ShiftCount::Imm8),
+            0xc2 => {
+                let imm = self.fetch_n(2)? as i64;
+                Ok(inst(M::RetImm, vec![Operand::Imm(imm)], Flow::Ret))
+            }
+            0xc3 => Ok(inst(M::Ret, vec![], Flow::Ret)),
+            0xc6 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                if reg & 7 != 0 {
+                    return Err(DecodeError::Invalid);
+                }
+                let imm = self.fetch()? as i64;
+                Ok(inst(M::Mov, vec![rm, Operand::Imm(imm)], Flow::Seq))
+            }
+            0xc7 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                if reg & 7 != 0 {
+                    return Err(DecodeError::Invalid);
+                }
+                let imm = self.imm_z()?;
+                Ok(inst(M::Mov, vec![rm, Operand::Imm(imm)], Flow::Seq))
+            }
+            0xc8 => {
+                let frame = self.fetch_n(2)? as i64;
+                let nest = self.imm8()?;
+                Ok(inst(
+                    M::Enter,
+                    vec![Operand::Imm(frame), Operand::Imm(nest)],
+                    Flow::Seq,
+                ))
+            }
+            0xc9 => Ok(inst(M::Leave, vec![], Flow::Seq)),
+            0xca => {
+                let _ = self.fetch_n(2)?;
+                Ok(inst(M::Other(op), vec![], Flow::Ret)) // retf imm16
+            }
+            0xcb => Ok(inst(M::Other(op), vec![], Flow::Ret)), // retf
+            0xcc => Ok(inst(M::Int3, vec![], Flow::Term)),
+            0xcd => {
+                let imm = self.fetch()? as i64;
+                Ok(inst(M::Int, vec![Operand::Imm(imm)], Flow::Seq))
+            }
+            0xcf => Ok(inst(M::Priv(op), vec![], Flow::Ret)), // iretq
+            0xd0 => self.group2(OpSize::B, ShiftCount::One),
+            0xd1 => self.group2(self.opsize_v(), ShiftCount::One),
+            0xd2 => self.group2(OpSize::B, ShiftCount::Cl),
+            0xd3 => self.group2(self.opsize_v(), ShiftCount::Cl),
+            0xd7 => Ok(inst(M::Other(op), vec![], Flow::Seq)), // xlat
+            0xd8..=0xdf => {
+                let (_, rm) = self.modrm(self.opsize_v())?;
+                Ok(inst(M::X87(op), vec![rm], Flow::Seq))
+            }
+            0xe0..=0xe3 => {
+                // loopne/loope/loop/jrcxz
+                let rel = self.imm8()? as i32;
+                Ok(inst(
+                    M::Other(op),
+                    vec![Operand::Rel(rel)],
+                    Flow::CondRel(rel),
+                ))
+            }
+            0xe4..=0xe7 => {
+                let _ = self.fetch()?;
+                Ok(inst(M::Priv(op), vec![], Flow::Seq)) // in/out imm8
+            }
+            0xe8 => {
+                let rel = self.fetch_n(4)? as u32 as i32;
+                Ok(inst(M::Call, vec![Operand::Rel(rel)], Flow::CallRel(rel)))
+            }
+            0xe9 => {
+                let rel = self.fetch_n(4)? as u32 as i32;
+                Ok(inst(M::Jmp, vec![Operand::Rel(rel)], Flow::JmpRel(rel)))
+            }
+            0xeb => {
+                let rel = self.imm8()? as i32;
+                Ok(inst(M::Jmp, vec![Operand::Rel(rel)], Flow::JmpRel(rel)))
+            }
+            0xec..=0xef => Ok(inst(M::Priv(op), vec![], Flow::Seq)), // in/out dx
+            0xf1 => Ok(inst(M::Int1, vec![], Flow::Seq)),
+            0xf4 => Ok(inst(M::Hlt, vec![], Flow::Term)),
+            0xf5 => Ok(inst(M::Other(op), vec![], Flow::Seq)), // cmc
+            0xf6 => self.group3(OpSize::B),
+            0xf7 => self.group3(self.opsize_v()),
+            0xf8 | 0xf9 | 0xfc | 0xfd => Ok(inst(M::Other(op), vec![], Flow::Seq)), // clc/stc/cld/std
+            0xfa | 0xfb => Ok(inst(M::Priv(op), vec![], Flow::Seq)),                // cli/sti
+            0xfe => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                match reg & 7 {
+                    0 => Ok(inst(M::Inc, vec![rm], Flow::Seq)),
+                    1 => Ok(inst(M::Dec, vec![rm], Flow::Seq)),
+                    _ => Err(DecodeError::Invalid),
+                }
+            }
+            0xff => self.group5(),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+
+    /// ALU instruction forms 0..5 within each 8-opcode block.
+    fn alu_form(&mut self, m: Mnemonic, form: u8) -> Result<Inst, DecodeError> {
+        match form {
+            0 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(m, vec![rm, self.reg_op(reg, OpSize::B)], Flow::Seq))
+            }
+            1 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(m, vec![rm, self.reg_op(reg, size)], Flow::Seq))
+            }
+            2 => {
+                let (reg, rm) = self.modrm(OpSize::B)?;
+                Ok(inst(m, vec![self.reg_op(reg, OpSize::B), rm], Flow::Seq))
+            }
+            3 => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                Ok(inst(m, vec![self.reg_op(reg, size), rm], Flow::Seq))
+            }
+            4 => {
+                let imm = self.imm8()?;
+                Ok(inst(
+                    m,
+                    vec![self.reg_op(0, OpSize::B), Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            5 => {
+                let size = self.opsize_v();
+                let imm = self.imm_z()?;
+                Ok(inst(
+                    m,
+                    vec![self.reg_op(0, size), Operand::Imm(imm)],
+                    Flow::Seq,
+                ))
+            }
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+
+    fn group1(&mut self, size: OpSize, imm8: bool) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        const G1: [Mnemonic; 8] = [
+            M::Add,
+            M::Or,
+            M::Adc,
+            M::Sbb,
+            M::And,
+            M::Sub,
+            M::Xor,
+            M::Cmp,
+        ];
+        let (reg, rm) = self.modrm(size)?;
+        let imm = if imm8 {
+            self.imm8()?
+        } else if size == OpSize::B {
+            self.fetch()? as i64
+        } else {
+            self.imm_z()?
+        };
+        Ok(inst(
+            G1[(reg & 7) as usize],
+            vec![rm, Operand::Imm(imm)],
+            Flow::Seq,
+        ))
+    }
+
+    fn group2(&mut self, size: OpSize, count: ShiftCount) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        const G2: [Mnemonic; 8] = [
+            M::Rol,
+            M::Ror,
+            M::Rcl,
+            M::Rcr,
+            M::Shl,
+            M::Shr,
+            M::Shl, // /6 is a SHL alias
+            M::Sar,
+        ];
+        let (reg, rm) = self.modrm(size)?;
+        let count_op = match count {
+            ShiftCount::Imm8 => Operand::Imm(self.fetch()? as i64),
+            ShiftCount::One => Operand::Imm(1),
+            ShiftCount::Cl => self.reg_op(1, OpSize::B),
+        };
+        Ok(inst(G2[(reg & 7) as usize], vec![rm, count_op], Flow::Seq))
+    }
+
+    fn group3(&mut self, size: OpSize) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        let (reg, rm) = self.modrm(size)?;
+        match reg & 7 {
+            0 | 1 => {
+                // test r/m, imm (the /1 form is an undocumented alias)
+                let imm = if size == OpSize::B {
+                    self.fetch()? as i64
+                } else {
+                    self.imm_z()?
+                };
+                Ok(inst(M::Test, vec![rm, Operand::Imm(imm)], Flow::Seq))
+            }
+            2 => Ok(inst(M::Not, vec![rm], Flow::Seq)),
+            3 => Ok(inst(M::Neg, vec![rm], Flow::Seq)),
+            4 => Ok(inst(M::Mul, vec![rm], Flow::Seq)),
+            5 => Ok(inst(M::Imul, vec![rm], Flow::Seq)),
+            6 => Ok(inst(M::Div, vec![rm], Flow::Seq)),
+            7 => Ok(inst(M::Idiv, vec![rm], Flow::Seq)),
+            _ => unreachable!(),
+        }
+    }
+
+    fn group5(&mut self) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        // Operand size differs within the group: inc/dec are ordinary
+        // v-sized, while call/jmp/push default to 64-bit in long mode.
+        let ext = self.bytes.get(self.pos).map(|m| (m >> 3) & 7);
+        let size = match ext {
+            Some(0) | Some(1) => self.opsize_v(),
+            _ => self.opsize_d64(),
+        };
+        let (reg, rm) = self.modrm(size)?;
+        match reg & 7 {
+            0 => Ok(inst(M::Inc, vec![rm], Flow::Seq)),
+            1 => Ok(inst(M::Dec, vec![rm], Flow::Seq)),
+            2 => Ok(inst(M::CallInd, vec![rm], Flow::CallInd)),
+            3 => match rm {
+                // far call is memory-only
+                Operand::Mem(_) => Ok(inst(M::CallInd, vec![rm], Flow::CallInd)),
+                _ => Err(DecodeError::Invalid),
+            },
+            4 => Ok(inst(M::JmpInd, vec![rm], Flow::JmpInd)),
+            5 => match rm {
+                Operand::Mem(_) => Ok(inst(M::JmpInd, vec![rm], Flow::JmpInd)),
+                _ => Err(DecodeError::Invalid),
+            },
+            6 => Ok(inst(M::Push, vec![rm], Flow::Seq)),
+            _ => Err(DecodeError::Invalid),
+        }
+    }
+
+    fn two_byte(&mut self, op: u8) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        match op {
+            // no-ModRM instructions of the 0F map
+            0x05 => Ok(inst(M::Syscall, vec![], Flow::Seq)),
+            0x06 | 0x07 | 0x08 | 0x09 | 0x30 | 0x32 | 0x33 | 0x34 | 0x35 | 0x37 | 0xaa => {
+                Ok(inst(M::Priv(op), vec![], Flow::Seq))
+            }
+            0x0b => Ok(inst(M::Ud2, vec![], Flow::Term)),
+            0x31 => Ok(inst(M::Rdtsc, vec![], Flow::Seq)),
+            0x77 => Ok(inst(M::TwoByte(op), vec![], Flow::Seq)), // emms
+            0x80..=0x8f => {
+                let rel = self.fetch_n(4)? as u32 as i32;
+                Ok(inst(
+                    M::Jcc(Cond(op & 0xf)),
+                    vec![Operand::Rel(rel)],
+                    Flow::CondRel(rel),
+                ))
+            }
+            0xa0 | 0xa1 | 0xa8 | 0xa9 => Ok(inst(M::TwoByte(op), vec![], Flow::Seq)), // push/pop fs/gs
+            0xa2 => Ok(inst(M::Cpuid, vec![], Flow::Seq)),
+            0xc8..=0xcf => {
+                let num = (op - 0xc8) | (self.rex_bit(0) << 3);
+                Ok(inst(
+                    M::Bswap,
+                    vec![self.reg_op(num, self.opsize_v())],
+                    Flow::Seq,
+                ))
+            }
+            // undefined holes in the 0F map
+            0x04
+            | 0x0a
+            | 0x0c
+            | 0x0e
+            | 0x0f
+            | 0x24..=0x27
+            | 0x36
+            | 0x39
+            | 0x3b..=0x3f
+            | 0x7a
+            | 0x7b => Err(DecodeError::Invalid),
+            // everything else has a ModRM byte
+            _ => self.two_byte_modrm(op),
+        }
+    }
+
+    fn two_byte_modrm(&mut self, op: u8) -> Result<Inst, DecodeError> {
+        use Mnemonic as M;
+        // imm8-carrying 0F-map opcodes
+        let has_imm8 = matches!(
+            op,
+            0x70..=0x73 | 0xa4 | 0xac | 0xba | 0xc2 | 0xc4 | 0xc5 | 0xc6
+        );
+        let m = match op {
+            0x10 | 0x11 => {
+                if self.rep_f2 {
+                    M::Movsd
+                } else if self.rep_f3 {
+                    M::Movss
+                } else {
+                    // movups, or movupd under 66 — same shape for analysis
+                    M::Movups
+                }
+            }
+            0x28 | 0x29 => M::Movaps,
+            0x2a => M::Cvtsi2sd,
+            0x2c | 0x2d => M::Cvttsd2si,
+            0x2e | 0x2f => {
+                if self.opsize66 {
+                    M::Ucomisd
+                } else {
+                    M::Ucomiss
+                }
+            }
+            0x40..=0x4f => M::Cmovcc(Cond(op & 0xf)),
+            0x57 => M::Xorps,
+            0x58 => {
+                if self.rep_f2 {
+                    M::Addsd
+                } else if self.rep_f3 {
+                    M::Addss
+                } else {
+                    M::TwoByte(op)
+                }
+            }
+            0x59 => {
+                if self.rep_f2 {
+                    M::Mulsd
+                } else if self.rep_f3 {
+                    M::Mulss
+                } else {
+                    M::TwoByte(op)
+                }
+            }
+            0x5c => {
+                if self.rep_f2 {
+                    M::Subsd
+                } else if self.rep_f3 {
+                    M::Subss
+                } else {
+                    M::TwoByte(op)
+                }
+            }
+            0x5e => {
+                if self.rep_f2 {
+                    M::Divsd
+                } else if self.rep_f3 {
+                    M::Divss
+                } else {
+                    M::TwoByte(op)
+                }
+            }
+            0x6e => M::Movd,
+            0x7e => {
+                if self.rep_f3 {
+                    M::Movq
+                } else {
+                    M::Movd
+                }
+            }
+            0x6f | 0x7f => M::Movups, // movdqa/movdqu family: SSE move shape
+            0xd6 => M::Movq,
+            0xef => M::Pxor,
+            0x90..=0x9f => M::Setcc(Cond(op & 0xf)),
+            0xa3 => M::Bt,
+            0xa4 | 0xa5 => M::Shld,
+            0xab => M::Bts,
+            0xac | 0xad => M::Shrd,
+            0xaf => M::Imul,
+            0xb0 | 0xb1 => M::Cmpxchg,
+            0xb3 => M::Btr,
+            0xb6 | 0xb7 => M::Movzx,
+            0xb8 if self.rep_f3 => M::Popcnt,
+            0xba => {
+                // group 8: bt/bts/btr/btc r/m, imm8 (selected by modrm.reg)
+                match self.bytes.get(self.pos).map(|m| (m >> 3) & 7) {
+                    Some(4) => M::Bt,
+                    Some(5) => M::Bts,
+                    Some(6) => M::Btr,
+                    Some(7) => M::Btc,
+                    _ => return Err(DecodeError::Invalid),
+                }
+            }
+            0xbb => M::Btc,
+            0xbc => {
+                if self.rep_f3 {
+                    M::Tzcnt
+                } else {
+                    M::Bsf
+                }
+            }
+            0xbd => {
+                if self.rep_f3 {
+                    M::Lzcnt
+                } else {
+                    M::Bsr
+                }
+            }
+            0xbe | 0xbf => M::Movsx,
+            0xc0 | 0xc1 => M::Xadd,
+            0x00..=0x03 | 0x20..=0x23 | 0x78 | 0x79 => M::Priv(op),
+            0x1f => M::NopMulti,
+            0x18..=0x1e => M::NopMulti, // hint nops / prefetch
+            _ => M::TwoByte(op),
+        };
+        // operand sizes: vector ops use X; movzx/movsx/cmov/imul/setcc use GP widths
+        let inst_out = match m {
+            M::Setcc(_) => {
+                let (_, rm) = self.modrm(OpSize::B)?;
+                inst(m, vec![rm], Flow::Seq)
+            }
+            M::Cmovcc(_) | M::Imul | M::Bsf | M::Bsr | M::Popcnt | M::Tzcnt | M::Lzcnt => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                inst(m, vec![self.reg_op(reg, size), rm], Flow::Seq)
+            }
+            M::Bt | M::Bts | M::Btr | M::Btc if op != 0xba => {
+                // register-bit forms: bt r/m, r
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                inst(m, vec![rm, self.reg_op(reg, size)], Flow::Seq)
+            }
+            M::Cmpxchg | M::Xadd => {
+                let size = if op & 1 == 0 {
+                    OpSize::B
+                } else {
+                    self.opsize_v()
+                };
+                let (reg, rm) = self.modrm(size)?;
+                inst(m, vec![rm, self.reg_op(reg, size)], Flow::Seq)
+            }
+            M::Shld | M::Shrd => {
+                let size = self.opsize_v();
+                let (reg, rm) = self.modrm(size)?;
+                let mut ops = vec![rm, self.reg_op(reg, size)];
+                if matches!(op, 0xa5 | 0xad) {
+                    ops.push(self.reg_op(1, OpSize::B)); // CL count
+                }
+                inst(m, ops, Flow::Seq)
+            }
+            M::Movzx | M::Movsx => {
+                let src = if op & 1 == 0 { OpSize::B } else { OpSize::W };
+                let dst = self.opsize_v();
+                let (reg, rm) = self.modrm(src)?;
+                inst(m, vec![self.reg_op(reg, dst), rm], Flow::Seq)
+            }
+            M::Movaps | M::Movups | M::Movss | M::Movsd | M::Xorps | M::Pxor => {
+                let (reg, rm) = self.modrm(OpSize::X)?;
+                let reg_op = Operand::Reg(Reg::Xmm(Xmm(reg)));
+                // store forms (odd opcodes 11/29/7f) have the rm as destination
+                if matches!(op, 0x11 | 0x29 | 0x7f | 0xd6) {
+                    inst(m, vec![rm, reg_op], Flow::Seq)
+                } else {
+                    inst(m, vec![reg_op, rm], Flow::Seq)
+                }
+            }
+            M::Addsd
+            | M::Addss
+            | M::Mulsd
+            | M::Mulss
+            | M::Subsd
+            | M::Subss
+            | M::Divsd
+            | M::Divss
+            | M::Ucomiss
+            | M::Ucomisd
+            | M::Cvtsi2sd
+            | M::Cvttsd2si => {
+                let (reg, rm) = self.modrm(OpSize::X)?;
+                inst(m, vec![Operand::Reg(Reg::Xmm(Xmm(reg))), rm], Flow::Seq)
+            }
+            M::Movd | M::Movq => {
+                let (reg, rm) = self.modrm(self.opsize_v())?;
+                inst(m, vec![Operand::Reg(Reg::Xmm(Xmm(reg))), rm], Flow::Seq)
+            }
+            _ => {
+                let (_, rm) = self.modrm(self.opsize_v())?;
+                inst(m, vec![rm], Flow::Seq)
+            }
+        };
+        // F2/F3 are mandatory prefixes (not REP) throughout the SSE space
+        // of the 0F map — absorb them so listings don't show a bogus `rep`.
+        if matches!(
+            inst_out.opclass(),
+            crate::inst::OpClass::SseMov | crate::inst::OpClass::SseArith
+        ) {
+            self.rep_f2 = false;
+            self.rep_f3 = false;
+        }
+        if has_imm8 {
+            let mut out = inst_out;
+            let imm = self.imm8()?;
+            out.operands.push(Operand::Imm(imm));
+            Ok(out)
+        } else {
+            Ok(inst_out)
+        }
+    }
+
+    /// 3-byte VEX prefix (C4). Structural decode: ModRM always follows; map
+    /// `0F 3A` carries an imm8.
+    fn vex3(&mut self) -> Result<Inst, DecodeError> {
+        let b2 = self.fetch()?;
+        let _b3 = self.fetch()?;
+        let map = b2 & 0x1f;
+        if !(1..=3).contains(&map) {
+            return Err(DecodeError::Invalid);
+        }
+        let opcode = self.fetch()?;
+        let (_, rm) = self.modrm(OpSize::X)?;
+        let mut ops = vec![rm];
+        if map == 3 {
+            ops.push(Operand::Imm(self.imm8()?));
+        }
+        Ok(inst(Mnemonic::Vex(map, opcode), ops, Flow::Seq))
+    }
+
+    /// 2-byte VEX prefix (C5): implied map `0F`.
+    fn vex2(&mut self) -> Result<Inst, DecodeError> {
+        let _b2 = self.fetch()?;
+        let opcode = self.fetch()?;
+        let (_, rm) = self.modrm(OpSize::X)?;
+        Ok(inst(Mnemonic::Vex(1, opcode), vec![rm], Flow::Seq))
+    }
+
+    /// EVEX prefix (62): three payload bytes, opcode, ModRM; map `0F 3A`
+    /// carries an imm8.
+    fn evex(&mut self) -> Result<Inst, DecodeError> {
+        let p0 = self.fetch()?;
+        let p1 = self.fetch()?;
+        let _p2 = self.fetch()?;
+        let map = p0 & 0x07;
+        // Reserved-bit checks that real hardware enforces.
+        if !(1..=3).contains(&map) || (p1 & 0x04) == 0 {
+            return Err(DecodeError::Invalid);
+        }
+        let opcode = self.fetch()?;
+        let (_, rm) = self.modrm(OpSize::X)?;
+        let mut ops = vec![rm];
+        if map == 3 {
+            ops.push(Operand::Imm(self.imm8()?));
+        }
+        Ok(inst(Mnemonic::Evex(opcode), ops, Flow::Seq))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ShiftCount {
+    Imm8,
+    One,
+    Cl,
+}
+
+fn inst(mnemonic: Mnemonic, operands: Vec<Operand>, flow: Flow) -> Inst {
+    Inst {
+        len: 0, // patched by `run`
+        mnemonic,
+        operands,
+        flow,
+        lock: false,
+        rep: false,
+    }
+}
+
+fn sign_extend(raw: u64, bytes: usize) -> i64 {
+    let bits = bytes * 8;
+    if bits >= 64 {
+        raw as i64
+    } else {
+        let shift = 64 - bits;
+        ((raw << shift) as i64) >> shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Flow, Mnemonic, Operand};
+    use crate::reg::{Gp, OpSize, Reg};
+
+    fn dec(bytes: &[u8]) -> Inst {
+        decode(bytes).unwrap_or_else(|e| panic!("decode {bytes:02x?}: {e}"))
+    }
+
+    #[test]
+    fn ret_and_nop() {
+        assert_eq!(dec(&[0xc3]).flow, Flow::Ret);
+        assert_eq!(dec(&[0x90]).mnemonic, Mnemonic::Nop);
+        assert_eq!(dec(&[0xc3]).len, 1);
+    }
+
+    #[test]
+    fn mov_rr_64() {
+        // 48 89 e5 = mov rbp, rsp
+        let i = dec(&[0x48, 0x89, 0xe5]);
+        assert_eq!(i.len, 3);
+        assert_eq!(i.mnemonic, Mnemonic::Mov);
+        assert_eq!(
+            i.operands,
+            vec![Operand::Reg(Reg::q(Gp::RBP)), Operand::Reg(Reg::q(Gp::RSP))]
+        );
+    }
+
+    #[test]
+    fn mov_load_disp8() {
+        // 48 8b 45 f8 = mov rax, [rbp-8]
+        let i = dec(&[0x48, 0x8b, 0x45, 0xf8]);
+        assert_eq!(i.len, 4);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, Some(Reg::q(Gp::RBP)));
+                assert_eq!(m.disp, -8);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rip_relative_lea() {
+        // 48 8d 05 10 00 00 00 = lea rax, [rip+0x10]
+        let i = dec(&[0x48, 0x8d, 0x05, 0x10, 0, 0, 0]);
+        assert_eq!(i.len, 7);
+        assert_eq!(i.mnemonic, Mnemonic::Lea);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, Some(Reg::Rip));
+                assert_eq!(m.disp, 0x10);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lea_register_rm_is_invalid() {
+        // 8d c0 = lea eax, eax — undefined
+        assert_eq!(decode(&[0x8d, 0xc0]), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn sib_scaled_index() {
+        // 48 8b 04 cd 00 10 40 00 = mov rax, [rcx*8 + 0x401000]
+        let i = dec(&[0x48, 0x8b, 0x04, 0xcd, 0x00, 0x10, 0x40, 0x00]);
+        assert_eq!(i.len, 8);
+        match &i.operands[1] {
+            Operand::Mem(m) => {
+                assert_eq!(m.base, None);
+                assert_eq!(m.index, Some(Reg::q(Gp::RCX)));
+                assert_eq!(m.scale, 8);
+                assert_eq!(m.disp, 0x401000);
+            }
+            other => panic!("expected mem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_rel32() {
+        // e8 10 00 00 00
+        let i = dec(&[0xe8, 0x10, 0, 0, 0]);
+        assert_eq!(i.len, 5);
+        assert_eq!(i.flow, Flow::CallRel(0x10));
+    }
+
+    #[test]
+    fn jcc_short_and_near() {
+        let i = dec(&[0x75, 0xfe]); // jne -2
+        assert_eq!(i.flow, Flow::CondRel(-2));
+        assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond::NE));
+        let j = dec(&[0x0f, 0x84, 0x00, 0x01, 0x00, 0x00]); // je +256
+        assert_eq!(j.len, 6);
+        assert_eq!(j.flow, Flow::CondRel(0x100));
+    }
+
+    #[test]
+    fn push_pop_r64() {
+        assert_eq!(dec(&[0x55]).mnemonic, Mnemonic::Push);
+        assert_eq!(dec(&[0x55]).operands, vec![Operand::Reg(Reg::q(Gp::RBP))]);
+        let p = dec(&[0x41, 0x5f]); // pop r15
+        assert_eq!(p.operands, vec![Operand::Reg(Reg::q(Gp::R15))]);
+    }
+
+    #[test]
+    fn mov_imm64() {
+        // 48 b8 ... = movabs rax, imm64
+        let mut b = vec![0x48, 0xb8];
+        b.extend_from_slice(&0x1122334455667788u64.to_le_bytes());
+        let i = dec(&b);
+        assert_eq!(i.len, 10);
+        assert_eq!(i.operands[1], Operand::Imm(0x1122334455667788));
+    }
+
+    #[test]
+    fn group1_imm8_sign_extends() {
+        // 48 83 ec 20 = sub rsp, 0x20 ; 48 83 c0 ff = add rax, -1
+        let i = dec(&[0x48, 0x83, 0xec, 0x20]);
+        assert_eq!(i.mnemonic, Mnemonic::Sub);
+        assert_eq!(i.operands[1], Operand::Imm(0x20));
+        let j = dec(&[0x48, 0x83, 0xc0, 0xff]);
+        assert_eq!(j.operands[1], Operand::Imm(-1));
+    }
+
+    #[test]
+    fn indirect_jmp_and_call() {
+        // ff e0 = jmp rax ; ff d0 = call rax ; ff 24 c5 disp32 = jmp [rax*8+disp]
+        assert_eq!(dec(&[0xff, 0xe0]).flow, Flow::JmpInd);
+        assert_eq!(dec(&[0xff, 0xd0]).flow, Flow::CallInd);
+        let t = dec(&[0xff, 0x24, 0xc5, 0x00, 0x20, 0x40, 0x00]);
+        assert_eq!(t.flow, Flow::JmpInd);
+        assert_eq!(t.len, 7);
+    }
+
+    #[test]
+    fn multibyte_nops() {
+        // canonical GAS nops of lengths 3..=8
+        let cases: [&[u8]; 6] = [
+            &[0x0f, 0x1f, 0x00],
+            &[0x0f, 0x1f, 0x40, 0x00],
+            &[0x0f, 0x1f, 0x44, 0x00, 0x00],
+            &[0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00],
+            &[0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00],
+            &[0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00],
+        ];
+        for c in cases {
+            let i = dec(c);
+            assert_eq!(i.mnemonic, Mnemonic::NopMulti, "bytes {c:02x?}");
+            assert_eq!(i.len as usize, c.len(), "bytes {c:02x?}");
+        }
+    }
+
+    #[test]
+    fn invalid_64bit_opcodes() {
+        for op in [
+            0x06u8, 0x07, 0x0e, 0x16, 0x27, 0x37, 0x60, 0x61, 0x9a, 0xea, 0xd4,
+        ] {
+            assert_eq!(
+                decode(&[op, 0, 0, 0, 0, 0, 0]),
+                Err(DecodeError::Invalid),
+                "{op:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_vs_invalid() {
+        assert_eq!(decode(&[0xe8, 0x01]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x48]), Err(DecodeError::Truncated)); // lone REX
+    }
+
+    #[test]
+    fn fifteen_byte_cap() {
+        // 14 * 0x66 prefix + opcode exceeds the architectural limit.
+        let mut b = vec![0x66; 15];
+        b.push(0x90);
+        assert_eq!(decode(&b), Err(DecodeError::Invalid));
+        // 13 prefixes + 2-byte instruction (66 ... 89 c0) is exactly 15.
+        let mut ok = vec![0x66; 12];
+        ok.extend_from_slice(&[0x89, 0xc0]);
+        assert_eq!(dec(&ok).len, 14);
+    }
+
+    #[test]
+    fn rex_cleared_by_following_prefix() {
+        // 48 66 89 c0: the REX is ignored (not adjacent to opcode), so this
+        // is a 16-bit mov ax, ax of total length 4.
+        let i = dec(&[0x48, 0x66, 0x89, 0xc0]);
+        assert_eq!(i.len, 4);
+        assert_eq!(
+            i.operands[0],
+            Operand::Reg(Reg::Gp {
+                reg: Gp::RAX,
+                size: OpSize::W
+            })
+        );
+    }
+
+    #[test]
+    fn setcc_cmovcc_movzx() {
+        let s = dec(&[0x0f, 0x94, 0xc0]); // sete al
+        assert_eq!(s.mnemonic, Mnemonic::Setcc(Cond::E));
+        let c = dec(&[0x48, 0x0f, 0x44, 0xc1]); // cmove rax, rcx
+        assert_eq!(c.mnemonic, Mnemonic::Cmovcc(Cond::E));
+        let z = dec(&[0x0f, 0xb6, 0xc0]); // movzx eax, al
+        assert_eq!(z.mnemonic, Mnemonic::Movzx);
+        assert_eq!(z.len, 3);
+    }
+
+    #[test]
+    fn sse_scalar_ops() {
+        // f2 0f 58 c1 = addsd xmm0, xmm1
+        let a = dec(&[0xf2, 0x0f, 0x58, 0xc1]);
+        assert_eq!(a.mnemonic, Mnemonic::Addsd);
+        assert_eq!(a.len, 4);
+        // 66 0f ef c0 = pxor xmm0, xmm0
+        let p = dec(&[0x66, 0x0f, 0xef, 0xc0]);
+        assert_eq!(p.mnemonic, Mnemonic::Pxor);
+    }
+
+    #[test]
+    fn vex_lengths() {
+        // c5 f8 57 c0 = vxorps xmm0,xmm0,xmm0 (2-byte VEX)
+        let v = dec(&[0xc5, 0xf8, 0x57, 0xc0]);
+        assert_eq!(v.len, 4);
+        assert!(matches!(v.mnemonic, Mnemonic::Vex(1, 0x57)));
+        // c4 e2 79 18 05 xx xx xx xx = vbroadcastss (3-byte VEX, map 0F38, RIP-rel)
+        let w = dec(&[0xc4, 0xe2, 0x79, 0x18, 0x05, 1, 0, 0, 0]);
+        assert_eq!(w.len, 9);
+        assert!(matches!(w.mnemonic, Mnemonic::Vex(2, 0x18)));
+    }
+
+    #[test]
+    fn moffs_forms_consume_8_byte_address() {
+        let mut b = vec![0xa1];
+        b.extend_from_slice(&[0; 8]);
+        assert_eq!(dec(&b).len, 9);
+    }
+
+    #[test]
+    fn string_ops_and_rep() {
+        let i = dec(&[0xf3, 0xa4]); // rep movsb
+        assert_eq!(i.mnemonic, Mnemonic::Movs);
+        assert!(i.rep);
+        assert_eq!(i.len, 2);
+    }
+
+    #[test]
+    fn x87_has_modrm() {
+        // d9 45 f8 = fld dword [rbp-8]
+        let i = dec(&[0xd9, 0x45, 0xf8]);
+        assert_eq!(i.len, 3);
+        assert!(matches!(i.mnemonic, Mnemonic::X87(0xd9)));
+    }
+
+    #[test]
+    fn every_single_byte_decodes_or_errors() {
+        // Totality: any 16-byte buffer starting with any byte never panics.
+        for b0 in 0u8..=255 {
+            let buf = [b0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+            let _ = decode(&buf);
+        }
+    }
+
+    #[test]
+    fn decode_at_bounds() {
+        assert_eq!(decode_at(&[0x90], 1), Err(DecodeError::Truncated));
+        assert_eq!(decode_at(&[0x90], 0).unwrap().mnemonic, Mnemonic::Nop);
+    }
+}

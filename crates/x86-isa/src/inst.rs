@@ -1,0 +1,847 @@
+//! The decoded-instruction model: mnemonics, operands, control flow and the
+//! coarse opcode classes consumed by the statistical disassembly model.
+
+use crate::reg::{OpSize, Reg};
+use std::fmt;
+
+/// A condition code as encoded in the low nibble of `Jcc`/`SETcc`/`CMOVcc`
+/// opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cond(pub u8);
+
+impl Cond {
+    /// Overflow.
+    pub const O: Cond = Cond(0x0);
+    /// Not overflow.
+    pub const NO: Cond = Cond(0x1);
+    /// Below (unsigned <).
+    pub const B: Cond = Cond(0x2);
+    /// Above or equal (unsigned >=).
+    pub const AE: Cond = Cond(0x3);
+    /// Equal / zero.
+    pub const E: Cond = Cond(0x4);
+    /// Not equal / not zero.
+    pub const NE: Cond = Cond(0x5);
+    /// Below or equal (unsigned <=).
+    pub const BE: Cond = Cond(0x6);
+    /// Above (unsigned >).
+    pub const A: Cond = Cond(0x7);
+    /// Sign.
+    pub const S: Cond = Cond(0x8);
+    /// Not sign.
+    pub const NS: Cond = Cond(0x9);
+    /// Parity.
+    pub const P: Cond = Cond(0xa);
+    /// Not parity.
+    pub const NP: Cond = Cond(0xb);
+    /// Less (signed <).
+    pub const L: Cond = Cond(0xc);
+    /// Greater or equal (signed >=).
+    pub const GE: Cond = Cond(0xd);
+    /// Less or equal (signed <=).
+    pub const LE: Cond = Cond(0xe);
+    /// Greater (signed >).
+    pub const G: Cond = Cond(0xf);
+
+    /// Canonical mnemonic suffix ("e", "ne", "l", ...).
+    pub fn suffix(self) -> &'static str {
+        const S: [&str; 16] = [
+            "o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np", "l", "ge", "le", "g",
+        ];
+        S[(self.0 & 0xf) as usize]
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Instruction mnemonic.
+///
+/// Instructions the pipeline reasons about semantically get a dedicated
+/// variant; the long tail is bucketed into structurally-decoded catch-alls
+/// (`Sse`, `TwoByte`, `X87`, `Vex`, `Evex`, `Priv`) that still carry exact
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are standard x86 mnemonics
+pub enum Mnemonic {
+    // data movement
+    Mov,
+    MovImm,
+    Movsxd,
+    Movzx,
+    Movsx,
+    Lea,
+    Push,
+    Pop,
+    Xchg,
+    // arithmetic / logic
+    Add,
+    Or,
+    Adc,
+    Sbb,
+    And,
+    Sub,
+    Xor,
+    Cmp,
+    Test,
+    Inc,
+    Dec,
+    Not,
+    Neg,
+    Mul,
+    Imul,
+    Div,
+    Idiv,
+    Rol,
+    Ror,
+    Rcl,
+    Rcr,
+    Shl,
+    Shr,
+    Sar,
+    Shld,
+    Shrd,
+    Cbw,
+    Cdq,
+    // bit manipulation
+    Bt,
+    Bts,
+    Btr,
+    Btc,
+    Bsf,
+    Bsr,
+    Popcnt,
+    Tzcnt,
+    Lzcnt,
+    Bswap,
+    // atomics
+    Xadd,
+    Cmpxchg,
+    // control flow
+    Jmp,
+    JmpInd,
+    Jcc(Cond),
+    Call,
+    CallInd,
+    Ret,
+    RetImm,
+    Leave,
+    Enter,
+    // conditional data
+    Setcc(Cond),
+    Cmovcc(Cond),
+    // misc
+    Nop,
+    NopMulti,
+    Int3,
+    Int,
+    Int1,
+    IntO,
+    Syscall,
+    Ud2,
+    Hlt,
+    Cpuid,
+    Rdtsc,
+    Pause,
+    // string ops
+    Movs,
+    Stos,
+    Lods,
+    Scas,
+    Cmps,
+    Ins,
+    Outs,
+    // SSE subset with dedicated semantics
+    Movaps,
+    Movups,
+    Movss,
+    Movsd,
+    Movd,
+    Movq,
+    Xorps,
+    Pxor,
+    Addss,
+    Addsd,
+    Mulss,
+    Mulsd,
+    Subss,
+    Subsd,
+    Divss,
+    Divsd,
+    Ucomiss,
+    Ucomisd,
+    Cvtsi2sd,
+    Cvttsd2si,
+    // structurally decoded catch-alls
+    /// Any other two-byte-map (0F xx) instruction, by second opcode byte.
+    TwoByte(u8),
+    /// Any other 0F 38 xx instruction.
+    ThreeByte38(u8),
+    /// Any other 0F 3A xx instruction (carries an imm8).
+    ThreeByte3A(u8),
+    /// x87 floating point (D8..DF with ModRM).
+    X87(u8),
+    /// VEX-encoded instruction (map, opcode).
+    Vex(u8, u8),
+    /// EVEX-encoded instruction (opcode).
+    Evex(u8),
+    /// Privileged / IO / system instruction unlikely in user-mode text.
+    Priv(u8),
+    /// Other structurally-known one-byte-map instruction.
+    Other(u8),
+}
+
+impl Mnemonic {
+    /// `true` if this mnemonic's encoding consumes an F2/F3 byte as a
+    /// *mandatory prefix* (so a REP annotation would be wrong in listings).
+    pub fn has_mandatory_rep_prefix(self) -> bool {
+        matches!(
+            self,
+            Mnemonic::Pause
+                | Mnemonic::Movss
+                | Mnemonic::Movsd
+                | Mnemonic::Movq
+                | Mnemonic::Addss
+                | Mnemonic::Addsd
+                | Mnemonic::Mulss
+                | Mnemonic::Mulsd
+                | Mnemonic::Subss
+                | Mnemonic::Subsd
+                | Mnemonic::Divss
+                | Mnemonic::Divsd
+                | Mnemonic::Cvtsi2sd
+                | Mnemonic::Cvttsd2si
+                | Mnemonic::Popcnt
+                | Mnemonic::Tzcnt
+                | Mnemonic::Lzcnt
+        )
+    }
+
+    /// `true` if this instruction is privileged or otherwise wildly
+    /// improbable inside ordinary user-mode code — a behavioral hint that a
+    /// decode chain containing it is actually data.
+    pub fn is_suspicious(self) -> bool {
+        matches!(
+            self,
+            Mnemonic::Hlt
+                | Mnemonic::Priv(_)
+                | Mnemonic::Int1
+                | Mnemonic::IntO
+                | Mnemonic::Ins
+                | Mnemonic::Outs
+        )
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]`, possibly RIP-relative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOperand {
+    /// Base register, if any (`Reg::Rip` for RIP-relative).
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale factor (1, 2, 4 or 8).
+    pub scale: u8,
+    /// Signed displacement.
+    pub disp: i32,
+    /// Access width.
+    pub size: OpSize,
+}
+
+impl fmt::Display for MemOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ptr [", self.size)?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                f.write_str("+")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if !first {
+                if self.disp >= 0 {
+                    write!(f, "+{:#x}", self.disp)?;
+                } else {
+                    write!(f, "-{:#x}", -(self.disp as i64))?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+/// A decoded operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Memory operand.
+    Mem(MemOperand),
+    /// Immediate value (sign-extended to i64).
+    Imm(i64),
+    /// Relative branch displacement (from the end of the instruction).
+    Rel(i32),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Imm(i) => {
+                if *i < 0 {
+                    write!(f, "-{:#x}", i.unsigned_abs())
+                } else {
+                    write!(f, "{i:#x}")
+                }
+            }
+            Operand::Rel(r) => {
+                if *r < 0 {
+                    write!(f, ".-{:#x}", r.unsigned_abs())
+                } else {
+                    write!(f, ".+{r:#x}")
+                }
+            }
+        }
+    }
+}
+
+/// Control-flow effect of an instruction, as needed by disassembly analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flow {
+    /// Falls through to the next instruction only.
+    Seq,
+    /// Unconditional direct jump with relative displacement.
+    JmpRel(i32),
+    /// Unconditional indirect jump (register or memory target).
+    JmpInd,
+    /// Conditional direct jump: falls through *or* branches.
+    CondRel(i32),
+    /// Direct call: control returns, so it also falls through for layout
+    /// purposes (non-returning callees are a recognized error source).
+    CallRel(i32),
+    /// Indirect call.
+    CallInd,
+    /// Return.
+    Ret,
+    /// Execution terminates or traps (hlt, ud2, int3).
+    Term,
+}
+
+impl Flow {
+    /// `true` if execution can continue at the textually next instruction.
+    pub fn falls_through(self) -> bool {
+        matches!(
+            self,
+            Flow::Seq | Flow::CondRel(_) | Flow::CallRel(_) | Flow::CallInd
+        )
+    }
+
+    /// The relative displacement of a direct transfer, if any.
+    pub fn rel_target(self) -> Option<i32> {
+        match self {
+            Flow::JmpRel(r) | Flow::CondRel(r) | Flow::CallRel(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Coarse opcode classes over which the statistical code model is trained.
+///
+/// Classes are chosen so that (a) compiler-emitted code has a sharply
+/// non-uniform distribution over them while decoded random bytes are much
+/// flatter, and (b) the alphabet stays small enough for a smoothed order-2
+/// model to be trainable from modest corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum OpClass {
+    MovRegReg,
+    MovLoad,
+    MovStore,
+    MovImm,
+    Lea,
+    Widen, // movzx/movsx/movsxd/cbw/cdq
+    Push,
+    Pop,
+    AluRegReg,
+    AluLoad,
+    AluStore,
+    AluImm,
+    TestCmp,
+    Shift,
+    MulDiv,
+    IncDec,
+    JmpDirect,
+    JmpIndirect,
+    CondJmp,
+    CallDirect,
+    CallIndirect,
+    Ret,
+    LeaveEnter,
+    Setcc,
+    Cmovcc,
+    Nop,
+    Trap,      // int3/int/ud2/syscall
+    BitOp,     // bt/bts/btr/btc/bsf/bsr/popcnt/tzcnt/lzcnt/bswap
+    AtomicRmw, // xadd/cmpxchg
+    StringOp,
+    SseMov,
+    SseArith,
+    X87,
+    VexEvex,
+    Xchg,
+    Priv,
+    Other,
+}
+
+impl OpClass {
+    /// Number of distinct classes (alphabet size of the statistical model).
+    pub const COUNT: usize = 37;
+
+    /// A dense index in `0..Self::COUNT` for table lookups.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All classes, in `index()` order.
+    pub fn all() -> impl Iterator<Item = OpClass> {
+        ALL_CLASSES.iter().copied()
+    }
+}
+
+const ALL_CLASSES: [OpClass; OpClass::COUNT] = [
+    OpClass::MovRegReg,
+    OpClass::MovLoad,
+    OpClass::MovStore,
+    OpClass::MovImm,
+    OpClass::Lea,
+    OpClass::Widen,
+    OpClass::Push,
+    OpClass::Pop,
+    OpClass::AluRegReg,
+    OpClass::AluLoad,
+    OpClass::AluStore,
+    OpClass::AluImm,
+    OpClass::TestCmp,
+    OpClass::Shift,
+    OpClass::MulDiv,
+    OpClass::IncDec,
+    OpClass::JmpDirect,
+    OpClass::JmpIndirect,
+    OpClass::CondJmp,
+    OpClass::CallDirect,
+    OpClass::CallIndirect,
+    OpClass::Ret,
+    OpClass::LeaveEnter,
+    OpClass::Setcc,
+    OpClass::Cmovcc,
+    OpClass::Nop,
+    OpClass::Trap,
+    OpClass::BitOp,
+    OpClass::AtomicRmw,
+    OpClass::StringOp,
+    OpClass::SseMov,
+    OpClass::SseArith,
+    OpClass::X87,
+    OpClass::VexEvex,
+    OpClass::Xchg,
+    OpClass::Priv,
+    OpClass::Other,
+];
+
+/// A fully decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Total encoded length in bytes (1..=15).
+    pub len: u8,
+    /// Mnemonic.
+    pub mnemonic: Mnemonic,
+    /// Operands in Intel order (destination first). At most three.
+    pub operands: Vec<Operand>,
+    /// Control-flow effect.
+    pub flow: Flow,
+    /// `true` if a LOCK prefix was present.
+    pub lock: bool,
+    /// `true` if a REP/REPNE prefix was present.
+    pub rep: bool,
+}
+
+impl Inst {
+    /// The coarse statistical class of this instruction.
+    pub fn opclass(&self) -> OpClass {
+        use Mnemonic as M;
+        let rm_shape = || {
+            // Distinguish reg/reg vs load vs store by operand shapes.
+            let dst_mem = matches!(self.operands.first(), Some(Operand::Mem(_)));
+            let src_mem = matches!(self.operands.get(1), Some(Operand::Mem(_)));
+            (dst_mem, src_mem)
+        };
+        match self.mnemonic {
+            M::Mov => match rm_shape() {
+                (true, _) => OpClass::MovStore,
+                (_, true) => OpClass::MovLoad,
+                _ => {
+                    if matches!(self.operands.get(1), Some(Operand::Imm(_))) {
+                        OpClass::MovImm
+                    } else {
+                        OpClass::MovRegReg
+                    }
+                }
+            },
+            M::MovImm => OpClass::MovImm,
+            M::Movsxd | M::Movzx | M::Movsx | M::Cbw | M::Cdq => OpClass::Widen,
+            M::Lea => OpClass::Lea,
+            M::Push => OpClass::Push,
+            M::Pop => OpClass::Pop,
+            M::Add | M::Or | M::Adc | M::Sbb | M::And | M::Sub | M::Xor => {
+                if matches!(self.operands.get(1), Some(Operand::Imm(_))) {
+                    OpClass::AluImm
+                } else {
+                    match rm_shape() {
+                        (true, _) => OpClass::AluStore,
+                        (_, true) => OpClass::AluLoad,
+                        _ => OpClass::AluRegReg,
+                    }
+                }
+            }
+            M::Cmp | M::Test => OpClass::TestCmp,
+            M::Inc | M::Dec => OpClass::IncDec,
+            M::Not | M::Neg => OpClass::AluRegReg,
+            M::Mul | M::Imul | M::Div | M::Idiv => OpClass::MulDiv,
+            M::Rol | M::Ror | M::Rcl | M::Rcr | M::Shl | M::Shr | M::Sar | M::Shld | M::Shrd => {
+                OpClass::Shift
+            }
+            M::Bt
+            | M::Bts
+            | M::Btr
+            | M::Btc
+            | M::Bsf
+            | M::Bsr
+            | M::Popcnt
+            | M::Tzcnt
+            | M::Lzcnt
+            | M::Bswap => OpClass::BitOp,
+            M::Xadd | M::Cmpxchg => OpClass::AtomicRmw,
+            M::Jmp => OpClass::JmpDirect,
+            M::JmpInd => OpClass::JmpIndirect,
+            M::Jcc(_) => OpClass::CondJmp,
+            M::Call => OpClass::CallDirect,
+            M::CallInd => OpClass::CallIndirect,
+            M::Ret | M::RetImm => OpClass::Ret,
+            M::Leave | M::Enter => OpClass::LeaveEnter,
+            M::Setcc(_) => OpClass::Setcc,
+            M::Cmovcc(_) => OpClass::Cmovcc,
+            M::Nop | M::NopMulti | M::Pause => OpClass::Nop,
+            M::Int3 | M::Int | M::Syscall | M::Ud2 => OpClass::Trap,
+            M::Int1 | M::IntO | M::Hlt => OpClass::Priv,
+            M::Movs | M::Stos | M::Lods | M::Scas | M::Cmps => OpClass::StringOp,
+            M::Ins | M::Outs => OpClass::Priv,
+            M::Movaps | M::Movups | M::Movss | M::Movsd | M::Movd | M::Movq => OpClass::SseMov,
+            M::Xorps
+            | M::Pxor
+            | M::Addss
+            | M::Addsd
+            | M::Mulss
+            | M::Mulsd
+            | M::Subss
+            | M::Subsd
+            | M::Divss
+            | M::Divsd
+            | M::Ucomiss
+            | M::Ucomisd
+            | M::Cvtsi2sd
+            | M::Cvttsd2si => OpClass::SseArith,
+            M::X87(_) => OpClass::X87,
+            M::Vex(..) | M::Evex(_) => OpClass::VexEvex,
+            M::Xchg => OpClass::Xchg,
+            M::Priv(_) => OpClass::Priv,
+            M::Cpuid | M::Rdtsc => OpClass::Other,
+            M::TwoByte(_) | M::ThreeByte38(_) | M::ThreeByte3A(_) | M::Other(_) => OpClass::Other,
+        }
+    }
+
+    /// `true` if this is a recognized padding instruction (NOPs, int3).
+    pub fn is_padding(&self) -> bool {
+        matches!(
+            self.mnemonic,
+            Mnemonic::Nop | Mnemonic::NopMulti | Mnemonic::Int3
+        )
+    }
+}
+
+impl Inst {
+    /// Absolute target of a direct branch/call, given the instruction's
+    /// virtual address.
+    ///
+    /// ```
+    /// let call = x86_isa::decode(&[0xe8, 0x10, 0, 0, 0]).unwrap();
+    /// assert_eq!(call.branch_target(0x401000), Some(0x401015));
+    /// assert_eq!(x86_isa::decode(&[0xc3]).unwrap().branch_target(0x401000), None);
+    /// ```
+    pub fn branch_target(&self, va: u64) -> Option<u64> {
+        self.flow.rel_target().map(|rel| {
+            va.wrapping_add(self.len as u64)
+                .wrapping_add(rel as i64 as u64)
+        })
+    }
+
+    /// Render the instruction as it would appear at virtual address `va`:
+    /// relative branch displacements are resolved to absolute targets.
+    ///
+    /// ```
+    /// let inst = x86_isa::decode(&[0xeb, 0x05]).unwrap(); // jmp .+5
+    /// assert_eq!(inst.display_at(0x401000), "jmp 0x401007");
+    /// ```
+    pub fn display_at(&self, va: u64) -> String {
+        let mut s = String::new();
+        if self.lock {
+            s.push_str("lock ");
+        }
+        if self.rep && !self.mnemonic.has_mandatory_rep_prefix() {
+            s.push_str("rep ");
+        }
+        use std::fmt::Write as _;
+        match self.mnemonic {
+            Mnemonic::Jcc(c) => {
+                let _ = write!(s, "j{c}");
+            }
+            Mnemonic::Setcc(c) => {
+                let _ = write!(s, "set{c}");
+            }
+            Mnemonic::Cmovcc(c) => {
+                let _ = write!(s, "cmov{c}");
+            }
+            m => {
+                let _ = write!(s, "{}", mnemonic_name(m));
+            }
+        }
+        for (i, op) in self.operands.iter().enumerate() {
+            let sep = if i == 0 { " " } else { ", " };
+            match op {
+                Operand::Rel(r) => {
+                    let target = va
+                        .wrapping_add(self.len as u64)
+                        .wrapping_add(*r as i64 as u64);
+                    let _ = write!(s, "{sep}{target:#x}");
+                }
+                other => {
+                    let _ = write!(s, "{sep}{other}");
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lock {
+            f.write_str("lock ")?;
+        }
+        if self.rep && !self.mnemonic.has_mandatory_rep_prefix() {
+            f.write_str("rep ")?;
+        }
+        match self.mnemonic {
+            Mnemonic::Jcc(c) => write!(f, "j{c}")?,
+            Mnemonic::Setcc(c) => write!(f, "set{c}")?,
+            Mnemonic::Cmovcc(c) => write!(f, "cmov{c}")?,
+            m => write!(f, "{}", mnemonic_name(m))?,
+        }
+        for (i, op) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {op}")?;
+            } else {
+                write!(f, ", {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn mnemonic_name(m: Mnemonic) -> String {
+    use Mnemonic as M;
+    let s: &str = match m {
+        M::Mov | M::MovImm => "mov",
+        M::Movsxd => "movsxd",
+        M::Movzx => "movzx",
+        M::Movsx => "movsx",
+        M::Lea => "lea",
+        M::Push => "push",
+        M::Pop => "pop",
+        M::Xchg => "xchg",
+        M::Add => "add",
+        M::Or => "or",
+        M::Adc => "adc",
+        M::Sbb => "sbb",
+        M::And => "and",
+        M::Sub => "sub",
+        M::Xor => "xor",
+        M::Cmp => "cmp",
+        M::Test => "test",
+        M::Inc => "inc",
+        M::Dec => "dec",
+        M::Not => "not",
+        M::Neg => "neg",
+        M::Mul => "mul",
+        M::Imul => "imul",
+        M::Div => "div",
+        M::Idiv => "idiv",
+        M::Rol => "rol",
+        M::Ror => "ror",
+        M::Rcl => "rcl",
+        M::Rcr => "rcr",
+        M::Shl => "shl",
+        M::Shr => "shr",
+        M::Sar => "sar",
+        M::Shld => "shld",
+        M::Shrd => "shrd",
+        M::Bt => "bt",
+        M::Bts => "bts",
+        M::Btr => "btr",
+        M::Btc => "btc",
+        M::Bsf => "bsf",
+        M::Bsr => "bsr",
+        M::Popcnt => "popcnt",
+        M::Tzcnt => "tzcnt",
+        M::Lzcnt => "lzcnt",
+        M::Bswap => "bswap",
+        M::Xadd => "xadd",
+        M::Cmpxchg => "cmpxchg",
+        M::Cbw => "cbw",
+        M::Cdq => "cdq",
+        M::Jmp | M::JmpInd => "jmp",
+        M::Call | M::CallInd => "call",
+        M::Ret | M::RetImm => "ret",
+        M::Leave => "leave",
+        M::Enter => "enter",
+        M::Nop | M::NopMulti => "nop",
+        M::Int3 => "int3",
+        M::Int => "int",
+        M::Int1 => "int1",
+        M::IntO => "into",
+        M::Syscall => "syscall",
+        M::Ud2 => "ud2",
+        M::Hlt => "hlt",
+        M::Cpuid => "cpuid",
+        M::Rdtsc => "rdtsc",
+        M::Pause => "pause",
+        M::Movs => "movs",
+        M::Stos => "stos",
+        M::Lods => "lods",
+        M::Scas => "scas",
+        M::Cmps => "cmps",
+        M::Ins => "ins",
+        M::Outs => "outs",
+        M::Movaps => "movaps",
+        M::Movups => "movups",
+        M::Movss => "movss",
+        M::Movsd => "movsd",
+        M::Movd => "movd",
+        M::Movq => "movq",
+        M::Xorps => "xorps",
+        M::Pxor => "pxor",
+        M::Addss => "addss",
+        M::Addsd => "addsd",
+        M::Mulss => "mulss",
+        M::Mulsd => "mulsd",
+        M::Subss => "subss",
+        M::Subsd => "subsd",
+        M::Divss => "divss",
+        M::Divsd => "divsd",
+        M::Ucomiss => "ucomiss",
+        M::Ucomisd => "ucomisd",
+        M::Cvtsi2sd => "cvtsi2sd",
+        M::Cvttsd2si => "cvttsd2si",
+        M::TwoByte(b) => return format!("op_0f_{b:02x}"),
+        M::ThreeByte38(b) => return format!("op_0f38_{b:02x}"),
+        M::ThreeByte3A(b) => return format!("op_0f3a_{b:02x}"),
+        M::X87(b) => return format!("x87_{b:02x}"),
+        M::Vex(m, o) => return format!("vex_m{m}_{o:02x}"),
+        M::Evex(o) => return format!("evex_{o:02x}"),
+        M::Priv(b) => return format!("priv_{b:02x}"),
+        M::Other(b) => return format!("op_{b:02x}"),
+        M::Jcc(_) | M::Setcc(_) | M::Cmovcc(_) => unreachable!("handled by Display"),
+    };
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Gp;
+
+    #[test]
+    fn opclass_indices_are_dense_and_unique() {
+        let mut seen = [false; OpClass::COUNT];
+        for c in OpClass::all() {
+            assert!(!seen[c.index()], "duplicate index for {c:?}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn flow_fallthrough() {
+        assert!(Flow::Seq.falls_through());
+        assert!(Flow::CondRel(5).falls_through());
+        assert!(Flow::CallRel(0).falls_through());
+        assert!(!Flow::JmpRel(0).falls_through());
+        assert!(!Flow::Ret.falls_through());
+        assert!(!Flow::Term.falls_through());
+    }
+
+    #[test]
+    fn display_inst() {
+        let i = Inst {
+            len: 3,
+            mnemonic: Mnemonic::Mov,
+            operands: vec![Operand::Reg(Reg::q(Gp::RBP)), Operand::Reg(Reg::q(Gp::RSP))],
+            flow: Flow::Seq,
+            lock: false,
+            rep: false,
+        };
+        assert_eq!(i.to_string(), "mov rbp, rsp");
+    }
+
+    #[test]
+    fn mov_shapes_classify() {
+        let mk = |ops: Vec<Operand>| Inst {
+            len: 3,
+            mnemonic: Mnemonic::Mov,
+            operands: ops,
+            flow: Flow::Seq,
+            lock: false,
+            rep: false,
+        };
+        let mem = Operand::Mem(MemOperand {
+            base: Some(Reg::q(Gp::RBP)),
+            index: None,
+            scale: 1,
+            disp: -8,
+            size: crate::OpSize::Q,
+        });
+        let reg = Operand::Reg(Reg::q(Gp::RAX));
+        assert_eq!(mk(vec![reg, mem]).opclass(), OpClass::MovLoad);
+        assert_eq!(mk(vec![mem, reg]).opclass(), OpClass::MovStore);
+        assert_eq!(mk(vec![reg, reg]).opclass(), OpClass::MovRegReg);
+        assert_eq!(mk(vec![reg, Operand::Imm(1)]).opclass(), OpClass::MovImm);
+    }
+
+    #[test]
+    fn suspicious_mnemonics() {
+        assert!(Mnemonic::Hlt.is_suspicious());
+        assert!(Mnemonic::Priv(0xee).is_suspicious());
+        assert!(!Mnemonic::Mov.is_suspicious());
+    }
+}

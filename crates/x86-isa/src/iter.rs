@@ -1,0 +1,105 @@
+//! Linear instruction iteration over a byte buffer.
+//!
+//! The objdump-style traversal — decode, advance by the instruction length,
+//! resynchronize one byte after an invalid encoding — is needed by the
+//! linear-sweep baseline, listings and tooling; this iterator centralizes
+//! it.
+
+use crate::decode::{decode, DecodeError};
+use crate::inst::Inst;
+
+/// Iterator over `(offset, decode result)` pairs of a linear sweep.
+///
+/// ```
+/// use x86_isa::linear_instructions;
+///
+/// // nop ; <invalid> ; ret
+/// let items: Vec<_> = linear_instructions(&[0x90, 0x06, 0xc3]).collect();
+/// assert_eq!(items.len(), 3);
+/// assert_eq!(items[0].0, 0);
+/// assert!(items[1].1.is_err());
+/// assert_eq!(items[2].0, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearInsts<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Iterate instructions linearly from the start of `bytes`.
+pub fn linear_instructions(bytes: &[u8]) -> LinearInsts<'_> {
+    LinearInsts { bytes, pos: 0 }
+}
+
+impl<'a> LinearInsts<'a> {
+    /// Current cursor position (offset of the next item).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<'a> Iterator for LinearInsts<'a> {
+    type Item = (usize, Result<Inst, DecodeError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let at = self.pos;
+        let r = decode(&self.bytes[at..]);
+        self.pos += match &r {
+            Ok(inst) => inst.len as usize,
+            Err(_) => 1,
+        };
+        Some((at, r))
+    }
+}
+
+impl std::iter::FusedIterator for LinearInsts<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Mnemonic;
+
+    #[test]
+    fn walks_valid_stream() {
+        // push rbp ; mov rbp, rsp ; ret
+        let bytes = [0x55, 0x48, 0x89, 0xe5, 0xc3];
+        let offs: Vec<usize> = linear_instructions(&bytes)
+            .map(|(o, r)| {
+                r.unwrap();
+                o
+            })
+            .collect();
+        assert_eq!(offs, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn resynchronizes_on_invalid() {
+        let bytes = [0x06, 0x06, 0x90];
+        let items: Vec<_> = linear_instructions(&bytes).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].1.is_err());
+        assert!(items[1].1.is_err());
+        assert_eq!(items[2].1.as_ref().unwrap().mnemonic, Mnemonic::Nop);
+    }
+
+    #[test]
+    fn empty_and_fused() {
+        let mut it = linear_instructions(&[]);
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn position_tracks_cursor() {
+        let bytes = [0x90, 0xc3];
+        let mut it = linear_instructions(&bytes);
+        assert_eq!(it.position(), 0);
+        it.next();
+        assert_eq!(it.position(), 1);
+        it.next();
+        assert_eq!(it.position(), 2);
+    }
+}

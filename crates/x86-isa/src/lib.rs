@@ -1,0 +1,51 @@
+//! # x86-isa
+//!
+//! A from-scratch, table-driven x86-64 (long mode) instruction decoder and a
+//! matching assembler for the subset of the ISA that compilers routinely emit.
+//!
+//! This crate is the bottom-most substrate of the `metadis` disassembly
+//! pipeline. Superset disassembly requires decoding an instruction candidate
+//! at *every* byte offset of a section, over completely arbitrary bytes, so
+//! the decoder here is:
+//!
+//! * **total** — it never panics; any byte sequence either decodes to an
+//!   instruction with an exact length, or to a [`DecodeError`];
+//! * **length-exact** for the compiler-emitted subset (verified by
+//!   assemble/decode round-trip property tests);
+//! * **structurally faithful** for the long tail: instructions that the
+//!   pipeline does not reason about semantically (x87, SSE arithmetic,
+//!   VEX/EVEX-encoded vectors, privileged ops) still decode with correct
+//!   lengths and are bucketed into coarse [`OpClass`]es used by the
+//!   statistical model.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use x86_isa::{decode, Mnemonic, Flow};
+//!
+//! // 48 89 e5 = mov rbp, rsp ; c3 = ret
+//! let bytes = [0x48, 0x89, 0xe5, 0xc3];
+//! let inst = decode(&bytes).expect("valid");
+//! assert_eq!(inst.len, 3);
+//! assert_eq!(inst.mnemonic, Mnemonic::Mov);
+//! let ret = decode(&bytes[3..]).expect("valid");
+//! assert_eq!(ret.flow, Flow::Ret);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod decode;
+mod inst;
+mod iter;
+mod reg;
+
+pub use asm::{Asm, AsmError, Label, Mem};
+pub use decode::{decode, decode_at, DecodeError};
+pub use inst::{Cond, Flow, Inst, MemOperand, Mnemonic, OpClass, Operand};
+pub use iter::{linear_instructions, LinearInsts};
+pub use reg::{Gp, OpSize, Reg, Xmm};
+
+/// Architectural upper bound on the length of a single x86 instruction.
+pub const MAX_INST_LEN: usize = 15;

@@ -1,0 +1,251 @@
+//! Register and operand-size model.
+
+use std::fmt;
+
+/// Width of an operand in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpSize {
+    /// 8-bit.
+    B,
+    /// 16-bit.
+    W,
+    /// 32-bit.
+    D,
+    /// 64-bit.
+    Q,
+    /// 128-bit (XMM).
+    X,
+}
+
+impl OpSize {
+    /// Width in bytes.
+    ///
+    /// ```
+    /// assert_eq!(x86_isa::OpSize::Q.bytes(), 8);
+    /// ```
+    pub fn bytes(self) -> u8 {
+        match self {
+            OpSize::B => 1,
+            OpSize::W => 2,
+            OpSize::D => 4,
+            OpSize::Q => 8,
+            OpSize::X => 16,
+        }
+    }
+}
+
+impl fmt::Display for OpSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpSize::B => "byte",
+            OpSize::W => "word",
+            OpSize::D => "dword",
+            OpSize::Q => "qword",
+            OpSize::X => "xmmword",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A general-purpose register identified by its hardware encoding number
+/// (0 = RAX .. 15 = R15). Width is carried separately in [`Reg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gp(pub u8);
+
+impl Gp {
+    /// RAX / EAX / AX / AL.
+    pub const RAX: Gp = Gp(0);
+    /// RCX.
+    pub const RCX: Gp = Gp(1);
+    /// RDX.
+    pub const RDX: Gp = Gp(2);
+    /// RBX.
+    pub const RBX: Gp = Gp(3);
+    /// RSP (stack pointer).
+    pub const RSP: Gp = Gp(4);
+    /// RBP (frame pointer).
+    pub const RBP: Gp = Gp(5);
+    /// RSI.
+    pub const RSI: Gp = Gp(6);
+    /// RDI.
+    pub const RDI: Gp = Gp(7);
+    /// R8.
+    pub const R8: Gp = Gp(8);
+    /// R9.
+    pub const R9: Gp = Gp(9);
+    /// R10.
+    pub const R10: Gp = Gp(10);
+    /// R11.
+    pub const R11: Gp = Gp(11);
+    /// R12.
+    pub const R12: Gp = Gp(12);
+    /// R13.
+    pub const R13: Gp = Gp(13);
+    /// R14.
+    pub const R14: Gp = Gp(14);
+    /// R15.
+    pub const R15: Gp = Gp(15);
+
+    /// All sixteen general-purpose registers, in encoding order.
+    pub const ALL: [Gp; 16] = [
+        Gp(0),
+        Gp(1),
+        Gp(2),
+        Gp(3),
+        Gp(4),
+        Gp(5),
+        Gp(6),
+        Gp(7),
+        Gp(8),
+        Gp(9),
+        Gp(10),
+        Gp(11),
+        Gp(12),
+        Gp(13),
+        Gp(14),
+        Gp(15),
+    ];
+
+    /// Name of the 64-bit form of this register.
+    pub fn name64(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        NAMES[(self.0 & 0xf) as usize]
+    }
+}
+
+impl fmt::Display for Gp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name64())
+    }
+}
+
+/// An XMM register identified by number (0..=15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(pub u8);
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// A sized register reference as it appears in a decoded operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// General-purpose register with an access width.
+    Gp {
+        /// The register.
+        reg: Gp,
+        /// The accessed width.
+        size: OpSize,
+    },
+    /// Vector register.
+    Xmm(Xmm),
+    /// The instruction pointer (only used for RIP-relative addressing).
+    Rip,
+}
+
+impl Reg {
+    /// Convenience constructor for a 64-bit GP register.
+    pub fn q(reg: Gp) -> Reg {
+        Reg::Gp {
+            reg,
+            size: OpSize::Q,
+        }
+    }
+
+    /// Convenience constructor for a 32-bit GP register.
+    pub fn d(reg: Gp) -> Reg {
+        Reg::Gp {
+            reg,
+            size: OpSize::D,
+        }
+    }
+
+    /// Convenience constructor for an 8-bit GP register.
+    pub fn b(reg: Gp) -> Reg {
+        Reg::Gp {
+            reg,
+            size: OpSize::B,
+        }
+    }
+
+    /// The underlying general-purpose register, if this is one.
+    pub fn as_gp(self) -> Option<Gp> {
+        match self {
+            Reg::Gp { reg, .. } => Some(reg),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gp { reg, size } => match size {
+                OpSize::Q => write!(f, "{}", reg.name64()),
+                OpSize::D => {
+                    if reg.0 >= 8 {
+                        write!(f, "r{}d", reg.0)
+                    } else {
+                        write!(f, "e{}", &reg.name64()[1..])
+                    }
+                }
+                OpSize::W => {
+                    if reg.0 >= 8 {
+                        write!(f, "r{}w", reg.0)
+                    } else {
+                        write!(f, "{}", &reg.name64()[1..])
+                    }
+                }
+                OpSize::B => {
+                    const B: [&str; 16] = [
+                        "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b",
+                        "r11b", "r12b", "r13b", "r14b", "r15b",
+                    ];
+                    f.write_str(B[(reg.0 & 0xf) as usize])
+                }
+                OpSize::X => write!(f, "{}?", reg.name64()),
+            },
+            Reg::Xmm(x) => write!(f, "{x}"),
+            Reg::Rip => f.write_str("rip"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_widths() {
+        assert_eq!(Reg::q(Gp::RBP).to_string(), "rbp");
+        assert_eq!(Reg::d(Gp::RAX).to_string(), "eax");
+        assert_eq!(Reg::d(Gp::R9).to_string(), "r9d");
+        assert_eq!(Reg::b(Gp::RSI).to_string(), "sil");
+        assert_eq!(
+            Reg::Gp {
+                reg: Gp::RCX,
+                size: OpSize::W
+            }
+            .to_string(),
+            "cx"
+        );
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(OpSize::B.bytes(), 1);
+        assert_eq!(OpSize::X.bytes(), 16);
+    }
+
+    #[test]
+    fn gp_all_in_order() {
+        for (i, g) in Gp::ALL.iter().enumerate() {
+            assert_eq!(g.0 as usize, i);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Golden encoding corpus: known byte sequences with their expected decode.
+//!
+//! Lengths and mnemonics are taken from the Intel SDM encodings; the corpus
+//! pins down the decoder against regressions table by table (prefixes,
+//! ModRM/SIB forms, every immediate width, both opcode maps, groups).
+
+use x86_isa::{decode, DecodeError, Mnemonic};
+
+fn hex(s: &str) -> Vec<u8> {
+    s.split_whitespace()
+        .map(|b| u8::from_str_radix(b, 16).unwrap())
+        .collect()
+}
+
+/// (bytes, expected length, expected display — checked as prefix to stay
+/// robust to operand formatting details when empty)
+const GOLDEN: &[(&str, u8, &str)] = &[
+    // --- one-byte basics
+    ("c3", 1, "ret"),
+    ("c2 08 00", 3, "ret 0x8"),
+    ("90", 1, "nop"),
+    ("66 90", 2, "nop"),
+    ("0f 1f 00", 3, "nop"),
+    ("0f 1f 40 00", 4, "nop"),
+    ("0f 1f 44 00 00", 5, "nop"),
+    ("66 0f 1f 44 00 00", 6, "nop"),
+    ("0f 1f 80 00 00 00 00", 7, "nop"),
+    ("0f 1f 84 00 00 00 00 00", 8, "nop"),
+    ("cc", 1, "int3"),
+    ("cd 80", 2, "int 0x80"),
+    ("0f 05", 2, "syscall"),
+    ("0f 0b", 2, "ud2"),
+    ("f4", 1, "hlt"),
+    ("c9", 1, "leave"),
+    ("c8 20 00 01", 4, "enter"),
+    ("9c", 1, ""),
+    ("9d", 1, ""),
+    ("f5", 1, ""),
+    ("f8", 1, ""),
+    ("fc", 1, ""),
+    ("d7", 1, ""),
+    ("98", 1, "cbw"),
+    ("48 98", 2, "cbw"),
+    ("99", 1, "cdq"),
+    ("48 99", 2, "cdq"),
+    ("f3 90", 2, "pause"),
+    ("0f 31", 2, "rdtsc"),
+    ("0f a2", 2, "cpuid"),
+    // --- push / pop
+    ("55", 1, "push rbp"),
+    ("41 50", 2, "push r8"),
+    ("41 57", 2, "push r15"),
+    ("5d", 1, "pop rbp"),
+    ("41 58", 2, "pop r8"),
+    ("6a 10", 2, "push 0x10"),
+    ("68 00 01 00 00", 5, "push 0x100"),
+    ("8f c0", 2, "pop rax"),
+    ("ff 75 f8", 3, "push qword ptr [rbp-0x8]"),
+    // --- mov family
+    ("48 89 e5", 3, "mov rbp, rsp"),
+    ("89 d8", 2, "mov eax, ebx"),
+    ("88 d1", 2, "mov cl, dl"),
+    ("48 8b 45 10", 4, "mov rax, qword ptr [rbp+0x10]"),
+    ("8a 07", 2, "mov al, byte ptr [rdi]"),
+    ("b0 01", 2, "mov al, 0x1"),
+    ("b8 78 56 34 12", 5, "mov eax, 0x12345678"),
+    ("48 c7 c0 78 56 34 12", 7, "mov rax, 0x12345678"),
+    (
+        "48 b8 88 77 66 55 44 33 22 11",
+        10,
+        "mov rax, 0x1122334455667788",
+    ),
+    ("c6 00 05", 3, "mov byte ptr [rax], 0x5"),
+    (
+        "48 c7 44 24 08 10 00 00 00",
+        9,
+        "mov qword ptr [rsp+0x8], 0x10",
+    ),
+    ("66 89 d8", 3, "mov ax, bx"),
+    ("4c 89 e7", 3, "mov rdi, r12"),
+    ("45 8b 51 08", 4, "mov r10d, dword ptr [r9+0x8]"),
+    // --- lea
+    ("48 8d 05 00 00 00 00", 7, "lea rax, qword ptr [rip]"),
+    ("8d 04 90", 3, "lea eax, dword ptr [rax+rdx*4]"),
+    ("48 8d 64 24 f8", 5, "lea rsp, qword ptr [rsp-0x8]"),
+    // --- ALU
+    ("48 01 d8", 3, "add rax, rbx"),
+    ("01 c8", 2, "add eax, ecx"),
+    ("04 05", 2, "add al, 0x5"),
+    ("05 01 00 00 00", 5, "add eax, 0x1"),
+    ("48 83 ec 20", 4, "sub rsp, 0x20"),
+    ("48 81 ec 00 01 00 00", 7, "sub rsp, 0x100"),
+    ("31 c0", 2, "xor eax, eax"),
+    ("48 31 ff", 3, "xor rdi, rdi"),
+    ("21 d8", 2, "and eax, ebx"),
+    ("09 c8", 2, "or eax, ecx"),
+    ("48 85 c0", 3, "test rax, rax"),
+    ("a8 01", 2, "test al, 0x1"),
+    ("48 a9 00 01 00 00", 6, "test rax, 0x100"),
+    ("83 f8 0a", 3, "cmp eax, 0xa"),
+    ("48 39 d8", 3, "cmp rax, rbx"),
+    ("3b 05 00 00 00 00", 6, "cmp eax, dword ptr [rip]"),
+    ("66 83 c3 10", 4, "add bx, 0x10"),
+    ("48 13 03", 3, "adc rax, qword ptr [rbx]"),
+    ("48 19 c8", 3, "sbb rax, rcx"),
+    ("02 07", 2, "add al, byte ptr [rdi]"),
+    // --- inc/dec/unary groups
+    ("ff c0", 2, "inc eax"),
+    ("48 ff c8", 3, "dec rax"),
+    ("fe c0", 2, "inc al"),
+    ("f7 d8", 2, "neg eax"),
+    ("48 f7 d0", 3, "not rax"),
+    ("f7 e1", 2, "mul ecx"),
+    ("48 f7 f9", 3, "idiv rcx"),
+    ("48 f7 eb", 3, "imul rbx"),
+    ("f6 c1 01", 3, "test cl, 0x1"),
+    ("48 f7 c0 01 00 00 00", 7, "test rax, 0x1"),
+    // --- shifts
+    ("c1 e0 05", 3, "shl eax, 0x5"),
+    ("48 d1 f8", 3, "sar rax, 0x1"),
+    ("d3 e0", 2, "shl eax, cl"),
+    ("48 c1 e9 03", 4, "shr rcx, 0x3"),
+    ("c0 e0 04", 3, "shl al, 0x4"),
+    ("d1 c0", 2, "rol eax, 0x1"),
+    // --- widening
+    ("0f b6 c0", 3, "movzx eax, al"),
+    ("0f b7 c0", 3, "movzx eax, ax"),
+    ("48 0f be c3", 4, "movsx rax, bl"),
+    ("48 63 c8", 3, "movsxd rcx, eax"),
+    ("48 63 04 8a", 4, "movsxd rax, dword ptr [rdx+rcx*4]"),
+    // --- control flow
+    ("eb 05", 2, "jmp .+0x5"),
+    ("e9 00 01 00 00", 5, "jmp .+0x100"),
+    ("74 05", 2, "je .+0x5"),
+    ("75 fe", 2, "jne .-0x2"),
+    ("0f 85 00 01 00 00", 6, "jne .+0x100"),
+    ("0f 84 fb fe ff ff", 6, "je .-0x105"),
+    ("e8 00 00 00 00", 5, "call .+0x0"),
+    ("ff d0", 2, "call rax"),
+    ("41 ff d2", 3, "call r10"),
+    ("ff e0", 2, "jmp rax"),
+    ("ff 25 00 00 00 00", 6, "jmp qword ptr [rip]"),
+    ("ff 15 00 00 00 00", 6, "call qword ptr [rip]"),
+    ("ff 24 c5 00 10 40 00", 7, "jmp qword ptr [rax*8+0x401000]"),
+    ("e2 fb", 2, ""),
+    ("e3 10", 2, ""),
+    // --- setcc / cmov
+    ("0f 94 c0", 3, "sete al"),
+    ("0f 9f c1", 3, "setg cl"),
+    ("41 0f 92 c4", 4, "setb r12b"),
+    ("48 0f 44 c1", 4, "cmove rax, rcx"),
+    ("0f 4f c2", 3, "cmovg eax, edx"),
+    // --- imul forms
+    ("48 0f af c3", 4, "imul rax, rbx"),
+    ("6b c0 10", 3, "imul eax, eax, 0x10"),
+    ("48 69 c0 00 01 00 00", 7, "imul rax, rax, 0x100"),
+    // --- xchg
+    ("48 87 d8", 3, "xchg rax, rbx"),
+    ("93", 1, "xchg eax, ebx"),
+    ("86 c1", 2, "xchg cl, al"),
+    // --- string ops
+    ("f3 a4", 2, "rep movs"),
+    ("f3 aa", 2, "rep stos"),
+    ("a5", 1, "movs"),
+    ("f3 a6", 2, "rep cmps"),
+    ("ac", 1, "lods"),
+    // --- SSE
+    ("f2 0f 10 45 f0", 5, "movsd"),
+    ("f2 0f 11 45 f0", 5, "movsd"),
+    ("f3 0f 10 c1", 4, "movss"),
+    ("66 0f ef c0", 4, "pxor"),
+    ("0f 57 c0", 3, "xorps"),
+    ("f2 0f 58 c1", 4, "addsd"),
+    ("f2 0f 59 c1", 4, "mulsd"),
+    ("f2 0f 5c c1", 4, "subsd"),
+    ("f2 0f 5e c1", 4, "divsd"),
+    ("f3 0f 58 c1", 4, "addss"),
+    ("66 0f 2e c1", 4, "ucomisd"),
+    ("66 0f 6e c0", 4, "movd"),
+    ("0f 28 c1", 3, "movaps"),
+    ("0f 10 45 f0", 4, "movups"),
+    ("0f 29 01", 3, "movaps"),
+    ("66 0f 7f 01", 4, "movups"), // movdqa store: SSE-move shape
+    // --- x87 (structural)
+    ("d9 45 f8", 3, "x87"),
+    ("dd 45 f8", 3, "x87"),
+    ("de c1", 2, "x87"),
+    ("db 2c 24", 3, "x87"),
+    // --- two-byte structural
+    ("0f c8", 2, "bswap eax"),
+    ("41 0f c9", 3, "bswap r9d"),
+    ("0f a4 c1 05", 4, "shld ecx, eax, 0x5"),
+    ("0f ba e0 07", 4, "bt eax, 0x7"),
+    ("0f ae f0", 3, "op_0f_ae"),    // mfence
+    ("0f c7 0c 24", 4, "op_0f_c7"), // cmpxchg8b [rsp]
+    ("f0 0f c1 04 24", 5, "lock xadd dword ptr [rsp], eax"),
+    ("0f bc c1", 3, "bsf eax, ecx"),
+    ("0f bd c1", 3, "bsr eax, ecx"),
+    ("f3 0f bc c1", 4, "tzcnt eax, ecx"),
+    ("f3 0f bd c1", 4, "lzcnt eax, ecx"),
+    ("0f ab c8", 3, "bts eax, ecx"),
+    ("0f b3 c8", 3, "btr eax, ecx"),
+    ("0f bb c8", 3, "btc eax, ecx"),
+    ("48 0f a3 d8", 4, "bt rax, rbx"),
+    ("f0 0f b1 0f", 4, "lock cmpxchg dword ptr [rdi], ecx"),
+    ("0f b0 0f", 3, "cmpxchg byte ptr [rdi], cl"),
+    ("0f ad d0", 3, "shrd eax, edx, cl"),
+    ("f3 0f b8 c1", 4, "popcnt eax, ecx"),
+    ("0f 1e fa", 3, "nop"), // endbr64 — decodes in the hint-nop space
+    // --- three-byte maps (structural)
+    ("0f 38 00 c1", 4, "op_0f38_00"),       // pshufb mm
+    ("66 0f 38 17 c1", 5, "op_0f38_17"),    // ptest
+    ("66 0f 3a 0f c1 04", 6, "op_0f3a_0f"), // palignr xmm, xmm, 4
+    // --- VEX (structural, modrm-form)
+    ("c5 f8 28 c1", 4, "vex_m1_28"),       // vmovaps xmm0, xmm1
+    ("c5 f1 ef c0", 4, "vex_m1_ef"),       // vpxor
+    ("c4 e2 79 18 c0", 5, "vex_m2_18"),    // vbroadcastss
+    ("c4 e3 79 0f c1 04", 6, "vex_m3_0f"), // vpalignr (imm8)
+    // --- EVEX (structural)
+    ("62 f1 7c 48 28 c1", 6, "evex_28"), // vmovaps zmm0, zmm1
+    // --- moffs forms
+    ("a1 00 00 00 00 00 00 00 00", 9, ""),
+    ("a3 00 00 00 00 00 00 00 00", 9, ""),
+    ("67 a1 00 00 00 00", 6, ""),
+    // --- prefixes interplay
+    ("66 48 89 e5", 4, "mov rbp, rsp"), // REX.W after 66: REX wins
+    ("2e 75 05", 3, "jne .+0x5"),       // segment hint on branch
+    ("67 8b 00", 3, "mov eax, dword ptr [rax]"), // addr32
+    ("f0 48 01 18", 4, "lock add qword ptr [rax], rbx"),
+    ("65 48 8b 04 25 28 00 00 00", 9, "mov rax, qword ptr [0x28]"), // gs: TLS load
+    // --- privileged / suspicious
+    ("fa", 1, "priv_fa"), // cli
+    ("f1", 1, "int1"),
+    ("e4 60", 2, "priv_e4"), // in al, 0x60
+    ("ec", 1, "priv_ec"),    // in al, dx
+    ("cf", 1, "priv_cf"),    // iretq
+    ("0f 30", 2, "priv_30"), // wrmsr
+    // --- wide-immediate and 16-bit operand-size interplay
+    ("66 b8 34 12", 4, "mov ax, 0x1234"),
+    ("66 05 34 12", 4, "add ax, 0x1234"),
+    ("66 a9 34 12", 4, "test ax, 0x1234"),
+    ("66 68 34 12", 4, "push 0x1234"), // push imm16 under 66
+    ("66 c7 00 34 12", 5, "mov word ptr [rax], 0x1234"),
+    ("66 ff c0", 3, "inc ax"),
+    ("66 f7 d8", 3, "neg ax"),
+    ("49 b9 ff ff ff ff ff ff ff ff", 10, "mov r9, -0x1"),
+    // --- SIB / addressing corner cases
+    ("8b 04 24", 3, "mov eax, dword ptr [rsp]"),
+    ("41 8b 04 24", 4, "mov eax, dword ptr [r12]"), // r12 base forces SIB
+    ("41 8b 45 00", 4, "mov eax, dword ptr [r13]"), // r13 base forces disp8
+    ("8b 45 00", 3, "mov eax, dword ptr [rbp]"),
+    ("8b 04 25 00 00 00 00", 7, "mov eax, dword ptr [0x0]"), // absolute
+    ("8b 84 24 00 01 00 00", 7, "mov eax, dword ptr [rsp+0x100]"),
+    ("48 8b 44 d8 08", 5, "mov rax, qword ptr [rax+rbx*8+0x8]"),
+    ("42 8b 04 0d 00 00 00 00", 8, "mov eax, dword ptr [r9*1]"), // REX.X index
+    // --- byte-register REX interplay
+    ("40 88 f7", 3, "mov dil, sil"),
+    ("44 88 c0", 3, "mov al, r8b"),
+    ("40 0f 94 c6", 4, "sete sil"),
+    // --- group 2 with CL count and rotates
+    ("d3 f8", 2, "sar eax, cl"),
+    ("48 d3 e2", 3, "shl rdx, cl"),
+    ("c1 c8 07", 3, "ror eax, 0x7"),
+    ("d1 d0", 2, "rcl eax, 0x1"),
+    // --- push/pop operand-size variants
+    ("66 50", 2, "push ax"),
+    ("66 58", 2, "pop ax"),
+    // --- more cmov/setcc condition coverage
+    ("0f 40 c1", 3, "cmovo eax, ecx"),
+    ("0f 41 c1", 3, "cmovno eax, ecx"),
+    ("0f 48 c1", 3, "cmovs eax, ecx"),
+    ("0f 4a c1", 3, "cmovp eax, ecx"),
+    ("0f 9b c0", 3, "setnp al"),
+    ("0f 98 c3", 3, "sets bl"),
+    // --- loop family and jrcxz
+    ("e0 10", 2, ""), // loopne
+    ("e1 10", 2, ""), // loope
+    // --- xchg with memory and lock
+    ("87 07", 2, "xchg dword ptr [rdi], eax"),
+    ("f0 48 87 0f", 4, "lock xchg qword ptr [rdi], rcx"),
+    // --- multi-prefix stacking within the limit
+    ("2e 66 0f 1f 44 00 00", 7, "nop"),
+    ("65 66 90", 3, "nop"),
+    // --- more SSE data movement shapes
+    ("0f 11 02", 3, "movups"),
+    ("f3 0f 7e c1", 4, "movq"),
+    ("66 0f d6 c1", 4, "movq"),
+    ("66 0f 6f c1", 4, "movups"),    // movdqa load shape
+    ("f3 0f 6f 04 24", 5, "movups"), // movdqu load
+    ("66 0f 2e 05 00 00 00 00", 8, "ucomisd"),
+    // --- conversions
+    ("f2 48 0f 2a c7", 5, "cvtsi2sd"),
+    ("f2 48 0f 2c c0", 5, "cvttsd2si"),
+];
+
+#[test]
+fn golden_encodings_decode_exactly() {
+    for (bytes_hex, expect_len, display) in GOLDEN {
+        let bytes = hex(bytes_hex);
+        let inst =
+            decode(&bytes).unwrap_or_else(|e| panic!("golden '{bytes_hex}' failed to decode: {e}"));
+        assert_eq!(
+            inst.len, *expect_len,
+            "golden '{bytes_hex}': length {} != expected {expect_len} ({inst})",
+            inst.len
+        );
+        if !display.is_empty() {
+            let shown = inst.to_string();
+            assert!(
+                shown.starts_with(display),
+                "golden '{bytes_hex}': display '{shown}' !~ '{display}'"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_invalid_encodings() {
+    // undefined in 64-bit mode, or structurally impossible
+    for bad in [
+        "06",
+        "07",
+        "0e",
+        "16",
+        "17",
+        "1e",
+        "1f",
+        "27",
+        "2f",
+        "37",
+        "3f",
+        "60",
+        "61",
+        "82 c0 01",
+        "9a 00 00 00 00 00 00",
+        "ce",
+        "d4 0a",
+        "d5 0a",
+        "d6",
+        "ea 00 00 00 00 00 00",
+        "8f c8", // group 1a /1
+        "fe d0", // group 4 /2
+        "ff f8", // group 5 /7
+        "8d c0", // lea with register operand
+        "0f 04",
+        "0f 0a",
+        "0f 0c",
+        "0f 0f c0 00",
+        "0f 24 c0",
+        "0f 36 c0",
+        "0f 3b c0",
+        "c4 04 00 c0", // VEX with reserved map 4
+    ] {
+        assert_eq!(
+            decode(&hex(bad)),
+            Err(DecodeError::Invalid),
+            "expected invalid: {bad}"
+        );
+    }
+}
+
+#[test]
+fn golden_flow_kinds() {
+    use x86_isa::Flow;
+    let cases: &[(&str, Flow)] = &[
+        ("c3", Flow::Ret),
+        ("c2 00 00", Flow::Ret),
+        ("cb", Flow::Ret),
+        ("cf", Flow::Ret),
+        ("eb 00", Flow::JmpRel(0)),
+        ("e9 10 00 00 00", Flow::JmpRel(16)),
+        ("74 00", Flow::CondRel(0)),
+        ("0f 84 10 00 00 00", Flow::CondRel(16)),
+        ("e8 10 00 00 00", Flow::CallRel(16)),
+        ("ff d0", Flow::CallInd),
+        ("ff e0", Flow::JmpInd),
+        ("ff 25 00 00 00 00", Flow::JmpInd),
+        ("cc", Flow::Term),
+        ("f4", Flow::Term),
+        ("0f 0b", Flow::Term),
+        ("90", Flow::Seq),
+        ("e2 05", Flow::CondRel(5)),
+    ];
+    for (bytes_hex, flow) in cases {
+        let inst = decode(&hex(bytes_hex)).unwrap();
+        assert_eq!(inst.flow, *flow, "{bytes_hex}");
+    }
+}
+
+#[test]
+fn golden_mnemonic_identities() {
+    let cases: &[(&str, Mnemonic)] = &[
+        ("f3 90", Mnemonic::Pause),
+        ("90", Mnemonic::Nop),
+        ("48 90", Mnemonic::Nop),  // rex.W nop — still architectural NOP
+        ("41 90", Mnemonic::Xchg), // REX.B revives the real xchg rax, r8
+        ("0f 1f 00", Mnemonic::NopMulti),
+        ("0f 05", Mnemonic::Syscall),
+        ("f4", Mnemonic::Hlt),
+    ];
+    for (bytes_hex, m) in cases {
+        let inst = decode(&hex(bytes_hex)).unwrap();
+        assert_eq!(inst.mnemonic, *m, "{bytes_hex}");
+    }
+}

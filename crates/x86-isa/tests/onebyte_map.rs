@@ -1,0 +1,160 @@
+//! Systematic structural coverage of the one-byte opcode map in long mode.
+//!
+//! As for the 0F map test, each opcode is pinned to its structural category
+//! so the decoder tables cannot silently regress.
+
+use x86_isa::{decode, DecodeError};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cat {
+    /// Prefix byte or escape — not an opcode on its own.
+    Skip,
+    /// Undefined in 64-bit mode.
+    Invalid,
+    /// Single-byte instruction.
+    Bare,
+    /// ModRM follows (3 bytes with `[rax]`... actually 2 + modrm bytes).
+    Modrm,
+    /// ModRM + imm8.
+    ModrmImm8,
+    /// ModRM + imm32 (z-width without 66).
+    ModrmImmZ,
+    /// imm8 only.
+    Imm8,
+    /// imm32 (z-width) only.
+    ImmZ,
+    /// imm16 only.
+    Imm16,
+    /// imm16 + imm8 (enter).
+    Imm16Imm8,
+    /// rel8 branch.
+    Rel8,
+    /// rel32 branch.
+    Rel32,
+    /// 8-byte moffs address.
+    Moffs,
+    /// Dedicated tests (groups with partially-invalid extensions, B8+r...).
+    Special,
+}
+
+fn spec(op: u8) -> Cat {
+    use Cat::*;
+    match op {
+        // prefixes and escapes
+        0x0f | 0x26 | 0x2e | 0x36 | 0x3e | 0x40..=0x4f | 0x64..=0x67 | 0xf0 | 0xf2 | 0xf3 => Skip,
+        // VEX/EVEX prefixes — structurally decoded, covered elsewhere
+        0x62 | 0xc4 | 0xc5 => Skip,
+        // invalid in 64-bit mode
+        0x06 | 0x07 | 0x0e | 0x16 | 0x17 | 0x1e | 0x1f | 0x27 | 0x2f | 0x37 | 0x3f | 0x60
+        | 0x61 | 0x82 | 0x9a | 0xce | 0xd4 | 0xd5 | 0xd6 | 0xea => Invalid,
+        // ALU blocks: 00-3D pattern (modrm forms and accumulator-imm forms)
+        _ if op < 0x40 && (op & 7) < 4 => Modrm,
+        _ if op < 0x40 && (op & 7) == 4 => Imm8,
+        _ if op < 0x40 && (op & 7) == 5 => ImmZ,
+        // push/pop +r, xchg +r
+        0x50..=0x5f | 0x91..=0x97 => Bare,
+        0x63 => Modrm,                     // movsxd
+        0x68 => ImmZ,                      // push imm32
+        0x69 => ModrmImmZ,                 // imul Gv,Ev,Iz
+        0x6a => Imm8,                      // push imm8
+        0x6b => ModrmImm8,                 // imul Gv,Ev,Ib
+        0x6c..=0x6f => Bare,               // ins/outs
+        0x70..=0x7f => Rel8,               // jcc
+        0x80 => ModrmImm8,                 // grp1 Eb,Ib
+        0x81 => ModrmImmZ,                 // grp1 Ev,Iz
+        0x83 => ModrmImm8,                 // grp1 Ev,Ib
+        0x84..=0x8e => Modrm,              // test/xchg/mov/lea* (lea special below)
+        0x8f => Modrm,                     // pop Ev (/0 with modrm 00)
+        0x90 => Bare,                      // nop
+        0x98 | 0x99 | 0x9b..=0x9f => Bare, // cbw/cdq/fwait/pushf/popf/sahf/lahf
+        0xa0..=0xa3 => Moffs,
+        0xa4..=0xa7 | 0xaa..=0xaf => Bare, // string ops
+        0xa8 => Imm8,                      // test al, ib
+        0xa9 => ImmZ,                      // test eax, iz
+        0xb0..=0xb7 => Imm8,               // mov r8, ib (+r)
+        0xb8..=0xbf => Special,            // mov r, iv (imm width varies)
+        0xc0 => ModrmImm8,                 // grp2 Eb,Ib
+        0xc1 => ModrmImm8,                 // grp2 Ev,Ib
+        0xc2 => Imm16,                     // ret imm16
+        0xc3 => Bare,
+        0xc6 => ModrmImm8,                        // mov Eb, Ib (/0)
+        0xc7 => ModrmImmZ,                        // mov Ev, Iz (/0)
+        0xc8 => Imm16Imm8,                        // enter
+        0xc9 => Bare,                             // leave
+        0xca => Imm16,                            // retf imm16
+        0xcb | 0xcc | 0xcf => Bare,               // retf / int3 / iretq
+        0xcd => Imm8,                             // int imm8
+        0xd0..=0xd3 => Modrm,                     // grp2 by 1/CL
+        0xd7 => Bare,                             // xlat
+        0xd8..=0xdf => Modrm,                     // x87
+        0xe0..=0xe3 => Rel8,                      // loop/jrcxz
+        0xe4..=0xe7 => Imm8,                      // in/out imm8
+        0xe8 | 0xe9 => Rel32,                     // call/jmp rel32
+        0xeb => Rel8,                             // jmp rel8
+        0xec..=0xef => Bare,                      // in/out dx
+        0xf1 | 0xf4 | 0xf5 | 0xf8..=0xfd => Bare, // int1/hlt/cmc/flag ops
+        0xf6 => Special,                          // grp3 Eb (imm only for /0,/1)
+        0xf7 => Special,                          // grp3 Ev
+        0xfe => Special,                          // grp4 (/0,/1 only)
+        0xff => Modrm,                            // grp5 (/0 inc with modrm 00)
+        _ => Special,
+    }
+}
+
+#[test]
+fn every_one_byte_opcode_matches_its_structural_category() {
+    for op in 0u8..=255 {
+        let buf = [op, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
+        let got = decode(&buf);
+        let expected_len = match spec(op) {
+            Cat::Skip | Cat::Special => continue,
+            Cat::Invalid => {
+                assert_eq!(got, Err(DecodeError::Invalid), "{op:02x} should be invalid");
+                continue;
+            }
+            Cat::Bare => 1,
+            Cat::Modrm => 2,     // modrm 00 = [rax], no displacement
+            Cat::ModrmImm8 => 3, // modrm + ib
+            Cat::ModrmImmZ => 6, // modrm + iz(4)
+            Cat::Imm8 => 2,
+            Cat::ImmZ => 5,
+            Cat::Imm16 => 3,
+            Cat::Imm16Imm8 => 4,
+            Cat::Rel8 => 2,
+            Cat::Rel32 => 5,
+            Cat::Moffs => 9,
+        };
+        let inst = got.unwrap_or_else(|e| panic!("{op:02x}: {e}"));
+        assert_eq!(
+            inst.len, expected_len,
+            "{op:02x} should be {expected_len} bytes, got {inst}"
+        );
+    }
+}
+
+#[test]
+fn special_one_byte_cases() {
+    // B8+r: imm width follows the operand size
+    assert_eq!(decode(&[0xb8, 1, 0, 0, 0]).unwrap().len, 5);
+    assert_eq!(decode(&[0x66, 0xb8, 1, 0]).unwrap().len, 4);
+    assert_eq!(
+        decode(&[0x48, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap().len,
+        10
+    );
+    // grp3: /0-/1 carry an immediate, /2../7 do not
+    assert_eq!(decode(&[0xf6, 0xc0, 0x01]).unwrap().len, 3); // test al, 1
+    assert_eq!(decode(&[0xf6, 0xd0]).unwrap().len, 2); // not al
+    assert_eq!(decode(&[0xf7, 0xc0, 1, 0, 0, 0]).unwrap().len, 6); // test eax, 1
+    assert_eq!(decode(&[0xf7, 0xd8]).unwrap().len, 2); // neg eax
+                                                       // grp4: only /0 and /1 defined
+    assert_eq!(decode(&[0xfe, 0xc0]).unwrap().len, 2);
+    assert_eq!(decode(&[0xfe, 0xd0, 0, 0]), Err(DecodeError::Invalid));
+    // grp5 /7 undefined
+    assert_eq!(decode(&[0xff, 0xf8, 0, 0]), Err(DecodeError::Invalid));
+    // lea requires a memory operand
+    assert_eq!(decode(&[0x8d, 0x00]).unwrap().len, 2);
+    assert_eq!(decode(&[0x8d, 0xc0]), Err(DecodeError::Invalid));
+    // 8F: only /0 (pop) defined
+    assert_eq!(decode(&[0x8f, 0x00]).unwrap().len, 2);
+    assert_eq!(decode(&[0x8f, 0x48, 0x00]), Err(DecodeError::Invalid));
+}

@@ -1,0 +1,202 @@
+//! Property tests for the decoder/assembler pair.
+//!
+//! These pin down the two invariants superset disassembly depends on:
+//! totality (the decoder never panics or over-reads on arbitrary bytes) and
+//! assembler/decoder agreement (everything the generator can emit decodes
+//! back with the exact length and semantics).
+
+use proptest::prelude::*;
+use x86_isa::{decode, Asm, Cond, DecodeError, Flow, Gp, Mem, Mnemonic, OpSize, MAX_INST_LEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Totality: decoding arbitrary bytes never panics, and any successful
+    /// decode reports a length within the slice and the 15-byte cap.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match decode(&bytes) {
+            Ok(inst) => {
+                prop_assert!(inst.len >= 1);
+                prop_assert!((inst.len as usize) <= MAX_INST_LEN);
+                prop_assert!((inst.len as usize) <= bytes.len());
+            }
+            Err(DecodeError::Invalid) | Err(DecodeError::Truncated) => {}
+        }
+    }
+
+    /// A successful decode depends only on the bytes it claims to consume:
+    /// truncating the slice to `len` must reproduce the identical decode.
+    #[test]
+    fn decode_is_prefix_stable(bytes in proptest::collection::vec(any::<u8>(), 1..32)) {
+        if let Ok(inst) = decode(&bytes) {
+            let again = decode(&bytes[..inst.len as usize]);
+            prop_assert_eq!(again, Ok(inst));
+        }
+    }
+
+    /// Extending the buffer with arbitrary garbage never changes a decode.
+    #[test]
+    fn decode_ignores_trailing_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 1..20),
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let first = decode(&bytes);
+        if let Ok(inst) = first {
+            let mut ext = bytes.clone();
+            ext.extend_from_slice(&tail);
+            prop_assert_eq!(decode(&ext), Ok(inst));
+        }
+    }
+}
+
+/// Strategy pieces for round-trip testing: a closed set of emitter calls.
+#[derive(Debug, Clone)]
+enum Emit {
+    PushR(u8),
+    PopR(u8),
+    MovRR(bool, u8, u8),
+    MovRI32(u8, i32),
+    MovRI64(u8, u64),
+    MovLoad(u8, u8, i32),
+    MovStore(u8, i32, u8),
+    AddRR(u8, u8),
+    SubRI(u8, i32),
+    XorRR(u8, u8),
+    CmpRI(u8, i32),
+    TestRR(u8, u8),
+    ImulRR(u8, u8),
+    ShlRI(u8, u8),
+    SarRI(u8, u8),
+    IncR(u8),
+    DecR(u8),
+    Lea(u8, u8, i32),
+    MovzxB(u8, u8),
+    Setcc(u8, u8),
+    Cmovcc(u8, u8, u8),
+    Nop(u8),
+    Cdq,
+    Leave,
+    Ret,
+    Int3,
+    Ud2,
+    JmpInd(u8),
+    CallInd(u8),
+}
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn emit_strategy() -> impl Strategy<Value = Emit> {
+    prop_oneof![
+        reg().prop_map(Emit::PushR),
+        reg().prop_map(Emit::PopR),
+        (any::<bool>(), reg(), reg()).prop_map(|(q, a, b)| Emit::MovRR(q, a, b)),
+        (reg(), any::<i32>()).prop_map(|(r, i)| Emit::MovRI32(r, i)),
+        (reg(), any::<u64>()).prop_map(|(r, i)| Emit::MovRI64(r, i)),
+        (reg(), reg(), -0x1000i32..0x1000).prop_map(|(d, b, o)| Emit::MovLoad(d, b, o)),
+        (reg(), -0x1000i32..0x1000, reg()).prop_map(|(b, o, s)| Emit::MovStore(b, o, s)),
+        (reg(), reg()).prop_map(|(a, b)| Emit::AddRR(a, b)),
+        (reg(), any::<i32>()).prop_map(|(r, i)| Emit::SubRI(r, i)),
+        (reg(), reg()).prop_map(|(a, b)| Emit::XorRR(a, b)),
+        (reg(), any::<i32>()).prop_map(|(r, i)| Emit::CmpRI(r, i)),
+        (reg(), reg()).prop_map(|(a, b)| Emit::TestRR(a, b)),
+        (reg(), reg()).prop_map(|(a, b)| Emit::ImulRR(a, b)),
+        (reg(), 1u8..32).prop_map(|(r, c)| Emit::ShlRI(r, c)),
+        (reg(), 1u8..32).prop_map(|(r, c)| Emit::SarRI(r, c)),
+        reg().prop_map(Emit::IncR),
+        reg().prop_map(Emit::DecR),
+        (reg(), reg(), -0x1000i32..0x1000).prop_map(|(d, b, o)| Emit::Lea(d, b, o)),
+        (reg(), reg()).prop_map(|(a, b)| Emit::MovzxB(a, b)),
+        (0u8..16, reg()).prop_map(|(c, r)| Emit::Setcc(c, r)),
+        (0u8..16, reg(), reg()).prop_map(|(c, a, b)| Emit::Cmovcc(c, a, b)),
+        (1u8..=8).prop_map(Emit::Nop),
+        Just(Emit::Cdq),
+        Just(Emit::Leave),
+        Just(Emit::Ret),
+        Just(Emit::Int3),
+        Just(Emit::Ud2),
+        reg().prop_map(Emit::JmpInd),
+        reg().prop_map(Emit::CallInd),
+    ]
+}
+
+fn apply(asm: &mut Asm, e: &Emit) {
+    let g = |n: u8| Gp(n & 0xf);
+    match *e {
+        Emit::PushR(r) => asm.push_r(g(r)),
+        Emit::PopR(r) => asm.pop_r(g(r)),
+        Emit::MovRR(q, a, b) => asm.mov_rr(if q { OpSize::Q } else { OpSize::D }, g(a), g(b)),
+        Emit::MovRI32(r, i) => asm.mov_ri32(g(r), i),
+        Emit::MovRI64(r, i) => asm.mov_ri64(g(r), i),
+        Emit::MovLoad(d, b, o) => asm.mov_load(OpSize::Q, g(d), Mem::base_disp(g(b), o)),
+        Emit::MovStore(b, o, s) => asm.mov_store(OpSize::Q, Mem::base_disp(g(b), o), g(s)),
+        Emit::AddRR(a, b) => asm.add_rr(OpSize::Q, g(a), g(b)),
+        Emit::SubRI(r, i) => asm.sub_ri(OpSize::Q, g(r), i),
+        Emit::XorRR(a, b) => asm.xor_rr(OpSize::D, g(a), g(b)),
+        Emit::CmpRI(r, i) => asm.cmp_ri(OpSize::Q, g(r), i),
+        Emit::TestRR(a, b) => asm.test_rr(OpSize::Q, g(a), g(b)),
+        Emit::ImulRR(a, b) => asm.imul_rr(OpSize::Q, g(a), g(b)),
+        Emit::ShlRI(r, c) => asm.shl_ri(OpSize::Q, g(r), c),
+        Emit::SarRI(r, c) => asm.sar_ri(OpSize::Q, g(r), c),
+        Emit::IncR(r) => asm.inc_r(OpSize::Q, g(r)),
+        Emit::DecR(r) => asm.dec_r(OpSize::D, g(r)),
+        Emit::Lea(d, b, o) => asm.lea(g(d), Mem::base_disp(g(b), o)),
+        Emit::MovzxB(a, b) => asm.movzx_rr(g(a), g(b), OpSize::B),
+        Emit::Setcc(c, r) => asm.setcc(Cond(c & 0xf), g(r)),
+        Emit::Cmovcc(c, a, b) => asm.cmovcc_rr(OpSize::Q, Cond(c & 0xf), g(a), g(b)),
+        Emit::Nop(n) => asm.nop(n as usize),
+        Emit::Cdq => asm.cdq(OpSize::Q),
+        Emit::Leave => asm.leave(),
+        Emit::Ret => asm.ret(),
+        Emit::Int3 => asm.int3(),
+        Emit::Ud2 => asm.ud2(),
+        Emit::JmpInd(r) => asm.jmp_ind(g(r)),
+        Emit::CallInd(r) => asm.call_ind(g(r)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Round trip: any sequence of emitter calls produces a byte stream that
+    /// decodes back instruction-by-instruction with matching boundaries.
+    #[test]
+    fn assembled_streams_decode_exactly(emits in proptest::collection::vec(emit_strategy(), 1..64)) {
+        let mut asm = Asm::new();
+        let mut boundaries = Vec::new();
+        for e in &emits {
+            boundaries.push(asm.len());
+            apply(&mut asm, e);
+        }
+        let total = asm.len();
+        let bytes = asm.finish().unwrap();
+        prop_assert_eq!(bytes.len(), total);
+        // Walk the stream: decoded instruction boundaries must be exactly
+        // the emitter boundaries.
+        let mut pos = 0;
+        let mut walked = Vec::new();
+        while pos < bytes.len() {
+            walked.push(pos);
+            let inst = decode(&bytes[pos..]).expect("assembled bytes decode");
+            pos += inst.len as usize;
+        }
+        prop_assert_eq!(walked, boundaries);
+    }
+
+    /// Control-flow classification of assembled branches is stable.
+    #[test]
+    fn branch_flow_roundtrip(cc in 0u8..16, fwd in 1i32..0x100) {
+        let mut asm = Asm::new();
+        let l = asm.label();
+        asm.jcc_label(Cond(cc), l);
+        for _ in 0..fwd { asm.nop(1); }
+        asm.bind(l);
+        asm.ret();
+        let bytes = asm.finish().unwrap();
+        let i = decode(&bytes).unwrap();
+        prop_assert_eq!(i.mnemonic, Mnemonic::Jcc(Cond(cc)));
+        prop_assert_eq!(i.flow, Flow::CondRel(fwd));
+    }
+}

@@ -1,0 +1,148 @@
+//! Systematic structural coverage of the entire two-byte (0F) opcode map.
+//!
+//! For every second opcode byte this test asserts the decoder's structural
+//! category — invalid, no-ModRM, ModRM, ModRM+imm8 or rel32 branch — so any
+//! table regression is caught immediately. The categories follow the Intel
+//! SDM with the documented approximations of this decoder (e.g. the 3DNow!
+//! space is treated as invalid).
+
+use x86_isa::{decode, DecodeError, Flow};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cat {
+    /// Undefined encoding (or deliberately unsupported legacy space).
+    Invalid,
+    /// Two bytes total, no ModRM.
+    NoModrm,
+    /// ModRM follows; with a `[rax]` ModRM the instruction is 3 bytes.
+    Modrm,
+    /// ModRM plus a trailing imm8 (4 bytes with a register ModRM).
+    ModrmImm8,
+    /// 32-bit relative conditional branch (6 bytes).
+    Jz,
+    /// Handled by a dedicated test (three-byte escapes, group 8).
+    Special,
+}
+
+fn spec(op: u8) -> Cat {
+    match op {
+        0x38 | 0x3a | 0xba => Cat::Special,
+        // undefined holes (incl. the unsupported 3DNow!/legacy space)
+        0x04
+        | 0x0a
+        | 0x0c
+        | 0x0e
+        | 0x0f
+        | 0x24..=0x27
+        | 0x36
+        | 0x39
+        | 0x3b..=0x3f
+        | 0x7a
+        | 0x7b => Cat::Invalid,
+        // no-ModRM instructions
+        0x05..=0x09
+        | 0x0b
+        | 0x30..=0x35
+        | 0x37
+        | 0x77
+        | 0xa0
+        | 0xa1
+        | 0xa2
+        | 0xa8
+        | 0xa9
+        | 0xaa
+        | 0xc8..=0xcf => Cat::NoModrm,
+        // near conditional branches
+        0x80..=0x8f => Cat::Jz,
+        // ModRM + imm8
+        0x70..=0x73 | 0xa4 | 0xac | 0xc2 | 0xc4 | 0xc5 | 0xc6 => Cat::ModrmImm8,
+        // everything else carries a ModRM byte
+        _ => Cat::Modrm,
+    }
+}
+
+#[test]
+fn every_two_byte_opcode_matches_its_structural_category() {
+    for op in 0u8..=255 {
+        // 0F <op> followed by a `[rax]` ModRM and enough zero payload
+        let buf = [0x0f, op, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00];
+        let got = decode(&buf);
+        match spec(op) {
+            Cat::Special => {}
+            Cat::Invalid => {
+                assert_eq!(
+                    got,
+                    Err(DecodeError::Invalid),
+                    "0f {op:02x} should be invalid"
+                );
+            }
+            Cat::NoModrm => {
+                let inst = got.unwrap_or_else(|e| panic!("0f {op:02x}: {e}"));
+                assert_eq!(inst.len, 2, "0f {op:02x} should be 2 bytes, got {inst}");
+            }
+            Cat::Modrm => {
+                let inst = got.unwrap_or_else(|e| panic!("0f {op:02x}: {e}"));
+                assert_eq!(
+                    inst.len, 3,
+                    "0f {op:02x} + [rax] should be 3 bytes, got {inst}"
+                );
+            }
+            Cat::ModrmImm8 => {
+                let inst = got.unwrap_or_else(|e| panic!("0f {op:02x}: {e}"));
+                assert_eq!(
+                    inst.len, 4,
+                    "0f {op:02x} + [rax] + ib should be 4 bytes, got {inst}"
+                );
+            }
+            Cat::Jz => {
+                let inst = got.unwrap_or_else(|e| panic!("0f {op:02x}: {e}"));
+                assert_eq!(inst.len, 6, "0f {op:02x} should be 6 bytes");
+                assert!(
+                    matches!(inst.flow, Flow::CondRel(_)),
+                    "0f {op:02x}: {:?}",
+                    inst.flow
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn special_cases_of_the_map() {
+    // group 8: /0../3 undefined, /4../7 are bt/bts/btr/btc with imm8
+    for ext in 0u8..4 {
+        let modrm = 0xc0 | (ext << 3);
+        assert_eq!(
+            decode(&[0x0f, 0xba, modrm, 0x07]),
+            Err(DecodeError::Invalid),
+            "grp8 /{ext}"
+        );
+    }
+    for (ext, name) in [(4u8, "bt"), (5, "bts"), (6, "btr"), (7, "btc")] {
+        let modrm = 0xc0 | (ext << 3);
+        let inst = decode(&[0x0f, 0xba, modrm, 0x07]).unwrap();
+        assert_eq!(inst.len, 4);
+        assert!(inst.to_string().starts_with(name), "{inst}");
+    }
+    // three-byte escapes: 0F 38 = ModRM, 0F 3A = ModRM + imm8
+    for op3 in [0x00u8, 0x17, 0x40, 0xf0] {
+        let inst = decode(&[0x0f, 0x38, op3, 0x00, 0, 0, 0, 0]).unwrap();
+        assert_eq!(inst.len, 4, "0f 38 {op3:02x}");
+    }
+    for op3 in [0x0fu8, 0x14, 0x44, 0x63] {
+        let inst = decode(&[0x0f, 0x3a, op3, 0x00, 0x05, 0, 0, 0]).unwrap();
+        assert_eq!(inst.len, 5, "0f 3a {op3:02x}");
+    }
+}
+
+#[test]
+fn rex_and_prefixes_do_not_change_map_structure() {
+    // REX.W and segment prefixes add exactly their own length over the map
+    for op in [0x10u8, 0x28, 0x57, 0x6e, 0xaf, 0xb6, 0xc1] {
+        let plain = decode(&[0x0f, op, 0x00, 0, 0, 0, 0]).unwrap();
+        let rexed = decode(&[0x48, 0x0f, op, 0x00, 0, 0, 0, 0]).unwrap();
+        assert_eq!(rexed.len, plain.len + 1, "0f {op:02x} with REX.W");
+        let seg = decode(&[0x65, 0x0f, op, 0x00, 0, 0, 0, 0]).unwrap();
+        assert_eq!(seg.len, plain.len + 1, "0f {op:02x} with gs");
+    }
+}

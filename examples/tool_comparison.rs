@@ -1,0 +1,72 @@
+//! Tool comparison: the paper's headline experiment in miniature.
+//!
+//! Runs the full lineup (linear sweep, recursive traversal with and without
+//! prologue scanning, probabilistic, ours) over a small mixed corpus and
+//! prints accuracy plus the error-reduction factor.
+//!
+//! ```text
+//! cargo run --release --example tool_comparison
+//! ```
+
+use metadis::eval::harness::{evaluate, standard_lineup};
+use metadis::eval::table::{f4, TextTable};
+use metadis::eval::{train_standard_model, CorpusSpec};
+
+fn main() {
+    let mut spec = CorpusSpec::standard();
+    spec.count = 6;
+    let corpus = spec.generate();
+    println!(
+        "corpus: {} binaries / {} KiB text / {} instructions / {} jump tables\n",
+        corpus.workloads.len(),
+        corpus.total_text_bytes() / 1024,
+        corpus.total_instructions(),
+        corpus.total_jump_tables()
+    );
+
+    let model = train_standard_model(8);
+    let mut t = TextTable::new([
+        "tool",
+        "inst P",
+        "inst R",
+        "inst F1",
+        "errors",
+        "func F1",
+        "ms/binary",
+    ]);
+    let mut ours_errors = None;
+    let mut best_baseline = usize::MAX;
+    for tool in standard_lineup(model) {
+        let r = evaluate(&tool, &corpus);
+        let m = r.score.inst;
+        t.row([
+            r.tool.clone(),
+            f4(m.precision()),
+            f4(m.recall()),
+            f4(m.f1()),
+            m.errors().to_string(),
+            f4(r.score.funcs.f1()),
+            format!(
+                "{:.2}",
+                r.elapsed.as_secs_f64() * 1000.0 / corpus.workloads.len() as f64
+            ),
+        ]);
+        if r.tool.contains("ours") {
+            ours_errors = Some(m.errors());
+        } else if !r.tool.contains("symbol-assisted") {
+            best_baseline = best_baseline.min(m.errors());
+        }
+    }
+    print!("{}", t.render());
+
+    match ours_errors {
+        Some(0) => println!("\nours: zero instruction errors (best baseline: {best_baseline})"),
+        Some(e) => println!(
+            "\nerror reduction vs best baseline: {:.1}x ({} -> {})",
+            best_baseline as f64 / e as f64,
+            best_baseline,
+            e
+        ),
+        None => {}
+    }
+}

@@ -1,0 +1,92 @@
+//! Tool disagreement analysis: diff two disassemblies of the same binary
+//! and show, with listing context, exactly where and why they diverge.
+//!
+//! ```text
+//! cargo run --release --example tool_diff
+//! ```
+
+use metadis::baselines::Baseline;
+use metadis::core::diff;
+use metadis::eval::{image_of, train_standard_model};
+use metadis::gen::{ByteLabel, GenConfig, OptProfile, Workload};
+
+fn main() {
+    let w = Workload::generate(&GenConfig::new(8086, OptProfile::O1, 20, 0.15));
+    let image = image_of(&w);
+    println!(
+        "binary: {} bytes, {:.1}% embedded data\n",
+        w.text.len(),
+        w.actual_data_density() * 100.0
+    );
+
+    let ours = metadis::core::Disassembler::new(metadis::core::Config {
+        model: Some(train_standard_model(6)),
+        ..metadis::core::Config::default()
+    })
+    .disassemble(&image);
+
+    for baseline in [
+        Baseline::LinearSweep,
+        Baseline::RecursiveScan,
+        Baseline::Probabilistic,
+    ] {
+        let other = baseline.disassemble(&image);
+        let d = diff(&ours, &other);
+        println!("ours vs {}:", baseline.name());
+        println!("  {d}");
+
+        // Attribute each conflict region using ground truth: who was right?
+        let mut ours_right = 0usize;
+        let mut other_right = 0usize;
+        for r in &d.conflicts {
+            let truth_code = (r.start..r.end)
+                .filter(|&b| w.truth.labels[b as usize] != ByteLabel::Data)
+                .count();
+            let truth_data = (r.len() as usize) - truth_code;
+            // a_is_code refers to side A = ours
+            if r.a_is_code {
+                if truth_code >= truth_data {
+                    ours_right += 1;
+                } else {
+                    other_right += 1;
+                }
+            } else if truth_data >= truth_code {
+                ours_right += 1;
+            } else {
+                other_right += 1;
+            }
+        }
+        println!(
+            "  ground truth sides with ours in {ours_right}/{} conflict regions\n",
+            ours_right + other_right
+        );
+    }
+
+    // Show the three largest conflict regions against linear sweep.
+    let linear = Baseline::LinearSweep.disassemble(&image);
+    let d = diff(&ours, &linear);
+    let mut regions = d.conflicts.clone();
+    regions.sort_by_key(|r| std::cmp::Reverse(r.len()));
+    println!("largest disagreements vs linear-sweep:");
+    for r in regions.iter().take(3) {
+        let kind = if w
+            .truth
+            .jump_tables
+            .iter()
+            .any(|jt| !jt.in_rodata && jt.table_off >= r.start && jt.table_off < r.end)
+        {
+            "contains a jump table"
+        } else {
+            "embedded data blob"
+        };
+        println!(
+            "  {:#06x}..{:#06x} ({} bytes) — ours: {}, linear: {} — {}",
+            r.start,
+            r.end,
+            r.len(),
+            if r.a_is_code { "code" } else { "data" },
+            if r.a_is_code { "data" } else { "code" },
+            kind
+        );
+    }
+}

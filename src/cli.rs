@@ -1,0 +1,476 @@
+//! The `metadis` command-line interface.
+//!
+//! Subcommands:
+//!
+//! * `disasm <elf>` — disassemble a stripped ELF and print a report or an
+//!   annotated listing (`--listing`).
+//! * `gen -o <path>` — emit a synthetic test executable (plus `.truth`
+//!   sidecar listing ground-truth instruction offsets).
+//! * `compare <elf>` — run every tool on the same binary and print summary
+//!   statistics side by side.
+//! * `cfg <elf>` — reconstruct and summarize the control-flow graph.
+//!
+//! All output goes to the returned `String` so the CLI is fully testable.
+
+use bingen::{GenConfig, OptProfile, Workload};
+use disasm_baselines::Baseline;
+use disasm_core::{cfg::Cfg, Config, Disassembler, Image, ListingOptions};
+use std::fmt::Write as _;
+
+/// CLI error: message already formatted for the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+metadis — metadata-free disassembly of stripped x86-64 binaries
+
+USAGE:
+    metadis disasm <elf> [--listing] [--max-lines N] [--train N]
+    metadis gen -o <path> [--seed N] [--profile O0|O1|O2|O3]
+                [--functions N] [--density F] [--adversarial]
+    metadis compare <elf> [--train N]
+    metadis cfg <elf> [--train N]
+    metadis report <elf> [--train N]
+    metadis diff <elf> [--train N]
+    metadis score <elf> <truth-file> [--train N]
+
+OPTIONS:
+    --listing       print a full annotated listing instead of the summary
+    --max-lines N   cap listing length (default 200; 0 = unlimited)
+    --train N       train the statistical model on N generated binaries
+                    (default: self-train from the input binary)
+    --seed N        generator seed (default 0)
+    --profile P     generator profile (default O2)
+    --functions N   generated function count (default 25)
+    --density F     embedded-data fraction 0.0-0.5 (default 0.1)
+    --adversarial   lace the generated binary with anti-disassembly junk
+";
+
+/// Run the CLI with `args` (without the program name). Returns the text to
+/// print on success.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on bad arguments or
+/// I/O / parse failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| err(USAGE))?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "disasm" => cmd_disasm(&rest),
+        "gen" => cmd_gen(&rest),
+        "compare" => cmd_compare(&rest),
+        "cfg" => cmd_cfg(&rest),
+        "report" => cmd_report(&rest),
+        "diff" => cmd_diff(&rest),
+        "score" => cmd_score(&rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_score(rest: &[&String]) -> Result<String, CliError> {
+    // two positionals: the ELF and the .truth sidecar written by `gen`
+    let mut pos = rest
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .take(2)
+        .map(|s| s.as_str());
+    let path = pos
+        .next()
+        .ok_or_else(|| err(format!("score: missing <elf>\n\n{USAGE}")))?;
+    let truth_path = pos
+        .next()
+        .ok_or_else(|| err(format!("score: missing <truth-file>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let truth_text = std::fs::read_to_string(truth_path)
+        .map_err(|e| err(format!("cannot read '{truth_path}': {e}")))?;
+    let truth: std::collections::BTreeSet<u32> = truth_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.trim()
+                .parse()
+                .map_err(|_| err(format!("bad offset '{l}' in {truth_path}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let cfg = build_config(rest)?;
+    let d = Disassembler::new(cfg).disassemble(&image);
+    let pred: std::collections::BTreeSet<u32> = d.inst_starts.iter().copied().collect();
+    let tp = truth.intersection(&pred).count();
+    let fn_ = truth.difference(&pred).count();
+    let fp = pred.difference(&truth).count();
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    let f1 = 2.0 * tp as f64 / (2 * tp + fp + fn_).max(1) as f64;
+    Ok(format!(
+        "{path}: {} truth instructions\n  precision {precision:.4}  recall {recall:.4}  F1 {f1:.4}\n  TP {tp}  FP {fp} (may include padding)  FN {fn_}\n",
+        truth.len()
+    ))
+}
+
+fn cmd_diff(rest: &[&String]) -> Result<String, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("diff: missing <elf>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let cfg = build_config(rest)?;
+    let ours = Disassembler::new(cfg).disassemble(&image);
+    let mut out = format!("{path}: metadis vs each baseline\n");
+    for b in Baseline::ALL {
+        let other = b.disassemble(&image);
+        let d = disasm_core::diff(&ours, &other);
+        let _ = writeln!(out, "  vs {:<15} {}", b.name(), d);
+    }
+    Ok(out)
+}
+
+fn cmd_report(rest: &[&String]) -> Result<String, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("report: missing <elf>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let cfg = build_config(rest)?;
+    let d = Disassembler::new(cfg).disassemble(&image);
+    let r = disasm_core::Report::build(&image, &d);
+    let mut out = format!("{path}:\n{r}\n\nlargest functions:\n");
+    let mut by_size: Vec<_> = r.functions.iter().collect();
+    by_size.sort_by_key(|f| std::cmp::Reverse(f.len()));
+    for f in by_size.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  {:#06x}..{:#06x}  {:5} bytes  {:4} insts  {:3} blocks",
+            f.start,
+            f.end,
+            f.len(),
+            f.instructions,
+            f.blocks
+        );
+    }
+    Ok(out)
+}
+
+fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a.as_str() == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| a.as_str() == name)
+}
+
+fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
+    let mut skip_next = false;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if let Some(stripped) = a.strip_prefix("--") {
+            skip_next = !matches!(stripped, "listing" | "adversarial");
+            continue;
+        }
+        if a.as_str() == "-o" {
+            skip_next = true;
+            continue;
+        }
+        return Some(a.as_str());
+    }
+    None
+}
+
+fn load_image(path: &str) -> Result<Image, CliError> {
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read '{path}': {e}")))?;
+    let elf = elfobj::Elf::parse(&bytes).map_err(|e| err(format!("cannot parse '{path}': {e}")))?;
+    Image::from_elf(&elf).ok_or_else(|| err(format!("'{path}' has no executable section")))
+}
+
+fn build_config(rest: &[&String]) -> Result<Config, CliError> {
+    let mut cfg = Config::default();
+    if let Some(n) = flag_value(rest, "--train") {
+        let n: usize = n.parse().map_err(|_| err("--train expects a number"))?;
+        cfg.model = Some(disasm_eval::train_standard_model(n));
+    }
+    Ok(cfg)
+}
+
+fn cmd_disasm(rest: &[&String]) -> Result<String, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("disasm: missing <elf>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let cfg = build_config(rest)?;
+    let d = Disassembler::new(cfg).disassemble(&image);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: {} text bytes at {:#x}",
+        image.text.len(),
+        image.text_va
+    );
+    let _ = writeln!(out, "  {d}");
+    if has_flag(rest, "--listing") {
+        let max_lines = flag_value(rest, "--max-lines")
+            .map(|v| v.parse().map_err(|_| err("--max-lines expects a number")))
+            .transpose()?
+            .unwrap_or(200);
+        let opts = ListingOptions {
+            max_lines,
+            ..ListingOptions::default()
+        };
+        out.push('\n');
+        out.push_str(&disasm_core::render_listing(&image, &d, &opts));
+    } else {
+        let _ = writeln!(
+            out,
+            "  functions at: {:?}{}",
+            &d.func_starts[..d.func_starts.len().min(16)],
+            if d.func_starts.len() > 16 { " ..." } else { "" }
+        );
+        for t in d.jump_tables.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  jump table at {:#x}: {} x {}B entries",
+                t.table_off,
+                t.entries(),
+                t.entry_size
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_gen(rest: &[&String]) -> Result<String, CliError> {
+    let out_path =
+        flag_value(rest, "-o").ok_or_else(|| err(format!("gen: missing -o <path>\n\n{USAGE}")))?;
+    let seed: u64 = flag_value(rest, "--seed")
+        .map(|v| v.parse().map_err(|_| err("--seed expects a number")))
+        .transpose()?
+        .unwrap_or(0);
+    let functions: usize = flag_value(rest, "--functions")
+        .map(|v| v.parse().map_err(|_| err("--functions expects a number")))
+        .transpose()?
+        .unwrap_or(25);
+    let density: f64 = flag_value(rest, "--density")
+        .map(|v| v.parse().map_err(|_| err("--density expects a float")))
+        .transpose()?
+        .unwrap_or(0.1);
+    let profile = match flag_value(rest, "--profile").unwrap_or("O2") {
+        "O0" | "o0" => OptProfile::O0,
+        "O1" | "o1" => OptProfile::O1,
+        "O2" | "o2" => OptProfile::O2,
+        "O3" | "o3" => OptProfile::O3,
+        other => return Err(err(format!("unknown profile '{other}'"))),
+    };
+    if !(0.0..=0.5).contains(&density) {
+        return Err(err("--density must be within 0.0..=0.5"));
+    }
+    let mut gen_cfg = GenConfig::new(seed, profile, functions, density);
+    gen_cfg.adversarial = has_flag(rest, "--adversarial");
+    let w = Workload::generate(&gen_cfg);
+    let elf = w.to_elf().to_bytes();
+    std::fs::write(out_path, &elf).map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
+    let truth_path = format!("{out_path}.truth");
+    let mut truth = String::new();
+    for &o in &w.truth.inst_starts {
+        let _ = writeln!(truth, "{o}");
+    }
+    std::fs::write(&truth_path, truth)
+        .map_err(|e| err(format!("cannot write '{truth_path}': {e}")))?;
+    Ok(format!(
+        "wrote {out_path} ({} bytes, {} instructions, {:.1}% embedded data) and {truth_path}\n",
+        elf.len(),
+        w.truth.inst_starts.len(),
+        w.actual_data_density() * 100.0
+    ))
+}
+
+fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("compare: missing <elf>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let cfg = build_config(rest)?;
+    let mut t = disasm_eval::table::TextTable::new([
+        "tool",
+        "instructions",
+        "code bytes",
+        "data bytes",
+        "functions",
+        "tables",
+    ]);
+    let mut tools: Vec<(String, disasm_core::Disassembly)> = Baseline::ALL
+        .iter()
+        .map(|b| (b.name().to_string(), b.disassemble(&image)))
+        .collect();
+    tools.push((
+        "metadis (ours)".to_string(),
+        Disassembler::new(cfg).disassemble(&image),
+    ));
+    for (name, d) in &tools {
+        use disasm_core::ByteClass;
+        t.row([
+            name.clone(),
+            d.inst_starts.len().to_string(),
+            (d.count(ByteClass::InstStart) + d.count(ByteClass::InstBody)).to_string(),
+            d.count(ByteClass::Data).to_string(),
+            d.func_starts.len().to_string(),
+            d.jump_tables.len().to_string(),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn cmd_cfg(rest: &[&String]) -> Result<String, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("cfg: missing <elf>\n\n{USAGE}")))?;
+    let image = load_image(path)?;
+    let cfg = build_config(rest)?;
+    let d = Disassembler::new(cfg).disassemble(&image);
+    let g = Cfg::build(&image, &d);
+    let mut out = String::new();
+    let edges: usize = g.blocks().map(|b| b.succs.len()).sum();
+    let _ = writeln!(
+        out,
+        "{path}: {} basic blocks, {} edges, {} call edges, {} functions",
+        g.len(),
+        edges,
+        g.call_edges().len(),
+        d.func_starts.len()
+    );
+    for b in g.blocks().take(12) {
+        let _ = writeln!(
+            out,
+            "  block {:#06x}..{:#06x}: {} insts -> {:?}{}",
+            b.start,
+            b.end,
+            b.insts.len(),
+            b.succs,
+            if b.returns { " (ret)" } else { "" }
+        );
+    }
+    if g.len() > 12 {
+        let _ = writeln!(out, "  ... ({} more blocks)", g.len() - 12);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("metadis-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&args(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_then_disasm_then_compare_then_cfg() {
+        let dir = tmpdir();
+        let elf = dir.join("t.elf");
+        let elf_s = elf.to_str().unwrap();
+        let msg = run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "9",
+            "--functions",
+            "10",
+            "--density",
+            "0.1",
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        assert!(elf.exists());
+        assert!(dir.join("t.elf.truth").exists());
+
+        let report = run(&args(&["disasm", elf_s])).unwrap();
+        assert!(report.contains("instructions"), "{report}");
+
+        let listing = run(&args(&["disasm", elf_s, "--listing", "--max-lines", "40"])).unwrap();
+        assert!(
+            listing.contains("push") || listing.contains("mov"),
+            "{listing}"
+        );
+
+        let cmp = run(&args(&["compare", elf_s])).unwrap();
+        assert!(cmp.contains("linear-sweep"), "{cmp}");
+        assert!(cmp.contains("metadis (ours)"), "{cmp}");
+
+        let cfg = run(&args(&["cfg", elf_s])).unwrap();
+        assert!(cfg.contains("basic blocks"), "{cfg}");
+
+        let rep = run(&args(&["report", elf_s])).unwrap();
+        assert!(rep.contains("largest functions"), "{rep}");
+        assert!(rep.contains("jump tables"), "{rep}");
+
+        let df = run(&args(&["diff", elf_s])).unwrap();
+        assert!(df.contains("vs linear-sweep"), "{df}");
+        assert!(df.contains("agreement"), "{df}");
+
+        let truth_path = format!("{elf_s}.truth");
+        let sc = run(&args(&["score", elf_s, &truth_path])).unwrap();
+        assert!(sc.contains("precision"), "{sc}");
+        // the self-trained pipeline should still be highly accurate
+        let recall: f64 = sc
+            .split("recall ")
+            .nth(1)
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap();
+        assert!(recall > 0.9, "{sc}");
+    }
+
+    #[test]
+    fn gen_validates_arguments() {
+        let dir = tmpdir();
+        let elf = dir.join("bad.elf");
+        assert!(run(&args(&["gen"])).is_err());
+        assert!(run(&args(&[
+            "gen",
+            "-o",
+            elf.to_str().unwrap(),
+            "--density",
+            "0.9"
+        ]))
+        .is_err());
+        assert!(run(&args(&[
+            "gen",
+            "-o",
+            elf.to_str().unwrap(),
+            "--profile",
+            "O9"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn disasm_rejects_garbage_input() {
+        let dir = tmpdir();
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"not an elf").unwrap();
+        let e = run(&args(&["disasm", junk.to_str().unwrap()])).unwrap_err();
+        assert!(e.0.contains("cannot parse"), "{e}");
+        assert!(run(&args(&["disasm", "/nonexistent/x.elf"])).is_err());
+    }
+}

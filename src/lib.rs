@@ -1,0 +1,45 @@
+//! # metadis
+//!
+//! Metadata-free accurate disassembly of complex x86-64 binaries.
+//!
+//! This is the umbrella crate of the workspace: it re-exports the public API
+//! of every layer so downstream users can depend on a single crate.
+//!
+//! * [`isa`] — x86-64 decoder and assembler ([`x86_isa`]).
+//! * [`elf`] — minimal ELF64 reader/writer ([`elfobj`]).
+//! * [`gen`] — ground-truth synthetic binary generator ([`bingen`]).
+//! * [`core`] — the disassembly pipeline: superset disassembly, statistical
+//!   code model, behavioral data hints, prioritized error correction
+//!   ([`disasm_core`]).
+//! * [`baselines`] — linear sweep, recursive traversal and Miller-style
+//!   probabilistic disassembly comparators ([`disasm_baselines`]).
+//! * [`eval`] — ground-truth metrics and the experiment harness
+//!   ([`disasm_eval`]).
+//! * [`cli`] — the `metadis` command-line interface
+//!   (disasm / gen / compare / cfg / report / diff / score).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use metadis::gen::{GenConfig, Workload};
+//! use metadis::core::{Disassembler, Config};
+//! use metadis::eval::image_of;
+//!
+//! // Generate a synthetic stripped binary with embedded data...
+//! let workload = Workload::generate(&GenConfig::small(7));
+//! // ...and disassemble it without any metadata.
+//! let result = Disassembler::new(Config::default()).disassemble(&image_of(&workload));
+//! assert!(!result.inst_starts.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use bingen as gen;
+pub use disasm_baselines as baselines;
+pub use disasm_core as core;
+pub use disasm_eval as eval;
+pub use elfobj as elf;
+pub use x86_isa as isa;

@@ -1,0 +1,95 @@
+//! Integration tests for the downstream analysis surfaces: CFG, listing and
+//! report, exercised through the `metadis` facade on generated workloads.
+
+use metadis::core::{cfg::Cfg, Config, Disassembler, ListingOptions, Report};
+use metadis::eval::{image_of, train_standard_model};
+use metadis::gen::{GenConfig, OptProfile, Workload};
+
+fn disassembled(seed: u64) -> (metadis::core::Image, metadis::core::Disassembly, Workload) {
+    let w = Workload::generate(&GenConfig::new(seed, OptProfile::O2, 20, 0.10));
+    let image = image_of(&w);
+    let d = Disassembler::new(Config {
+        model: Some(train_standard_model(4)),
+        ..Config::default()
+    })
+    .disassemble(&image);
+    (image, d, w)
+}
+
+#[test]
+fn cfg_covers_all_accepted_instructions() {
+    let (image, d, _) = disassembled(600);
+    let cfg = Cfg::build(&image, &d);
+    let in_blocks: usize = cfg.blocks().map(|b| b.insts.len()).sum();
+    assert_eq!(in_blocks, d.inst_starts.len());
+    // every block's end is start of the next instruction after its last inst
+    for b in cfg.blocks() {
+        let last = *b.insts.last().unwrap();
+        let inst = metadis::isa::decode_at(&image.text, last as usize).unwrap();
+        assert_eq!(b.end, last + inst.len as u32);
+    }
+}
+
+#[test]
+fn cfg_call_graph_matches_function_starts() {
+    let (image, d, _) = disassembled(601);
+    let cfg = Cfg::build(&image, &d);
+    for (_, callee) in cfg.call_edges() {
+        assert!(
+            d.func_starts.contains(&callee),
+            "call edge to {callee} which is not a recorded function start"
+        );
+    }
+}
+
+#[test]
+fn listing_renders_every_region_kind() {
+    let (image, d, _) = disassembled(602);
+    let s = metadis::core::render_listing(&image, &d, &ListingOptions::default());
+    assert!(s.contains("<fn_1>"), "function labels missing");
+    assert!(s.contains("db "), "data regions missing");
+    assert!(s.contains("mov"), "instructions missing");
+    // every accepted instruction start address appears
+    let first = d.inst_starts[0] as u64 + image.text_va;
+    assert!(s.contains(&format!("{first:8x}:")), "{first:x} missing");
+}
+
+#[test]
+fn report_matches_disassembly_aggregates() {
+    let (image, d, w) = disassembled(603);
+    let r = Report::build(&image, &d);
+    assert_eq!(r.text_bytes, w.text.len());
+    assert_eq!(r.instructions, d.inst_starts.len());
+    assert_eq!(r.jump_tables, d.jump_tables.len());
+    assert_eq!(r.functions.len(), d.func_starts.len());
+    assert_eq!(r.code_bytes + r.data_bytes + r.padding_bytes, r.text_bytes);
+}
+
+#[test]
+fn symbol_oracle_misses_table_cases_but_ours_does_not() {
+    // The story of the paper in one test: even with perfect function
+    // symbols, recursive traversal cannot reach jump-table case blocks.
+    let w = Workload::generate(&GenConfig::new(604, OptProfile::O1, 30, 0.10));
+    assert!(!w.truth.jump_tables.is_empty());
+    let image = image_of(&w);
+    let oracle = metadis::baselines::recursive::disassemble_from(&image, &w.truth.func_starts);
+    let ours = Disassembler::new(Config {
+        model: Some(train_standard_model(4)),
+        ..Config::default()
+    })
+    .disassemble(&image);
+    let mut oracle_missed = 0;
+    let mut ours_missed = 0;
+    for jt in &w.truth.jump_tables {
+        for &t in &jt.targets {
+            if !oracle.is_inst_start(t) {
+                oracle_missed += 1;
+            }
+            if !ours.is_inst_start(t) {
+                ours_missed += 1;
+            }
+        }
+    }
+    assert!(oracle_missed > 0, "oracle unexpectedly resolved tables");
+    assert_eq!(ours_missed, 0, "ours missed {ours_missed} case blocks");
+}

@@ -1,0 +1,136 @@
+//! Workspace-level integration tests: generator → ELF → parser → pipeline →
+//! metrics, exercising every crate through the public `metadis` facade.
+
+use metadis::baselines::Baseline;
+use metadis::core::{Config, Disassembler, Image};
+use metadis::eval::harness::{evaluate, Tool};
+use metadis::eval::{image_of, metrics, train_standard_model, CorpusSpec};
+use metadis::gen::{GenConfig, OptProfile, Workload};
+
+/// The full loop through the on-disk format: generate, serialize to ELF,
+/// parse the ELF, build the image from it, disassemble, score.
+#[test]
+fn elf_round_trip_preserves_accuracy() {
+    let w = Workload::generate(&GenConfig::new(90210, OptProfile::O1, 25, 0.12));
+    let elf_bytes = w.to_elf().to_bytes();
+    let parsed = metadis::elf::Elf::parse(&elf_bytes).expect("own ELF parses");
+    let image = Image::from_elf(&parsed).expect("text present");
+    assert_eq!(image.text, w.text);
+    assert_eq!(image.entry, Some(w.entry_off));
+
+    let model = train_standard_model(6);
+    let d = Disassembler::new(Config {
+        model: Some(model),
+        ..Config::default()
+    })
+    .disassemble(&image);
+    let s = metrics::score(&w, &d);
+    assert!(
+        s.inst.f1() > 0.95,
+        "F1 through ELF round trip: {}",
+        s.inst.f1()
+    );
+}
+
+/// The central claim, asserted as a regression gate: ours reduces total
+/// instruction errors at least 3x vs the best baseline on the embedded-data
+/// corpus.
+#[test]
+fn headline_error_reduction_holds() {
+    let mut spec = CorpusSpec::standard();
+    spec.count = 4;
+    let corpus = spec.generate();
+    let model = train_standard_model(8);
+
+    let ours = evaluate(&Tool::ours(model), &corpus);
+    let mut best_baseline = usize::MAX;
+    for b in Baseline::ALL {
+        let r = evaluate(&Tool::Baseline(b), &corpus);
+        best_baseline = best_baseline.min(r.score.inst.errors());
+    }
+    let ours_errors = ours.score.inst.errors().max(1);
+    let factor = best_baseline as f64 / ours_errors as f64;
+    assert!(
+        factor >= 3.0,
+        "error reduction only {factor:.2}x (ours {} vs best baseline {best_baseline})",
+        ours.score.inst.errors()
+    );
+}
+
+/// Every tool, on every profile, terminates and produces a structurally
+/// sound result (classes cover all bytes; starts are sorted and deduped).
+#[test]
+fn all_tools_produce_wellformed_output() {
+    let model = train_standard_model(4);
+    for profile in OptProfile::ALL {
+        let w = Workload::generate(&GenConfig::new(777, profile, 12, 0.15));
+        let image = image_of(&w);
+        let tools: Vec<Tool> = Baseline::ALL
+            .iter()
+            .map(|&b| Tool::Baseline(b))
+            .chain([Tool::ours(model.clone())])
+            .collect();
+        for tool in tools {
+            let d = tool.run(&image);
+            assert_eq!(d.byte_class.len(), w.text.len(), "{}", tool.name());
+            let mut sorted = d.inst_starts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(
+                sorted,
+                d.inst_starts,
+                "{} starts not sorted/unique",
+                tool.name()
+            );
+            for &s in &d.inst_starts {
+                assert!(
+                    x86_isa_decodes(&w.text, s),
+                    "{} accepted undecodable offset {s}",
+                    tool.name()
+                );
+            }
+        }
+    }
+}
+
+fn x86_isa_decodes(text: &[u8], off: u32) -> bool {
+    metadis::isa::decode_at(text, off as usize).is_ok()
+}
+
+/// Disassembling with no entry point (e.g. a shared-object-like image)
+/// still works through structural + statistical evidence.
+#[test]
+fn works_without_entry_point() {
+    let w = Workload::generate(&GenConfig::new(4242, OptProfile::O2, 20, 0.10));
+    let mut image = image_of(&w);
+    image.entry = None;
+    let model = train_standard_model(6);
+    let d = Disassembler::new(Config {
+        model: Some(model),
+        ..Config::default()
+    })
+    .disassemble(&image);
+    let s = metrics::score(&w, &d);
+    assert!(
+        s.inst.recall() > 0.85,
+        "recall without entry point: {}",
+        s.inst.recall()
+    );
+}
+
+/// The pipeline is deterministic: identical inputs give identical outputs.
+#[test]
+fn pipeline_is_deterministic() {
+    let w = Workload::generate(&GenConfig::small(5));
+    let image = image_of(&w);
+    let model = train_standard_model(3);
+    let dis = Disassembler::new(Config {
+        model: Some(model),
+        ..Config::default()
+    });
+    let a = dis.disassemble(&image);
+    let b = dis.disassemble(&image);
+    assert_eq!(a.inst_starts, b.inst_starts);
+    assert_eq!(a.byte_class, b.byte_class);
+    assert_eq!(a.func_starts, b.func_starts);
+}
