@@ -1,112 +1,154 @@
-//! Criterion micro/macro benchmarks of every pipeline stage and tool.
+//! Self-timed throughput benchmark (no external harness).
+//!
+//! Times the raw decode loop, the superset/viability stages, every baseline,
+//! and the full pipeline on one 200-function workload, prints a throughput
+//! table, and writes the measurements as a `metadis.trace.v1` record
+//! (`BENCH_throughput.json`) — the same schema the CLI's `--trace-json`
+//! emits. Set `QUICK=1` for a reduced iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use disasm_baselines::Baseline;
 use disasm_core::superset::Superset;
+use disasm_core::trace::merged_report_json;
 use disasm_core::viability::Viability;
-use disasm_core::{Config, Disassembler};
+use disasm_core::{Config, Disassembler, Image, PipelineTrace};
+use disasm_eval::table::TextTable;
 use disasm_eval::{image_of, train_standard_model};
+use obs::Stopwatch;
 
 fn workload() -> bingen::Workload {
     bingen::Workload::generate(&bingen::GenConfig::new(
         55_000,
         bingen::OptProfile::O2,
-        200,
+        if bench::quick() { 40 } else { 200 },
         0.10,
     ))
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let w = workload();
-    let mut g = c.benchmark_group("decode");
-    g.throughput(Throughput::Bytes(w.text.len() as u64));
-    g.bench_function("linear_decode_text", |b| {
-        b.iter(|| {
-            let mut pos = 0usize;
-            let mut count = 0usize;
-            while pos < w.text.len() {
-                match x86_isa::decode(&w.text[pos..]) {
-                    Ok(i) => {
-                        pos += i.len as usize;
-                        count += 1;
-                    }
-                    Err(_) => pos += 1,
-                }
-            }
-            count
-        })
-    });
-    g.finish();
+/// Run `f` `iters` times and return the best-of wall time in nanoseconds.
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..iters {
+        let sw = Stopwatch::start();
+        std::hint::black_box(f());
+        best = best.min(sw.elapsed_ns());
+    }
+    best
 }
 
-fn bench_superset(c: &mut Criterion) {
-    let w = workload();
-    let mut g = c.benchmark_group("superset");
-    g.throughput(Throughput::Bytes(w.text.len() as u64));
-    g.bench_function("build", |b| b.iter(|| Superset::build(&w.text)));
-    let ss = Superset::build(&w.text);
-    g.bench_function("viability", |b| b.iter(|| Viability::compute(&ss)));
-    g.finish();
+/// One coarse-phase trace for a stage that processed `bytes` in `wall_ns`.
+fn stage_trace(name: &'static str, wall_ns: u64, bytes: u64, items: u64) -> PipelineTrace {
+    let mut t = PipelineTrace::new();
+    t.record(name, wall_ns, bytes, items);
+    t.total_wall_ns = wall_ns;
+    t.text_bytes = bytes;
+    t.runs = 1;
+    t
 }
 
-fn bench_tools(c: &mut Criterion) {
+/// Best-of-`iters` full-tool run; returns the trace of the fastest run.
+fn bench_tool(
+    iters: usize,
+    image: &Image,
+    run: impl Fn(&Image) -> disasm_core::Disassembly,
+) -> PipelineTrace {
+    let mut best: Option<PipelineTrace> = None;
+    for _ in 0..iters {
+        let d = std::hint::black_box(run(image));
+        if best
+            .as_ref()
+            .map(|b| d.trace.total_wall_ns < b.total_wall_ns)
+            .unwrap_or(true)
+        {
+            best = Some(d.trace);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    bench::banner(
+        "throughput",
+        "per-stage and per-tool wall time on a 200-function O2 workload",
+        "superset-based tools pay a constant factor over linear sweep",
+    );
+    obs::set_enabled(true);
+    let iters = if bench::quick() { 2 } else { 5 };
     let w = workload();
     let image = image_of(&w);
-    let model = train_standard_model(4);
-    let mut g = c.benchmark_group("tools");
-    g.throughput(Throughput::Bytes(w.text.len() as u64));
-    g.sample_size(20);
+    let nb = w.text.len() as u64;
+    let model = train_standard_model(if bench::quick() { 2 } else { 4 });
+
+    let mut tools: Vec<(String, PipelineTrace)> = Vec::new();
+
+    // raw stage timings
+    let decode_ns = best_of(iters, || {
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < w.text.len() {
+            match x86_isa::decode(&w.text[pos..]) {
+                Ok(i) => {
+                    pos += i.len as usize;
+                    count += 1;
+                }
+                Err(_) => pos += 1,
+            }
+        }
+        count
+    });
+    tools.push((
+        "linear-decode".into(),
+        stage_trace("decode", decode_ns, nb, 0),
+    ));
+    let superset_ns = best_of(iters, || Superset::build(&w.text));
+    let ss = Superset::build(&w.text);
+    let candidates = ss.valid().count() as u64;
+    tools.push((
+        "superset-build".into(),
+        stage_trace("superset", superset_ns, nb, candidates),
+    ));
+    let viability_ns = best_of(iters, || Viability::compute(&ss));
+    tools.push((
+        "viability-fixpoint".into(),
+        stage_trace(
+            "viability",
+            viability_ns,
+            nb,
+            Viability::compute(&ss).iterations(),
+        ),
+    ));
+
+    // whole tools, each carrying its own per-phase trace
     for b in Baseline::ALL {
-        g.bench_with_input(
-            BenchmarkId::new("baseline", b.name()),
-            &image,
-            |bch, img| bch.iter(|| b.disassemble(img)),
-        );
+        tools.push((
+            b.name().into(),
+            bench_tool(iters, &image, |img| b.disassemble(img)),
+        ));
     }
-    let dis = Disassembler::new(Config {
+    let full = Disassembler::new(Config {
         model: Some(model),
         ..Config::default()
     });
-    g.bench_with_input(BenchmarkId::new("ours", "full"), &image, |bch, img| {
-        bch.iter(|| dis.disassemble(img))
-    });
+    tools.push((
+        "metadis (ours)".into(),
+        bench_tool(iters, &image, |img| full.disassemble(img)),
+    ));
     let self_train = Disassembler::new(Config::default());
-    g.bench_with_input(
-        BenchmarkId::new("ours", "self-trained"),
-        &image,
-        |bch, img| bch.iter(|| self_train.disassemble(img)),
-    );
-    g.finish();
-}
+    tools.push((
+        "metadis (self-trained)".into(),
+        bench_tool(iters, &image, |img| self_train.disassemble(img)),
+    ));
 
-fn bench_generator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bingen");
-    g.sample_size(20);
-    g.bench_function("generate_200_functions", |b| b.iter(workload));
-    g.finish();
-}
+    let mut t = TextTable::new(["stage/tool", "wall ms", "MiB/s"]);
+    for (name, tr) in &tools {
+        t.row([
+            name.clone(),
+            format!("{:.3}", tr.total_wall_ns as f64 / 1e6),
+            format!("{:.1}", tr.bytes_per_sec() / (1024.0 * 1024.0)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(best of {iters} runs over {nb} text bytes)");
 
-fn bench_analysis_surfaces(c: &mut Criterion) {
-    use disasm_core::{cfg::Cfg, ListingOptions, Report};
-    let w = workload();
-    let image = image_of(&w);
-    let d = Disassembler::new(Config::default()).disassemble(&image);
-    let mut g = c.benchmark_group("surfaces");
-    g.sample_size(20);
-    g.bench_function("cfg_build", |b| b.iter(|| Cfg::build(&image, &d)));
-    g.bench_function("listing_render", |b| {
-        b.iter(|| disasm_core::render_listing(&image, &d, &ListingOptions::default()))
-    });
-    g.bench_function("report_build", |b| b.iter(|| Report::build(&image, &d)));
-    g.finish();
+    let json = merged_report_json("bench.throughput", &tools, &obs::global().snapshot());
+    bench::emit_bench_json("throughput", &json).expect("write perf record");
 }
-
-criterion_group!(
-    benches,
-    bench_decode,
-    bench_superset,
-    bench_tools,
-    bench_generator,
-    bench_analysis_surfaces
-);
-criterion_main!(benches);

@@ -30,14 +30,19 @@ fn main() {
             )
             .collect::<Vec<_>>(),
     );
+    let mut traces: Vec<(String, disasm_core::PipelineTrace)> = tools
+        .iter()
+        .map(|t| (t.name(), disasm_core::PipelineTrace::new()))
+        .collect();
     for &size in sizes {
         let corpus = CorpusSpec::with_size(size).generate();
         let mut row = vec![format!(
             "{} KiB",
             corpus.total_text_bytes() / corpus.workloads.len() / 1024
         )];
-        for tool in &tools {
+        for (tool, (_, trace)) in tools.iter().zip(&mut traces) {
             let r = evaluate(tool, &corpus);
+            trace.merge(&r.trace);
             row.push(f2(
                 r.elapsed.as_secs_f64() * 1000.0 / corpus.workloads.len() as f64
             ));
@@ -46,4 +51,11 @@ fn main() {
         t.row(row);
     }
     print!("{}", t.render());
+
+    let json = disasm_core::trace::merged_report_json(
+        "bench.fig2_scaling",
+        &traces,
+        &obs::global().snapshot(),
+    );
+    bench::emit_bench_json("fig2_scaling", &json).expect("write perf record");
 }

@@ -36,11 +36,40 @@ pub fn banner(id: &str, title: &str, expectation: &str) {
     println!();
 }
 
+/// Write a `metadis.trace.v1` perf record to `BENCH_<id>.json` and report
+/// where it went. Records land in `$BENCH_JSON_DIR` when set, otherwise in
+/// the repository root, building up the perf trajectory across runs.
+pub fn emit_bench_json(id: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+        });
+    let path = dir.join(format!("BENCH_{id}.json"));
+    std::fs::write(&path, json)?;
+    println!("perf record written to {}", path.display());
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn scaled_is_at_least_one() {
         assert!(super::scaled(1) >= 1);
         assert!(super::scaled(12) >= 1);
+    }
+
+    #[test]
+    fn emit_bench_json_honors_dir_override() {
+        let dir = std::env::temp_dir().join(format!("metadis-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let path = super::emit_bench_json("unit_test", r#"{"schema":"metadis.trace.v1"}"#).unwrap();
+        std::env::remove_var("BENCH_JSON_DIR");
+        assert_eq!(path, dir.join("BENCH_unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("metadis.trace.v1"));
     }
 }

@@ -8,6 +8,8 @@ use std::process::Command;
 fn run_quick(exe: &str) -> String {
     let out = Command::new(exe)
         .env("QUICK", "1")
+        // keep perf records out of the repo root during tests
+        .env("BENCH_JSON_DIR", std::env::temp_dir())
         .output()
         .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
     assert!(
@@ -41,6 +43,13 @@ fn table2_accuracy_smoke() {
         .and_then(|v| v.trim().trim_end_matches('x').parse().ok())
         .unwrap_or(f64::INFINITY); // "zero errors" phrasing counts as a pass
     assert!(factor >= 3.0, "reduction factor {factor} < 3.0\n{s}");
+    // the observability cost check and the perf record must both appear
+    assert!(s.contains("metrics overhead"), "{s}");
+    assert!(s.contains("perf record written"), "{s}");
+    let record = std::env::temp_dir().join("BENCH_table2_accuracy.json");
+    let json = std::fs::read_to_string(record).unwrap();
+    assert!(json.contains(r#""schema":"metadis.trace.v1""#), "{json}");
+    assert!(json.contains(r#""tool":"metadis (ours)""#), "{json}");
 }
 
 #[test]
@@ -94,6 +103,7 @@ fn fig1_density_smoke() {
 fn fig2_scaling_smoke() {
     let s = run_quick(env!("CARGO_BIN_EXE_fig2_scaling"));
     assert!(s.contains("MiB/s"), "{s}");
+    assert!(s.contains("perf record written"), "{s}");
 }
 
 #[test]

@@ -1,9 +1,8 @@
 //! The workload generator proper: emits compiler-style x86-64 functions with
 //! embedded data while recording exact ground truth.
 
+use crate::rng::Rng;
 use crate::{ByteLabel, GenConfig, GroundTruth, JumpTableInfo, OptProfile, Workload};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use x86_isa::{Asm, Cond, Gp, Label, Mem, OpSize};
 
 /// Generate a workload from a configuration (entry point of the module).
@@ -30,7 +29,7 @@ const POOL: [Gp; 10] = [
 
 struct Gen<'c> {
     cfg: &'c GenConfig,
-    rng: StdRng,
+    rng: Rng,
     asm: Asm,
     /// Per-function entry labels, created up front so calls may reference
     /// functions emitted later.
@@ -57,7 +56,7 @@ impl<'c> Gen<'c> {
     fn new(cfg: &'c GenConfig) -> Self {
         Gen {
             cfg,
-            rng: StdRng::seed_from_u64(cfg.seed ^ SEED_MIX),
+            rng: Rng::seed_from_u64(cfg.seed ^ SEED_MIX),
             asm: Asm::new(),
             func_labels: Vec::new(),
             inst_starts: Vec::new(),
@@ -301,7 +300,7 @@ impl<'c> Gen<'c> {
             _ => {
                 // address pool: absolute pointers to functions ("address
                 // taken" constants living inside .text)
-                let n = self.rng.gen_range(2..5).min(self.func_labels.len());
+                let n = self.rng.gen_range(2..5usize).min(self.func_labels.len());
                 let base = self.cfg.text_base;
                 let labels: Vec<Label> = (0..n)
                     .map(|_| self.func_labels[self.rng.gen_range(0..self.func_labels.len())])
@@ -495,7 +494,7 @@ impl<'c> Gen<'c> {
                 // array-style access: base + index*scale
                 let (b, i) = self.reg2();
                 let idx = if i == Gp::RSP { Gp::RCX } else { i };
-                let scale = [1u8, 2, 4, 8][self.rng.gen_range(0..4)];
+                let scale = [1u8, 2, 4, 8][self.rng.gen_range(0..4usize)];
                 let disp = self.rng.gen_range(0..64) * 4;
                 self.code1(move |a| a.mov_load(size, r, Mem::base_index(b, idx, scale, disp)));
             }
@@ -931,7 +930,7 @@ impl<'c> Gen<'c> {
 
         // small rodata section so the image has a plausible layout
         if self.rodata.is_empty() {
-            let mut r = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(11));
+            let mut r = Rng::seed_from_u64(self.cfg.seed.wrapping_add(11));
             self.rodata = (0..256).map(|_| r.gen()).collect();
         }
 

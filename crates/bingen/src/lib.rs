@@ -11,7 +11,8 @@
 //! instruction/function boundary sets.
 //!
 //! The generator is fully deterministic given a [`GenConfig`] (seeded
-//! `StdRng`), so every experiment in the repository is reproducible.
+//! in-repo [`rng::Rng`], a xoshiro256++ stream), so every experiment in the
+//! repository is reproducible.
 //!
 //! ```
 //! use bingen::{GenConfig, Workload};
@@ -30,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod rng;
 
 use elfobj::{Elf, Section};
 

@@ -1,0 +1,220 @@
+//! A small, self-contained pseudo-random number generator.
+//!
+//! The generator replaces the external `rand` crate so the workspace builds
+//! fully offline. It is **xoshiro256++** (Blackman & Vigna) seeded through
+//! **SplitMix64**, the canonical pairing: SplitMix64 expands a single `u64`
+//! seed into a well-mixed 256-bit state, and xoshiro256++ provides a fast,
+//! high-quality stream from it.
+//!
+//! Only the surface the workload generator needs is implemented:
+//! [`Rng::gen`], [`Rng::gen_bool`], and [`Rng::gen_range`] over integer
+//! ranges. Everything is deterministic per seed — the generator's
+//! reproducibility guarantee ("same [`crate::GenConfig`], same bytes")
+//! rests on this module.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the full 256-bit state from a single `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut x = seed;
+        Rng {
+            s: std::array::from_fn(|_| splitmix64(&mut x)),
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed value of `T`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to 0.0–1.0).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform value in `range` (`a..b` or `a..=b`).
+    ///
+    /// The output type parameter drives inference (like `rand`), so
+    /// `let x: u8 = rng.gen_range(1..16)` samples a `u8` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, width)` via the multiply-shift reduction.
+    fn bounded(&mut self, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        (((self.next_u64() as u128) * (width as u128)) >> 64) as u64
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Sample {
+    /// Draw one uniformly distributed value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl Sample for bool {
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits (the double mantissa width).
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(rng.bounded(width) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.bounded(width + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Reference stream of xoshiro256++ for state {1, 2, 3, 4}
+        // (from the public-domain reference implementation).
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(0..5);
+            assert!((0..5).contains(&a));
+            let b = rng.gen_range(-128i32..1024);
+            assert!((-128..1024).contains(&b));
+            let c = rng.gen_range(3..7u32);
+            assert!((3..7).contains(&c));
+            let d = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&d));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5);
+    }
+}

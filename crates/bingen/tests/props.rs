@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 #![allow(clippy::needless_range_loop)]
 
 //! Property tests: generator invariants must hold for *every* configuration,

@@ -63,14 +63,33 @@ impl Baseline {
         }
     }
 
-    /// Run the baseline on an image.
+    /// Run the baseline on an image. The result's
+    /// [`PipelineTrace`](disasm_core::PipelineTrace) carries
+    /// one coarse phase named after the tool, so `metadis compare` can show
+    /// per-tool timing with the same schema as the main pipeline.
     pub fn disassemble(self, image: &Image) -> Disassembly {
-        match self {
+        let sw = obs::Stopwatch::start();
+        let mut d = match self {
             Baseline::LinearSweep => linear::disassemble(image),
             Baseline::Recursive => recursive::disassemble(image, false),
             Baseline::RecursiveScan => recursive::disassemble(image, true),
             Baseline::Probabilistic => probabilistic::disassemble(image),
+        };
+        let nb = image.text.len() as u64;
+        d.trace
+            .record(self.name(), sw.elapsed_ns(), nb, d.inst_starts.len() as u64);
+        d.trace.total_wall_ns = sw.elapsed_ns();
+        d.trace.text_bytes = nb;
+        d.trace.runs = 1;
+        if obs::enabled() {
+            let g = obs::global();
+            g.add("baseline.runs", 1);
+            g.record(
+                &format!("baseline.{}.wall_ns", self.name()),
+                d.trace.total_wall_ns,
+            );
         }
+        d
     }
 }
 
@@ -104,6 +123,7 @@ pub(crate) fn assemble_result(
         jump_tables: Vec::new(),
         corrections: Vec::new(),
         decisions_by_priority: [0; disasm_core::Priority::COUNT],
+        trace: disasm_core::PipelineTrace::new(),
     }
 }
 

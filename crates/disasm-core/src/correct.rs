@@ -22,8 +22,10 @@ use crate::jumptable;
 use crate::padding;
 use crate::stats::{StatModel, StatModelBuilder};
 use crate::superset::{CandFlow, Superset};
+use crate::trace::PipelineTrace;
 use crate::viability::Viability;
 use crate::{ByteClass, Config, Disassembly, Image};
+use obs::Stopwatch;
 use std::collections::BTreeSet;
 use x86_isa::OpClass;
 
@@ -92,15 +94,30 @@ const FREE: Cell = Cell {
 };
 
 /// Run the full pipeline over an image.
+///
+/// Phase timing is recorded unconditionally into the result's
+/// [`PipelineTrace`] (a few clock reads per run); global counters and
+/// histograms only fire when [`obs::enabled`].
 pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
+    let total = Stopwatch::start();
+    let mut trace = PipelineTrace::new();
     let text = &image.text;
     let n = text.len();
+    let nb = n as u64;
+
+    let sw = Stopwatch::start();
     let ss = Superset::build(text);
+    let candidates = ss.valid().count() as u64;
+    trace.record("superset", sw.elapsed_ns(), nb, candidates);
+
+    let sw = Stopwatch::start();
     let viab = if cfg.enable_viability {
         Viability::compute(&ss)
     } else {
         Viability::trivial(&ss)
     };
+    trace.viability_iterations = viab.iterations();
+    trace.record("viability", sw.elapsed_ns(), nb, viab.eliminated() as u64);
 
     let mut eng = Engine {
         cfg,
@@ -115,12 +132,16 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     eng.decisions[Priority::Behavioral as usize] = viab.eliminated();
 
     // ---- P0: anchor (entry point) + recursive closure
+    let sw = Stopwatch::start();
     if let Some(entry) = image.entry {
         eng.func_starts.insert(entry);
         eng.accept_and_propagate(entry, Priority::Anchor as u8);
     }
+    let anchor_items = eng.decisions[Priority::Anchor as usize] as u64;
+    trace.record("anchor", sw.elapsed_ns(), nb, anchor_items);
 
     // ---- P2: structural — jump tables and address-taken constants
+    let sw = Stopwatch::start();
     let tables = if cfg.enable_jump_tables {
         jumptable::detect(
             text,
@@ -133,6 +154,7 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     } else {
         Vec::new()
     };
+    trace.record("jumptable", sw.elapsed_ns(), nb, tables.len() as u64);
     for t in &tables {
         eng.jt_targets.extend(t.targets.iter().copied());
     }
@@ -145,16 +167,20 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     // disabled (first-decision-wins) the adversarial order reproduces the
     // behavior of naive tools.
     if cfg.stats_first || !cfg.prioritized {
-        eng.statistical_phase(cfg, text);
-        eng.structural_phase(cfg, image, &tables);
+        eng.statistical_phase(cfg, text, &mut trace);
+        eng.structural_phase(cfg, image, &tables, &mut trace);
     } else {
-        eng.structural_phase(cfg, image, &tables);
-        eng.statistical_phase(cfg, text);
+        eng.structural_phase(cfg, image, &tables, &mut trace);
+        eng.statistical_phase(cfg, text, &mut trace);
     }
     // padding sweep (also applies when stats are disabled)
+    let sw = Stopwatch::start();
     eng.padding_pass();
+    trace.record("padding", sw.elapsed_ns(), nb, 0);
 
     // ---- P4: leftovers are data
+    let sw = Stopwatch::start();
+    let default_before = eng.decisions[Priority::Default as usize];
     for o in 0..n {
         if eng.cells[o].kind == CellKind::Un {
             eng.cells[o] = Cell {
@@ -164,8 +190,28 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
             eng.decisions[Priority::Default as usize] += 1;
         }
     }
+    let default_items = (eng.decisions[Priority::Default as usize] - default_before) as u64;
+    trace.record("default", sw.elapsed_ns(), nb, default_items);
 
-    eng.finish(tables)
+    trace.total_wall_ns = total.elapsed_ns();
+    trace.text_bytes = nb;
+    trace.runs = 1;
+    let d = eng.finish(tables, trace);
+
+    if obs::enabled() {
+        let g = obs::global();
+        g.add("pipeline.runs", 1);
+        g.add("pipeline.bytes", nb);
+        g.add("superset.candidates", candidates);
+        g.add("viability.eliminated", viab.eliminated() as u64);
+        g.add("viability.iterations", viab.iterations());
+        g.add("corrections.applied", d.corrections.len() as u64);
+        g.record("pipeline.wall_ns", d.trace.total_wall_ns);
+        for p in &d.trace.phases {
+            g.add(&format!("phase.{}.ns", p.name), p.wall_ns);
+        }
+    }
+    d
 }
 
 struct Engine<'a> {
@@ -187,7 +233,10 @@ impl<'a> Engine<'a> {
         cfg: &Config,
         image: &Image,
         tables: &[jumptable::DetectedTable],
+        trace: &mut PipelineTrace,
     ) {
+        let sw = Stopwatch::start();
+        let before = self.decisions[Priority::Structural as usize];
         for t in tables {
             if t.in_text {
                 self.mark_range(
@@ -212,19 +261,33 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+        let items = (self.decisions[Priority::Structural as usize] - before) as u64;
+        trace.record(
+            "structural",
+            sw.elapsed_ns(),
+            image.text.len() as u64,
+            items,
+        );
     }
 
     /// Statistical hints over every still-undecided region.
-    fn statistical_phase(&mut self, cfg: &Config, text: &[u8]) {
+    fn statistical_phase(&mut self, cfg: &Config, text: &[u8], trace: &mut PipelineTrace) {
         if !cfg.enable_stats {
             return;
         }
+        let nb = text.len() as u64;
+        let sw = Stopwatch::start();
         let model = match &cfg.model {
             Some(m) => Some(m.clone()),
             None => self_train(text, self.viab, &self.cells),
         };
+        trace.record("stats.train", sw.elapsed_ns(), nb, model.is_some() as u64);
         if let Some(model) = model {
+            let sw = Stopwatch::start();
+            let before = self.decisions[Priority::Statistical as usize];
             self.statistical_pass(&model, text, cfg.llr_threshold, cfg.enable_defuse);
+            let items = (self.decisions[Priority::Statistical as usize] - before) as u64;
+            trace.record("stats.classify", sw.elapsed_ns(), nb, items);
         }
     }
 
@@ -493,7 +556,11 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn finish(self, tables: Vec<jumptable::DetectedTable>) -> Disassembly {
+    fn finish(
+        self,
+        tables: Vec<jumptable::DetectedTable>,
+        mut trace: PipelineTrace,
+    ) -> Disassembly {
         let n = self.cells.len();
         let mut byte_class = Vec::with_capacity(n);
         let mut inst_starts = Vec::new();
@@ -524,6 +591,9 @@ impl<'a> Engine<'a> {
                     .is_some_and(|c| c.kind == CellKind::Owner(f))
             })
             .collect();
+        for c in &self.corrections {
+            trace.corrections_by_priority[c.winner as usize] += 1;
+        }
         Disassembly {
             byte_class,
             inst_starts,
@@ -531,6 +601,7 @@ impl<'a> Engine<'a> {
             jump_tables: tables,
             corrections: self.corrections,
             decisions_by_priority: self.decisions,
+            trace,
         }
     }
 }

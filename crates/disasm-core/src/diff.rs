@@ -82,6 +82,7 @@ impl fmt::Display for DisasmDiff {
 /// Panics if the two disassemblies cover different byte counts (they must
 /// come from the same image).
 pub fn diff(a: &Disassembly, b: &Disassembly) -> DisasmDiff {
+    let sw = obs::Stopwatch::start();
     assert_eq!(
         a.byte_class.len(),
         b.byte_class.len(),
@@ -123,6 +124,8 @@ pub fn diff(a: &Disassembly, b: &Disassembly) -> DisasmDiff {
         conflicts.push(r);
     }
 
+    obs::count("diff.runs", 1);
+    obs::record("diff.ns", sw.elapsed_ns());
     DisasmDiff {
         agreed_starts,
         only_a,
@@ -193,6 +196,7 @@ mod tests {
             jump_tables: vec![],
             corrections: vec![],
             decisions_by_priority: [0; crate::Priority::COUNT],
+            trace: crate::PipelineTrace::new(),
         }
     }
 

@@ -74,6 +74,7 @@ pub fn detect(
     viab: &Viability,
     max_entries: u32,
 ) -> Vec<DetectedTable> {
+    let sw = obs::Stopwatch::start();
     let mut out = Vec::new();
     for (off, cand) in ss.valid() {
         if !viab.is_viable(off) || cand.len == 0 {
@@ -113,6 +114,8 @@ pub fn detect(
         )
     });
     out.dedup_by_key(|t| t.table_va);
+    obs::count("jumptable.detected", out.len() as u64);
+    obs::record("jumptable.detect_ns", sw.elapsed_ns());
     out
 }
 

@@ -50,6 +50,7 @@ pub mod padding;
 pub mod report;
 pub mod stats;
 pub mod superset;
+pub mod trace;
 pub mod viability;
 
 pub use cfg::{BasicBlock, Cfg};
@@ -61,6 +62,7 @@ pub use listing::{render as render_listing, ListingOptions};
 pub use report::{FunctionExtent, Report};
 pub use stats::StatModel;
 pub use superset::Superset;
+pub use trace::{PhaseStat, PipelineTrace};
 
 use std::fmt;
 
@@ -234,6 +236,9 @@ pub struct Disassembly {
     /// Count of decisions applied per priority class (for the convergence
     /// figure).
     pub decisions_by_priority: [usize; Priority::COUNT],
+    /// Where the wall time went: per-phase timing, viability fixpoint
+    /// iterations, corrections per priority class.
+    pub trace: PipelineTrace,
 }
 
 impl Disassembly {

@@ -65,6 +65,7 @@ pub struct Report {
 impl Report {
     /// Build the report for a disassembly of `image`.
     pub fn build(image: &Image, d: &Disassembly) -> Report {
+        let sw = obs::Stopwatch::start();
         let cfg = Cfg::build(image, d);
         let code_bytes = d.count(ByteClass::InstStart) + d.count(ByteClass::InstBody);
         let data_bytes = d.count(ByteClass::Data);
@@ -134,7 +135,7 @@ impl Report {
             }
         }
 
-        Report {
+        let report = Report {
             text_bytes: image.text.len(),
             code_bytes,
             data_bytes,
@@ -145,7 +146,10 @@ impl Report {
             data_kinds,
             resolved_indirect: (resolved, indirect_total),
             corrections: d.corrections.len(),
-        }
+        };
+        obs::count("report.builds", 1);
+        obs::record("report.build_ns", sw.elapsed_ns());
+        report
     }
 
     /// Fraction of text bytes classified as code.

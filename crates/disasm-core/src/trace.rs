@@ -1,0 +1,362 @@
+//! Pipeline phase tracing.
+//!
+//! Every [`Disassembly`] carries a [`PipelineTrace`] describing where the
+//! wall time of [`crate::correct`] went: one [`PhaseStat`] per pipeline
+//! phase, the viability fixpoint iteration count, and the number of
+//! corrections applied per [`Priority`] class. Tracing is always on — it is
+//! a handful of monotonic clock reads per run — while the heavier global
+//! counters/histograms in [`obs`] stay behind [`obs::enabled`].
+//!
+//! Phase names are a stable, documented contract (consumed by the CLI's
+//! `--trace-json` schema `metadis.trace.v1` and by the bench JSON records):
+//!
+//! | phase | meaning |
+//! |-------|---------|
+//! | `superset`       | candidate decode at every text offset |
+//! | `viability`      | invalid-fall-through backward fixpoint |
+//! | `anchor`         | entry-point recursive closure |
+//! | `jumptable`      | jump-table scan |
+//! | `structural`     | table extents/targets + address-taken hints |
+//! | `stats.train`    | statistical model self-training |
+//! | `stats.classify` | likelihood-ratio classification of undecided gaps |
+//! | `padding`        | padding-run sweep |
+//! | `default`        | leftover-bytes-are-data rule |
+//!
+//! Baseline tools record a single coarse phase named after the tool, and
+//! the CLI appends a `cfg` phase when it builds a control-flow graph.
+
+use crate::correct::Priority;
+use crate::Disassembly;
+use obs::json::JsonWriter;
+use obs::TextTable;
+
+/// Timing and volume of one pipeline phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Stable phase name (see the module table).
+    pub name: &'static str,
+    /// Wall time spent in the phase, nanoseconds.
+    pub wall_ns: u64,
+    /// Bytes the phase processed (usually the text size).
+    pub bytes: u64,
+    /// Phase-specific item count: candidates decoded, candidates
+    /// eliminated, tables found, decisions applied, ...
+    pub items: u64,
+}
+
+impl PhaseStat {
+    /// Throughput of the phase in bytes per second (0 when the phase was
+    /// too fast to time).
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Where the time of one (or several merged) pipeline runs went.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineTrace {
+    /// Per-phase statistics, in execution order.
+    pub phases: Vec<PhaseStat>,
+    /// Total wall time of the run(s), nanoseconds.
+    pub total_wall_ns: u64,
+    /// Text bytes disassembled.
+    pub text_bytes: u64,
+    /// Worklist pops performed by the viability fixpoint (0 when the
+    /// behavioral analysis is disabled).
+    pub viability_iterations: u64,
+    /// Corrections applied, indexed by the *winning* [`Priority`].
+    pub corrections_by_priority: [u64; Priority::COUNT],
+    /// Number of pipeline runs merged into this trace (1 for a single
+    /// disassembly; >1 after [`PipelineTrace::merge`]).
+    pub runs: u64,
+}
+
+impl PipelineTrace {
+    /// An empty trace (no runs).
+    pub fn new() -> PipelineTrace {
+        PipelineTrace::default()
+    }
+
+    /// Append a phase measurement.
+    pub fn record(&mut self, name: &'static str, wall_ns: u64, bytes: u64, items: u64) {
+        self.phases.push(PhaseStat {
+            name,
+            wall_ns,
+            bytes,
+            items,
+        });
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Overall throughput in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if self.total_wall_ns == 0 {
+            return 0.0;
+        }
+        self.text_bytes as f64 / (self.total_wall_ns as f64 / 1e9)
+    }
+
+    /// Total corrections across all priority classes.
+    pub fn corrections_total(&self) -> u64 {
+        self.corrections_by_priority.iter().sum()
+    }
+
+    /// Fold another trace into this one: phases are matched by name and
+    /// summed (unmatched phases are appended in order), scalar fields add.
+    /// Used by the evaluation harness to aggregate per-workload traces into
+    /// one per-tool trace.
+    pub fn merge(&mut self, other: &PipelineTrace) {
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.wall_ns += p.wall_ns;
+                    q.bytes += p.bytes;
+                    q.items += p.items;
+                }
+                None => self.phases.push(*p),
+            }
+        }
+        self.total_wall_ns += other.total_wall_ns;
+        self.text_bytes += other.text_bytes;
+        self.viability_iterations += other.viability_iterations;
+        for (a, b) in self
+            .corrections_by_priority
+            .iter_mut()
+            .zip(&other.corrections_by_priority)
+        {
+            *a += b;
+        }
+        self.runs += other.runs;
+    }
+
+    /// Render the per-phase table (phase, wall ms, share of total, bytes,
+    /// items, MiB/s) as aligned text.
+    pub fn render_table(&self) -> String {
+        let mut t = TextTable::new(["phase", "wall ms", "%", "bytes", "items", "MiB/s"]);
+        let phase_total: u64 = self.phases.iter().map(|p| p.wall_ns).sum();
+        for p in &self.phases {
+            let pct = if phase_total == 0 {
+                0.0
+            } else {
+                100.0 * p.wall_ns as f64 / phase_total as f64
+            };
+            t.row([
+                p.name.to_string(),
+                format!("{:.3}", p.wall_ns as f64 / 1e6),
+                format!("{pct:.1}"),
+                p.bytes.to_string(),
+                p.items.to_string(),
+                format!("{:.1}", p.bytes_per_sec() / (1024.0 * 1024.0)),
+            ]);
+        }
+        t.row([
+            "total".to_string(),
+            format!("{:.3}", self.total_wall_ns as f64 / 1e6),
+            "100.0".to_string(),
+            self.text_bytes.to_string(),
+            String::new(),
+            format!("{:.1}", self.bytes_per_sec() / (1024.0 * 1024.0)),
+        ]);
+        t.render()
+    }
+
+    /// Write the trace fields into the *currently open* JSON object:
+    /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
+    /// `corrections`, `corrections_by_priority`, `runs`, `phases`.
+    pub fn write_json_fields(&self, w: &mut JsonWriter) {
+        w.field_u64("text_bytes", self.text_bytes);
+        w.field_u64("wall_ns", self.total_wall_ns);
+        w.field_f64("bytes_per_sec", self.bytes_per_sec());
+        w.field_u64("viability_iterations", self.viability_iterations);
+        w.field_u64("corrections", self.corrections_total());
+        w.key("corrections_by_priority");
+        w.begin_obj();
+        for (i, &c) in self.corrections_by_priority.iter().enumerate() {
+            w.field_u64(priority_name(i), c);
+        }
+        w.end_obj();
+        w.field_u64("runs", self.runs);
+        w.key("phases");
+        w.begin_arr();
+        for p in &self.phases {
+            w.begin_obj();
+            w.field_str("name", p.name);
+            w.field_u64("wall_ns", p.wall_ns);
+            w.field_u64("bytes", p.bytes);
+            w.field_u64("items", p.items);
+            w.field_f64("bytes_per_sec", p.bytes_per_sec());
+            w.end_obj();
+        }
+        w.end_arr();
+    }
+}
+
+/// Stable lowercase name of a priority class index (`anchor`, `behavioral`,
+/// `structural`, `statistical`, `default`).
+pub fn priority_name(i: usize) -> &'static str {
+    match i {
+        0 => "anchor",
+        1 => "behavioral",
+        2 => "structural",
+        3 => "statistical",
+        _ => "default",
+    }
+}
+
+/// Write one tool's complete trace object `{tool, <trace fields>,
+/// decisions_by_priority, instructions, functions, jump_tables}` — the
+/// per-tool entry of the `metadis.trace.v1` schema.
+pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
+    w.begin_obj();
+    w.field_str("tool", tool);
+    d.trace.write_json_fields(w);
+    w.key("decisions_by_priority");
+    w.begin_obj();
+    for (i, &n) in d.decisions_by_priority.iter().enumerate() {
+        w.field_u64(priority_name(i), n as u64);
+    }
+    w.end_obj();
+    w.field_u64("instructions", d.inst_starts.len() as u64);
+    w.field_u64("functions", d.func_starts.len() as u64);
+    w.field_u64("jump_tables", d.jump_tables.len() as u64);
+    w.end_obj();
+}
+
+/// Render a complete `metadis.trace.v1` report: `{schema, command,
+/// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
+/// binaries both emit exactly this shape, so one consumer reads either.
+pub fn trace_report_json(
+    command: &str,
+    tools: &[(String, Disassembly)],
+    metrics: &obs::Snapshot,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("schema", "metadis.trace.v1");
+    w.field_str("command", command);
+    w.key("tools");
+    w.begin_arr();
+    for (name, d) in tools {
+        write_tool_json(&mut w, name, d);
+    }
+    w.end_arr();
+    w.key("metrics");
+    metrics.write_json(&mut w);
+    w.end_obj();
+    w.finish()
+}
+
+/// Like [`trace_report_json`] but from bare traces: the per-tool objects
+/// carry only the trace fields, no per-disassembly decision counts. The
+/// bench binaries use this after aggregating traces across whole corpora
+/// with [`PipelineTrace::merge`].
+pub fn merged_report_json(
+    command: &str,
+    tools: &[(String, PipelineTrace)],
+    metrics: &obs::Snapshot,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("schema", "metadis.trace.v1");
+    w.field_str("command", command);
+    w.key("tools");
+    w.begin_arr();
+    for (name, t) in tools {
+        w.begin_obj();
+        w.field_str("tool", name);
+        t.write_json_fields(&mut w);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.key("metrics");
+    metrics.write_json(&mut w);
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineTrace {
+        let mut t = PipelineTrace::new();
+        t.record("superset", 2_000_000, 4096, 4000);
+        t.record("viability", 1_000_000, 4096, 1200);
+        t.total_wall_ns = 4_000_000;
+        t.text_bytes = 4096;
+        t.viability_iterations = 321;
+        t.corrections_by_priority = [0, 0, 5, 2, 0];
+        t.runs = 1;
+        t
+    }
+
+    #[test]
+    fn merge_sums_by_phase_name() {
+        let mut a = sample();
+        let mut b = sample();
+        b.record("padding", 500, 4096, 3);
+        a.merge(&b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.phase("superset").unwrap().wall_ns, 4_000_000);
+        assert_eq!(a.phase("padding").unwrap().items, 3);
+        assert_eq!(a.corrections_by_priority[2], 10);
+        assert_eq!(a.viability_iterations, 642);
+        assert_eq!(a.text_bytes, 8192);
+    }
+
+    #[test]
+    fn table_lists_every_phase_and_total() {
+        let t = sample();
+        let table = t.render_table();
+        for name in ["superset", "viability", "total"] {
+            assert!(table.contains(name), "missing {name}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn json_fields_golden() {
+        let t = sample();
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        t.write_json_fields(&mut w);
+        w.end_obj();
+        let s = w.finish();
+        assert!(
+            s.starts_with(r#"{"text_bytes":4096,"wall_ns":4000000,"#),
+            "{s}"
+        );
+        assert!(s.contains(r#""viability_iterations":321"#), "{s}");
+        assert!(s.contains(r#""corrections":7"#), "{s}");
+        assert!(
+            s.contains(
+                r#""corrections_by_priority":{"anchor":0,"behavioral":0,"structural":5,"statistical":2,"default":0}"#
+            ),
+            "{s}"
+        );
+        assert!(
+            s.contains(
+                r#""phases":[{"name":"superset","wall_ns":2000000,"bytes":4096,"items":4000,"#
+            ),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn zero_time_throughput_is_zero() {
+        let p = PhaseStat {
+            name: "superset",
+            wall_ns: 0,
+            bytes: 100,
+            items: 0,
+        };
+        assert_eq!(p.bytes_per_sec(), 0.0);
+        assert_eq!(PipelineTrace::new().bytes_per_sec(), 0.0);
+    }
+}

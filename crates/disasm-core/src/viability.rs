@@ -22,6 +22,7 @@ use crate::superset::{CandFlow, Superset, NO_TARGET};
 pub struct Viability {
     viable: Vec<bool>,
     eliminated: usize,
+    iterations: u64,
 }
 
 impl Viability {
@@ -35,6 +36,13 @@ impl Viability {
         self.eliminated
     }
 
+    /// Worklist pops performed by the backward fixpoint (0 for
+    /// [`Viability::trivial`]). A direct measure of how much propagation the
+    /// closure needed, reported in pipeline traces.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
     /// Borrow the raw table.
     pub fn as_slice(&self) -> &[bool] {
         &self.viable
@@ -46,6 +54,7 @@ impl Viability {
         Viability {
             viable: (0..ss.len() as u32).map(|i| ss.at(i).is_valid()).collect(),
             eliminated: 0,
+            iterations: 0,
         }
     }
 
@@ -134,7 +143,9 @@ impl Viability {
         }
 
         // Backward propagation.
+        let mut iterations = 0u64;
         while let Some(dead) = work.pop() {
+            iterations += 1;
             let d = dead as usize;
             for &p in &rev[starts[d] as usize..starts[d + 1] as usize] {
                 if viable[p as usize] {
@@ -147,7 +158,11 @@ impl Viability {
         let eliminated = (0..n as u32)
             .filter(|&i| ss.at(i).is_valid() && !viable[i as usize])
             .count();
-        Viability { viable, eliminated }
+        Viability {
+            viable,
+            eliminated,
+            iterations,
+        }
     }
 }
 

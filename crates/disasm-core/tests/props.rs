@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 #![allow(clippy::needless_range_loop, clippy::field_reassign_with_default)]
 
 //! Property tests of pipeline invariants.

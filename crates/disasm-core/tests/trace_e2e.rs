@@ -1,0 +1,100 @@
+//! End-to-end pipeline trace checks: phase names are a stable contract, and
+//! the trace's correction counters agree with the correction log.
+
+use disasm_core::{Config, Disassembler, Image, Priority};
+
+/// Phase names recorded by a default-config pipeline run, in execution
+/// order. This list is part of the `metadis.trace.v1` schema — changing it
+/// breaks `--trace-json` consumers, so this test pins it.
+const EXPECTED_PHASES: [&str; 9] = [
+    "superset",
+    "viability",
+    "anchor",
+    "jumptable",
+    "structural",
+    "stats.train",
+    "stats.classify",
+    "padding",
+    "default",
+];
+
+fn workload_disassembly() -> (Image, disasm_core::Disassembly) {
+    let w = bingen::Workload::generate(&bingen::GenConfig::small(21));
+    let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    let d = Disassembler::new(Config::default()).disassemble(&image);
+    (image, d)
+}
+
+#[test]
+fn phase_names_are_stable() {
+    let (_, d) = workload_disassembly();
+    let names: Vec<&str> = d.trace.phases.iter().map(|p| p.name).collect();
+    // stats.classify only appears when a model trains successfully; on the
+    // standard small workload self-training must succeed.
+    assert_eq!(names, EXPECTED_PHASES, "phase set/order drifted");
+}
+
+#[test]
+fn trace_totals_are_consistent() {
+    let (image, d) = workload_disassembly();
+    assert_eq!(d.trace.runs, 1);
+    assert_eq!(d.trace.text_bytes, image.text.len() as u64);
+    assert!(d.trace.total_wall_ns > 0);
+    // every phase saw the whole text
+    for p in &d.trace.phases {
+        assert_eq!(p.bytes, d.trace.text_bytes, "phase {}", p.name);
+    }
+    // the fixpoint ran and eliminated candidates on a realistic workload
+    assert!(d.trace.viability_iterations > 0);
+    let viab = d.trace.phase("viability").unwrap();
+    assert!(viab.items > 0, "viability eliminated nothing");
+    // superset items = valid candidates, bounded by text size
+    let ss = d.trace.phase("superset").unwrap();
+    assert!(ss.items > 0 && ss.items <= d.trace.text_bytes);
+}
+
+#[test]
+fn corrections_by_priority_sums_to_log() {
+    let (_, d) = workload_disassembly();
+    assert_eq!(
+        d.trace.corrections_total(),
+        d.corrections.len() as u64,
+        "per-priority correction counts must sum to the correction log"
+    );
+    for c in &d.corrections {
+        assert!(d.trace.corrections_by_priority[c.winner as usize] > 0);
+    }
+}
+
+#[test]
+fn ablations_shrink_the_phase_set() {
+    let w = bingen::Workload::generate(&bingen::GenConfig::small(22));
+    let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    let cfg = Config {
+        enable_stats: false,
+        enable_viability: false,
+        ..Config::default()
+    };
+    let d = Disassembler::new(cfg).disassemble(&image);
+    assert!(d.trace.phase("stats.train").is_none());
+    assert!(d.trace.phase("stats.classify").is_none());
+    // trivial viability still records a (zero-iteration) phase
+    assert_eq!(d.trace.viability_iterations, 0);
+    assert!(d.trace.phase("viability").is_some());
+    assert_eq!(d.decisions_by_priority[Priority::Behavioral as usize], 0);
+}
+
+#[test]
+fn global_metrics_capture_pipeline_run() {
+    // obs global state is process-wide and tests share the process, so the
+    // assertions are lower bounds rather than exact counts.
+    obs::set_enabled(true);
+    let (_, d) = workload_disassembly();
+    obs::set_enabled(false);
+    let snap = obs::global().snapshot();
+    assert!(snap.counters["pipeline.runs"] >= 1);
+    assert!(snap.counters["pipeline.bytes"] >= d.trace.text_bytes);
+    assert!(snap.counters["corrections.applied"] >= d.corrections.len() as u64);
+    assert!(snap.histograms["pipeline.wall_ns"].count >= 1);
+    assert!(snap.counters.contains_key("phase.superset.ns"));
+}

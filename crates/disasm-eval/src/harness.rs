@@ -5,7 +5,7 @@ use crate::image_of;
 use crate::metrics::{score, WorkloadScore};
 use disasm_baselines::Baseline;
 use disasm_core::stats::StatModel;
-use disasm_core::{Config, Disassembler, Disassembly, Image};
+use disasm_core::{Config, Disassembler, Disassembly, Image, PipelineTrace};
 use std::time::{Duration, Instant};
 
 /// A disassembler under evaluation.
@@ -99,6 +99,10 @@ pub struct ToolReport {
     pub bytes: usize,
     /// Per-workload scores, in corpus order.
     pub per_workload: Vec<WorkloadScore>,
+    /// Per-phase timing aggregated (merged) across the whole corpus, in the
+    /// same schema the pipeline records — `metadis compare` prints this per
+    /// tool, side by side.
+    pub trace: PipelineTrace,
 }
 
 impl ToolReport {
@@ -119,12 +123,32 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
     let mut per_workload = Vec::with_capacity(corpus.workloads.len());
     let mut elapsed = Duration::ZERO;
     let mut bytes = 0usize;
+    let mut trace = PipelineTrace::new();
     for w in &corpus.workloads {
         let image = image_of(w);
         let start = Instant::now();
         let d = tool.run_with_symbols(&image, &w.truth.func_starts);
-        elapsed += start.elapsed();
+        let dur = start.elapsed();
+        elapsed += dur;
         bytes += w.text.len();
+        if d.trace.runs == 0 {
+            // tools that bypass the traced entry points (the symbol oracle)
+            // carry no trace; synthesize a coarse one from the harness timer
+            let mut t = PipelineTrace::new();
+            let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+            t.record(
+                "symbol-oracle",
+                ns,
+                w.text.len() as u64,
+                d.inst_starts.len() as u64,
+            );
+            t.total_wall_ns = ns;
+            t.text_bytes = w.text.len() as u64;
+            t.runs = 1;
+            trace.merge(&t);
+        } else {
+            trace.merge(&d.trace);
+        }
         let s = score(w, &d);
         total.add(s);
         per_workload.push(s);
@@ -135,6 +159,7 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
         elapsed,
         bytes,
         per_workload,
+        trace,
     }
 }
 
@@ -201,5 +226,25 @@ mod tests {
         assert!(r.throughput_mib_s() > 0.0);
         assert_eq!(r.per_workload.len(), 2);
         assert_eq!(r.bytes, corpus.total_text_bytes());
+    }
+
+    #[test]
+    fn traces_aggregate_across_corpus() {
+        let corpus = tiny_corpus();
+        // full pipeline: per-phase trace merged over both workloads
+        let ours = evaluate(&Tool::ours(train_standard_model(2)), &corpus);
+        assert_eq!(ours.trace.runs, corpus.workloads.len() as u64);
+        assert_eq!(ours.trace.text_bytes, corpus.total_text_bytes() as u64);
+        for name in ["superset", "viability", "anchor"] {
+            assert!(ours.trace.phase(name).is_some(), "missing phase {name}");
+        }
+        assert!(ours.trace.viability_iterations > 0);
+        // baseline: one coarse phase named after the tool
+        let lin = evaluate(&Tool::Baseline(Baseline::LinearSweep), &corpus);
+        assert!(lin.trace.phase("linear-sweep").is_some());
+        // the oracle bypasses traced entry points: synthesized coarse trace
+        let oracle = evaluate(&Tool::SymbolOracle, &corpus);
+        assert_eq!(oracle.trace.runs, corpus.workloads.len() as u64);
+        assert!(oracle.trace.phase("symbol-oracle").is_some());
     }
 }

@@ -274,6 +274,7 @@ mod tests {
             jump_tables: Vec::new(),
             corrections: Vec::new(),
             decisions_by_priority: [0; disasm_core::Priority::COUNT],
+            trace: disasm_core::PipelineTrace::new(),
         };
         let s = score(&w, &d);
         assert_eq!(s.inst.errors(), 0);

@@ -1,0 +1,228 @@
+//! A minimal streaming JSON writer.
+//!
+//! Emits compact, valid JSON with no external dependencies. The writer keeps
+//! a stack of "first element?" flags so commas are inserted automatically;
+//! callers just open containers, write keys and values, and close them.
+//!
+//! ```
+//! use obs::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_obj();
+//! w.field_str("tool", "metadis");
+//! w.key("phases");
+//! w.begin_arr();
+//! w.begin_obj();
+//! w.field_u64("wall_ns", 1200);
+//! w.end_obj();
+//! w.end_arr();
+//! w.end_obj();
+//! assert_eq!(w.finish(), r#"{"tool":"metadis","phases":[{"wall_ns":1200}]}"#);
+//! ```
+
+/// Streaming JSON writer with automatic comma placement.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` until the first element is
+    /// written.
+    stack: Vec<bool>,
+    /// Set between `key()` and the value that follows it.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// New empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consume the writer and return the JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(first) = self.stack.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Open an object (as root, array element, or after [`JsonWriter::key`]).
+    pub fn begin_obj(&mut self) {
+        self.sep();
+        self.out.push('{');
+        self.stack.push(true);
+    }
+
+    /// Close the innermost object.
+    pub fn end_obj(&mut self) {
+        self.out.push('}');
+        self.stack.pop();
+    }
+
+    /// Open an array.
+    pub fn begin_arr(&mut self) {
+        self.sep();
+        self.out.push('[');
+        self.stack.push(true);
+    }
+
+    /// Close the innermost array.
+    pub fn end_arr(&mut self) {
+        self.out.push(']');
+        self.stack.pop();
+    }
+
+    /// Write an object key; the next write supplies its value.
+    pub fn key(&mut self, k: &str) {
+        self.sep();
+        self.write_escaped(k);
+        self.out.push(':');
+        self.after_key = true;
+    }
+
+    /// Write a string value.
+    pub fn str_val(&mut self, v: &str) {
+        self.sep();
+        self.write_escaped(v);
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64_val(&mut self, v: u64) {
+        self.sep();
+        let _ = {
+            use std::fmt::Write as _;
+            write!(self.out, "{v}")
+        };
+    }
+
+    /// Write a float value. Non-finite floats become `null` (JSON has no
+    /// representation for them).
+    pub fn f64_val(&mut self, v: f64) {
+        self.sep();
+        if v.is_finite() {
+            let _ = {
+                use std::fmt::Write as _;
+                write!(self.out, "{v}")
+            };
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Write a boolean value.
+    pub fn bool_val(&mut self, v: bool) {
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `"k": "v"` shorthand.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.str_val(v);
+    }
+
+    /// `"k": 42` shorthand.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.u64_val(v);
+    }
+
+    /// `"k": 0.5` shorthand.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.f64_val(v);
+    }
+
+    /// `"k": true` shorthand.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool_val(v);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use std::fmt::Write as _;
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structures() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("a", "x");
+        w.key("b");
+        w.begin_arr();
+        w.u64_val(1);
+        w.u64_val(2);
+        w.begin_obj();
+        w.field_bool("c", false);
+        w.end_obj();
+        w.end_arr();
+        w.field_f64("d", 0.5);
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":"x","b":[1,2,{"c":false}],"d":0.5}"#);
+    }
+
+    #[test]
+    fn escapes_specials() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("k\"ey", "a\\b\nc\u{1}");
+        w.end_obj();
+        assert_eq!(w.finish(), "{\"k\\\"ey\":\"a\\\\b\\nc\\u0001\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let mut w = JsonWriter::new();
+        w.begin_arr();
+        w.f64_val(f64::NAN);
+        w.f64_val(f64::INFINITY);
+        w.f64_val(1.5);
+        w.end_arr();
+        assert_eq!(w.finish(), "[null,null,1.5]");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("a");
+        w.begin_arr();
+        w.end_arr();
+        w.key("b");
+        w.begin_obj();
+        w.end_obj();
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+}

@@ -1,0 +1,140 @@
+//! # obs
+//!
+//! Zero-external-dependency observability primitives for the metadis
+//! pipeline: monotonic span timers, atomic [`Counter`]s, log-scale
+//! [`Histogram`]s, a thread-safe [`MetricsRegistry`], and human-table /
+//! JSON renderers.
+//!
+//! The crate deliberately uses nothing beyond the standard library so the
+//! workspace stays buildable without any registry access.
+//!
+//! ## The global registry
+//!
+//! Library code records into [`global()`] guarded by an [`enabled()`] flag
+//! that defaults to off; when disabled, instrumentation costs a single
+//! relaxed atomic load. The CLI enables it for `--metrics`/`--trace-json`
+//! runs, the bench binaries enable it explicitly.
+//!
+//! ```
+//! obs::set_enabled(true);
+//! let result = obs::time("demo.work_ns", || 2 + 2);
+//! assert_eq!(result, 4);
+//! obs::count("demo.calls", 1);
+//! let snap = obs::global().snapshot();
+//! assert_eq!(snap.counters["demo.calls"], 1);
+//! assert_eq!(snap.histograms["demo.work_ns"].count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod table;
+
+pub use metrics::{Counter, Histogram, HistogramSummary};
+pub use registry::{MetricsRegistry, Snapshot};
+pub use table::TextTable;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// Turn global metric recording on or off (off by default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when global metric recording is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Add `n` to a global counter — no-op unless [`enabled`].
+pub fn count(name: &str, n: u64) {
+    if enabled() {
+        global().add(name, n);
+    }
+}
+
+/// Record a sample into a global histogram — no-op unless [`enabled`].
+pub fn record(name: &str, v: u64) {
+    if enabled() {
+        global().record(name, v);
+    }
+}
+
+/// Time `f` and record the elapsed nanoseconds into the global histogram
+/// `name` (when [`enabled`]). Returns `f`'s result either way.
+pub fn time<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !enabled() {
+        return f();
+    }
+    let sw = Stopwatch::start();
+    let out = f();
+    global().record(name, sw.elapsed_ns());
+    out
+}
+
+/// A monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since start, saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since start.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        set_enabled(false);
+        count("test.disabled.counter", 5);
+        record("test.disabled.hist", 5);
+        let snap = global().snapshot();
+        assert!(!snap.counters.contains_key("test.disabled.counter"));
+        assert!(!snap.histograms.contains_key("test.disabled.hist"));
+    }
+}

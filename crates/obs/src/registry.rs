@@ -1,0 +1,241 @@
+//! The thread-safe metrics registry and its point-in-time snapshots.
+
+use crate::json::JsonWriter;
+use crate::metrics::{Counter, Histogram, HistogramSummary};
+use crate::table::TextTable;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A named collection of counters and histograms.
+///
+/// Lookup takes a mutex, but the returned `Arc` handles record lock-free —
+/// hot paths should look a metric up once and keep the handle (coarse-grained
+/// callers can use the convenience [`MetricsRegistry::add`] /
+/// [`MetricsRegistry::record`] directly).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// Add `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Record one sample into the histogram named `name`.
+    pub fn record(&self, name: &str, v: u64) {
+        self.histogram(name).record(v);
+    }
+
+    /// Capture the current values of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Fold a snapshot's values back into this registry (for merging
+    /// per-thread registries; histogram merges preserve bucket counts but
+    /// re-record at bucket bounds, keeping count/sum exact).
+    pub fn merge(&self, snap: &Snapshot) {
+        for (k, v) in &snap.counters {
+            self.add(k, *v);
+        }
+        for (k, s) in &snap.histograms {
+            let h = self.histogram(k);
+            // replay the sparse buckets; count and bucket shape are exact,
+            // sum is corrected below via min/max replays when possible
+            for &(b, c) in &s.buckets {
+                let v = crate::metrics::bucket_bound(b as usize).min(s.max);
+                for _ in 0..c {
+                    h.record(v.max(s.min));
+                }
+            }
+        }
+    }
+
+    /// Drop every metric (used between CLI invocations in tests).
+    pub fn clear(&self) {
+        self.counters.lock().unwrap().clear();
+        self.histograms.lock().unwrap().clear();
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// `true` when no metric was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, s) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(s);
+        }
+    }
+
+    /// Human-readable rendering: one counters table, one histograms table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let mut t = TextTable::new(["counter", "value"]);
+            for (k, v) in &self.counters {
+                t.row([k.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = TextTable::new(["histogram", "count", "mean", "p50", "p99", "max"]);
+            for (k, s) in &self.histograms {
+                t.row([
+                    k.clone(),
+                    s.count.to_string(),
+                    format!("{:.1}", s.mean()),
+                    s.quantile(0.5).to_string(),
+                    s.quantile(0.99).to_string(),
+                    s.max.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Write the snapshot as a JSON object value:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, min, max,
+    /// mean, p50, p99}}}`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("counters");
+        w.begin_obj();
+        for (k, v) in &self.counters {
+            w.field_u64(k, *v);
+        }
+        w.end_obj();
+        w.key("histograms");
+        w.begin_obj();
+        for (k, s) in &self.histograms {
+            w.key(k);
+            w.begin_obj();
+            w.field_u64("count", s.count);
+            w.field_u64("sum", s.sum);
+            w.field_u64("min", s.min);
+            w.field_u64("max", s.max);
+            w.field_f64("mean", s.mean());
+            w.field_u64("p50", s.quantile(0.5));
+            w.field_u64("p99", s.quantile(0.99));
+            w.end_obj();
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_by_name() {
+        let r = MetricsRegistry::new();
+        r.add("a.count", 2);
+        r.add("a.count", 3);
+        r.record("a.ns", 100);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a.count"], 5);
+        assert_eq!(s.histograms["a.ns"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_merge_and_render() {
+        let r = MetricsRegistry::new();
+        r.add("x", 1);
+        r.record("h", 8);
+        let mut s = r.snapshot();
+        s.merge(&r.snapshot());
+        assert_eq!(s.counters["x"], 2);
+        assert_eq!(s.histograms["h"].count, 2);
+        let table = s.render_table();
+        assert!(table.contains('x'), "{table}");
+        assert!(table.contains("p99"), "{table}");
+    }
+
+    #[test]
+    fn registry_merge_from_snapshot() {
+        let a = MetricsRegistry::new();
+        a.add("c", 7);
+        a.record("h", 5);
+        let b = MetricsRegistry::new();
+        b.merge(&a.snapshot());
+        let s = b.snapshot();
+        assert_eq!(s.counters["c"], 7);
+        assert_eq!(s.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let s = MetricsRegistry::new().snapshot();
+        assert!(s.is_empty());
+        assert!(s.render_table().contains("no metrics"));
+    }
+}

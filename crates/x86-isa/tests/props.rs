@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property tests for the decoder/assembler pair.
 //!
 //! These pin down the two invariants superset disassembly depends on:

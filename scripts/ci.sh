@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full offline CI gate: formatting, lints, release build, tests.
+# The workspace has no external dependencies, so every step runs without
+# network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace -q --offline
+
+echo "CI gate passed."

@@ -10,11 +10,17 @@
 //!   statistics side by side.
 //! * `cfg <elf>` — reconstruct and summarize the control-flow graph.
 //!
+//! Every analysis command also accepts the observability flags:
+//! `--metrics` appends per-phase timing tables and the global
+//! counter/histogram snapshot to the output, and `--trace-json <path>`
+//! writes a machine-readable trace record (schema `metadis.trace.v1`, see
+//! the README "Observability" section).
+//!
 //! All output goes to the returned `String` so the CLI is fully testable.
 
 use bingen::{GenConfig, OptProfile, Workload};
 use disasm_baselines::Baseline;
-use disasm_core::{cfg::Cfg, Config, Disassembler, Image, ListingOptions};
+use disasm_core::{cfg::Cfg, Config, Disassembler, Disassembly, Image, ListingOptions};
 use std::fmt::Write as _;
 
 /// CLI error: message already formatted for the user.
@@ -57,7 +63,29 @@ OPTIONS:
     --functions N   generated function count (default 25)
     --density F     embedded-data fraction 0.0-0.5 (default 0.1)
     --adversarial   lace the generated binary with anti-disassembly junk
+
+OBSERVABILITY (any analysis command):
+    --metrics          append per-phase timing tables and the global
+                       counter/histogram snapshot to the output
+    --trace-json PATH  write a machine-readable trace record
+                       (schema metadis.trace.v1) to PATH
 ";
+
+/// What a subcommand produced: the user-facing text, plus every disassembly
+/// it ran (name → result). The observability flags consume the latter.
+struct CmdOutput {
+    text: String,
+    tools: Vec<(String, Disassembly)>,
+}
+
+impl CmdOutput {
+    fn text_only(text: String) -> CmdOutput {
+        CmdOutput {
+            text,
+            tools: Vec::new(),
+        }
+    }
+}
 
 /// Run the CLI with `args` (without the program name). Returns the text to
 /// print on success.
@@ -70,20 +98,50 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| err(USAGE))?;
     let rest: Vec<&String> = it.collect();
-    match cmd.as_str() {
-        "disasm" => cmd_disasm(&rest),
-        "gen" => cmd_gen(&rest),
-        "compare" => cmd_compare(&rest),
-        "cfg" => cmd_cfg(&rest),
-        "report" => cmd_report(&rest),
-        "diff" => cmd_diff(&rest),
-        "score" => cmd_score(&rest),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    let metrics = has_flag(&rest, "--metrics");
+    let trace_json = flag_value(&rest, "--trace-json").map(str::to_string);
+    if metrics || trace_json.is_some() {
+        obs::set_enabled(true);
     }
+    let mut out = match cmd.as_str() {
+        "disasm" => cmd_disasm(&rest)?,
+        "gen" => cmd_gen(&rest)?,
+        "compare" => cmd_compare(&rest)?,
+        "cfg" => cmd_cfg(&rest)?,
+        "report" => cmd_report(&rest)?,
+        "diff" => cmd_diff(&rest)?,
+        "score" => cmd_score(&rest)?,
+        "help" | "--help" | "-h" => CmdOutput::text_only(USAGE.to_string()),
+        other => return Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
+    };
+    if metrics {
+        append_metrics(&mut out);
+    }
+    if let Some(path) = trace_json {
+        let json =
+            disasm_core::trace::trace_report_json(cmd, &out.tools, &obs::global().snapshot());
+        std::fs::write(&path, &json).map_err(|e| err(format!("cannot write '{path}': {e}")))?;
+        let _ = writeln!(out.text, "trace record written to {path}");
+    }
+    Ok(out.text)
 }
 
-fn cmd_score(rest: &[&String]) -> Result<String, CliError> {
+/// Append each tool's per-phase table plus the global metric snapshot.
+fn append_metrics(out: &mut CmdOutput) {
+    for (name, d) in &out.tools {
+        let _ = writeln!(
+            out.text,
+            "\n[{name}] phase timing — {} corrections, {} viability iterations",
+            d.trace.corrections_total(),
+            d.trace.viability_iterations
+        );
+        out.text.push_str(&d.trace.render_table());
+    }
+    let _ = writeln!(out.text, "\nglobal metrics:");
+    out.text.push_str(&obs::global().snapshot().render_table());
+}
+
+fn cmd_score(rest: &[&String]) -> Result<CmdOutput, CliError> {
     // two positionals: the ELF and the .truth sidecar written by `gen`
     let mut pos = rest
         .iter()
@@ -117,27 +175,34 @@ fn cmd_score(rest: &[&String]) -> Result<String, CliError> {
     let precision = tp as f64 / (tp + fp).max(1) as f64;
     let recall = tp as f64 / (tp + fn_).max(1) as f64;
     let f1 = 2.0 * tp as f64 / (2 * tp + fp + fn_).max(1) as f64;
-    Ok(format!(
+    let text = format!(
         "{path}: {} truth instructions\n  precision {precision:.4}  recall {recall:.4}  F1 {f1:.4}\n  TP {tp}  FP {fp} (may include padding)  FN {fn_}\n",
         truth.len()
-    ))
+    );
+    Ok(CmdOutput {
+        text,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
 }
 
-fn cmd_diff(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_diff(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("diff: missing <elf>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let cfg = build_config(rest)?;
     let ours = Disassembler::new(cfg).disassemble(&image);
     let mut out = format!("{path}: metadis vs each baseline\n");
+    let mut tools = Vec::new();
     for b in Baseline::ALL {
         let other = b.disassemble(&image);
         let d = disasm_core::diff(&ours, &other);
         let _ = writeln!(out, "  vs {:<15} {}", b.name(), d);
+        tools.push((b.name().to_string(), other));
     }
-    Ok(out)
+    tools.push(("metadis (ours)".to_string(), ours));
+    Ok(CmdOutput { text: out, tools })
 }
 
-fn cmd_report(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_report(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("report: missing <elf>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let cfg = build_config(rest)?;
@@ -157,7 +222,10 @@ fn cmd_report(rest: &[&String]) -> Result<String, CliError> {
             f.blocks
         );
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
 }
 
 fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
@@ -179,7 +247,7 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
             continue;
         }
         if let Some(stripped) = a.strip_prefix("--") {
-            skip_next = !matches!(stripped, "listing" | "adversarial");
+            skip_next = !matches!(stripped, "listing" | "adversarial" | "metrics");
             continue;
         }
         if a.as_str() == "-o" {
@@ -206,7 +274,7 @@ fn build_config(rest: &[&String]) -> Result<Config, CliError> {
     Ok(cfg)
 }
 
-fn cmd_disasm(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_disasm(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("disasm: missing <elf>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let cfg = build_config(rest)?;
@@ -247,10 +315,13 @@ fn cmd_disasm(rest: &[&String]) -> Result<String, CliError> {
             );
         }
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
 }
 
-fn cmd_gen(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_gen(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let out_path =
         flag_value(rest, "-o").ok_or_else(|| err(format!("gen: missing -o <path>\n\n{USAGE}")))?;
     let seed: u64 = flag_value(rest, "--seed")
@@ -287,15 +358,15 @@ fn cmd_gen(rest: &[&String]) -> Result<String, CliError> {
     }
     std::fs::write(&truth_path, truth)
         .map_err(|e| err(format!("cannot write '{truth_path}': {e}")))?;
-    Ok(format!(
+    Ok(CmdOutput::text_only(format!(
         "wrote {out_path} ({} bytes, {} instructions, {:.1}% embedded data) and {truth_path}\n",
         elf.len(),
         w.truth.inst_starts.len(),
         w.actual_data_density() * 100.0
-    ))
+    )))
 }
 
-fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("compare: missing <elf>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let cfg = build_config(rest)?;
@@ -306,8 +377,10 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
         "data bytes",
         "functions",
         "tables",
+        "wall ms",
+        "MiB/s",
     ]);
-    let mut tools: Vec<(String, disasm_core::Disassembly)> = Baseline::ALL
+    let mut tools: Vec<(String, Disassembly)> = Baseline::ALL
         .iter()
         .map(|b| (b.name().to_string(), b.disassemble(&image)))
         .collect();
@@ -324,17 +397,32 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
             d.count(ByteClass::Data).to_string(),
             d.func_starts.len().to_string(),
             d.jump_tables.len().to_string(),
+            format!("{:.3}", d.trace.total_wall_ns as f64 / 1e6),
+            format!("{:.1}", d.trace.bytes_per_sec() / (1024.0 * 1024.0)),
         ]);
     }
-    Ok(t.render())
+    let mut out = t.render();
+    // where ours spends its time, phase by phase
+    if let Some((name, d)) = tools.last() {
+        let _ = writeln!(out, "\n[{name}] phase timing:");
+        out.push_str(&d.trace.render_table());
+    }
+    Ok(CmdOutput { text: out, tools })
 }
 
-fn cmd_cfg(rest: &[&String]) -> Result<String, CliError> {
+fn cmd_cfg(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("cfg: missing <elf>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let cfg = build_config(rest)?;
-    let d = Disassembler::new(cfg).disassemble(&image);
+    let mut d = Disassembler::new(cfg).disassemble(&image);
+    let sw = obs::Stopwatch::start();
     let g = Cfg::build(&image, &d);
+    d.trace.record(
+        "cfg",
+        sw.elapsed_ns(),
+        image.text.len() as u64,
+        g.len() as u64,
+    );
     let mut out = String::new();
     let edges: usize = g.blocks().map(|b| b.succs.len()).sum();
     let _ = writeln!(
@@ -359,7 +447,10 @@ fn cmd_cfg(rest: &[&String]) -> Result<String, CliError> {
     if g.len() > 12 {
         let _ = writeln!(out, "  ... ({} more blocks)", g.len() - 12);
     }
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
 }
 
 #[cfg(test)]
@@ -439,6 +530,79 @@ mod tests {
             .and_then(|v| v.parse().ok())
             .unwrap();
         assert!(recall > 0.9, "{sc}");
+    }
+
+    #[test]
+    fn observability_flags() {
+        let dir = tmpdir();
+        let elf = dir.join("obs.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "3",
+            "--functions",
+            "8",
+        ]))
+        .unwrap();
+
+        // --metrics appends the phase table and the global snapshot
+        let out = run(&args(&["disasm", elf_s, "--metrics"])).unwrap();
+        assert!(out.contains("phase timing"), "{out}");
+        assert!(out.contains("superset"), "{out}");
+        assert!(out.contains("viability"), "{out}");
+        assert!(out.contains("global metrics"), "{out}");
+        assert!(out.contains("pipeline.runs"), "{out}");
+
+        // --trace-json writes a metadis.trace.v1 record
+        let json_path = dir.join("trace.json");
+        let json_s = json_path.to_str().unwrap();
+        let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
+        assert!(out.contains("trace record written"), "{out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(
+            json.starts_with(r#"{"schema":"metadis.trace.v1","command":"disasm""#),
+            "{json}"
+        );
+        for key in [
+            r#""tool":"metadis (ours)""#,
+            r#""viability_iterations""#,
+            r#""corrections_by_priority""#,
+            r#""bytes_per_sec""#,
+            r#""phases":[{"name":"superset""#,
+            r#""metrics":{"counters""#,
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+
+        // compare always shows per-tool timing plus ours' phase table
+        let cmp = run(&args(&["compare", elf_s])).unwrap();
+        assert!(cmp.contains("wall ms"), "{cmp}");
+        assert!(cmp.contains("MiB/s"), "{cmp}");
+        assert!(cmp.contains("phase timing"), "{cmp}");
+
+        // cfg records its own phase in the trace record
+        let cfg_json = dir.join("cfg-trace.json");
+        let cfg_json_s = cfg_json.to_str().unwrap();
+        run(&args(&["cfg", elf_s, "--trace-json", cfg_json_s])).unwrap();
+        let json = std::fs::read_to_string(&cfg_json).unwrap();
+        assert!(json.contains(r#""command":"cfg""#), "{json}");
+        assert!(json.contains(r#""name":"cfg""#), "{json}");
+
+        // compare --trace-json carries one entry per tool
+        let cmp_json = dir.join("cmp-trace.json");
+        let cmp_json_s = cmp_json.to_str().unwrap();
+        run(&args(&["compare", elf_s, "--trace-json", cmp_json_s])).unwrap();
+        let json = std::fs::read_to_string(&cmp_json).unwrap();
+        for tool in [
+            r#""tool":"linear-sweep""#,
+            r#""tool":"recursive""#,
+            r#""tool":"metadis (ours)""#,
+        ] {
+            assert!(json.contains(tool), "missing {tool} in {json}");
+        }
     }
 
     #[test]
