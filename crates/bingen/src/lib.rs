@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod gen;
+pub mod mutate;
 pub mod rng;
 
 use elfobj::{Elf, Section};

@@ -1,0 +1,270 @@
+//! Structure-aware adversarial mutation of ELF images and raw byte streams.
+//!
+//! The robustness harness (`fuzz-smoke`, the elfobj/bingen property tests)
+//! needs a supply of *nearly*-well-formed inputs: random bytes are rejected
+//! by the first magic check and exercise nothing, while a generated ELF
+//! with one corrupted header field reaches deep into the parser and the
+//! pipeline. This module implements a small set of seeded mutation
+//! strategies over a valid base image:
+//!
+//! * blind **bit flips** and **zeroed windows** anywhere in the file,
+//! * **ELF header field** corruption (`e_entry`, `e_phoff`, `e_shoff`,
+//!   `e_phnum`, `e_shnum`, `e_shstrndx`) with boundary values,
+//! * **section/program header record** corruption — offsets, sizes and
+//!   link fields rewritten so sections overlap, escape the file, or claim
+//!   absurd extents,
+//! * **truncation**, **extension** and **splicing** of the byte stream.
+//!
+//! Everything is driven by the in-repo xoshiro256++ [`Rng`], so
+//! `mutate(base, seed)` is a pure function: the same base and seed always
+//! produce the same mutant. No mutation strategy ever panics, for any base
+//! (including the empty slice).
+
+use crate::rng::Rng;
+
+/// Number of distinct mutation strategies (seeds rotate through them).
+pub const STRATEGY_COUNT: usize = 8;
+
+const EHDR_SIZE: usize = 64;
+const SHDR_SIZE: usize = 64;
+const PHDR_SIZE: usize = 56;
+
+/// Boundary values favored when corrupting a header field.
+const INTERESTING: [u64; 8] = [
+    0,
+    1,
+    7,
+    0x7f,
+    u16::MAX as u64,
+    u32::MAX as u64,
+    u64::MAX / 2,
+    u64::MAX,
+];
+
+/// Produce one deterministic mutant of `base`. The seed selects both the
+/// strategy and its parameters; consecutive seeds rotate through every
+/// strategy, so a seed range `s..s+N` with `N >= STRATEGY_COUNT` exercises
+/// them all.
+pub fn mutate(base: &[u8], seed: u64) -> Vec<u8> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let strategy = (seed % STRATEGY_COUNT as u64) as usize;
+    match strategy {
+        0 => bit_flips(base, &mut rng),
+        1 => corrupt_ehdr_field(base, &mut rng),
+        2 => corrupt_shdr(base, &mut rng),
+        3 => corrupt_phdr(base, &mut rng),
+        4 => truncate(base, &mut rng),
+        5 => extend(base, &mut rng),
+        6 => splice(base, &mut rng),
+        7 => zero_window(base, &mut rng),
+        _ => unreachable!(),
+    }
+}
+
+/// Flip 1–8 random bits anywhere in the file.
+fn bit_flips(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    for _ in 0..rng.gen_range(1..=8usize) {
+        let pos = rng.gen_range(0..out.len());
+        out[pos] ^= 1 << rng.gen_range(0..8u32);
+    }
+    out
+}
+
+/// Overwrite one ELF header field with a boundary or random value. The
+/// fields hit are exactly the ones [`elfobj::Elf::parse`] trusts for
+/// layout: entry, table offsets, table counts, string-table index.
+fn corrupt_ehdr_field(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.len() < EHDR_SIZE {
+        return bit_flips(base, rng);
+    }
+    // (offset, width) of e_entry, e_phoff, e_shoff, e_phnum, e_shnum,
+    // e_shstrndx, e_phentsize, e_shentsize
+    const FIELDS: [(usize, usize); 8] = [
+        (24, 8),
+        (32, 8),
+        (40, 8),
+        (56, 2),
+        (60, 2),
+        (62, 2),
+        (54, 2),
+        (58, 2),
+    ];
+    let (off, width) = FIELDS[rng.gen_range(0..FIELDS.len())];
+    let v = pick_value(base.len(), rng);
+    out[off..off + width].copy_from_slice(&v.to_le_bytes()[..width]);
+    out
+}
+
+/// Corrupt one field of one section header record: offset/size so sections
+/// overlap each other or the headers, escape the file, or go huge.
+fn corrupt_shdr(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    corrupt_record(base, rng, 40, 60, SHDR_SIZE)
+}
+
+/// Corrupt one field of one program header record.
+fn corrupt_phdr(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    corrupt_record(base, rng, 32, 56, PHDR_SIZE)
+}
+
+/// Shared shdr/phdr corruption: read the table location from the (valid)
+/// base header, pick a record and clobber an 8-byte-aligned field.
+fn corrupt_record(
+    base: &[u8],
+    rng: &mut Rng,
+    off_field: usize,
+    num_field: usize,
+    rec_size: usize,
+) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.len() < EHDR_SIZE {
+        return bit_flips(base, rng);
+    }
+    let table = get_u64(base, off_field) as usize;
+    let count = get_u16(base, num_field) as usize;
+    if count == 0 {
+        return corrupt_ehdr_field(base, rng);
+    }
+    let rec = table.saturating_add(rng.gen_range(0..count) * rec_size);
+    if rec.saturating_add(rec_size) > out.len() {
+        return corrupt_ehdr_field(base, rng);
+    }
+    let field = rec + rng.gen_range(0..rec_size / 8) * 8;
+    let v = pick_value(base.len(), rng);
+    out[field..field + 8].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+/// Cut the file at a random point (biased toward header boundaries).
+fn truncate(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    if base.is_empty() {
+        return Vec::new();
+    }
+    let cut = if rng.gen_bool(0.5) && base.len() > EHDR_SIZE {
+        rng.gen_range(0..EHDR_SIZE + 1)
+    } else {
+        rng.gen_range(0..base.len())
+    };
+    base[..cut].to_vec()
+}
+
+/// Append up to 512 random bytes.
+fn extend(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    for _ in 0..rng.gen_range(1..=512usize) {
+        out.push(rng.gen());
+    }
+    out
+}
+
+/// Copy a random window of the file over another position — duplicated
+/// headers, repeated section records, self-referencing tables.
+fn splice(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.len() < 2 {
+        return out;
+    }
+    let len = rng.gen_range(1..=out.len().min(128));
+    let src = rng.gen_range(0..out.len() - len + 1);
+    let dst = rng.gen_range(0..out.len() - len + 1);
+    let window = out[src..src + len].to_vec();
+    out[dst..dst + len].copy_from_slice(&window);
+    out
+}
+
+/// Zero a random window (simulates sparse/holey files).
+fn zero_window(base: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let len = rng.gen_range(1..=out.len().min(256));
+    let start = rng.gen_range(0..out.len() - len + 1);
+    out[start..start + len].fill(0);
+    out
+}
+
+/// A corruption value: boundary constants, values near the file size, or
+/// fully random.
+fn pick_value(file_len: usize, rng: &mut Rng) -> u64 {
+    match rng.gen_range(0..3u32) {
+        0 => INTERESTING[rng.gen_range(0..INTERESTING.len())],
+        1 => {
+            let delta = rng.gen_range(0..64u64);
+            (file_len as u64).wrapping_add(delta).wrapping_sub(32)
+        }
+        _ => rng.gen(),
+    }
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    let mut b = [0u8; 2];
+    if off + 2 <= buf.len() {
+        b.copy_from_slice(&buf[off..off + 2]);
+    }
+    u16::from_le_bytes(b)
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    if off + 8 <= buf.len() {
+        b.copy_from_slice(&buf[off..off + 8]);
+    }
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<u8> {
+        let w = crate::Workload::generate(&crate::GenConfig::small(5));
+        w.to_elf().to_bytes()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = base();
+        for seed in 0..32 {
+            assert_eq!(mutate(&b, seed), mutate(&b, seed), "seed {seed}");
+        }
+        assert_ne!(mutate(&b, 1), mutate(&b, 1 + STRATEGY_COUNT as u64));
+    }
+
+    #[test]
+    fn consecutive_seeds_rotate_strategies() {
+        let b = base();
+        let mutants: Vec<_> = (0..STRATEGY_COUNT as u64).map(|s| mutate(&b, s)).collect();
+        // at least: truncation shrinks, extension grows
+        assert!(mutants.iter().any(|m| m.len() < b.len()));
+        assert!(mutants.iter().any(|m| m.len() > b.len()));
+        // and most mutants differ from the base
+        let changed = mutants.iter().filter(|m| *m != &b).count();
+        assert!(changed >= STRATEGY_COUNT - 1, "{changed}");
+    }
+
+    #[test]
+    fn degenerate_bases_do_not_panic() {
+        for b in [&[][..], &[0u8][..], &[0x7f, b'E'][..], &[0u8; 63][..]] {
+            for seed in 0..(4 * STRATEGY_COUNT as u64) {
+                let _ = mutate(b, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn mutants_never_break_the_parser() {
+        let b = base();
+        for seed in 0..256 {
+            let m = mutate(&b, seed);
+            if let Ok(e) = elfobj::Elf::parse(&m) {
+                let _ = e.symbols();
+                let _ = e.symbols_checked();
+            }
+        }
+    }
+}

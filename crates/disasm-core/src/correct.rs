@@ -19,6 +19,7 @@
 //! regions it references.
 
 use crate::jumptable;
+use crate::limits::{Deadline, Degradation, LimitKind};
 use crate::padding;
 use crate::stats::{StatModel, StatModelBuilder};
 use crate::superset::{CandFlow, Superset};
@@ -100,19 +101,28 @@ const FREE: Cell = Cell {
 /// histograms only fire when [`obs::enabled`].
 pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let total = Stopwatch::start();
+    let deadline = Deadline::start(&cfg.limits);
     let mut trace = PipelineTrace::new();
     let text = &image.text;
     let n = text.len();
     let nb = n as u64;
 
+    if cfg.inject_panic {
+        panic!("injected pipeline panic (test hook)");
+    }
+
     let sw = Stopwatch::start();
-    let ss = Superset::build(text);
+    let (ss, deg) = Superset::build_limited(text, cfg.limits.max_superset_candidates, &deadline);
+    trace.degradations.extend(deg);
     let candidates = ss.valid().count() as u64;
     trace.record("superset", sw.elapsed_ns(), nb, candidates);
 
     let sw = Stopwatch::start();
     let viab = if cfg.enable_viability {
-        Viability::compute(&ss)
+        let (v, deg) =
+            Viability::compute_limited(&ss, cfg.limits.max_viability_iterations, &deadline);
+        trace.degradations.extend(deg);
+        v
     } else {
         Viability::trivial(&ss)
     };
@@ -128,6 +138,10 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
         decisions: [0; Priority::COUNT],
         func_starts: BTreeSet::new(),
         jt_targets: BTreeSet::new(),
+        deadline,
+        steps: 0,
+        step_cap: cfg.limits.max_correction_steps.unwrap_or(u64::MAX),
+        exhausted: None,
     };
     eng.decisions[Priority::Behavioral as usize] = viab.eliminated();
 
@@ -143,14 +157,17 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     // ---- P2: structural — jump tables and address-taken constants
     let sw = Stopwatch::start();
     let tables = if cfg.enable_jump_tables {
-        jumptable::detect(
+        let out = jumptable::detect_budgeted(
             text,
             image.text_va,
             &image.data_regions,
             &ss,
             &viab,
-            cfg.max_table_entries,
-        )
+            cfg.limits.max_table_entries,
+            &deadline,
+        );
+        trace.degradations.extend(out.degradations);
+        out.tables
     } else {
         Vec::new()
     };
@@ -193,6 +210,14 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let default_items = (eng.decisions[Priority::Default as usize] - default_before) as u64;
     trace.record("default", sw.elapsed_ns(), nb, default_items);
 
+    if let Some(kind) = eng.exhausted {
+        trace.degradations.push(Degradation {
+            phase: "correct",
+            limit: kind,
+            completed: eng.steps,
+        });
+    }
+
     trace.total_wall_ns = total.elapsed_ns();
     trace.text_bytes = nb;
     trace.runs = 1;
@@ -223,9 +248,36 @@ struct Engine<'a> {
     decisions: [usize; Priority::COUNT],
     func_starts: BTreeSet<u32>,
     jt_targets: BTreeSet<u32>,
+    deadline: Deadline,
+    /// Acceptance/propagation steps taken so far (anchor, structural and
+    /// statistical phases share the budget).
+    steps: u64,
+    step_cap: u64,
+    /// Set once the step budget or deadline is hit; all further hint
+    /// application stops and undecided bytes fall to the data default.
+    exhausted: Option<LimitKind>,
 }
 
 impl<'a> Engine<'a> {
+    /// Account for one correction-engine step; `false` once a budget is
+    /// hit. The deadline is polled every 1024 steps to keep the clock read
+    /// off the hot path.
+    fn step_ok(&mut self) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        if self.steps >= self.step_cap {
+            self.exhausted = Some(LimitKind::CorrectionSteps);
+            return false;
+        }
+        if self.steps.is_multiple_of(1024) && self.deadline.exceeded() {
+            self.exhausted = Some(LimitKind::Deadline);
+            return false;
+        }
+        self.steps += 1;
+        true
+    }
+
     /// Structural hints: jump-table extents (data) and targets (code), the
     /// dispatch sequences, and address-taken constants.
     fn structural_phase(
@@ -275,12 +327,21 @@ impl<'a> Engine<'a> {
         if !cfg.enable_stats {
             return;
         }
+        if self.deadline.exceeded() {
+            trace.degradations.push(Degradation {
+                phase: "stats.train",
+                limit: LimitKind::Deadline,
+                completed: 0,
+            });
+            return;
+        }
         let nb = text.len() as u64;
         let sw = Stopwatch::start();
-        let model = match &cfg.model {
-            Some(m) => Some(m.clone()),
-            None => self_train(text, self.viab, &self.cells),
+        let (model, train_deg) = match &cfg.model {
+            Some(m) => (Some(m.clone()), None),
+            None => self_train(text, self.viab, &self.cells, cfg.limits.max_train_tokens),
         };
+        trace.degradations.extend(train_deg);
         trace.record("stats.train", sw.elapsed_ns(), nb, model.is_some() as u64);
         if let Some(model) = model {
             let sw = Stopwatch::start();
@@ -309,6 +370,9 @@ impl<'a> Engine<'a> {
         let mut work = vec![(start, prio)];
         let mut accepted_root = false;
         while let Some((off, p)) = work.pop() {
+            if !self.step_ok() {
+                break;
+            }
             let child_prio = p.min(Priority::Structural as u8);
             match self.try_accept(off, p) {
                 Accept::New => {
@@ -463,6 +527,11 @@ impl<'a> Engine<'a> {
             if self.cells[o as usize].kind != CellKind::Un {
                 o += 1;
                 continue;
+            }
+            // each undecided region evaluated counts against the shared
+            // correction-step budget; leftovers fall to the data default
+            if !self.step_ok() {
+                break;
             }
             let gap_end = self.gap_end(o);
             // padding run: a maximal NOP/int3 tiling that fills the gap or
@@ -641,10 +710,17 @@ fn address_taken(image: &Image, viab: &Viability) -> Vec<u32> {
 
 /// Self-training fallback: learn the code model from the already-accepted
 /// (anchor-reachable) instructions and the data model from long runs of
-/// non-viable bytes. Returns `None` when the input provides too little
-/// signal.
-fn self_train(text: &[u8], viab: &Viability, cells: &[Cell]) -> Option<StatModel> {
+/// non-viable bytes, ingesting at most `max_tokens` training tokens. The
+/// model is `None` when the input provides too little signal; the
+/// [`Degradation`] is `Some` when the token budget truncated training.
+fn self_train(
+    text: &[u8],
+    viab: &Viability,
+    cells: &[Cell],
+    max_tokens: Option<u64>,
+) -> (Option<StatModel>, Option<Degradation>) {
     let mut b = StatModelBuilder::new();
+    b.set_token_budget(max_tokens);
     // code: the accepted (anchor-reachable) instruction stream
     let starts: Vec<u32> = cells
         .iter()
@@ -670,8 +746,13 @@ fn self_train(text: &[u8], viab: &Viability, cells: &[Cell]) -> Option<StatModel
             _ => {}
         }
     }
+    let deg = b.budget_exhausted().then(|| Degradation {
+        phase: "stats.train",
+        limit: LimitKind::TrainTokens,
+        completed: b.tokens_ingested(),
+    });
     let model = b.build();
-    model.is_adequately_trained().then_some(model)
+    (model.is_adequately_trained().then_some(model), deg)
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! when present; otherwise entries are followed while their decoded targets
 //! remain viable candidates and the table has not run into its own targets.
 
+use crate::limits::{Deadline, Degradation, LimitKind};
 use crate::superset::Superset;
 use crate::viability::Viability;
 use x86_isa::{decode_at, Gp, MemOperand, Mnemonic, Operand, Reg};
@@ -48,6 +49,10 @@ pub struct DetectedTable {
     /// interpretations are preferred when several anchors resolve to the
     /// same table).
     pub bounded: bool,
+    /// `true` if the entry scan was cut off by the `max_entries` budget
+    /// rather than by a bounds check or a natural stop condition; the table
+    /// may extend further than `targets` records.
+    pub capped: bool,
 }
 
 impl DetectedTable {
@@ -62,6 +67,17 @@ impl DetectedTable {
     }
 }
 
+/// Result of a budgeted jump-table scan: the surviving tables plus a
+/// structured record for every budget the scan ran into.
+#[derive(Debug, Clone, Default)]
+pub struct DetectOutcome {
+    /// Deduplicated detected tables.
+    pub tables: Vec<DetectedTable>,
+    /// One record per budget hit: an entry cap per capped table, plus at
+    /// most one deadline record if the anchor scan stopped early.
+    pub degradations: Vec<Degradation>,
+}
+
 /// Scan the whole text for jump tables — both tables embedded in text
 /// (anchored on a RIP-relative `lea`) and tables living in data regions
 /// (anchored on an absolute-address indexed `mov`). `max_entries` caps how
@@ -74,9 +90,44 @@ pub fn detect(
     viab: &Viability,
     max_entries: u32,
 ) -> Vec<DetectedTable> {
+    detect_budgeted(
+        text,
+        text_va,
+        data_regions,
+        ss,
+        viab,
+        max_entries,
+        &Deadline::unlimited(),
+    )
+    .tables
+}
+
+/// Budgeted variant of [`detect`]: polls `deadline` while scanning anchors
+/// and reports every budget hit as a [`Degradation`]. Stopping the anchor
+/// scan early only loses table detections (their bytes fall back to the
+/// statistical and default phases); it never fabricates one.
+#[allow(clippy::too_many_arguments)]
+pub fn detect_budgeted(
+    text: &[u8],
+    text_va: u64,
+    data_regions: &[(u64, Vec<u8>)],
+    ss: &Superset,
+    viab: &Viability,
+    max_entries: u32,
+    deadline: &Deadline,
+) -> DetectOutcome {
     let sw = obs::Stopwatch::start();
     let mut out = Vec::new();
-    for (off, cand) in ss.valid() {
+    let mut degradations = Vec::new();
+    for (scanned, (off, cand)) in ss.valid().enumerate() {
+        if scanned.is_multiple_of(1024) && deadline.exceeded() {
+            degradations.push(Degradation {
+                phase: "jumptable",
+                limit: LimitKind::Deadline,
+                completed: scanned as u64,
+            });
+            break;
+        }
         if !viab.is_viable(off) || cand.len == 0 {
             continue;
         }
@@ -114,9 +165,21 @@ pub fn detect(
         )
     });
     out.dedup_by_key(|t| t.table_va);
+    for t in &out {
+        if t.capped {
+            degradations.push(Degradation {
+                phase: "jumptable",
+                limit: LimitKind::JumpTableEntries,
+                completed: t.targets.len() as u64,
+            });
+        }
+    }
     obs::count("jumptable.detected", out.len() as u64);
     obs::record("jumptable.detect_ns", sw.elapsed_ns());
-    out
+    DetectOutcome {
+        tables: out,
+        degradations,
+    }
 }
 
 /// Match the absolute-address dispatch idiom against `.rodata`-style
@@ -185,6 +248,7 @@ fn match_data_region_dispatch(
     if targets.len() < 2 {
         return None;
     }
+    let capped = targets.len() as u32 == max_entries && bound.unwrap_or(u32::MAX) > max_entries;
     Some(DetectedTable {
         table_off: u32::MAX,
         table_va,
@@ -194,6 +258,7 @@ fn match_data_region_dispatch(
         lea_off: mov_off,
         jmp_off,
         bounded,
+        capped,
     })
 }
 
@@ -347,6 +412,7 @@ fn match_dispatch(
     if targets.len() < 2 {
         return None;
     }
+    let capped = targets.len() as u32 == max_entries && bound.unwrap_or(u32::MAX) > max_entries;
     Some(DetectedTable {
         table_off,
         table_va: text_va + table_off as u64,
@@ -356,6 +422,7 @@ fn match_dispatch(
         lea_off,
         jmp_off,
         bounded,
+        capped,
     })
 }
 
@@ -557,6 +624,34 @@ mod tests {
         a.dq(0x1122334455667788);
         let text = a.finish().unwrap();
         assert!(run_detect(&text).is_empty());
+    }
+
+    #[test]
+    fn entry_budget_caps_table_and_records_degradation() {
+        let (text, _, case_offs) = pic_switch(6);
+        let ss = Superset::build(&text);
+        let viab = Viability::compute(&ss);
+        let out = detect_budgeted(&text, 0x401000, &[], &ss, &viab, 2, &Deadline::unlimited());
+        assert_eq!(out.tables.len(), 1);
+        let t = &out.tables[0];
+        assert!(t.capped);
+        assert_eq!(t.targets, case_offs[..2]);
+        assert_eq!(out.degradations.len(), 1);
+        assert_eq!(out.degradations[0].limit, LimitKind::JumpTableEntries);
+        assert_eq!(out.degradations[0].completed, 2);
+    }
+
+    #[test]
+    fn expired_deadline_skips_anchor_scan() {
+        let (text, _, _) = pic_switch(6);
+        let ss = Superset::build(&text);
+        let viab = Viability::compute(&ss);
+        let d = Deadline::start(&crate::limits::Limits::with_deadline_ms(0));
+        let out = detect_budgeted(&text, 0x401000, &[], &ss, &viab, 4096, &d);
+        assert!(out.tables.is_empty());
+        assert_eq!(out.degradations.len(), 1);
+        assert_eq!(out.degradations[0].limit, LimitKind::Deadline);
+        assert_eq!(out.degradations[0].completed, 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod correct;
 pub mod datatype;
 pub mod diff;
 pub mod jumptable;
+pub mod limits;
 pub mod listing;
 pub mod padding;
 pub mod report;
@@ -58,6 +59,7 @@ pub use correct::{Correction, Priority};
 pub use datatype::{classify_data_regions, DataKind, DataRegion};
 pub use diff::{diff, DisasmDiff};
 pub use jumptable::DetectedTable;
+pub use limits::{Deadline, Degradation, LimitKind, Limits};
 pub use listing::{render as render_listing, ListingOptions};
 pub use report::{FunctionExtent, Report};
 pub use stats::StatModel;
@@ -65,6 +67,7 @@ pub use superset::Superset;
 pub use trace::{PhaseStat, PipelineTrace};
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Analysis input: one executable text region plus optional non-executable
 /// data regions (used only for address-taken scanning — no symbols, no
@@ -199,8 +202,15 @@ pub struct Config {
     /// repairs the early statistical mistakes — this is what figure 4
     /// measures; with `prioritized` off it reproduces the naive tools.
     pub stats_first: bool,
-    /// Upper bound on jump-table entries followed during detection.
-    pub max_table_entries: u32,
+    /// Resource budgets: phase iteration caps, jump-table entry cap, and
+    /// the wall-clock deadline. Fully permissive by default; every budget
+    /// hit is recorded as a [`Degradation`] in the result's trace.
+    pub limits: Limits,
+    /// Test hook: panic inside the pipeline to exercise the
+    /// `catch_unwind` → linear-sweep fallback path. Not part of the public
+    /// contract.
+    #[doc(hidden)]
+    pub inject_panic: bool,
 }
 
 impl Default for Config {
@@ -215,7 +225,8 @@ impl Default for Config {
             enable_defuse: true,
             prioritized: true,
             stats_first: false,
-            max_table_entries: 4096,
+            limits: Limits::default(),
+            inject_panic: false,
         }
     }
 }
@@ -287,8 +298,71 @@ impl Disassembler {
 
     /// Disassemble an image: superset decode, behavioral and statistical
     /// hint generation, prioritized error correction.
+    ///
+    /// The pipeline runs behind a panic boundary: a bug in any phase
+    /// degrades the run to a plain linear-sweep disassembly whose trace
+    /// carries a [`LimitKind::PhasePanicked`] degradation record, instead
+    /// of unwinding into the caller.
     pub fn disassemble(&self, image: &Image) -> Disassembly {
-        correct::run(&self.config, image)
+        match catch_unwind(AssertUnwindSafe(|| correct::run(&self.config, image))) {
+            Ok(d) => d,
+            Err(_) => fallback_linear(image),
+        }
+    }
+}
+
+/// Last-resort disassembly used when a pipeline phase panics: a linear
+/// sweep from the first byte, skipping one byte on invalid encodings.
+/// Produces a fully classified (if unsophisticated) result so callers
+/// always receive a [`Disassembly`] covering every text byte.
+fn fallback_linear(image: &Image) -> Disassembly {
+    let sw = obs::Stopwatch::start();
+    let text = &image.text;
+    let mut byte_class = vec![ByteClass::Data; text.len()];
+    let mut inst_starts = Vec::new();
+    let mut pos = 0usize;
+    while pos < text.len() {
+        match x86_isa::decode(&text[pos..]) {
+            Ok(inst) => {
+                let end = pos + inst.len as usize;
+                byte_class[pos] = ByteClass::InstStart;
+                inst_starts.push(pos as u32);
+                for b in &mut byte_class[pos + 1..end] {
+                    *b = ByteClass::InstBody;
+                }
+                pos = end;
+            }
+            Err(_) => pos += 1,
+        }
+    }
+    let mut trace = PipelineTrace::new();
+    trace.record(
+        "fallback.linear",
+        sw.elapsed_ns(),
+        text.len() as u64,
+        inst_starts.len() as u64,
+    );
+    trace.degradations.push(Degradation {
+        phase: "pipeline",
+        limit: LimitKind::PhasePanicked,
+        completed: 0,
+    });
+    trace.total_wall_ns = sw.elapsed_ns();
+    trace.text_bytes = text.len() as u64;
+    trace.runs = 1;
+    let func_starts = image
+        .entry
+        .filter(|&e| inst_starts.binary_search(&e).is_ok())
+        .into_iter()
+        .collect();
+    Disassembly {
+        byte_class,
+        inst_starts,
+        func_starts,
+        jump_tables: Vec::new(),
+        corrections: Vec::new(),
+        decisions_by_priority: [0; Priority::COUNT],
+        trace,
     }
 }
 

@@ -20,7 +20,10 @@ pub fn is_padding_run(ss: &Superset, start: u32, end: u32) -> bool {
             Some(c) if c.is_valid() && c.padding => c,
             _ => return false,
         };
-        cur += c.len as u32;
+        cur = match cur.checked_add(c.len as u32) {
+            Some(next) => next,
+            None => return false,
+        };
     }
     cur == end
 }
@@ -32,7 +35,11 @@ pub fn padding_prefix_end(ss: &Superset, start: u32, end: u32) -> u32 {
     let mut cur = start;
     while cur < end {
         match ss.get(cur) {
-            Some(c) if c.is_valid() && c.padding && cur + c.len as u32 <= end => {
+            Some(c)
+                if c.is_valid()
+                    && c.padding
+                    && cur.checked_add(c.len as u32).is_some_and(|n| n <= end) =>
+            {
                 cur += c.len as u32;
             }
             _ => break,

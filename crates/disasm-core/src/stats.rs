@@ -68,6 +68,8 @@ pub struct StatModelBuilder {
     code_pairs: u64,
     data_links: u64,
     data_pairs: u64,
+    token_budget: u64,
+    budget_hit: bool,
 }
 
 impl Default for StatModelBuilder {
@@ -83,6 +85,8 @@ impl Default for StatModelBuilder {
             code_pairs: 0,
             data_links: 0,
             data_pairs: 0,
+            token_budget: u64::MAX,
+            budget_hit: false,
         }
     }
 }
@@ -93,9 +97,38 @@ impl StatModelBuilder {
         StatModelBuilder::default()
     }
 
+    /// Cap the total number of ingested tokens (code instructions plus data
+    /// tokens). Additions past the cap are dropped and
+    /// [`StatModelBuilder::budget_exhausted`] flips to `true`; the model
+    /// still builds from whatever was ingested. `None` removes the cap.
+    pub fn set_token_budget(&mut self, budget: Option<u64>) {
+        self.token_budget = budget.unwrap_or(u64::MAX);
+    }
+
+    /// `true` once an addition was truncated or dropped by the token budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_hit
+    }
+
+    /// Total tokens ingested so far (code instructions + data tokens).
+    pub fn tokens_ingested(&self) -> u64 {
+        self.code_insts as u64 + self.data_tokens as u64
+    }
+
+    /// Tokens still allowed under the budget.
+    fn budget_remaining(&self) -> usize {
+        usize::try_from(self.token_budget.saturating_sub(self.tokens_ingested()))
+            .unwrap_or(usize::MAX)
+    }
+
     /// Add one genuine instruction-class sequence (e.g. a ground-truth
     /// function body) to the code model.
     pub fn add_code_sequence(&mut self, classes: &[OpClass]) {
+        let take = self.budget_remaining().min(classes.len());
+        if take < classes.len() {
+            self.budget_hit = true;
+        }
+        let classes = &classes[..take];
         self.code_insts += classes.len();
         for w in classes.windows(2) {
             self.code_bi[w[0].index() * ALPHA + w[1].index()] += 1;
@@ -153,6 +186,11 @@ impl StatModelBuilder {
 
     /// Add a pre-tokenized data stream to the data model.
     pub fn add_data_tokens(&mut self, toks: &[ClassTok]) {
+        let take = self.budget_remaining().min(toks.len());
+        if take < toks.len() {
+            self.budget_hit = true;
+        }
+        let toks = &toks[..take];
         self.data_tokens += toks.len();
         for w in toks.windows(2) {
             self.data_bi[w[0].index() * ALPHA + w[1].index()] += 1;
@@ -390,6 +428,22 @@ mod tests {
         assert_eq!(b.data_tokens(), 2);
         let m = b.build();
         assert!(!m.is_adequately_trained());
+    }
+
+    #[test]
+    fn token_budget_truncates_training() {
+        let mut b = StatModelBuilder::new();
+        b.set_token_budget(Some(5));
+        b.add_code_sequence(&[OpClass::Nop; 4]);
+        assert!(!b.budget_exhausted());
+        b.add_data_tokens(&[ClassTok::Invalid; 4]);
+        assert!(b.budget_exhausted());
+        assert_eq!(b.tokens_ingested(), 5);
+        assert_eq!(b.code_instructions(), 4);
+        assert_eq!(b.data_tokens(), 1);
+        // the truncated corpus still builds a usable model
+        let m = b.build();
+        assert!(m.score_chain(&[OpClass::Nop]).is_finite());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! detail (jump-table detection) re-decode the handful of offsets they care
 //! about.
 
+use crate::limits::{Deadline, Degradation, LimitKind};
 use x86_isa::{decode, Flow, Inst, OpClass};
 
 /// Sentinel for "no direct successor".
@@ -77,15 +78,52 @@ pub struct Superset {
 impl Superset {
     /// Decode a candidate at every offset of `text`.
     pub fn build(text: &[u8]) -> Superset {
+        let (ss, _) = Superset::build_limited(text, None, &Deadline::unlimited());
+        ss
+    }
+
+    /// Decode candidates under a budget. At most `max_candidates` *valid*
+    /// candidates are produced and the deadline is polled every few thousand
+    /// offsets; offsets past the cutoff become invalid decodes, which later
+    /// phases already treat conservatively (an invalid candidate can never
+    /// be accepted as code, so the default data rule still covers its byte).
+    pub fn build_limited(
+        text: &[u8],
+        max_candidates: Option<u64>,
+        deadline: &Deadline,
+    ) -> (Superset, Option<Degradation>) {
         let n = text.len();
+        let cap = max_candidates.unwrap_or(u64::MAX);
         let mut cands = Vec::with_capacity(n);
+        let mut valid: u64 = 0;
+        let mut degradation = None;
         for off in 0..n {
+            if valid >= cap {
+                degradation = Some(Degradation {
+                    phase: "superset",
+                    limit: LimitKind::SupersetCandidates,
+                    completed: off as u64,
+                });
+                break;
+            }
+            if off % 4096 == 0 && deadline.exceeded() {
+                degradation = Some(Degradation {
+                    phase: "superset",
+                    limit: LimitKind::Deadline,
+                    completed: off as u64,
+                });
+                break;
+            }
             cands.push(match decode(&text[off..]) {
-                Ok(inst) => summarize(off, &inst, n),
+                Ok(inst) => {
+                    valid += 1;
+                    summarize(off, &inst, n)
+                }
                 Err(_) => Candidate::INVALID,
             });
         }
-        Superset { cands }
+        cands.resize(n, Candidate::INVALID);
+        (Superset { cands }, degradation)
     }
 
     /// Candidate at `off`.
@@ -259,6 +297,28 @@ mod tests {
         let text = vec![0xe8, 0x00, 0x00, 0x00];
         let ss = Superset::build(&text);
         assert!(!ss.at(0).is_valid());
+    }
+
+    #[test]
+    fn candidate_cap_truncates_but_preserves_length() {
+        let text = vec![0x90; 16];
+        let (ss, deg) = Superset::build_limited(&text, Some(4), &Deadline::unlimited());
+        assert_eq!(ss.len(), 16);
+        let deg = deg.expect("cap should trip");
+        assert_eq!(deg.phase, "superset");
+        assert_eq!(deg.limit, LimitKind::SupersetCandidates);
+        assert_eq!(deg.completed, 4);
+        assert_eq!(ss.valid().count(), 4);
+        assert!(!ss.at(8).is_valid());
+    }
+
+    #[test]
+    fn unlimited_build_limited_matches_build() {
+        let text = vec![0x48, 0x89, 0xe5, 0x90, 0xc3];
+        let (ss, deg) = Superset::build_limited(&text, None, &Deadline::unlimited());
+        assert!(deg.is_none());
+        let plain = Superset::build(&text);
+        assert_eq!(ss.valid().count(), plain.valid().count());
     }
 
     #[test]

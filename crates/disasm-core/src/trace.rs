@@ -8,7 +8,7 @@
 //! counters/histograms in [`obs`] stay behind [`obs::enabled`].
 //!
 //! Phase names are a stable, documented contract (consumed by the CLI's
-//! `--trace-json` schema `metadis.trace.v1` and by the bench JSON records):
+//! `--trace-json` schema `metadis.trace.v2` and by the bench JSON records):
 //!
 //! | phase | meaning |
 //! |-------|---------|
@@ -23,9 +23,20 @@
 //! | `default`        | leftover-bytes-are-data rule |
 //!
 //! Baseline tools record a single coarse phase named after the tool, and
-//! the CLI appends a `cfg` phase when it builds a control-flow graph.
+//! the CLI appends a `cfg` phase when it builds a control-flow graph. A
+//! `fallback.linear` phase appears only when a pipeline phase panicked and
+//! the run degraded to the linear-sweep fallback.
+//!
+//! ## Schema history
+//!
+//! * `metadis.trace.v1` — phases, totals, viability iterations,
+//!   corrections per priority.
+//! * `metadis.trace.v2` — everything in v1, plus a `degradations` array
+//!   (`{phase, limit, completed}` per budget hit, see
+//!   [`crate::limits::Degradation`]) on every trace object.
 
 use crate::correct::Priority;
+use crate::limits::Degradation;
 use crate::Disassembly;
 use obs::json::JsonWriter;
 use obs::TextTable;
@@ -72,6 +83,9 @@ pub struct PipelineTrace {
     /// Number of pipeline runs merged into this trace (1 for a single
     /// disassembly; >1 after [`PipelineTrace::merge`]).
     pub runs: u64,
+    /// Budget hits recorded by the run(s): empty means the result is
+    /// complete; non-empty means it is partial but honestly labeled.
+    pub degradations: Vec<Degradation>,
 }
 
 impl PipelineTrace {
@@ -134,6 +148,12 @@ impl PipelineTrace {
             *a += b;
         }
         self.runs += other.runs;
+        self.degradations.extend_from_slice(&other.degradations);
+    }
+
+    /// `true` when any phase hit a budget (the result is partial).
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// Render the per-phase table (phase, wall ms, share of total, bytes,
@@ -169,7 +189,8 @@ impl PipelineTrace {
 
     /// Write the trace fields into the *currently open* JSON object:
     /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
-    /// `corrections`, `corrections_by_priority`, `runs`, `phases`.
+    /// `corrections`, `corrections_by_priority`, `runs`, `phases`,
+    /// `degradations`.
     pub fn write_json_fields(&self, w: &mut JsonWriter) {
         w.field_u64("text_bytes", self.text_bytes);
         w.field_u64("wall_ns", self.total_wall_ns);
@@ -195,6 +216,16 @@ impl PipelineTrace {
             w.end_obj();
         }
         w.end_arr();
+        w.key("degradations");
+        w.begin_arr();
+        for d in &self.degradations {
+            w.begin_obj();
+            w.field_str("phase", d.phase);
+            w.field_str("limit", d.limit.name());
+            w.field_u64("completed", d.completed);
+            w.end_obj();
+        }
+        w.end_arr();
     }
 }
 
@@ -212,7 +243,7 @@ pub fn priority_name(i: usize) -> &'static str {
 
 /// Write one tool's complete trace object `{tool, <trace fields>,
 /// decisions_by_priority, instructions, functions, jump_tables}` — the
-/// per-tool entry of the `metadis.trace.v1` schema.
+/// per-tool entry of the `metadis.trace.v2` schema.
 pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.begin_obj();
     w.field_str("tool", tool);
@@ -229,7 +260,7 @@ pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.end_obj();
 }
 
-/// Render a complete `metadis.trace.v1` report: `{schema, command,
+/// Render a complete `metadis.trace.v2` report: `{schema, command,
 /// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
 /// binaries both emit exactly this shape, so one consumer reads either.
 pub fn trace_report_json(
@@ -239,7 +270,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v1");
+    w.field_str("schema", "metadis.trace.v2");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -264,7 +295,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v1");
+    w.field_str("schema", "metadis.trace.v2");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();

@@ -15,6 +15,7 @@
 //! data, decode chains almost surely run into an invalid encoding within a
 //! few steps, killing the whole chain.
 
+use crate::limits::{Deadline, Degradation, LimitKind};
 use crate::superset::{CandFlow, Superset, NO_TARGET};
 
 /// Result of the viability closure.
@@ -60,6 +61,31 @@ impl Viability {
 
     /// Compute the closure over a superset table.
     pub fn compute(ss: &Superset) -> Viability {
+        let (v, _) = Viability::compute_limited(ss, None, &Deadline::unlimited());
+        v
+    }
+
+    /// Compute the closure under a budget. Stopping propagation early is
+    /// conservative: candidates the fixpoint never reached simply *stay
+    /// viable*, so the analysis under-reports data evidence but never kills
+    /// a genuine instruction. If the deadline is already spent on entry the
+    /// trivial (everything-viable) table is returned.
+    pub fn compute_limited(
+        ss: &Superset,
+        max_iterations: Option<u64>,
+        deadline: &Deadline,
+    ) -> (Viability, Option<Degradation>) {
+        if deadline.exceeded() {
+            return (
+                Viability::trivial(ss),
+                Some(Degradation {
+                    phase: "viability",
+                    limit: LimitKind::Deadline,
+                    completed: 0,
+                }),
+            );
+        }
+        let cap = max_iterations.unwrap_or(u64::MAX);
         let n = ss.len();
         let mut viable: Vec<bool> = (0..n as u32).map(|i| ss.at(i).is_valid()).collect();
 
@@ -142,9 +168,26 @@ impl Viability {
             }
         }
 
-        // Backward propagation.
+        // Backward propagation, budgeted on worklist pops.
         let mut iterations = 0u64;
+        let mut degradation = None;
         while let Some(dead) = work.pop() {
+            if iterations >= cap {
+                degradation = Some(Degradation {
+                    phase: "viability",
+                    limit: LimitKind::ViabilityIterations,
+                    completed: iterations,
+                });
+                break;
+            }
+            if iterations.is_multiple_of(4096) && iterations > 0 && deadline.exceeded() {
+                degradation = Some(Degradation {
+                    phase: "viability",
+                    limit: LimitKind::Deadline,
+                    completed: iterations,
+                });
+                break;
+            }
             iterations += 1;
             let d = dead as usize;
             for &p in &rev[starts[d] as usize..starts[d + 1] as usize] {
@@ -158,11 +201,14 @@ impl Viability {
         let eliminated = (0..n as u32)
             .filter(|&i| ss.at(i).is_valid() && !viable[i as usize])
             .count();
-        Viability {
-            viable,
-            eliminated,
-            iterations,
-        }
+        (
+            Viability {
+                viable,
+                eliminated,
+                iterations,
+            },
+            degradation,
+        )
     }
 }
 
@@ -255,6 +301,40 @@ mod tests {
             (surviving as f64) < 0.5 * valid as f64,
             "viability should kill most of random data: {surviving}/{valid} survived"
         );
+    }
+
+    #[test]
+    fn iteration_cap_under_kills_but_never_over_kills() {
+        // A long nop chain into an invalid byte: full propagation kills the
+        // whole chain, a capped run kills only a prefix of the worklist.
+        let mut text = vec![0x90u8; 64];
+        text.push(0x06);
+        let ss = Superset::build(&text);
+        let (full, deg) = Viability::compute_limited(&ss, None, &Deadline::unlimited());
+        assert!(deg.is_none());
+        let (capped, deg) = Viability::compute_limited(&ss, Some(3), &Deadline::unlimited());
+        let deg = deg.expect("cap should trip");
+        assert_eq!(deg.phase, "viability");
+        assert_eq!(deg.limit, LimitKind::ViabilityIterations);
+        assert_eq!(deg.completed, 3);
+        assert!(capped.eliminated() <= full.eliminated());
+        // Every candidate the capped run killed, the full run killed too.
+        for off in 0..text.len() as u32 {
+            if !capped.is_viable(off) {
+                assert!(!full.is_viable(off) || !ss.at(off).is_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_trivial() {
+        let ss = Superset::build(&[0x90, 0x90, 0x06]);
+        let d = Deadline::start(&crate::limits::Limits::with_deadline_ms(0));
+        let (v, deg) = Viability::compute_limited(&ss, None, &d);
+        assert_eq!(deg.unwrap().limit, LimitKind::Deadline);
+        assert_eq!(v.eliminated(), 0);
+        // valid candidates stay viable under the trivial table
+        assert!(v.is_viable(0));
     }
 
     #[test]

@@ -9,6 +9,10 @@ use disasm_core::{Config, Disassembler, Disassembly, Image, PipelineTrace};
 use std::time::{Duration, Instant};
 
 /// A disassembler under evaluation.
+// Ours(Config) dwarfs the other variants, but Tool values are built a
+// handful of times per experiment and never stored in bulk; boxing would
+// only complicate every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Tool {
     /// The paper's pipeline with the given configuration.
@@ -101,8 +105,12 @@ pub struct ToolReport {
     pub per_workload: Vec<WorkloadScore>,
     /// Per-phase timing aggregated (merged) across the whole corpus, in the
     /// same schema the pipeline records — `metadis compare` prints this per
-    /// tool, side by side.
+    /// tool, side by side. Budget degradations merge here too.
     pub trace: PipelineTrace,
+    /// How many workloads ran degraded (hit at least one resource budget).
+    /// Nonzero under a constrained [`Config`] means the accuracy numbers
+    /// above were produced on partial evidence — report them as such.
+    pub degraded_runs: u64,
 }
 
 impl ToolReport {
@@ -115,6 +123,12 @@ impl ToolReport {
             self.bytes as f64 / (1024.0 * 1024.0) / secs
         }
     }
+
+    /// Total budget degradations recorded across the corpus (a single run
+    /// can contribute several, one per budget hit).
+    pub fn degradation_count(&self) -> usize {
+        self.trace.degradations.len()
+    }
 }
 
 /// Run `tool` over every workload of `corpus`, scoring against ground truth.
@@ -124,6 +138,7 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
     let mut elapsed = Duration::ZERO;
     let mut bytes = 0usize;
     let mut trace = PipelineTrace::new();
+    let mut degraded_runs = 0u64;
     for w in &corpus.workloads {
         let image = image_of(w);
         let start = Instant::now();
@@ -149,6 +164,9 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
         } else {
             trace.merge(&d.trace);
         }
+        if d.trace.is_degraded() {
+            degraded_runs += 1;
+        }
         let s = score(w, &d);
         total.add(s);
         per_workload.push(s);
@@ -160,6 +178,7 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
         bytes,
         per_workload,
         trace,
+        degraded_runs,
     }
 }
 
@@ -246,5 +265,30 @@ mod tests {
         let oracle = evaluate(&Tool::SymbolOracle, &corpus);
         assert_eq!(oracle.trace.runs, corpus.workloads.len() as u64);
         assert!(oracle.trace.phase("symbol-oracle").is_some());
+    }
+
+    #[test]
+    fn degradations_aggregate_across_corpus() {
+        use disasm_core::Limits;
+        let corpus = tiny_corpus();
+        // an unconstrained run reports zero degradations
+        let free = evaluate(&Tool::ours(train_standard_model(2)), &corpus);
+        assert_eq!(free.degraded_runs, 0);
+        assert_eq!(free.degradation_count(), 0);
+        // a starvation-level step budget degrades every workload, and the
+        // merged trace carries each workload's degradation records
+        let starved = Tool::Ours(Config {
+            model: Some(train_standard_model(2)),
+            limits: Limits {
+                max_correction_steps: Some(2),
+                ..Limits::default()
+            },
+            ..Config::default()
+        });
+        let r = evaluate(&starved, &corpus);
+        assert_eq!(r.degraded_runs, corpus.workloads.len() as u64);
+        assert!(r.degradation_count() >= corpus.workloads.len());
+        // degraded evidence can only shrink acceptance, never grow it
+        assert!(r.score.inst.tp <= free.score.inst.tp);
     }
 }

@@ -176,6 +176,9 @@ pub enum ParseElfError {
     OutOfBounds(&'static str),
     /// Malformed string table.
     BadStrtab,
+    /// Malformed symbol table (bad record size, or a record referencing a
+    /// name outside the string table).
+    MalformedSymtab(&'static str),
 }
 
 impl fmt::Display for ParseElfError {
@@ -187,6 +190,7 @@ impl fmt::Display for ParseElfError {
             }
             ParseElfError::OutOfBounds(what) => write!(f, "{what} points outside the file"),
             ParseElfError::BadStrtab => f.write_str("malformed section string table"),
+            ParseElfError::MalformedSymtab(what) => write!(f, "malformed symbol table: {what}"),
         }
     }
 }
@@ -289,36 +293,69 @@ impl Elf {
         });
     }
 
-    /// Parse the symbol table, if present. Name resolution goes through the
-    /// `.strtab` section (by name, since parsed section indices shift after
-    /// the NULL/shstrtab entries are dropped).
+    /// Parse the symbol table, if present — the lenient variant: malformed
+    /// records (a truncated trailing record, or a name offset that escapes
+    /// `.strtab`) are silently dropped, so only well-formed symbols are
+    /// returned and arbitrary input never panics. Use
+    /// [`Elf::symbols_checked`] to surface malformations as errors instead.
+    ///
+    /// Name resolution goes through the `.strtab` section (by name, since
+    /// parsed section indices shift after the NULL/shstrtab entries are
+    /// dropped).
     pub fn symbols(&self) -> Vec<Symbol> {
-        let Some(symtab) = self
-            .sections
-            .iter()
-            .find(|s| s.kind == SectionKind::Other(SHT_SYMTAB))
-        else {
+        let Some(symtab) = self.symtab_section() else {
             return Vec::new();
         };
-        let strtab = self
-            .section_by_name(".strtab")
-            .map(|s| s.data.as_slice())
-            .unwrap_or(&[]);
-        let mut out = Vec::new();
-        for rec in symtab.data.chunks_exact(SYM_ENTSIZE).skip(1) {
-            let name_off = u32::from_le_bytes(rec[0..4].try_into().unwrap()) as usize;
-            let info = rec[4];
-            let value = u64::from_le_bytes(rec[8..16].try_into().unwrap());
-            let size = u64::from_le_bytes(rec[16..24].try_into().unwrap());
-            let name = read_cstr(strtab, name_off).unwrap_or_default();
-            out.push(Symbol {
-                name,
-                value,
-                size,
-                is_func: info & 0xf == 2,
-            });
+        let strtab = self.strtab_data();
+        // chunks_exact drops a truncated trailing record; records whose
+        // name cannot be resolved are individually skipped.
+        symtab
+            .data
+            .chunks_exact(SYM_ENTSIZE)
+            .skip(1)
+            .filter_map(|rec| parse_symbol_record(rec, strtab))
+            .collect()
+    }
+
+    /// Parse the symbol table, if present — the strict variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseElfError::MalformedSymtab`] when the table size is
+    /// not a whole number of 24-byte records (a truncated trailing record)
+    /// or when any record's name offset falls outside `.strtab`.
+    pub fn symbols_checked(&self) -> Result<Vec<Symbol>, ParseElfError> {
+        let Some(symtab) = self.symtab_section() else {
+            return Ok(Vec::new());
+        };
+        if !symtab.data.len().is_multiple_of(SYM_ENTSIZE) {
+            return Err(ParseElfError::MalformedSymtab(
+                "size is not a multiple of the 24-byte record size",
+            ));
         }
-        out
+        let strtab = self.strtab_data();
+        symtab
+            .data
+            .chunks_exact(SYM_ENTSIZE)
+            .skip(1)
+            .map(|rec| {
+                parse_symbol_record(rec, strtab).ok_or(ParseElfError::MalformedSymtab(
+                    "record name offset falls outside .strtab",
+                ))
+            })
+            .collect()
+    }
+
+    fn symtab_section(&self) -> Option<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Other(SHT_SYMTAB))
+    }
+
+    fn strtab_data(&self) -> &[u8] {
+        self.section_by_name(".strtab")
+            .map(|s| s.data.as_slice())
+            .unwrap_or(&[])
     }
 
     // ----- writer -----------------------------------------------------------
@@ -481,12 +518,17 @@ impl Elf {
         let shnum = get_u16(bytes, 60) as usize;
         let shstrndx = get_u16(bytes, 62) as usize;
 
-        let mut segments = Vec::with_capacity(phnum);
+        // Checked table-record offset: `base + i * REC` staying inside the
+        // file. Any overflow means the header points outside the file.
+        let record_base = |base: usize, i: usize, rec: usize, what: &'static str| {
+            base.checked_add(i.checked_mul(rec).ok_or(ParseElfError::OutOfBounds(what))?)
+                .filter(|b| b.checked_add(rec).is_some_and(|end| end <= bytes.len()))
+                .ok_or(ParseElfError::OutOfBounds(what))
+        };
+
+        let mut segments = Vec::with_capacity(phnum.min(64));
         for i in 0..phnum {
-            let base = phoff + i * PHDR_SIZE;
-            if base + PHDR_SIZE > bytes.len() {
-                return Err(ParseElfError::OutOfBounds("program header"));
-            }
+            let base = record_base(phoff, i, PHDR_SIZE, "program header")?;
             if get_u32(bytes, base) != 1 {
                 continue; // only PT_LOAD
             }
@@ -501,13 +543,10 @@ impl Elf {
 
         // Locate shstrtab.
         let shstr = if shnum > 0 && shstrndx < shnum {
-            let base = shoff + shstrndx * SHDR_SIZE;
-            if base + SHDR_SIZE > bytes.len() {
-                return Err(ParseElfError::OutOfBounds("section header"));
-            }
+            let base = record_base(shoff, shstrndx, SHDR_SIZE, "section header")?;
             let off = get_u64(bytes, base + 24) as usize;
             let size = get_u64(bytes, base + 32) as usize;
-            if off + size > bytes.len() {
+            if off.checked_add(size).is_none_or(|end| end > bytes.len()) {
                 return Err(ParseElfError::OutOfBounds("shstrtab"));
             }
             &bytes[off..off + size]
@@ -520,10 +559,7 @@ impl Elf {
             if i == shstrndx {
                 continue;
             }
-            let base = shoff + i * SHDR_SIZE;
-            if base + SHDR_SIZE > bytes.len() {
-                return Err(ParseElfError::OutOfBounds("section header"));
-            }
+            let base = record_base(shoff, i, SHDR_SIZE, "section header")?;
             let name_off = get_u32(bytes, base) as usize;
             let kind = SectionKind::from_u32(get_u32(bytes, base + 4));
             let flags = get_u64(bytes, base + 8);
@@ -560,6 +596,24 @@ impl Elf {
             segments,
         })
     }
+}
+
+/// Decode one 24-byte symbol record; `None` when the name offset cannot be
+/// resolved in `strtab`. The caller guarantees `rec.len() == SYM_ENTSIZE`,
+/// but all field reads go through the zero-padding `get_*` helpers, so a
+/// shorter slice still cannot panic.
+fn parse_symbol_record(rec: &[u8], strtab: &[u8]) -> Option<Symbol> {
+    let name_off = get_u32(rec, 0) as usize;
+    let info = rec.get(4).copied().unwrap_or(0);
+    let value = get_u64(rec, 8);
+    let size = get_u64(rec, 16);
+    let name = read_cstr(strtab, name_off)?;
+    Some(Symbol {
+        name,
+        value,
+        size,
+        is_func: info & 0xf == 2,
+    })
 }
 
 fn read_cstr(table: &[u8], off: usize) -> Option<String> {
@@ -677,6 +731,147 @@ mod tests {
         for cut in 0..bytes.len() {
             let _ = Elf::parse(&bytes[..cut]);
         }
+    }
+
+    #[test]
+    fn parse_never_panics_on_header_mutations() {
+        // Deterministic single-field corruptions of every ehdr/shdr/phdr
+        // field: offsets pointing past EOF, overlapping sections, absurd
+        // counts. Parse may error, but must never panic. (The heavier
+        // seeded random-mutation property test lives in
+        // bingen/tests/elf_mutation.rs, where the shared xoshiro rng is
+        // available without a circular dev-dependency.)
+        let base = {
+            let mut e = sample();
+            e.add_symbols(&[Symbol {
+                name: "main".into(),
+                value: 0x401000,
+                size: 6,
+                is_func: true,
+            }]);
+            e.to_bytes()
+        };
+        let interesting: [u64; 8] = [
+            0,
+            1,
+            7,
+            base.len() as u64 - 1,
+            base.len() as u64,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        // every 2-byte-aligned offset in the ELF header...
+        for field_off in (0..EHDR_SIZE).step_by(2) {
+            // ...plus the first shdr and phdr tables
+            for table_off in [0usize, EHDR_SIZE, EHDR_SIZE + PHDR_SIZE] {
+                let off = field_off + table_off;
+                if off + 8 > base.len() {
+                    continue;
+                }
+                for &v in &interesting {
+                    let mut m = base.clone();
+                    m[off..off + 8].copy_from_slice(&v.to_le_bytes());
+                    if let Ok(e) = Elf::parse(&m) {
+                        let _ = e.symbols();
+                        let _ = e.symbols_checked();
+                    }
+                }
+            }
+        }
+        // xorshift-seeded random byte flips over the header region
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..512 {
+            let mut m = base.clone();
+            for _ in 0..4 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let pos = (x as usize) % m.len().min(EHDR_SIZE + 4 * SHDR_SIZE);
+                m[pos] = (x >> 56) as u8;
+            }
+            if let Ok(e) = Elf::parse(&m) {
+                let _ = e.symbols();
+                let _ = e.symbols_checked();
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_symtab_record_dropped_and_reported() {
+        let mut e = sample();
+        e.add_symbols(&[Symbol {
+            name: "main".into(),
+            value: 0x401000,
+            size: 6,
+            is_func: true,
+        }]);
+        // chop 5 bytes off the last symbol record
+        let symtab = e
+            .sections
+            .iter_mut()
+            .find(|s| s.kind == SectionKind::Other(SHT_SYMTAB))
+            .unwrap();
+        let new_len = symtab.data.len() - 5;
+        symtab.data.truncate(new_len);
+        // lenient: the truncated record is dropped, not mis-read
+        assert!(e.symbols().is_empty());
+        // strict: the truncation is an error
+        assert_eq!(
+            e.symbols_checked(),
+            Err(ParseElfError::MalformedSymtab(
+                "size is not a multiple of the 24-byte record size"
+            ))
+        );
+    }
+
+    #[test]
+    fn symbol_name_escaping_strtab_dropped_and_reported() {
+        let mut e = sample();
+        e.add_symbols(&[
+            Symbol {
+                name: "good".into(),
+                value: 0x401000,
+                size: 6,
+                is_func: true,
+            },
+            Symbol {
+                name: "bad".into(),
+                value: 0x401006,
+                size: 0,
+                is_func: false,
+            },
+        ]);
+        // corrupt the second symbol's name offset to point far outside
+        let symtab = e
+            .sections
+            .iter_mut()
+            .find(|s| s.kind == SectionKind::Other(SHT_SYMTAB))
+            .unwrap();
+        let second = 2 * SYM_ENTSIZE;
+        symtab.data[second..second + 4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        let syms = e.symbols();
+        assert_eq!(syms.len(), 1, "malformed record must be dropped");
+        assert_eq!(syms[0].name, "good");
+        assert_eq!(
+            e.symbols_checked(),
+            Err(ParseElfError::MalformedSymtab(
+                "record name offset falls outside .strtab"
+            ))
+        );
+    }
+
+    #[test]
+    fn symbols_checked_matches_lenient_on_well_formed_input() {
+        let mut e = sample();
+        e.add_symbols(&[Symbol {
+            name: "main".into(),
+            value: 0x401000,
+            size: 6,
+            is_func: true,
+        }]);
+        let p = Elf::parse(&e.to_bytes()).unwrap();
+        assert_eq!(p.symbols_checked().unwrap(), p.symbols());
     }
 
     #[test]

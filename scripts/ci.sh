@@ -17,4 +17,10 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace -q --offline
 
+echo "== fuzz-smoke (fixed seeds)"
+# Adversarial smoke pass: 10k structure-aware ELF mutants through the whole
+# parse -> load -> disassemble stack under a deadline. Deterministic seeds,
+# ~10s in release; fails on any panic, hang, or byte-coverage hole.
+cargo run --release --offline --bin fuzz-smoke -- --iterations 10000 --seed 1
+
 echo "CI gate passed."

@@ -1,0 +1,211 @@
+//! Adversarial smoke-fuzzer for the whole analysis stack.
+//!
+//! Generates a handful of base workloads with `bingen`, derives thousands
+//! of structure-aware mutants with [`bingen::mutate`], and pushes every
+//! mutant through `Elf::parse` → `Image::from_elf` → `disassemble` under a
+//! wall-clock deadline. The run fails (exit 1) if any iteration:
+//!
+//! * panics anywhere in the stack (including a pipeline panic contained by
+//!   the linear-sweep fallback — containment is a shield, the panic is
+//!   still a bug),
+//! * blows far past the configured deadline (the budgets exist so hostile
+//!   inputs cannot hang the pipeline), or
+//! * returns a disassembly that violates the core trace invariant: every
+//!   text byte classified.
+//!
+//! Everything is seeded, so a failure report ("seed 4711") reproduces
+//! exactly. CI runs this with fixed seeds (see `scripts/ci.sh`):
+//!
+//! ```text
+//! cargo run --release --bin fuzz-smoke -- --iterations 10000
+//! ```
+
+use disasm_core::{Config, Disassembler, Image, LimitKind, Limits};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+struct Opts {
+    iterations: u64,
+    seed: u64,
+    deadline_ms: u64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        iterations: 1000,
+        seed: 0,
+        deadline_ms: 200,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{name} expects a number"))
+        };
+        match a.as_str() {
+            "--iterations" => opts.iterations = num("--iterations")?,
+            "--seed" => opts.seed = num("--seed")?,
+            "--deadline-ms" => opts.deadline_ms = num("--deadline-ms")?,
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}'\nusage: fuzz-smoke [--iterations N] [--seed N] [--deadline-ms N]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Base corpus: plain small workloads plus an adversarial one, so mutants
+/// start from both friendly and hostile structure.
+fn base_corpus() -> Vec<Vec<u8>> {
+    let mut bases: Vec<Vec<u8>> = [1u64, 77, 3042]
+        .iter()
+        .map(|&s| {
+            bingen::Workload::generate(&bingen::GenConfig::small(s))
+                .to_elf()
+                .to_bytes()
+        })
+        .collect();
+    let mut adv = bingen::GenConfig::small(9);
+    adv.adversarial = true;
+    bases.push(bingen::Workload::generate(&adv).to_elf().to_bytes());
+    bases
+}
+
+struct Tally {
+    rejected: u64,
+    no_text: u64,
+    disassembled: u64,
+    degraded: u64,
+    failures: Vec<String>,
+    max_wall_ns: u64,
+}
+
+fn run_one(mutant: &[u8], limits: &Limits, overrun_ns: u64, seed: u64, t: &mut Tally) {
+    let elf = match elfobj::Elf::parse(mutant) {
+        Ok(e) => e,
+        Err(_) => {
+            t.rejected += 1;
+            return;
+        }
+    };
+    // the symbol readers must tolerate whatever parsed
+    let _ = elf.symbols();
+    let _ = elf.symbols_checked();
+    let image = match Image::from_elf(&elf) {
+        Some(i) => i,
+        None => {
+            t.no_text += 1;
+            return;
+        }
+    };
+    let cfg = Config {
+        limits: limits.clone(),
+        ..Config::default()
+    };
+    let d = Disassembler::new(cfg).disassemble(&image);
+    t.disassembled += 1;
+    t.max_wall_ns = t.max_wall_ns.max(d.trace.total_wall_ns);
+    if d.trace.is_degraded() {
+        t.degraded += 1;
+    }
+    if d.trace
+        .degradations
+        .iter()
+        .any(|g| g.limit == LimitKind::PhasePanicked)
+    {
+        t.failures.push(format!(
+            "seed {seed}: pipeline panicked (linear fallback engaged)"
+        ));
+    }
+    if d.trace.total_wall_ns > overrun_ns {
+        t.failures.push(format!(
+            "seed {seed}: deadline overrun ({} ms > budget)",
+            d.trace.total_wall_ns / 1_000_000
+        ));
+    }
+    if d.byte_class.len() != image.text.len() {
+        t.failures.push(format!(
+            "seed {seed}: coverage hole ({} classified of {} bytes)",
+            d.byte_class.len(),
+            image.text.len()
+        ));
+    }
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error[usage]: {e}");
+            std::process::exit(2);
+        }
+    };
+    let limits = Limits::with_deadline_ms(opts.deadline_ms);
+    // deadline polling is deliberately coarse (every few thousand units of
+    // work), so allow slack before calling a slow run an overrun; a hang
+    // blows past any slack
+    let overrun_ns = opts
+        .deadline_ms
+        .saturating_mul(2)
+        .saturating_add(500)
+        .saturating_mul(1_000_000);
+    let bases = base_corpus();
+    let mut t = Tally {
+        rejected: 0,
+        no_text: 0,
+        disassembled: 0,
+        degraded: 0,
+        failures: Vec::new(),
+        max_wall_ns: 0,
+    };
+    // the fuzzer's own panic containment: the pipeline catches its panics
+    // internally, so anything reaching this catch is a parser/loader bug
+    std::panic::set_hook(Box::new(|_| {}));
+    let sw = obs::Stopwatch::start();
+    for i in 0..opts.iterations {
+        let seed = opts.seed.wrapping_add(i);
+        let base = &bases[(i % bases.len() as u64) as usize];
+        let mutant = bingen::mutate::mutate(base, seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_one(&mutant, &limits, overrun_ns, seed, &mut t)
+        }));
+        if outcome.is_err() {
+            t.failures
+                .push(format!("seed {seed}: PANIC escaped the parse/load path"));
+        }
+    }
+    let _ = std::panic::take_hook();
+    let secs = sw.elapsed_ns() as f64 / 1e9;
+    println!(
+        "fuzz-smoke: {} iterations in {secs:.1}s ({} base images, start seed {})",
+        opts.iterations,
+        bases.len(),
+        opts.seed
+    );
+    println!(
+        "  parse rejected {}  no-text {}  disassembled {} ({} degraded)",
+        t.rejected, t.no_text, t.disassembled, t.degraded
+    );
+    println!(
+        "  slowest disassembly {:.1} ms (budget {} ms)",
+        t.max_wall_ns as f64 / 1e6,
+        opts.deadline_ms
+    );
+    if t.disassembled == 0 {
+        // a mutator regression that kills every image would silently turn
+        // the fuzzer into a no-op; treat that as a failure too
+        t.failures
+            .push("no mutant survived to disassembly — mutator too destructive".to_string());
+    }
+    if !t.failures.is_empty() {
+        eprintln!("FAILURES ({}):", t.failures.len());
+        for f in t.failures.iter().take(20) {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("  OK: no panics, no deadline overruns, full byte coverage");
+}

@@ -1,12 +1,16 @@
 //! Thin binary wrapper over [`metadis::cli`].
+//!
+//! Failures print `error[{category}]: {message}` and exit with the
+//! category's stable code: `usage` = 2, `io` = 3, `parse` = 4,
+//! `analysis-degraded` = 5 (see [`metadis::cli::ErrorCategory`]).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match metadis::cli::run(&args) {
         Ok(out) => print!("{out}"),
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+            eprintln!("error[{}]: {e}", e.category.name());
+            std::process::exit(e.category.exit_code());
         }
     }
 }

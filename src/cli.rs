@@ -13,8 +13,14 @@
 //! Every analysis command also accepts the observability flags:
 //! `--metrics` appends per-phase timing tables and the global
 //! counter/histogram snapshot to the output, and `--trace-json <path>`
-//! writes a machine-readable trace record (schema `metadis.trace.v1`, see
-//! the README "Observability" section).
+//! writes a machine-readable trace record (schema `metadis.trace.v2`, see
+//! the README "Observability" section), plus the robustness flags:
+//! `--deadline-ms` / `--max-iterations` bound the pipeline's resource use
+//! (budget hits are recorded as trace degradations) and `--strict` turns
+//! any degradation into a hard `analysis-degraded` error.
+//!
+//! Failures carry an [`ErrorCategory`] mapped to a stable exit code
+//! (`usage` = 2, `io` = 3, `parse` = 4, `analysis-degraded` = 5).
 //!
 //! All output goes to the returned `String` so the CLI is fully testable.
 
@@ -23,20 +29,80 @@ use disasm_baselines::Baseline;
 use disasm_core::{cfg::Cfg, Config, Disassembler, Disassembly, Image, ListingOptions};
 use std::fmt::Write as _;
 
-/// CLI error: message already formatted for the user.
+/// What kind of failure a [`CliError`] represents. Each category maps to a
+/// stable process exit code and a stable machine-readable name, so scripts
+/// can branch on failures without scraping message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// Bad command line: unknown command, missing argument, bad flag value.
+    Usage,
+    /// The OS said no: unreadable input, unwritable output.
+    Io,
+    /// The input file exists but is not a usable ELF.
+    Parse,
+    /// Analysis completed but hit a resource budget under `--strict`.
+    Degraded,
+}
+
+impl ErrorCategory {
+    /// Stable category name, printed as `error[{name}]: ...` by the binary.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCategory::Usage => "usage",
+            ErrorCategory::Io => "io",
+            ErrorCategory::Parse => "parse",
+            ErrorCategory::Degraded => "analysis-degraded",
+        }
+    }
+
+    /// Stable process exit code for this category.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            ErrorCategory::Usage => 2,
+            ErrorCategory::Io => 3,
+            ErrorCategory::Parse => 4,
+            ErrorCategory::Degraded => 5,
+        }
+    }
+}
+
+/// CLI error: a category (exit code + stable name) plus a message already
+/// formatted for the user.
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Failure class; decides the exit code.
+    pub category: ErrorCategory,
+    /// User-facing message.
+    pub message: String,
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        category: ErrorCategory::Usage,
+        message: msg.into(),
+    }
+}
+
+fn io_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        category: ErrorCategory::Io,
+        message: msg.into(),
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> CliError {
+    CliError {
+        category: ErrorCategory::Parse,
+        message: msg.into(),
+    }
 }
 
 /// Usage text.
@@ -68,7 +134,17 @@ OBSERVABILITY (any analysis command):
     --metrics          append per-phase timing tables and the global
                        counter/histogram snapshot to the output
     --trace-json PATH  write a machine-readable trace record
-                       (schema metadis.trace.v1) to PATH
+                       (schema metadis.trace.v2) to PATH
+
+ROBUSTNESS (any analysis command):
+    --deadline-ms N      abort analysis phases after N milliseconds of wall
+                         clock; the run degrades to a partial (still fully
+                         byte-classified) result instead of hanging
+    --max-iterations N   cap the viability fixpoint and the correction
+                         engine at N iterations/steps each
+    --strict             exit with error category 'analysis-degraded' (code
+                         5) if any resource budget was hit; the trace
+                         record, if requested, is still written first
 ";
 
 /// What a subcommand produced: the user-facing text, plus every disassembly
@@ -120,8 +196,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if let Some(path) = trace_json {
         let json =
             disasm_core::trace::trace_report_json(cmd, &out.tools, &obs::global().snapshot());
-        std::fs::write(&path, &json).map_err(|e| err(format!("cannot write '{path}': {e}")))?;
+        std::fs::write(&path, &json).map_err(|e| io_err(format!("cannot write '{path}': {e}")))?;
         let _ = writeln!(out.text, "trace record written to {path}");
+    }
+    // --strict turns degraded (budget-limited) analyses into a hard error —
+    // after the trace record is on disk, so the evidence survives the abort.
+    if has_flag(&rest, "--strict") {
+        let degraded: u64 = out
+            .tools
+            .iter()
+            .map(|(_, d)| d.trace.degradations.len() as u64)
+            .sum();
+        if degraded > 0 {
+            return Err(CliError {
+                category: ErrorCategory::Degraded,
+                message: format!(
+                    "analysis degraded: {degraded} budget(s) hit (rerun without --strict, \
+                     or raise --deadline-ms / --max-iterations)"
+                ),
+            });
+        }
     }
     Ok(out.text)
 }
@@ -136,6 +230,15 @@ fn append_metrics(out: &mut CmdOutput) {
             d.trace.viability_iterations
         );
         out.text.push_str(&d.trace.render_table());
+        for g in &d.trace.degradations {
+            let _ = writeln!(
+                out.text,
+                "  degraded: phase {} hit {} after {} unit(s)",
+                g.phase,
+                g.limit.name(),
+                g.completed
+            );
+        }
     }
     let _ = writeln!(out.text, "\nglobal metrics:");
     out.text.push_str(&obs::global().snapshot().render_table());
@@ -156,14 +259,14 @@ fn cmd_score(rest: &[&String]) -> Result<CmdOutput, CliError> {
         .ok_or_else(|| err(format!("score: missing <truth-file>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let truth_text = std::fs::read_to_string(truth_path)
-        .map_err(|e| err(format!("cannot read '{truth_path}': {e}")))?;
+        .map_err(|e| io_err(format!("cannot read '{truth_path}': {e}")))?;
     let truth: std::collections::BTreeSet<u32> = truth_text
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(|l| {
             l.trim()
                 .parse()
-                .map_err(|_| err(format!("bad offset '{l}' in {truth_path}")))
+                .map_err(|_| parse_err(format!("bad offset '{l}' in {truth_path}")))
         })
         .collect::<Result<_, _>>()?;
     let cfg = build_config(rest)?;
@@ -187,8 +290,8 @@ fn cmd_score(rest: &[&String]) -> Result<CmdOutput, CliError> {
 
 fn cmd_diff(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("diff: missing <elf>\n\n{USAGE}")))?;
-    let image = load_image(path)?;
     let cfg = build_config(rest)?;
+    let image = load_image(path)?;
     let ours = Disassembler::new(cfg).disassemble(&image);
     let mut out = format!("{path}: metadis vs each baseline\n");
     let mut tools = Vec::new();
@@ -204,8 +307,8 @@ fn cmd_diff(rest: &[&String]) -> Result<CmdOutput, CliError> {
 
 fn cmd_report(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("report: missing <elf>\n\n{USAGE}")))?;
-    let image = load_image(path)?;
     let cfg = build_config(rest)?;
+    let image = load_image(path)?;
     let d = Disassembler::new(cfg).disassemble(&image);
     let r = disasm_core::Report::build(&image, &d);
     let mut out = format!("{path}:\n{r}\n\nlargest functions:\n");
@@ -247,7 +350,7 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
             continue;
         }
         if let Some(stripped) = a.strip_prefix("--") {
-            skip_next = !matches!(stripped, "listing" | "adversarial" | "metrics");
+            skip_next = !matches!(stripped, "listing" | "adversarial" | "metrics" | "strict");
             continue;
         }
         if a.as_str() == "-o" {
@@ -260,9 +363,10 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
 }
 
 fn load_image(path: &str) -> Result<Image, CliError> {
-    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read '{path}': {e}")))?;
-    let elf = elfobj::Elf::parse(&bytes).map_err(|e| err(format!("cannot parse '{path}': {e}")))?;
-    Image::from_elf(&elf).ok_or_else(|| err(format!("'{path}' has no executable section")))
+    let bytes = std::fs::read(path).map_err(|e| io_err(format!("cannot read '{path}': {e}")))?;
+    let elf =
+        elfobj::Elf::parse(&bytes).map_err(|e| parse_err(format!("cannot parse '{path}': {e}")))?;
+    Image::from_elf(&elf).ok_or_else(|| parse_err(format!("'{path}' has no executable section")))
 }
 
 fn build_config(rest: &[&String]) -> Result<Config, CliError> {
@@ -271,13 +375,26 @@ fn build_config(rest: &[&String]) -> Result<Config, CliError> {
         let n: usize = n.parse().map_err(|_| err("--train expects a number"))?;
         cfg.model = Some(disasm_eval::train_standard_model(n));
     }
+    if let Some(ms) = flag_value(rest, "--deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| err("--deadline-ms expects a number"))?;
+        cfg.limits.deadline_ms = Some(ms);
+    }
+    if let Some(n) = flag_value(rest, "--max-iterations") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| err("--max-iterations expects a number"))?;
+        cfg.limits.max_viability_iterations = Some(n);
+        cfg.limits.max_correction_steps = Some(n);
+    }
     Ok(cfg)
 }
 
 fn cmd_disasm(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("disasm: missing <elf>\n\n{USAGE}")))?;
-    let image = load_image(path)?;
     let cfg = build_config(rest)?;
+    let image = load_image(path)?;
     let d = Disassembler::new(cfg).disassemble(&image);
     let mut out = String::new();
     let _ = writeln!(
@@ -350,14 +467,15 @@ fn cmd_gen(rest: &[&String]) -> Result<CmdOutput, CliError> {
     gen_cfg.adversarial = has_flag(rest, "--adversarial");
     let w = Workload::generate(&gen_cfg);
     let elf = w.to_elf().to_bytes();
-    std::fs::write(out_path, &elf).map_err(|e| err(format!("cannot write '{out_path}': {e}")))?;
+    std::fs::write(out_path, &elf)
+        .map_err(|e| io_err(format!("cannot write '{out_path}': {e}")))?;
     let truth_path = format!("{out_path}.truth");
     let mut truth = String::new();
     for &o in &w.truth.inst_starts {
         let _ = writeln!(truth, "{o}");
     }
     std::fs::write(&truth_path, truth)
-        .map_err(|e| err(format!("cannot write '{truth_path}': {e}")))?;
+        .map_err(|e| io_err(format!("cannot write '{truth_path}': {e}")))?;
     Ok(CmdOutput::text_only(format!(
         "wrote {out_path} ({} bytes, {} instructions, {:.1}% embedded data) and {truth_path}\n",
         elf.len(),
@@ -368,8 +486,8 @@ fn cmd_gen(rest: &[&String]) -> Result<CmdOutput, CliError> {
 
 fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("compare: missing <elf>\n\n{USAGE}")))?;
-    let image = load_image(path)?;
     let cfg = build_config(rest)?;
+    let image = load_image(path)?;
     let mut t = disasm_eval::table::TextTable::new([
         "tool",
         "instructions",
@@ -412,8 +530,8 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
 
 fn cmd_cfg(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("cfg: missing <elf>\n\n{USAGE}")))?;
-    let image = load_image(path)?;
     let cfg = build_config(rest)?;
+    let image = load_image(path)?;
     let mut d = Disassembler::new(cfg).disassemble(&image);
     let sw = obs::Stopwatch::start();
     let g = Cfg::build(&image, &d);
@@ -556,20 +674,21 @@ mod tests {
         assert!(out.contains("global metrics"), "{out}");
         assert!(out.contains("pipeline.runs"), "{out}");
 
-        // --trace-json writes a metadis.trace.v1 record
+        // --trace-json writes a metadis.trace.v2 record
         let json_path = dir.join("trace.json");
         let json_s = json_path.to_str().unwrap();
         let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
         assert!(out.contains("trace record written"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(
-            json.starts_with(r#"{"schema":"metadis.trace.v1","command":"disasm""#),
+            json.starts_with(r#"{"schema":"metadis.trace.v2","command":"disasm""#),
             "{json}"
         );
         for key in [
             r#""tool":"metadis (ours)""#,
             r#""viability_iterations""#,
             r#""corrections_by_priority""#,
+            r#""degradations""#,
             r#""bytes_per_sec""#,
             r#""phases":[{"name":"superset""#,
             r#""metrics":{"counters""#,
@@ -634,7 +753,92 @@ mod tests {
         let junk = dir.join("junk.bin");
         std::fs::write(&junk, b"not an elf").unwrap();
         let e = run(&args(&["disasm", junk.to_str().unwrap()])).unwrap_err();
-        assert!(e.0.contains("cannot parse"), "{e}");
+        assert!(e.message.contains("cannot parse"), "{e}");
         assert!(run(&args(&["disasm", "/nonexistent/x.elf"])).is_err());
+    }
+
+    #[test]
+    fn error_categories_map_to_stable_exit_codes() {
+        let dir = tmpdir();
+
+        // usage: unknown command, missing args, bad flag value
+        for bad in [
+            args(&["frobnicate"]),
+            args(&["disasm"]),
+            args(&["disasm", "x.elf", "--max-iterations", "lots"]),
+            args(&["disasm", "x.elf", "--deadline-ms", "soon"]),
+        ] {
+            let e = run(&bad).unwrap_err();
+            assert_eq!(e.category, ErrorCategory::Usage, "{bad:?}: {e}");
+        }
+
+        // io: unreadable input
+        let e = run(&args(&["disasm", "/nonexistent/x.elf"])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Io, "{e}");
+
+        // parse: file exists but is not an ELF
+        let junk = dir.join("cat.bin");
+        std::fs::write(&junk, b"\x7fELF but not really").unwrap();
+        let e = run(&args(&["disasm", junk.to_str().unwrap()])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Parse, "{e}");
+
+        // the code/name mapping is a stable contract
+        assert_eq!(ErrorCategory::Usage.exit_code(), 2);
+        assert_eq!(ErrorCategory::Io.exit_code(), 3);
+        assert_eq!(ErrorCategory::Parse.exit_code(), 4);
+        assert_eq!(ErrorCategory::Degraded.exit_code(), 5);
+        assert_eq!(ErrorCategory::Degraded.name(), "analysis-degraded");
+    }
+
+    #[test]
+    fn robustness_flags_degrade_and_strict_escalates() {
+        let dir = tmpdir();
+        let elf = dir.join("robust.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "11",
+            "--functions",
+            "8",
+        ]))
+        .unwrap();
+
+        // a starvation-level iteration budget degrades but still succeeds,
+        // and --metrics reports which budget was hit
+        let out = run(&args(&[
+            "disasm",
+            elf_s,
+            "--max-iterations",
+            "1",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("degraded: phase"), "{out}");
+
+        // the same run under --strict becomes an analysis-degraded error...
+        let json_path = dir.join("strict-trace.json");
+        let json_s = json_path.to_str().unwrap();
+        let e = run(&args(&[
+            "disasm",
+            elf_s,
+            "--max-iterations",
+            "1",
+            "--strict",
+            "--trace-json",
+            json_s,
+        ]))
+        .unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
+        // ...but the trace record was still written, with the degradations
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains(r#""schema":"metadis.trace.v2""#), "{json}");
+        assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
+
+        // an unconstrained strict run passes
+        let out = run(&args(&["disasm", elf_s, "--strict"])).unwrap();
+        assert!(out.contains("instructions"), "{out}");
     }
 }
