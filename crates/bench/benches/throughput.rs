@@ -2,7 +2,7 @@
 //!
 //! Times the raw decode loop, the superset/viability stages, every baseline,
 //! and the full pipeline on one 200-function workload, prints a throughput
-//! table, and writes the measurements as a `metadis.trace.v2` record
+//! table, and writes the measurements as a `metadis.trace.v3` record
 //! (`BENCH_throughput.json`) — the same schema the CLI's `--trace-json`
 //! emits. Set `QUICK=1` for a reduced iteration count.
 

@@ -124,6 +124,7 @@ pub(crate) fn assemble_result(
         corrections: Vec::new(),
         decisions_by_priority: [0; disasm_core::Priority::COUNT],
         trace: disasm_core::PipelineTrace::new(),
+        provenance: disasm_core::Prov::default(),
     }
 }
 

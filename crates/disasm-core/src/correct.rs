@@ -21,13 +21,15 @@
 use crate::jumptable;
 use crate::limits::{Deadline, Degradation, LimitKind};
 use crate::padding;
+use crate::provenance::{kind, Prov, NO_CLASS};
 use crate::stats::{StatModel, StatModelBuilder};
 use crate::superset::{CandFlow, Superset};
 use crate::trace::PipelineTrace;
 use crate::viability::Viability;
 use crate::{ByteClass, Config, Disassembly, Image};
-use obs::Stopwatch;
-use std::collections::BTreeSet;
+use obs::provenance::NO_CAUSE;
+use obs::{SpanSet, Stopwatch};
+use std::collections::{BTreeMap, BTreeSet};
 use x86_isa::OpClass;
 
 /// Hint strength classes, strongest first.
@@ -103,6 +105,8 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let total = Stopwatch::start();
     let deadline = Deadline::start(&cfg.limits);
     let mut trace = PipelineTrace::new();
+    let mut spans = SpanSet::new();
+    let root = spans.begin("pipeline");
     let text = &image.text;
     let n = text.len();
     let nb = n as u64;
@@ -111,12 +115,34 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
         panic!("injected pipeline panic (test hook)");
     }
 
+    let mut prov = Prov::new(cfg.collect_provenance);
+
+    let sp = spans.begin("superset");
     let sw = Stopwatch::start();
     let (ss, deg) = Superset::build_limited(text, cfg.limits.max_superset_candidates, &deadline);
     trace.degradations.extend(deg);
     let candidates = ss.valid().count() as u64;
     trace.record("superset", sw.elapsed_ns(), nb, candidates);
+    spans.counter(sp, "bytes", nb);
+    spans.counter(sp, "candidates", candidates);
+    spans.end(sp);
+    if prov.enabled() {
+        prov.emit(
+            "superset",
+            kind::DECODED,
+            0,
+            n as u32,
+            NO_CLASS,
+            NO_CLASS,
+            candidates as f32,
+            NO_CAUSE,
+        );
+        emit_runs(&mut prov, "superset", kind::INVALID, n, 0.0, |o| {
+            !ss.at(o as u32).is_valid()
+        });
+    }
 
+    let sp = spans.begin("viability");
     let sw = Stopwatch::start();
     let viab = if cfg.enable_viability {
         let (v, deg) =
@@ -128,6 +154,19 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     };
     trace.viability_iterations = viab.iterations();
     trace.record("viability", sw.elapsed_ns(), nb, viab.eliminated() as u64);
+    spans.counter(sp, "eliminated", viab.eliminated() as u64);
+    spans.counter(sp, "iterations", viab.iterations());
+    spans.end(sp);
+    if prov.enabled() {
+        emit_runs(
+            &mut prov,
+            "viability",
+            kind::NONVIABLE,
+            n,
+            viab.iterations() as f32,
+            |o| ss.at(o as u32).is_valid() && !viab.is_viable(o as u32),
+        );
+    }
 
     let mut eng = Engine {
         cfg,
@@ -142,19 +181,25 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
         steps: 0,
         step_cap: cfg.limits.max_correction_steps.unwrap_or(u64::MAX),
         exhausted: None,
+        prov,
+        cur_phase: "anchor",
     };
     eng.decisions[Priority::Behavioral as usize] = viab.eliminated();
 
     // ---- P0: anchor (entry point) + recursive closure
+    let sp = spans.begin("anchor");
     let sw = Stopwatch::start();
     if let Some(entry) = image.entry {
         eng.func_starts.insert(entry);
-        eng.accept_and_propagate(entry, Priority::Anchor as u8);
+        eng.accept_and_propagate(entry, Priority::Anchor as u8, NO_CAUSE);
     }
     let anchor_items = eng.decisions[Priority::Anchor as usize] as u64;
     trace.record("anchor", sw.elapsed_ns(), nb, anchor_items);
+    spans.counter(sp, "accepted", anchor_items);
+    spans.end(sp);
 
     // ---- P2: structural — jump tables and address-taken constants
+    let sp = spans.begin("jumptable");
     let sw = Stopwatch::start();
     let tables = if cfg.enable_jump_tables {
         let out = jumptable::detect_budgeted(
@@ -172,6 +217,8 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
         Vec::new()
     };
     trace.record("jumptable", sw.elapsed_ns(), nb, tables.len() as u64);
+    spans.counter(sp, "tables", tables.len() as u64);
+    spans.end(sp);
     for t in &tables {
         eng.jt_targets.extend(t.targets.iter().copied());
     }
@@ -184,31 +231,52 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     // disabled (first-decision-wins) the adversarial order reproduces the
     // behavior of naive tools.
     if cfg.stats_first || !cfg.prioritized {
-        eng.statistical_phase(cfg, text, &mut trace);
-        eng.structural_phase(cfg, image, &tables, &mut trace);
+        eng.statistical_phase(cfg, text, &mut trace, &mut spans);
+        eng.structural_phase(cfg, image, &tables, &mut trace, &mut spans);
     } else {
-        eng.structural_phase(cfg, image, &tables, &mut trace);
-        eng.statistical_phase(cfg, text, &mut trace);
+        eng.structural_phase(cfg, image, &tables, &mut trace, &mut spans);
+        eng.statistical_phase(cfg, text, &mut trace, &mut spans);
     }
     // padding sweep (also applies when stats are disabled)
+    let sp = spans.begin("padding");
     let sw = Stopwatch::start();
+    eng.cur_phase = "padding";
     eng.padding_pass();
     trace.record("padding", sw.elapsed_ns(), nb, 0);
+    spans.end(sp);
 
     // ---- P4: leftovers are data
+    let sp = spans.begin("default");
     let sw = Stopwatch::start();
+    eng.cur_phase = "default";
     let default_before = eng.decisions[Priority::Default as usize];
-    for o in 0..n {
-        if eng.cells[o].kind == CellKind::Un {
+    let mut run_start: Option<usize> = None;
+    for o in 0..=n {
+        let undecided = o < n && eng.cells[o].kind == CellKind::Un;
+        if undecided {
+            run_start.get_or_insert(o);
             eng.cells[o] = Cell {
                 kind: CellKind::Data,
                 prio: Priority::Default as u8,
             };
             eng.decisions[Priority::Default as usize] += 1;
+        } else if let Some(s) = run_start.take() {
+            eng.prov.emit(
+                "default",
+                kind::DEFAULT_DATA,
+                s as u32,
+                o as u32,
+                Priority::Default as u8,
+                NO_CLASS,
+                0.0,
+                NO_CAUSE,
+            );
         }
     }
     let default_items = (eng.decisions[Priority::Default as usize] - default_before) as u64;
     trace.record("default", sw.elapsed_ns(), nb, default_items);
+    spans.counter(sp, "bytes", default_items);
+    spans.end(sp);
 
     if let Some(kind) = eng.exhausted {
         trace.degradations.push(Degradation {
@@ -217,10 +285,26 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
             completed: eng.steps,
         });
     }
+    if eng.prov.enabled() {
+        for deg in &trace.degradations {
+            eng.prov.emit(
+                deg.phase,
+                kind::DEGRADED,
+                0,
+                n as u32,
+                NO_CLASS,
+                NO_CLASS,
+                deg.completed as f32,
+                NO_CAUSE,
+            );
+        }
+    }
 
     trace.total_wall_ns = total.elapsed_ns();
     trace.text_bytes = nb;
     trace.runs = 1;
+    spans.end(root);
+    trace.spans = spans.finish();
     let d = eng.finish(tables, trace);
 
     if obs::enabled() {
@@ -256,6 +340,35 @@ struct Engine<'a> {
     /// Set once the step budget or deadline is hit; all further hint
     /// application stops and undecided bytes fall to the data default.
     exhausted: Option<LimitKind>,
+    /// Evidence recorder (no-op unless [`Config::collect_provenance`]).
+    prov: Prov,
+    /// Phase name stamped onto emitted evidence (tracks the trace contract).
+    cur_phase: &'static str,
+}
+
+/// Emit one ledger event per maximal run of offsets satisfying `pred`;
+/// the first run carries `first_weight`, the rest weight 0.
+fn emit_runs(
+    prov: &mut Prov,
+    phase: &'static str,
+    kind_name: &'static str,
+    n: usize,
+    first_weight: f32,
+    mut pred: impl FnMut(usize) -> bool,
+) {
+    let mut run_start: Option<usize> = None;
+    let mut first = true;
+    for o in 0..=n {
+        if o < n && pred(o) {
+            run_start.get_or_insert(o);
+        } else if let Some(s) = run_start.take() {
+            let w = if first { first_weight } else { 0.0 };
+            first = false;
+            prov.emit(
+                phase, kind_name, s as u32, o as u32, NO_CLASS, NO_CLASS, w, NO_CAUSE,
+            );
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -286,27 +399,52 @@ impl<'a> Engine<'a> {
         image: &Image,
         tables: &[jumptable::DetectedTable],
         trace: &mut PipelineTrace,
+        spans: &mut SpanSet,
     ) {
+        let sp = spans.begin("structural");
         let sw = Stopwatch::start();
+        self.cur_phase = "structural";
         let before = self.decisions[Priority::Structural as usize];
         for t in tables {
             if t.in_text {
+                self.prov.emit(
+                    "structural",
+                    kind::TABLE_EXTENT,
+                    t.table_off,
+                    t.table_off + t.byte_len(),
+                    Priority::Structural as u8,
+                    NO_CLASS,
+                    t.targets.len() as f32,
+                    t.lea_off,
+                );
                 self.mark_range(
                     t.table_off,
                     t.table_off + t.byte_len(),
                     CellKind::Data,
                     Priority::Structural as u8,
+                    t.lea_off,
                 );
             }
             for &target in &t.targets {
-                self.accept_and_propagate(target, Priority::Structural as u8);
+                self.accept_and_propagate(target, Priority::Structural as u8, t.table_off);
             }
             // the dispatch sequence itself is certainly code
-            self.accept_and_propagate(t.lea_off, Priority::Structural as u8);
+            self.accept_and_propagate(t.lea_off, Priority::Structural as u8, NO_CAUSE);
         }
         if cfg.enable_address_taken {
-            for target in address_taken(image, self.viab) {
-                if self.accept_and_propagate(target, Priority::Structural as u8)
+            for (target, site) in address_taken(image, self.viab) {
+                let cause = site.unwrap_or(NO_CAUSE);
+                self.prov.emit(
+                    "structural",
+                    kind::ADDRESS_TAKEN,
+                    target,
+                    target + 1,
+                    Priority::Structural as u8,
+                    NO_CLASS,
+                    0.0,
+                    cause,
+                );
+                if self.accept_and_propagate(target, Priority::Structural as u8, cause)
                     && !self.jt_targets.contains(&target)
                 {
                     self.func_starts.insert(target);
@@ -320,10 +458,18 @@ impl<'a> Engine<'a> {
             image.text.len() as u64,
             items,
         );
+        spans.counter(sp, "decisions", items);
+        spans.end(sp);
     }
 
     /// Statistical hints over every still-undecided region.
-    fn statistical_phase(&mut self, cfg: &Config, text: &[u8], trace: &mut PipelineTrace) {
+    fn statistical_phase(
+        &mut self,
+        cfg: &Config,
+        text: &[u8],
+        trace: &mut PipelineTrace,
+        spans: &mut SpanSet,
+    ) {
         if !cfg.enable_stats {
             return;
         }
@@ -336,6 +482,7 @@ impl<'a> Engine<'a> {
             return;
         }
         let nb = text.len() as u64;
+        let sp = spans.begin("stats.train");
         let sw = Stopwatch::start();
         let (model, train_deg) = match &cfg.model {
             Some(m) => (Some(m.clone()), None),
@@ -343,12 +490,18 @@ impl<'a> Engine<'a> {
         };
         trace.degradations.extend(train_deg);
         trace.record("stats.train", sw.elapsed_ns(), nb, model.is_some() as u64);
+        spans.counter(sp, "trained", model.is_some() as u64);
+        spans.end(sp);
         if let Some(model) = model {
+            let sp = spans.begin("stats.classify");
             let sw = Stopwatch::start();
+            self.cur_phase = "stats.classify";
             let before = self.decisions[Priority::Statistical as usize];
             self.statistical_pass(&model, text, cfg.llr_threshold, cfg.enable_defuse);
             let items = (self.decisions[Priority::Statistical as usize] - before) as u64;
             trace.record("stats.classify", sw.elapsed_ns(), nb, items);
+            spans.counter(sp, "decisions", items);
+            spans.end(sp);
         }
     }
 
@@ -365,11 +518,14 @@ impl<'a> Engine<'a> {
     /// promoted to `Structural` strength even when the root acceptance was
     /// only `Statistical` — this is what lets a confident region repair
     /// earlier mistakes in regions it references. Returns `true` if `start`
-    /// itself ended up accepted (now or previously).
-    fn accept_and_propagate(&mut self, start: u32, prio: u8) -> bool {
-        let mut work = vec![(start, prio)];
+    /// itself ended up accepted (now or previously). `cause` is the evidence
+    /// address recorded for `start`'s acceptance (a predecessor, jump-table
+    /// offset, or constant site; [`NO_CAUSE`] for roots like the entry) —
+    /// propagated acceptances record the predecessor they flowed from.
+    fn accept_and_propagate(&mut self, start: u32, prio: u8, cause: u32) -> bool {
+        let mut work = vec![(start, prio, cause)];
         let mut accepted_root = false;
-        while let Some((off, p)) = work.pop() {
+        while let Some((off, p, cz)) = work.pop() {
             if !self.step_ok() {
                 break;
             }
@@ -380,8 +536,18 @@ impl<'a> Engine<'a> {
                         accepted_root = true;
                     }
                     let c = self.ss.at(off);
+                    self.prov.emit(
+                        self.cur_phase,
+                        kind::ACCEPT,
+                        off,
+                        off + c.len as u32,
+                        p.min(4),
+                        NO_CLASS,
+                        0.0,
+                        cz,
+                    );
                     if let Some(next) = self.ss.fallthrough(off) {
-                        work.push((next, child_prio));
+                        work.push((next, child_prio, off));
                     }
                     if matches!(c.flow, CandFlow::Jmp | CandFlow::Cond | CandFlow::Call)
                         && c.target != crate::superset::NO_TARGET
@@ -389,7 +555,7 @@ impl<'a> Engine<'a> {
                         if c.flow == CandFlow::Call {
                             self.func_starts.insert(c.target);
                         }
-                        work.push((c.target, child_prio));
+                        work.push((c.target, child_prio, off));
                     }
                 }
                 Accept::Already => {
@@ -439,6 +605,7 @@ impl<'a> Engine<'a> {
             match cell.kind {
                 CellKind::Un => {}
                 CellKind::Owner(owner) => {
+                    let len = self.ss.at(owner).len as u32;
                     self.erase_inst(owner);
                     self.corrections.push(Correction {
                         offset: owner,
@@ -446,6 +613,16 @@ impl<'a> Engine<'a> {
                         winner: Priority::from_u8(prio),
                         to_code: true,
                     });
+                    self.prov.emit(
+                        self.cur_phase,
+                        kind::CORRECTION,
+                        owner,
+                        owner + len,
+                        prio,
+                        cell.prio,
+                        1.0,
+                        start,
+                    );
                 }
                 CellKind::Data | CellKind::Pad => {
                     self.cells[b] = FREE;
@@ -455,6 +632,16 @@ impl<'a> Engine<'a> {
                         winner: Priority::from_u8(prio),
                         to_code: true,
                     });
+                    self.prov.emit(
+                        self.cur_phase,
+                        kind::CORRECTION,
+                        b as u32,
+                        b as u32 + 1,
+                        prio,
+                        cell.prio,
+                        1.0,
+                        start,
+                    );
                 }
             }
         }
@@ -479,7 +666,8 @@ impl<'a> Engine<'a> {
 
     /// Mark `[start, end)` as data/padding at `prio`, byte-wise: stronger
     /// existing decisions survive, weaker ones are evicted and logged.
-    fn mark_range(&mut self, start: u32, end: u32, kind: CellKind, prio_raw: u8) {
+    /// `cause` is the evidence address recorded on correction events.
+    fn mark_range(&mut self, start: u32, end: u32, kind: CellKind, prio_raw: u8, cause: u32) {
         let prio = self.effective(prio_raw);
         let end = (end as usize).min(self.cells.len());
         for b in start as usize..end {
@@ -490,6 +678,7 @@ impl<'a> Engine<'a> {
                 }
                 CellKind::Owner(owner) => {
                     if cell.prio > prio {
+                        let len = self.ss.at(owner).len as u32;
                         self.erase_inst(owner);
                         self.corrections.push(Correction {
                             offset: owner,
@@ -497,6 +686,16 @@ impl<'a> Engine<'a> {
                             winner: Priority::from_u8(prio),
                             to_code: false,
                         });
+                        self.prov.emit(
+                            self.cur_phase,
+                            crate::provenance::kind::CORRECTION,
+                            owner,
+                            owner + len,
+                            prio,
+                            cell.prio,
+                            0.0,
+                            cause,
+                        );
                         self.cells[b] = Cell { kind, prio };
                     }
                 }
@@ -537,13 +736,23 @@ impl<'a> Engine<'a> {
             // padding run: a maximal NOP/int3 tiling that fills the gap or
             // reaches an alignment boundary
             if let Some(pe) = self.padding_prefix(o, gap_end) {
-                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8);
+                self.prov.emit(
+                    self.cur_phase,
+                    kind::PADDING,
+                    o,
+                    pe,
+                    Priority::Statistical as u8,
+                    NO_CLASS,
+                    0.0,
+                    NO_CAUSE,
+                );
+                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8, NO_CAUSE);
                 o = pe;
                 continue;
             }
             let cand = self.ss.at(o);
             if !cand.is_valid() || !self.viab.is_viable(o) {
-                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8);
+                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8, NO_CAUSE);
                 o += 1;
                 continue;
             }
@@ -561,10 +770,34 @@ impl<'a> Engine<'a> {
             let long_chain = chain.len() >= 16;
             let accept = !classes.is_empty()
                 && (score >= threshold || (long_chain && score >= threshold / 3.0));
+            let chain_end = chain
+                .last()
+                .map(|&c| c + self.ss.at(c).len as u32)
+                .unwrap_or(o + 1);
             if accept {
-                self.accept_and_propagate(o, Priority::Statistical as u8);
+                self.prov.emit(
+                    self.cur_phase,
+                    kind::STAT_ACCEPT,
+                    o,
+                    chain_end,
+                    Priority::Statistical as u8,
+                    NO_CLASS,
+                    score as f32,
+                    NO_CAUSE,
+                );
+                self.accept_and_propagate(o, Priority::Statistical as u8, NO_CAUSE);
             } else {
-                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8);
+                self.prov.emit(
+                    self.cur_phase,
+                    kind::STAT_REJECT,
+                    o,
+                    o + 1,
+                    Priority::Default as u8,
+                    NO_CLASS,
+                    score as f32,
+                    NO_CAUSE,
+                );
+                self.mark_range(o, o + 1, CellKind::Data, Priority::Default as u8, NO_CAUSE);
             }
             o += 1;
         }
@@ -617,7 +850,17 @@ impl<'a> Engine<'a> {
             }
             let gap_end = self.gap_end(o);
             if let Some(pe) = self.padding_prefix(o, gap_end) {
-                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8);
+                self.prov.emit(
+                    self.cur_phase,
+                    kind::PADDING,
+                    o,
+                    pe,
+                    Priority::Statistical as u8,
+                    NO_CLASS,
+                    0.0,
+                    NO_CAUSE,
+                );
+                self.mark_range(o, pe, CellKind::Pad, Priority::Statistical as u8, NO_CAUSE);
                 o = pe;
             } else {
                 o = gap_end.max(o + 1);
@@ -671,6 +914,7 @@ impl<'a> Engine<'a> {
             corrections: self.corrections,
             decisions_by_priority: self.decisions,
             trace,
+            provenance: self.prov,
         }
     }
 }
@@ -682,12 +926,14 @@ enum Accept {
 }
 
 /// Scan data regions and the text itself for 8-byte constants that decode to
-/// viable text offsets ("address taken" hints).
-fn address_taken(image: &Image, viab: &Viability) -> Vec<u32> {
+/// viable text offsets ("address taken" hints). Each target carries the
+/// in-text offset of the constant that named it (`None` when the constant
+/// sat in a data region), recorded as the provenance cause.
+fn address_taken(image: &Image, viab: &Viability) -> Vec<(u32, Option<u32>)> {
     let lo = image.text_va;
     let hi = image.text_va + image.text.len() as u64;
-    let mut out = BTreeSet::new();
-    let mut scan = |bytes: &[u8]| {
+    let mut out: BTreeMap<u32, Option<u32>> = BTreeMap::new();
+    let mut scan = |bytes: &[u8], in_text: bool| {
         if bytes.len() < 8 {
             return;
         }
@@ -696,14 +942,15 @@ fn address_taken(image: &Image, viab: &Viability) -> Vec<u32> {
             if v >= lo && v < hi {
                 let off = (v - lo) as u32;
                 if viab.is_viable(off) {
-                    out.insert(off);
+                    let site = in_text.then_some(w as u32);
+                    out.entry(off).or_insert(site);
                 }
             }
         }
     };
-    scan(&image.text);
+    scan(&image.text, true);
     for (_, bytes) in &image.data_regions {
-        scan(bytes);
+        scan(bytes, false);
     }
     out.into_iter().collect()
 }

@@ -1,11 +1,19 @@
-//! Structural comparison of two disassemblies of the same image.
+//! Structural comparison of two disassemblies of the same image, and
+//! regression comparison of two trace reports.
 //!
 //! Tool-disagreement analysis is how the paper's evaluation localizes error
 //! sources: where does linear sweep desynchronize, which regions does
 //! recursive traversal never reach, which bytes do two tools class
 //! differently. This module computes those deltas.
+//!
+//! The second half ([`diff_trace_reports`]) compares two `metadis.trace.*`
+//! JSON reports (a committed baseline vs a fresh run) against configurable
+//! thresholds — per-phase wall time, iteration counts, degradations, and
+//! error counters — powering `metadis trace-diff` and the CI regression
+//! gate.
 
 use crate::{ByteClass, Disassembly};
+use obs::json::JsonValue;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -135,6 +143,313 @@ pub fn diff(a: &Disassembly, b: &Disassembly) -> DisasmDiff {
     }
 }
 
+/// Thresholds for [`diff_trace_reports`].
+///
+/// Wall-time checks are ratio-based and gated behind an absolute floor
+/// (`min_wall_ns`) because sub-millisecond phases are dominated by clock
+/// noise; count checks (iterations, corrections) are deterministic and use
+/// the tighter `max_count_ratio` behind `min_count`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceDiffConfig {
+    /// Maximum allowed `new/old` ratio for wall times.
+    pub max_wall_ratio: f64,
+    /// Maximum allowed `new/old` ratio for deterministic counts.
+    pub max_count_ratio: f64,
+    /// Wall times where both sides are below this are never flagged.
+    pub min_wall_ns: u64,
+    /// Counts where both sides are below this are never flagged.
+    pub min_count: u64,
+    /// Accept new degradations (budget hits) instead of flagging them.
+    pub allow_new_degradations: bool,
+}
+
+impl Default for TraceDiffConfig {
+    fn default() -> TraceDiffConfig {
+        TraceDiffConfig {
+            max_wall_ratio: 2.0,
+            max_count_ratio: 1.25,
+            min_wall_ns: 5_000_000,
+            min_count: 16,
+            allow_new_degradations: false,
+        }
+    }
+}
+
+/// One threshold violation found by [`diff_trace_reports`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRegression {
+    /// Tool name the violation belongs to (empty for report-level metrics).
+    pub tool: String,
+    /// Metric that regressed (`wall_ns`, `phase.superset.wall_ns`,
+    /// `viability_iterations`, `corrections`, `degradations`,
+    /// `counter.<name>`, `present`).
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Fresh value.
+    pub new: f64,
+    /// The threshold it crossed (a ratio, or an absolute count cap).
+    pub limit: f64,
+}
+
+impl fmt::Display for TraceRegression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} -> {} (limit {})",
+            if self.tool.is_empty() {
+                "report"
+            } else {
+                &self.tool
+            },
+            self.metric,
+            self.old,
+            self.new,
+            self.limit
+        )
+    }
+}
+
+/// Outcome of a trace-to-trace comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDiffReport {
+    /// Number of tools present in both reports.
+    pub tools_compared: usize,
+    /// Threshold violations, in discovery order.
+    pub regressions: Vec<TraceRegression>,
+    /// Non-fatal observations (new tools, vanished phases, schema skew).
+    pub notes: Vec<String>,
+}
+
+impl TraceDiffReport {
+    /// `true` when any threshold was crossed (the CI gate fails).
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human rendering: a verdict line, a violation table, and the notes.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.regressions.is_empty() {
+            out.push_str(&format!(
+                "trace-diff: OK ({} tools compared, no regressions)\n",
+                self.tools_compared
+            ));
+        } else {
+            out.push_str(&format!(
+                "trace-diff: REGRESSION ({} violations across {} tools)\n",
+                self.regressions.len(),
+                self.tools_compared
+            ));
+            let mut t = obs::TextTable::new(["tool", "metric", "old", "new", "limit"]);
+            for r in &self.regressions {
+                t.row([
+                    if r.tool.is_empty() {
+                        "report".to_string()
+                    } else {
+                        r.tool.clone()
+                    },
+                    r.metric.clone(),
+                    format!("{}", r.old),
+                    format!("{}", r.new),
+                    format!("{}", r.limit),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// `true` when `new` grew past `old * ratio` (growth from zero always
+/// trips).
+fn ratio_exceeds(old: f64, new: f64, ratio: f64) -> bool {
+    if new <= old {
+        return false;
+    }
+    old == 0.0 || new / old > ratio
+}
+
+fn tool_name(tool: &JsonValue) -> &str {
+    tool.get("tool").and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn arr_len(v: &JsonValue, key: &str) -> usize {
+    v.get(key).and_then(JsonValue::as_arr).map_or(0, <[_]>::len)
+}
+
+/// Compare two parsed `metadis.trace.*` reports (any schema version ≥ v1;
+/// v2 and v3 reports mix freely since every field compared exists in v1).
+///
+/// # Errors
+///
+/// Returns a message when either value is not a trace report (missing or
+/// foreign `schema`, or no `tools` array).
+pub fn diff_trace_reports(
+    old: &JsonValue,
+    new: &JsonValue,
+    cfg: &TraceDiffConfig,
+) -> Result<TraceDiffReport, String> {
+    let schema_of = |v: &JsonValue, side: &str| -> Result<String, String> {
+        let s = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{side}: missing \"schema\" field"))?;
+        if !s.starts_with("metadis.trace.") {
+            return Err(format!("{side}: unsupported schema {s:?}"));
+        }
+        Ok(s.to_string())
+    };
+    let old_schema = schema_of(old, "baseline")?;
+    let new_schema = schema_of(new, "current")?;
+
+    let mut report = TraceDiffReport::default();
+    if old_schema != new_schema {
+        report
+            .notes
+            .push(format!("schema skew: {old_schema} vs {new_schema}"));
+    }
+
+    let tools = |v: &JsonValue, side: &str| -> Result<Vec<JsonValue>, String> {
+        v.get("tools")
+            .and_then(JsonValue::as_arr)
+            .map(<[JsonValue]>::to_vec)
+            .ok_or_else(|| format!("{side}: missing \"tools\" array"))
+    };
+    let old_tools = tools(old, "baseline")?;
+    let new_tools = tools(new, "current")?;
+
+    for nt in &new_tools {
+        let name = tool_name(nt);
+        if !old_tools.iter().any(|ot| tool_name(ot) == name) {
+            report
+                .notes
+                .push(format!("new tool {name:?} (not in baseline)"));
+        }
+    }
+
+    for ot in &old_tools {
+        let name = tool_name(ot);
+        let Some(nt) = new_tools.iter().find(|nt| tool_name(nt) == name) else {
+            report.regressions.push(TraceRegression {
+                tool: name.to_string(),
+                metric: "present".to_string(),
+                old: 1.0,
+                new: 0.0,
+                limit: 1.0,
+            });
+            continue;
+        };
+        report.tools_compared += 1;
+
+        let mut wall_check = |metric: String, o: f64, n: f64| {
+            if (o >= cfg.min_wall_ns as f64 || n >= cfg.min_wall_ns as f64)
+                && ratio_exceeds(o, n, cfg.max_wall_ratio)
+            {
+                report.regressions.push(TraceRegression {
+                    tool: name.to_string(),
+                    metric,
+                    old: o,
+                    new: n,
+                    limit: cfg.max_wall_ratio,
+                });
+            }
+        };
+        wall_check(
+            "wall_ns".to_string(),
+            num(ot, "wall_ns"),
+            num(nt, "wall_ns"),
+        );
+        let phases = |t: &JsonValue| {
+            t.get("phases")
+                .and_then(JsonValue::as_arr)
+                .map_or(Vec::new(), <[JsonValue]>::to_vec)
+        };
+        let new_phases = phases(nt);
+        for op in phases(ot) {
+            let pname = op.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+            match new_phases
+                .iter()
+                .find(|np| np.get("name").and_then(JsonValue::as_str) == Some(pname))
+            {
+                Some(np) => wall_check(
+                    format!("phase.{pname}.wall_ns"),
+                    num(&op, "wall_ns"),
+                    num(np, "wall_ns"),
+                ),
+                None => report
+                    .notes
+                    .push(format!("{name}: phase {pname:?} vanished")),
+            }
+        }
+
+        for count_metric in ["viability_iterations", "corrections"] {
+            let (o, n) = (num(ot, count_metric), num(nt, count_metric));
+            if (o >= cfg.min_count as f64 || n >= cfg.min_count as f64)
+                && ratio_exceeds(o, n, cfg.max_count_ratio)
+            {
+                report.regressions.push(TraceRegression {
+                    tool: name.to_string(),
+                    metric: count_metric.to_string(),
+                    old: o,
+                    new: n,
+                    limit: cfg.max_count_ratio,
+                });
+            }
+        }
+
+        let (od, nd) = (arr_len(ot, "degradations"), arr_len(nt, "degradations"));
+        if nd > od && !cfg.allow_new_degradations {
+            report.regressions.push(TraceRegression {
+                tool: name.to_string(),
+                metric: "degradations".to_string(),
+                old: od as f64,
+                new: nd as f64,
+                limit: od as f64,
+            });
+        }
+    }
+
+    // error counters in the metrics block: any growth past the count ratio
+    // is a regression (these count failures, not work, so no volume floor)
+    let counters = |v: &JsonValue| -> Vec<(String, f64)> {
+        v.path("metrics.counters")
+            .and_then(JsonValue::as_obj)
+            .map_or(Vec::new(), |fields| {
+                fields
+                    .iter()
+                    .filter(|(k, _)| k.contains("error"))
+                    .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                    .collect()
+            })
+    };
+    let old_counters = counters(old);
+    for (k, n) in counters(new) {
+        let o = old_counters
+            .iter()
+            .find(|(ok, _)| *ok == k)
+            .map_or(0.0, |(_, v)| *v);
+        if ratio_exceeds(o, n, cfg.max_count_ratio) {
+            report.regressions.push(TraceRegression {
+                tool: String::new(),
+                metric: format!("counter.{k}"),
+                old: o,
+                new: n,
+                limit: cfg.max_count_ratio,
+            });
+        }
+    }
+
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,7 +512,110 @@ mod tests {
             corrections: vec![],
             decisions_by_priority: [0; crate::Priority::COUNT],
             trace: crate::PipelineTrace::new(),
+            provenance: crate::Prov::default(),
         }
+    }
+
+    fn report_json(wall_ns: u64, iterations: u64, degradations: usize) -> JsonValue {
+        let mut t = crate::PipelineTrace::new();
+        t.record("superset", wall_ns / 2, 4096, 100);
+        t.total_wall_ns = wall_ns;
+        t.text_bytes = 4096;
+        t.viability_iterations = iterations;
+        t.runs = 1;
+        for _ in 0..degradations {
+            t.degradations.push(crate::limits::Degradation {
+                phase: "correct",
+                limit: crate::limits::LimitKind::Deadline,
+                completed: 1,
+            });
+        }
+        let json = crate::trace::merged_report_json(
+            "test",
+            &[("metadis".to_string(), t)],
+            &obs::Snapshot::default(),
+        );
+        obs::json::parse(&json).unwrap()
+    }
+
+    #[test]
+    fn identical_trace_reports_pass() {
+        let a = report_json(50_000_000, 100, 0);
+        let r = diff_trace_reports(&a, &a, &TraceDiffConfig::default()).unwrap();
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        assert_eq!(r.tools_compared, 1);
+        assert!(r.render_table().contains("OK"));
+    }
+
+    #[test]
+    fn wall_blowup_is_flagged() {
+        let old = report_json(50_000_000, 100, 0);
+        let new = report_json(150_000_000, 100, 0);
+        let r = diff_trace_reports(&old, &new, &TraceDiffConfig::default()).unwrap();
+        assert!(r.is_regression());
+        assert!(r.regressions.iter().any(|g| g.metric == "wall_ns"), "{r:?}");
+        // per-phase blowup flagged too
+        assert!(
+            r.regressions
+                .iter()
+                .any(|g| g.metric == "phase.superset.wall_ns"),
+            "{r:?}"
+        );
+        assert!(r.render_table().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn wall_noise_below_floor_ignored() {
+        // 3x blowup but both sides under the 5ms floor: clock noise
+        let old = report_json(1_000_000, 100, 0);
+        let new = report_json(3_000_000, 100, 0);
+        let r = diff_trace_reports(&old, &new, &TraceDiffConfig::default()).unwrap();
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn iteration_growth_is_flagged() {
+        let old = report_json(50_000_000, 100, 0);
+        let new = report_json(50_000_000, 200, 0);
+        let r = diff_trace_reports(&old, &new, &TraceDiffConfig::default()).unwrap();
+        assert!(r
+            .regressions
+            .iter()
+            .any(|g| g.metric == "viability_iterations"));
+    }
+
+    #[test]
+    fn new_degradation_flagged_unless_allowed() {
+        let old = report_json(50_000_000, 100, 0);
+        let new = report_json(50_000_000, 100, 1);
+        let cfg = TraceDiffConfig::default();
+        let r = diff_trace_reports(&old, &new, &cfg).unwrap();
+        assert!(r.regressions.iter().any(|g| g.metric == "degradations"));
+        let lax = TraceDiffConfig {
+            allow_new_degradations: true,
+            ..cfg
+        };
+        let r = diff_trace_reports(&old, &new, &lax).unwrap();
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn missing_tool_is_a_regression_new_tool_a_note() {
+        let a = report_json(50_000_000, 100, 0);
+        let empty = obs::json::parse(r#"{"schema":"metadis.trace.v3","tools":[]}"#).unwrap();
+        let r = diff_trace_reports(&a, &empty, &TraceDiffConfig::default()).unwrap();
+        assert!(r.regressions.iter().any(|g| g.metric == "present"));
+        let r = diff_trace_reports(&empty, &a, &TraceDiffConfig::default()).unwrap();
+        assert!(!r.is_regression());
+        assert!(!r.notes.is_empty());
+    }
+
+    #[test]
+    fn foreign_schema_rejected() {
+        let a = report_json(1, 1, 0);
+        let bad = obs::json::parse(r#"{"schema":"something.else","tools":[]}"#).unwrap();
+        assert!(diff_trace_reports(&a, &bad, &TraceDiffConfig::default()).is_err());
+        assert!(diff_trace_reports(&bad, &a, &TraceDiffConfig::default()).is_err());
     }
 
     #[test]

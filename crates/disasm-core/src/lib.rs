@@ -48,6 +48,7 @@ pub mod jumptable;
 pub mod limits;
 pub mod listing;
 pub mod padding;
+pub mod provenance;
 pub mod report;
 pub mod stats;
 pub mod superset;
@@ -57,10 +58,13 @@ pub mod viability;
 pub use cfg::{BasicBlock, Cfg};
 pub use correct::{Correction, Priority};
 pub use datatype::{classify_data_regions, DataKind, DataRegion};
-pub use diff::{diff, DisasmDiff};
+pub use diff::{
+    diff, diff_trace_reports, DisasmDiff, TraceDiffConfig, TraceDiffReport, TraceRegression,
+};
 pub use jumptable::DetectedTable;
 pub use limits::{Deadline, Degradation, LimitKind, Limits};
 pub use listing::{render as render_listing, ListingOptions};
+pub use provenance::{explain, Explanation, Prov};
 pub use report::{FunctionExtent, Report};
 pub use stats::StatModel;
 pub use superset::Superset;
@@ -206,6 +210,11 @@ pub struct Config {
     /// the wall-clock deadline. Fully permissive by default; every budget
     /// hit is recorded as a [`Degradation`] in the result's trace.
     pub limits: Limits,
+    /// Collect the per-byte evidence ledger ([`provenance`]) so
+    /// [`explain`] can reconstruct why each byte got its final label.
+    /// Off by default: disabled collection costs one branch per emission
+    /// site, keeping the bench overhead budget intact.
+    pub collect_provenance: bool,
     /// Test hook: panic inside the pipeline to exercise the
     /// `catch_unwind` → linear-sweep fallback path. Not part of the public
     /// contract.
@@ -226,6 +235,7 @@ impl Default for Config {
             prioritized: true,
             stats_first: false,
             limits: Limits::default(),
+            collect_provenance: false,
             inject_panic: false,
         }
     }
@@ -250,6 +260,9 @@ pub struct Disassembly {
     /// Where the wall time went: per-phase timing, viability fixpoint
     /// iterations, corrections per priority class.
     pub trace: PipelineTrace,
+    /// Per-byte evidence ledger (empty unless
+    /// [`Config::collect_provenance`] was set; query with [`explain`]).
+    pub provenance: Prov,
 }
 
 impl Disassembly {
@@ -306,7 +319,7 @@ impl Disassembler {
     pub fn disassemble(&self, image: &Image) -> Disassembly {
         match catch_unwind(AssertUnwindSafe(|| correct::run(&self.config, image))) {
             Ok(d) => d,
-            Err(_) => fallback_linear(image),
+            Err(_) => fallback_linear(image, self.config.collect_provenance),
         }
     }
 }
@@ -315,7 +328,7 @@ impl Disassembler {
 /// sweep from the first byte, skipping one byte on invalid encodings.
 /// Produces a fully classified (if unsophisticated) result so callers
 /// always receive a [`Disassembly`] covering every text byte.
-fn fallback_linear(image: &Image) -> Disassembly {
+fn fallback_linear(image: &Image, collect_provenance: bool) -> Disassembly {
     let sw = obs::Stopwatch::start();
     let text = &image.text;
     let mut byte_class = vec![ByteClass::Data; text.len()];
@@ -350,6 +363,24 @@ fn fallback_linear(image: &Image) -> Disassembly {
     trace.total_wall_ns = sw.elapsed_ns();
     trace.text_bytes = text.len() as u64;
     trace.runs = 1;
+    let mut spans = obs::SpanSet::new();
+    let root = spans.begin("pipeline");
+    let fb = spans.begin("fallback.linear");
+    spans.counter(fb, "items", inst_starts.len() as u64);
+    spans.end(fb);
+    spans.end(root);
+    trace.spans = spans.finish();
+    let mut prov = Prov::new(collect_provenance);
+    prov.emit(
+        "fallback.linear",
+        provenance::kind::FALLBACK,
+        0,
+        text.len() as u32,
+        provenance::NO_CLASS,
+        0,
+        inst_starts.len() as f32,
+        obs::provenance::NO_CAUSE,
+    );
     let func_starts = image
         .entry
         .filter(|&e| inst_starts.binary_search(&e).is_ok())
@@ -363,6 +394,7 @@ fn fallback_linear(image: &Image) -> Disassembly {
         corrections: Vec::new(),
         decisions_by_priority: [0; Priority::COUNT],
         trace,
+        provenance: prov,
     }
 }
 

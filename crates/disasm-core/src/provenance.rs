@@ -1,0 +1,360 @@
+//! Decision provenance: the pipeline's per-byte evidence ledger.
+//!
+//! Aggregate metrics say *how many* bytes were misclassified; provenance
+//! says *why one particular byte* ended up code or data. When collection is
+//! enabled ([`crate::Config::collect_provenance`]), every pipeline phase
+//! appends [`obs::provenance::Event`] records to the run's ledger: which
+//! phase produced the evidence, the address range it covers, the evidence
+//! kind, a numeric weight (statistical scores carry the log-likelihood
+//! ratio), the priority class that applied it, and the rule or predecessor
+//! address that triggered it.
+//!
+//! ## Evidence vocabulary
+//!
+//! | phase | kinds emitted |
+//! |-------|---------------|
+//! | `superset`       | [`kind::DECODED`] (whole text, weight = valid candidates), [`kind::INVALID`] per maximal invalid-decode run |
+//! | `viability`      | [`kind::NONVIABLE`] per maximal run of killed candidates (weight = fixpoint iterations on the first) |
+//! | `anchor`         | [`kind::ACCEPT`] per accepted instruction, cause = predecessor offset |
+//! | `jumptable`/`structural` | [`kind::TABLE_EXTENT`] (cause = dispatch `lea`), [`kind::ADDRESS_TAKEN`] (cause = constant site), [`kind::ACCEPT`] for targets (cause = table offset) |
+//! | `stats.classify` | [`kind::STAT_ACCEPT`]/[`kind::STAT_REJECT`] per scored chain (weight = LLR score), then [`kind::ACCEPT`] per instruction |
+//! | `padding`        | [`kind::PADDING`] per recognized padding run |
+//! | `default`        | [`kind::DEFAULT_DATA`] per leftover-bytes run |
+//! | any              | [`kind::CORRECTION`] per override (class = winner, aux = displaced class), [`kind::DEGRADED`] per budget hit (weight = work completed) |
+//! | `fallback.linear`| [`kind::FALLBACK`] when a panic degraded the run |
+//!
+//! The [`explain`] query folds the ledger back into a causal chain for one
+//! byte: every event covering the byte, in emission (causal) order, plus the
+//! ancestry walk along `cause` links — "accepted because propagated from X,
+//! which was a jump-table target of T, …".
+
+use crate::{ByteClass, Disassembly};
+use obs::provenance::{Event, Ledger, NO_CAUSE};
+
+/// Evidence-kind names (interned into the ledger as `u16` codes).
+pub mod kind {
+    /// Superset decode summary over the whole text; weight = valid
+    /// candidate count.
+    pub const DECODED: &str = "decoded";
+    /// Maximal run of offsets with no valid decode.
+    pub const INVALID: &str = "invalid-decode";
+    /// Maximal run of candidates killed by the viability fixpoint.
+    pub const NONVIABLE: &str = "nonviable";
+    /// An instruction accepted into the disassembly; cause = predecessor
+    /// offset (or the triggering structure), class = applying priority.
+    pub const ACCEPT: &str = "accept";
+    /// Jump-table extent bytes proven data; cause = dispatch `lea` offset.
+    pub const TABLE_EXTENT: &str = "jumptable-extent";
+    /// A code address found as an 8-byte constant; cause = the in-text site
+    /// of the constant (none when it sat in a data region).
+    pub const ADDRESS_TAKEN: &str = "address-taken";
+    /// A fall-through chain accepted statistically; weight = LLR score.
+    pub const STAT_ACCEPT: &str = "stat-accept";
+    /// A chain rejected statistically (byte falls to data); weight = score.
+    pub const STAT_REJECT: &str = "stat-reject";
+    /// A recognized padding run.
+    pub const PADDING: &str = "padding-run";
+    /// Leftover bytes classified data by the final default rule.
+    pub const DEFAULT_DATA: &str = "default-data";
+    /// A stronger hint displaced a weaker decision; class = winner
+    /// priority, aux = displaced priority, weight = 1 for data→code flips.
+    pub const CORRECTION: &str = "correction";
+    /// A resource budget truncated the named phase; weight = work
+    /// completed before the cut.
+    pub const DEGRADED: &str = "degraded";
+    /// The whole run degraded to the linear-sweep fallback after a panic.
+    pub const FALLBACK: &str = "fallback-linear";
+}
+
+/// `class` value meaning "no priority class applies".
+pub const NO_CLASS: u8 = u8::MAX;
+
+/// Stable name for a priority-class byte as stored in [`Event::class`]
+/// (`"-"` for [`NO_CLASS`]).
+pub fn class_name(c: u8) -> &'static str {
+    if c == NO_CLASS {
+        "-"
+    } else {
+        crate::trace::priority_name(c as usize)
+    }
+}
+
+/// The pipeline's provenance recorder: a wrapped [`Ledger`] that is `None`
+/// when collection is disabled, so every emission site costs one branch on
+/// the disabled path (measured <5% end-to-end even when *metrics* are on;
+/// see the bench overhead check).
+#[derive(Debug, Clone, Default)]
+pub struct Prov {
+    ledger: Option<Ledger>,
+}
+
+impl Prov {
+    /// A recorder that collects when `enabled`, with the default event cap.
+    pub fn new(enabled: bool) -> Prov {
+        Prov {
+            ledger: enabled.then(Ledger::new),
+        }
+    }
+
+    /// `true` when events are being collected.
+    pub fn enabled(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// The underlying ledger, when collection is on.
+    pub fn ledger(&self) -> Option<&Ledger> {
+        self.ledger.as_ref()
+    }
+
+    /// Append one evidence record (no-op when disabled).
+    #[allow(clippy::too_many_arguments)] // mirrors the Event record shape
+    pub fn emit(
+        &mut self,
+        phase: &'static str,
+        kind_name: &'static str,
+        start: u32,
+        end: u32,
+        class: u8,
+        aux: u8,
+        weight: f32,
+        cause: u32,
+    ) {
+        let Some(ledger) = self.ledger.as_mut() else {
+            return;
+        };
+        let phase = ledger.phase_id(phase);
+        let kind = ledger.kind_id(kind_name);
+        ledger.push(Event {
+            start,
+            end,
+            phase,
+            kind,
+            class,
+            aux,
+            weight,
+            cause,
+        });
+    }
+
+    /// Number of retained events (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.ledger.as_ref().map_or(0, Ledger::len)
+    }
+
+    /// `true` when no events were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One resolved step of a causal chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainStep {
+    /// Ledger sequence number (emission order; smaller = earlier).
+    pub seq: usize,
+    /// 0 for evidence directly covering the queried byte; +1 per `cause`
+    /// hop of the ancestry walk.
+    pub depth: usize,
+    /// Emitting phase.
+    pub phase: &'static str,
+    /// Evidence kind (see [`kind`]).
+    pub kind: &'static str,
+    /// Covered range start.
+    pub start: u32,
+    /// Covered range end (exclusive).
+    pub end: u32,
+    /// Applying priority class ([`NO_CLASS`] when not applicable).
+    pub class: u8,
+    /// Displaced priority class for corrections ([`NO_CLASS`] otherwise).
+    pub aux: u8,
+    /// Numeric weight (LLR score, candidate count, work completed, ...).
+    pub weight: f32,
+    /// Triggering address, when the evidence has one.
+    pub cause: Option<u32>,
+}
+
+/// The full causal record for one byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Queried text offset.
+    pub offset: u32,
+    /// The byte's final classification.
+    pub class: ByteClass,
+    /// Offset of the accepted instruction owning this byte (for
+    /// `InstStart`/`InstBody` bytes).
+    pub owner: Option<u32>,
+    /// Direct evidence (depth 0) plus `cause`-ancestry (depth ≥ 1), ordered
+    /// depth-first then by emission order.
+    pub chain: Vec<ExplainStep>,
+    /// Ledger events dropped at the cap — nonzero means the chain may be
+    /// incomplete.
+    pub dropped: u64,
+}
+
+impl Explanation {
+    /// Stable lowercase label of the final class (`inst-start`,
+    /// `inst-body`, `data`, `padding`).
+    pub fn class_label(&self) -> &'static str {
+        match self.class {
+            ByteClass::InstStart => "inst-start",
+            ByteClass::InstBody => "inst-body",
+            ByteClass::Data => "data",
+            ByteClass::Padding => "padding",
+        }
+    }
+}
+
+/// Maximum `cause`-ancestry hops [`explain`] will follow.
+const MAX_ANCESTRY: usize = 16;
+
+/// Explain one byte of a disassembly: its final label plus the causal chain
+/// of ledger evidence that produced it.
+///
+/// Returns `None` when `off` is out of range or the run collected no
+/// provenance (re-run with [`crate::Config::collect_provenance`] set).
+pub fn explain(d: &Disassembly, off: u32) -> Option<Explanation> {
+    let class = *d.byte_class.get(off as usize)?;
+    let ledger = d.provenance.ledger()?;
+
+    let owner = match class {
+        ByteClass::InstStart => Some(off),
+        ByteClass::InstBody => {
+            // walk back to the start of the owning instruction
+            let mut o = off;
+            while o > 0 && d.byte_class[o as usize] == ByteClass::InstBody {
+                o -= 1;
+            }
+            (d.byte_class[o as usize] == ByteClass::InstStart).then_some(o)
+        }
+        _ => None,
+    };
+
+    let mut chain: Vec<ExplainStep> = Vec::new();
+    let step = |seq: usize, depth: usize, e: &Event| ExplainStep {
+        seq,
+        depth,
+        phase: ledger.phase_name(e.phase),
+        kind: ledger.kind_name(e.kind),
+        start: e.start,
+        end: e.end,
+        class: e.class,
+        aux: e.aux,
+        weight: e.weight,
+        cause: (e.cause != NO_CAUSE).then_some(e.cause),
+    };
+
+    // depth 0: everything said about this byte, in causal order
+    let mut next_cause: Option<u32> = None;
+    for (seq, e) in ledger.at(off) {
+        if e.cause != NO_CAUSE && e.cause != off {
+            next_cause = Some(e.cause);
+        }
+        chain.push(step(seq, 0, e));
+    }
+
+    // ancestry: follow the latest cause link backwards, one accepting event
+    // per hop, guarding against cycles
+    let mut visited = vec![off];
+    let mut depth = 1;
+    while let Some(cause) = next_cause.take() {
+        if depth > MAX_ANCESTRY || visited.contains(&cause) {
+            break;
+        }
+        visited.push(cause);
+        // the most recent event covering the cause address carries the
+        // decision that was in force when it propagated
+        if let Some((seq, e)) = ledger.at(cause).last() {
+            if e.cause != NO_CAUSE && e.cause != cause {
+                next_cause = Some(e.cause);
+            }
+            chain.push(step(seq, depth, e));
+            depth += 1;
+        }
+    }
+
+    Some(Explanation {
+        offset: off,
+        class,
+        owner,
+        chain,
+        dropped: ledger.dropped(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Disassembler, Image};
+
+    fn disasm_with_prov(text: Vec<u8>) -> Disassembly {
+        let cfg = Config {
+            collect_provenance: true,
+            ..Config::default()
+        };
+        Disassembler::new(cfg).disassemble(&Image::new(0x1000, text))
+    }
+
+    #[test]
+    fn disabled_by_default_and_free() {
+        let d =
+            Disassembler::new(Config::default()).disassemble(&Image::new(0x1000, vec![0x90, 0xc3]));
+        assert!(!d.provenance.enabled());
+        assert!(explain(&d, 0).is_none());
+    }
+
+    #[test]
+    fn code_byte_chain_is_anchored() {
+        // push rbp; mov rbp,rsp; pop rbp; ret — all anchor-reachable
+        let d = disasm_with_prov(vec![0x55, 0x48, 0x89, 0xe5, 0x5d, 0xc3]);
+        assert!(d.provenance.enabled());
+        let e = explain(&d, 1).expect("explainable");
+        assert_eq!(e.class, ByteClass::InstStart);
+        assert_eq!(e.owner, Some(1));
+        assert!(!e.chain.is_empty());
+        // the accept event is present and anchored
+        let accept = e
+            .chain
+            .iter()
+            .find(|s| s.kind == kind::ACCEPT)
+            .expect("accept event");
+        assert_eq!(accept.phase, "anchor");
+        assert_eq!(class_name(accept.class), "anchor");
+        // fall-through from offset 0 caused the acceptance at offset 1:
+        // the ancestry walk reaches the predecessor
+        assert_eq!(accept.cause, Some(0));
+        assert!(e.chain.iter().any(|s| s.depth > 0 && s.start == 0));
+    }
+
+    #[test]
+    fn data_byte_chain_ends_in_data_evidence() {
+        let mut text = vec![0x55, 0xc3];
+        text.extend_from_slice(&[0x06; 8]); // invalid encodings -> data
+        let d = disasm_with_prov(text);
+        let e = explain(&d, 4).expect("explainable");
+        assert_eq!(e.class, ByteClass::Data);
+        assert_eq!(e.owner, None);
+        assert!(!e.chain.is_empty(), "data byte must carry evidence");
+        // some data-classifying evidence covers the byte
+        assert!(
+            e.chain.iter().any(|s| matches!(
+                s.kind,
+                kind::INVALID | kind::NONVIABLE | kind::DEFAULT_DATA | kind::STAT_REJECT
+            )),
+            "{:?}",
+            e.chain
+        );
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let d = disasm_with_prov(vec![0x90, 0xc3]);
+        assert!(explain(&d, 99).is_none());
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(class_name(0), "anchor");
+        assert_eq!(class_name(4), "default");
+        assert_eq!(class_name(NO_CLASS), "-");
+    }
+}

@@ -8,7 +8,7 @@
 //! counters/histograms in [`obs`] stay behind [`obs::enabled`].
 //!
 //! Phase names are a stable, documented contract (consumed by the CLI's
-//! `--trace-json` schema `metadis.trace.v2` and by the bench JSON records):
+//! `--trace-json` schema `metadis.trace.v3` and by the bench JSON records):
 //!
 //! | phase | meaning |
 //! |-------|---------|
@@ -34,6 +34,11 @@
 //! * `metadis.trace.v2` — everything in v1, plus a `degradations` array
 //!   (`{phase, limit, completed}` per budget hit, see
 //!   [`crate::limits::Degradation`]) on every trace object.
+//! * `metadis.trace.v3` — everything in v2, plus a `spans` array on every
+//!   trace object: structured begin/end event spans with parent IDs,
+//!   monotonic start offsets, and per-span counters ([`obs::span::Span`]).
+//!   The flat `phases` array is retained verbatim for v2 consumers; spans
+//!   carry the same phase names with nesting and extra counters on top.
 
 use crate::correct::Priority;
 use crate::limits::Degradation;
@@ -86,6 +91,10 @@ pub struct PipelineTrace {
     /// Budget hits recorded by the run(s): empty means the result is
     /// complete; non-empty means it is partial but honestly labeled.
     pub degradations: Vec<Degradation>,
+    /// Structured event spans of the run: a begin/end tree with parent IDs
+    /// and per-span counters, in begin order. Supersedes the flat `phases`
+    /// timers (which are retained for `metadis.trace.v2` compatibility).
+    pub spans: Vec<obs::Span>,
 }
 
 impl PipelineTrace {
@@ -149,6 +158,15 @@ impl PipelineTrace {
         }
         self.runs += other.runs;
         self.degradations.extend_from_slice(&other.degradations);
+        // Keep span IDs unique across the merged trace: re-base the other
+        // trace's IDs past our current maximum so parent links stay intact.
+        let base = self.spans.iter().map(|s| s.id + 1).max().unwrap_or(0);
+        for s in &other.spans {
+            let mut s = s.clone();
+            s.id += base;
+            s.parent = s.parent.map(|p| p + base);
+            self.spans.push(s);
+        }
     }
 
     /// `true` when any phase hit a budget (the result is partial).
@@ -190,7 +208,7 @@ impl PipelineTrace {
     /// Write the trace fields into the *currently open* JSON object:
     /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
     /// `corrections`, `corrections_by_priority`, `runs`, `phases`,
-    /// `degradations`.
+    /// `degradations`, `spans`.
     pub fn write_json_fields(&self, w: &mut JsonWriter) {
         w.field_u64("text_bytes", self.text_bytes);
         w.field_u64("wall_ns", self.total_wall_ns);
@@ -226,6 +244,8 @@ impl PipelineTrace {
             w.end_obj();
         }
         w.end_arr();
+        w.key("spans");
+        obs::span::write_spans_json(w, &self.spans);
     }
 }
 
@@ -243,7 +263,7 @@ pub fn priority_name(i: usize) -> &'static str {
 
 /// Write one tool's complete trace object `{tool, <trace fields>,
 /// decisions_by_priority, instructions, functions, jump_tables}` — the
-/// per-tool entry of the `metadis.trace.v2` schema.
+/// per-tool entry of the `metadis.trace.v3` schema.
 pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.begin_obj();
     w.field_str("tool", tool);
@@ -260,9 +280,11 @@ pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.end_obj();
 }
 
-/// Render a complete `metadis.trace.v2` report: `{schema, command,
+/// Render a complete `metadis.trace.v3` report: `{schema, command,
 /// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
 /// binaries both emit exactly this shape, so one consumer reads either.
+/// Every `metadis.trace.v2` field is still present with identical encoding;
+/// v3 only adds the per-tool `spans` array.
 pub fn trace_report_json(
     command: &str,
     tools: &[(String, Disassembly)],
@@ -270,7 +292,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v2");
+    w.field_str("schema", "metadis.trace.v3");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -295,7 +317,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v2");
+    w.field_str("schema", "metadis.trace.v3");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -377,6 +399,63 @@ mod tests {
             ),
             "{s}"
         );
+    }
+
+    #[test]
+    fn merge_rebases_span_ids() {
+        let mut a = sample();
+        a.spans.push(obs::Span {
+            id: 0,
+            parent: None,
+            name: "pipeline",
+            start_ns: 0,
+            wall_ns: 10,
+            counters: Vec::new(),
+        });
+        let mut b = sample();
+        b.spans.push(obs::Span {
+            id: 0,
+            parent: None,
+            name: "pipeline",
+            start_ns: 0,
+            wall_ns: 20,
+            counters: Vec::new(),
+        });
+        b.spans.push(obs::Span {
+            id: 1,
+            parent: Some(0),
+            name: "superset",
+            start_ns: 1,
+            wall_ns: 5,
+            counters: Vec::new(),
+        });
+        a.merge(&b);
+        let ids: Vec<u32> = a.spans.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(a.spans[2].parent, Some(1));
+    }
+
+    #[test]
+    fn json_fields_include_spans() {
+        let mut t = sample();
+        t.spans.push(obs::Span {
+            id: 0,
+            parent: None,
+            name: "pipeline",
+            start_ns: 0,
+            wall_ns: 42,
+            counters: vec![("items", 7)],
+        });
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        t.write_json_fields(&mut w);
+        w.end_obj();
+        let s = w.finish();
+        assert!(
+            s.contains(r#""spans":[{"id":0,"parent":"none","name":"pipeline""#),
+            "{s}"
+        );
+        assert!(s.contains(r#""counters":{"items":7}"#), "{s}");
     }
 
     #[test]

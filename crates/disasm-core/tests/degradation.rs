@@ -200,7 +200,7 @@ fn injected_panic_falls_back_to_linear_sweep() {
 }
 
 #[test]
-fn degradations_serialize_in_v2_trace_json() {
+fn degradations_serialize_in_trace_json() {
     let image = workload();
     let d = disasm_with(
         Limits {
@@ -214,7 +214,7 @@ fn degradations_serialize_in_v2_trace_json() {
         &[("metadis".to_string(), d)],
         &obs::global().snapshot(),
     );
-    assert!(json.contains(r#""schema":"metadis.trace.v2""#), "{json}");
+    assert!(json.contains(r#""schema":"metadis.trace.v3""#), "{json}");
     assert!(json.contains(r#""degradations":["#), "{json}");
     assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
     assert!(json.contains(r#""phase":"correct""#), "{json}");

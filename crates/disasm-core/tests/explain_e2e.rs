@@ -1,0 +1,95 @@
+//! End-to-end provenance: disassemble a generated workload with the
+//! evidence ledger on and check that [`disasm_core::explain`] produces a
+//! complete causal chain for a known code byte and a known data byte.
+
+use bingen::ByteLabel;
+use disasm_core::{explain, ByteClass, Config, Disassembler, Image};
+
+fn workload() -> (bingen::Workload, disasm_core::Disassembly) {
+    let w = bingen::Workload::generate(&bingen::GenConfig::small(7));
+    let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    let cfg = Config {
+        collect_provenance: true,
+        ..Config::default()
+    };
+    let d = Disassembler::new(cfg).disassemble(&image);
+    (w, d)
+}
+
+#[test]
+fn entry_byte_chain_ends_at_the_entry_anchor() {
+    let (w, d) = workload();
+    let e = explain(&d, w.entry_off).expect("ledger collected");
+    assert_eq!(e.class, ByteClass::InstStart);
+    assert_eq!(e.owner, Some(w.entry_off));
+    assert!(!e.chain.is_empty(), "no evidence for the entry byte");
+    // the chain must include the acceptance decision for the entry
+    // instruction itself...
+    let accept = e
+        .chain
+        .iter()
+        .find(|s| s.kind == "accept" && s.start == w.entry_off)
+        .unwrap_or_else(|| panic!("no accept record for entry in {:#?}", e.chain));
+    // ...made by the anchor phase at anchor priority (class 0)
+    assert_eq!(accept.phase, "anchor");
+    assert_eq!(accept.class, 0, "entry must be accepted at anchor priority");
+    // superset decode evidence covers the byte too
+    assert!(
+        e.chain.iter().any(|s| s.phase == "superset"),
+        "no superset evidence in {:#?}",
+        e.chain
+    );
+    assert_eq!(e.dropped, 0, "ledger dropped events on a small workload");
+}
+
+#[test]
+fn known_data_byte_has_a_data_chain() {
+    let (w, d) = workload();
+    // pick a byte the generator labeled data AND the pipeline classified as
+    // data (explain documents the pipeline's decision, not the truth)
+    let off = (0..w.text.len() as u32)
+        .find(|&o| {
+            w.truth.labels[o as usize] == ByteLabel::Data
+                && d.byte_class[o as usize] == ByteClass::Data
+        })
+        .expect("no agreed-upon data byte in the workload");
+    let e = explain(&d, off).expect("ledger collected");
+    assert_eq!(e.class, ByteClass::Data);
+    assert_eq!(e.owner, None, "data bytes have no owning instruction");
+    assert!(!e.chain.is_empty(), "no evidence for data byte {off:#x}");
+    // some positive data evidence must cover the byte: a jump-table extent,
+    // a statistical rejection, or the final leftovers-are-data rule
+    assert!(
+        e.chain.iter().any(|s| {
+            matches!(
+                s.kind,
+                "jumptable-extent" | "stat-reject" | "default-data" | "nonviable"
+            )
+        }),
+        "no data-classifying evidence in {:#?}",
+        e.chain
+    );
+    assert_eq!(e.class_label(), "data");
+}
+
+#[test]
+fn every_text_byte_is_explainable() {
+    let (w, d) = workload();
+    for o in 0..w.text.len() as u32 {
+        let e = explain(&d, o).unwrap_or_else(|| panic!("offset {o:#x} has no explanation"));
+        assert!(
+            !e.chain.is_empty(),
+            "offset {o:#x} ({}) has an empty causal chain",
+            e.class_label()
+        );
+    }
+}
+
+#[test]
+fn provenance_is_absent_when_disabled() {
+    let w = bingen::Workload::generate(&bingen::GenConfig::small(7));
+    let image = Image::new(w.text_base(), w.text.clone()).with_entry(w.entry_off);
+    let d = Disassembler::new(Config::default()).disassemble(&image);
+    assert!(d.provenance.ledger().is_none());
+    assert!(explain(&d, w.entry_off).is_none());
+}

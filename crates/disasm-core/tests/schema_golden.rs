@@ -1,0 +1,159 @@
+//! Golden-file schema compatibility: the `metadis.trace.v3` encoding is
+//! pinned byte-for-byte against a checked-in file, and stripping the single
+//! v3 addition (the `spans` array) must reproduce the checked-in
+//! `metadis.trace.v2` golden exactly. This is the contract that lets v2
+//! consumers read v3 records without changes.
+//!
+//! Regenerate the goldens after an *intentional* schema change with
+//! `BLESS=1 cargo test -p disasm-core --test schema_golden`.
+
+use std::collections::BTreeMap;
+
+use disasm_core::trace::{merged_report_json, PipelineTrace};
+use disasm_core::{Degradation, LimitKind};
+
+const V3_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/trace_v3_golden.json"
+);
+const V2_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/trace_v2_golden.json"
+);
+
+/// A fully deterministic trace: fixed timings, one degradation, a two-span
+/// tree with counters. No clocks are read anywhere in this test.
+fn sample_trace() -> PipelineTrace {
+    let mut t = PipelineTrace::new();
+    t.record("superset", 2_000_000, 4096, 4000);
+    t.record("viability", 1_000_000, 4096, 1200);
+    t.record("default", 50_000, 4096, 96);
+    t.total_wall_ns = 4_000_000;
+    t.text_bytes = 4096;
+    t.viability_iterations = 321;
+    t.corrections_by_priority = [1, 0, 5, 2, 0];
+    t.runs = 1;
+    t.degradations.push(Degradation {
+        phase: "correct",
+        limit: LimitKind::CorrectionSteps,
+        completed: 17,
+    });
+    t.spans.push(obs::Span {
+        id: 0,
+        parent: None,
+        name: "pipeline",
+        start_ns: 0,
+        wall_ns: 4_000_000,
+        counters: Vec::new(),
+    });
+    t.spans.push(obs::Span {
+        id: 1,
+        parent: Some(0),
+        name: "superset",
+        start_ns: 100,
+        wall_ns: 2_000_000,
+        counters: vec![("bytes", 4096), ("candidates", 4000)],
+    });
+    t
+}
+
+fn sample_report() -> String {
+    let snapshot = obs::Snapshot {
+        counters: BTreeMap::from([
+            ("pipeline.runs".to_string(), 1),
+            ("superset.candidates".to_string(), 4000),
+        ]),
+        histograms: BTreeMap::new(),
+    };
+    merged_report_json(
+        "golden",
+        &[("metadis (ours)".to_string(), sample_trace())],
+        &snapshot,
+    )
+}
+
+/// Remove the `,"spans":[...]` member from a serialized trace object by
+/// bracket counting (span arrays never contain nested arrays or brackets
+/// inside strings).
+fn strip_spans(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find(r#","spans":["#) {
+        out.push_str(&rest[..at]);
+        let tail = &rest[at + r#","spans":"#.len()..];
+        let mut depth = 0usize;
+        let mut end = 0;
+        for (i, c) in tail.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(end > 0, "unterminated spans array");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// What a v2 emitter would have produced for the same run: the v3 record
+/// minus the `spans` arrays, with the schema tag rewound.
+fn downgrade_to_v2(v3: &str) -> String {
+    strip_spans(v3).replace(
+        r#""schema":"metadis.trace.v3""#,
+        r#""schema":"metadis.trace.v2""#,
+    )
+}
+
+#[test]
+fn v3_report_matches_golden_byte_for_byte() {
+    let got = sample_report();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(V3_GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(V3_GOLDEN).unwrap();
+    assert_eq!(got, want, "v3 encoding drifted; BLESS=1 if intentional");
+}
+
+#[test]
+fn v2_fields_survive_in_v3_byte_for_byte() {
+    let got = downgrade_to_v2(&sample_report());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(V2_GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(V2_GOLDEN).unwrap();
+    assert_eq!(
+        got, want,
+        "a v2-era field changed encoding; v3 must keep every v2 field intact"
+    );
+}
+
+#[test]
+fn goldens_declare_their_schemas() {
+    let v3 = std::fs::read_to_string(V3_GOLDEN).unwrap();
+    let v2 = std::fs::read_to_string(V2_GOLDEN).unwrap();
+    assert!(v3.contains(r#""schema":"metadis.trace.v3""#));
+    assert!(v3.contains(r#""spans":[{"id":0"#));
+    assert!(v2.contains(r#""schema":"metadis.trace.v2""#));
+    assert!(!v2.contains(r#""spans""#));
+    // every v2 top-level trace field appears in both
+    for key in [
+        r#""text_bytes""#,
+        r#""wall_ns""#,
+        r#""viability_iterations""#,
+        r#""corrections_by_priority""#,
+        r#""phases""#,
+        r#""degradations""#,
+        r#""metrics""#,
+    ] {
+        assert!(v3.contains(key), "v3 missing {key}");
+        assert!(v2.contains(key), "v2 missing {key}");
+    }
+}

@@ -4,7 +4,7 @@
 use disasm_core::{Config, Disassembler, Image, Priority};
 
 /// Phase names recorded by a default-config pipeline run, in execution
-/// order. This list is part of the `metadis.trace.v2` schema — changing it
+/// order. This list is part of the `metadis.trace.v3` schema — changing it
 /// breaks `--trace-json` consumers, so this test pins it.
 const EXPECTED_PHASES: [&str; 9] = [
     "superset",

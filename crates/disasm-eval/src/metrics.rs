@@ -275,6 +275,7 @@ mod tests {
             corrections: Vec::new(),
             decisions_by_priority: [0; disasm_core::Priority::COUNT],
             trace: disasm_core::PipelineTrace::new(),
+            provenance: disasm_core::Prov::default(),
         };
         let s = score(&w, &d);
         assert_eq!(s.inst.errors(), 0);

@@ -1,8 +1,15 @@
-//! A minimal streaming JSON writer.
+//! A minimal streaming JSON writer and a matching reader.
 //!
-//! Emits compact, valid JSON with no external dependencies. The writer keeps
-//! a stack of "first element?" flags so commas are inserted automatically;
-//! callers just open containers, write keys and values, and close them.
+//! The writer emits compact, valid JSON with no external dependencies. It
+//! keeps a stack of "first element?" flags so commas are inserted
+//! automatically; callers just open containers, write keys and values, and
+//! close them.
+//!
+//! The reader ([`parse`]) produces a [`JsonValue`] tree that preserves
+//! object key order and the *raw text* of every number, so a parse →
+//! [`JsonValue::to_json`] roundtrip of writer-produced JSON is byte-exact.
+//! That property is what the trace golden-file tests and `metadis
+//! trace-diff` rely on.
 //!
 //! ```
 //! use obs::json::JsonWriter;
@@ -126,6 +133,12 @@ impl JsonWriter {
         self.out.push_str(if v { "true" } else { "false" });
     }
 
+    /// Write a `null` value.
+    pub fn null_val(&mut self) {
+        self.sep();
+        self.out.push_str("null");
+    }
+
     /// `"k": "v"` shorthand.
     pub fn field_str(&mut self, k: &str, v: &str) {
         self.key(k);
@@ -167,6 +180,378 @@ impl JsonWriter {
             }
         }
         self.out.push('"');
+    }
+}
+
+/// A parsed JSON document node.
+///
+/// Objects keep their key order and numbers keep their source text (see the
+/// module docs), so re-serializing with [`JsonValue::to_json`] reproduces
+/// writer output byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source key order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Walk a `.`-separated member path (`"tools.0"` is not supported —
+    /// arrays are indexed through [`JsonValue::as_arr`]).
+    pub fn path(&self, path: &str) -> Option<&JsonValue> {
+        path.split('.').try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The number as `f64`, if this is a numeric node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array node.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object node.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Serialize back to compact JSON (byte-identical to writer output for
+    /// values that came from [`parse`]d writer output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_to(&mut out);
+        out
+    }
+
+    fn write_to(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(raw) => out.push_str(raw),
+            JsonValue::Str(s) => write_escaped_str(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped_str(out, k);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse error: a message plus the byte offset it was raised at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document. Trailing whitespace is allowed, trailing
+/// garbage is an error. Nesting is bounded (128 levels) so hostile inputs
+/// cannot blow the stack.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] describing the first malformed construct.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_lit(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'n') => self.expect_lit("null", JsonValue::Null),
+            Some(b't') => self.expect_lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.expect_lit("false", JsonValue::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '{'
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            self.depth -= 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let k = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((k, v));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                self.depth -= 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            return Err(self.err("expected ',' or '}'"));
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // '['
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                self.depth -= 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            return Err(self.err("expected ',' or ']'"));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // re-decode the UTF-8 sequence starting at pos-1
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    self.pos = start + c.len_utf8();
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err("malformed number"));
+        }
+        Ok(JsonValue::Num(raw.to_string()))
     }
 }
 
@@ -224,5 +609,56 @@ mod tests {
         w.end_obj();
         w.end_obj();
         assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+
+    #[test]
+    fn parse_roundtrip_is_byte_exact() {
+        let src = r#"{"schema":"metadis.trace.v2","n":4096,"f":0.5,"neg":-3,"arr":[1,2,{"b":true,"x":null}],"empty":{},"s":"a\"b\\c"}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = parse(r#"{"a":{"b":[10,"x"]},"w":1.5}"#).unwrap();
+        assert_eq!(v.path("a.b").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.path("a.b").unwrap().as_arr().unwrap()[0].as_u64(),
+            Some(10)
+        );
+        assert_eq!(v.get("w").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.path("a.missing"), None);
+        assert_eq!(v.as_obj().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "{\"a\":1}x",
+            "\"unterminated",
+            "01x",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_whitespace() {
+        let v = parse(" { \"k\" : \"a\\nb\\u0041\" , \"l\" : [ ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("a\nbA"));
+        assert_eq!(v.get("l").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_depth_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
     }
 }

@@ -30,11 +30,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod registry;
+pub mod span;
 pub mod table;
 
 pub use metrics::{Counter, Histogram, HistogramSummary};
-pub use registry::{MetricsRegistry, Snapshot};
+pub use registry::{MetricsRegistry, ScopedReset, Snapshot};
+pub use span::{Span, SpanSet};
 pub use table::TextTable;
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -30,6 +30,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Reset to zero. Existing handles stay valid — only the value clears.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Number of histogram buckets: bucket `b` holds values whose bit length is
@@ -94,6 +99,18 @@ impl Histogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset to the empty state. Existing handles stay valid — only the
+    /// recorded samples clear.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Sum of all samples (wrapping).

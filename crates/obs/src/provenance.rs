@@ -1,0 +1,220 @@
+//! A compact, allocation-conscious evidence ledger.
+//!
+//! The ledger is an append-only log of fixed-size [`Event`] records, each
+//! describing one piece of evidence some analysis produced about an address
+//! range: which phase emitted it, what kind of evidence it is, a numeric
+//! weight, a small class label, and the address that triggered it. Phase and
+//! kind names are interned into `u16` indices so a record is 24 bytes and
+//! pushing one is a bounds check plus a `Vec` append — cheap enough to emit
+//! per decision on multi-megabyte inputs.
+//!
+//! The ledger is domain-agnostic: it stores codes, not meanings. The
+//! disassembly pipeline layers its evidence vocabulary on top (see
+//! `disasm-core`'s `provenance` module) and answers per-byte "why is this
+//! byte code/data?" queries through [`Ledger::at`].
+//!
+//! A capacity cap bounds worst-case memory; events past the cap are counted
+//! in [`Ledger::dropped`] rather than silently vanishing.
+
+/// Sentinel for "no triggering address".
+pub const NO_CAUSE: u32 = u32::MAX;
+
+/// One evidence record (24 bytes). Interpretation of `kind`, `class`, `aux`
+/// and `weight` belongs to the emitting domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// First address/offset the evidence covers.
+    pub start: u32,
+    /// One past the last covered address/offset.
+    pub end: u32,
+    /// Interned phase name (see [`Ledger::phase_id`]).
+    pub phase: u16,
+    /// Interned evidence-kind name (see [`Ledger::kind_id`]).
+    pub kind: u16,
+    /// Small class label (the disassembler stores the priority class).
+    pub class: u8,
+    /// Auxiliary byte (the disassembler stores the displaced class of a
+    /// correction).
+    pub aux: u8,
+    /// Numeric weight/probability/score.
+    pub weight: f32,
+    /// Triggering rule or predecessor address ([`NO_CAUSE`] when none).
+    pub cause: u32,
+}
+
+impl Event {
+    /// `true` when the event covers address `addr`.
+    pub fn covers(&self, addr: u32) -> bool {
+        self.start <= addr && addr < self.end
+    }
+}
+
+/// Append-only evidence ledger with interned phase/kind names and a hard
+/// capacity cap (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    phases: Vec<&'static str>,
+    kinds: Vec<&'static str>,
+    events: Vec<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Default event cap: 4M events ≈ 96 MiB worst case, far beyond any
+/// realistic single-binary run.
+pub const DEFAULT_EVENT_CAP: usize = 4 << 20;
+
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger::with_cap(DEFAULT_EVENT_CAP)
+    }
+}
+
+impl Ledger {
+    /// New empty ledger with the default event cap.
+    pub fn new() -> Ledger {
+        Ledger::default()
+    }
+
+    /// New empty ledger capped at `cap` events.
+    pub fn with_cap(cap: usize) -> Ledger {
+        Ledger {
+            phases: Vec::new(),
+            kinds: Vec::new(),
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Intern a phase name (names are few; lookup is a linear scan).
+    pub fn phase_id(&mut self, name: &'static str) -> u16 {
+        intern(&mut self.phases, name)
+    }
+
+    /// Intern an evidence-kind name.
+    pub fn kind_id(&mut self, name: &'static str) -> u16 {
+        intern(&mut self.kinds, name)
+    }
+
+    /// Resolve an interned phase index back to its name.
+    pub fn phase_name(&self, id: u16) -> &'static str {
+        self.phases.get(id as usize).copied().unwrap_or("?")
+    }
+
+    /// Resolve an interned kind index back to its name.
+    pub fn kind_name(&self, id: u16) -> &'static str {
+        self.kinds.get(id as usize).copied().unwrap_or("?")
+    }
+
+    /// Append an event; `false` (and a bump of [`Ledger::dropped`]) once the
+    /// cap is reached.
+    pub fn push(&mut self, ev: Event) -> bool {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return false;
+        }
+        self.events.push(ev);
+        true
+    }
+
+    /// All events, in append (causal) order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the cap was hit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events covering address `addr`, as `(sequence number, event)` in
+    /// append order.
+    pub fn at(&self, addr: u32) -> impl Iterator<Item = (usize, &Event)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.covers(addr))
+    }
+}
+
+fn intern(table: &mut Vec<&'static str>, name: &'static str) -> u16 {
+    if let Some(i) = table.iter().position(|&n| n == name) {
+        return i as u16;
+    }
+    let i = table.len();
+    assert!(i < u16::MAX as usize, "interning table overflow");
+    table.push(name);
+    i as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(l: &mut Ledger, phase: &'static str, kind: &'static str, start: u32, end: u32) -> Event {
+        Event {
+            start,
+            end,
+            phase: l.phase_id(phase),
+            kind: l.kind_id(kind),
+            class: 0,
+            aux: 0,
+            weight: 1.0,
+            cause: NO_CAUSE,
+        }
+    }
+
+    #[test]
+    fn event_size_stays_compact() {
+        assert!(std::mem::size_of::<Event>() <= 24);
+    }
+
+    #[test]
+    fn interning_dedupes() {
+        let mut l = Ledger::new();
+        let a = l.phase_id("anchor");
+        let b = l.phase_id("stats");
+        assert_eq!(l.phase_id("anchor"), a);
+        assert_ne!(a, b);
+        assert_eq!(l.phase_name(a), "anchor");
+        assert_eq!(l.kind_name(9999), "?");
+    }
+
+    #[test]
+    fn at_filters_by_range() {
+        let mut l = Ledger::new();
+        let e1 = ev(&mut l, "anchor", "accept", 0, 3);
+        let e2 = ev(&mut l, "stats", "accept", 2, 5);
+        l.push(e1);
+        l.push(e2);
+        let hits: Vec<usize> = l.at(2).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![0, 1]);
+        let hits: Vec<usize> = l.at(4).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![1]);
+        assert_eq!(l.at(5).count(), 0);
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut l = Ledger::with_cap(2);
+        let e = ev(&mut l, "p", "k", 0, 1);
+        assert!(l.push(e));
+        assert!(l.push(e));
+        assert!(!l.push(e));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.dropped(), 1);
+    }
+}

@@ -97,9 +97,63 @@ impl MetricsRegistry {
     }
 
     /// Drop every metric (used between CLI invocations in tests).
+    ///
+    /// Prefer [`MetricsRegistry::reset`] in long-running processes: `clear`
+    /// invalidates handles other code may still hold (their updates land in
+    /// orphaned metrics the registry no longer reports), while `reset` keeps
+    /// every registration and only zeroes the values.
     pub fn clear(&self) {
         self.counters.lock().unwrap().clear();
         self.histograms.lock().unwrap().clear();
+    }
+
+    /// Zero every registered metric without dropping the registrations.
+    ///
+    /// This is the loop-safe way to start a fresh measurement window:
+    /// re-running `disassemble` in one process (the eval harness, repeated
+    /// CLI invocations in tests) would otherwise accumulate counters across
+    /// runs, and handles obtained before a [`MetricsRegistry::clear`] would
+    /// silently diverge from re-registered ones.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+
+    /// Start a scoped measurement window on this registry: resets now,
+    /// and again when the guard drops, so metrics recorded inside the scope
+    /// never leak into the next one. The guard yields the registry for
+    /// snapshotting before it closes.
+    pub fn scoped(&self) -> ScopedReset<'_> {
+        self.reset();
+        ScopedReset { registry: self }
+    }
+}
+
+/// RAII measurement window handed out by [`MetricsRegistry::scoped`].
+#[derive(Debug)]
+pub struct ScopedReset<'a> {
+    registry: &'a MetricsRegistry,
+}
+
+impl ScopedReset<'_> {
+    /// The registry this window measures into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        self.registry
+    }
+
+    /// Snapshot the window so far.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Drop for ScopedReset<'_> {
+    fn drop(&mut self) {
+        self.registry.reset();
     }
 }
 
@@ -237,5 +291,35 @@ mod tests {
         let s = MetricsRegistry::new().snapshot();
         assert!(s.is_empty());
         assert!(s.render_table().contains("no metrics"));
+    }
+
+    #[test]
+    fn reset_keeps_registrations_and_handles() {
+        let r = MetricsRegistry::new();
+        let handle = r.counter("loop.runs");
+        handle.add(5);
+        r.record("loop.ns", 100);
+        r.reset();
+        let s = r.snapshot();
+        // registrations survive with zeroed values — no stale accumulation,
+        // no duplicate re-registration
+        assert_eq!(s.counters["loop.runs"], 0);
+        assert_eq!(s.histograms["loop.ns"].count, 0);
+        // the pre-reset handle still feeds the same metric
+        handle.add(2);
+        assert_eq!(r.snapshot().counters["loop.runs"], 2);
+    }
+
+    #[test]
+    fn scoped_window_resets_on_entry_and_drop() {
+        let r = MetricsRegistry::new();
+        r.add("stale", 99);
+        {
+            let scope = r.scoped();
+            assert_eq!(scope.snapshot().counters["stale"], 0);
+            scope.registry().add("stale", 1);
+            assert_eq!(scope.snapshot().counters["stale"], 1);
+        }
+        assert_eq!(r.snapshot().counters["stale"], 0);
     }
 }

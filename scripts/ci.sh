@@ -23,4 +23,22 @@ echo "== fuzz-smoke (fixed seeds)"
 # ~10s in release; fails on any panic, hang, or byte-coverage hole.
 cargo run --release --offline --bin fuzz-smoke -- --iterations 10000 --seed 1
 
+echo "== trace-diff regression gate"
+# Disassemble a fixed-seed workload and diff its trace record against the
+# committed baseline. Count metrics (iterations, corrections, degradations,
+# error counters) are deterministic and gate tightly; wall-clock gets a
+# generous ratio so the gate survives slow CI machines. Regenerate the
+# baseline after an intentional pipeline change with:
+#   cargo run --release --bin metadis -- gen -o /tmp/ci.elf --seed 42 --functions 16
+#   cargo run --release --bin metadis -- disasm /tmp/ci.elf --trace-json tests/data/ci_baseline_trace.json
+TD_TMP="$(mktemp -d)"
+trap 'rm -rf "$TD_TMP"' EXIT
+cargo run --release --offline --bin metadis -- \
+  gen -o "$TD_TMP/ci.elf" --seed 42 --functions 16
+cargo run --release --offline --bin metadis -- \
+  disasm "$TD_TMP/ci.elf" --trace-json "$TD_TMP/trace.json"
+cargo run --release --offline --bin metadis -- \
+  trace-diff tests/data/ci_baseline_trace.json "$TD_TMP/trace.json" \
+  --max-wall-ratio 100
+
 echo "CI gate passed."

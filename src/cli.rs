@@ -9,12 +9,19 @@
 //! * `compare <elf>` — run every tool on the same binary and print summary
 //!   statistics side by side.
 //! * `cfg <elf>` — reconstruct and summarize the control-flow graph.
+//! * `explain <elf> <offset|range>` — print the causal evidence chain
+//!   behind one byte's (or range's) classification; `--json` emits the
+//!   stable `metadis.explain.v1` record.
+//! * `trace-diff <baseline.json> <new.json>` — compare two trace records
+//!   against regression thresholds; exits non-zero on drift.
 //!
 //! Every analysis command also accepts the observability flags:
-//! `--metrics` appends per-phase timing tables and the global
-//! counter/histogram snapshot to the output, and `--trace-json <path>`
-//! writes a machine-readable trace record (schema `metadis.trace.v2`, see
-//! the README "Observability" section), plus the robustness flags:
+//! `--metrics` appends per-phase timing tables, the event-span tree, and
+//! the global counter/histogram snapshot to the output, `--trace-json
+//! <path>` writes a machine-readable trace record (schema
+//! `metadis.trace.v3`, see the README "Observability" section), and
+//! `--provenance` collects the per-byte evidence ledger (`explain` turns
+//! it on automatically), plus the robustness flags:
 //! `--deadline-ms` / `--max-iterations` bound the pipeline's resource use
 //! (budget hits are recorded as trace degradations) and `--strict` turns
 //! any degradation into a hard `analysis-degraded` error.
@@ -118,6 +125,9 @@ USAGE:
     metadis report <elf> [--train N]
     metadis diff <elf> [--train N]
     metadis score <elf> <truth-file> [--train N]
+    metadis explain <elf> <offset|start..end> [--json] [--train N]
+    metadis trace-diff <baseline.json> <new.json> [--max-wall-ratio F]
+                [--max-count-ratio F] [--allow-degradations]
 
 OPTIONS:
     --listing       print a full annotated listing instead of the summary
@@ -131,10 +141,24 @@ OPTIONS:
     --adversarial   lace the generated binary with anti-disassembly junk
 
 OBSERVABILITY (any analysis command):
-    --metrics          append per-phase timing tables and the global
-                       counter/histogram snapshot to the output
+    --metrics          append per-phase timing tables, the event-span tree
+                       and the global counter/histogram snapshot
     --trace-json PATH  write a machine-readable trace record
-                       (schema metadis.trace.v2) to PATH
+                       (schema metadis.trace.v3) to PATH
+    --provenance       collect the per-byte evidence ledger (the explain
+                       command enables this automatically; off by default
+                       because it costs memory proportional to decisions)
+
+EXPLAIN:
+    --json             emit the metadis.explain.v1 JSON record instead of
+                       the human-readable causal chain
+
+TRACE-DIFF:
+    --max-wall-ratio F   allowed new/old wall-time ratio (default 2.0)
+    --max-count-ratio F  allowed new/old ratio for deterministic counts
+                         (default 1.25)
+    --allow-degradations accept new budget degradations instead of
+                         flagging them as regressions
 
 ROBUSTNESS (any analysis command):
     --deadline-ms N      abort analysis phases after N milliseconds of wall
@@ -179,6 +203,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if metrics || trace_json.is_some() {
         obs::set_enabled(true);
     }
+    // each invocation is its own measurement window: zero the global
+    // registry so repeated in-process runs (tests, the eval harness) don't
+    // accumulate stale counters across invocations
+    obs::global().reset();
     let mut out = match cmd.as_str() {
         "disasm" => cmd_disasm(&rest)?,
         "gen" => cmd_gen(&rest)?,
@@ -187,6 +215,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "report" => cmd_report(&rest)?,
         "diff" => cmd_diff(&rest)?,
         "score" => cmd_score(&rest)?,
+        "explain" => cmd_explain(&rest)?,
+        "trace-diff" => cmd_trace_diff(&rest)?,
         "help" | "--help" | "-h" => CmdOutput::text_only(USAGE.to_string()),
         other => return Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -239,6 +269,10 @@ fn append_metrics(out: &mut CmdOutput) {
                 g.completed
             );
         }
+        if !d.trace.spans.is_empty() {
+            let _ = writeln!(out.text, "\n[{name}] span tree:");
+            out.text.push_str(&obs::span::render_tree(&d.trace.spans));
+        }
     }
     let _ = writeln!(out.text, "\nglobal metrics:");
     out.text.push_str(&obs::global().snapshot().render_table());
@@ -246,16 +280,12 @@ fn append_metrics(out: &mut CmdOutput) {
 
 fn cmd_score(rest: &[&String]) -> Result<CmdOutput, CliError> {
     // two positionals: the ELF and the .truth sidecar written by `gen`
-    let mut pos = rest
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .take(2)
-        .map(|s| s.as_str());
-    let path = pos
-        .next()
+    let pos = positionals(rest);
+    let path = *pos
+        .first()
         .ok_or_else(|| err(format!("score: missing <elf>\n\n{USAGE}")))?;
-    let truth_path = pos
-        .next()
+    let truth_path = *pos
+        .get(1)
         .ok_or_else(|| err(format!("score: missing <truth-file>\n\n{USAGE}")))?;
     let image = load_image(path)?;
     let truth_text = std::fs::read_to_string(truth_path)
@@ -342,7 +372,9 @@ fn has_flag(rest: &[&String], name: &str) -> bool {
     rest.iter().any(|a| a.as_str() == name)
 }
 
-fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
+/// Arguments that are not flags (or flag values), in order.
+fn positionals<'a>(rest: &'a [&String]) -> Vec<&'a str> {
+    let mut out = Vec::new();
     let mut skip_next = false;
     for a in rest {
         if skip_next {
@@ -350,16 +382,29 @@ fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
             continue;
         }
         if let Some(stripped) = a.strip_prefix("--") {
-            skip_next = !matches!(stripped, "listing" | "adversarial" | "metrics" | "strict");
+            skip_next = !matches!(
+                stripped,
+                "listing"
+                    | "adversarial"
+                    | "metrics"
+                    | "strict"
+                    | "provenance"
+                    | "json"
+                    | "allow-degradations"
+            );
             continue;
         }
         if a.as_str() == "-o" {
             skip_next = true;
             continue;
         }
-        return Some(a.as_str());
+        out.push(a.as_str());
     }
-    None
+    out
+}
+
+fn positional<'a>(rest: &'a [&String]) -> Option<&'a str> {
+    positionals(rest).first().copied()
 }
 
 fn load_image(path: &str) -> Result<Image, CliError> {
@@ -387,6 +432,9 @@ fn build_config(rest: &[&String]) -> Result<Config, CliError> {
             .map_err(|_| err("--max-iterations expects a number"))?;
         cfg.limits.max_viability_iterations = Some(n);
         cfg.limits.max_correction_steps = Some(n);
+    }
+    if has_flag(rest, "--provenance") {
+        cfg.collect_provenance = true;
     }
     Ok(cfg)
 }
@@ -497,6 +545,8 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
         "tables",
         "wall ms",
         "MiB/s",
+        "degraded_runs",
+        "degradation_count",
     ]);
     let mut tools: Vec<(String, Disassembly)> = Baseline::ALL
         .iter()
@@ -517,6 +567,8 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
             d.jump_tables.len().to_string(),
             format!("{:.3}", d.trace.total_wall_ns as f64 / 1e6),
             format!("{:.1}", d.trace.bytes_per_sec() / (1024.0 * 1024.0)),
+            u64::from(d.trace.is_degraded()).to_string(),
+            d.trace.degradations.len().to_string(),
         ]);
     }
     let mut out = t.render();
@@ -569,6 +621,255 @@ fn cmd_cfg(rest: &[&String]) -> Result<CmdOutput, CliError> {
         text: out,
         tools: vec![("metadis (ours)".to_string(), d)],
     })
+}
+
+/// Parse `0x`-prefixed hex or decimal; values at or above the text base are
+/// treated as virtual addresses and rebased to text offsets.
+fn parse_offset(spec: &str, image: &Image) -> Result<u32, CliError> {
+    let v: u64 = match spec.strip_prefix("0x").or_else(|| spec.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => spec.parse(),
+    }
+    .map_err(|_| err(format!("bad offset '{spec}' (expected hex or decimal)")))?;
+    let off = if v >= image.text_va {
+        v - image.text_va
+    } else {
+        v
+    };
+    u32::try_from(off)
+        .ok()
+        .filter(|&o| (o as usize) < image.text.len())
+        .ok_or_else(|| {
+            err(format!(
+                "offset '{spec}' is outside the text section (0..{:#x}, va {:#x}..{:#x})",
+                image.text.len(),
+                image.text_va,
+                image.text_va + image.text.len() as u64
+            ))
+        })
+}
+
+/// Render one explanation as the human-readable causal chain.
+fn render_explanation(e: &disasm_core::Explanation, image: &Image) -> String {
+    use disasm_core::provenance::{class_name, NO_CLASS};
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "offset {:#06x} (va {:#x}): {}",
+        e.offset,
+        image.text_va + e.offset as u64,
+        e.class_label()
+    );
+    match e.owner {
+        Some(o) if o != e.offset => {
+            let _ = writeln!(out, " (body of instruction at {o:#06x})");
+        }
+        _ => out.push('\n'),
+    }
+    let _ = writeln!(out, "  causal chain (most direct first):");
+    for s in &e.chain {
+        let indent = "  ".repeat(s.depth + 2);
+        let _ = write!(
+            out,
+            "{indent}{}/{} {:#06x}..{:#06x}",
+            s.phase, s.kind, s.start, s.end
+        );
+        if s.class != NO_CLASS {
+            let _ = write!(out, " class={}", class_name(s.class));
+        }
+        if s.aux != NO_CLASS {
+            let _ = write!(out, " displaced={}", class_name(s.aux));
+        }
+        if s.weight != 0.0 {
+            let _ = write!(out, " weight={:.3}", s.weight);
+        }
+        if let Some(c) = s.cause {
+            let _ = write!(out, " cause={c:#06x}");
+        }
+        out.push('\n');
+    }
+    if e.dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  ({} ledger event(s) dropped at the cap; chain may be incomplete)",
+            e.dropped
+        );
+    }
+    let _ = writeln!(out, "  => final label: {}", e.class_label());
+    out
+}
+
+/// Write one explanation as a JSON object (an element of the
+/// `metadis.explain.v1` `explanations` array).
+fn write_explanation_json(w: &mut obs::json::JsonWriter, e: &disasm_core::Explanation) {
+    use disasm_core::provenance::class_name;
+    w.begin_obj();
+    w.field_u64("offset", e.offset as u64);
+    w.field_str("class", e.class_label());
+    match e.owner {
+        Some(o) => w.field_u64("owner", o as u64),
+        None => {
+            w.key("owner");
+            w.null_val();
+        }
+    }
+    w.field_u64("dropped", e.dropped);
+    w.key("chain");
+    w.begin_arr();
+    for s in &e.chain {
+        w.begin_obj();
+        w.field_u64("seq", s.seq as u64);
+        w.field_u64("depth", s.depth as u64);
+        w.field_str("phase", s.phase);
+        w.field_str("kind", s.kind);
+        w.field_u64("start", s.start as u64);
+        w.field_u64("end", s.end as u64);
+        w.field_str("class", class_name(s.class));
+        w.field_str("aux", class_name(s.aux));
+        w.field_f64("weight", s.weight as f64);
+        match s.cause {
+            Some(c) => w.field_u64("cause", c as u64),
+            None => {
+                w.key("cause");
+                w.null_val();
+            }
+        }
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+/// Cap on distinct decision units a range query will explain.
+const EXPLAIN_RANGE_CAP: usize = 32;
+
+fn cmd_explain(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let pos = positionals(rest);
+    let path = *pos
+        .first()
+        .ok_or_else(|| err(format!("explain: missing <elf>\n\n{USAGE}")))?;
+    let spec = *pos
+        .get(1)
+        .ok_or_else(|| err(format!("explain: missing <offset|start..end>\n\n{USAGE}")))?;
+    let mut cfg = build_config(rest)?;
+    cfg.collect_provenance = true; // explain is pointless without the ledger
+    let image = load_image(path)?;
+    let (start, end) = match spec.split_once("..") {
+        Some((a, b)) => {
+            let s = parse_offset(a, &image)?;
+            let e = parse_offset(b, &image)?;
+            if s >= e {
+                return Err(err(format!("empty range '{spec}'")));
+            }
+            (s, e)
+        }
+        None => {
+            let s = parse_offset(spec, &image)?;
+            (s, s + 1)
+        }
+    };
+    let d = Disassembler::new(cfg).disassemble(&image);
+
+    // one explanation per decision unit: consecutive bytes owned by the
+    // same instruction (or covered by the same data explanation) collapse
+    let mut explanations = Vec::new();
+    let mut truncated = false;
+    let mut last_owner: Option<u32> = None;
+    let mut o = start;
+    while o < end {
+        let e = disasm_core::explain(&d, o)
+            .ok_or_else(|| err(format!("offset {o:#x}: no provenance collected")))?;
+        let unit = e.owner.unwrap_or(o);
+        if last_owner != Some(unit) {
+            if explanations.len() >= EXPLAIN_RANGE_CAP {
+                truncated = true;
+                break;
+            }
+            last_owner = Some(unit);
+            explanations.push(e);
+        }
+        o += 1;
+    }
+
+    let text = if has_flag(rest, "--json") {
+        let mut w = obs::json::JsonWriter::new();
+        w.begin_obj();
+        w.field_str("schema", "metadis.explain.v1");
+        w.field_str("binary", path);
+        w.field_u64("text_va", image.text_va);
+        w.field_u64("start", start as u64);
+        w.field_u64("end", end as u64);
+        w.field_bool("truncated", truncated);
+        w.key("explanations");
+        w.begin_arr();
+        for e in &explanations {
+            write_explanation_json(&mut w, e);
+        }
+        w.end_arr();
+        w.end_obj();
+        let mut s = w.finish();
+        s.push('\n');
+        s
+    } else {
+        let mut s = String::new();
+        for e in &explanations {
+            s.push_str(&render_explanation(e, &image));
+        }
+        if truncated {
+            let _ = writeln!(
+                s,
+                "(range truncated after {EXPLAIN_RANGE_CAP} decision units)"
+            );
+        }
+        s
+    };
+    Ok(CmdOutput {
+        text,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
+}
+
+fn cmd_trace_diff(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let pos = positionals(rest);
+    let old_path = *pos
+        .first()
+        .ok_or_else(|| err(format!("trace-diff: missing <baseline.json>\n\n{USAGE}")))?;
+    let new_path = *pos
+        .get(1)
+        .ok_or_else(|| err(format!("trace-diff: missing <new.json>\n\n{USAGE}")))?;
+    let mut cfg = disasm_core::TraceDiffConfig::default();
+    if let Some(v) = flag_value(rest, "--max-wall-ratio") {
+        cfg.max_wall_ratio = v
+            .parse()
+            .map_err(|_| err("--max-wall-ratio expects a float"))?;
+    }
+    if let Some(v) = flag_value(rest, "--max-count-ratio") {
+        cfg.max_count_ratio = v
+            .parse()
+            .map_err(|_| err("--max-count-ratio expects a float"))?;
+    }
+    cfg.allow_new_degradations = has_flag(rest, "--allow-degradations");
+
+    let load = |p: &str| -> Result<obs::json::JsonValue, CliError> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| io_err(format!("cannot read '{p}': {e}")))?;
+        obs::json::parse(&text).map_err(|e| parse_err(format!("cannot parse '{p}': {e}")))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let report = disasm_core::diff_trace_reports(&old, &new, &cfg)
+        .map_err(|e| parse_err(format!("trace-diff: {e}")))?;
+    let text = report.render_table();
+    if report.is_regression() {
+        return Err(CliError {
+            category: ErrorCategory::Degraded,
+            message: format!(
+                "{text}trace regression: {} threshold violation(s) vs {old_path}",
+                report.regressions.len()
+            ),
+        });
+    }
+    Ok(CmdOutput::text_only(text))
 }
 
 #[cfg(test)]
@@ -666,22 +967,24 @@ mod tests {
         ]))
         .unwrap();
 
-        // --metrics appends the phase table and the global snapshot
+        // --metrics appends the phase table, the span tree and the snapshot
         let out = run(&args(&["disasm", elf_s, "--metrics"])).unwrap();
         assert!(out.contains("phase timing"), "{out}");
         assert!(out.contains("superset"), "{out}");
         assert!(out.contains("viability"), "{out}");
+        assert!(out.contains("span tree"), "{out}");
+        assert!(out.contains("pipeline"), "{out}");
         assert!(out.contains("global metrics"), "{out}");
         assert!(out.contains("pipeline.runs"), "{out}");
 
-        // --trace-json writes a metadis.trace.v2 record
+        // --trace-json writes a metadis.trace.v3 record
         let json_path = dir.join("trace.json");
         let json_s = json_path.to_str().unwrap();
         let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
         assert!(out.contains("trace record written"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(
-            json.starts_with(r#"{"schema":"metadis.trace.v2","command":"disasm""#),
+            json.starts_with(r#"{"schema":"metadis.trace.v3","command":"disasm""#),
             "{json}"
         );
         for key in [
@@ -696,11 +999,14 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
 
-        // compare always shows per-tool timing plus ours' phase table
+        // compare always shows per-tool timing plus ours' phase table, and
+        // surfaces degradation status per tool
         let cmp = run(&args(&["compare", elf_s])).unwrap();
         assert!(cmp.contains("wall ms"), "{cmp}");
         assert!(cmp.contains("MiB/s"), "{cmp}");
         assert!(cmp.contains("phase timing"), "{cmp}");
+        assert!(cmp.contains("degraded_runs"), "{cmp}");
+        assert!(cmp.contains("degradation_count"), "{cmp}");
 
         // cfg records its own phase in the trace record
         let cfg_json = dir.join("cfg-trace.json");
@@ -722,6 +1028,132 @@ mod tests {
         ] {
             assert!(json.contains(tool), "missing {tool} in {json}");
         }
+    }
+
+    #[test]
+    fn explain_prints_causal_chain() {
+        let dir = tmpdir();
+        let elf = dir.join("explain.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "11",
+            "--functions",
+            "6",
+        ]))
+        .unwrap();
+
+        // a single offset: human-readable chain ending in the final label
+        let out = run(&args(&["explain", elf_s, "0x0"])).unwrap();
+        assert!(out.contains("offset 0x0000"), "{out}");
+        assert!(out.contains("causal chain"), "{out}");
+        assert!(out.contains("=> final label:"), "{out}");
+        // at least one evidence record must mention a pipeline phase
+        assert!(
+            out.contains("superset/") || out.contains("anchor/") || out.contains("default/"),
+            "{out}"
+        );
+
+        // a range query collapses to decision units and stays bounded
+        let out = run(&args(&["explain", elf_s, "0x0..0x10"])).unwrap();
+        assert!(out.matches("=> final label:").count() >= 1, "{out}");
+
+        // --json emits a stable metadis.explain.v1 record
+        let out = run(&args(&["explain", elf_s, "0x0", "--json"])).unwrap();
+        assert!(
+            out.starts_with(r#"{"schema":"metadis.explain.v1""#),
+            "{out}"
+        );
+        for key in [
+            r#""binary":"#,
+            r#""text_va":"#,
+            r#""truncated":false"#,
+            r#""explanations":[{"offset":0"#,
+            r#""chain":[{"seq":"#,
+            r#""phase":"#,
+            r#""kind":"#,
+            r#""weight":"#,
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+
+        // a VA inside .text is rebased to a text offset
+        let out = run(&args(&["explain", elf_s, "0x401000"])).unwrap();
+        assert!(out.contains("offset 0x0000"), "{out}");
+
+        // out-of-range offsets are usage errors, not panics
+        let e = run(&args(&["explain", elf_s, "0xffffff"])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Usage, "{e}");
+        let e = run(&args(&["explain", elf_s, "12..4"])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Usage, "{e}");
+    }
+
+    #[test]
+    fn trace_diff_detects_regressions() {
+        let dir = tmpdir();
+        let elf = dir.join("td.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "21",
+            "--functions",
+            "6",
+        ]))
+        .unwrap();
+        let base = dir.join("td-base.json");
+        let base_s = base.to_str().unwrap();
+        run(&args(&["disasm", elf_s, "--trace-json", base_s])).unwrap();
+
+        // identical traces: OK, exit success
+        let out = run(&args(&["trace-diff", base_s, base_s])).unwrap();
+        assert!(out.contains("trace-diff: OK"), "{out}");
+
+        // a trace that lost a tool is a regression => Degraded category
+        let doctored = dir.join("td-doctored.json");
+        let body = std::fs::read_to_string(&base).unwrap();
+        std::fs::write(
+            &doctored,
+            body.replace(r#""tool":"metadis (ours)""#, r#""tool":"renamed""#),
+        )
+        .unwrap();
+        let e = run(&args(&["trace-diff", base_s, doctored.to_str().unwrap()])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
+        assert!(e.message.contains("trace-diff: REGRESSION"), "{e}");
+        assert!(e.message.contains("trace regression"), "{e}");
+
+        // unreadable / non-trace inputs are IO / parse errors
+        let e = run(&args(&["trace-diff", "/nonexistent.json", base_s])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Io, "{e}");
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, "{not json").unwrap();
+        let e = run(&args(&["trace-diff", base_s, junk.to_str().unwrap()])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Parse, "{e}");
+    }
+
+    #[test]
+    fn provenance_flag_enables_ledger_in_disasm() {
+        let dir = tmpdir();
+        let elf = dir.join("prov.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "5",
+            "--functions",
+            "4",
+        ]))
+        .unwrap();
+        // --provenance is accepted and the run still reports normally
+        let out = run(&args(&["disasm", elf_s, "--provenance"])).unwrap();
+        assert!(out.contains("instructions"), "{out}");
     }
 
     #[test]
@@ -834,7 +1266,7 @@ mod tests {
         assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
         // ...but the trace record was still written, with the degradations
         let json = std::fs::read_to_string(&json_path).unwrap();
-        assert!(json.contains(r#""schema":"metadis.trace.v2""#), "{json}");
+        assert!(json.contains(r#""schema":"metadis.trace.v3""#), "{json}");
         assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
 
         // an unconstrained strict run passes
