@@ -2,9 +2,13 @@
 //!
 //! Times the raw decode loop, the superset/viability stages, every baseline,
 //! and the full pipeline on one 200-function workload, prints a throughput
-//! table, and writes the measurements as a `metadis.trace.v3` record
+//! table, and writes the measurements as a `metadis.trace.v4` record
 //! (`BENCH_throughput.json`) — the same schema the CLI's `--trace-json`
 //! emits. Set `QUICK=1` for a reduced iteration count.
+//!
+//! Two extra arms run the full pipeline with runtime telemetry (allocation
+//! accounting + Info-level ring logging) off and on; the run fails (exit 1)
+//! if the telemetry-on arm costs more than 5% wall time over the off arm.
 
 use disasm_baselines::Baseline;
 use disasm_core::superset::Superset;
@@ -138,6 +142,22 @@ fn main() {
         bench_tool(iters, &image, |img| self_train.disassemble(img)),
     ));
 
+    // telemetry-cost arms: the identical full-pipeline run with runtime
+    // telemetry (allocation accounting + Info-level ring logging) off, then
+    // on. Extra iterations because this pair feeds a <5% overhead assertion.
+    let cost_iters = iters.max(5);
+    obs::alloc::set_enabled(false);
+    obs::log::reset();
+    let off = bench_tool(cost_iters, &image, |img| full.disassemble(img));
+    obs::alloc::set_enabled(true);
+    obs::log::set_level(Some(obs::log::Level::Info));
+    let on = bench_tool(cost_iters, &image, |img| full.disassemble(img));
+    obs::log::set_level(None);
+    obs::alloc::set_enabled(false);
+    let (off_ns, on_ns) = (off.total_wall_ns, on.total_wall_ns);
+    tools.push(("telemetry-off".into(), off));
+    tools.push(("telemetry-on".into(), on));
+
     let mut t = TextTable::new(["stage/tool", "wall ms", "MiB/s"]);
     for (name, tr) in &tools {
         t.row([
@@ -149,6 +169,24 @@ fn main() {
     print!("{}", t.render());
     println!("\n(best of {iters} runs over {nb} text bytes)");
 
+    let overhead = on_ns as f64 / off_ns as f64 - 1.0;
+    println!(
+        "telemetry overhead: {:+.2}% (off {:.3} ms, on {:.3} ms)",
+        overhead * 100.0,
+        off_ns as f64 / 1e6,
+        on_ns as f64 / 1e6
+    );
+
     let json = merged_report_json("bench.throughput", &tools, &obs::global().snapshot());
     bench::emit_bench_json("throughput", &json).expect("write perf record");
+
+    // the telemetry layer must stay effectively free: <5% wall overhead,
+    // with a small absolute floor so micro-runs don't fail on timer noise
+    if on_ns > off_ns + off_ns / 20 + 500_000 {
+        eprintln!(
+            "FAIL: telemetry overhead {:.2}% exceeds the 5% budget",
+            overhead * 100.0
+        );
+        std::process::exit(1);
+    }
 }

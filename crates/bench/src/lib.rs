@@ -12,6 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The counting allocator (default feature `count-alloc`): lets the
+/// throughput bench's telemetry arms measure allocation accounting against
+/// a runtime-disabled baseline arm in the same process.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL_ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
 /// `true` when the `QUICK` environment variable asks for reduced corpora.
 pub fn quick() -> bool {
     std::env::var_os("QUICK").is_some()
@@ -36,7 +43,7 @@ pub fn banner(id: &str, title: &str, expectation: &str) {
     println!();
 }
 
-/// Write a `metadis.trace.v3` perf record to `BENCH_<id>.json` and report
+/// Write a `metadis.trace.v4` perf record to `BENCH_<id>.json` and report
 /// where it went. Records land in `$BENCH_JSON_DIR` when set, otherwise in
 /// the repository root, building up the perf trajectory across runs.
 pub fn emit_bench_json(id: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
@@ -66,10 +73,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("metadis-bench-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::env::set_var("BENCH_JSON_DIR", &dir);
-        let path = super::emit_bench_json("unit_test", r#"{"schema":"metadis.trace.v3"}"#).unwrap();
+        let path = super::emit_bench_json("unit_test", r#"{"schema":"metadis.trace.v4"}"#).unwrap();
         std::env::remove_var("BENCH_JSON_DIR");
         assert_eq!(path, dir.join("BENCH_unit_test.json"));
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("metadis.trace.v3"));
+        assert!(body.contains("metadis.trace.v4"));
     }
 }

@@ -69,6 +69,7 @@ impl Baseline {
     /// per-tool timing with the same schema as the main pipeline.
     pub fn disassemble(self, image: &Image) -> Disassembly {
         let sw = obs::Stopwatch::start();
+        let mark = obs::alloc::is_active().then(obs::alloc::mark);
         let mut d = match self {
             Baseline::LinearSweep => linear::disassemble(image),
             Baseline::Recursive => recursive::disassemble(image, false),
@@ -81,6 +82,11 @@ impl Baseline {
         d.trace.total_wall_ns = sw.elapsed_ns();
         d.trace.text_bytes = nb;
         d.trace.runs = 1;
+        if let Some(m) = mark {
+            let (alloc_bytes, alloc_peak) = m.measure();
+            d.trace.alloc_bytes = alloc_bytes;
+            d.trace.alloc_peak = alloc_peak;
+        }
         if obs::enabled() {
             let g = obs::global();
             g.add("baseline.runs", 1);

@@ -27,6 +27,7 @@ use crate::superset::{CandFlow, Superset};
 use crate::trace::PipelineTrace;
 use crate::viability::Viability;
 use crate::{ByteClass, Config, Disassembly, Image};
+use obs::log::{Level, Value};
 use obs::provenance::NO_CAUSE;
 use obs::{SpanSet, Stopwatch};
 use std::collections::{BTreeMap, BTreeSet};
@@ -110,6 +111,13 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let text = &image.text;
     let n = text.len();
     let nb = n as u64;
+    obs::log::emit(
+        Level::Info,
+        "pipeline",
+        Some(root),
+        "run begin",
+        &[("bytes", nb.into())],
+    );
 
     if cfg.inject_panic {
         panic!("injected pipeline panic (test hook)");
@@ -126,6 +134,13 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     spans.counter(sp, "bytes", nb);
     spans.counter(sp, "candidates", candidates);
     spans.end(sp);
+    obs::log::emit(
+        Level::Info,
+        "superset",
+        Some(sp),
+        "phase done",
+        &[("bytes", nb.into()), ("candidates", candidates.into())],
+    );
     if prov.enabled() {
         prov.emit(
             "superset",
@@ -157,6 +172,16 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     spans.counter(sp, "eliminated", viab.eliminated() as u64);
     spans.counter(sp, "iterations", viab.iterations());
     spans.end(sp);
+    obs::log::emit(
+        Level::Info,
+        "viability",
+        Some(sp),
+        "phase done",
+        &[
+            ("eliminated", (viab.eliminated() as u64).into()),
+            ("iterations", viab.iterations().into()),
+        ],
+    );
     if prov.enabled() {
         emit_runs(
             &mut prov,
@@ -197,6 +222,13 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     trace.record("anchor", sw.elapsed_ns(), nb, anchor_items);
     spans.counter(sp, "accepted", anchor_items);
     spans.end(sp);
+    obs::log::emit(
+        Level::Info,
+        "anchor",
+        Some(sp),
+        "phase done",
+        &[("accepted", anchor_items.into())],
+    );
 
     // ---- P2: structural — jump tables and address-taken constants
     let sp = spans.begin("jumptable");
@@ -219,6 +251,13 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     trace.record("jumptable", sw.elapsed_ns(), nb, tables.len() as u64);
     spans.counter(sp, "tables", tables.len() as u64);
     spans.end(sp);
+    obs::log::emit(
+        Level::Info,
+        "jumptable",
+        Some(sp),
+        "phase done",
+        &[("tables", (tables.len() as u64).into())],
+    );
     for t in &tables {
         eng.jt_targets.extend(t.targets.iter().copied());
     }
@@ -244,6 +283,7 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     eng.padding_pass();
     trace.record("padding", sw.elapsed_ns(), nb, 0);
     spans.end(sp);
+    obs::log::emit(Level::Info, "padding", Some(sp), "phase done", &[]);
 
     // ---- P4: leftovers are data
     let sp = spans.begin("default");
@@ -277,6 +317,13 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     trace.record("default", sw.elapsed_ns(), nb, default_items);
     spans.counter(sp, "bytes", default_items);
     spans.end(sp);
+    obs::log::emit(
+        Level::Info,
+        "default",
+        Some(sp),
+        "phase done",
+        &[("bytes", default_items.into())],
+    );
 
     if let Some(kind) = eng.exhausted {
         trace.degradations.push(Degradation {
@@ -299,12 +346,40 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
             );
         }
     }
+    if obs::log::enabled(Level::Warn) {
+        for deg in &trace.degradations {
+            obs::log::emit(
+                Level::Warn,
+                deg.phase,
+                Some(root),
+                "budget hit",
+                &[
+                    ("limit", deg.limit.name().into()),
+                    ("completed", deg.completed.into()),
+                ],
+            );
+        }
+    }
 
     trace.total_wall_ns = total.elapsed_ns();
     trace.text_bytes = nb;
     trace.runs = 1;
     spans.end(root);
     trace.spans = spans.finish();
+    trace.adopt_root_alloc();
+    obs::log::emit(
+        Level::Info,
+        "pipeline",
+        Some(root),
+        "run done",
+        &[
+            ("wall_ns", trace.total_wall_ns.into()),
+            ("corrections", (eng.corrections.len() as u64).into()),
+            ("degradations", (trace.degradations.len() as u64).into()),
+            ("alloc_bytes", trace.alloc_bytes.into()),
+            ("alloc_peak", trace.alloc_peak.into()),
+        ],
+    );
     let d = eng.finish(tables, trace);
 
     if obs::enabled() {
@@ -460,6 +535,13 @@ impl<'a> Engine<'a> {
         );
         spans.counter(sp, "decisions", items);
         spans.end(sp);
+        obs::log::emit(
+            Level::Info,
+            "structural",
+            Some(sp),
+            "phase done",
+            &[("decisions", items.into())],
+        );
     }
 
     /// Statistical hints over every still-undecided region.
@@ -492,6 +574,13 @@ impl<'a> Engine<'a> {
         trace.record("stats.train", sw.elapsed_ns(), nb, model.is_some() as u64);
         spans.counter(sp, "trained", model.is_some() as u64);
         spans.end(sp);
+        obs::log::emit(
+            Level::Info,
+            "stats.train",
+            Some(sp),
+            "phase done",
+            &[("trained", Value::Bool(model.is_some()))],
+        );
         if let Some(model) = model {
             let sp = spans.begin("stats.classify");
             let sw = Stopwatch::start();
@@ -502,6 +591,13 @@ impl<'a> Engine<'a> {
             trace.record("stats.classify", sw.elapsed_ns(), nb, items);
             spans.counter(sp, "decisions", items);
             spans.end(sp);
+            obs::log::emit(
+                Level::Info,
+                "stats.classify",
+                Some(sp),
+                "phase done",
+                &[("decisions", items.into())],
+            );
         }
     }
 

@@ -319,7 +319,14 @@ impl Disassembler {
     pub fn disassemble(&self, image: &Image) -> Disassembly {
         match catch_unwind(AssertUnwindSafe(|| correct::run(&self.config, image))) {
             Ok(d) => d,
-            Err(_) => fallback_linear(image, self.config.collect_provenance),
+            Err(_) => {
+                obs::log::error(
+                    "pipeline",
+                    "phase panicked, degrading to linear sweep",
+                    &[("bytes", (image.text.len() as u64).into())],
+                );
+                fallback_linear(image, self.config.collect_provenance)
+            }
         }
     }
 }
@@ -370,6 +377,12 @@ fn fallback_linear(image: &Image, collect_provenance: bool) -> Disassembly {
     spans.end(fb);
     spans.end(root);
     trace.spans = spans.finish();
+    trace.adopt_root_alloc();
+    obs::log::warn(
+        "fallback.linear",
+        "linear-sweep fallback complete",
+        &[("instructions", (inst_starts.len() as u64).into())],
+    );
     let mut prov = Prov::new(collect_provenance);
     prov.emit(
         "fallback.linear",

@@ -8,7 +8,7 @@
 //! counters/histograms in [`obs`] stay behind [`obs::enabled`].
 //!
 //! Phase names are a stable, documented contract (consumed by the CLI's
-//! `--trace-json` schema `metadis.trace.v3` and by the bench JSON records):
+//! `--trace-json` schema `metadis.trace.v4` and by the bench JSON records):
 //!
 //! | phase | meaning |
 //! |-------|---------|
@@ -39,6 +39,12 @@
 //!   monotonic start offsets, and per-span counters ([`obs::span::Span`]).
 //!   The flat `phases` array is retained verbatim for v2 consumers; spans
 //!   carry the same phase names with nesting and extra counters on top.
+//! * `metadis.trace.v4` — everything in v3, plus `alloc_bytes` and
+//!   `alloc_peak` on every trace object: bytes allocated during the run and
+//!   the high-water mark of live bytes above the run's starting level, fed
+//!   by the counting allocator ([`obs::alloc`]). Both are 0 when allocation
+//!   accounting is inactive. When active, spans additionally carry
+//!   `alloc_bytes`/`alloc_peak` counters per phase.
 
 use crate::correct::Priority;
 use crate::limits::Degradation;
@@ -95,6 +101,13 @@ pub struct PipelineTrace {
     /// and per-span counters, in begin order. Supersedes the flat `phases`
     /// timers (which are retained for `metadis.trace.v2` compatibility).
     pub spans: Vec<obs::Span>,
+    /// Bytes allocated during the run(s) (0 when allocation accounting is
+    /// inactive — see [`obs::alloc`]).
+    pub alloc_bytes: u64,
+    /// High-water mark of live heap bytes above the run's starting level
+    /// (max across runs after [`PipelineTrace::merge`]; 0 when accounting
+    /// is inactive).
+    pub alloc_peak: u64,
 }
 
 impl PipelineTrace {
@@ -158,6 +171,10 @@ impl PipelineTrace {
         }
         self.runs += other.runs;
         self.degradations.extend_from_slice(&other.degradations);
+        self.alloc_bytes += other.alloc_bytes;
+        // peaks don't add across sequential runs — the high-water mark of
+        // the aggregate is the worst single run
+        self.alloc_peak = self.alloc_peak.max(other.alloc_peak);
         // Keep span IDs unique across the merged trace: re-base the other
         // trace's IDs past our current maximum so parent links stay intact.
         let base = self.spans.iter().map(|s| s.id + 1).max().unwrap_or(0);
@@ -208,7 +225,7 @@ impl PipelineTrace {
     /// Write the trace fields into the *currently open* JSON object:
     /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
     /// `corrections`, `corrections_by_priority`, `runs`, `phases`,
-    /// `degradations`, `spans`.
+    /// `degradations`, `spans`, `alloc_bytes`, `alloc_peak`.
     pub fn write_json_fields(&self, w: &mut JsonWriter) {
         w.field_u64("text_bytes", self.text_bytes);
         w.field_u64("wall_ns", self.total_wall_ns);
@@ -246,6 +263,25 @@ impl PipelineTrace {
         w.end_arr();
         w.key("spans");
         obs::span::write_spans_json(w, &self.spans);
+        w.field_u64("alloc_bytes", self.alloc_bytes);
+        w.field_u64("alloc_peak", self.alloc_peak);
+    }
+
+    /// Copy the `alloc_bytes`/`alloc_peak` counters off the root span (the
+    /// pipeline's whole-run attribution window) into the trace's own
+    /// fields. No-op when there is no root span or it carries no
+    /// allocation counters (accounting inactive).
+    pub fn adopt_root_alloc(&mut self) {
+        let Some(root) = self.spans.first() else {
+            return;
+        };
+        for (name, v) in &root.counters {
+            match *name {
+                "alloc_bytes" => self.alloc_bytes = *v,
+                "alloc_peak" => self.alloc_peak = *v,
+                _ => {}
+            }
+        }
     }
 }
 
@@ -263,7 +299,7 @@ pub fn priority_name(i: usize) -> &'static str {
 
 /// Write one tool's complete trace object `{tool, <trace fields>,
 /// decisions_by_priority, instructions, functions, jump_tables}` — the
-/// per-tool entry of the `metadis.trace.v3` schema.
+/// per-tool entry of the `metadis.trace.v4` schema.
 pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.begin_obj();
     w.field_str("tool", tool);
@@ -280,11 +316,11 @@ pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.end_obj();
 }
 
-/// Render a complete `metadis.trace.v3` report: `{schema, command,
+/// Render a complete `metadis.trace.v4` report: `{schema, command,
 /// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
 /// binaries both emit exactly this shape, so one consumer reads either.
-/// Every `metadis.trace.v2` field is still present with identical encoding;
-/// v3 only adds the per-tool `spans` array.
+/// Every `metadis.trace.v3` field is still present with identical encoding;
+/// v4 only adds the per-tool `alloc_bytes`/`alloc_peak` fields.
 pub fn trace_report_json(
     command: &str,
     tools: &[(String, Disassembly)],
@@ -292,7 +328,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v3");
+    w.field_str("schema", "metadis.trace.v4");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -317,7 +353,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v3");
+    w.field_str("schema", "metadis.trace.v4");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -456,6 +492,47 @@ mod tests {
             "{s}"
         );
         assert!(s.contains(r#""counters":{"items":7}"#), "{s}");
+    }
+
+    #[test]
+    fn alloc_fields_serialize_and_merge() {
+        let mut a = sample();
+        a.alloc_bytes = 1000;
+        a.alloc_peak = 600;
+        let mut b = sample();
+        b.alloc_bytes = 500;
+        b.alloc_peak = 800;
+        a.merge(&b);
+        assert_eq!(a.alloc_bytes, 1500);
+        assert_eq!(a.alloc_peak, 800); // max, not sum
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        a.write_json_fields(&mut w);
+        w.end_obj();
+        let s = w.finish();
+        // alloc fields come last so a v4 object minus them is byte-for-byte v3
+        assert!(
+            s.ends_with(r#","alloc_bytes":1500,"alloc_peak":800}"#),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn adopt_root_alloc_reads_root_span_counters() {
+        let mut t = sample();
+        t.adopt_root_alloc(); // no spans: no-op
+        assert_eq!(t.alloc_bytes, 0);
+        t.spans.push(obs::Span {
+            id: 0,
+            parent: None,
+            name: "pipeline",
+            start_ns: 0,
+            wall_ns: 42,
+            counters: vec![("items", 7), ("alloc_bytes", 4096), ("alloc_peak", 2048)],
+        });
+        t.adopt_root_alloc();
+        assert_eq!(t.alloc_bytes, 4096);
+        assert_eq!(t.alloc_peak, 2048);
     }
 
     #[test]

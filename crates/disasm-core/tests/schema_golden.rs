@@ -1,8 +1,9 @@
-//! Golden-file schema compatibility: the `metadis.trace.v3` encoding is
-//! pinned byte-for-byte against a checked-in file, and stripping the single
-//! v3 addition (the `spans` array) must reproduce the checked-in
-//! `metadis.trace.v2` golden exactly. This is the contract that lets v2
-//! consumers read v3 records without changes.
+//! Golden-file schema compatibility: the `metadis.trace.v4` encoding is
+//! pinned byte-for-byte against a checked-in file, and stripping each
+//! version's single addition must reproduce the previous version's golden
+//! exactly: v4 minus `alloc_bytes`/`alloc_peak` is the v3 golden, v3 minus
+//! the `spans` array is the v2 golden. This is the contract that lets older
+//! consumers read newer records without changes.
 //!
 //! Regenerate the goldens after an *intentional* schema change with
 //! `BLESS=1 cargo test -p disasm-core --test schema_golden`.
@@ -12,6 +13,10 @@ use std::collections::BTreeMap;
 use disasm_core::trace::{merged_report_json, PipelineTrace};
 use disasm_core::{Degradation, LimitKind};
 
+const V4_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/trace_v4_golden.json"
+);
 const V3_GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/data/trace_v3_golden.json"
@@ -22,7 +27,8 @@ const V2_GOLDEN: &str = concat!(
 );
 
 /// A fully deterministic trace: fixed timings, one degradation, a two-span
-/// tree with counters. No clocks are read anywhere in this test.
+/// tree with counters, fixed allocation totals. No clocks are read anywhere
+/// in this test.
 fn sample_trace() -> PipelineTrace {
     let mut t = PipelineTrace::new();
     t.record("superset", 2_000_000, 4096, 4000);
@@ -54,6 +60,8 @@ fn sample_trace() -> PipelineTrace {
         wall_ns: 2_000_000,
         counters: vec![("bytes", 4096), ("candidates", 4000)],
     });
+    t.alloc_bytes = 786_432;
+    t.alloc_peak = 262_144;
     t
 }
 
@@ -70,6 +78,25 @@ fn sample_report() -> String {
         &[("metadis (ours)".to_string(), sample_trace())],
         &snapshot,
     )
+}
+
+/// Remove every `,"alloc_bytes":N,"alloc_peak":N` pair from a serialized
+/// report (the two fields are always emitted together, in that order).
+fn strip_alloc(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find(r#","alloc_bytes":"#) {
+        out.push_str(&rest[..at]);
+        let tail = &rest[at..];
+        let peak_key = r#","alloc_peak":"#;
+        let peak_at = tail.find(peak_key).expect("alloc_peak follows alloc_bytes");
+        let after = &tail[peak_at + peak_key.len()..];
+        let digits = after.chars().take_while(char::is_ascii_digit).count();
+        assert!(digits > 0, "malformed alloc_peak value");
+        rest = &after[digits..];
+    }
+    out.push_str(rest);
+    out
 }
 
 /// Remove the `,"spans":[...]` member from a serialized trace object by
@@ -103,8 +130,16 @@ fn strip_spans(json: &str) -> String {
     out
 }
 
-/// What a v2 emitter would have produced for the same run: the v3 record
-/// minus the `spans` arrays, with the schema tag rewound.
+/// What a v3 emitter would have produced for the same run: the v4 record
+/// minus the `alloc_bytes`/`alloc_peak` fields, with the schema tag rewound.
+fn downgrade_to_v3(v4: &str) -> String {
+    strip_alloc(v4).replace(
+        r#""schema":"metadis.trace.v4""#,
+        r#""schema":"metadis.trace.v3""#,
+    )
+}
+
+/// What a v2 emitter would have produced: v3 minus the `spans` arrays.
 fn downgrade_to_v2(v3: &str) -> String {
     strip_spans(v3).replace(
         r#""schema":"metadis.trace.v3""#,
@@ -113,37 +148,55 @@ fn downgrade_to_v2(v3: &str) -> String {
 }
 
 #[test]
-fn v3_report_matches_golden_byte_for_byte() {
+fn v4_report_matches_golden_byte_for_byte() {
     let got = sample_report();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(V4_GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(V4_GOLDEN).unwrap();
+    assert_eq!(got, want, "v4 encoding drifted; BLESS=1 if intentional");
+}
+
+#[test]
+fn v3_fields_survive_in_v4_byte_for_byte() {
+    let got = downgrade_to_v3(&sample_report());
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V3_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V3_GOLDEN).unwrap();
-    assert_eq!(got, want, "v3 encoding drifted; BLESS=1 if intentional");
+    assert_eq!(
+        got, want,
+        "a v3-era field changed encoding; v4 must keep every v3 field intact"
+    );
 }
 
 #[test]
-fn v2_fields_survive_in_v3_byte_for_byte() {
-    let got = downgrade_to_v2(&sample_report());
+fn v2_fields_survive_in_v4_byte_for_byte() {
+    let got = downgrade_to_v2(&downgrade_to_v3(&sample_report()));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V2_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V2_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v2-era field changed encoding; v3 must keep every v2 field intact"
+        "a v2-era field changed encoding; v4 must keep every v2 field intact"
     );
 }
 
 #[test]
 fn goldens_declare_their_schemas() {
+    let v4 = std::fs::read_to_string(V4_GOLDEN).unwrap();
     let v3 = std::fs::read_to_string(V3_GOLDEN).unwrap();
     let v2 = std::fs::read_to_string(V2_GOLDEN).unwrap();
+    assert!(v4.contains(r#""schema":"metadis.trace.v4""#));
+    assert!(v4.contains(r#""alloc_bytes":786432"#));
+    assert!(v4.contains(r#""alloc_peak":262144"#));
     assert!(v3.contains(r#""schema":"metadis.trace.v3""#));
     assert!(v3.contains(r#""spans":[{"id":0"#));
+    assert!(!v3.contains(r#""alloc_bytes""#));
     assert!(v2.contains(r#""schema":"metadis.trace.v2""#));
     assert!(!v2.contains(r#""spans""#));
-    // every v2 top-level trace field appears in both
+    // every v2 top-level trace field appears in all three
     for key in [
         r#""text_bytes""#,
         r#""wall_ns""#,
@@ -153,6 +206,7 @@ fn goldens_declare_their_schemas() {
         r#""degradations""#,
         r#""metrics""#,
     ] {
+        assert!(v4.contains(key), "v4 missing {key}");
         assert!(v3.contains(key), "v3 missing {key}");
         assert!(v2.contains(key), "v2 missing {key}");
     }

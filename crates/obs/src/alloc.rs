@@ -1,0 +1,369 @@
+//! Heap-allocation accounting: a global byte counter fed by an optional
+//! counting allocator, with windowed attribution for spans.
+//!
+//! ## Pieces
+//!
+//! * The **counters** ([`stats`], [`track_alloc`], [`track_dealloc`]) are
+//!   plain atomics and always compiled. They only move when accounting is
+//!   [`set_enabled`]; disabled, a tracked allocation costs one relaxed
+//!   atomic load and a branch.
+//! * The **allocator** ([`CountingAlloc`], behind the `count-alloc` cargo
+//!   feature) is a `#[global_allocator]` wrapper around the system
+//!   allocator that calls the tracking hooks. Binaries opt in:
+//!
+//!   ```ignore
+//!   #[global_allocator]
+//!   static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+//!   ```
+//!
+//! * The **windows** ([`mark`] / [`Mark::measure`]) attribute bytes to a
+//!   region of execution: `alloc_bytes` is everything allocated inside the
+//!   window, `alloc_peak` is the high-water mark of live bytes above the
+//!   level at window start. Windows nest with stack discipline — closing a
+//!   child folds its peak back into the parent's window — which is exactly
+//!   how [`crate::SpanSet`] uses them to stamp `alloc_bytes`/`alloc_peak`
+//!   counters onto every span.
+//!
+//! The counters are **thread-local**: [`stats`] and windows see exactly the
+//! allocations of the calling thread, which is what span attribution wants
+//! (the pipeline is single-threaded; a background thread's allocations must
+//! not pollute its windows). This is also what keeps the enabled-path cost
+//! at plain loads and stores — no locked read-modify-write per allocation —
+//! which is how the telemetry arms of the throughput bench stay within
+//! their overhead budget. Only the on/off flag is process-global.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Per-thread counters. `Cell<u64>` has no destructor, so the allocator
+/// hooks may touch these at any point in a thread's life (including during
+/// thread teardown) without TLS-destruction hazards.
+struct Counters {
+    allocated: Cell<u64>,
+    freed: Cell<u64>,
+    live: Cell<u64>,
+    peak: Cell<u64>,
+}
+
+thread_local! {
+    static COUNTERS: Counters = const {
+        Counters {
+            allocated: Cell::new(0),
+            freed: Cell::new(0),
+            live: Cell::new(0),
+            peak: Cell::new(0),
+        }
+    };
+}
+
+/// Turn accounting on or off (off by default). Enabling mid-process is
+/// fine: frees of pre-enable memory saturate at zero live bytes instead of
+/// underflowing.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when accounting is on (the counters move).
+pub fn is_active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record an allocation of `bytes`. Called by [`CountingAlloc`]; exposed so
+/// unit tests (and alternative allocators) can drive the accounting
+/// deterministically.
+#[inline]
+pub fn track_alloc(bytes: usize) {
+    if !is_active() {
+        return;
+    }
+    COUNTERS.with(|c| {
+        let b = bytes as u64;
+        c.allocated.set(c.allocated.get().wrapping_add(b));
+        let live = c.live.get().wrapping_add(b);
+        c.live.set(live);
+        if live > c.peak.get() {
+            c.peak.set(live);
+        }
+    });
+}
+
+/// Record a deallocation of `bytes` (saturating — see [`set_enabled`]).
+#[inline]
+pub fn track_dealloc(bytes: usize) {
+    if !is_active() {
+        return;
+    }
+    COUNTERS.with(|c| {
+        let b = bytes as u64;
+        c.freed.set(c.freed.get().wrapping_add(b));
+        c.live.set(c.live.get().saturating_sub(b));
+    });
+}
+
+/// Point-in-time allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes allocated since accounting was enabled.
+    pub allocated: u64,
+    /// Total bytes freed.
+    pub freed: u64,
+    /// Bytes currently live (allocated - freed, saturating).
+    pub live: u64,
+    /// High-water mark of `live` (within the current peak window).
+    pub peak: u64,
+}
+
+/// Snapshot the calling thread's counters.
+pub fn stats() -> AllocStats {
+    COUNTERS.with(|c| AllocStats {
+        allocated: c.allocated.get(),
+        freed: c.freed.get(),
+        live: c.live.get(),
+        peak: c.peak.get(),
+    })
+}
+
+/// Zero the calling thread's counters (tests and fresh measurement
+/// windows).
+pub fn reset() {
+    COUNTERS.with(|c| {
+        c.allocated.set(0);
+        c.freed.set(0);
+        c.live.set(0);
+        c.peak.set(0);
+    });
+}
+
+/// An open attribution window (see the module docs). Obtain with [`mark`],
+/// close with [`Mark::measure`]. Windows must close in reverse open order
+/// (stack discipline) for nested peaks to fold correctly.
+#[derive(Debug, Clone, Copy)]
+pub struct Mark {
+    allocated_at_begin: u64,
+    live_at_begin: u64,
+    outer_peak: u64,
+}
+
+/// Open an attribution window on the calling thread: remembers the
+/// bytes-allocated and live-bytes levels and restarts peak tracking from
+/// the current live level.
+pub fn mark() -> Mark {
+    COUNTERS.with(|c| {
+        let live = c.live.get();
+        let outer_peak = c.peak.replace(live);
+        Mark {
+            allocated_at_begin: c.allocated.get(),
+            live_at_begin: live,
+            outer_peak,
+        }
+    })
+}
+
+impl Mark {
+    /// Close the window (on the thread that opened it): returns
+    /// `(alloc_bytes, alloc_peak)` — bytes allocated inside the window, and
+    /// the high-water mark of live bytes above the level at window start —
+    /// and folds the window's peak back into the enclosing window.
+    pub fn measure(self) -> (u64, u64) {
+        COUNTERS.with(|c| {
+            let window_peak = c.peak.get();
+            let alloc_bytes = c.allocated.get().saturating_sub(self.allocated_at_begin);
+            let alloc_peak = window_peak.saturating_sub(self.live_at_begin);
+            c.peak.set(window_peak.max(self.outer_peak));
+            (alloc_bytes, alloc_peak)
+        })
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+mod global {
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    /// A `#[global_allocator]` wrapper around [`System`] that feeds the
+    /// accounting counters in [`super`]. Counting is a no-op until
+    /// [`super::set_enabled`]`(true)`.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct CountingAlloc;
+
+    impl CountingAlloc {
+        /// The allocator (a zero-sized token).
+        pub const fn new() -> CountingAlloc {
+            CountingAlloc
+        }
+    }
+
+    // The wrapper adds no invariants of its own: every call forwards to
+    // `System` verbatim; the accounting hooks touch only atomics (they
+    // cannot allocate, so there is no reentrancy hazard).
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                super::track_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                super::track_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            super::track_dealloc(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                super::track_dealloc(layout.size());
+                super::track_alloc(new_size);
+            }
+            p
+        }
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+pub use global::CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The enable flag is process-global (the counters are thread-local);
+    /// tests that flip it serialize here (and run with accounting driven
+    /// manually, not via a global allocator — the obs test binary does not
+    /// install one).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_tracking_is_a_noop() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(false);
+        track_alloc(100);
+        track_dealloc(40);
+        assert_eq!(stats(), AllocStats::default());
+    }
+
+    #[test]
+    fn counters_and_peak() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        track_alloc(100);
+        track_alloc(50);
+        track_dealloc(120);
+        let s = stats();
+        set_enabled(false);
+        assert_eq!(s.allocated, 150);
+        assert_eq!(s.freed, 120);
+        assert_eq!(s.live, 30);
+        assert_eq!(s.peak, 150);
+    }
+
+    #[test]
+    fn dealloc_saturates_at_zero_live() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        // a free of memory allocated before accounting was enabled
+        track_dealloc(64);
+        track_alloc(8);
+        let s = stats();
+        set_enabled(false);
+        assert_eq!(s.live, 8);
+        assert_eq!(s.freed, 64);
+    }
+
+    #[test]
+    fn nested_windows_fold_peaks() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let outer = mark();
+        track_alloc(10); // outer live: 10
+        let inner = mark();
+        track_alloc(100); // spike inside the inner window
+        track_dealloc(100);
+        let (inner_bytes, inner_peak) = inner.measure();
+        track_alloc(5); // outer live: 15
+        let (outer_bytes, outer_peak) = outer.measure();
+        set_enabled(false);
+        assert_eq!(inner_bytes, 100);
+        assert_eq!(inner_peak, 100); // 110 live at spike, 10 at inner start
+        assert_eq!(outer_bytes, 115);
+        // the inner spike dominates the outer window's peak too
+        assert_eq!(outer_peak, 110);
+    }
+
+    #[test]
+    fn spans_carry_alloc_counters() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let mut s = crate::SpanSet::new();
+        let root = s.begin("pipeline");
+        track_alloc(64);
+        let child = s.begin("superset");
+        track_alloc(256);
+        track_dealloc(256);
+        s.end(child);
+        s.end(root);
+        set_enabled(false);
+        let spans = s.finish();
+        let counters = |i: usize, name: &str| -> u64 {
+            spans[i]
+                .counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("span {i} missing {name}: {:?}", spans[i]))
+        };
+        assert_eq!(counters(1, "alloc_bytes"), 256);
+        assert_eq!(counters(1, "alloc_peak"), 256);
+        assert_eq!(counters(0, "alloc_bytes"), 320);
+        // the child's spike dominates the root's peak too: 64 + 256 live
+        assert_eq!(counters(0, "alloc_peak"), 320);
+    }
+
+    #[test]
+    fn inactive_accounting_leaves_spans_clean() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(false);
+        let mut s = crate::SpanSet::new();
+        let a = s.begin("pipeline");
+        track_alloc(64);
+        s.end(a);
+        let spans = s.finish();
+        assert!(spans[0].counters.is_empty(), "{:?}", spans[0]);
+    }
+
+    #[test]
+    fn window_peak_survives_child_with_lower_peak() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let outer = mark();
+        track_alloc(100); // outer peak: 100
+        track_dealloc(90); // live: 10
+        let inner = mark();
+        track_alloc(1);
+        let (_, inner_peak) = inner.measure();
+        let (_, outer_peak) = outer.measure();
+        set_enabled(false);
+        assert_eq!(inner_peak, 1);
+        // the pre-child spike was not erased by the child's window
+        assert_eq!(outer_peak, 100);
+    }
+}

@@ -25,10 +25,15 @@
 //! assert_eq!(snap.histograms["demo.work_ns"].count, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the `GlobalAlloc` impl behind the
+// `count-alloc` feature (crate::alloc); everything else stays forbidden.
+#![cfg_attr(not(feature = "count-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod provenance;
 pub mod registry;

@@ -61,12 +61,22 @@ impl Span {
 }
 
 /// A single-threaded span recorder (see the module docs).
+///
+/// When allocation accounting is active ([`crate::alloc::is_active`]),
+/// every span additionally opens an attribution window and closes with two
+/// extra counters: `alloc_bytes` (bytes allocated while the span was open)
+/// and `alloc_peak` (high-water mark of live bytes above the level at span
+/// begin). Disabled, spans carry no allocation counters and pay one atomic
+/// load per begin.
 #[derive(Debug, Default)]
 pub struct SpanSet {
     origin: Option<Stopwatch>,
     spans: Vec<Span>,
     /// Indices into `spans` of currently-open spans, innermost last.
     stack: Vec<usize>,
+    /// Allocation windows of the open spans, parallel to `stack` (`None`
+    /// when accounting was inactive at begin).
+    marks: Vec<Option<crate::alloc::Mark>>,
 }
 
 impl SpanSet {
@@ -95,17 +105,31 @@ impl SpanSet {
             counters: Vec::new(),
         });
         self.stack.push(id as usize);
+        self.marks
+            .push(crate::alloc::is_active().then(crate::alloc::mark));
         id
+    }
+
+    /// Close the innermost open span: duration, then the allocation window
+    /// (innermost-first order is what lets nested peaks fold correctly).
+    fn close_top(&mut self, now: u64) -> Option<u32> {
+        let top = self.stack.pop()?;
+        let mark = self.marks.pop().flatten();
+        let s = &mut self.spans[top];
+        s.wall_ns = now.saturating_sub(s.start_ns);
+        if let Some(m) = mark {
+            let (alloc_bytes, alloc_peak) = m.measure();
+            s.counters.push(("alloc_bytes", alloc_bytes));
+            s.counters.push(("alloc_peak", alloc_peak));
+        }
+        Some(s.id)
     }
 
     /// Close span `id` (and any still-open spans nested inside it).
     pub fn end(&mut self, id: u32) {
         let now = self.now_ns();
-        while let Some(&top) = self.stack.last() {
-            self.stack.pop();
-            let s = &mut self.spans[top];
-            s.wall_ns = now.saturating_sub(s.start_ns);
-            if s.id == id {
+        while let Some(closed) = self.close_top(now) {
+            if closed == id {
                 break;
             }
         }
@@ -124,10 +148,7 @@ impl SpanSet {
     /// Close any open spans and return the records in begin order.
     pub fn finish(mut self) -> Vec<Span> {
         let now = self.now_ns();
-        while let Some(top) = self.stack.pop() {
-            let s = &mut self.spans[top];
-            s.wall_ns = now.saturating_sub(s.start_ns);
-        }
+        while self.close_top(now).is_some() {}
         self.spans
     }
 }

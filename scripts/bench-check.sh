@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate: run the throughput bench (QUICK corpus) and diff its
+# metadis.trace.v4 record against the committed baseline in
+# tests/data/bench/ with `metadis trace-diff`.
+#
+# Count metrics (viability iterations, corrections, degradations) are
+# deterministic and gate tightly; wall-clock gets a very generous ratio (the
+# noise floor) so the gate survives slow or busy CI machines while still
+# catching order-of-magnitude blowups. Exits 5 on regression, mirroring the
+# trace-diff CI gate.
+#
+# Regenerate the baseline after an intentional perf-relevant change with:
+#   QUICK=1 BENCH_JSON_DIR=tests/data/bench \
+#     cargo bench --offline -p bench --bench throughput
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=tests/data/bench/BENCH_throughput.json
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench-check: missing baseline $BASELINE" >&2
+    exit 3
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench-check: QUICK throughput run"
+# The bench itself asserts the <5% telemetry-overhead budget (exit 1).
+QUICK=1 BENCH_JSON_DIR="$TMP" cargo bench -q --offline -p bench --bench throughput
+
+echo "== bench-check: trace-diff vs $BASELINE"
+# Wall noise floor: 100x. Anything past that on a QUICK corpus is a hang or
+# an accidental O(n^2), not a slow machine.
+cargo run --release --offline --bin metadis -- \
+    trace-diff "$BASELINE" "$TMP/BENCH_throughput.json" \
+    --max-wall-ratio 100
+
+echo "bench-check passed."

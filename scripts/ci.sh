@@ -41,4 +41,20 @@ cargo run --release --offline --bin metadis -- \
   trace-diff tests/data/ci_baseline_trace.json "$TD_TMP/trace.json" \
   --max-wall-ratio 100
 
+echo "== bench-check perf gate"
+# QUICK throughput run diffed against the committed tests/data/bench/
+# baseline (exit 5 on regression); also asserts the <5% telemetry-overhead
+# budget inside the bench itself.
+./scripts/bench-check.sh
+
+echo "== telemetry artifacts"
+# Re-run the fixed workload with the full telemetry surface on and leave
+# the outputs in artifacts/ for the workflow to upload: the --metrics
+# table, the structured log stream, and the trace record.
+mkdir -p artifacts
+cargo run --release --offline --bin metadis -- \
+  disasm "$TD_TMP/ci.elf" --metrics --log artifacts/ci-run.log \
+  --trace-json artifacts/ci-trace.json > artifacts/ci-metrics.txt
+cp "$TD_TMP/trace.json" artifacts/ci-trace-gate.json 2>/dev/null || true
+
 echo "CI gate passed."

@@ -143,6 +143,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // failures stream to stderr as structured metadis.log.v1 records, so a
+    // CI harness can machine-read them alongside the human summary on stdout
+    obs::log::set_level(Some(obs::log::Level::Warn));
+    obs::log::to_stderr();
     let limits = Limits::with_deadline_ms(opts.deadline_ms);
     // deadline polling is deliberately coarse (every few thousand units of
     // work), so allow slack before calling a slow run an overrun; a hang
@@ -201,10 +205,17 @@ fn main() {
             .push("no mutant survived to disassembly — mutator too destructive".to_string());
     }
     if !t.failures.is_empty() {
-        eprintln!("FAILURES ({}):", t.failures.len());
         for f in t.failures.iter().take(20) {
-            eprintln!("  {f}");
+            obs::log::error(
+                "fuzz",
+                "invariant violated",
+                &[("detail", obs::log::Value::Str(f.clone()))],
+            );
         }
+        println!(
+            "  FAILED: {} invariant violation(s), see structured records on stderr",
+            t.failures.len()
+        );
         std::process::exit(1);
     }
     println!("  OK: no panics, no deadline overruns, full byte coverage");

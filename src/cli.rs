@@ -14,12 +14,18 @@
 //!   stable `metadis.explain.v1` record.
 //! * `trace-diff <baseline.json> <new.json>` — compare two trace records
 //!   against regression thresholds; exits non-zero on drift.
+//! * `serve` — batch-service mode: disassemble ELF paths from stdin, a
+//!   file, or a watched directory while exposing Prometheus `/metrics` and
+//!   `/healthz` over HTTP (see [`crate::serve`]).
+//! * `scrape <host:port>` — fetch and print a serve-mode endpoint.
 //!
 //! Every analysis command also accepts the observability flags:
 //! `--metrics` appends per-phase timing tables, the event-span tree, and
 //! the global counter/histogram snapshot to the output, `--trace-json
 //! <path>` writes a machine-readable trace record (schema
-//! `metadis.trace.v3`, see the README "Observability" section), and
+//! `metadis.trace.v4`, see the README "Observability" section), `--log
+//! <path|->` / `--log-level <level>` stream structured `metadis.log.v1`
+//! JSON lines to a file or stderr, and
 //! `--provenance` collects the per-byte evidence ledger (`explain` turns
 //! it on automatically), plus the robustness flags:
 //! `--deadline-ms` / `--max-iterations` bound the pipeline's resource use
@@ -128,6 +134,9 @@ USAGE:
     metadis explain <elf> <offset|start..end> [--json] [--train N]
     metadis trace-diff <baseline.json> <new.json> [--max-wall-ratio F]
                 [--max-count-ratio F] [--allow-degradations]
+    metadis serve [--addr HOST:PORT] [--from FILE | --watch DIR]
+                [--max-requests N] [--poll-ms N]
+    metadis scrape <host:port> [--path /metrics]
 
 OPTIONS:
     --listing       print a full annotated listing instead of the summary
@@ -144,10 +153,27 @@ OBSERVABILITY (any analysis command):
     --metrics          append per-phase timing tables, the event-span tree
                        and the global counter/histogram snapshot
     --trace-json PATH  write a machine-readable trace record
-                       (schema metadis.trace.v3) to PATH
+                       (schema metadis.trace.v4) to PATH
+    --log DEST         stream structured metadis.log.v1 JSON lines to DEST
+                       (a file path, or '-' for stderr)
+    --log-level L      keep records at level L and above: trace, debug,
+                       info, warn, error (default info when --log is given)
     --provenance       collect the per-byte evidence ledger (the explain
                        command enables this automatically; off by default
                        because it costs memory proportional to decisions)
+
+SERVE:
+    --addr HOST:PORT   bind address for /metrics and /healthz
+                       (default 127.0.0.1:0 — an ephemeral port, logged at
+                       startup as a metadis.log.v1 'listening' event)
+    --from FILE        read ELF paths (one per line) from FILE instead of
+                       stdin
+    --watch DIR        poll DIR for new files and disassemble each once
+    --max-requests N   stop after N processed requests
+    --poll-ms N        watch-mode poll interval (default 200)
+
+SCRAPE:
+    --path P           endpoint to fetch (default /metrics)
 
 EXPLAIN:
     --json             emit the metadis.explain.v1 JSON record instead of
@@ -195,6 +221,27 @@ impl CmdOutput {
 /// Returns a [`CliError`] with a user-facing message on bad arguments or
 /// I/O / parse failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let r = run_inner(args);
+    // a failing invocation lands in the structured stream too, while the
+    // sink is still attached (the binary prints the human-facing line)
+    if let Err(e) = &r {
+        obs::log::error(
+            "cli",
+            "command failed",
+            &[
+                ("category", e.category.name().into()),
+                ("error", e.message.as_str().into()),
+            ],
+        );
+    }
+    // per-invocation logger teardown, so in-process callers (tests, the
+    // eval harness) don't leak a sink or level into the next invocation
+    obs::log::clear_sink();
+    obs::log::set_level(None);
+    r
+}
+
+fn run_inner(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| err(USAGE))?;
     let rest: Vec<&String> = it.collect();
@@ -203,10 +250,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if metrics || trace_json.is_some() {
         obs::set_enabled(true);
     }
+    // allocation accounting is on for every CLI invocation; without the
+    // `count-alloc` feature no allocator feeds it and the fields read 0
+    obs::alloc::set_enabled(true);
     // each invocation is its own measurement window: zero the global
     // registry so repeated in-process runs (tests, the eval harness) don't
     // accumulate stale counters across invocations
     obs::global().reset();
+    obs::log::reset();
+    configure_logging(&rest)?;
     let mut out = match cmd.as_str() {
         "disasm" => cmd_disasm(&rest)?,
         "gen" => cmd_gen(&rest)?,
@@ -217,6 +269,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "score" => cmd_score(&rest)?,
         "explain" => cmd_explain(&rest)?,
         "trace-diff" => cmd_trace_diff(&rest)?,
+        "serve" => cmd_serve(&rest)?,
+        "scrape" => cmd_scrape(&rest)?,
         "help" | "--help" | "-h" => CmdOutput::text_only(USAGE.to_string()),
         other => return Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -250,6 +304,31 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     Ok(out.text)
 }
 
+/// Apply `--log` / `--log-level`: install the sink and set the level. With
+/// neither flag the logger stays off (records cost one atomic load).
+fn configure_logging(rest: &[&String]) -> Result<(), CliError> {
+    let dest = flag_value(rest, "--log");
+    let level = match flag_value(rest, "--log-level") {
+        Some(s) => Some(
+            obs::log::Level::parse(s)
+                .ok_or_else(|| err(format!("--log-level: unknown level '{s}'")))?,
+        ),
+        None => None,
+    };
+    if dest.is_none() && level.is_none() {
+        return Ok(());
+    }
+    obs::log::set_level(Some(level.unwrap_or(obs::log::Level::Info)));
+    match dest {
+        Some("-") => obs::log::to_stderr(),
+        Some(path) => {
+            obs::log::to_file(path).map_err(|e| io_err(format!("cannot open log '{path}': {e}")))?
+        }
+        None => obs::log::clear_sink(), // level only: ring-buffer capture
+    }
+    Ok(())
+}
+
 /// Append each tool's per-phase table plus the global metric snapshot.
 fn append_metrics(out: &mut CmdOutput) {
     for (name, d) in &out.tools {
@@ -259,6 +338,13 @@ fn append_metrics(out: &mut CmdOutput) {
             d.trace.corrections_total(),
             d.trace.viability_iterations
         );
+        if d.trace.alloc_bytes > 0 || d.trace.alloc_peak > 0 {
+            let _ = writeln!(
+                out.text,
+                "[{name}] heap: {} bytes allocated, {} bytes peak",
+                d.trace.alloc_bytes, d.trace.alloc_peak
+            );
+        }
         out.text.push_str(&d.trace.render_table());
         for g in &d.trace.degradations {
             let _ = writeln!(
@@ -536,6 +622,11 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let path = positional(rest).ok_or_else(|| err(format!("compare: missing <elf>\n\n{USAGE}")))?;
     let cfg = build_config(rest)?;
     let image = load_image(path)?;
+    // per-tool warn counts need the logger at least tallying warns; leave a
+    // user-chosen level alone (run() tears the level down per invocation)
+    if obs::log::level().is_none() {
+        obs::log::set_level(Some(obs::log::Level::Warn));
+    }
     let mut t = disasm_eval::table::TextTable::new([
         "tool",
         "instructions",
@@ -545,18 +636,24 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
         "tables",
         "wall ms",
         "MiB/s",
+        "alloc_peak",
+        "log_warn_count",
         "degraded_runs",
         "degradation_count",
     ]);
-    let mut tools: Vec<(String, Disassembly)> = Baseline::ALL
+    let run_tool = |name: &str, f: &dyn Fn() -> Disassembly| -> (String, Disassembly, u64) {
+        let warns_before = obs::log::warn_count();
+        let d = f();
+        (name.to_string(), d, obs::log::warn_count() - warns_before)
+    };
+    let mut runs: Vec<(String, Disassembly, u64)> = Baseline::ALL
         .iter()
-        .map(|b| (b.name().to_string(), b.disassemble(&image)))
+        .map(|b| run_tool(b.name(), &|| b.disassemble(&image)))
         .collect();
-    tools.push((
-        "metadis (ours)".to_string(),
-        Disassembler::new(cfg).disassemble(&image),
-    ));
-    for (name, d) in &tools {
+    runs.push(run_tool("metadis (ours)", &|| {
+        Disassembler::new(cfg.clone()).disassemble(&image)
+    }));
+    for (name, d, warns) in &runs {
         use disasm_core::ByteClass;
         t.row([
             name.clone(),
@@ -567,10 +664,13 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
             d.jump_tables.len().to_string(),
             format!("{:.3}", d.trace.total_wall_ns as f64 / 1e6),
             format!("{:.1}", d.trace.bytes_per_sec() / (1024.0 * 1024.0)),
+            d.trace.alloc_peak.to_string(),
+            warns.to_string(),
             u64::from(d.trace.is_degraded()).to_string(),
             d.trace.degradations.len().to_string(),
         ]);
     }
+    let tools: Vec<(String, Disassembly)> = runs.into_iter().map(|(n, d, _)| (n, d)).collect();
     let mut out = t.render();
     // where ours spends its time, phase by phase
     if let Some((name, d)) = tools.last() {
@@ -872,6 +972,104 @@ fn cmd_trace_diff(rest: &[&String]) -> Result<CmdOutput, CliError> {
     Ok(CmdOutput::text_only(text))
 }
 
+fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    // the bound (possibly ephemeral) port is announced via the logger; make
+    // sure that announcement goes somewhere when the user didn't pick a sink
+    if obs::log::level().is_none() {
+        obs::log::set_level(Some(obs::log::Level::Info));
+        obs::log::to_stderr();
+    }
+    let cfg = build_config(rest)?;
+    let addr = flag_value(rest, "--addr").unwrap_or("127.0.0.1:0");
+    let max_requests: u64 = match flag_value(rest, "--max-requests") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err("--max-requests expects an integer"))?,
+        None => u64::MAX,
+    };
+    let poll_ms: u64 = match flag_value(rest, "--poll-ms") {
+        Some(v) => v.parse().map_err(|_| err("--poll-ms expects an integer"))?,
+        None => 200,
+    };
+    let server = crate::serve::Server::start(addr)
+        .map_err(|e| io_err(format!("cannot bind '{addr}': {e}")))?;
+
+    let mut processed: u64 = 0;
+    let mut process = |server: &crate::serve::Server, path: &str| -> bool {
+        let path = path.trim();
+        if path.is_empty() || path.starts_with('#') {
+            return true;
+        }
+        // per-request failures are service events (logged + counted by the
+        // server), not fatal CLI errors: a batch keeps going past bad inputs
+        let _ = server.process_path(path, &cfg);
+        processed += 1;
+        processed < max_requests
+    };
+
+    if let Some(list) = flag_value(rest, "--from") {
+        let text = std::fs::read_to_string(list)
+            .map_err(|e| io_err(format!("cannot read '{list}': {e}")))?;
+        for line in text.lines() {
+            if !process(&server, line) {
+                break;
+            }
+        }
+    } else if let Some(dir) = flag_value(rest, "--watch") {
+        let mut seen = std::collections::BTreeSet::new();
+        'watch: loop {
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| io_err(format!("cannot read dir '{dir}': {e}")))?;
+            let mut fresh: Vec<String> = entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                .filter_map(|e| e.path().to_str().map(str::to_string))
+                .filter(|p| !seen.contains(p))
+                .collect();
+            fresh.sort();
+            for path in fresh {
+                seen.insert(path.clone());
+                if !process(&server, &path) {
+                    break 'watch;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+        }
+    } else {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if !process(&server, &line) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let text = format!(
+        "served {} request(s), {} error(s)\n{}",
+        server.requests(),
+        server.errors(),
+        server.render_metrics()
+    );
+    server.shutdown();
+    Ok(CmdOutput::text_only(text))
+}
+
+fn cmd_scrape(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let addr =
+        positional(rest).ok_or_else(|| err(format!("scrape: missing <host:port>\n\n{USAGE}")))?;
+    let path = flag_value(rest, "--path").unwrap_or("/metrics");
+    let body = crate::serve::scrape(addr, path)
+        .map_err(|e| io_err(format!("scrape {addr}{path}: {e}")))?;
+    Ok(CmdOutput::text_only(body))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -977,14 +1175,14 @@ mod tests {
         assert!(out.contains("global metrics"), "{out}");
         assert!(out.contains("pipeline.runs"), "{out}");
 
-        // --trace-json writes a metadis.trace.v3 record
+        // --trace-json writes a metadis.trace.v4 record
         let json_path = dir.join("trace.json");
         let json_s = json_path.to_str().unwrap();
         let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
         assert!(out.contains("trace record written"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(
-            json.starts_with(r#"{"schema":"metadis.trace.v3","command":"disasm""#),
+            json.starts_with(r#"{"schema":"metadis.trace.v4","command":"disasm""#),
             "{json}"
         );
         for key in [
@@ -995,6 +1193,8 @@ mod tests {
             r#""bytes_per_sec""#,
             r#""phases":[{"name":"superset""#,
             r#""metrics":{"counters""#,
+            r#""alloc_bytes""#,
+            r#""alloc_peak""#,
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1007,6 +1207,8 @@ mod tests {
         assert!(cmp.contains("phase timing"), "{cmp}");
         assert!(cmp.contains("degraded_runs"), "{cmp}");
         assert!(cmp.contains("degradation_count"), "{cmp}");
+        assert!(cmp.contains("alloc_peak"), "{cmp}");
+        assert!(cmp.contains("log_warn_count"), "{cmp}");
 
         // cfg records its own phase in the trace record
         let cfg_json = dir.join("cfg-trace.json");
@@ -1266,11 +1468,99 @@ mod tests {
         assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
         // ...but the trace record was still written, with the degradations
         let json = std::fs::read_to_string(&json_path).unwrap();
-        assert!(json.contains(r#""schema":"metadis.trace.v3""#), "{json}");
+        assert!(json.contains(r#""schema":"metadis.trace.v4""#), "{json}");
         assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
 
         // an unconstrained strict run passes
         let out = run(&args(&["disasm", elf_s, "--strict"])).unwrap();
         assert!(out.contains("instructions"), "{out}");
+    }
+
+    #[test]
+    fn log_flags_stream_structured_lines() {
+        let dir = tmpdir();
+        let elf = dir.join("log.elf");
+        let elf_s = elf.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "-o",
+            elf_s,
+            "--seed",
+            "5",
+            "--functions",
+            "8",
+        ]))
+        .unwrap();
+
+        // --log FILE streams metadis.log.v1 JSON lines covering the run
+        let log = dir.join("run.log");
+        let log_s = log.to_str().unwrap();
+        run(&args(&["disasm", elf_s, "--log", log_s])).unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 8, "expected a line per phase, got:\n{text}");
+        for line in &lines {
+            assert!(
+                line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+                "{line}"
+            );
+            assert!(line.ends_with('}'), "{line}");
+        }
+        for needle in [
+            r#""msg":"run begin""#,
+            r#""phase":"superset""#,
+            r#""phase":"viability""#,
+            r#""msg":"run done""#,
+            r#""level":"info""#,
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+
+        // --log-level warn filters the info-level phase chatter out
+        let quiet = dir.join("quiet.log");
+        let quiet_s = quiet.to_str().unwrap();
+        run(&args(&[
+            "disasm",
+            elf_s,
+            "--log",
+            quiet_s,
+            "--log-level",
+            "warn",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&quiet).unwrap();
+        assert!(!text.contains(r#""level":"info""#), "{text}");
+
+        // a budget-limited run emits warn-level budget-hit records
+        let warn = dir.join("warn.log");
+        let warn_s = warn.to_str().unwrap();
+        run(&args(&[
+            "disasm",
+            elf_s,
+            "--max-iterations",
+            "1",
+            "--log",
+            warn_s,
+            "--log-level",
+            "warn",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&warn).unwrap();
+        assert!(text.contains(r#""msg":"budget hit""#), "{text}");
+        assert!(text.contains(r#""limit":"#), "{text}");
+
+        // an unknown level is a usage error
+        let e = run(&args(&["disasm", elf_s, "--log-level", "loud"])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Usage, "{e}");
+    }
+
+    #[test]
+    fn scrape_without_server_is_io_error() {
+        // a port nobody listens on: bind-then-drop reserves a dead address
+        let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap().to_string();
+        drop(dead);
+        let e = run(&args(&["scrape", &addr])).unwrap_err();
+        assert_eq!(e.category, ErrorCategory::Io, "{e}");
     }
 }

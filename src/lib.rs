@@ -16,7 +16,9 @@
 //! * [`eval`] — ground-truth metrics and the experiment harness
 //!   ([`disasm_eval`]).
 //! * [`cli`] — the `metadis` command-line interface
-//!   (disasm / gen / compare / cfg / report / diff / score).
+//!   (disasm / gen / compare / cfg / report / diff / score / serve).
+//! * [`serve`] — batch-service mode: a long-running worker with a
+//!   Prometheus `/metrics` + `/healthz` exposition surface.
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,16 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve;
+
+/// The counting allocator (default feature `count-alloc`): every binary and
+/// test of this package accounts heap traffic through [`obs::alloc`].
+/// Counting stays off until [`obs::alloc::set_enabled`] — the CLI enables
+/// it per invocation — so carrying the wrapper costs one predicted branch
+/// per allocation.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL_ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
 
 pub use bingen as gen;
 pub use disasm_baselines as baselines;

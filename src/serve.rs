@@ -1,0 +1,412 @@
+//! Batch-service mode: a long-running disassembly worker with a metrics
+//! exposition surface.
+//!
+//! [`Server`] binds a plain `std::net::TcpListener` and answers two HTTP
+//! paths from a background thread:
+//!
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
+//!   service counters: requests, errors, bytes, instructions, wall time,
+//!   degradations, allocation totals, and the `obs::log` warn/error counts.
+//! * `GET /healthz` — `ok` with status 200 while the server is up.
+//!
+//! Requests themselves (ELF paths to disassemble) arrive out of band — from
+//! stdin, a file, or a watched directory (see the `metadis serve` command) —
+//! and are processed on the caller's thread via [`Server::process_path`], so
+//! the analysis pipeline stays single-threaded while the exposition surface
+//! stays responsive. [`scrape`] is the matching client (used by `metadis
+//! scrape`): one GET over a fresh connection, body returned as a string.
+//!
+//! Everything here is standard library only: hand-rolled request-line
+//! parsing on the server side, a hand-rolled GET on the client side. The
+//! HTTP subset is deliberately minimal (no keep-alive, no chunking) —
+//! Prometheus scrapers and `curl` both speak it happily.
+
+use disasm_core::{Config, Disassembler, Image};
+use obs::log::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Service counters, shared between the processing thread and the HTTP
+/// exposition thread. All relaxed atomics: scrapes may observe a request
+/// mid-update, which Prometheus tolerates by design.
+#[derive(Debug, Default)]
+struct State {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    text_bytes: AtomicU64,
+    instructions: AtomicU64,
+    wall_ns: AtomicU64,
+    degradations: AtomicU64,
+    alloc_bytes: AtomicU64,
+    alloc_peak: AtomicU64,
+    http_requests: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// Outcome of one processed request, for the serve loop's own accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSummary {
+    /// Text bytes disassembled.
+    pub text_bytes: u64,
+    /// Accepted instructions.
+    pub instructions: u64,
+    /// Wall time of the pipeline, nanoseconds.
+    pub wall_ns: u64,
+    /// Budget hits recorded by the run.
+    pub degradations: u64,
+}
+
+/// The batch-service server: a bound listener plus the shared counters.
+/// Dropping the server (or calling [`Server::shutdown`]) stops the
+/// exposition thread.
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<State>,
+    addr: SocketAddr,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// answering `/metrics` and `/healthz` on a background thread.
+    pub fn start(addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept + short sleep so the thread notices `stop`
+        // promptly without needing a wakeup connection.
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(State::default());
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            while !thread_state.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = handle_connection(stream, &thread_state);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        obs::log::info(
+            "serve",
+            "listening",
+            &[("addr", Value::Str(addr.to_string()))],
+        );
+        Ok(Server {
+            state,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound socket address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests processed so far.
+    pub fn requests(&self) -> u64 {
+        self.state.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed (unreadable/unparsable input).
+    pub fn errors(&self) -> u64 {
+        self.state.errors.load(Ordering::Relaxed)
+    }
+
+    /// Disassemble the ELF at `path` with `cfg`, folding the run into the
+    /// service counters and emitting request-scoped log events.
+    pub fn process_path(&self, path: &str, cfg: &Config) -> Result<RequestSummary, String> {
+        obs::log::info(
+            "serve",
+            "request begin",
+            &[("path", Value::Str(path.to_string()))],
+        );
+        let image = match load_image(path) {
+            Ok(img) => img,
+            Err(e) => {
+                self.state.errors.fetch_add(1, Ordering::Relaxed);
+                obs::log::error(
+                    "serve",
+                    "request failed",
+                    &[
+                        ("path", Value::Str(path.to_string())),
+                        ("error", Value::Str(e.clone())),
+                    ],
+                );
+                return Err(e);
+            }
+        };
+        let d = Disassembler::new(cfg.clone()).disassemble(&image);
+        let summary = RequestSummary {
+            text_bytes: d.trace.text_bytes,
+            instructions: d.inst_starts.len() as u64,
+            wall_ns: d.trace.total_wall_ns,
+            degradations: d.trace.degradations.len() as u64,
+        };
+        let st = &self.state;
+        st.requests.fetch_add(1, Ordering::Relaxed);
+        st.text_bytes
+            .fetch_add(summary.text_bytes, Ordering::Relaxed);
+        st.instructions
+            .fetch_add(summary.instructions, Ordering::Relaxed);
+        st.wall_ns.fetch_add(summary.wall_ns, Ordering::Relaxed);
+        st.degradations
+            .fetch_add(summary.degradations, Ordering::Relaxed);
+        st.alloc_bytes
+            .fetch_add(d.trace.alloc_bytes, Ordering::Relaxed);
+        st.alloc_peak
+            .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
+        obs::log::info(
+            "serve",
+            "request done",
+            &[
+                ("path", Value::Str(path.to_string())),
+                ("instructions", summary.instructions.into()),
+                ("wall_ns", summary.wall_ns.into()),
+                ("degradations", summary.degradations.into()),
+            ],
+        );
+        Ok(summary)
+    }
+
+    /// Render the Prometheus text exposition of the service counters.
+    pub fn render_metrics(&self) -> String {
+        render_prometheus(&self.state)
+    }
+
+    /// Stop the exposition thread and release the port.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+/// Read ELF bytes at `path` into an [`Image`].
+fn load_image(path: &str) -> Result<Image, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let elf = elfobj::Elf::parse(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
+    Image::from_elf(&elf).ok_or_else(|| format!("'{path}' has no executable section"))
+}
+
+fn render_prometheus(st: &State) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(help);
+        out.push_str("\n# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    metric(
+        "metadis_requests_total",
+        "counter",
+        "Disassembly requests processed.",
+        st.requests.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_request_errors_total",
+        "counter",
+        "Requests that failed before analysis (unreadable or unparsable input).",
+        st.errors.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_text_bytes_total",
+        "counter",
+        "Text bytes disassembled across all requests.",
+        st.text_bytes.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_instructions_total",
+        "counter",
+        "Instructions accepted across all requests.",
+        st.instructions.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_pipeline_wall_ns_total",
+        "counter",
+        "Pipeline wall time across all requests, nanoseconds.",
+        st.wall_ns.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_degradations_total",
+        "counter",
+        "Budget hits recorded across all requests.",
+        st.degradations.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_alloc_bytes_total",
+        "counter",
+        "Heap bytes allocated by requests (0 unless allocation accounting is active).",
+        st.alloc_bytes.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_alloc_peak_bytes",
+        "gauge",
+        "Largest single-request live-heap high-water mark, bytes.",
+        st.alloc_peak.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_log_warns_total",
+        "counter",
+        "Warn-level log records since process start.",
+        obs::log::warn_count(),
+    );
+    metric(
+        "metadis_log_errors_total",
+        "counter",
+        "Error-level log records since process start.",
+        obs::log::error_count(),
+    );
+    metric(
+        "metadis_http_requests_total",
+        "counter",
+        "HTTP requests answered by the exposition endpoint.",
+        st.http_requests.load(Ordering::Relaxed),
+    );
+    metric("metadis_up", "gauge", "1 while the server is running.", 1);
+    out
+}
+
+/// Answer one HTTP connection: parse the request line, route, respond,
+/// close.
+fn handle_connection(stream: TcpStream, st: &State) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // drain headers so well-behaved clients don't see a reset
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    st.http_requests.fetch_add(1, Ordering::Relaxed);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", render_prometheus(st)),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        }
+    };
+    let mut stream = reader.into_inner();
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Fetch `path` from the server at `addr` over a fresh connection and
+/// return the response body. Errors on connection failure or a non-200
+/// status line.
+pub fn scrape(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(std::io::Error::other(format!(
+            "server answered '{status_line}' for {path}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_render_all_families() {
+        let st = State::default();
+        st.requests.store(3, Ordering::Relaxed);
+        st.alloc_peak.store(4096, Ordering::Relaxed);
+        let text = render_prometheus(&st);
+        for family in [
+            "metadis_requests_total 3",
+            "metadis_request_errors_total 0",
+            "metadis_text_bytes_total",
+            "metadis_instructions_total",
+            "metadis_pipeline_wall_ns_total",
+            "metadis_degradations_total",
+            "metadis_alloc_bytes_total",
+            "metadis_alloc_peak_bytes 4096",
+            "metadis_log_warns_total",
+            "metadis_log_errors_total",
+            "metadis_up 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        // every family carries HELP and TYPE lines
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_scrape_reports_it() {
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        let e = scrape(&addr, "/nope").unwrap_err();
+        assert!(e.to_string().contains("404"), "{e}");
+        let ok = scrape(&addr, "/healthz").unwrap();
+        assert_eq!(ok, "ok\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn process_path_errors_count() {
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let e = server
+            .process_path("/nonexistent/x.elf", &Config::default())
+            .unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+        assert_eq!(server.errors(), 1);
+        assert_eq!(server.requests(), 0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end batch-service test: a real TCP server answering `/metrics`
+//! and `/healthz`, fed two disassembly requests, scraped with the same
+//! client the `metadis scrape` command uses.
+
+use metadis::core::Config;
+use metadis::gen::{GenConfig, Workload};
+use metadis::serve::{scrape, Server};
+
+fn write_elf(path: &std::path::Path, seed: u64) {
+    let workload = Workload::generate(&GenConfig::small(seed));
+    std::fs::write(path, workload.to_elf().to_bytes()).unwrap();
+}
+
+#[test]
+fn serve_answers_metrics_and_healthz_and_counts_requests() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("serve.elf");
+    write_elf(&elf, 11);
+
+    obs::alloc::set_enabled(true);
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    // health before any work
+    assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+
+    // two requests: one good ELF, twice
+    let cfg = Config::default();
+    let path = elf.to_str().unwrap();
+    let a = server.process_path(path, &cfg).unwrap();
+    let b = server.process_path(path, &cfg).unwrap();
+    assert!(a.instructions > 0);
+    assert_eq!(a.instructions, b.instructions, "same input, same result");
+
+    // the exposition surface reflects both requests
+    let metrics = scrape(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("metadis_requests_total 2"), "{metrics}");
+    assert!(
+        metrics.contains("metadis_request_errors_total 0"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE metadis_requests_total counter"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("metadis_up 1"), "{metrics}");
+    // instructions accumulate across requests
+    let want = format!("metadis_instructions_total {}", a.instructions * 2);
+    assert!(metrics.contains(&want), "missing '{want}' in {metrics}");
+    // with the count-alloc feature (default) the requests allocated
+    if cfg!(feature = "count-alloc") {
+        assert!(
+            !metrics.contains("metadis_alloc_bytes_total 0\n"),
+            "{metrics}"
+        );
+    }
+
+    // a bad request is counted as an error, not a crash
+    assert!(server
+        .process_path(dir.join("missing.elf").to_str().unwrap(), &cfg)
+        .is_err());
+    let metrics = scrape(&addr, "/metrics").unwrap();
+    assert!(
+        metrics.contains("metadis_request_errors_total 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("metadis_requests_total 2"), "{metrics}");
+
+    server.shutdown();
+}
+
+#[test]
+fn serve_command_drains_a_request_file() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-cmd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("batch.elf");
+    write_elf(&elf, 12);
+    let list = dir.join("requests.txt");
+    std::fs::write(
+        &list,
+        format!(
+            "# comment lines and blanks are skipped\n\n{}\n{}\n",
+            elf.display(),
+            elf.display()
+        ),
+    )
+    .unwrap();
+    let log = dir.join("serve.log");
+
+    let args: Vec<String> = [
+        "serve",
+        "--from",
+        list.to_str().unwrap(),
+        "--log",
+        log.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = metadis::cli::run(&args).unwrap();
+    assert!(out.contains("served 2 request(s), 0 error(s)"), "{out}");
+    assert!(out.contains("metadis_requests_total 2"), "{out}");
+
+    // the log stream recorded the lifecycle as metadis.log.v1 records
+    let logged = std::fs::read_to_string(&log).unwrap();
+    assert!(logged.contains(r#""schema":"metadis.log.v1""#), "{logged}");
+    assert!(logged.contains(r#""msg":"listening""#), "{logged}");
+    assert!(logged.contains(r#""msg":"request done""#), "{logged}");
+}
