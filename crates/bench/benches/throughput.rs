@@ -2,9 +2,13 @@
 //!
 //! Times the raw decode loop, the superset/viability stages, every baseline,
 //! and the full pipeline on one 200-function workload, prints a throughput
-//! table, and writes the measurements as a `metadis.trace.v4` record
+//! table, and writes the measurements as a `metadis.trace.v5` record
 //! (`BENCH_throughput.json`) — the same schema the CLI's `--trace-json`
 //! emits. Set `QUICK=1` for a reduced iteration count.
+//!
+//! Parallel-scaling arms rerun the full pipeline at 1, 2 and 4 worker
+//! threads and print `parallel speedup(N) = X.XXx` lines;
+//! `scripts/bench-check.sh` gates on speedup(4) ≥ 1.5x on ≥4-core machines.
 //!
 //! Two extra arms run the full pipeline with runtime telemetry (allocation
 //! accounting + Info-level ring logging) off and on; the run fails (exit 1)
@@ -129,7 +133,7 @@ fn main() {
         ));
     }
     let full = Disassembler::new(Config {
-        model: Some(model),
+        model: Some(model.clone()),
         ..Config::default()
     });
     tools.push((
@@ -141,6 +145,22 @@ fn main() {
         "metadis (self-trained)".into(),
         bench_tool(iters, &image, |img| self_train.disassemble(img)),
     ));
+
+    // parallel-scaling arms: the identical full pipeline at 1, 2 and 4
+    // worker threads (bit-identical output by contract; only wall time may
+    // change). Each arm's trace carries its thread count and per-phase
+    // shard/merge telemetry into the perf record.
+    let mut scale_ns = [0u64; 3];
+    for (i, threads) in [1usize, 2, 4].into_iter().enumerate() {
+        let tool = Disassembler::new(Config {
+            model: Some(model.clone()),
+            threads,
+            ..Config::default()
+        });
+        let tr = bench_tool(iters, &image, |img| tool.disassemble(img));
+        scale_ns[i] = tr.total_wall_ns;
+        tools.push((format!("metadis (threads={threads})"), tr));
+    }
 
     // telemetry-cost arms: the identical full-pipeline run with runtime
     // telemetry (allocation accounting + Info-level ring logging) off, then
@@ -168,6 +188,21 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\n(best of {iters} runs over {nb} text bytes)");
+
+    // Parseable scaling summary (consumed by scripts/bench-check.sh) plus a
+    // counter in the perf record so the JSON carries the speedup too.
+    let speedup2 = scale_ns[0] as f64 / scale_ns[1].max(1) as f64;
+    let speedup4 = scale_ns[0] as f64 / scale_ns[2].max(1) as f64;
+    println!("parallel speedup(2) = {speedup2:.2}x");
+    println!("parallel speedup(4) = {speedup4:.2}x");
+    obs::global().add(
+        "bench.parallel_speedup_x100_threads2",
+        (speedup2 * 100.0) as u64,
+    );
+    obs::global().add(
+        "bench.parallel_speedup_x100_threads4",
+        (speedup4 * 100.0) as u64,
+    );
 
     let overhead = on_ns as f64 / off_ns as f64 - 1.0;
     println!(

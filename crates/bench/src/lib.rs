@@ -43,17 +43,21 @@ pub fn banner(id: &str, title: &str, expectation: &str) {
     println!();
 }
 
-/// Write a `metadis.trace.v4` perf record to `BENCH_<id>.json` and report
-/// where it went. Records land in `$BENCH_JSON_DIR` when set, otherwise in
-/// the repository root, building up the perf trajectory across runs.
+/// Write a `metadis.trace.v5` perf record to `BENCH_<id>.json` and report
+/// where it went. Records land in `$BENCH_JSON_DIR` when set (relative dirs
+/// resolve against the repository root, not the bench binary's cwd),
+/// otherwise in the repository root, building up the perf trajectory across
+/// runs.
 pub fn emit_bench_json(id: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::env::var_os("BENCH_JSON_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("..")
-                .join("..")
-        });
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let dir = match std::env::var_os("BENCH_JSON_DIR").map(std::path::PathBuf::from) {
+        Some(d) if d.is_absolute() => d,
+        Some(d) => root.join(d),
+        None => root,
+    };
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{id}.json"));
     std::fs::write(&path, json)?;
     println!("perf record written to {}", path.display());

@@ -106,6 +106,7 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let total = Stopwatch::start();
     let deadline = Deadline::start(&cfg.limits);
     let mut trace = PipelineTrace::new();
+    trace.threads = cfg.threads.max(1) as u64;
     let mut spans = SpanSet::new();
     let root = spans.begin("pipeline");
     let text = &image.text;
@@ -127,10 +128,22 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
 
     let sp = spans.begin("superset");
     let sw = Stopwatch::start();
-    let (ss, deg) = Superset::build_limited(text, cfg.limits.max_superset_candidates, &deadline);
+    let (ss, deg, ss_shards, ss_merge) = Superset::build_sharded(
+        text,
+        cfg.limits.max_superset_candidates,
+        &deadline,
+        cfg.threads,
+    );
     trace.degradations.extend(deg);
     let candidates = ss.valid().count() as u64;
-    trace.record("superset", sw.elapsed_ns(), nb, candidates);
+    trace.record_sharded(
+        "superset",
+        sw.elapsed_ns(),
+        nb,
+        candidates,
+        ss_shards,
+        ss_merge,
+    );
     spans.counter(sp, "bytes", nb);
     spans.counter(sp, "candidates", candidates);
     spans.end(sp);
@@ -159,16 +172,27 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
 
     let sp = spans.begin("viability");
     let sw = Stopwatch::start();
-    let viab = if cfg.enable_viability {
-        let (v, deg) =
-            Viability::compute_limited(&ss, cfg.limits.max_viability_iterations, &deadline);
+    let (viab, vi_shards, vi_merge) = if cfg.enable_viability {
+        let (v, deg, shards, merge) = Viability::compute_sharded(
+            &ss,
+            cfg.limits.max_viability_iterations,
+            &deadline,
+            cfg.threads,
+        );
         trace.degradations.extend(deg);
-        v
+        (v, shards, merge)
     } else {
-        Viability::trivial(&ss)
+        (Viability::trivial(&ss), 1, 0)
     };
     trace.viability_iterations = viab.iterations();
-    trace.record("viability", sw.elapsed_ns(), nb, viab.eliminated() as u64);
+    trace.record_sharded(
+        "viability",
+        sw.elapsed_ns(),
+        nb,
+        viab.eliminated() as u64,
+        vi_shards,
+        vi_merge,
+    );
     spans.counter(sp, "eliminated", viab.eliminated() as u64);
     spans.counter(sp, "iterations", viab.iterations());
     spans.end(sp);
@@ -586,9 +610,44 @@ impl<'a> Engine<'a> {
             let sw = Stopwatch::start();
             self.cur_phase = "stats.classify";
             let before = self.decisions[Priority::Statistical as usize];
-            self.statistical_pass(&model, text, cfg.llr_threshold, cfg.enable_defuse);
+            // Parallel precompute of pure-chain scores. Only worth doing on
+            // an unlimited deadline: a budgeted run degrades mid-pass and the
+            // precompute would burn wall time the sequential pass charges to
+            // its own step counter.
+            let pre = if cfg.threads > 1 && self.deadline.is_unlimited() {
+                let un: Vec<bool> = self.cells.iter().map(|c| c.kind == CellKind::Un).collect();
+                crate::stats::parallel_chain_scores(
+                    self.ss,
+                    self.viab,
+                    &un,
+                    text,
+                    &model,
+                    cfg.enable_defuse,
+                    cfg.threads,
+                )
+            } else {
+                None
+            };
+            let (pre_table, cls_shards, cls_merge) = match pre {
+                Some((t, s, m)) => (Some(t), s, m),
+                None => (None, 1, 0),
+            };
+            self.statistical_pass(
+                &model,
+                text,
+                cfg.llr_threshold,
+                cfg.enable_defuse,
+                pre_table.as_deref(),
+            );
             let items = (self.decisions[Priority::Statistical as usize] - before) as u64;
-            trace.record("stats.classify", sw.elapsed_ns(), nb, items);
+            trace.record_sharded(
+                "stats.classify",
+                sw.elapsed_ns(),
+                nb,
+                items,
+                cls_shards,
+                cls_merge,
+            );
             spans.counter(sp, "decisions", items);
             spans.end(sp);
             obs::log::emit(
@@ -815,7 +874,21 @@ impl<'a> Engine<'a> {
     }
 
     /// Statistical classification of every remaining undecided region.
-    fn statistical_pass(&mut self, model: &StatModel, text: &[u8], threshold: f64, defuse: bool) {
+    ///
+    /// `pre` is an optional table of chain scores precomputed in parallel
+    /// (see [`crate::stats::parallel_chain_scores`]). An entry is reused
+    /// only while its pure chain fits inside the current undecided gap —
+    /// exactly the condition under which [`Self::undecided_chain`] would
+    /// reproduce it — so the pass output is bit-identical with or without
+    /// the table.
+    fn statistical_pass(
+        &mut self,
+        model: &StatModel,
+        text: &[u8],
+        threshold: f64,
+        defuse: bool,
+        pre: Option<&[Option<crate::stats::ChainScore>]>,
+    ) {
         let n = self.cells.len();
         let mut o = 0u32;
         while (o as usize) < n {
@@ -852,24 +925,35 @@ impl<'a> Engine<'a> {
                 o += 1;
                 continue;
             }
-            // maximal undecided fall-through chain from o
-            let chain = self.undecided_chain(o, 256);
-            let classes: Vec<OpClass> = chain.iter().map(|&c| self.ss.at(c).opclass).collect();
-            let mut score = model.score_chain(&classes);
-            if defuse {
-                let (links, pairs) = crate::behavior::count_links(text, &chain);
-                score += model.defuse_chain_score(links, pairs);
-            }
+            // maximal undecided fall-through chain from o — reuse the
+            // parallel precompute when its pure chain provably matches
+            let pre_hit = pre
+                .and_then(|p| p[o as usize])
+                .filter(|cs| cs.end <= gap_end);
+            let (chain_len, score, chain_end) = match pre_hit {
+                Some(cs) => (cs.len as usize, cs.score, cs.end),
+                None => {
+                    let chain = self.undecided_chain(o, 256);
+                    let classes: Vec<OpClass> =
+                        chain.iter().map(|&c| self.ss.at(c).opclass).collect();
+                    let mut score = model.score_chain(&classes);
+                    if defuse {
+                        let (links, pairs) = crate::behavior::count_links(text, &chain);
+                        score += model.defuse_chain_score(links, pairs);
+                    }
+                    let chain_end = chain
+                        .last()
+                        .map(|&c| c + self.ss.at(c).len as u32)
+                        .unwrap_or(o + 1);
+                    (chain.len(), score, chain_end)
+                }
+            };
             // Long viable chains are themselves strong evidence: random
             // data almost never survives 16+ consecutive decodes without
             // hitting an invalid encoding, so the score bar drops for them.
-            let long_chain = chain.len() >= 16;
-            let accept = !classes.is_empty()
-                && (score >= threshold || (long_chain && score >= threshold / 3.0));
-            let chain_end = chain
-                .last()
-                .map(|&c| c + self.ss.at(c).len as u32)
-                .unwrap_or(o + 1);
+            let long_chain = chain_len >= 16;
+            let accept =
+                chain_len > 0 && (score >= threshold || (long_chain && score >= threshold / 3.0));
             if accept {
                 self.prov.emit(
                     self.cur_phase,

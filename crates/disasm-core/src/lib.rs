@@ -48,6 +48,7 @@ pub mod jumptable;
 pub mod limits;
 pub mod listing;
 pub mod padding;
+pub mod par;
 pub mod provenance;
 pub mod report;
 pub mod stats;
@@ -215,6 +216,13 @@ pub struct Config {
     /// Off by default: disabled collection costs one branch per emission
     /// site, keeping the bench overhead budget intact.
     pub collect_provenance: bool,
+    /// Worker threads for the parallel phases (sharded superset decode,
+    /// parallel viability fixpoint, parallel statistical scoring). `1`
+    /// reproduces the sequential path bit-for-bit; any other value
+    /// produces *identical output* — only wall time changes. Defaults to
+    /// [`par::default_threads`] (the `METADIS_THREADS` environment
+    /// variable, else the machine's available parallelism).
+    pub threads: usize,
     /// Test hook: panic inside the pipeline to exercise the
     /// `catch_unwind` → linear-sweep fallback path. Not part of the public
     /// contract.
@@ -236,6 +244,7 @@ impl Default for Config {
             stats_first: false,
             limits: Limits::default(),
             collect_provenance: false,
+            threads: par::default_threads(),
             inject_panic: false,
         }
     }

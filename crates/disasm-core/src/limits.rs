@@ -172,6 +172,13 @@ impl Deadline {
     pub fn elapsed_ns(&self) -> u64 {
         self.sw.elapsed_ns()
     }
+
+    /// `true` when the deadline can never expire (no budget was set).
+    /// Parallel phases use this to pick the shard layout: an unlimited
+    /// deadline needs no cooperative polling.
+    pub fn is_unlimited(&self) -> bool {
+        self.budget_ns == u64::MAX
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! Zero-dependency deterministic parallel execution.
+//!
+//! Every parallel phase in the pipeline is built from the same three
+//! primitives, chosen so that `threads = 1` reproduces the sequential path
+//! bit-for-bit and `threads = N` produces *identical output* (only wall
+//! time changes):
+//!
+//! * [`shard_ranges`] — a deterministic split of `0..n` into contiguous,
+//!   near-equal ranges. The layout depends only on `(n, shards)`, never on
+//!   scheduling.
+//! * [`run_jobs`] — a scoped fork/join ([`std::thread::scope`]) with
+//!   *static* job assignment: worker `w` takes jobs `w, w+T, w+2T, …`.
+//!   Results are returned tagged with their job index and reassembled in
+//!   index order, so the caller observes the same sequence a sequential
+//!   loop would produce.
+//! * allocation absorption — worker threads have fresh thread-local
+//!   allocation counters ([`obs::alloc`]); on join the parent folds each
+//!   worker's final counters back into its own via [`obs::alloc::absorb`],
+//!   in worker-index order, so open span attribution windows still see the
+//!   bytes the phase allocated.
+//!
+//! Thread count resolution: [`default_threads`] honors the
+//! `METADIS_THREADS` environment variable, then falls back to
+//! [`std::thread::available_parallelism`]. [`crate::Config::threads`]
+//! defaults to this value.
+
+/// Resolve the default worker-thread count: the `METADIS_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("METADIS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Minimum bytes of work per shard: below this, spawn overhead dominates
+/// and phases stay sequential (or use fewer shards).
+pub const MIN_SHARD_BYTES: usize = 4096;
+
+/// How many shards to use for `n` units of work on `threads` workers:
+/// at most one shard per thread, and no shard smaller than `min_shard`
+/// units. Always at least 1. Deterministic in its arguments.
+pub fn shard_count(n: usize, threads: usize, min_shard: usize) -> usize {
+    if threads <= 1 || n == 0 {
+        return 1;
+    }
+    threads.min(n.div_ceil(min_shard.max(1))).max(1)
+}
+
+/// Split `0..n` into `shards` contiguous `(start, end)` ranges of
+/// near-equal length (earlier shards take the remainder). The layout is a
+/// pure function of `(n, shards)`.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for i in 0..shards {
+        let len = base + usize::from(i < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Run `jobs` independent jobs on at most `threads` scoped worker threads
+/// and return the results in job order.
+///
+/// Assignment is static (worker `w` runs jobs `w, w+T, …`), so the set of
+/// jobs each worker executes — and therefore each worker's allocation
+/// tally — is deterministic. With `threads <= 1` (or fewer than two jobs)
+/// everything runs inline on the calling thread: no spawn, no absorption,
+/// byte-for-byte the sequential path.
+///
+/// Worker panics propagate to the caller (the pipeline's `catch_unwind`
+/// boundary turns them into the linear-sweep fallback, same as a
+/// sequential phase panic).
+pub fn run_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(jobs);
+    if threads <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let f = &f;
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    let mut worker_allocs = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut j = w;
+                    while j < jobs {
+                        out.push((j, f(j)));
+                        j += threads;
+                    }
+                    (out, obs::alloc::stats())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, alloc) = match h.join() {
+                Ok(r) => r,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            worker_allocs.push(alloc);
+            for (j, t) in out {
+                slots[j] = Some(t);
+            }
+        }
+    });
+    // fold worker allocations into the parent's thread-local counters in
+    // worker order, so the absorption itself is deterministic
+    for a in worker_allocs {
+        obs::alloc::absorb(a);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("static assignment covers every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_tile_exactly() {
+        for n in [0usize, 1, 5, 4096, 4097, 1 << 20] {
+            for shards in [1usize, 2, 3, 4, 7, 16] {
+                let r = shard_ranges(n, shards);
+                assert!(!r.is_empty());
+                assert_eq!(r[0].0, 0);
+                assert_eq!(r.last().unwrap().1, n);
+                for w in r.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                // near-equal: lengths differ by at most 1
+                let lens: Vec<usize> = r.iter().map(|(a, b)| b - a).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "{lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_respects_min_size() {
+        assert_eq!(shard_count(0, 8, MIN_SHARD_BYTES), 1);
+        assert_eq!(shard_count(100, 1, MIN_SHARD_BYTES), 1);
+        assert_eq!(shard_count(100, 8, MIN_SHARD_BYTES), 1);
+        assert_eq!(shard_count(2 * MIN_SHARD_BYTES, 8, MIN_SHARD_BYTES), 2);
+        assert_eq!(shard_count(1 << 20, 4, MIN_SHARD_BYTES), 4);
+    }
+
+    #[test]
+    fn run_jobs_matches_sequential_in_any_thread_count() {
+        let f = |j: usize| j * j + 1;
+        let want: Vec<usize> = (0..37).map(f).collect();
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            assert_eq!(run_jobs(37, threads, f), want, "threads={threads}");
+        }
+        assert_eq!(run_jobs(0, 4, f), Vec::<usize>::new());
+        assert_eq!(run_jobs(1, 4, f), vec![1]);
+    }
+
+    #[test]
+    fn env_override_wins() {
+        // avoid racing other tests on the env var: set, read, restore
+        let saved = std::env::var("METADIS_THREADS").ok();
+        std::env::set_var("METADIS_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("METADIS_THREADS", "0");
+        assert_eq!(default_threads(), 1);
+        match saved {
+            Some(v) => std::env::set_var("METADIS_THREADS", v),
+            None => std::env::remove_var("METADIS_THREADS"),
+        }
+    }
+}

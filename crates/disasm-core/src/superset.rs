@@ -126,6 +126,81 @@ impl Superset {
         (Superset { cands }, degradation)
     }
 
+    /// Sharded superset decode: split the text into contiguous offset
+    /// ranges, decode each range on a worker thread, and merge the shard
+    /// tables in offset order.
+    ///
+    /// Every worker decodes `decode(&text[off..])` against the *full
+    /// remaining slice* — exactly the bytes the sequential loop sees — so
+    /// shard boundaries cannot change any candidate and the merged table
+    /// is bit-identical to [`Superset::build_limited`]. Returns
+    /// `(table, degradation, shards, merge_wall_ns)`.
+    ///
+    /// Two cases stay on the sequential path (`shards == 1`): a
+    /// `max_candidates` cap (the cap counts *valid* candidates globally, an
+    /// inherently sequential scan), and work too small to shard profitably.
+    /// A wall-clock deadline is polled cooperatively inside each shard;
+    /// when any shard trips it, the earliest stop offset wins and every
+    /// candidate from there on is invalidated — the same "everything past
+    /// the cutoff is invalid" contract the sequential loop provides.
+    pub fn build_sharded(
+        text: &[u8],
+        max_candidates: Option<u64>,
+        deadline: &Deadline,
+        threads: usize,
+    ) -> (Superset, Option<Degradation>, u64, u64) {
+        let n = text.len();
+        let shards = crate::par::shard_count(n, threads, crate::par::MIN_SHARD_BYTES);
+        if max_candidates.is_some() || shards <= 1 {
+            let (ss, deg) = Superset::build_limited(text, max_candidates, deadline);
+            return (ss, deg, 1, 0);
+        }
+        let ranges = crate::par::shard_ranges(n, shards);
+        let parts = crate::par::run_jobs(ranges.len(), threads, |i| {
+            let (start, end) = ranges[i];
+            let mut part = Vec::with_capacity(end - start);
+            let mut stop = None;
+            for off in start..end {
+                if off % 4096 == 0 && deadline.exceeded() {
+                    stop = Some(off);
+                    break;
+                }
+                part.push(match decode(&text[off..]) {
+                    Ok(inst) => summarize(off, &inst, n),
+                    Err(_) => Candidate::INVALID,
+                });
+            }
+            (part, stop)
+        });
+        let sw = obs::Stopwatch::start();
+        let mut cands = vec![Candidate::INVALID; n];
+        let mut stop_min: Option<usize> = None;
+        for (i, (part, stop)) in parts.into_iter().enumerate() {
+            let start = ranges[i].0;
+            cands[start..start + part.len()].copy_from_slice(&part);
+            if let Some(s) = stop {
+                stop_min = Some(stop_min.map_or(s, |m| m.min(s)));
+            }
+        }
+        let degradation = stop_min.map(|s| {
+            for c in &mut cands[s..] {
+                *c = Candidate::INVALID;
+            }
+            Degradation {
+                phase: "superset",
+                limit: LimitKind::Deadline,
+                completed: s as u64,
+            }
+        });
+        let merge_wall_ns = sw.elapsed_ns();
+        (
+            Superset { cands },
+            degradation,
+            shards as u64,
+            merge_wall_ns,
+        )
+    }
+
     /// Candidate at `off`.
     ///
     /// # Panics
@@ -319,6 +394,64 @@ mod tests {
         assert!(deg.is_none());
         let plain = Superset::build(&text);
         assert_eq!(ss.valid().count(), plain.valid().count());
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_to_sequential() {
+        // enough bytes to shard (> MIN_SHARD_BYTES), deterministic soup
+        let mut x: u64 = 7;
+        let text: Vec<u8> = (0..3 * crate::par::MIN_SHARD_BYTES)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let (seq, _) = Superset::build_limited(&text, None, &Deadline::unlimited());
+        for threads in [2usize, 3, 4, 8] {
+            let (par, deg, shards, _) =
+                Superset::build_sharded(&text, None, &Deadline::unlimited(), threads);
+            assert!(deg.is_none());
+            assert!(shards > 1, "threads={threads}");
+            assert_eq!(par.cands, seq.cands, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_small_input_stays_sequential() {
+        let text = vec![0x90; 64];
+        let (ss, deg, shards, merge) =
+            Superset::build_sharded(&text, None, &Deadline::unlimited(), 8);
+        assert!(deg.is_none());
+        assert_eq!(shards, 1);
+        assert_eq!(merge, 0);
+        assert_eq!(ss.valid().count(), 64);
+    }
+
+    #[test]
+    fn sharded_build_cap_falls_back_to_sequential() {
+        let text = vec![0x90; 2 * crate::par::MIN_SHARD_BYTES];
+        let (ss, deg, shards, _) =
+            Superset::build_sharded(&text, Some(4), &Deadline::unlimited(), 8);
+        assert_eq!(shards, 1);
+        assert_eq!(deg.unwrap().limit, LimitKind::SupersetCandidates);
+        assert_eq!(ss.valid().count(), 4);
+    }
+
+    #[test]
+    fn sharded_build_expired_deadline_degrades() {
+        let text = vec![0x90; 2 * crate::par::MIN_SHARD_BYTES];
+        let deadline = Deadline::start(&crate::limits::Limits::with_deadline_ms(0));
+        let (ss, deg, shards, _) = Superset::build_sharded(&text, None, &deadline, 2);
+        assert!(shards > 1);
+        let deg = deg.expect("expired deadline must degrade");
+        assert_eq!(deg.phase, "superset");
+        assert_eq!(deg.limit, LimitKind::Deadline);
+        // everything past the earliest stop offset is invalid
+        assert!(ss.cands[deg.completed as usize..]
+            .iter()
+            .all(|c| !c.is_valid()));
     }
 
     #[test]

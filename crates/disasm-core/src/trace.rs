@@ -8,7 +8,7 @@
 //! counters/histograms in [`obs`] stay behind [`obs::enabled`].
 //!
 //! Phase names are a stable, documented contract (consumed by the CLI's
-//! `--trace-json` schema `metadis.trace.v4` and by the bench JSON records):
+//! `--trace-json` schema `metadis.trace.v5` and by the bench JSON records):
 //!
 //! | phase | meaning |
 //! |-------|---------|
@@ -45,6 +45,12 @@
 //!   by the counting allocator ([`obs::alloc`]). Both are 0 when allocation
 //!   accounting is inactive. When active, spans additionally carry
 //!   `alloc_bytes`/`alloc_peak` counters per phase.
+//! * `metadis.trace.v5` — everything in v4, plus a `threads` field on every
+//!   trace object (worker threads the run was configured with; 0 when not
+//!   recorded) and `shards`/`merge_wall_ns` on every phase entry (how many
+//!   shards the phase decomposed into — 1 for a sequential phase — and the
+//!   wall time spent merging shard results back together, so sharding
+//!   overhead is visible instead of folded into the phase wall time).
 
 use crate::correct::Priority;
 use crate::limits::Degradation;
@@ -64,6 +70,11 @@ pub struct PhaseStat {
     /// Phase-specific item count: candidates decoded, candidates
     /// eliminated, tables found, decisions applied, ...
     pub items: u64,
+    /// Shards the phase decomposed into (1 for a sequential phase).
+    pub shards: u64,
+    /// Wall time spent merging shard results, nanoseconds (0 for a
+    /// sequential phase). Included in — not additional to — `wall_ns`.
+    pub merge_wall_ns: u64,
 }
 
 impl PhaseStat {
@@ -108,6 +119,10 @@ pub struct PipelineTrace {
     /// (max across runs after [`PipelineTrace::merge`]; 0 when accounting
     /// is inactive).
     pub alloc_peak: u64,
+    /// Worker threads the run was configured with
+    /// ([`crate::Config::threads`]; max across runs after
+    /// [`PipelineTrace::merge`]; 0 when not recorded).
+    pub threads: u64,
 }
 
 impl PipelineTrace {
@@ -116,13 +131,29 @@ impl PipelineTrace {
         PipelineTrace::default()
     }
 
-    /// Append a phase measurement.
+    /// Append a phase measurement (sequential: one shard, no merge cost).
     pub fn record(&mut self, name: &'static str, wall_ns: u64, bytes: u64, items: u64) {
+        self.record_sharded(name, wall_ns, bytes, items, 1, 0);
+    }
+
+    /// Append a phase measurement with its shard decomposition: how many
+    /// shards ran and how long merging their results took.
+    pub fn record_sharded(
+        &mut self,
+        name: &'static str,
+        wall_ns: u64,
+        bytes: u64,
+        items: u64,
+        shards: u64,
+        merge_wall_ns: u64,
+    ) {
         self.phases.push(PhaseStat {
             name,
             wall_ns,
             bytes,
             items,
+            shards,
+            merge_wall_ns,
         });
     }
 
@@ -155,6 +186,10 @@ impl PipelineTrace {
                     q.wall_ns += p.wall_ns;
                     q.bytes += p.bytes;
                     q.items += p.items;
+                    // merge cost accumulates like wall time; the shard
+                    // count is a configuration, so keep the widest split
+                    q.merge_wall_ns += p.merge_wall_ns;
+                    q.shards = q.shards.max(p.shards);
                 }
                 None => self.phases.push(*p),
             }
@@ -175,6 +210,7 @@ impl PipelineTrace {
         // peaks don't add across sequential runs — the high-water mark of
         // the aggregate is the worst single run
         self.alloc_peak = self.alloc_peak.max(other.alloc_peak);
+        self.threads = self.threads.max(other.threads);
         // Keep span IDs unique across the merged trace: re-base the other
         // trace's IDs past our current maximum so parent links stay intact.
         let base = self.spans.iter().map(|s| s.id + 1).max().unwrap_or(0);
@@ -194,7 +230,9 @@ impl PipelineTrace {
     /// Render the per-phase table (phase, wall ms, share of total, bytes,
     /// items, MiB/s) as aligned text.
     pub fn render_table(&self) -> String {
-        let mut t = TextTable::new(["phase", "wall ms", "%", "bytes", "items", "MiB/s"]);
+        let mut t = TextTable::new([
+            "phase", "wall ms", "%", "bytes", "items", "MiB/s", "shards", "merge ms",
+        ]);
         let phase_total: u64 = self.phases.iter().map(|p| p.wall_ns).sum();
         for p in &self.phases {
             let pct = if phase_total == 0 {
@@ -209,6 +247,8 @@ impl PipelineTrace {
                 p.bytes.to_string(),
                 p.items.to_string(),
                 format!("{:.1}", p.bytes_per_sec() / (1024.0 * 1024.0)),
+                p.shards.to_string(),
+                format!("{:.3}", p.merge_wall_ns as f64 / 1e6),
             ]);
         }
         t.row([
@@ -218,6 +258,8 @@ impl PipelineTrace {
             self.text_bytes.to_string(),
             String::new(),
             format!("{:.1}", self.bytes_per_sec() / (1024.0 * 1024.0)),
+            String::new(),
+            String::new(),
         ]);
         t.render()
     }
@@ -225,7 +267,11 @@ impl PipelineTrace {
     /// Write the trace fields into the *currently open* JSON object:
     /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
     /// `corrections`, `corrections_by_priority`, `runs`, `phases`,
-    /// `degradations`, `spans`, `alloc_bytes`, `alloc_peak`.
+    /// `degradations`, `spans`, `alloc_bytes`, `alloc_peak`, `threads`.
+    /// The v5 additions (`threads`, and `shards`/`merge_wall_ns` per phase
+    /// entry) are serialized strictly *after* the v4 fields of their
+    /// enclosing object, so stripping them yields a byte-identical v4
+    /// document (golden-pinned by the schema downgrade tests).
     pub fn write_json_fields(&self, w: &mut JsonWriter) {
         w.field_u64("text_bytes", self.text_bytes);
         w.field_u64("wall_ns", self.total_wall_ns);
@@ -248,6 +294,8 @@ impl PipelineTrace {
             w.field_u64("bytes", p.bytes);
             w.field_u64("items", p.items);
             w.field_f64("bytes_per_sec", p.bytes_per_sec());
+            w.field_u64("shards", p.shards);
+            w.field_u64("merge_wall_ns", p.merge_wall_ns);
             w.end_obj();
         }
         w.end_arr();
@@ -265,6 +313,7 @@ impl PipelineTrace {
         obs::span::write_spans_json(w, &self.spans);
         w.field_u64("alloc_bytes", self.alloc_bytes);
         w.field_u64("alloc_peak", self.alloc_peak);
+        w.field_u64("threads", self.threads);
     }
 
     /// Copy the `alloc_bytes`/`alloc_peak` counters off the root span (the
@@ -299,7 +348,7 @@ pub fn priority_name(i: usize) -> &'static str {
 
 /// Write one tool's complete trace object `{tool, <trace fields>,
 /// decisions_by_priority, instructions, functions, jump_tables}` — the
-/// per-tool entry of the `metadis.trace.v4` schema.
+/// per-tool entry of the `metadis.trace.v5` schema.
 pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.begin_obj();
     w.field_str("tool", tool);
@@ -316,11 +365,12 @@ pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.end_obj();
 }
 
-/// Render a complete `metadis.trace.v4` report: `{schema, command,
+/// Render a complete `metadis.trace.v5` report: `{schema, command,
 /// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
 /// binaries both emit exactly this shape, so one consumer reads either.
-/// Every `metadis.trace.v3` field is still present with identical encoding;
-/// v4 only adds the per-tool `alloc_bytes`/`alloc_peak` fields.
+/// Every `metadis.trace.v4` field is still present with identical encoding;
+/// v5 only adds the per-tool `threads` field and the per-phase
+/// `shards`/`merge_wall_ns` fields.
 pub fn trace_report_json(
     command: &str,
     tools: &[(String, Disassembly)],
@@ -328,7 +378,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v4");
+    w.field_str("schema", "metadis.trace.v5");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -353,7 +403,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v4");
+    w.field_str("schema", "metadis.trace.v5");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -510,11 +560,36 @@ mod tests {
         a.write_json_fields(&mut w);
         w.end_obj();
         let s = w.finish();
-        // alloc fields come last so a v4 object minus them is byte-for-byte v3
+        // v5 additions come last so stripping them yields v4 then v3
         assert!(
-            s.ends_with(r#","alloc_bytes":1500,"alloc_peak":800}"#),
+            s.ends_with(r#","alloc_bytes":1500,"alloc_peak":800,"threads":0}"#),
             "{s}"
         );
+    }
+
+    #[test]
+    fn sharded_phases_serialize_and_merge() {
+        let mut a = sample();
+        a.threads = 4;
+        a.record_sharded("superset.par", 3_000_000, 8192, 8000, 4, 12_345);
+        let mut b = sample();
+        b.threads = 2;
+        b.record_sharded("superset.par", 1_000_000, 8192, 8000, 2, 655);
+        a.merge(&b);
+        let p = a.phase("superset.par").unwrap();
+        assert_eq!(p.shards, 4); // widest split, not a sum
+        assert_eq!(p.merge_wall_ns, 13_000); // merge cost accumulates
+        assert_eq!(a.threads, 4);
+        // sequential phases report one shard and no merge cost
+        assert_eq!(a.phase("superset").unwrap().shards, 1);
+        assert_eq!(a.phase("superset").unwrap().merge_wall_ns, 0);
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        a.write_json_fields(&mut w);
+        w.end_obj();
+        let s = w.finish();
+        assert!(s.contains(r#""shards":4,"merge_wall_ns":13000}"#), "{s}");
+        assert!(s.contains(r#""threads":4}"#), "{s}");
     }
 
     #[test]
@@ -542,6 +617,8 @@ mod tests {
             wall_ns: 0,
             bytes: 100,
             items: 0,
+            shards: 1,
+            merge_wall_ns: 0,
         };
         assert_eq!(p.bytes_per_sec(), 0.0);
         assert_eq!(PipelineTrace::new().bytes_per_sec(), 0.0);

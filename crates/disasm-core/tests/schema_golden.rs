@@ -1,9 +1,11 @@
-//! Golden-file schema compatibility: the `metadis.trace.v4` encoding is
+//! Golden-file schema compatibility: the `metadis.trace.v5` encoding is
 //! pinned byte-for-byte against a checked-in file, and stripping each
-//! version's single addition must reproduce the previous version's golden
-//! exactly: v4 minus `alloc_bytes`/`alloc_peak` is the v3 golden, v3 minus
-//! the `spans` array is the v2 golden. This is the contract that lets older
-//! consumers read newer records without changes.
+//! version's additions must reproduce the previous version's golden
+//! exactly: v5 minus the parallelism fields (per-phase `shards` /
+//! `merge_wall_ns` and the top-level `threads`) is the v4 golden, v4 minus
+//! `alloc_bytes`/`alloc_peak` is the v3 golden, v3 minus the `spans` array
+//! is the v2 golden. This is the contract that lets older consumers read
+//! newer records without changes.
 //!
 //! Regenerate the goldens after an *intentional* schema change with
 //! `BLESS=1 cargo test -p disasm-core --test schema_golden`.
@@ -13,6 +15,10 @@ use std::collections::BTreeMap;
 use disasm_core::trace::{merged_report_json, PipelineTrace};
 use disasm_core::{Degradation, LimitKind};
 
+const V5_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/trace_v5_golden.json"
+);
 const V4_GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/data/trace_v4_golden.json"
@@ -27,11 +33,11 @@ const V2_GOLDEN: &str = concat!(
 );
 
 /// A fully deterministic trace: fixed timings, one degradation, a two-span
-/// tree with counters, fixed allocation totals. No clocks are read anywhere
-/// in this test.
+/// tree with counters, fixed allocation totals, a sharded phase. No clocks
+/// are read anywhere in this test.
 fn sample_trace() -> PipelineTrace {
     let mut t = PipelineTrace::new();
-    t.record("superset", 2_000_000, 4096, 4000);
+    t.record_sharded("superset", 2_000_000, 4096, 4000, 4, 250_000);
     t.record("viability", 1_000_000, 4096, 1200);
     t.record("default", 50_000, 4096, 96);
     t.total_wall_ns = 4_000_000;
@@ -62,6 +68,7 @@ fn sample_trace() -> PipelineTrace {
     });
     t.alloc_bytes = 786_432;
     t.alloc_peak = 262_144;
+    t.threads = 4;
     t
 }
 
@@ -80,23 +87,41 @@ fn sample_report() -> String {
     )
 }
 
-/// Remove every `,"alloc_bytes":N,"alloc_peak":N` pair from a serialized
-/// report (the two fields are always emitted together, in that order).
-fn strip_alloc(json: &str) -> String {
+/// Remove a run of `,"key1":N[,"key2":N...]` members given the leading key.
+/// Each key's value must be a bare unsigned integer.
+fn strip_u64_fields(json: &str, keys: &[&str]) -> String {
+    let first = format!(r#","{}":"#, keys[0]);
     let mut out = String::with_capacity(json.len());
     let mut rest = json;
-    while let Some(at) = rest.find(r#","alloc_bytes":"#) {
+    while let Some(at) = rest.find(&first) {
         out.push_str(&rest[..at]);
-        let tail = &rest[at..];
-        let peak_key = r#","alloc_peak":"#;
-        let peak_at = tail.find(peak_key).expect("alloc_peak follows alloc_bytes");
-        let after = &tail[peak_at + peak_key.len()..];
-        let digits = after.chars().take_while(char::is_ascii_digit).count();
-        assert!(digits > 0, "malformed alloc_peak value");
-        rest = &after[digits..];
+        let mut tail = &rest[at..];
+        for key in keys {
+            let lead = format!(r#","{key}":"#);
+            assert!(tail.starts_with(&lead), "expected {key} field");
+            let after = &tail[lead.len()..];
+            let digits = after.chars().take_while(char::is_ascii_digit).count();
+            assert!(digits > 0, "malformed {key} value");
+            tail = &after[digits..];
+        }
+        rest = tail;
     }
     out.push_str(rest);
     out
+}
+
+/// Remove every v5 parallelism field from a serialized report: the per-phase
+/// `,"shards":N,"merge_wall_ns":N` pair (always emitted together, in that
+/// order) and the top-level `,"threads":N`.
+fn strip_parallel(json: &str) -> String {
+    let stripped = strip_u64_fields(json, &["shards", "merge_wall_ns"]);
+    strip_u64_fields(&stripped, &["threads"])
+}
+
+/// Remove every `,"alloc_bytes":N,"alloc_peak":N` pair from a serialized
+/// report (the two fields are always emitted together, in that order).
+fn strip_alloc(json: &str) -> String {
+    strip_u64_fields(json, &["alloc_bytes", "alloc_peak"])
 }
 
 /// Remove the `,"spans":[...]` member from a serialized trace object by
@@ -130,8 +155,17 @@ fn strip_spans(json: &str) -> String {
     out
 }
 
-/// What a v3 emitter would have produced for the same run: the v4 record
-/// minus the `alloc_bytes`/`alloc_peak` fields, with the schema tag rewound.
+/// What a v4 emitter would have produced for the same run: the v5 record
+/// minus the parallelism fields, with the schema tag rewound.
+fn downgrade_to_v4(v5: &str) -> String {
+    strip_parallel(v5).replace(
+        r#""schema":"metadis.trace.v5""#,
+        r#""schema":"metadis.trace.v4""#,
+    )
+}
+
+/// What a v3 emitter would have produced: the v4 record minus the
+/// `alloc_bytes`/`alloc_peak` fields, with the schema tag rewound.
 fn downgrade_to_v3(v4: &str) -> String {
     strip_alloc(v4).replace(
         r#""schema":"metadis.trace.v4""#,
@@ -148,55 +182,75 @@ fn downgrade_to_v2(v3: &str) -> String {
 }
 
 #[test]
-fn v4_report_matches_golden_byte_for_byte() {
+fn v5_report_matches_golden_byte_for_byte() {
     let got = sample_report();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(V5_GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(V5_GOLDEN).unwrap();
+    assert_eq!(got, want, "v5 encoding drifted; BLESS=1 if intentional");
+}
+
+#[test]
+fn v4_fields_survive_in_v5_byte_for_byte() {
+    let got = downgrade_to_v4(&sample_report());
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V4_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V4_GOLDEN).unwrap();
-    assert_eq!(got, want, "v4 encoding drifted; BLESS=1 if intentional");
+    assert_eq!(
+        got, want,
+        "a v4-era field changed encoding; v5 must keep every v4 field intact"
+    );
 }
 
 #[test]
-fn v3_fields_survive_in_v4_byte_for_byte() {
-    let got = downgrade_to_v3(&sample_report());
+fn v3_fields_survive_in_v5_byte_for_byte() {
+    let got = downgrade_to_v3(&downgrade_to_v4(&sample_report()));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V3_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V3_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v3-era field changed encoding; v4 must keep every v3 field intact"
+        "a v3-era field changed encoding; v5 must keep every v3 field intact"
     );
 }
 
 #[test]
-fn v2_fields_survive_in_v4_byte_for_byte() {
-    let got = downgrade_to_v2(&downgrade_to_v3(&sample_report()));
+fn v2_fields_survive_in_v5_byte_for_byte() {
+    let got = downgrade_to_v2(&downgrade_to_v3(&downgrade_to_v4(&sample_report())));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V2_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V2_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v2-era field changed encoding; v4 must keep every v2 field intact"
+        "a v2-era field changed encoding; v5 must keep every v2 field intact"
     );
 }
 
 #[test]
 fn goldens_declare_their_schemas() {
+    let v5 = std::fs::read_to_string(V5_GOLDEN).unwrap();
     let v4 = std::fs::read_to_string(V4_GOLDEN).unwrap();
     let v3 = std::fs::read_to_string(V3_GOLDEN).unwrap();
     let v2 = std::fs::read_to_string(V2_GOLDEN).unwrap();
+    assert!(v5.contains(r#""schema":"metadis.trace.v5""#));
+    assert!(v5.contains(r#""shards":4"#));
+    assert!(v5.contains(r#""merge_wall_ns":250000"#));
+    assert!(v5.contains(r#""threads":4"#));
     assert!(v4.contains(r#""schema":"metadis.trace.v4""#));
     assert!(v4.contains(r#""alloc_bytes":786432"#));
     assert!(v4.contains(r#""alloc_peak":262144"#));
+    assert!(!v4.contains(r#""shards""#));
+    assert!(!v4.contains(r#""threads""#));
     assert!(v3.contains(r#""schema":"metadis.trace.v3""#));
     assert!(v3.contains(r#""spans":[{"id":0"#));
     assert!(!v3.contains(r#""alloc_bytes""#));
     assert!(v2.contains(r#""schema":"metadis.trace.v2""#));
     assert!(!v2.contains(r#""spans""#));
-    // every v2 top-level trace field appears in all three
+    // every v2 top-level trace field appears in all four
     for key in [
         r#""text_bytes""#,
         r#""wall_ns""#,
@@ -206,6 +260,7 @@ fn goldens_declare_their_schemas() {
         r#""degradations""#,
         r#""metrics""#,
     ] {
+        assert!(v5.contains(key), "v5 missing {key}");
         assert!(v4.contains(key), "v4 missing {key}");
         assert!(v3.contains(key), "v3 missing {key}");
         assert!(v2.contains(key), "v2 missing {key}");

@@ -133,17 +133,30 @@ impl ToolReport {
 
 /// Run `tool` over every workload of `corpus`, scoring against ground truth.
 pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
+    evaluate_threads(tool, corpus, 1)
+}
+
+/// [`evaluate`] with the per-binary runs fanned out over a bounded worker
+/// pool (`threads` wide; `1` is the plain sequential loop). Each workload is
+/// disassembled independently on a worker; scoring and trace merging then
+/// happen sequentially in corpus index order, so the report is identical to
+/// a sequential evaluation — only wall time changes.
+pub fn evaluate_threads(tool: &Tool, corpus: &Corpus, threads: usize) -> ToolReport {
+    let runs: Vec<(Disassembly, Duration)> =
+        disasm_core::par::run_jobs(corpus.workloads.len(), threads.max(1), |i| {
+            let w = &corpus.workloads[i];
+            let image = image_of(w);
+            let start = Instant::now();
+            let d = tool.run_with_symbols(&image, &w.truth.func_starts);
+            (d, start.elapsed())
+        });
     let mut total = WorkloadScore::default();
     let mut per_workload = Vec::with_capacity(corpus.workloads.len());
     let mut elapsed = Duration::ZERO;
     let mut bytes = 0usize;
     let mut trace = PipelineTrace::new();
     let mut degraded_runs = 0u64;
-    for w in &corpus.workloads {
-        let image = image_of(w);
-        let start = Instant::now();
-        let d = tool.run_with_symbols(&image, &w.truth.func_starts);
-        let dur = start.elapsed();
+    for (w, (d, dur)) in corpus.workloads.iter().zip(runs) {
         elapsed += dur;
         bytes += w.text.len();
         if d.trace.runs == 0 {
@@ -265,6 +278,23 @@ mod tests {
         let oracle = evaluate(&Tool::SymbolOracle, &corpus);
         assert_eq!(oracle.trace.runs, corpus.workloads.len() as u64);
         assert!(oracle.trace.phase("symbol-oracle").is_some());
+    }
+
+    #[test]
+    fn threaded_evaluation_matches_sequential() {
+        let corpus = tiny_corpus();
+        let tool = Tool::ours(train_standard_model(2));
+        let seq = evaluate(&tool, &corpus);
+        let par = evaluate_threads(&tool, &corpus, 4);
+        assert_eq!(seq.per_workload, par.per_workload);
+        assert_eq!(seq.score, par.score);
+        assert_eq!(seq.bytes, par.bytes);
+        assert_eq!(seq.degraded_runs, par.degraded_runs);
+        assert_eq!(
+            seq.trace.viability_iterations,
+            par.trace.viability_iterations
+        );
+        assert_eq!(seq.trace.runs, par.trace.runs);
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl ByteMetrics {
 }
 
 /// All scores of one tool run on one workload.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkloadScore {
     /// Instruction-start detection.
     pub inst: InstMetrics,

@@ -136,6 +136,39 @@ pub fn reset() {
     });
 }
 
+/// Fold a worker thread's counters into the calling thread's counters.
+///
+/// The counters are thread-local, so work fanned out to scoped worker
+/// threads would otherwise vanish from the parent's open attribution
+/// windows. A parent that joins a worker calls `absorb` with the worker's
+/// final [`stats`] snapshot: allocated/freed totals add, still-live worker
+/// bytes move onto the parent's live level, and the parent's peak is raised
+/// to at least `live + child.peak` — the worker's high-water mark stacked
+/// on the parent's current live level. (That stacking is an upper-bound
+/// approximation of true interleaved peaks, which thread-local counting
+/// cannot observe; callers absorb workers in a deterministic order so the
+/// approximation itself is reproducible.)
+pub fn absorb(child: AllocStats) {
+    if !is_active() {
+        return;
+    }
+    COUNTERS.with(|c| {
+        c.allocated
+            .set(c.allocated.get().wrapping_add(child.allocated));
+        c.freed.set(c.freed.get().wrapping_add(child.freed));
+        let live = c.live.get();
+        let stacked_peak = live.saturating_add(child.peak);
+        if stacked_peak > c.peak.get() {
+            c.peak.set(stacked_peak);
+        }
+        let live = live.saturating_add(child.live);
+        c.live.set(live);
+        if live > c.peak.get() {
+            c.peak.set(live);
+        }
+    });
+}
+
 /// An open attribution window (see the module docs). Obtain with [`mark`],
 /// close with [`Mark::measure`]. Windows must close in reverse open order
 /// (stack discipline) for nested peaks to fold correctly.
@@ -347,6 +380,43 @@ mod tests {
         s.end(a);
         let spans = s.finish();
         assert!(spans[0].counters.is_empty(), "{:?}", spans[0]);
+    }
+
+    #[test]
+    fn absorb_folds_worker_counters_into_open_windows() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(true);
+        let window = mark();
+        track_alloc(10); // parent live: 10
+        let worker = AllocStats {
+            allocated: 100,
+            freed: 70,
+            live: 30,
+            peak: 80,
+        };
+        absorb(worker);
+        let (bytes, peak) = window.measure();
+        let s = stats();
+        set_enabled(false);
+        assert_eq!(bytes, 110); // parent 10 + worker 100
+        assert_eq!(peak, 90); // worker peak 80 stacked on parent live 10
+        assert_eq!(s.live, 40);
+        assert_eq!(s.freed, 70);
+    }
+
+    #[test]
+    fn absorb_is_a_noop_when_disabled() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_enabled(false);
+        absorb(AllocStats {
+            allocated: 5,
+            freed: 0,
+            live: 5,
+            peak: 5,
+        });
+        assert_eq!(stats(), AllocStats::default());
     }
 
     #[test]

@@ -119,8 +119,21 @@ impl Histogram {
     }
 
     /// Immutable summary of the current state.
+    ///
+    /// `count` is derived from the bucket counts actually read, so a
+    /// summary taken while another thread is mid-`record` is still
+    /// internally consistent (bucket total always equals `count`).
     pub fn summary(&self) -> HistogramSummary {
-        let count = self.count();
+        let buckets: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then_some((b as u8, c))
+            })
+            .collect();
+        let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
         HistogramSummary {
             count,
             sum: self.sum(),
@@ -130,15 +143,7 @@ impl Histogram {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .enumerate()
-                .filter_map(|(b, c)| {
-                    let c = c.load(Ordering::Relaxed);
-                    (c > 0).then_some((b as u8, c))
-                })
-                .collect(),
+            buckets,
         }
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Perf-trajectory gate: run the throughput bench (QUICK corpus) and diff its
-# metadis.trace.v4 record against the committed baseline in
+# Perf-trajectory gate: run the throughput bench (QUICK corpus), check the
+# threads=1 vs threads=4 parallel speedup, and diff the bench's
+# metadis.trace.v5 record against the committed baseline in
 # tests/data/bench/ with `metadis trace-diff`.
 #
 # Count metrics (viability iterations, corrections, degradations) are
@@ -26,7 +27,29 @@ trap 'rm -rf "$TMP"' EXIT
 
 echo "== bench-check: QUICK throughput run"
 # The bench itself asserts the <5% telemetry-overhead budget (exit 1).
-QUICK=1 BENCH_JSON_DIR="$TMP" cargo bench -q --offline -p bench --bench throughput
+QUICK=1 BENCH_JSON_DIR="$TMP" cargo bench -q --offline -p bench --bench throughput \
+    | tee "$TMP/bench-stdout.txt"
+
+echo "== bench-check: parallel scaling gate"
+# The bench prints "parallel speedup(4) = X.XXx" — the threads=1 vs
+# threads=4 wall-time ratio of the identical (bit-for-bit) pipeline run.
+# On a ≥4-core machine, anything under 1.5x means the sharding stopped
+# paying for itself: exit 5, mirroring the trace-diff regression code. On
+# smaller machines the ratio measures timeslicing, not scaling — skip.
+CORES="$(nproc 2>/dev/null || echo 1)"
+SPEEDUP="$(sed -n 's/^parallel speedup(4) = \([0-9.]*\)x$/\1/p' "$TMP/bench-stdout.txt")"
+if [[ -z "$SPEEDUP" ]]; then
+    echo "bench-check: bench output carried no speedup(4) line" >&2
+    exit 3
+fi
+if [[ "$CORES" -lt 4 ]]; then
+    echo "bench-check: $CORES core(s) < 4 — scaling gate skipped (speedup(4) = ${SPEEDUP}x)"
+elif ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "bench-check: speedup(4) = ${SPEEDUP}x < 1.5x on $CORES cores" >&2
+    exit 5
+else
+    echo "bench-check: speedup(4) = ${SPEEDUP}x on $CORES cores"
+fi
 
 echo "== bench-check: trace-diff vs $BASELINE"
 # Wall noise floor: 100x. Anything past that on a QUICK corpus is a hang or

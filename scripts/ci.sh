@@ -17,6 +17,18 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace -q --offline
 
+echo "== parallel determinism gate (threads=1 vs N, release)"
+# The multi-threaded pipeline must be a pure wall-time optimization: for
+# seeded bingen corpora (incl. adversarial + raw soup), byte_class,
+# inst_starts, corrections and degradation lists are compared bit-for-bit
+# between threads=1 and threads∈{2,4,8}.
+cargo test --release -q --offline -p disasm-core --test parallel_determinism
+
+echo "== tier-1 tests under METADIS_THREADS=4"
+# Re-run the workspace tests with the default thread count forced to 4, so
+# every test that doesn't pin Config::threads exercises the sharded paths.
+METADIS_THREADS=4 cargo test --workspace -q --offline
+
 echo "== fuzz-smoke (fixed seeds)"
 # Adversarial smoke pass: 10k structure-aware ELF mutants through the whole
 # parse -> load -> disassemble stack under a deadline. Deterministic seeds,

@@ -19,11 +19,13 @@
 //!   `/healthz` over HTTP (see [`crate::serve`]).
 //! * `scrape <host:port>` — fetch and print a serve-mode endpoint.
 //!
-//! Every analysis command also accepts the observability flags:
+//! Every analysis command also accepts `--threads N` (worker threads for
+//! the sharded pipeline phases and batch processing; the output is
+//! bit-identical at any thread count) and the observability flags:
 //! `--metrics` appends per-phase timing tables, the event-span tree, and
 //! the global counter/histogram snapshot to the output, `--trace-json
 //! <path>` writes a machine-readable trace record (schema
-//! `metadis.trace.v4`, see the README "Observability" section), `--log
+//! `metadis.trace.v5`, see the README "Observability" section), `--log
 //! <path|->` / `--log-level <level>` stream structured `metadis.log.v1`
 //! JSON lines to a file or stderr, and
 //! `--provenance` collects the per-byte evidence ledger (`explain` turns
@@ -149,11 +151,19 @@ OPTIONS:
     --density F     embedded-data fraction 0.0-0.5 (default 0.1)
     --adversarial   lace the generated binary with anti-disassembly junk
 
+PARALLELISM (any analysis command; serve uses it for batch requests):
+    --threads N        worker threads for the sharded pipeline phases
+                       (superset decode, viability fixpoint, statistical
+                       classification) and for batch processing; results
+                       are bit-identical at any thread count (default: the
+                       METADIS_THREADS env var if set, else the machine's
+                       available parallelism; 1 = fully sequential)
+
 OBSERVABILITY (any analysis command):
     --metrics          append per-phase timing tables, the event-span tree
                        and the global counter/histogram snapshot
     --trace-json PATH  write a machine-readable trace record
-                       (schema metadis.trace.v4) to PATH
+                       (schema metadis.trace.v5) to PATH
     --log DEST         stream structured metadis.log.v1 JSON lines to DEST
                        (a file path, or '-' for stderr)
     --log-level L      keep records at level L and above: trace, debug,
@@ -334,9 +344,10 @@ fn append_metrics(out: &mut CmdOutput) {
     for (name, d) in &out.tools {
         let _ = writeln!(
             out.text,
-            "\n[{name}] phase timing — {} corrections, {} viability iterations",
+            "\n[{name}] phase timing — {} corrections, {} viability iterations, {} thread(s)",
             d.trace.corrections_total(),
-            d.trace.viability_iterations
+            d.trace.viability_iterations,
+            d.trace.threads.max(1)
         );
         if d.trace.alloc_bytes > 0 || d.trace.alloc_peak > 0 {
             let _ = writeln!(
@@ -519,6 +530,14 @@ fn build_config(rest: &[&String]) -> Result<Config, CliError> {
         cfg.limits.max_viability_iterations = Some(n);
         cfg.limits.max_correction_steps = Some(n);
     }
+    if let Some(n) = flag_value(rest, "--threads") {
+        let n: usize = n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| err("--threads expects a positive integer"))?;
+        cfg.threads = n;
+    }
     if has_flag(rest, "--provenance") {
         cfg.collect_provenance = true;
     }
@@ -636,6 +655,7 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
         "tables",
         "wall ms",
         "MiB/s",
+        "threads",
         "alloc_peak",
         "log_warn_count",
         "degraded_runs",
@@ -664,6 +684,7 @@ fn cmd_compare(rest: &[&String]) -> Result<CmdOutput, CliError> {
             d.jump_tables.len().to_string(),
             format!("{:.3}", d.trace.total_wall_ns as f64 / 1e6),
             format!("{:.1}", d.trace.bytes_per_sec() / (1024.0 * 1024.0)),
+            d.trace.threads.max(1).to_string(),
             d.trace.alloc_peak.to_string(),
             warns.to_string(),
             u64::from(d.trace.is_degraded()).to_string(),
@@ -995,29 +1016,52 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
         .map_err(|e| io_err(format!("cannot bind '{addr}': {e}")))?;
 
     let mut processed: u64 = 0;
-    let mut process = |server: &crate::serve::Server, path: &str| -> bool {
-        let path = path.trim();
-        if path.is_empty() || path.starts_with('#') {
-            return true;
+    let batch_cap = cfg.threads.max(1) as u64;
+    // Drain paths from `lines`, fanning each full batch (one worker pool's
+    // worth) out via `process_batch`. Per-request failures are service
+    // events (logged + counted by the server), not fatal CLI errors: a
+    // batch keeps going past bad inputs. Returns `false` once the
+    // `--max-requests` budget is exhausted.
+    let drain = |server: &crate::serve::Server,
+                 lines: &mut dyn Iterator<Item = String>,
+                 processed: &mut u64|
+     -> bool {
+        let mut pending: Vec<String> = Vec::new();
+        while *processed + (pending.len() as u64) < max_requests {
+            match lines.next() {
+                Some(line) => {
+                    let path = line.trim();
+                    if path.is_empty() || path.starts_with('#') {
+                        continue;
+                    }
+                    pending.push(path.to_string());
+                    if (pending.len() as u64) >= batch_cap {
+                        let _ = server.process_batch(&pending, &cfg);
+                        *processed += pending.len() as u64;
+                        pending.clear();
+                    }
+                }
+                None => break,
+            }
         }
-        // per-request failures are service events (logged + counted by the
-        // server), not fatal CLI errors: a batch keeps going past bad inputs
-        let _ = server.process_path(path, &cfg);
-        processed += 1;
-        processed < max_requests
+        if !pending.is_empty() {
+            let _ = server.process_batch(&pending, &cfg);
+            *processed += pending.len() as u64;
+        }
+        *processed < max_requests
     };
 
     if let Some(list) = flag_value(rest, "--from") {
         let text = std::fs::read_to_string(list)
             .map_err(|e| io_err(format!("cannot read '{list}': {e}")))?;
-        for line in text.lines() {
-            if !process(&server, line) {
-                break;
-            }
-        }
+        drain(
+            &server,
+            &mut text.lines().map(str::to_string),
+            &mut processed,
+        );
     } else if let Some(dir) = flag_value(rest, "--watch") {
         let mut seen = std::collections::BTreeSet::new();
-        'watch: loop {
+        loop {
             let entries = std::fs::read_dir(dir)
                 .map_err(|e| io_err(format!("cannot read dir '{dir}': {e}")))?;
             let mut fresh: Vec<String> = entries
@@ -1027,28 +1071,16 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
                 .filter(|p| !seen.contains(p))
                 .collect();
             fresh.sort();
-            for path in fresh {
-                seen.insert(path.clone());
-                if !process(&server, &path) {
-                    break 'watch;
-                }
+            seen.extend(fresh.iter().cloned());
+            if !drain(&server, &mut fresh.into_iter(), &mut processed) {
+                break;
             }
             std::thread::sleep(std::time::Duration::from_millis(poll_ms));
         }
     } else {
         let stdin = std::io::stdin();
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match stdin.read_line(&mut line) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {
-                    if !process(&server, &line) {
-                        break;
-                    }
-                }
-            }
-        }
+        let mut lines = stdin.lines().map_while(Result::ok);
+        drain(&server, &mut lines, &mut processed);
     }
 
     let text = format!(
@@ -1175,14 +1207,14 @@ mod tests {
         assert!(out.contains("global metrics"), "{out}");
         assert!(out.contains("pipeline.runs"), "{out}");
 
-        // --trace-json writes a metadis.trace.v4 record
+        // --trace-json writes a metadis.trace.v5 record
         let json_path = dir.join("trace.json");
         let json_s = json_path.to_str().unwrap();
         let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
         assert!(out.contains("trace record written"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(
-            json.starts_with(r#"{"schema":"metadis.trace.v4","command":"disasm""#),
+            json.starts_with(r#"{"schema":"metadis.trace.v5","command":"disasm""#),
             "{json}"
         );
         for key in [
@@ -1195,6 +1227,9 @@ mod tests {
             r#""metrics":{"counters""#,
             r#""alloc_bytes""#,
             r#""alloc_peak""#,
+            r#""shards""#,
+            r#""merge_wall_ns""#,
+            r#""threads""#,
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -1209,6 +1244,8 @@ mod tests {
         assert!(cmp.contains("degradation_count"), "{cmp}");
         assert!(cmp.contains("alloc_peak"), "{cmp}");
         assert!(cmp.contains("log_warn_count"), "{cmp}");
+        assert!(cmp.contains("threads"), "{cmp}");
+        assert!(cmp.contains("merge ms"), "{cmp}");
 
         // cfg records its own phase in the trace record
         let cfg_json = dir.join("cfg-trace.json");
@@ -1401,6 +1438,8 @@ mod tests {
             args(&["disasm"]),
             args(&["disasm", "x.elf", "--max-iterations", "lots"]),
             args(&["disasm", "x.elf", "--deadline-ms", "soon"]),
+            args(&["disasm", "x.elf", "--threads", "0"]),
+            args(&["disasm", "x.elf", "--threads", "many"]),
         ] {
             let e = run(&bad).unwrap_err();
             assert_eq!(e.category, ErrorCategory::Usage, "{bad:?}: {e}");
@@ -1468,7 +1507,7 @@ mod tests {
         assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
         // ...but the trace record was still written, with the degradations
         let json = std::fs::read_to_string(&json_path).unwrap();
-        assert!(json.contains(r#""schema":"metadis.trace.v4""#), "{json}");
+        assert!(json.contains(r#""schema":"metadis.trace.v5""#), "{json}");
         assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
 
         // an unconstrained strict run passes

@@ -11,10 +11,15 @@
 //!
 //! Requests themselves (ELF paths to disassemble) arrive out of band — from
 //! stdin, a file, or a watched directory (see the `metadis serve` command) —
-//! and are processed on the caller's thread via [`Server::process_path`], so
-//! the analysis pipeline stays single-threaded while the exposition surface
-//! stays responsive. [`scrape`] is the matching client (used by `metadis
-//! scrape`): one GET over a fresh connection, body returned as a string.
+//! and are processed via [`Server::process_path`] (one request on the
+//! caller's thread) or [`Server::process_batch`] (a batch fanned out over a
+//! bounded worker pool, `Config::threads` wide), while the exposition
+//! surface stays responsive on its own thread. Per-request observability
+//! survives the fan-out: allocation counters are thread-local (each worker
+//! measures only its own requests) and log lines are formatted and written
+//! atomically, so concurrent requests never interleave within a record.
+//! [`scrape`] is the matching client (used by `metadis scrape`): one GET
+//! over a fresh connection, body returned as a string.
 //!
 //! Everything here is standard library only: hand-rolled request-line
 //! parsing on the server side, a hand-rolled GET on the client side. The
@@ -174,6 +179,22 @@ impl Server {
             ],
         );
         Ok(summary)
+    }
+
+    /// Disassemble a batch of ELF paths concurrently on a bounded worker
+    /// pool (`cfg.threads` wide; a single-threaded config degenerates to a
+    /// sequential loop). Results come back in input order. Service counters
+    /// are atomics, per-request allocation accounting is thread-local, and
+    /// log records are written atomically — so the per-request telemetry is
+    /// the same as if the batch had been processed one path at a time.
+    pub fn process_batch(
+        &self,
+        paths: &[String],
+        cfg: &Config,
+    ) -> Vec<Result<RequestSummary, String>> {
+        disasm_core::par::run_jobs(paths.len(), cfg.threads.max(1), |i| {
+            self.process_path(&paths[i], cfg)
+        })
     }
 
     /// Render the Prometheus text exposition of the service counters.
@@ -395,6 +416,25 @@ mod tests {
         assert!(e.to_string().contains("404"), "{e}");
         let ok = scrape(&addr, "/healthz").unwrap();
         assert_eq!(ok, "ok\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn process_batch_returns_per_path_results_in_order() {
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let cfg = Config {
+            threads: 4,
+            ..Config::default()
+        };
+        let paths: Vec<String> = (0..6).map(|i| format!("/nonexistent/b{i}.elf")).collect();
+        let results = server.process_batch(&paths, &cfg);
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            let e = r.as_ref().unwrap_err();
+            assert!(e.contains(&format!("b{i}.elf")), "{e}");
+        }
+        assert_eq!(server.errors(), 6);
+        assert_eq!(server.requests(), 0);
         server.shutdown();
     }
 

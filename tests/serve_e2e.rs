@@ -2,9 +2,14 @@
 //! and `/healthz`, fed two disassembly requests, scraped with the same
 //! client the `metadis scrape` command uses.
 
-use metadis::core::Config;
+use metadis::core::{Config, Limits};
 use metadis::gen::{GenConfig, Workload};
 use metadis::serve::{scrape, Server};
+use std::sync::Mutex;
+
+/// `metadis::cli::run` installs and tears down the process-global log sink;
+/// tests that route through it must not race each other.
+static CLI_LOCK: Mutex<()> = Mutex::new(());
 
 fn write_elf(path: &std::path::Path, seed: u64) {
     let workload = Workload::generate(&GenConfig::small(seed));
@@ -88,6 +93,7 @@ fn serve_command_drains_a_request_file() {
     .unwrap();
     let log = dir.join("serve.log");
 
+    let _cli = CLI_LOCK.lock().unwrap();
     let args: Vec<String> = [
         "serve",
         "--from",
@@ -107,4 +113,95 @@ fn serve_command_drains_a_request_file() {
     assert!(logged.contains(r#""schema":"metadis.log.v1""#), "{logged}");
     assert!(logged.contains(r#""msg":"listening""#), "{logged}");
     assert!(logged.contains(r#""msg":"request done""#), "{logged}");
+}
+
+#[test]
+fn concurrent_clients_keep_per_request_capture_isolated() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-conc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut paths = Vec::new();
+    for seed in 40u64..46 {
+        let elf = dir.join(format!("conc-{seed}.elf"));
+        write_elf(&elf, seed);
+        paths.push(elf.to_str().unwrap().to_string());
+    }
+    let list = dir.join("requests.txt");
+    std::fs::write(&list, paths.join("\n") + "\n").unwrap();
+    let log = dir.join("conc.log");
+
+    // sequential reference summaries for the same inputs
+    let reference = Server::start("127.0.0.1:0").unwrap();
+    let seq: Vec<_> = paths
+        .iter()
+        .map(|p| reference.process_path(p, &Config::default()).unwrap())
+        .collect();
+    reference.shutdown();
+
+    // the serve command with a 4-wide worker pool over the same batch
+    let _cli = CLI_LOCK.lock().unwrap();
+    let args: Vec<String> = [
+        "serve",
+        "--from",
+        list.to_str().unwrap(),
+        "--threads",
+        "4",
+        "--log",
+        log.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let out = metadis::cli::run(&args).unwrap();
+    assert!(out.contains("served 6 request(s), 0 error(s)"), "{out}");
+
+    // every log line stays atomic under concurrency: well-formed, one
+    // record per line, no interleaving mid-record
+    let logged = std::fs::read_to_string(&log).unwrap();
+    for line in logged.lines() {
+        assert!(
+            line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+            "interleaved or malformed log line: {line}"
+        );
+        assert!(line.ends_with('}'), "truncated log line: {line}");
+    }
+    // each request surfaced exactly one begin and one done record, carrying
+    // the per-request instruction count measured by *its* worker
+    for (p, s) in paths.iter().zip(&seq) {
+        let begin = format!(r#""msg":"request begin","fields":{{"path":"{p}""#);
+        let done_needle = format!(r#""path":"{p}","instructions":{}"#, s.instructions);
+        assert_eq!(logged.matches(&begin).count(), 1, "{p} begin\n{logged}");
+        assert_eq!(
+            logged.matches(&done_needle).count(),
+            1,
+            "{p} done\n{logged}"
+        );
+        assert!(s.instructions > 0, "{p}");
+    }
+}
+
+#[test]
+fn deadline_degradations_still_fire_with_worker_threads() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-ddl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("deadline.elf");
+    write_elf(&elf, 13);
+
+    // an already-expired deadline on a multi-threaded config: the shards
+    // poll the deadline cooperatively, so the run degrades (instead of
+    // hanging or panicking) and still classifies every byte
+    let cfg = Config {
+        threads: 4,
+        limits: Limits {
+            deadline_ms: Some(0),
+            ..Limits::default()
+        },
+        ..Config::default()
+    };
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let s = server.process_path(elf.to_str().unwrap(), &cfg).unwrap();
+    assert!(s.degradations >= 1, "{s:?}");
+    assert!(s.text_bytes > 0, "{s:?}");
+    let metrics = server.render_metrics();
+    assert!(metrics.contains("metadis_degradations_total"), "{metrics}");
+    server.shutdown();
 }
