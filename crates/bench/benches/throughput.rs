@@ -2,7 +2,7 @@
 //!
 //! Times the raw decode loop, the superset/viability stages, every baseline,
 //! and the full pipeline on one 200-function workload, prints a throughput
-//! table, and writes the measurements as a `metadis.trace.v5` record
+//! table, and writes the measurements as a `metadis.trace.v6` record
 //! (`BENCH_throughput.json`) — the same schema the CLI's `--trace-json`
 //! emits. Set `QUICK=1` for a reduced iteration count.
 //!
@@ -10,9 +10,10 @@
 //! threads and print `parallel speedup(N) = X.XXx` lines;
 //! `scripts/bench-check.sh` gates on speedup(4) ≥ 1.5x on ≥4-core machines.
 //!
-//! Two extra arms run the full pipeline with runtime telemetry (allocation
-//! accounting + Info-level ring logging) off and on; the run fails (exit 1)
-//! if the telemetry-on arm costs more than 5% wall time over the off arm.
+//! Three extra arms run the full pipeline with runtime telemetry off, with
+//! telemetry (allocation accounting + Info-level ring logging) on, and with
+//! the flight recorder (timeline events) on; the run fails (exit 1) if
+//! either instrumented arm costs more than 5% wall time over the off arm.
 
 use disasm_baselines::Baseline;
 use disasm_core::superset::Superset;
@@ -178,6 +179,16 @@ fn main() {
     tools.push(("telemetry-off".into(), off));
     tools.push(("telemetry-on".into(), on));
 
+    // flight-recorder cost arm: the same run with the timeline recorder on
+    // (allocation accounting and logging stay off, isolating the recorder).
+    // Its trace carries a populated timeline_summary into the perf record.
+    obs::timeline::set_enabled(true);
+    let prof = bench_tool(cost_iters, &image, |img| full.disassemble(img));
+    obs::timeline::set_enabled(false);
+    let recorded = obs::timeline::take().len();
+    let prof_ns = prof.total_wall_ns;
+    tools.push(("profiler-on".into(), prof));
+
     let mut t = TextTable::new(["stage/tool", "wall ms", "MiB/s"]);
     for (name, tr) in &tools {
         t.row([
@@ -211,6 +222,12 @@ fn main() {
         off_ns as f64 / 1e6,
         on_ns as f64 / 1e6
     );
+    let prof_overhead = prof_ns as f64 / off_ns as f64 - 1.0;
+    println!(
+        "flight recorder overhead: {:+.2}% (on {:.3} ms, {recorded} events buffered)",
+        prof_overhead * 100.0,
+        prof_ns as f64 / 1e6
+    );
 
     let json = merged_report_json("bench.throughput", &tools, &obs::global().snapshot());
     bench::emit_bench_json("throughput", &json).expect("write perf record");
@@ -221,6 +238,15 @@ fn main() {
         eprintln!(
             "FAIL: telemetry overhead {:.2}% exceeds the 5% budget",
             overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    // same budget for the flight recorder: profiling must be cheap enough
+    // to leave on in production serve mode
+    if prof_ns > off_ns + off_ns / 20 + 500_000 {
+        eprintln!(
+            "FAIL: flight recorder overhead {:.2}% exceeds the 5% budget",
+            prof_overhead * 100.0
         );
         std::process::exit(1);
     }

@@ -48,7 +48,7 @@ fn table2_accuracy_smoke() {
     assert!(s.contains("perf record written"), "{s}");
     let record = std::env::temp_dir().join("BENCH_table2_accuracy.json");
     let json = std::fs::read_to_string(record).unwrap();
-    assert!(json.contains(r#""schema":"metadis.trace.v5""#), "{json}");
+    assert!(json.contains(r#""schema":"metadis.trace.v6""#), "{json}");
     assert!(json.contains(r#""tool":"metadis (ours)""#), "{json}");
 }
 

@@ -107,6 +107,10 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     let deadline = Deadline::start(&cfg.limits);
     let mut trace = PipelineTrace::new();
     trace.threads = cfg.threads.max(1) as u64;
+    // Flight-recorder window for this run: spans mirror into the timeline
+    // via SpanSet, shard/merge events land during the sharded phases, and
+    // the closing analysis below reads back exactly this run's events.
+    let tl_mark = obs::timeline::mark();
     let mut spans = SpanSet::new();
     let root = spans.begin("pipeline");
     let text = &image.text;
@@ -391,6 +395,9 @@ pub(crate) fn run(cfg: &Config, image: &Image) -> Disassembly {
     spans.end(root);
     trace.spans = spans.finish();
     trace.adopt_root_alloc();
+    if obs::timeline::enabled() {
+        trace.timeline = obs::chrome::summarize(&obs::timeline::snapshot_since(tl_mark));
+    }
     obs::log::emit(
         Level::Info,
         "pipeline",

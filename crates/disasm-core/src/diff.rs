@@ -161,6 +161,11 @@ pub struct TraceDiffConfig {
     pub min_count: u64,
     /// Accept new degradations (budget hits) instead of flagging them.
     pub allow_new_degradations: bool,
+    /// Maximum allowed drop, in percentage points, of the v6
+    /// `timeline_summary.worker_utilization` field before it is flagged.
+    /// Only enforced when the baseline recorded a non-zero utilization
+    /// (i.e. both runs had the flight recorder on).
+    pub max_utilization_drop: f64,
 }
 
 impl Default for TraceDiffConfig {
@@ -171,6 +176,7 @@ impl Default for TraceDiffConfig {
             min_wall_ns: 5_000_000,
             min_count: 16,
             allow_new_degradations: false,
+            max_utilization_drop: 25.0,
         }
     }
 }
@@ -390,6 +396,30 @@ pub fn diff_trace_reports(
             }
         }
 
+        // v6 timeline fields: the critical path behaves like a wall time
+        // (ratio behind the noise floor); a worker-utilization collapse is
+        // flagged even when total wall time stays inside its ratio,
+        // because it means the same work serialized onto fewer lanes.
+        let tl = |t: &JsonValue, key: &str| {
+            t.get("timeline_summary")
+                .map_or(0.0, |s: &JsonValue| num(s, key))
+        };
+        wall_check(
+            "timeline.critical_path_ns".to_string(),
+            tl(ot, "critical_path_ns"),
+            tl(nt, "critical_path_ns"),
+        );
+        let (outil, nutil) = (tl(ot, "worker_utilization"), tl(nt, "worker_utilization"));
+        if outil > 0.0 && nutil < outil - cfg.max_utilization_drop {
+            report.regressions.push(TraceRegression {
+                tool: name.to_string(),
+                metric: "timeline.worker_utilization".to_string(),
+                old: outil,
+                new: nutil,
+                limit: cfg.max_utilization_drop,
+            });
+        }
+
         for count_metric in ["viability_iterations", "corrections"] {
             let (o, n) = (num(ot, count_metric), num(nt, count_metric));
             if (o >= cfg.min_count as f64 || n >= cfg.min_count as f64)
@@ -597,6 +627,47 @@ mod tests {
         };
         let r = diff_trace_reports(&old, &new, &lax).unwrap();
         assert!(!r.is_regression(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn utilization_collapse_is_flagged() {
+        let mk = |util: u64, critical_ns: u64| {
+            let mut t = crate::PipelineTrace::new();
+            t.record("superset", 25_000_000, 4096, 100);
+            t.total_wall_ns = 50_000_000;
+            t.runs = 1;
+            t.timeline.worker_utilization = util;
+            t.timeline.critical_path_ns = critical_ns;
+            let json = crate::trace::merged_report_json(
+                "test",
+                &[("metadis".to_string(), t)],
+                &obs::Snapshot::default(),
+            );
+            obs::json::parse(&json).unwrap()
+        };
+        let cfg = TraceDiffConfig::default();
+        // drop past the threshold (80 -> 40, limit 25 points) is flagged
+        let r = diff_trace_reports(&mk(80, 10_000_000), &mk(40, 10_000_000), &cfg).unwrap();
+        assert!(
+            r.regressions
+                .iter()
+                .any(|g| g.metric == "timeline.worker_utilization"),
+            "{r:?}"
+        );
+        // a drop within the threshold passes
+        let r = diff_trace_reports(&mk(80, 10_000_000), &mk(60, 10_000_000), &cfg).unwrap();
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        // recorder-off baselines (utilization 0) never gate
+        let r = diff_trace_reports(&mk(0, 0), &mk(0, 0), &cfg).unwrap();
+        assert!(!r.is_regression(), "{:?}", r.regressions);
+        // critical-path blowup behaves like a wall-time ratio check
+        let r = diff_trace_reports(&mk(80, 10_000_000), &mk(80, 30_000_000), &cfg).unwrap();
+        assert!(
+            r.regressions
+                .iter()
+                .any(|g| g.metric == "timeline.critical_path_ns"),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -76,52 +76,76 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<(usize, usize)> {
 /// everything runs inline on the calling thread: no spawn, no absorption,
 /// byte-for-byte the sequential path.
 ///
+/// `name` labels the work in the flight recorder: every job records a
+/// `begin_shard`/`end_shard` pair named `name` (on the worker's pinned
+/// lane `w + 1`, or the calling thread inline), and the coordinator
+/// records an [`obs::timeline::MERGE_WAIT_NAME`] span covering the join
+/// barrier plus result/alloc/event folding. Workers drain their event
+/// rings on exit and the parent absorbs them in worker order — the same
+/// deterministic fold as allocation absorption. With the recorder off
+/// this costs two relaxed atomic loads per job.
+///
 /// Worker panics propagate to the caller (the pipeline's `catch_unwind`
 /// boundary turns them into the linear-sweep fallback, same as a
 /// sequential phase panic).
-pub fn run_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+pub fn run_jobs<T, F>(name: &'static str, jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(jobs);
+    let shard = |j: usize, f: &F| {
+        obs::timeline::begin_shard(name, j as u32, 0);
+        let out = f(j);
+        obs::timeline::end_shard(name, j as u32);
+        out
+    };
     if threads <= 1 {
-        return (0..jobs).map(f).collect();
+        return (0..jobs).map(|j| shard(j, &f)).collect();
     }
     let f = &f;
+    let shard = &shard;
     let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
     slots.resize_with(jobs, || None);
     let mut worker_allocs = Vec::with_capacity(threads);
+    let mut worker_events = Vec::with_capacity(threads);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 s.spawn(move || {
+                    obs::timeline::set_lane(w as u32 + 1);
                     let mut out = Vec::new();
                     let mut j = w;
                     while j < jobs {
-                        out.push((j, f(j)));
+                        out.push((j, shard(j, f)));
                         j += threads;
                     }
-                    (out, obs::alloc::stats())
+                    (out, obs::alloc::stats(), obs::timeline::take())
                 })
             })
             .collect();
+        obs::timeline::begin(obs::timeline::MERGE_WAIT_NAME);
         for h in handles {
-            let (out, alloc) = match h.join() {
+            let (out, alloc, events) = match h.join() {
                 Ok(r) => r,
                 Err(p) => std::panic::resume_unwind(p),
             };
             worker_allocs.push(alloc);
+            worker_events.push(events);
             for (j, t) in out {
                 slots[j] = Some(t);
             }
         }
     });
-    // fold worker allocations into the parent's thread-local counters in
-    // worker order, so the absorption itself is deterministic
+    // fold worker allocations and timeline events into the parent's
+    // thread-local state in worker order, so the fold is deterministic
     for a in worker_allocs {
         obs::alloc::absorb(a);
     }
+    for e in worker_events {
+        obs::timeline::absorb(e);
+    }
+    obs::timeline::end(obs::timeline::MERGE_WAIT_NAME);
     slots
         .into_iter()
         .map(|o| o.expect("static assignment covers every job"))
@@ -165,10 +189,14 @@ mod tests {
         let f = |j: usize| j * j + 1;
         let want: Vec<usize> = (0..37).map(f).collect();
         for threads in [1usize, 2, 3, 4, 8, 64] {
-            assert_eq!(run_jobs(37, threads, f), want, "threads={threads}");
+            assert_eq!(
+                run_jobs("par.test", 37, threads, f),
+                want,
+                "threads={threads}"
+            );
         }
-        assert_eq!(run_jobs(0, 4, f), Vec::<usize>::new());
-        assert_eq!(run_jobs(1, 4, f), vec![1]);
+        assert_eq!(run_jobs("par.test", 0, 4, f), Vec::<usize>::new());
+        assert_eq!(run_jobs("par.test", 1, 4, f), vec![1]);
     }
 
     #[test]

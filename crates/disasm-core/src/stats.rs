@@ -389,7 +389,7 @@ pub fn parallel_chain_scores(
         return None;
     }
     let ranges = crate::par::shard_ranges(n, shards);
-    let parts = crate::par::run_jobs(ranges.len(), threads, |i| {
+    let parts = crate::par::run_jobs("stats.chain.shard", ranges.len(), threads, |i| {
         let (start, end) = ranges[i];
         let mut part: Vec<Option<ChainScore>> = Vec::with_capacity(end - start);
         let mut chain: Vec<u32> = Vec::new();

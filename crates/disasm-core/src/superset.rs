@@ -156,7 +156,7 @@ impl Superset {
             return (ss, deg, 1, 0);
         }
         let ranges = crate::par::shard_ranges(n, shards);
-        let parts = crate::par::run_jobs(ranges.len(), threads, |i| {
+        let parts = crate::par::run_jobs("superset.shard", ranges.len(), threads, |i| {
             let (start, end) = ranges[i];
             let mut part = Vec::with_capacity(end - start);
             let mut stop = None;

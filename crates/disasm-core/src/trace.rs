@@ -8,7 +8,7 @@
 //! counters/histograms in [`obs`] stay behind [`obs::enabled`].
 //!
 //! Phase names are a stable, documented contract (consumed by the CLI's
-//! `--trace-json` schema `metadis.trace.v5` and by the bench JSON records):
+//! `--trace-json` schema `metadis.trace.v6` and by the bench JSON records):
 //!
 //! | phase | meaning |
 //! |-------|---------|
@@ -51,6 +51,14 @@
 //!   shards the phase decomposed into — 1 for a sequential phase — and the
 //!   wall time spent merging shard results back together, so sharding
 //!   overhead is visible instead of folded into the phase wall time).
+//! * `metadis.trace.v6` — everything in v5, plus a `timeline_summary`
+//!   object on every trace object, fed by the flight recorder
+//!   ([`obs::timeline`]): `critical_path_ns` (longest dependency chain
+//!   through the phases — slowest shard plus merge wait per sharded phase,
+//!   full wall per serial phase), `worker_utilization` (mean busy
+//!   percentage across worker lanes, 0–100) and `shard_skew` (worst
+//!   `(max-min)*100/max` shard-duration imbalance). All three are 0 when
+//!   the recorder was off for the run.
 
 use crate::correct::Priority;
 use crate::limits::Degradation;
@@ -123,6 +131,10 @@ pub struct PipelineTrace {
     /// ([`crate::Config::threads`]; max across runs after
     /// [`PipelineTrace::merge`]; 0 when not recorded).
     pub threads: u64,
+    /// Flight-recorder analysis of the run (all zeros when the recorder
+    /// was off — see [`obs::timeline`]). After [`PipelineTrace::merge`],
+    /// durations accumulate and the percentages keep the worst case.
+    pub timeline: obs::TimelineSummary,
 }
 
 impl PipelineTrace {
@@ -211,6 +223,21 @@ impl PipelineTrace {
         // the aggregate is the worst single run
         self.alloc_peak = self.alloc_peak.max(other.alloc_peak);
         self.threads = self.threads.max(other.threads);
+        // durations chain across sequential runs; the percentage fields
+        // keep the worst case (lowest utilization, highest skew)
+        self.timeline.critical_path_ns += other.timeline.critical_path_ns;
+        self.timeline.merge_wait_ns += other.timeline.merge_wait_ns;
+        self.timeline.total_wall_ns += other.timeline.total_wall_ns;
+        self.timeline.workers = self.timeline.workers.max(other.timeline.workers);
+        self.timeline.shard_skew = self.timeline.shard_skew.max(other.timeline.shard_skew);
+        self.timeline.worker_utilization = if self.runs == other.runs {
+            // merging into an empty trace: adopt the other side's value
+            other.timeline.worker_utilization
+        } else {
+            self.timeline
+                .worker_utilization
+                .min(other.timeline.worker_utilization)
+        };
         // Keep span IDs unique across the merged trace: re-base the other
         // trace's IDs past our current maximum so parent links stay intact.
         let base = self.spans.iter().map(|s| s.id + 1).max().unwrap_or(0);
@@ -267,11 +294,13 @@ impl PipelineTrace {
     /// Write the trace fields into the *currently open* JSON object:
     /// `text_bytes`, `wall_ns`, `bytes_per_sec`, `viability_iterations`,
     /// `corrections`, `corrections_by_priority`, `runs`, `phases`,
-    /// `degradations`, `spans`, `alloc_bytes`, `alloc_peak`, `threads`.
-    /// The v5 additions (`threads`, and `shards`/`merge_wall_ns` per phase
-    /// entry) are serialized strictly *after* the v4 fields of their
-    /// enclosing object, so stripping them yields a byte-identical v4
-    /// document (golden-pinned by the schema downgrade tests).
+    /// `degradations`, `spans`, `alloc_bytes`, `alloc_peak`, `threads`,
+    /// `timeline_summary`.
+    /// Each schema generation's additions are serialized strictly *after*
+    /// the previous generation's fields of their enclosing object — the
+    /// v5 `threads` after the v4 alloc fields, the v6 `timeline_summary`
+    /// object last of all — so stripping them yields a byte-identical
+    /// older document (golden-pinned by the schema downgrade tests).
     pub fn write_json_fields(&self, w: &mut JsonWriter) {
         w.field_u64("text_bytes", self.text_bytes);
         w.field_u64("wall_ns", self.total_wall_ns);
@@ -314,6 +343,12 @@ impl PipelineTrace {
         w.field_u64("alloc_bytes", self.alloc_bytes);
         w.field_u64("alloc_peak", self.alloc_peak);
         w.field_u64("threads", self.threads);
+        w.key("timeline_summary");
+        w.begin_obj();
+        w.field_u64("critical_path_ns", self.timeline.critical_path_ns);
+        w.field_u64("worker_utilization", self.timeline.worker_utilization);
+        w.field_u64("shard_skew", self.timeline.shard_skew);
+        w.end_obj();
     }
 
     /// Copy the `alloc_bytes`/`alloc_peak` counters off the root span (the
@@ -348,7 +383,7 @@ pub fn priority_name(i: usize) -> &'static str {
 
 /// Write one tool's complete trace object `{tool, <trace fields>,
 /// decisions_by_priority, instructions, functions, jump_tables}` — the
-/// per-tool entry of the `metadis.trace.v5` schema.
+/// per-tool entry of the `metadis.trace.v6` schema.
 pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.begin_obj();
     w.field_str("tool", tool);
@@ -365,7 +400,7 @@ pub fn write_tool_json(w: &mut JsonWriter, tool: &str, d: &Disassembly) {
     w.end_obj();
 }
 
-/// Render a complete `metadis.trace.v5` report: `{schema, command,
+/// Render a complete `metadis.trace.v6` report: `{schema, command,
 /// tools: [...], metrics: {...}}`. The CLI's `--trace-json` and the bench
 /// binaries both emit exactly this shape, so one consumer reads either.
 /// Every `metadis.trace.v4` field is still present with identical encoding;
@@ -378,7 +413,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v5");
+    w.field_str("schema", "metadis.trace.v6");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -403,7 +438,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v5");
+    w.field_str("schema", "metadis.trace.v6");
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -560,9 +595,12 @@ mod tests {
         a.write_json_fields(&mut w);
         w.end_obj();
         let s = w.finish();
-        // v5 additions come last so stripping them yields v4 then v3
+        // each generation's additions come last so stripping them walks
+        // the schema back one version at a time
         assert!(
-            s.ends_with(r#","alloc_bytes":1500,"alloc_peak":800,"threads":0}"#),
+            s.ends_with(
+                r#","alloc_bytes":1500,"alloc_peak":800,"threads":0,"timeline_summary":{"critical_path_ns":0,"worker_utilization":0,"shard_skew":0}}"#
+            ),
             "{s}"
         );
     }
@@ -589,7 +627,7 @@ mod tests {
         w.end_obj();
         let s = w.finish();
         assert!(s.contains(r#""shards":4,"merge_wall_ns":13000}"#), "{s}");
-        assert!(s.contains(r#""threads":4}"#), "{s}");
+        assert!(s.contains(r#""threads":4,"timeline_summary":"#), "{s}");
     }
 
     #[test]
@@ -608,6 +646,51 @@ mod tests {
         t.adopt_root_alloc();
         assert_eq!(t.alloc_bytes, 4096);
         assert_eq!(t.alloc_peak, 2048);
+    }
+
+    #[test]
+    fn timeline_summary_serializes_and_merges() {
+        let mut a = sample();
+        a.timeline = obs::TimelineSummary {
+            critical_path_ns: 1000,
+            worker_utilization: 80,
+            shard_skew: 10,
+            merge_wait_ns: 50,
+            total_wall_ns: 1500,
+            workers: 4,
+        };
+        let mut b = sample();
+        b.timeline = obs::TimelineSummary {
+            critical_path_ns: 500,
+            worker_utilization: 60,
+            shard_skew: 30,
+            merge_wait_ns: 25,
+            total_wall_ns: 700,
+            workers: 2,
+        };
+        a.merge(&b);
+        // durations chain, percentages keep the worst case
+        assert_eq!(a.timeline.critical_path_ns, 1500);
+        assert_eq!(a.timeline.merge_wait_ns, 75);
+        assert_eq!(a.timeline.total_wall_ns, 2200);
+        assert_eq!(a.timeline.worker_utilization, 60);
+        assert_eq!(a.timeline.shard_skew, 30);
+        assert_eq!(a.timeline.workers, 4);
+        // merging into an empty trace adopts the incoming values
+        let mut empty = PipelineTrace::new();
+        empty.merge(&a);
+        assert_eq!(empty.timeline.worker_utilization, 60);
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        a.write_json_fields(&mut w);
+        w.end_obj();
+        let s = w.finish();
+        assert!(
+            s.ends_with(
+                r#""timeline_summary":{"critical_path_ns":1500,"worker_utilization":60,"shard_skew":30}}"#
+            ),
+            "{s}"
+        );
     }
 
     #[test]

@@ -264,19 +264,20 @@ impl Viability {
         // Required-successor table, precomputed in parallel (pure over the
         // superset). k is u8 here; UNSAT marks the unsatisfiable sentinel.
         const UNSAT: u8 = u8::MAX;
-        let req_parts = crate::par::run_jobs(ranges.len(), threads, |i| {
-            let (start, end) = ranges[i];
-            let mut part = Vec::with_capacity(end - start);
-            for off in start..end {
-                part.push(if ss.at(off as u32).is_valid() {
-                    let (succs, k) = required(ss, off as u32);
-                    (succs, if k == usize::MAX { UNSAT } else { k as u8 })
-                } else {
-                    ([0u32; 2], 0u8)
-                });
-            }
-            part
-        });
+        let req_parts =
+            crate::par::run_jobs("viability.requires.shard", ranges.len(), threads, |i| {
+                let (start, end) = ranges[i];
+                let mut part = Vec::with_capacity(end - start);
+                for off in start..end {
+                    part.push(if ss.at(off as u32).is_valid() {
+                        let (succs, k) = required(ss, off as u32);
+                        (succs, if k == usize::MAX { UNSAT } else { k as u8 })
+                    } else {
+                        ([0u32; 2], 0u8)
+                    });
+                }
+                part
+            });
         let sw = obs::Stopwatch::start();
         let mut req: Vec<([u32; 2], u8)> = Vec::with_capacity(n);
         for part in req_parts {
@@ -319,52 +320,54 @@ impl Viability {
             .collect();
         let stop = AtomicBool::new(false);
         let (viable_r, req_r, starts_r, rev_r, stop_r) = (&viable, &req, &starts, &rev, &stop);
-        let kills_per_worker = crate::par::run_jobs(ranges.len(), threads, |i| {
-            let (start, end) = ranges[i];
-            let mut kills = 0u64;
-            let mut work: Vec<u32> = Vec::new();
-            for off in start..end {
-                if off.is_multiple_of(4096) && off > start {
-                    if stop_r.load(Ordering::Relaxed) {
-                        break;
+        let kills_per_worker =
+            crate::par::run_jobs("viability.kills.shard", ranges.len(), threads, |i| {
+                let (start, end) = ranges[i];
+                let mut kills = 0u64;
+                let mut work: Vec<u32> = Vec::new();
+                for off in start..end {
+                    if off.is_multiple_of(4096) && off > start {
+                        if stop_r.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if deadline.exceeded() {
+                            stop_r.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
-                    if deadline.exceeded() {
-                        stop_r.store(true, Ordering::Relaxed);
-                        break;
+                    if !ss.at(off as u32).is_valid() {
+                        continue;
                     }
-                }
-                if !ss.at(off as u32).is_valid() {
-                    continue;
-                }
-                let (succs, k) = req_r[off];
-                let dead = k == UNSAT || succs[..k as usize].iter().any(|&s| !ss.at(s).is_valid());
-                if dead && viable_r[off].swap(false, Ordering::Relaxed) {
-                    kills += 1;
-                    work.push(off as u32);
-                }
-            }
-            let mut pops = 0u64;
-            while let Some(d) = work.pop() {
-                pops += 1;
-                if pops.is_multiple_of(4096) {
-                    if stop_r.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if deadline.exceeded() {
-                        stop_r.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                }
-                let d = d as usize;
-                for &p in &rev_r[starts_r[d] as usize..starts_r[d + 1] as usize] {
-                    if viable_r[p as usize].swap(false, Ordering::Relaxed) {
+                    let (succs, k) = req_r[off];
+                    let dead =
+                        k == UNSAT || succs[..k as usize].iter().any(|&s| !ss.at(s).is_valid());
+                    if dead && viable_r[off].swap(false, Ordering::Relaxed) {
                         kills += 1;
-                        work.push(p);
+                        work.push(off as u32);
                     }
                 }
-            }
-            kills
-        });
+                let mut pops = 0u64;
+                while let Some(d) = work.pop() {
+                    pops += 1;
+                    if pops.is_multiple_of(4096) {
+                        if stop_r.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if deadline.exceeded() {
+                            stop_r.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    let d = d as usize;
+                    for &p in &rev_r[starts_r[d] as usize..starts_r[d + 1] as usize] {
+                        if viable_r[p as usize].swap(false, Ordering::Relaxed) {
+                            kills += 1;
+                            work.push(p);
+                        }
+                    }
+                }
+                kills
+            });
 
         let sw = obs::Stopwatch::start();
         let iterations: u64 = kills_per_worker.iter().sum();

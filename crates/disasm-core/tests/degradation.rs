@@ -214,7 +214,7 @@ fn degradations_serialize_in_trace_json() {
         &[("metadis".to_string(), d)],
         &obs::global().snapshot(),
     );
-    assert!(json.contains(r#""schema":"metadis.trace.v5""#), "{json}");
+    assert!(json.contains(r#""schema":"metadis.trace.v6""#), "{json}");
     assert!(json.contains(r#""degradations":["#), "{json}");
     assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
     assert!(json.contains(r#""phase":"correct""#), "{json}");

@@ -1,8 +1,9 @@
-//! Golden-file schema compatibility: the `metadis.trace.v5` encoding is
+//! Golden-file schema compatibility: the `metadis.trace.v6` encoding is
 //! pinned byte-for-byte against a checked-in file, and stripping each
 //! version's additions must reproduce the previous version's golden
-//! exactly: v5 minus the parallelism fields (per-phase `shards` /
-//! `merge_wall_ns` and the top-level `threads`) is the v4 golden, v4 minus
+//! exactly: v6 minus the `timeline_summary` object is the v5 golden, v5
+//! minus the parallelism fields (per-phase `shards` / `merge_wall_ns` and
+//! the top-level `threads`) is the v4 golden, v4 minus
 //! `alloc_bytes`/`alloc_peak` is the v3 golden, v3 minus the `spans` array
 //! is the v2 golden. This is the contract that lets older consumers read
 //! newer records without changes.
@@ -15,6 +16,10 @@ use std::collections::BTreeMap;
 use disasm_core::trace::{merged_report_json, PipelineTrace};
 use disasm_core::{Degradation, LimitKind};
 
+const V6_GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/trace_v6_golden.json"
+);
 const V5_GOLDEN: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/data/trace_v5_golden.json"
@@ -33,8 +38,8 @@ const V2_GOLDEN: &str = concat!(
 );
 
 /// A fully deterministic trace: fixed timings, one degradation, a two-span
-/// tree with counters, fixed allocation totals, a sharded phase. No clocks
-/// are read anywhere in this test.
+/// tree with counters, fixed allocation totals, a sharded phase, a fixed
+/// timeline summary. No clocks are read anywhere in this test.
 fn sample_trace() -> PipelineTrace {
     let mut t = PipelineTrace::new();
     t.record_sharded("superset", 2_000_000, 4096, 4000, 4, 250_000);
@@ -69,6 +74,9 @@ fn sample_trace() -> PipelineTrace {
     t.alloc_bytes = 786_432;
     t.alloc_peak = 262_144;
     t.threads = 4;
+    t.timeline.critical_path_ns = 2_600_000;
+    t.timeline.worker_utilization = 83;
+    t.timeline.shard_skew = 12;
     t
 }
 
@@ -108,6 +116,44 @@ fn strip_u64_fields(json: &str, keys: &[&str]) -> String {
     }
     out.push_str(rest);
     out
+}
+
+/// Remove every `,"key":{...}` object-valued member from a serialized
+/// report by brace counting (the stripped objects never contain braces
+/// inside strings).
+fn strip_obj_field(json: &str, key: &str) -> String {
+    let lead = format!(r#","{key}":{{"#);
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find(&lead) {
+        out.push_str(&rest[..at]);
+        let tail = &rest[at + lead.len() - 1..];
+        let mut depth = 0usize;
+        let mut end = 0;
+        for (i, c) in tail.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(end > 0, "unterminated {key} object");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Remove every v6 `,"timeline_summary":{...}` object from a serialized
+/// report.
+fn strip_timeline(json: &str) -> String {
+    strip_obj_field(json, "timeline_summary")
 }
 
 /// Remove every v5 parallelism field from a serialized report: the per-phase
@@ -155,8 +201,17 @@ fn strip_spans(json: &str) -> String {
     out
 }
 
-/// What a v4 emitter would have produced for the same run: the v5 record
-/// minus the parallelism fields, with the schema tag rewound.
+/// What a v5 emitter would have produced for the same run: the v6 record
+/// minus the `timeline_summary` objects, with the schema tag rewound.
+fn downgrade_to_v5(v6: &str) -> String {
+    strip_timeline(v6).replace(
+        r#""schema":"metadis.trace.v6""#,
+        r#""schema":"metadis.trace.v5""#,
+    )
+}
+
+/// What a v4 emitter would have produced: the v5 record minus the
+/// parallelism fields, with the schema tag rewound.
 fn downgrade_to_v4(v5: &str) -> String {
     strip_parallel(v5).replace(
         r#""schema":"metadis.trace.v5""#,
@@ -182,64 +237,85 @@ fn downgrade_to_v2(v3: &str) -> String {
 }
 
 #[test]
-fn v5_report_matches_golden_byte_for_byte() {
+fn v6_report_matches_golden_byte_for_byte() {
     let got = sample_report();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(V6_GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(V6_GOLDEN).unwrap();
+    assert_eq!(got, want, "v6 encoding drifted; BLESS=1 if intentional");
+}
+
+#[test]
+fn v5_fields_survive_in_v6_byte_for_byte() {
+    let got = downgrade_to_v5(&sample_report());
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V5_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V5_GOLDEN).unwrap();
-    assert_eq!(got, want, "v5 encoding drifted; BLESS=1 if intentional");
+    assert_eq!(
+        got, want,
+        "a v5-era field changed encoding; v6 must keep every v5 field intact"
+    );
 }
 
 #[test]
-fn v4_fields_survive_in_v5_byte_for_byte() {
-    let got = downgrade_to_v4(&sample_report());
+fn v4_fields_survive_in_v6_byte_for_byte() {
+    let got = downgrade_to_v4(&downgrade_to_v5(&sample_report()));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V4_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V4_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v4-era field changed encoding; v5 must keep every v4 field intact"
+        "a v4-era field changed encoding; v6 must keep every v4 field intact"
     );
 }
 
 #[test]
-fn v3_fields_survive_in_v5_byte_for_byte() {
-    let got = downgrade_to_v3(&downgrade_to_v4(&sample_report()));
+fn v3_fields_survive_in_v6_byte_for_byte() {
+    let got = downgrade_to_v3(&downgrade_to_v4(&downgrade_to_v5(&sample_report())));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V3_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V3_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v3-era field changed encoding; v5 must keep every v3 field intact"
+        "a v3-era field changed encoding; v6 must keep every v3 field intact"
     );
 }
 
 #[test]
-fn v2_fields_survive_in_v5_byte_for_byte() {
-    let got = downgrade_to_v2(&downgrade_to_v3(&downgrade_to_v4(&sample_report())));
+fn v2_fields_survive_in_v6_byte_for_byte() {
+    let got = downgrade_to_v2(&downgrade_to_v3(&downgrade_to_v4(&downgrade_to_v5(
+        &sample_report(),
+    ))));
     if std::env::var_os("BLESS").is_some() {
         std::fs::write(V2_GOLDEN, &got).unwrap();
     }
     let want = std::fs::read_to_string(V2_GOLDEN).unwrap();
     assert_eq!(
         got, want,
-        "a v2-era field changed encoding; v5 must keep every v2 field intact"
+        "a v2-era field changed encoding; v6 must keep every v2 field intact"
     );
 }
 
 #[test]
 fn goldens_declare_their_schemas() {
+    let v6 = std::fs::read_to_string(V6_GOLDEN).unwrap();
     let v5 = std::fs::read_to_string(V5_GOLDEN).unwrap();
     let v4 = std::fs::read_to_string(V4_GOLDEN).unwrap();
     let v3 = std::fs::read_to_string(V3_GOLDEN).unwrap();
     let v2 = std::fs::read_to_string(V2_GOLDEN).unwrap();
+    assert!(v6.contains(r#""schema":"metadis.trace.v6""#));
+    assert!(v6.contains(
+        r#""timeline_summary":{"critical_path_ns":2600000,"worker_utilization":83,"shard_skew":12}"#
+    ));
     assert!(v5.contains(r#""schema":"metadis.trace.v5""#));
     assert!(v5.contains(r#""shards":4"#));
     assert!(v5.contains(r#""merge_wall_ns":250000"#));
     assert!(v5.contains(r#""threads":4"#));
+    assert!(!v5.contains(r#""timeline_summary""#));
     assert!(v4.contains(r#""schema":"metadis.trace.v4""#));
     assert!(v4.contains(r#""alloc_bytes":786432"#));
     assert!(v4.contains(r#""alloc_peak":262144"#));
@@ -250,7 +326,7 @@ fn goldens_declare_their_schemas() {
     assert!(!v3.contains(r#""alloc_bytes""#));
     assert!(v2.contains(r#""schema":"metadis.trace.v2""#));
     assert!(!v2.contains(r#""spans""#));
-    // every v2 top-level trace field appears in all four
+    // every v2 top-level trace field appears in all five
     for key in [
         r#""text_bytes""#,
         r#""wall_ns""#,
@@ -260,6 +336,7 @@ fn goldens_declare_their_schemas() {
         r#""degradations""#,
         r#""metrics""#,
     ] {
+        assert!(v6.contains(key), "v6 missing {key}");
         assert!(v5.contains(key), "v5 missing {key}");
         assert!(v4.contains(key), "v4 missing {key}");
         assert!(v3.contains(key), "v3 missing {key}");

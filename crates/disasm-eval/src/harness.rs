@@ -142,14 +142,18 @@ pub fn evaluate(tool: &Tool, corpus: &Corpus) -> ToolReport {
 /// happen sequentially in corpus index order, so the report is identical to
 /// a sequential evaluation — only wall time changes.
 pub fn evaluate_threads(tool: &Tool, corpus: &Corpus, threads: usize) -> ToolReport {
-    let runs: Vec<(Disassembly, Duration)> =
-        disasm_core::par::run_jobs(corpus.workloads.len(), threads.max(1), |i| {
+    let runs: Vec<(Disassembly, Duration)> = disasm_core::par::run_jobs(
+        "eval.workload",
+        corpus.workloads.len(),
+        threads.max(1),
+        |i| {
             let w = &corpus.workloads[i];
             let image = image_of(w);
             let start = Instant::now();
             let d = tool.run_with_symbols(&image, &w.truth.func_starts);
             (d, start.elapsed())
-        });
+        },
+    );
     let mut total = WorkloadScore::default();
     let mut per_workload = Vec::with_capacity(corpus.workloads.len());
     let mut elapsed = Duration::ZERO;

@@ -60,6 +60,13 @@ impl TextTable {
     }
 
     /// Render with aligned columns and a separator under the header.
+    ///
+    /// The first column (names) is left-aligned; every other column is
+    /// right-aligned, the convention for numeric columns — this matches
+    /// `obs::TextTable`, so the `compare` tool table and the phase-timing
+    /// table under it line up the same way regardless of how wide the
+    /// per-tool `threads`/`shards`/`merge ms` values get. No line carries
+    /// trailing whitespace.
     pub fn render(&self) -> String {
         let cols = self
             .rows
@@ -71,7 +78,7 @@ impl TextTable {
         let mut widths = vec![0usize; cols];
         let measure = |widths: &mut Vec<usize>, row: &[String]| {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(c.chars().count());
             }
         };
         measure(&mut widths, &self.header);
@@ -82,11 +89,14 @@ impl TextTable {
         let render_row = |out: &mut String, row: &[String]| {
             for i in 0..cols {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
-                if i + 1 == cols {
-                    let _ = write!(out, "{cell}");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<w$}", w = widths[i]);
                 } else {
-                    let _ = write!(out, "{cell:<w$}  ", w = widths[i]);
+                    let _ = write!(out, "  {cell:>w$}", w = widths[i]);
                 }
+            }
+            while out.ends_with(' ') {
+                out.pop();
             }
             out.push('\n');
         };
@@ -131,9 +141,33 @@ mod tests {
         assert!(lines[0].starts_with("tool"));
         assert!(lines[1].starts_with("---"));
         assert!(lines[3].starts_with("ours"));
-        // columns aligned: 'P' column position identical in all rows
+        // numeric columns right-aligned: the 'P' header sits over the last
+        // character of every value in its column
         let p_pos = lines[0].find('P').unwrap();
-        assert_eq!(&lines[2][p_pos..p_pos + 4], "0.81");
+        assert_eq!(&lines[2][p_pos - 3..=p_pos], "0.81");
+        assert_eq!(&lines[3][p_pos - 4..=p_pos], "0.999");
+    }
+
+    #[test]
+    fn compare_style_columns_stay_aligned_golden() {
+        // The compare table regression: per-tool threads/shards/merge values
+        // of different widths (sequential baselines vs a --threads 16 run)
+        // must keep every column edge fixed, with no trailing whitespace.
+        let mut t = TextTable::new(["tool", "wall ms", "threads", "merge ms"]);
+        t.row(["linear-sweep", "0.218", "1", "0.000"]);
+        t.row(["metadis (ours)", "12.109", "16", "0.059"]);
+        t.row(["total", "12.327", "", ""]);
+        let rendered = t.render();
+        let golden = "\
+tool            wall ms  threads  merge ms
+------------------------------------------
+linear-sweep      0.218        1     0.000
+metadis (ours)   12.109       16     0.059
+total            12.327\n";
+        assert_eq!(rendered, golden, "rendered:\n{rendered}");
+        for line in rendered.lines() {
+            assert!(!line.ends_with(' '), "trailing whitespace in {line:?}");
+        }
     }
 
     #[test]

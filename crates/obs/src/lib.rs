@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod chrome;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -39,11 +40,13 @@ pub mod provenance;
 pub mod registry;
 pub mod span;
 pub mod table;
+pub mod timeline;
 
 pub use metrics::{Counter, Histogram, HistogramSummary};
 pub use registry::{MetricsRegistry, ScopedReset, Snapshot};
 pub use span::{Span, SpanSet};
 pub use table::TextTable;
+pub use timeline::TimelineSummary;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -69,4 +69,13 @@ cargo run --release --offline --bin metadis -- \
   --trace-json artifacts/ci-trace.json > artifacts/ci-metrics.txt
 cp "$TD_TMP/trace.json" artifacts/ci-trace-gate.json 2>/dev/null || true
 
+echo "== flight-recorder profile artifacts"
+# Profile the same seed corpus at 4 threads with the flight recorder on and
+# upload both views of the run: the Chrome trace-event JSON (loadable in
+# Perfetto / chrome://tracing) and the critical-path + imbalance report.
+cargo run --release --offline --bin metadis -- \
+  profile "$TD_TMP/ci.elf" --threads 4 \
+  --chrome-trace artifacts/ci-profile-trace.json \
+  --profile-summary > artifacts/ci-profile-summary.txt
+
 echo "CI gate passed."

@@ -25,7 +25,7 @@
 //! `--metrics` appends per-phase timing tables, the event-span tree, and
 //! the global counter/histogram snapshot to the output, `--trace-json
 //! <path>` writes a machine-readable trace record (schema
-//! `metadis.trace.v5`, see the README "Observability" section), `--log
+//! `metadis.trace.v6`, see the README "Observability" section), `--log
 //! <path|->` / `--log-level <level>` stream structured `metadis.log.v1`
 //! JSON lines to a file or stderr, and
 //! `--provenance` collects the per-byte evidence ledger (`explain` turns
@@ -126,6 +126,8 @@ metadis — metadata-free disassembly of stripped x86-64 binaries
 
 USAGE:
     metadis disasm <elf> [--listing] [--max-lines N] [--train N]
+    metadis profile <elf> [--chrome-trace PATH] [--profile-summary]
+                [--threads N]
     metadis gen -o <path> [--seed N] [--profile O0|O1|O2|O3]
                 [--functions N] [--density F] [--adversarial]
     metadis compare <elf> [--train N]
@@ -163,7 +165,7 @@ OBSERVABILITY (any analysis command):
     --metrics          append per-phase timing tables, the event-span tree
                        and the global counter/histogram snapshot
     --trace-json PATH  write a machine-readable trace record
-                       (schema metadis.trace.v5) to PATH
+                       (schema metadis.trace.v6) to PATH
     --log DEST         stream structured metadis.log.v1 JSON lines to DEST
                        (a file path, or '-' for stderr)
     --log-level L      keep records at level L and above: trace, debug,
@@ -172,8 +174,18 @@ OBSERVABILITY (any analysis command):
                        command enables this automatically; off by default
                        because it costs memory proportional to decisions)
 
+PROFILE (runs the pipeline with the flight recorder on):
+    --chrome-trace PATH  write the per-thread timeline as Chrome
+                         trace-event JSON (load in Perfetto or
+                         chrome://tracing: one lane per worker thread
+                         showing shard spans and merge barriers)
+    --profile-summary    print the full critical-path / worker-utilization
+                         / shard-duration report instead of the one-line
+                         headline
+
 SERVE:
-    --addr HOST:PORT   bind address for /metrics and /healthz
+    --addr HOST:PORT   bind address for /metrics, /healthz and
+                       /debug/timeline
                        (default 127.0.0.1:0 — an ephemeral port, logged at
                        startup as a metadis.log.v1 'listening' event)
     --from FILE        read ELF paths (one per line) from FILE instead of
@@ -271,6 +283,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
     configure_logging(&rest)?;
     let mut out = match cmd.as_str() {
         "disasm" => cmd_disasm(&rest)?,
+        "profile" => cmd_profile(&rest)?,
         "gen" => cmd_gen(&rest)?,
         "compare" => cmd_compare(&rest)?,
         "cfg" => cmd_cfg(&rest)?,
@@ -488,6 +501,7 @@ fn positionals<'a>(rest: &'a [&String]) -> Vec<&'a str> {
                     | "provenance"
                     | "json"
                     | "allow-degradations"
+                    | "profile-summary"
             );
             continue;
         }
@@ -584,6 +598,56 @@ fn cmd_disasm(rest: &[&String]) -> Result<CmdOutput, CliError> {
                 t.entry_size
             );
         }
+    }
+    Ok(CmdOutput {
+        text: out,
+        tools: vec![("metadis (ours)".to_string(), d)],
+    })
+}
+
+fn cmd_profile(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let path = positional(rest).ok_or_else(|| err(format!("profile: missing <elf>\n\n{USAGE}")))?;
+    let cfg = build_config(rest)?;
+    let image = load_image(path)?;
+    // The flight recorder is the whole point of this command: turn it on
+    // for the run, drain exactly this run's events, then restore the
+    // previous state so in-process callers aren't left recording.
+    let was_recording = obs::timeline::enabled();
+    obs::timeline::set_enabled(true);
+    let tl_mark = obs::timeline::mark();
+    let d = Disassembler::new(cfg).disassemble(&image);
+    let events = obs::timeline::take_since(tl_mark);
+    obs::timeline::set_enabled(was_recording);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: profiled {} text bytes with {} thread(s) — {} timeline events",
+        image.text.len(),
+        d.trace.threads.max(1),
+        events.len()
+    );
+    if let Some(trace_path) = flag_value(rest, "--chrome-trace") {
+        let json = obs::chrome::write_chrome_trace(&events);
+        std::fs::write(trace_path, &json)
+            .map_err(|e| io_err(format!("cannot write '{trace_path}': {e}")))?;
+        let _ = writeln!(
+            out,
+            "chrome trace written to {trace_path} (load in Perfetto or chrome://tracing)"
+        );
+    }
+    if has_flag(rest, "--profile-summary") {
+        out.push('\n');
+        out.push_str(&obs::chrome::render_summary(&events));
+    } else {
+        let s = &d.trace.timeline;
+        let _ = writeln!(
+            out,
+            "critical path {:.3} ms, worker utilization {}%, shard skew {}% \
+             (use --profile-summary for the full report)",
+            s.critical_path_ns as f64 / 1e6,
+            s.worker_utilization,
+            s.shard_skew
+        );
     }
     Ok(CmdOutput {
         text: out,
@@ -1207,14 +1271,14 @@ mod tests {
         assert!(out.contains("global metrics"), "{out}");
         assert!(out.contains("pipeline.runs"), "{out}");
 
-        // --trace-json writes a metadis.trace.v5 record
+        // --trace-json writes a metadis.trace.v6 record
         let json_path = dir.join("trace.json");
         let json_s = json_path.to_str().unwrap();
         let out = run(&args(&["disasm", elf_s, "--trace-json", json_s])).unwrap();
         assert!(out.contains("trace record written"), "{out}");
         let json = std::fs::read_to_string(&json_path).unwrap();
         assert!(
-            json.starts_with(r#"{"schema":"metadis.trace.v5","command":"disasm""#),
+            json.starts_with(r#"{"schema":"metadis.trace.v6","command":"disasm""#),
             "{json}"
         );
         for key in [
@@ -1507,7 +1571,7 @@ mod tests {
         assert_eq!(e.category, ErrorCategory::Degraded, "{e}");
         // ...but the trace record was still written, with the degradations
         let json = std::fs::read_to_string(&json_path).unwrap();
-        assert!(json.contains(r#""schema":"metadis.trace.v5""#), "{json}");
+        assert!(json.contains(r#""schema":"metadis.trace.v6""#), "{json}");
         assert!(json.contains(r#""limit":"correction_steps""#), "{json}");
 
         // an unconstrained strict run passes

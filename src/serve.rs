@@ -6,7 +6,12 @@
 //!
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
 //!   service counters: requests, errors, bytes, instructions, wall time,
-//!   degradations, allocation totals, and the `obs::log` warn/error counts.
+//!   degradations, allocation totals, a request-latency summary
+//!   (`quantile="0.5"`/`"0.99"` plus `_sum`/`_count`), and the `obs::log`
+//!   warn/error counts.
+//! * `GET /debug/timeline` — Chrome trace-event JSON of the rolling flight
+//!   buffer (the last [`FLIGHT_CAPACITY`] request timelines), loadable in
+//!   Perfetto or `chrome://tracing`.
 //! * `GET /healthz` — `ok` with status 200 while the server is up.
 //!
 //! Requests themselves (ELF paths to disassemble) arrive out of band — from
@@ -28,15 +33,30 @@
 
 use disasm_core::{Config, Disassembler, Image};
 use obs::log::Value;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// How many request timelines the rolling flight buffer retains. Old
+/// entries fall off the front as new requests complete.
+pub const FLIGHT_CAPACITY: usize = 8;
+
+/// One request's captured flight-recorder timeline, kept in the rolling
+/// buffer for `/debug/timeline` and anomaly dumps.
+#[derive(Debug)]
+struct FlightRecord {
+    path: String,
+    events: Vec<obs::timeline::Event>,
+}
 
 /// Service counters, shared between the processing thread and the HTTP
 /// exposition thread. All relaxed atomics: scrapes may observe a request
-/// mid-update, which Prometheus tolerates by design.
+/// mid-update, which Prometheus tolerates by design. The flight buffer is
+/// the one mutex — touched once per request (push) and once per dump or
+/// `/debug/timeline` scrape, never on a hot path.
 #[derive(Debug, Default)]
 struct State {
     requests: AtomicU64,
@@ -48,6 +68,9 @@ struct State {
     alloc_bytes: AtomicU64,
     alloc_peak: AtomicU64,
     http_requests: AtomicU64,
+    latency: obs::Histogram,
+    flight: Mutex<VecDeque<FlightRecord>>,
+    flight_dumps: AtomicU64,
     stop: AtomicBool,
 }
 
@@ -80,6 +103,10 @@ impl Server {
     pub fn start(addr: &str) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // The flight recorder stays on for the life of the service: it is
+        // bounded (per-thread ring) and cheap, and it is what feeds the
+        // rolling per-request buffer behind `/debug/timeline`.
+        obs::timeline::set_enabled(true);
         // Nonblocking accept + short sleep so the thread notices `stop`
         // promptly without needing a wakeup connection.
         listener.set_nonblocking(true)?;
@@ -133,10 +160,18 @@ impl Server {
             "request begin",
             &[("path", Value::Str(path.to_string()))],
         );
+        let started = std::time::Instant::now();
+        let tl_mark = obs::timeline::mark();
+        obs::timeline::begin("serve.request");
         let image = match load_image(path) {
             Ok(img) => img,
             Err(e) => {
+                obs::timeline::end("serve.request");
+                self.state
+                    .latency
+                    .record(started.elapsed().as_nanos() as u64);
                 self.state.errors.fetch_add(1, Ordering::Relaxed);
+                self.capture_flight(path, tl_mark);
                 obs::log::error(
                     "serve",
                     "request failed",
@@ -145,6 +180,7 @@ impl Server {
                         ("error", Value::Str(e.clone())),
                     ],
                 );
+                self.dump_flight("error", path);
                 return Err(e);
             }
         };
@@ -168,6 +204,9 @@ impl Server {
             .fetch_add(d.trace.alloc_bytes, Ordering::Relaxed);
         st.alloc_peak
             .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
+        obs::timeline::end("serve.request");
+        st.latency.record(started.elapsed().as_nanos() as u64);
+        self.capture_flight(path, tl_mark);
         obs::log::info(
             "serve",
             "request done",
@@ -178,7 +217,74 @@ impl Server {
                 ("degradations", summary.degradations.into()),
             ],
         );
+        if summary.degradations > 0 {
+            self.dump_flight("degradation", path);
+        }
         Ok(summary)
+    }
+
+    /// Drain the calling thread's timeline events since `mark` into the
+    /// rolling flight buffer. In batch mode each worker drains its own
+    /// ring, so requests never mix events; the shard bookkeeping events
+    /// recorded by `par::run_jobs` before the mark stay in the ring for
+    /// the batch-level trace.
+    fn capture_flight(&self, path: &str, mark: obs::timeline::Mark) {
+        let events = obs::timeline::take_since(mark);
+        if events.is_empty() {
+            return;
+        }
+        let mut flight = self.state.flight.lock().unwrap();
+        while flight.len() >= FLIGHT_CAPACITY {
+            flight.pop_front();
+        }
+        flight.push_back(FlightRecord {
+            path: path.to_string(),
+            events,
+        });
+    }
+
+    /// Anomaly hook: write the buffered request timelines to disk as one
+    /// Chrome trace and log where it went. Called on request errors and on
+    /// degraded (budget-hit or deadline-clipped) runs; failures to write
+    /// are logged, never propagated — the dump is diagnostic, not part of
+    /// the request.
+    fn dump_flight(&self, reason: &str, path: &str) {
+        let (events, requests) = {
+            let flight = self.state.flight.lock().unwrap();
+            let events: Vec<obs::timeline::Event> = flight
+                .iter()
+                .flat_map(|r| r.events.iter().copied())
+                .collect();
+            let requests: Vec<&str> = flight.iter().map(|r| r.path.as_str()).collect();
+            (events, requests.join(","))
+        };
+        if events.is_empty() {
+            return;
+        }
+        let seq = self.state.flight_dumps.fetch_add(1, Ordering::Relaxed);
+        let out =
+            std::env::temp_dir().join(format!("metadis-flight-{}-{seq}.json", std::process::id()));
+        match std::fs::write(&out, obs::chrome::write_chrome_trace(&events)) {
+            Ok(()) => obs::log::warn(
+                "serve",
+                "flight recorder dumped",
+                &[
+                    ("reason", Value::Str(reason.to_string())),
+                    ("path", Value::Str(path.to_string())),
+                    ("dump", Value::Str(out.display().to_string())),
+                    ("events", (events.len() as u64).into()),
+                    ("requests", Value::Str(requests)),
+                ],
+            ),
+            Err(e) => obs::log::error(
+                "serve",
+                "flight dump failed",
+                &[
+                    ("dump", Value::Str(out.display().to_string())),
+                    ("error", Value::Str(e.to_string())),
+                ],
+            ),
+        }
     }
 
     /// Disassemble a batch of ELF paths concurrently on a bounded worker
@@ -192,7 +298,7 @@ impl Server {
         paths: &[String],
         cfg: &Config,
     ) -> Vec<Result<RequestSummary, String>> {
-        disasm_core::par::run_jobs(paths.len(), cfg.threads.max(1), |i| {
+        disasm_core::par::run_jobs("serve.batch", paths.len(), cfg.threads.max(1), |i| {
             self.process_path(&paths[i], cfg)
         })
     }
@@ -226,6 +332,23 @@ fn load_image(path: &str) -> Result<Image, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let elf = elfobj::Elf::parse(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
     Image::from_elf(&elf).ok_or_else(|| format!("'{path}' has no executable section"))
+}
+
+/// Concatenate the flight buffer's events, oldest request first. Events
+/// carry absolute timestamps from a shared origin, so the concatenation
+/// renders as one coherent Chrome trace.
+fn buffered_events(st: &State) -> Vec<obs::timeline::Event> {
+    let flight = st.flight.lock().unwrap();
+    flight
+        .iter()
+        .flat_map(|r| r.events.iter().copied())
+        .collect()
+}
+
+/// Chrome trace-event JSON of the current flight buffer, for
+/// `/debug/timeline`.
+fn render_timeline(st: &State) -> String {
+    obs::chrome::write_chrome_trace(&buffered_events(st))
 }
 
 fn render_prometheus(st: &State) -> String {
@@ -312,6 +435,23 @@ fn render_prometheus(st: &State) -> String {
         st.http_requests.load(Ordering::Relaxed),
     );
     metric("metadis_up", "gauge", "1 while the server is running.", 1);
+    // Request-latency summary: bucket-resolution quantiles from the log2
+    // histogram, plus the exact sum/count pair scrapers use to derive
+    // rates and means. (After the closure's last call so it can reuse
+    // `out` directly.)
+    let lat = st.latency.summary();
+    out.push_str(
+        "# HELP metadis_request_latency_ns Per-request service latency (load + pipeline), nanoseconds.\n",
+    );
+    out.push_str("# TYPE metadis_request_latency_ns summary\n");
+    for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+        out.push_str(&format!(
+            "metadis_request_latency_ns{{quantile=\"{label}\"}} {}\n",
+            lat.quantile(q)
+        ));
+    }
+    out.push_str(&format!("metadis_request_latency_ns_sum {}\n", lat.sum));
+    out.push_str(&format!("metadis_request_latency_ns_count {}\n", lat.count));
     out
 }
 
@@ -341,6 +481,7 @@ fn handle_connection(stream: TcpStream, st: &State) -> std::io::Result<()> {
     } else {
         match path {
             "/metrics" => ("200 OK", "text/plain; version=0.0.4", render_prometheus(st)),
+            "/debug/timeline" => ("200 OK", "application/json", render_timeline(st)),
             "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         }
@@ -395,6 +536,10 @@ mod tests {
             "metadis_degradations_total",
             "metadis_alloc_bytes_total",
             "metadis_alloc_peak_bytes 4096",
+            "metadis_request_latency_ns{quantile=\"0.5\"} 0",
+            "metadis_request_latency_ns{quantile=\"0.99\"} 0",
+            "metadis_request_latency_ns_sum 0",
+            "metadis_request_latency_ns_count 0",
             "metadis_log_warns_total",
             "metadis_log_errors_total",
             "metadis_up 1",
@@ -406,6 +551,70 @@ mod tests {
             text.matches("# HELP ").count(),
             text.matches("# TYPE ").count()
         );
+    }
+
+    #[test]
+    fn latency_summary_reports_quantiles() {
+        let st = State::default();
+        for v in [100u64, 200, 300, 400, 100_000] {
+            st.latency.record(v);
+        }
+        let text = render_prometheus(&st);
+        let line = |needle: &str| {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap_or_else(|| panic!("no line starting with {needle} in:\n{text}"))
+                .to_string()
+        };
+        assert_eq!(
+            line("metadis_request_latency_ns_count"),
+            "metadis_request_latency_ns_count 5"
+        );
+        assert_eq!(
+            line("metadis_request_latency_ns_sum"),
+            "metadis_request_latency_ns_sum 101000"
+        );
+        // log2 buckets: p50 lands in the bucket of 300 (256..511), p99 in
+        // the bucket of the outlier, clamped to the exact max.
+        assert_eq!(
+            line("metadis_request_latency_ns{quantile=\"0.5\"}"),
+            "metadis_request_latency_ns{quantile=\"0.5\"} 511"
+        );
+        assert_eq!(
+            line("metadis_request_latency_ns{quantile=\"0.99\"}"),
+            "metadis_request_latency_ns{quantile=\"0.99\"} 100000"
+        );
+        assert!(text.contains("# TYPE metadis_request_latency_ns summary"));
+    }
+
+    #[test]
+    fn flight_buffer_is_bounded_and_serves_debug_timeline() {
+        let server = Server::start("127.0.0.1:0").unwrap();
+        // Force more requests than the buffer holds; every one fails to
+        // load, but still records a serve.request span.
+        for i in 0..(FLIGHT_CAPACITY + 3) {
+            let _ = server.process_path(&format!("/nonexistent/f{i}.elf"), &Config::default());
+        }
+        {
+            let flight = server.state.flight.lock().unwrap();
+            assert_eq!(flight.len(), FLIGHT_CAPACITY);
+            // oldest entries fell off the front
+            assert!(flight.front().unwrap().path.contains("f3.elf"));
+            for rec in flight.iter() {
+                assert!(!rec.events.is_empty());
+            }
+        }
+        let addr = server.addr().to_string();
+        let body = scrape(&addr, "/debug/timeline").unwrap();
+        let json = obs::json::parse(&body).expect("timeline is valid JSON");
+        let events = json.get("traceEvents").unwrap().as_arr().unwrap();
+        // one B and one E per buffered request, plus lane metadata
+        let begins = events
+            .iter()
+            .filter(|e| e.path("ph").and_then(|p| p.as_str()) == Some("B"))
+            .count();
+        assert_eq!(begins, FLIGHT_CAPACITY);
+        server.shutdown();
     }
 
     #[test]
