@@ -1,0 +1,310 @@
+//! Self-timed serve load generator + fault-injection soak (no external
+//! harness).
+//!
+//! Drives the nonblocking service front-end (`metadis::serve`) through
+//! three phases and writes the measurements as a one-line
+//! `metadis.bench.serve.v1` record (`BENCH_serve.json`, gated by
+//! `scripts/bench-check.sh`):
+//!
+//! 1. **steady** — sequential-per-client request streams against a server
+//!    with headroom: sustained RPS and p50/p99 request latency.
+//! 2. **overload** — 2x-capacity request bursts against a one-worker,
+//!    two-deep-queue server: admission control must shed (structured 503,
+//!    `category=overload`) *and* still complete the admitted requests —
+//!    both counts are gated.
+//! 3. **hostile** — slowloris writers, mid-request disconnects, oversized
+//!    request lines, and garbage floods, with `/healthz` polled
+//!    throughout: the reactor must stay live and answer `ok` the whole
+//!    time.
+//!
+//! Lives in the root package (not `crates/bench`) because both that crate
+//! and this one install a `count-alloc` global allocator; linking the two
+//! libs into one bench target would collide. The emit helper mirrors
+//! `bench::emit_bench_json` (same `BENCH_JSON_DIR` contract).
+//!
+//! Set `QUICK=1` for a reduced request count.
+
+use metadis::core::Config;
+use metadis::http;
+use metadis::serve::{scrape, ServeOptions, Server};
+use obs::{Histogram, Stopwatch};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quick() -> bool {
+    std::env::var_os("QUICK").is_some()
+}
+
+/// Write `BENCH_<id>.json` to `$BENCH_JSON_DIR` (relative paths resolve
+/// against the repository root) or the repository root.
+fn emit_bench_json(id: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = match std::env::var_os("BENCH_JSON_DIR").map(std::path::PathBuf::from) {
+        Some(d) if d.is_absolute() => d,
+        Some(d) => root.join(d),
+        None => root.to_path_buf(),
+    };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{id}.json"));
+    std::fs::write(&path, json)?;
+    println!("perf record written to {}", path.display());
+    Ok(path)
+}
+
+fn write_elf(dir: &std::path::Path, name: &str, seed: u64) -> String {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join(name);
+    let workload = metadis::gen::Workload::generate(&metadis::gen::GenConfig::small(seed));
+    std::fs::write(&path, workload.to_elf().to_bytes()).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+/// Phase 1: `clients` threads each stream `per_client` sequential requests
+/// over fresh connections. Returns (wall_ns, completed, latency histogram).
+fn steady_phase(addr: &str, elf: &str, clients: usize, per_client: usize) -> (u64, u64, Histogram) {
+    let hist = Arc::new(Histogram::new());
+    let completed = Arc::new(AtomicU64::new(0));
+    let sw = Stopwatch::start();
+    let workers: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let elf = elf.to_string();
+            let hist = Arc::clone(&hist);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                for _ in 0..per_client {
+                    let req = Stopwatch::start();
+                    let (status, body) =
+                        http::request(&addr, "GET", &format!("/analyze?path={elf}"), None)
+                            .expect("steady-state request failed");
+                    assert_eq!(status, 200, "steady-state request not served: {body}");
+                    hist.record(req.elapsed_ns());
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("steady client panicked");
+    }
+    let wall_ns = sw.elapsed_ns();
+    let h = Arc::try_unwrap(hist).expect("all clients joined");
+    (wall_ns, completed.load(Ordering::Relaxed), h)
+}
+
+/// Phase 2: `waves` bursts of `burst` simultaneous requests against a
+/// deliberately undersized server. Returns (successes, sheds).
+fn overload_phase(addr: &str, elf: &str, waves: usize, burst: usize) -> (u64, u64) {
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for _ in 0..waves {
+        let barrier = Arc::new(std::sync::Barrier::new(burst));
+        let clients: Vec<_> = (0..burst)
+            .map(|_| {
+                let addr = addr.to_string();
+                let elf = elf.to_string();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    http::request(&addr, "GET", &format!("/analyze?path={elf}"), None)
+                })
+            })
+            .collect();
+        for c in clients {
+            let (status, body) = c.join().expect("overload client panicked").unwrap();
+            match status {
+                200 => ok += 1,
+                503 => {
+                    assert!(
+                        body.contains(r#""category":"overload""#),
+                        "shed without category: {body}"
+                    );
+                    shed += 1;
+                }
+                other => panic!("overload client got {other}: {body}"),
+            }
+        }
+    }
+    (ok, shed)
+}
+
+/// Phase 3: inject faults while polling `/healthz`. Returns
+/// (hostile_clients_done, healthz_ok).
+fn hostile_phase(addr: &str) -> (bool, bool) {
+    let rounds = if quick() { 4 } else { 10 };
+    let mut hostiles = Vec::new();
+    for i in 0..rounds {
+        let addr = addr.to_string();
+        hostiles.push(std::thread::spawn(move || match i % 4 {
+            // slowloris: dribble a request one byte at a time
+            0 => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    for b in b"GET /analyze?path=/tmp/x HTTP/1.1\r\n" {
+                        if s.write_all(&[*b]).is_err() {
+                            break; // shed and closed — the point
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    let mut resp = String::new();
+                    let _ = s.read_to_string(&mut resp);
+                }
+            }
+            // mid-request disconnect
+            1 => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    let _ = s.write_all(b"GET /metr");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            // oversized request line
+            2 => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let _ = s.write_all(b"GET /");
+                    let chunk = vec![b'a'; 64 * 1024];
+                    for _ in 0..20 {
+                        if s.write_all(&chunk).is_err() {
+                            break;
+                        }
+                    }
+                    let mut resp = String::new();
+                    let _ = s.read_to_string(&mut resp);
+                }
+            }
+            // garbage flood
+            _ => {
+                if let Ok(mut s) = TcpStream::connect(&addr) {
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let _ = s.write_all(&[0u8; 4096]);
+                    let mut resp = String::new();
+                    let _ = s.read_to_string(&mut resp);
+                }
+            }
+        }));
+    }
+    // the reactor must answer readiness the entire time
+    let mut healthz_ok = true;
+    for _ in 0..(rounds * 3) {
+        healthz_ok &= scrape(addr, "/healthz")
+            .map(|b| b == "ok\n")
+            .unwrap_or(false);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut hostile_done = true;
+    for h in hostiles {
+        hostile_done &= h.join().is_ok();
+    }
+    (hostile_done, healthz_ok)
+}
+
+fn main() {
+    println!("== serve_load: nonblocking serve under load and injected faults");
+    println!("   expectation: sheds under overload, stays live under faults, never crashes");
+    if quick() {
+        println!("   (QUICK mode: reduced request count)");
+    }
+    println!();
+
+    let dir = std::env::temp_dir().join(format!("metadis-bench-serve-{}", std::process::id()));
+    let elf = write_elf(&dir, "load.elf", 7);
+    let mut crashes = 0u64;
+
+    // -- phase 1: steady state ---------------------------------------------
+    let server = Server::start("127.0.0.1:0").expect("bind steady server");
+    let addr = server.addr().to_string();
+    let clients = 4;
+    let per_client = if quick() { 10 } else { 50 };
+    let (wall_ns, completed, latency) = steady_phase(&addr, &elf, clients, per_client);
+    let steady_shed = server.sheds();
+    if scrape(&addr, "/healthz").as_deref().unwrap_or("") != "ok\n" {
+        crashes += 1;
+    }
+    server.shutdown();
+    let s = latency.summary();
+    let rps = completed as f64 / (wall_ns as f64 / 1e9);
+    let (p50_ns, p99_ns) = (s.quantile(0.5), s.quantile(0.99));
+    println!("serve rps = {rps:.1} ({completed} requests, {clients} clients)");
+    println!(
+        "serve p50 = {} us, p99 = {} us",
+        p50_ns / 1_000,
+        p99_ns / 1_000
+    );
+
+    // -- phase 2: 2x overload ----------------------------------------------
+    // one worker, two-deep queue: a 16-wide burst is far past 2x capacity,
+    // so admission control must both shed and serve
+    let opts = ServeOptions {
+        queue_depth: 2,
+        drain_ms: 500,
+        ..ServeOptions::default()
+    };
+    let cfg = Config {
+        threads: 1,
+        ..Config::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, cfg).expect("bind overload server");
+    let addr = server.addr().to_string();
+    let waves = if quick() { 3 } else { 6 };
+    let (overload_ok, overload_shed) = overload_phase(&addr, &elf, waves, 16);
+    if scrape(&addr, "/healthz").as_deref().unwrap_or("") != "ok\n" {
+        crashes += 1;
+    }
+    server.shutdown();
+    let overload_total = overload_ok + overload_shed;
+    let shed_rate = overload_shed as f64 / overload_total.max(1) as f64;
+    println!(
+        "serve overload: {overload_ok} served, {overload_shed} shed ({:.0}% shed rate)",
+        shed_rate * 100.0
+    );
+
+    // -- phase 3: hostile clients ------------------------------------------
+    let opts = ServeOptions {
+        client_deadline_ms: 300,
+        drain_ms: 200,
+        ..ServeOptions::default()
+    };
+    let server =
+        Server::start_with("127.0.0.1:0", opts, Config::default()).expect("bind hostile server");
+    let addr = server.addr().to_string();
+    let (hostile_ok, healthz_ok) = hostile_phase(&addr);
+    if scrape(&addr, "/healthz").as_deref().unwrap_or("") != "ok\n" {
+        crashes += 1;
+    }
+    server.shutdown();
+    println!("serve hostile: clients done = {hostile_ok}, /healthz live throughout = {healthz_ok}");
+    println!("serve crashes = {crashes}");
+
+    // -- record -------------------------------------------------------------
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("schema", "metadis.bench.serve.v1");
+    w.field_f64("rps", (rps * 10.0).round() / 10.0);
+    w.field_u64("requests", completed);
+    w.field_u64("p50_ns", p50_ns);
+    w.field_u64("p99_ns", p99_ns);
+    w.field_u64("steady_shed", steady_shed);
+    w.field_u64("overload_total", overload_total);
+    w.field_u64("overload_success", overload_ok);
+    w.field_u64("overload_shed", overload_shed);
+    w.field_f64("overload_shed_rate", (shed_rate * 1000.0).round() / 1000.0);
+    w.field_bool("hostile_ok", hostile_ok);
+    w.field_bool("healthz_ok", healthz_ok);
+    w.field_u64("crashes", crashes);
+    w.end_obj();
+    emit_bench_json("serve", &w.finish()).expect("write BENCH_serve.json");
+
+    // self-gate the invariants that need no baseline: a crash, a dead
+    // /healthz, or one-sided overload behavior fails the bench run itself
+    assert_eq!(crashes, 0, "server went unresponsive");
+    assert!(healthz_ok, "/healthz went dark under hostile clients");
+    assert!(hostile_ok, "a hostile client hung or panicked");
+    assert!(overload_shed >= 1, "2x overload never shed");
+    assert!(
+        overload_ok >= 1,
+        "overload shed everything — nothing served"
+    );
+}

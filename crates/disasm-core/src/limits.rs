@@ -162,6 +162,27 @@ impl Deadline {
         }
     }
 
+    /// Start the clock with an explicit nanosecond budget. The serve layer
+    /// uses this for per-client budgets that are not tied to a [`Limits`]
+    /// value (`u64::MAX` means unlimited).
+    pub fn with_budget_ns(budget_ns: u64) -> Deadline {
+        Deadline {
+            sw: Stopwatch::start(),
+            budget_ns,
+        }
+    }
+
+    /// Nanoseconds of budget left: `u64::MAX` when unlimited, saturating
+    /// at 0 once spent. Lets a consumer hand the *remaining* budget down to
+    /// a nested phase (e.g. serve subtracts queue-wait time from a client's
+    /// deadline before starting analysis).
+    pub fn remaining_ns(&self) -> u64 {
+        if self.budget_ns == u64::MAX {
+            return u64::MAX;
+        }
+        self.budget_ns.saturating_sub(self.sw.elapsed_ns())
+    }
+
     /// `true` once the budget is spent. Free (no clock read) when the
     /// deadline is unlimited.
     pub fn exceeded(&self) -> bool {
@@ -215,6 +236,21 @@ mod tests {
     fn generous_deadline_does_not_expire_instantly() {
         let d = Deadline::start(&Limits::with_deadline_ms(60_000));
         assert!(!d.exceeded());
+    }
+
+    #[test]
+    fn remaining_budget_saturates_and_stays_max_when_unlimited() {
+        let d = Deadline::unlimited();
+        assert_eq!(d.remaining_ns(), u64::MAX);
+        let d = Deadline::with_budget_ns(0);
+        assert!(d.exceeded());
+        assert_eq!(d.remaining_ns(), 0);
+        let d = Deadline::with_budget_ns(u64::MAX);
+        assert!(d.is_unlimited());
+        let d = Deadline::with_budget_ns(60_000_000_000);
+        assert!(!d.exceeded());
+        assert!(d.remaining_ns() > 0);
+        assert!(d.remaining_ns() <= 60_000_000_000);
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl From<&str> for Value {
     }
 }
 
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
 /// Render one `metadis.log.v1` line from explicit parts. Pure — no clocks,
 /// no global state — so golden tests can pin the encoding byte-for-byte.
 /// The returned string has no trailing newline.

@@ -10,15 +10,28 @@
 # catching order-of-magnitude blowups. Exits 5 on regression, mirroring the
 # trace-diff CI gate.
 #
-# Regenerate the baseline after an intentional perf-relevant change with:
+# The serve gate runs the serve_load bench (load generator + fault
+# injection against the nonblocking service front-end) and checks its
+# metadis.bench.serve.v1 record: zero crashes, /healthz live under hostile
+# clients, two-sided shed behavior under 2x overload (sheds AND successes),
+# and a generous p99 latency ceiling.
+#
+# Regenerate the baselines after an intentional perf-relevant change with:
 #   QUICK=1 BENCH_JSON_DIR=tests/data/bench \
 #     cargo bench --offline -p bench --bench throughput
+#   QUICK=1 BENCH_JSON_DIR=tests/data/bench \
+#     cargo bench --offline -p metadis --bench serve_load
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE=tests/data/bench/BENCH_throughput.json
 if [[ ! -f "$BASELINE" ]]; then
     echo "bench-check: missing baseline $BASELINE" >&2
+    exit 3
+fi
+SERVE_BASELINE=tests/data/bench/BENCH_serve.json
+if [[ ! -f "$SERVE_BASELINE" ]]; then
+    echo "bench-check: missing baseline $SERVE_BASELINE" >&2
     exit 3
 fi
 
@@ -57,5 +70,53 @@ echo "== bench-check: trace-diff vs $BASELINE"
 cargo run --release --offline --bin metadis -- \
     trace-diff "$BASELINE" "$TMP/BENCH_throughput.json" \
     --max-wall-ratio 100
+
+echo "== bench-check: serve load + fault-injection run"
+# The bench itself asserts zero crashes, a live /healthz, finished hostile
+# clients, and two-sided overload behavior (exit 101 on violation).
+QUICK=1 BENCH_JSON_DIR="$TMP" cargo bench -q --offline -p metadis --bench serve_load \
+    | tee "$TMP/serve-stdout.txt"
+
+echo "== bench-check: serve gate vs $SERVE_BASELINE"
+field() { sed -n "s/.*\"$2\":\([0-9.]*\).*/\1/p" "$1"; }
+flag()  { sed -n "s/.*\"$2\":\(true\|false\).*/\1/p" "$1"; }
+SERVE_JSON="$TMP/BENCH_serve.json"
+for f in crashes overload_shed overload_success p99_ns; do
+    if [[ -z "$(field "$SERVE_JSON" "$f")" ]]; then
+        echo "bench-check: serve record carried no '$f' field" >&2
+        exit 3
+    fi
+done
+if ! grep -q '"schema":"metadis.bench.serve.v1"' "$SERVE_BASELINE"; then
+    echo "bench-check: committed $SERVE_BASELINE is not a metadis.bench.serve.v1 record" >&2
+    exit 3
+fi
+# zero-crash + liveness are hard gates
+if [[ "$(field "$SERVE_JSON" crashes)" != "0" ]]; then
+    echo "bench-check: serve bench recorded crashes != 0" >&2
+    exit 5
+fi
+if [[ "$(flag "$SERVE_JSON" healthz_ok)" != "true" || "$(flag "$SERVE_JSON" hostile_ok)" != "true" ]]; then
+    echo "bench-check: /healthz or hostile clients failed under fault injection" >&2
+    exit 5
+fi
+# shed-rate sanity under 2x overload: some requests shed, some served
+if [[ "$(field "$SERVE_JSON" overload_shed)" == "0" ]]; then
+    echo "bench-check: 2x overload produced no sheds — admission control inert" >&2
+    exit 5
+fi
+if [[ "$(field "$SERVE_JSON" overload_success)" == "0" ]]; then
+    echo "bench-check: 2x overload served nothing — shedding everything" >&2
+    exit 5
+fi
+# p99 ceiling: generous noise floor (5s) — catches hangs and event-loop
+# stalls, not slow machines
+P99="$(field "$SERVE_JSON" p99_ns)"
+if ! awk -v p="$P99" 'BEGIN { exit !(p <= 5000000000) }'; then
+    echo "bench-check: serve p99 = ${P99}ns past the 5s ceiling" >&2
+    exit 5
+fi
+echo "bench-check: serve p99 = ${P99}ns, overload shed/success = \
+$(field "$SERVE_JSON" overload_shed)/$(field "$SERVE_JSON" overload_success), crashes = 0"
 
 echo "bench-check passed."

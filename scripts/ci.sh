@@ -29,6 +29,13 @@ echo "== tier-1 tests under METADIS_THREADS=4"
 # every test that doesn't pin Config::threads exercises the sharded paths.
 METADIS_THREADS=4 cargo test --workspace -q --offline
 
+echo "== serve soak suite (hostile clients, release)"
+# The fault-injection soak: slowloris, mid-header disconnects, oversized
+# request lines, queue saturation, graceful drain, and a 100-concurrent
+# mixed-fault soak against the nonblocking serve reactor. Release mode so
+# the 100-client test exercises real concurrency, not debug-build slowness.
+cargo test --release -q --offline --test serve_e2e
+
 echo "== fuzz-smoke (fixed seeds)"
 # Adversarial smoke pass: 10k structure-aware ELF mutants through the whole
 # parse -> load -> disassemble stack under a deadline. Deterministic seeds,
@@ -55,8 +62,10 @@ cargo run --release --offline --bin metadis -- \
 
 echo "== bench-check perf gate"
 # QUICK throughput run diffed against the committed tests/data/bench/
-# baseline (exit 5 on regression); also asserts the <5% telemetry-overhead
-# budget inside the bench itself.
+# baseline plus the serve load/fault-injection gate (zero-crash, live
+# /healthz, two-sided shedding under 2x overload, p99 ceiling) — exit 5 on
+# regression; also asserts the <5% telemetry-overhead budget inside the
+# throughput bench itself.
 ./scripts/bench-check.sh
 
 echo "== telemetry artifacts"

@@ -2,7 +2,8 @@
 //!
 //! Failures print `error[{category}]: {message}` and exit with the
 //! category's stable code: `usage` = 2, `io` = 3, `parse` = 4,
-//! `analysis-degraded` = 5 (see [`metadis::cli::ErrorCategory`]).
+//! `analysis-degraded` = 5, `overload` = 6 (see
+//! [`metadis::cli::ErrorCategory`]).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -35,7 +35,8 @@
 //! any degradation into a hard `analysis-degraded` error.
 //!
 //! Failures carry an [`ErrorCategory`] mapped to a stable exit code
-//! (`usage` = 2, `io` = 3, `parse` = 4, `analysis-degraded` = 5).
+//! (`usage` = 2, `io` = 3, `parse` = 4, `analysis-degraded` = 5,
+//! `overload` = 6).
 //!
 //! All output goes to the returned `String` so the CLI is fully testable.
 
@@ -57,6 +58,11 @@ pub enum ErrorCategory {
     Parse,
     /// Analysis completed but hit a resource budget under `--strict`.
     Degraded,
+    /// The service shed load under admission control: requests were
+    /// refused (queue full, connection cap, deadline spent) rather than
+    /// processed. Distinct from [`ErrorCategory::Degraded`], which means
+    /// analysis *ran* but hit a budget.
+    Overload,
 }
 
 impl ErrorCategory {
@@ -67,6 +73,7 @@ impl ErrorCategory {
             ErrorCategory::Io => "io",
             ErrorCategory::Parse => "parse",
             ErrorCategory::Degraded => "analysis-degraded",
+            ErrorCategory::Overload => "overload",
         }
     }
 
@@ -77,6 +84,7 @@ impl ErrorCategory {
             ErrorCategory::Io => 3,
             ErrorCategory::Parse => 4,
             ErrorCategory::Degraded => 5,
+            ErrorCategory::Overload => 6,
         }
     }
 }
@@ -139,7 +147,8 @@ USAGE:
     metadis trace-diff <baseline.json> <new.json> [--max-wall-ratio F]
                 [--max-count-ratio F] [--allow-degradations]
     metadis serve [--addr HOST:PORT] [--from FILE | --watch DIR]
-                [--max-requests N] [--poll-ms N]
+                [--max-requests N] [--poll-ms N] [--max-inflight N]
+                [--queue-depth N] [--client-deadline-ms N] [--drain-ms N]
     metadis scrape <host:port> [--path /metrics]
 
 OPTIONS:
@@ -193,6 +202,19 @@ SERVE:
     --watch DIR        poll DIR for new files and disassemble each once
     --max-requests N   stop after N processed requests
     --poll-ms N        watch-mode poll interval (default 200)
+    --max-inflight N   connection cap: accepts beyond N concurrently held
+                       client connections are shed with a structured 503
+                       (default 256)
+    --queue-depth N    admission-queue bound for HTTP /analyze requests;
+                       a full queue sheds with 503 category=overload and
+                       drives /healthz to 503 (default 64; 0 admits
+                       nothing — maintenance mode)
+    --client-deadline-ms N
+                       per-client budget covering read + queue wait +
+                       analysis + write; queue wait is subtracted from the
+                       analysis deadline (default 10000; 0 = unlimited)
+    --drain-ms N       graceful-shutdown drain bound for in-flight work
+                       (default 2000)
 
 SCRAPE:
     --path P           endpoint to fetch (default /metrics)
@@ -216,7 +238,9 @@ ROBUSTNESS (any analysis command):
                          engine at N iterations/steps each
     --strict             exit with error category 'analysis-degraded' (code
                          5) if any resource budget was hit; the trace
-                         record, if requested, is still written first
+                         record, if requested, is still written first.
+                         Under serve: exit with category 'overload' (code
+                         6) if any request was shed by admission control
 ";
 
 /// What a subcommand produced: the user-facing text, plus every disassembly
@@ -1076,7 +1100,30 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
         Some(v) => v.parse().map_err(|_| err("--poll-ms expects an integer"))?,
         None => 200,
     };
-    let server = crate::serve::Server::start(addr)
+    let mut opts = crate::serve::ServeOptions::default();
+    if let Some(v) = flag_value(rest, "--max-inflight") {
+        opts.max_inflight = v
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| err("--max-inflight expects a positive integer"))?;
+    }
+    if let Some(v) = flag_value(rest, "--queue-depth") {
+        opts.queue_depth = v
+            .parse()
+            .map_err(|_| err("--queue-depth expects an integer"))?;
+    }
+    if let Some(v) = flag_value(rest, "--client-deadline-ms") {
+        opts.client_deadline_ms = v
+            .parse()
+            .map_err(|_| err("--client-deadline-ms expects an integer"))?;
+    }
+    if let Some(v) = flag_value(rest, "--drain-ms") {
+        opts.drain_ms = v
+            .parse()
+            .map_err(|_| err("--drain-ms expects an integer"))?;
+    }
+    let server = crate::serve::Server::start_with(addr, opts, cfg.clone())
         .map_err(|e| io_err(format!("cannot bind '{addr}': {e}")))?;
 
     let mut processed: u64 = 0;
@@ -1147,13 +1194,20 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
         drain(&server, &mut lines, &mut processed);
     }
 
+    let requests = server.requests();
+    let errors = server.errors();
+    let sheds = server.sheds();
     let text = format!(
-        "served {} request(s), {} error(s)\n{}",
-        server.requests(),
-        server.errors(),
+        "served {requests} request(s), {errors} error(s), {sheds} shed\n{}",
         server.render_metrics()
     );
     server.shutdown();
+    if has_flag(rest, "--strict") && sheds > 0 {
+        return Err(CliError {
+            category: ErrorCategory::Overload,
+            message: format!("{text}{sheds} request(s) shed under overload (--strict)"),
+        });
+    }
     Ok(CmdOutput::text_only(text))
 }
 
@@ -1525,6 +1579,8 @@ mod tests {
         assert_eq!(ErrorCategory::Parse.exit_code(), 4);
         assert_eq!(ErrorCategory::Degraded.exit_code(), 5);
         assert_eq!(ErrorCategory::Degraded.name(), "analysis-degraded");
+        assert_eq!(ErrorCategory::Overload.exit_code(), 6);
+        assert_eq!(ErrorCategory::Overload.name(), "overload");
     }
 
     #[test]

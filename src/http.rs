@@ -1,0 +1,366 @@
+//! Incremental, bounded HTTP/1.1 framing for the nonblocking serve loop.
+//!
+//! The reactor in [`crate::serve`] holds hundreds of concurrent nonblocking
+//! sockets; bytes arrive in arbitrary fragments and a hostile client may
+//! never finish a request at all. [`RequestParser`] is therefore a *push*
+//! parser: feed it whatever the socket produced and it either returns a
+//! complete [`Request`], asks for more bytes, or rejects the stream with a
+//! [`ParseError`] that maps to a concrete HTTP status. Every dimension is
+//! bounded up front — request-line length, total header bytes, body size —
+//! so no client can make the server buffer unbounded input (a >1 MiB
+//! request line costs the attacker a connection, not the server its heap).
+//!
+//! The subset is deliberately tiny (the same one the blocking serve spoke):
+//! one request per connection, `Connection: close` semantics, no chunked
+//! transfer encoding, bodies only via `Content-Length`. [`respond`] renders
+//! the matching response head; [`request`] is the blocking client used by
+//! tests, benches, and `metadis scrape`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Cap on the total header section (request line included), bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Cap on a request body (`Content-Length`), bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request stream was rejected. Each variant maps to one HTTP status
+/// via [`ParseError::status`] so the reactor can answer before closing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// No end-of-line within [`MAX_REQUEST_LINE`] bytes.
+    RequestLineTooLong,
+    /// Header section exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLong,
+    /// `Content-Length` beyond [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// Not parseable as an HTTP/1.x request at all.
+    Malformed,
+}
+
+impl ParseError {
+    /// The HTTP status line this rejection is answered with.
+    pub fn status(self) -> &'static str {
+        match self {
+            ParseError::RequestLineTooLong => "414 URI Too Long",
+            ParseError::HeadersTooLong => "431 Request Header Fields Too Large",
+            ParseError::BodyTooLarge => "413 Payload Too Large",
+            ParseError::Malformed => "400 Bad Request",
+        }
+    }
+
+    /// Stable lowercase reason for logs and JSON error bodies.
+    pub fn reason(self) -> &'static str {
+        match self {
+            ParseError::RequestLineTooLong => "request-line-too-long",
+            ParseError::HeadersTooLong => "headers-too-long",
+            ParseError::BodyTooLarge => "body-too-large",
+            ParseError::Malformed => "malformed",
+        }
+    }
+}
+
+/// One parsed request: method, target (path plus optional query), body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target verbatim, e.g. `/analyze?path=/tmp/a.elf`.
+    pub target: String,
+    /// Request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// The value of query parameter `key`, if present (no percent-decoding
+    /// — the serve protocol carries plain filesystem paths).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Incremental request parser: one instance per connection, fed by the
+/// reactor whenever the socket is readable. Internal buffering never
+/// exceeds the header cap plus the body cap.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Byte index just past the `\r\n\r\n` (or `\n\n`) header terminator.
+    headers_end: Option<usize>,
+    content_length: usize,
+    method: String,
+    target: String,
+}
+
+impl RequestParser {
+    /// A fresh parser with empty buffers.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Bytes currently buffered (diagnostics only).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feed freshly read bytes. Returns `Ok(Some(request))` once the
+    /// request is complete, `Ok(None)` while more bytes are needed, or the
+    /// rejection to answer with. After either terminal outcome the parser
+    /// must not be fed again (the connection closes).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        // Cap the buffer before copying: headers plus body is the most a
+        // legal request can occupy.
+        if self.buf.len() + bytes.len() > MAX_HEADER_BYTES + MAX_BODY_BYTES {
+            return Err(if self.headers_end.is_none() {
+                ParseError::HeadersTooLong
+            } else {
+                ParseError::BodyTooLarge
+            });
+        }
+        self.buf.extend_from_slice(bytes);
+        if self.headers_end.is_none() {
+            self.try_finish_headers()?;
+        }
+        let Some(end) = self.headers_end else {
+            return Ok(None);
+        };
+        if self.buf.len() < end + self.content_length {
+            return Ok(None);
+        }
+        let body = self.buf[end..end + self.content_length].to_vec();
+        Ok(Some(Request {
+            method: std::mem::take(&mut self.method),
+            target: std::mem::take(&mut self.target),
+            body,
+        }))
+    }
+
+    /// Look for the header terminator; once found, parse the request line
+    /// and the `Content-Length` header.
+    fn try_finish_headers(&mut self) -> Result<(), ParseError> {
+        // Request-line bound first: a stream with no newline in its first
+        // 8 KiB is not going to produce a parseable request.
+        let first_nl = self.buf.iter().position(|&b| b == b'\n');
+        match first_nl {
+            None if self.buf.len() > MAX_REQUEST_LINE => {
+                return Err(ParseError::RequestLineTooLong)
+            }
+            Some(i) if i > MAX_REQUEST_LINE => return Err(ParseError::RequestLineTooLong),
+            _ => {}
+        }
+        let end = match find_header_end(&self.buf) {
+            Some(end) => end,
+            None if self.buf.len() > MAX_HEADER_BYTES => return Err(ParseError::HeadersTooLong),
+            None => return Ok(()),
+        };
+        if end > MAX_HEADER_BYTES {
+            return Err(ParseError::HeadersTooLong);
+        }
+        let head = std::str::from_utf8(&self.buf[..end]).map_err(|_| ParseError::Malformed)?;
+        let mut lines = head.lines();
+        let request_line = lines.next().ok_or(ParseError::Malformed)?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().ok_or(ParseError::Malformed)?;
+        let target = parts.next().ok_or(ParseError::Malformed)?;
+        let version = parts.next().unwrap_or("HTTP/1.0");
+        if !method.chars().all(|c| c.is_ascii_alphabetic()) || !version.starts_with("HTTP/") {
+            return Err(ParseError::Malformed);
+        }
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse::<usize>()
+                        .map_err(|_| ParseError::Malformed)?;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge);
+        }
+        self.method = method.to_string();
+        self.target = target.to_string();
+        self.content_length = content_length;
+        self.headers_end = Some(end);
+        Ok(())
+    }
+}
+
+/// Index just past the first `\r\n\r\n` or `\n\n` terminator, if any.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .into_iter()
+        .chain(buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+        .min()
+}
+
+/// Render one complete `Connection: close` HTTP response as wire bytes.
+pub fn respond(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Blocking one-shot HTTP client: send `method path` (plus optional body)
+/// to `addr` over a fresh connection and return `(status_code, body)`.
+/// Used by tests, the load-generator bench, and `metadis scrape`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let response = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line '{status_line}'")))?;
+    Ok((code, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_pipelined_get_in_fragments() {
+        let mut p = RequestParser::new();
+        assert_eq!(p.feed(b"GET /healthz HT").unwrap(), None);
+        assert_eq!(p.feed(b"TP/1.1\r\nHost: x\r\n").unwrap(), None);
+        let r = p.feed(b"\r\n").unwrap().expect("complete");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path(), "/healthz");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_and_query_params() {
+        let mut p = RequestParser::new();
+        let r = p
+            .feed(b"POST /analyze?path=/tmp/a.elf&x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path(), "/analyze");
+        assert_eq!(r.query_param("path"), Some("/tmp/a.elf"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("nope"), None);
+        assert_eq!(r.body, b"body");
+    }
+
+    #[test]
+    fn bare_lf_terminator_is_accepted() {
+        let mut p = RequestParser::new();
+        let r = p.feed(b"GET /metrics HTTP/1.0\n\n").unwrap().expect("done");
+        assert_eq!(r.path(), "/metrics");
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_incrementally() {
+        let mut p = RequestParser::new();
+        let chunk = vec![b'A'; 4096];
+        assert_eq!(p.feed(&chunk).unwrap(), None);
+        assert_eq!(p.feed(&chunk).unwrap(), None); // exactly at the cap
+        let e = p.feed(&chunk).unwrap_err();
+        assert_eq!(e, ParseError::RequestLineTooLong);
+        assert_eq!(e.status(), "414 URI Too Long");
+    }
+
+    #[test]
+    fn oversized_headers_and_body_are_rejected() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Junk: {}\r\n", "j".repeat(1024));
+        let mut err = None;
+        for _ in 0..32 {
+            match p.feed(filler.as_bytes()) {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("junk headers completed a request"),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(ParseError::HeadersTooLong));
+
+        let mut p = RequestParser::new();
+        let e = p
+            .feed(b"POST /analyze HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n")
+            .unwrap_err();
+        assert_eq!(e, ParseError::BodyTooLarge);
+        assert_eq!(e.status(), "413 Payload Too Large");
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        for junk in [
+            &b"\x00\xff\xfe\r\n\r\n"[..],
+            b"NOT-HTTP\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"G3T / HTTP/1.1\r\n\r\n",
+            b"GET / FTP/1.1\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            let mut p = RequestParser::new();
+            let e = p.feed(junk).unwrap_err();
+            assert_eq!(e, ParseError::Malformed, "{junk:?}");
+            assert_eq!(e.status(), "400 Bad Request");
+        }
+    }
+
+    #[test]
+    fn respond_renders_a_closeable_http_response() {
+        let bytes = respond("200 OK", "text/plain", "ok\n");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+    }
+
+    #[test]
+    fn parse_error_reasons_are_stable() {
+        assert_eq!(
+            ParseError::RequestLineTooLong.reason(),
+            "request-line-too-long"
+        );
+        assert_eq!(ParseError::HeadersTooLong.reason(), "headers-too-long");
+        assert_eq!(ParseError::BodyTooLarge.reason(), "body-too-large");
+        assert_eq!(ParseError::Malformed.reason(), "malformed");
+    }
+}

@@ -17,8 +17,11 @@
 //!   ([`disasm_eval`]).
 //! * [`cli`] — the `metadis` command-line interface
 //!   (disasm / gen / compare / cfg / report / diff / score / serve).
-//! * [`serve`] — batch-service mode: a long-running worker with a
-//!   Prometheus `/metrics` + `/healthz` exposition surface.
+//! * [`http`] — bounded, incremental HTTP/1.1 framing (std-only) used by
+//!   the service layer's nonblocking event loop.
+//! * [`serve`] — service mode: a nonblocking reactor with admission
+//!   control and load shedding in front of the batch worker pool, plus a
+//!   Prometheus `/metrics` + readiness `/healthz` exposition surface.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod http;
 pub mod serve;
 
 /// The counting allocator (default feature `count-alloc`): every binary and

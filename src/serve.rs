@@ -1,48 +1,99 @@
-//! Batch-service mode: a long-running disassembly worker with a metrics
-//! exposition surface.
+//! High-concurrency service mode: a nonblocking event loop with admission
+//! control, load shedding, and the batch-worker analysis engine behind it.
 //!
-//! [`Server`] binds a plain `std::net::TcpListener` and answers two HTTP
-//! paths from a background thread:
+//! [`Server`] binds a `std::net::TcpListener` in nonblocking mode and runs
+//! a readiness-polling **reactor** on one background thread: every client
+//! socket is `set_nonblocking`, reads and writes happen incrementally
+//! through the bounded [`crate::http`] framing layer, and no connection can
+//! ever stall another — a slowloris client dribbling one byte per 100 ms
+//! holds exactly one connection slot while `/healthz` keeps answering. The
+//! reactor holds hundreds of concurrent clients; capacity is explicit:
 //!
-//! * `GET /metrics` — Prometheus text exposition (version 0.0.4) of the
-//!   service counters: requests, errors, bytes, instructions, wall time,
-//!   degradations, allocation totals, a request-latency summary
-//!   (`quantile="0.5"`/`"0.99"` plus `_sum`/`_count`), and the `obs::log`
-//!   warn/error counts.
+//! * **Connection cap** ([`ServeOptions::max_inflight`]) — accepts beyond
+//!   the cap are answered with a structured `503` and closed.
+//! * **Admission queue** ([`ServeOptions::queue_depth`]) — complete
+//!   `/analyze` requests enter a bounded queue; when it is full the request
+//!   is *shed*: a `503` JSON body carrying `"category":"overload"`, an
+//!   `obs::log` warn event, and a `metadis_requests_shed_total` increment —
+//!   never a stall, never a crash.
+//! * **Per-client deadline** ([`ServeOptions::client_deadline_ms`]) — one
+//!   [`Deadline`] covers read + queue wait + analysis + write. Whatever
+//!   budget the queue wait consumed is subtracted before analysis starts
+//!   (via `Limits::deadline_ms`), so a request admitted late degrades or
+//!   sheds instead of overrunning.
+//!
+//! Analysis drains through a **dispatcher** thread that pops queued jobs in
+//! batches and fans them out over [`disasm_core::par::run_jobs`]
+//! (`Config::threads` wide) — the same bit-identical worker pool the batch
+//! CLI path uses, with the same per-request flight-recorder capture feeding
+//! the rolling buffer behind `/debug/timeline`.
+//!
+//! HTTP surface:
+//!
+//! * `GET /healthz` — **readiness**, not just liveness: `ok` while the
+//!   instance can admit work; `503` with a JSON body (queue depth, shed
+//!   count, in-flight) when the admission queue is saturated or the server
+//!   is draining, so load balancers rotate a drowning instance out.
+//! * `GET|POST /analyze` — submit one ELF path (`?path=` or request body);
+//!   answers a JSON summary, a structured error, or a `503` shed.
+//! * `GET /metrics` — Prometheus text exposition of the service counters,
+//!   including the shed/bad-request/disconnect counters and the
+//!   request-latency and queue-wait summaries.
 //! * `GET /debug/timeline` — Chrome trace-event JSON of the rolling flight
-//!   buffer (the last [`FLIGHT_CAPACITY`] request timelines), loadable in
-//!   Perfetto or `chrome://tracing`.
-//! * `GET /healthz` — `ok` with status 200 while the server is up.
+//!   buffer (the last [`FLIGHT_CAPACITY`] request timelines).
 //!
-//! Requests themselves (ELF paths to disassemble) arrive out of band — from
-//! stdin, a file, or a watched directory (see the `metadis serve` command) —
-//! and are processed via [`Server::process_path`] (one request on the
-//! caller's thread) or [`Server::process_batch`] (a batch fanned out over a
-//! bounded worker pool, `Config::threads` wide), while the exposition
-//! surface stays responsive on its own thread. Per-request observability
-//! survives the fan-out: allocation counters are thread-local (each worker
-//! measures only its own requests) and log lines are formatted and written
-//! atomically, so concurrent requests never interleave within a record.
-//! [`scrape`] is the matching client (used by `metadis scrape`): one GET
-//! over a fresh connection, body returned as a string.
+//! Shutdown is graceful: [`Server::shutdown`] (or drop) refuses new
+//! connections, drains queued and in-flight work bounded by
+//! [`ServeOptions::drain_ms`], then flushes the flight buffer and emits a
+//! final `shutdown complete` log line.
 //!
-//! Everything here is standard library only: hand-rolled request-line
-//! parsing on the server side, a hand-rolled GET on the client side. The
-//! HTTP subset is deliberately minimal (no keep-alive, no chunking) —
-//! Prometheus scrapers and `curl` both speak it happily.
+//! Batch ingestion ([`Server::process_path`] / [`Server::process_batch`],
+//! fed by `metadis serve` from stdin, a file, or a watched directory) rides
+//! the same engine and counters. Everything is standard library only.
 
+use crate::http::{self, RequestParser};
+use disasm_core::limits::Deadline;
 use disasm_core::{Config, Disassembler, Image};
 use obs::log::Value;
-use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How many request timelines the rolling flight buffer retains. Old
 /// entries fall off the front as new requests complete.
 pub const FLIGHT_CAPACITY: usize = 8;
+
+/// Admission-control and lifecycle knobs for [`Server::start_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Maximum concurrently held client connections; accepts beyond the
+    /// cap are shed with a `503`.
+    pub max_inflight: usize,
+    /// Bound on the admission queue of parsed-but-unstarted `/analyze`
+    /// requests. `0` admits nothing (every analysis request sheds) — a
+    /// maintenance mode that also drives `/healthz` to `503`.
+    pub queue_depth: usize,
+    /// Per-client budget in milliseconds covering read + queue wait +
+    /// analysis + write. `0` means unlimited.
+    pub client_deadline_ms: u64,
+    /// How long [`Server::shutdown`] waits for queued and in-flight work
+    /// to drain before forcing connections closed.
+    pub drain_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_inflight: 256,
+            queue_depth: 64,
+            client_deadline_ms: 10_000,
+            drain_ms: 2_000,
+        }
+    }
+}
 
 /// One request's captured flight-recorder timeline, kept in the rolling
 /// buffer for `/debug/timeline` and anomaly dumps.
@@ -52,15 +103,35 @@ struct FlightRecord {
     events: Vec<obs::timeline::Event>,
 }
 
-/// Service counters, shared between the processing thread and the HTTP
-/// exposition thread. All relaxed atomics: scrapes may observe a request
-/// mid-update, which Prometheus tolerates by design. The flight buffer is
-/// the one mutex — touched once per request (push) and once per dump or
-/// `/debug/timeline` scrape, never on a hot path.
+/// An admitted `/analyze` request waiting for a worker: which connection
+/// to answer, what to analyze, and the client's remaining deadline.
+#[derive(Debug)]
+struct Job {
+    conn: u64,
+    path: String,
+    deadline: Deadline,
+    queued: Instant,
+}
+
+/// Service state shared between the reactor, the dispatcher, and the
+/// processing entry points. Counters are relaxed atomics (scrapes may
+/// observe a request mid-update, which Prometheus tolerates by design);
+/// the admission queue, the completion list, and the flight buffer are the
+/// only mutexes, each touched a bounded number of times per request.
 #[derive(Debug, Default)]
 struct State {
+    opts: ServeOptions,
     requests: AtomicU64,
     errors: AtomicU64,
+    sheds: AtomicU64,
+    shed_queue: AtomicU64,
+    shed_deadline: AtomicU64,
+    shed_connections: AtomicU64,
+    bad_requests: AtomicU64,
+    disconnects: AtomicU64,
+    connections: AtomicU64,
+    queue_len: AtomicU64,
+    analysis_inflight: AtomicU64,
     text_bytes: AtomicU64,
     instructions: AtomicU64,
     wall_ns: AtomicU64,
@@ -69,8 +140,13 @@ struct State {
     alloc_peak: AtomicU64,
     http_requests: AtomicU64,
     latency: obs::Histogram,
+    queue_wait: obs::Histogram,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    completions: Mutex<Vec<(u64, Vec<u8>)>>,
     flight: Mutex<VecDeque<FlightRecord>>,
     flight_dumps: AtomicU64,
+    draining: AtomicBool,
     stop: AtomicBool,
 }
 
@@ -87,53 +163,60 @@ pub struct RequestSummary {
     pub degradations: u64,
 }
 
-/// The batch-service server: a bound listener plus the shared counters.
-/// Dropping the server (or calling [`Server::shutdown`]) stops the
-/// exposition thread.
+/// The service front-end: a bound nonblocking listener, the reactor and
+/// dispatcher threads, and the shared counters. Dropping the server (or
+/// calling [`Server::shutdown`]) drains and stops both threads.
 #[derive(Debug)]
 pub struct Server {
     state: Arc<State>,
     addr: SocketAddr,
-    handle: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
-    /// answering `/metrics` and `/healthz` on a background thread.
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with default
+    /// [`ServeOptions`] and a default analysis [`Config`].
     pub fn start(addr: &str) -> std::io::Result<Server> {
+        Server::start_with(addr, ServeOptions::default(), Config::default())
+    }
+
+    /// Bind `addr` and start the reactor (connection event loop) and the
+    /// dispatcher (admission-queue worker) threads. `cfg` is the analysis
+    /// configuration used for HTTP `/analyze` requests; its `threads`
+    /// field sizes the worker pool, preserving the bit-identical
+    /// `--threads` contract.
+    pub fn start_with(addr: &str, opts: ServeOptions, cfg: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // The flight recorder stays on for the life of the service: it is
         // bounded (per-thread ring) and cheap, and it is what feeds the
         // rolling per-request buffer behind `/debug/timeline`.
         obs::timeline::set_enabled(true);
-        // Nonblocking accept + short sleep so the thread notices `stop`
-        // promptly without needing a wakeup connection.
         listener.set_nonblocking(true)?;
-        let state = Arc::new(State::default());
-        let thread_state = Arc::clone(&state);
-        let handle = std::thread::spawn(move || {
-            while !thread_state.stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = handle_connection(stream, &thread_state);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let state = Arc::new(State {
+            opts,
+            ..State::default()
         });
+        let reactor_state = Arc::clone(&state);
+        let reactor = std::thread::spawn(move || run_reactor(listener, &reactor_state));
+        let dispatcher_state = Arc::clone(&state);
+        let dispatcher = std::thread::spawn(move || run_dispatcher(&dispatcher_state, cfg));
         obs::log::info(
             "serve",
             "listening",
-            &[("addr", Value::Str(addr.to_string()))],
+            &[
+                ("addr", Value::Str(addr.to_string())),
+                ("max_inflight", (opts.max_inflight as u64).into()),
+                ("queue_depth", (opts.queue_depth as u64).into()),
+                ("client_deadline_ms", opts.client_deadline_ms.into()),
+            ],
         );
         Ok(Server {
             state,
             addr,
-            handle: Some(handle),
+            reactor: Some(reactor),
+            dispatcher: Some(dispatcher),
         })
     }
 
@@ -152,139 +235,16 @@ impl Server {
         self.state.errors.load(Ordering::Relaxed)
     }
 
+    /// Requests shed by admission control (queue full, connection cap,
+    /// deadline exhausted, or draining).
+    pub fn sheds(&self) -> u64 {
+        self.state.sheds.load(Ordering::Relaxed)
+    }
+
     /// Disassemble the ELF at `path` with `cfg`, folding the run into the
     /// service counters and emitting request-scoped log events.
     pub fn process_path(&self, path: &str, cfg: &Config) -> Result<RequestSummary, String> {
-        obs::log::info(
-            "serve",
-            "request begin",
-            &[("path", Value::Str(path.to_string()))],
-        );
-        let started = std::time::Instant::now();
-        let tl_mark = obs::timeline::mark();
-        obs::timeline::begin("serve.request");
-        let image = match load_image(path) {
-            Ok(img) => img,
-            Err(e) => {
-                obs::timeline::end("serve.request");
-                self.state
-                    .latency
-                    .record(started.elapsed().as_nanos() as u64);
-                self.state.errors.fetch_add(1, Ordering::Relaxed);
-                self.capture_flight(path, tl_mark);
-                obs::log::error(
-                    "serve",
-                    "request failed",
-                    &[
-                        ("path", Value::Str(path.to_string())),
-                        ("error", Value::Str(e.clone())),
-                    ],
-                );
-                self.dump_flight("error", path);
-                return Err(e);
-            }
-        };
-        let d = Disassembler::new(cfg.clone()).disassemble(&image);
-        let summary = RequestSummary {
-            text_bytes: d.trace.text_bytes,
-            instructions: d.inst_starts.len() as u64,
-            wall_ns: d.trace.total_wall_ns,
-            degradations: d.trace.degradations.len() as u64,
-        };
-        let st = &self.state;
-        st.requests.fetch_add(1, Ordering::Relaxed);
-        st.text_bytes
-            .fetch_add(summary.text_bytes, Ordering::Relaxed);
-        st.instructions
-            .fetch_add(summary.instructions, Ordering::Relaxed);
-        st.wall_ns.fetch_add(summary.wall_ns, Ordering::Relaxed);
-        st.degradations
-            .fetch_add(summary.degradations, Ordering::Relaxed);
-        st.alloc_bytes
-            .fetch_add(d.trace.alloc_bytes, Ordering::Relaxed);
-        st.alloc_peak
-            .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
-        obs::timeline::end("serve.request");
-        st.latency.record(started.elapsed().as_nanos() as u64);
-        self.capture_flight(path, tl_mark);
-        obs::log::info(
-            "serve",
-            "request done",
-            &[
-                ("path", Value::Str(path.to_string())),
-                ("instructions", summary.instructions.into()),
-                ("wall_ns", summary.wall_ns.into()),
-                ("degradations", summary.degradations.into()),
-            ],
-        );
-        if summary.degradations > 0 {
-            self.dump_flight("degradation", path);
-        }
-        Ok(summary)
-    }
-
-    /// Drain the calling thread's timeline events since `mark` into the
-    /// rolling flight buffer. In batch mode each worker drains its own
-    /// ring, so requests never mix events; the shard bookkeeping events
-    /// recorded by `par::run_jobs` before the mark stay in the ring for
-    /// the batch-level trace.
-    fn capture_flight(&self, path: &str, mark: obs::timeline::Mark) {
-        let events = obs::timeline::take_since(mark);
-        if events.is_empty() {
-            return;
-        }
-        let mut flight = self.state.flight.lock().unwrap();
-        while flight.len() >= FLIGHT_CAPACITY {
-            flight.pop_front();
-        }
-        flight.push_back(FlightRecord {
-            path: path.to_string(),
-            events,
-        });
-    }
-
-    /// Anomaly hook: write the buffered request timelines to disk as one
-    /// Chrome trace and log where it went. Called on request errors and on
-    /// degraded (budget-hit or deadline-clipped) runs; failures to write
-    /// are logged, never propagated — the dump is diagnostic, not part of
-    /// the request.
-    fn dump_flight(&self, reason: &str, path: &str) {
-        let (events, requests) = {
-            let flight = self.state.flight.lock().unwrap();
-            let events: Vec<obs::timeline::Event> = flight
-                .iter()
-                .flat_map(|r| r.events.iter().copied())
-                .collect();
-            let requests: Vec<&str> = flight.iter().map(|r| r.path.as_str()).collect();
-            (events, requests.join(","))
-        };
-        if events.is_empty() {
-            return;
-        }
-        let seq = self.state.flight_dumps.fetch_add(1, Ordering::Relaxed);
-        let out =
-            std::env::temp_dir().join(format!("metadis-flight-{}-{seq}.json", std::process::id()));
-        match std::fs::write(&out, obs::chrome::write_chrome_trace(&events)) {
-            Ok(()) => obs::log::warn(
-                "serve",
-                "flight recorder dumped",
-                &[
-                    ("reason", Value::Str(reason.to_string())),
-                    ("path", Value::Str(path.to_string())),
-                    ("dump", Value::Str(out.display().to_string())),
-                    ("events", (events.len() as u64).into()),
-                    ("requests", Value::Str(requests)),
-                ],
-            ),
-            Err(e) => obs::log::error(
-                "serve",
-                "flight dump failed",
-                &[
-                    ("dump", Value::Str(out.display().to_string())),
-                    ("error", Value::Str(e.to_string())),
-                ],
-            ),
-        }
+        process_on(&self.state, path, cfg)
     }
 
     /// Disassemble a batch of ELF paths concurrently on a bounded worker
@@ -308,22 +268,204 @@ impl Server {
         render_prometheus(&self.state)
     }
 
-    /// Stop the exposition thread and release the port.
+    /// Gracefully stop: refuse new connections, drain queued and in-flight
+    /// work (bounded by [`ServeOptions::drain_ms`]), flush the flight
+    /// buffer, emit the final log line, and release the port.
     pub fn shutdown(mut self) {
-        self.stop_thread();
+        self.stop_threads();
     }
 
-    fn stop_thread(&mut self) {
-        self.state.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+    fn stop_threads(&mut self) {
+        if self.reactor.is_none() && self.dispatcher.is_none() {
+            return; // already stopped (shutdown then drop)
+        }
+        let st = &self.state;
+        if !st.draining.swap(true, Ordering::Relaxed) {
+            obs::log::info(
+                "serve",
+                "draining",
+                &[
+                    ("queue_depth", st.queue_len.load(Ordering::Relaxed).into()),
+                    (
+                        "analysis_inflight",
+                        st.analysis_inflight.load(Ordering::Relaxed).into(),
+                    ),
+                    ("connections", st.connections.load(Ordering::Relaxed).into()),
+                ],
+            );
+        }
+        // Bounded drain: wait for the queue, the workers, and the open
+        // connections to finish; past the deadline, force the stop.
+        let drain_deadline = Instant::now() + Duration::from_millis(st.opts.drain_ms);
+        while Instant::now() < drain_deadline {
+            let idle = st.queue_len.load(Ordering::Relaxed) == 0
+                && st.analysis_inflight.load(Ordering::Relaxed) == 0
+                && st.connections.load(Ordering::Relaxed) == 0
+                && st.completions.lock().unwrap().is_empty();
+            if idle {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        st.stop.store(true, Ordering::Relaxed);
+        st.queue_cv.notify_all();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        // Flush the flight buffer (a no-op when empty) and leave one final
+        // structured record of what this instance did.
+        dump_flight(st, "shutdown", "-");
+        obs::log::info(
+            "serve",
+            "shutdown complete",
+            &[
+                ("requests", st.requests.load(Ordering::Relaxed).into()),
+                ("errors", st.errors.load(Ordering::Relaxed).into()),
+                ("shed", st.sheds.load(Ordering::Relaxed).into()),
+            ],
+        );
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_thread();
+        self.stop_threads();
+    }
+}
+
+/// Disassemble the ELF at `path` with `cfg` on the calling thread, folding
+/// the run into the service counters, the latency histogram, the flight
+/// buffer, and the structured log. Shared by the batch entry points and
+/// the dispatcher's HTTP jobs.
+fn process_on(st: &State, path: &str, cfg: &Config) -> Result<RequestSummary, String> {
+    obs::log::info(
+        "serve",
+        "request begin",
+        &[("path", Value::Str(path.to_string()))],
+    );
+    let started = Instant::now();
+    let tl_mark = obs::timeline::mark();
+    obs::timeline::begin("serve.request");
+    let image = match load_image(path) {
+        Ok(img) => img,
+        Err(e) => {
+            obs::timeline::end("serve.request");
+            st.latency.record(started.elapsed().as_nanos() as u64);
+            st.errors.fetch_add(1, Ordering::Relaxed);
+            capture_flight(st, path, tl_mark);
+            obs::log::error(
+                "serve",
+                "request failed",
+                &[
+                    ("path", Value::Str(path.to_string())),
+                    ("error", Value::Str(e.clone())),
+                ],
+            );
+            dump_flight(st, "error", path);
+            return Err(e);
+        }
+    };
+    let d = Disassembler::new(cfg.clone()).disassemble(&image);
+    let summary = RequestSummary {
+        text_bytes: d.trace.text_bytes,
+        instructions: d.inst_starts.len() as u64,
+        wall_ns: d.trace.total_wall_ns,
+        degradations: d.trace.degradations.len() as u64,
+    };
+    st.requests.fetch_add(1, Ordering::Relaxed);
+    st.text_bytes
+        .fetch_add(summary.text_bytes, Ordering::Relaxed);
+    st.instructions
+        .fetch_add(summary.instructions, Ordering::Relaxed);
+    st.wall_ns.fetch_add(summary.wall_ns, Ordering::Relaxed);
+    st.degradations
+        .fetch_add(summary.degradations, Ordering::Relaxed);
+    st.alloc_bytes
+        .fetch_add(d.trace.alloc_bytes, Ordering::Relaxed);
+    st.alloc_peak
+        .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
+    obs::timeline::end("serve.request");
+    st.latency.record(started.elapsed().as_nanos() as u64);
+    capture_flight(st, path, tl_mark);
+    obs::log::info(
+        "serve",
+        "request done",
+        &[
+            ("path", Value::Str(path.to_string())),
+            ("instructions", summary.instructions.into()),
+            ("wall_ns", summary.wall_ns.into()),
+            ("degradations", summary.degradations.into()),
+        ],
+    );
+    if summary.degradations > 0 {
+        dump_flight(st, "degradation", path);
+    }
+    Ok(summary)
+}
+
+/// Drain the calling thread's timeline events since `mark` into the
+/// rolling flight buffer. Each worker drains its own ring, so requests
+/// never mix events; the shard bookkeeping events recorded by
+/// `par::run_jobs` before the mark stay in the ring for the batch-level
+/// trace.
+fn capture_flight(st: &State, path: &str, mark: obs::timeline::Mark) {
+    let events = obs::timeline::take_since(mark);
+    if events.is_empty() {
+        return;
+    }
+    let mut flight = st.flight.lock().unwrap();
+    while flight.len() >= FLIGHT_CAPACITY {
+        flight.pop_front();
+    }
+    flight.push_back(FlightRecord {
+        path: path.to_string(),
+        events,
+    });
+}
+
+/// Anomaly hook: write the buffered request timelines to disk as one
+/// Chrome trace and log where it went. Called on request errors, degraded
+/// runs, and shutdown; failures to write are logged, never propagated —
+/// the dump is diagnostic, not part of the request.
+fn dump_flight(st: &State, reason: &str, path: &str) {
+    let (events, requests) = {
+        let flight = st.flight.lock().unwrap();
+        let events: Vec<obs::timeline::Event> = flight
+            .iter()
+            .flat_map(|r| r.events.iter().copied())
+            .collect();
+        let requests: Vec<&str> = flight.iter().map(|r| r.path.as_str()).collect();
+        (events, requests.join(","))
+    };
+    if events.is_empty() {
+        return;
+    }
+    let seq = st.flight_dumps.fetch_add(1, Ordering::Relaxed);
+    let out =
+        std::env::temp_dir().join(format!("metadis-flight-{}-{seq}.json", std::process::id()));
+    match std::fs::write(&out, obs::chrome::write_chrome_trace(&events)) {
+        Ok(()) => obs::log::warn(
+            "serve",
+            "flight recorder dumped",
+            &[
+                ("reason", Value::Str(reason.to_string())),
+                ("path", Value::Str(path.to_string())),
+                ("dump", Value::Str(out.display().to_string())),
+                ("events", (events.len() as u64).into()),
+                ("requests", Value::Str(requests)),
+            ],
+        ),
+        Err(e) => obs::log::error(
+            "serve",
+            "flight dump failed",
+            &[
+                ("dump", Value::Str(out.display().to_string())),
+                ("error", Value::Str(e.to_string())),
+            ],
+        ),
     }
 }
 
@@ -332,6 +474,460 @@ fn load_image(path: &str) -> Result<Image, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
     let elf = elfobj::Elf::parse(&bytes).map_err(|e| format!("cannot parse '{path}': {e}"))?;
     Image::from_elf(&elf).ok_or_else(|| format!("'{path}' has no executable section"))
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher: admission queue -> worker pool
+// ---------------------------------------------------------------------------
+
+/// Pop queued jobs in batches and fan each batch out over the bounded
+/// worker pool, pushing prebuilt HTTP responses to the completion list the
+/// reactor polls. Runs until `stop`; the graceful-drain window (draining
+/// set, stop not yet) keeps processing so in-flight clients get answers.
+fn run_dispatcher(st: &Arc<State>, cfg: Config) {
+    let threads = cfg.threads.max(1);
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = st.queue.lock().unwrap();
+            while q.is_empty() {
+                if st.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let (guard, _) = st
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .unwrap();
+                q = guard;
+            }
+            let n = q.len().min(threads);
+            let batch: Vec<Job> = q.drain(..n).collect();
+            st.queue_len.store(q.len() as u64, Ordering::Relaxed);
+            batch
+        };
+        st.analysis_inflight
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let responses = disasm_core::par::run_jobs("serve.queue", batch.len(), threads, |i| {
+            handle_job(st, &batch[i], &cfg)
+        });
+        {
+            let mut done = st.completions.lock().unwrap();
+            for (job, resp) in batch.iter().zip(responses) {
+                done.push((job.conn, resp));
+            }
+        }
+        st.analysis_inflight
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Run one admitted job on a worker: account the queue wait, shed if the
+/// client's deadline is already spent, otherwise analyze under the
+/// *remaining* deadline budget and render the HTTP response.
+fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
+    let waited_ns = job.queued.elapsed().as_nanos() as u64;
+    st.queue_wait.record(waited_ns);
+    if job.deadline.exceeded() {
+        return shed(st, "deadline", &job.path);
+    }
+    let remaining_ns = job.deadline.remaining_ns();
+    let result = if remaining_ns == u64::MAX {
+        process_on(st, &job.path, cfg)
+    } else {
+        // Queue wait spent part of the client's budget; the analysis gets
+        // only what is left (floored at 1ms so the run degrades through
+        // the normal Limits machinery instead of being rejected here).
+        let remaining_ms = (remaining_ns / 1_000_000).max(1);
+        let mut scoped = cfg.clone();
+        scoped.limits.deadline_ms = Some(match scoped.limits.deadline_ms {
+            Some(ms) => ms.min(remaining_ms),
+            None => remaining_ms,
+        });
+        process_on(st, &job.path, &scoped)
+    };
+    match result {
+        Ok(s) => {
+            let mut w = obs::json::JsonWriter::new();
+            w.begin_obj();
+            w.field_str("path", &job.path);
+            w.field_u64("instructions", s.instructions);
+            w.field_u64("text_bytes", s.text_bytes);
+            w.field_u64("wall_ns", s.wall_ns);
+            w.field_u64("degradations", s.degradations);
+            w.field_u64("queue_wait_ns", waited_ns);
+            w.end_obj();
+            http::respond("200 OK", "application/json", &w.finish())
+        }
+        Err(e) => {
+            let category = if e.starts_with("cannot read") {
+                "io"
+            } else {
+                "parse"
+            };
+            http::respond(
+                "422 Unprocessable Entity",
+                "application/json",
+                &error_body(&e, category),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: nonblocking accept/read/route/write event loop
+// ---------------------------------------------------------------------------
+
+/// What phase of its one-request lifecycle a connection is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Reading and incrementally parsing the request.
+    Reading,
+    /// Admitted to the queue; waiting for a worker's completion.
+    Waiting,
+    /// Writing the response; closed when fully written.
+    Writing,
+}
+
+/// One nonblocking client connection.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    written: usize,
+    state: ConnState,
+    deadline: Deadline,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Deadline) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            out: Vec::new(),
+            written: 0,
+            state: ConnState::Reading,
+            deadline,
+        }
+    }
+
+    fn start_write(&mut self, response: Vec<u8>) {
+        self.out = response;
+        self.written = 0;
+        self.state = ConnState::Writing;
+    }
+}
+
+/// The readiness-polling event loop: accept within the connection cap,
+/// drive every connection's incremental read/parse/route/write state
+/// machine, deliver worker completions, and shed what cannot be admitted.
+/// Single-threaded — per-connection state needs no locks — and strictly
+/// nonblocking, so no client can stall another.
+fn run_reactor(listener: TcpListener, st: &Arc<State>) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let client_budget_ns = match st.opts.client_deadline_ms {
+        0 => u64::MAX,
+        ms => ms.saturating_mul(1_000_000),
+    };
+    while !st.stop.load(Ordering::Relaxed) {
+        let mut progressed = false;
+        // Accept — up to the connection cap; beyond it (or while
+        // draining), answer a structured 503 best-effort and close.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progressed = true;
+                    if st.draining.load(Ordering::Relaxed) {
+                        refuse(st, stream, "draining");
+                    } else if conns.len() >= st.opts.max_inflight {
+                        st.shed_connections.fetch_add(1, Ordering::Relaxed);
+                        refuse(st, stream, "connections");
+                    } else if stream.set_nonblocking(true).is_ok() {
+                        conns.insert(
+                            next_id,
+                            Conn::new(stream, Deadline::with_budget_ns(client_budget_ns)),
+                        );
+                        next_id += 1;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient accept failure; retry next tick
+            }
+        }
+        // Deliver completed analyses to their waiting connections before
+        // driving the write side, so responses go out this tick.
+        {
+            let mut done = st.completions.lock().unwrap();
+            for (id, resp) in done.drain(..) {
+                if let Some(c) = conns.get_mut(&id) {
+                    if c.state == ConnState::Waiting {
+                        c.start_write(resp);
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        // Drive every connection's state machine.
+        let ids: Vec<u64> = conns.keys().copied().collect();
+        for id in ids {
+            let remove = {
+                let c = conns.get_mut(&id).expect("id collected above");
+                drive_conn(st, id, c, &mut progressed)
+            };
+            if remove {
+                conns.remove(&id);
+            }
+        }
+        st.connections.store(conns.len() as u64, Ordering::Relaxed);
+        if st.draining.load(Ordering::Relaxed)
+            && conns.is_empty()
+            && st.queue_len.load(Ordering::Relaxed) == 0
+            && st.analysis_inflight.load(Ordering::Relaxed) == 0
+        {
+            break; // drained clean — nothing left to answer
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // Forced exit: remaining connections close on drop.
+    st.connections.store(0, Ordering::Relaxed);
+}
+
+/// Answer a connection we will not hold (cap hit or draining) with a
+/// structured 503, best-effort and nonblocking, then close it.
+fn refuse(st: &State, stream: TcpStream, reason: &'static str) {
+    let body = shed(st, reason, "pre-admission");
+    if stream.set_nonblocking(true).is_ok() {
+        let mut s = stream;
+        let _ = s.write(&body);
+    }
+}
+
+/// Advance one connection. Returns `true` when the connection is finished
+/// (response fully written, peer gone, or write deadline blown) and should
+/// be dropped.
+fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> bool {
+    if c.state == ConnState::Reading {
+        let mut buf = [0u8; 4096];
+        loop {
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    st.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return true; // peer closed mid-request
+                }
+                Ok(n) => {
+                    *progressed = true;
+                    match c.parser.feed(&buf[..n]) {
+                        Ok(Some(req)) => {
+                            route(st, id, c, &req);
+                            break;
+                        }
+                        Ok(None) => {} // keep reading
+                        Err(pe) => {
+                            st.bad_requests.fetch_add(1, Ordering::Relaxed);
+                            obs::log::warn(
+                                "serve",
+                                "bad request",
+                                &[
+                                    ("reason", pe.reason().into()),
+                                    ("buffered", (c.parser.buffered() as u64).into()),
+                                ],
+                            );
+                            c.start_write(http::respond(
+                                pe.status(),
+                                "application/json",
+                                &error_body(pe.reason(), "parse"),
+                            ));
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    st.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        // Slowloris guard: a client that cannot finish its request within
+        // its deadline is shed, freeing the slot.
+        if c.state == ConnState::Reading && c.deadline.exceeded() {
+            let body = shed(st, "deadline", "read");
+            c.start_write(body);
+        }
+    }
+    if c.state == ConnState::Writing {
+        loop {
+            match c.stream.write(&c.out[c.written..]) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    *progressed = true;
+                    c.written += n;
+                    if c.written == c.out.len() {
+                        return true; // Connection: close — done
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    return c.deadline.exceeded(); // give up only past deadline
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+    false
+}
+
+/// Route one complete request: observability endpoints answer inline;
+/// `/analyze` goes through admission control.
+fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
+    st.http_requests.fetch_add(1, Ordering::Relaxed);
+    let method = req.method.as_str();
+    if method != "GET" && method != "POST" {
+        c.start_write(http::respond(
+            "405 Method Not Allowed",
+            "application/json",
+            &error_body("method not allowed", "usage"),
+        ));
+        return;
+    }
+    match req.path() {
+        "/metrics" => c.start_write(http::respond(
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &render_prometheus(st),
+        )),
+        "/debug/timeline" => c.start_write(http::respond(
+            "200 OK",
+            "application/json",
+            &render_timeline(st),
+        )),
+        "/healthz" => {
+            let (ready, body) = readiness(st);
+            let status = if ready {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            let content_type = if ready {
+                "text/plain"
+            } else {
+                "application/json"
+            };
+            c.start_write(http::respond(status, content_type, &body));
+        }
+        "/analyze" => {
+            let path = req.query_param("path").map(str::to_string).or_else(|| {
+                let s = String::from_utf8_lossy(&req.body).trim().to_string();
+                (!s.is_empty()).then_some(s)
+            });
+            let Some(path) = path else {
+                st.bad_requests.fetch_add(1, Ordering::Relaxed);
+                c.start_write(http::respond(
+                    "400 Bad Request",
+                    "application/json",
+                    &error_body("missing ELF path ('?path=' or request body)", "usage"),
+                ));
+                return;
+            };
+            if st.draining.load(Ordering::Relaxed) {
+                let body = shed(st, "draining", &path);
+                c.start_write(body);
+                return;
+            }
+            let mut q = st.queue.lock().unwrap();
+            if q.len() >= st.opts.queue_depth {
+                drop(q);
+                st.shed_queue.fetch_add(1, Ordering::Relaxed);
+                let body = shed(st, "queue-full", &path);
+                c.start_write(body);
+            } else {
+                q.push_back(Job {
+                    conn: id,
+                    path,
+                    deadline: c.deadline,
+                    queued: Instant::now(),
+                });
+                st.queue_len.store(q.len() as u64, Ordering::Relaxed);
+                drop(q);
+                st.queue_cv.notify_one();
+                c.state = ConnState::Waiting;
+            }
+        }
+        _ => c.start_write(http::respond(
+            "404 Not Found",
+            "application/json",
+            &error_body("not found", "usage"),
+        )),
+    }
+}
+
+/// Account one shed and render its structured 503 body. Every shed — queue
+/// full, connection cap, deadline spent, draining — funnels through here,
+/// so the counter, the warn log event, and the timeline instant always
+/// agree.
+fn shed(st: &State, reason: &'static str, detail: &str) -> Vec<u8> {
+    st.sheds.fetch_add(1, Ordering::Relaxed);
+    if reason == "deadline" {
+        st.shed_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+    obs::timeline::instant("serve.shed", 0);
+    obs::log::warn(
+        "serve",
+        "request shed",
+        &[
+            ("category", "overload".into()),
+            ("reason", reason.into()),
+            ("detail", Value::Str(detail.to_string())),
+            ("queue_depth", st.queue_len.load(Ordering::Relaxed).into()),
+            ("shed_total", st.sheds.load(Ordering::Relaxed).into()),
+        ],
+    );
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("error", "server overloaded");
+    w.field_str("category", "overload");
+    w.field_str("reason", reason);
+    w.field_u64("queue_depth", st.queue_len.load(Ordering::Relaxed));
+    w.field_u64("queue_cap", st.opts.queue_depth as u64);
+    w.field_u64("inflight", st.analysis_inflight.load(Ordering::Relaxed));
+    w.field_u64("shed_total", st.sheds.load(Ordering::Relaxed));
+    w.end_obj();
+    http::respond("503 Service Unavailable", "application/json", &w.finish())
+}
+
+/// A small structured error body: `{"error": ..., "category": ...}`.
+fn error_body(msg: &str, category: &str) -> String {
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("error", msg);
+    w.field_str("category", category);
+    w.end_obj();
+    w.finish()
+}
+
+/// Readiness decision for `/healthz`: `ok` while work can be admitted;
+/// otherwise a JSON body a load balancer (or operator) can read the
+/// saturation off of.
+fn readiness(st: &State) -> (bool, String) {
+    let queue_len = st.queue_len.load(Ordering::Relaxed);
+    let draining = st.draining.load(Ordering::Relaxed);
+    let saturated = queue_len >= st.opts.queue_depth as u64;
+    if !draining && !saturated {
+        return (true, "ok\n".to_string());
+    }
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("status", if draining { "draining" } else { "overloaded" });
+    w.field_u64("queue_depth", queue_len);
+    w.field_u64("queue_cap", st.opts.queue_depth as u64);
+    w.field_u64("inflight", st.analysis_inflight.load(Ordering::Relaxed));
+    w.field_u64("connections", st.connections.load(Ordering::Relaxed));
+    w.field_u64("shed_total", st.sheds.load(Ordering::Relaxed));
+    w.end_obj();
+    (false, w.finish())
 }
 
 /// Concatenate the flight buffer's events, oldest request first. Events
@@ -352,7 +948,7 @@ fn render_timeline(st: &State) -> String {
 }
 
 fn render_prometheus(st: &State) -> String {
-    let mut out = String::with_capacity(1024);
+    let mut out = String::with_capacity(2048);
     let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
         out.push_str("# HELP ");
         out.push_str(name);
@@ -379,6 +975,60 @@ fn render_prometheus(st: &State) -> String {
         "counter",
         "Requests that failed before analysis (unreadable or unparsable input).",
         st.errors.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_requests_shed_total",
+        "counter",
+        "Requests shed by admission control (queue full, connection cap, deadline, draining).",
+        st.sheds.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_requests_shed_queue_total",
+        "counter",
+        "Requests shed because the admission queue was full.",
+        st.shed_queue.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_requests_shed_deadline_total",
+        "counter",
+        "Requests shed because the client deadline was spent before analysis.",
+        st.shed_deadline.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_requests_shed_connections_total",
+        "counter",
+        "Connections refused at the connection cap.",
+        st.shed_connections.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_http_bad_requests_total",
+        "counter",
+        "Malformed or oversized HTTP requests rejected by the framing layer.",
+        st.bad_requests.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_client_disconnects_total",
+        "counter",
+        "Clients that disconnected before their request completed.",
+        st.disconnects.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_connections",
+        "gauge",
+        "Client connections currently held by the reactor.",
+        st.connections.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_queue_depth",
+        "gauge",
+        "Admitted requests currently waiting for a worker.",
+        st.queue_len.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_analysis_inflight",
+        "gauge",
+        "Requests currently being analyzed by the worker pool.",
+        st.analysis_inflight.load(Ordering::Relaxed),
     );
     metric(
         "metadis_text_bytes_total",
@@ -435,101 +1085,83 @@ fn render_prometheus(st: &State) -> String {
         st.http_requests.load(Ordering::Relaxed),
     );
     metric("metadis_up", "gauge", "1 while the server is running.", 1);
-    // Request-latency summary: bucket-resolution quantiles from the log2
-    // histogram, plus the exact sum/count pair scrapers use to derive
-    // rates and means. (After the closure's last call so it can reuse
+    // Latency summaries: bucket-resolution quantiles from the log2
+    // histograms, plus the exact sum/count pairs scrapers use to derive
+    // rates and means. (After the closure's last call so they can reuse
     // `out` directly.)
-    let lat = st.latency.summary();
-    out.push_str(
-        "# HELP metadis_request_latency_ns Per-request service latency (load + pipeline), nanoseconds.\n",
-    );
-    out.push_str("# TYPE metadis_request_latency_ns summary\n");
-    for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
-        out.push_str(&format!(
-            "metadis_request_latency_ns{{quantile=\"{label}\"}} {}\n",
-            lat.quantile(q)
-        ));
-    }
-    out.push_str(&format!("metadis_request_latency_ns_sum {}\n", lat.sum));
-    out.push_str(&format!("metadis_request_latency_ns_count {}\n", lat.count));
-    out
-}
-
-/// Answer one HTTP connection: parse the request line, route, respond,
-/// close.
-fn handle_connection(stream: TcpStream, st: &State) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // drain headers so well-behaved clients don't see a reset
-    let mut header = String::new();
-    while reader.read_line(&mut header)? > 2 {
-        header.clear();
-    }
-    st.http_requests.fetch_add(1, Ordering::Relaxed);
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let (status, content_type, body) = if method != "GET" {
-        (
-            "405 Method Not Allowed",
-            "text/plain",
-            "method not allowed\n".to_string(),
-        )
-    } else {
-        match path {
-            "/metrics" => ("200 OK", "text/plain; version=0.0.4", render_prometheus(st)),
-            "/debug/timeline" => ("200 OK", "application/json", render_timeline(st)),
-            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    let mut summary = |name: &str, help: &str, h: &obs::Histogram| {
+        let s = h.summary();
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+        for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                s.quantile(q)
+            ));
         }
+        out.push_str(&format!("{name}_sum {}\n", s.sum));
+        out.push_str(&format!("{name}_count {}\n", s.count));
     };
-    let mut stream = reader.into_inner();
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    summary(
+        "metadis_request_latency_ns",
+        "Per-request service latency (load + pipeline), nanoseconds.",
+        &st.latency,
     );
-    stream.write_all(response.as_bytes())
+    summary(
+        "metadis_queue_wait_ns",
+        "Time admitted requests spent queued before a worker started them, nanoseconds.",
+        &st.queue_wait,
+    );
+    out
 }
 
 /// Fetch `path` from the server at `addr` over a fresh connection and
 /// return the response body. Errors on connection failure or a non-200
 /// status line.
 pub fn scrape(addr: &str, path: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
-    let mut response = String::new();
-    stream.read_to_string(&mut response)?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| std::io::Error::other("malformed HTTP response"))?;
-    let status_line = head.lines().next().unwrap_or("");
-    if !status_line.contains("200") {
+    let (status, body) = http::request(addr, "GET", path, None)?;
+    if status != 200 {
         return Err(std::io::Error::other(format!(
-            "server answered '{status_line}' for {path}"
+            "server answered '{status}' for {path}"
         )));
     }
-    Ok(body.to_string())
+    Ok(body)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn write_elf(dir: &std::path::Path, name: &str, seed: u64) -> String {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join(name);
+        let workload = bingen::Workload::generate(&bingen::GenConfig::small(seed));
+        std::fs::write(&path, workload.to_elf().to_bytes()).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("metadis-serve-unit-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn metrics_render_all_families() {
         let st = State::default();
         st.requests.store(3, Ordering::Relaxed);
         st.alloc_peak.store(4096, Ordering::Relaxed);
+        st.sheds.store(2, Ordering::Relaxed);
         let text = render_prometheus(&st);
         for family in [
             "metadis_requests_total 3",
             "metadis_request_errors_total 0",
+            "metadis_requests_shed_total 2",
+            "metadis_requests_shed_queue_total 0",
+            "metadis_requests_shed_deadline_total 0",
+            "metadis_requests_shed_connections_total 0",
+            "metadis_http_bad_requests_total 0",
+            "metadis_client_disconnects_total 0",
+            "metadis_connections 0",
+            "metadis_queue_depth 0",
+            "metadis_analysis_inflight 0",
             "metadis_text_bytes_total",
             "metadis_instructions_total",
             "metadis_pipeline_wall_ns_total",
@@ -540,6 +1172,8 @@ mod tests {
             "metadis_request_latency_ns{quantile=\"0.99\"} 0",
             "metadis_request_latency_ns_sum 0",
             "metadis_request_latency_ns_count 0",
+            "metadis_queue_wait_ns{quantile=\"0.5\"} 0",
+            "metadis_queue_wait_ns_sum 0",
             "metadis_log_warns_total",
             "metadis_log_errors_total",
             "metadis_up 1",
@@ -656,6 +1290,109 @@ mod tests {
         assert!(e.contains("cannot read"), "{e}");
         assert_eq!(server.errors(), 1);
         assert_eq!(server.requests(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn analyze_over_http_answers_a_json_summary() {
+        let dir = tmpdir("analyze");
+        let elf = write_elf(&dir, "a.elf", 21);
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+
+        // GET with a query param
+        let (status, body) =
+            http::request(&addr, "GET", &format!("/analyze?path={elf}"), None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let json = obs::json::parse(&body).expect("summary is JSON");
+        assert!(json.get("instructions").unwrap().as_u64().unwrap() > 0);
+        assert!(json.get("queue_wait_ns").is_some());
+
+        // POST with the path as the body
+        let (status, body) = http::request(&addr, "POST", "/analyze", Some(&elf)).unwrap();
+        assert_eq!(status, 200, "{body}");
+
+        // a bad path is a structured error, not a hang
+        let (status, body) =
+            http::request(&addr, "GET", "/analyze?path=/nonexistent/z.elf", None).unwrap();
+        assert_eq!(status, 422, "{body}");
+        assert!(body.contains(r#""category":"io""#), "{body}");
+
+        // a missing path is a usage error
+        let (status, body) = http::request(&addr, "GET", "/analyze", None).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains(r#""category":"usage""#), "{body}");
+
+        assert_eq!(server.requests(), 2);
+        assert_eq!(server.errors(), 1);
+        assert_eq!(server.sheds(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_queue_depth_sheds_and_drives_healthz_unready() {
+        let dir = tmpdir("shed");
+        let elf = write_elf(&dir, "s.elf", 22);
+        let opts = ServeOptions {
+            queue_depth: 0,
+            drain_ms: 200,
+            ..ServeOptions::default()
+        };
+        let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        // every analysis request sheds with the structured overload body
+        let (status, body) =
+            http::request(&addr, "GET", &format!("/analyze?path={elf}"), None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains(r#""category":"overload""#), "{body}");
+        assert!(body.contains(r#""reason":"queue-full""#), "{body}");
+        assert!(body.contains(r#""queue_cap":0"#), "{body}");
+        assert_eq!(server.sheds(), 1);
+
+        // readiness reflects the saturation as a 503 with a JSON body
+        let (status, body) = http::request(&addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains(r#""status":"overloaded""#), "{body}");
+        assert!(body.contains(r#""shed_total":1"#), "{body}");
+
+        // the shed shows up in the exposition
+        let metrics = server.render_metrics();
+        assert!(
+            metrics.contains("metadis_requests_shed_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("metadis_requests_shed_queue_total 1"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_http_is_rejected_with_structured_errors() {
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+
+        let (status, body) = http::request(&addr, "DELETE", "/metrics", None).unwrap();
+        assert_eq!(status, 405, "{body}");
+
+        // raw garbage: answered with a 400 (or dropped), never a panic
+        {
+            let mut s = TcpStream::connect(&addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(b"\x01\x02garbage\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            let _ = s.read_to_string(&mut resp);
+            assert!(resp.is_empty() || resp.contains("400"), "{resp}");
+        }
+        // the server is still alive and accounting
+        assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+        let metrics = server.render_metrics();
+        assert!(
+            metrics.contains("metadis_http_bad_requests_total 1"),
+            "{metrics}"
+        );
         server.shutdown();
     }
 }

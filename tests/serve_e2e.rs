@@ -205,3 +205,350 @@ fn deadline_degradations_still_fire_with_worker_threads() {
     assert!(metrics.contains("metadis_degradations_total"), "{metrics}");
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Hostile-client coverage: the admission-controlled reactor must stay
+// responsive (live /healthz, structured 503 sheds) under slowloris
+// writers, mid-request disconnects, oversized requests, and a
+// 100-connection mixed soak — never a panic, never a hang.
+// ---------------------------------------------------------------------------
+
+use metadis::http;
+use metadis::serve::ServeOptions;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn slowloris_client_is_shed_while_healthz_stays_live() {
+    let opts = ServeOptions {
+        client_deadline_ms: 300,
+        drain_ms: 200,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    // one byte every 50ms: the request can never complete within the
+    // 300ms client deadline
+    let loris_addr = addr.clone();
+    let loris = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(&loris_addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for b in b"GET /analyze?path=/tmp/x HTTP/1.1\r\n" {
+            if s.write_all(&[*b]).is_err() {
+                break; // server already shed us and closed
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let mut resp = String::new();
+        let _ = s.read_to_string(&mut resp);
+        resp
+    });
+
+    // the reactor keeps answering everyone else the whole time
+    for _ in 0..10 {
+        assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+        std::thread::sleep(Duration::from_millis(40));
+    }
+
+    let resp = loris.join().unwrap();
+    assert!(
+        resp.contains("503") && resp.contains(r#""reason":"deadline""#),
+        "slowloris got: {resp:?}"
+    );
+    let metrics = server.render_metrics();
+    assert!(
+        metrics.contains("metadis_requests_shed_deadline_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mid_header_disconnect_is_counted_not_fatal() {
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    for _ in 0..5 {
+        let mut s = TcpStream::connect(&addr).unwrap();
+        s.write_all(b"GET /analyze?path=/tmp/x HTTP/1.1\r\nHost: half")
+            .unwrap();
+        drop(s); // hang up mid-header
+    }
+    // give the reactor a few ticks to observe the disconnects
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let metrics = server.render_metrics();
+        if metrics.contains("metadis_client_disconnects_total 5") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnects never counted:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_without_buffering_it() {
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    // a >1MiB request line: the framing layer rejects at its 8KiB cap,
+    // long before the flood is buffered
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut sent = 0usize;
+    let _ = s.write_all(b"GET /");
+    while sent < 1024 * 1024 + chunk.len() {
+        match s.write_all(&chunk) {
+            Ok(()) => sent += chunk.len(),
+            Err(_) => break, // server rejected and closed mid-flood
+        }
+    }
+    let mut resp = String::new();
+    let _ = s.read_to_string(&mut resp);
+    // either we saw the 414 before the close, or the server reset us
+    // mid-flood; both mean the line was refused, not buffered
+    assert!(
+        resp.is_empty() || resp.contains("414"),
+        "unexpected response: {resp:?}"
+    );
+    assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+    let metrics = server.render_metrics();
+    assert!(
+        metrics.contains("metadis_http_bad_requests_total 1"),
+        "{metrics}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hundred_concurrent_clients_soak_with_injected_faults() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("soak.elf");
+    write_elf(&elf, 77);
+    let elf = elf.to_str().unwrap().to_string();
+
+    let opts = ServeOptions {
+        drain_ms: 500,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(100));
+    let mut clients = Vec::new();
+    for i in 0..100usize {
+        let addr = addr.clone();
+        let elf = elf.clone();
+        let barrier = std::sync::Arc::clone(&barrier);
+        clients.push(std::thread::spawn(move || -> Result<(), String> {
+            barrier.wait();
+            match i % 4 {
+                // the well-behaved majority: analyze a real ELF
+                0 | 1 => {
+                    let (status, body) =
+                        http::request(&addr, "GET", &format!("/analyze?path={elf}"), None)
+                            .map_err(|e| format!("client {i}: {e}"))?;
+                    if status == 200 && body.contains("\"instructions\"") {
+                        return Ok(());
+                    }
+                    if status == 503 && body.contains(r#""category":"overload""#) {
+                        return Ok(()); // shed is a legal answer under load
+                    }
+                    Err(format!("client {i}: status {status}, body {body:?}"))
+                }
+                // fault injection: garbage bytes
+                2 => {
+                    let mut s = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let _ = s.write_all(b"\x00\xffnot http at all\r\n\r\n");
+                    let mut resp = String::new();
+                    let _ = s.read_to_string(&mut resp);
+                    Ok(()) // any non-hang outcome is fine
+                }
+                // fault injection: connect, dribble, hang up
+                _ => {
+                    let mut s = TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+                    let _ = s.write_all(b"GET /he");
+                    std::thread::sleep(Duration::from_millis(5));
+                    drop(s);
+                    Ok(())
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("no client panicked").expect("soak client");
+    }
+
+    // the server survived 100 concurrent clients with injected faults and
+    // still answers; its accounting is coherent
+    assert_eq!(scrape(&addr, "/healthz").unwrap(), "ok\n");
+    let metrics = server.render_metrics();
+    assert!(metrics.contains("metadis_up 1"), "{metrics}");
+    let analyzed = server.requests() + server.sheds();
+    assert!(analyzed >= 50, "50 analyze clients, got {analyzed}");
+    server.shutdown();
+}
+
+#[test]
+fn queue_saturation_sheds_with_structured_503_and_some_still_succeed() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-queue-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("queue.elf");
+    write_elf(&elf, 78);
+    let elf = elf.to_str().unwrap().to_string();
+
+    // one worker, a two-deep queue, 24 simultaneous clients: the queue
+    // must overflow, and overflow must shed — not stall
+    let opts = ServeOptions {
+        queue_depth: 2,
+        drain_ms: 500,
+        ..ServeOptions::default()
+    };
+    let cfg = Config {
+        threads: 1,
+        ..Config::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(24));
+    let mut clients = Vec::new();
+    for i in 0..24usize {
+        let addr = addr.clone();
+        let elf = elf.clone();
+        let barrier = std::sync::Arc::clone(&barrier);
+        clients.push(std::thread::spawn(move || {
+            barrier.wait();
+            http::request(&addr, "GET", &format!("/analyze?path={elf}"), None)
+                .map_err(|e| format!("client {i}: {e}"))
+        }));
+    }
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    for c in clients {
+        let (status, body) = c.join().unwrap().unwrap();
+        match status {
+            200 => {
+                assert!(body.contains("\"instructions\""), "{body}");
+                ok += 1;
+            }
+            503 => {
+                assert!(body.contains(r#""category":"overload""#), "{body}");
+                assert!(body.contains(r#""reason":"queue-full""#), "{body}");
+                shed += 1;
+            }
+            other => panic!("client got status {other}: {body}"),
+        }
+    }
+    assert!(ok >= 1, "at least the queued requests must succeed");
+    assert!(shed >= 1, "24 clients vs queue of 2 must shed");
+    assert_eq!(server.sheds(), shed);
+    assert_eq!(server.requests(), ok);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_inflight_requests_first() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("drain.elf");
+    write_elf(&elf, 79);
+    let elf = elf.to_str().unwrap().to_string();
+
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    // a client whose request races the shutdown
+    let req_addr = addr.clone();
+    let client = std::thread::spawn(move || {
+        http::request(&req_addr, "GET", &format!("/analyze?path={elf}"), None)
+    });
+    std::thread::sleep(Duration::from_millis(20));
+    server.shutdown(); // drains before dropping the listener
+
+    let (status, body) = client.join().unwrap().unwrap();
+    assert_eq!(status, 200, "in-flight request lost in shutdown: {body}");
+    assert!(body.contains("\"instructions\""), "{body}");
+
+    // the port is released and refuses new work
+    assert!(http::request(&addr, "GET", "/healthz", None).is_err());
+}
+
+#[test]
+fn serve_strict_exits_overload_when_requests_were_shed() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-strict-{}", std::process::id()));
+    let watch = dir.join("watch");
+    std::fs::create_dir_all(&watch).unwrap();
+    let log = dir.join("strict.log");
+
+    let _cli = CLI_LOCK.lock().unwrap();
+    // queue-depth 0 sheds every HTTP analyze request; --watch keeps the
+    // server up until --max-requests batch paths have been processed
+    let args: Vec<String> = [
+        "serve",
+        "--watch",
+        watch.to_str().unwrap(),
+        "--max-requests",
+        "1",
+        "--poll-ms",
+        "20",
+        "--queue-depth",
+        "0",
+        "--drain-ms",
+        "200",
+        "--strict",
+        "--log",
+        log.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let serve = std::thread::spawn(move || metadis::cli::run(&args));
+
+    // discover the ephemeral port from the 'listening' log event
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&log) {
+            if let Some(line) = text.lines().find(|l| l.contains(r#""msg":"listening""#)) {
+                let json = obs::json::parse(line).unwrap();
+                break json
+                    .path("fields.addr")
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string();
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // an HTTP client gets shed (queue admits nothing)...
+    let (status, body) = http::request(&addr, "GET", "/analyze?path=/tmp/x", None).unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains(r#""category":"overload""#), "{body}");
+
+    // ...then a watched file satisfies --max-requests and the command
+    // exits — with category overload under --strict, exit code 6
+    write_elf(&watch.join("work.elf"), 80);
+    let err = serve.join().unwrap().unwrap_err();
+    assert_eq!(err.category, metadis::cli::ErrorCategory::Overload, "{err}");
+    assert_eq!(err.category.exit_code(), 6);
+    assert!(err.message.contains("shed under overload"), "{err}");
+
+    // the shed left its structured trail in the log
+    let logged = std::fs::read_to_string(&log).unwrap();
+    assert!(logged.contains(r#""msg":"request shed""#), "{logged}");
+    assert!(logged.contains(r#""category":"overload""#), "{logged}");
+    assert!(logged.contains(r#""msg":"draining""#), "{logged}");
+    assert!(logged.contains(r#""msg":"shutdown complete""#), "{logged}");
+}
