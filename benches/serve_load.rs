@@ -7,7 +7,10 @@
 //! `scripts/bench-check.sh`):
 //!
 //! 1. **steady** — sequential-per-client request streams against a server
-//!    with headroom: sustained RPS and p50/p99 request latency.
+//!    with headroom: sustained RPS and p50/p99 request latency. Runs as
+//!    interleaved A/B arms — series sampler off vs on a 10ms tick (100x
+//!    the default rate) — and records the best-of-N RPS of each arm plus
+//!    `sampler_overhead_pct`, gated at <2% by `scripts/bench-check.sh`.
 //! 2. **overload** — 2x-capacity request bursts against a one-worker,
 //!    two-deep-queue server: admission control must shed (structured 503,
 //!    `category=overload`) *and* still complete the admitted requests —
@@ -93,6 +96,33 @@ fn steady_phase(addr: &str, elf: &str, clients: usize, per_client: usize) -> (u6
     let wall_ns = sw.elapsed_ns();
     let h = Arc::try_unwrap(hist).expect("all clients joined");
     (wall_ns, completed.load(Ordering::Relaxed), h)
+}
+
+/// One steady arm: a fresh server with the series sampler at
+/// `series_interval_ms` (0 disables), driven by `steady_phase`. Returns
+/// (rps, completed, latency histogram).
+fn steady_arm(
+    elf: &str,
+    series_interval_ms: u64,
+    clients: usize,
+    per_client: usize,
+    crashes: &mut u64,
+    sheds: &mut u64,
+) -> (f64, u64, Histogram) {
+    let opts = ServeOptions {
+        series_interval_ms,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).expect("bind steady");
+    let addr = server.addr().to_string();
+    let (wall_ns, completed, latency) = steady_phase(&addr, elf, clients, per_client);
+    if scrape(&addr, "/healthz").as_deref().unwrap_or("") != "ok\n" {
+        *crashes += 1;
+    }
+    *sheds += server.sheds();
+    server.shutdown();
+    let rps = completed as f64 / (wall_ns as f64 / 1e9);
+    (rps, completed, latency)
 }
 
 /// Phase 2: `waves` bursts of `burst` simultaneous requests against a
@@ -213,26 +243,52 @@ fn main() {
     let elf = write_elf(&dir, "load.elf", 7);
     let mut crashes = 0u64;
 
-    // -- phase 1: steady state ---------------------------------------------
-    let server = Server::start("127.0.0.1:0").expect("bind steady server");
-    let addr = server.addr().to_string();
+    // -- phase 1: steady state, sampler-off vs sampler-on A/B arms ---------
+    // Machine noise (page cache, allocator state, timeslicing) is
+    // one-sided — it only slows an arm down — so each arm's *best-of-N*
+    // RPS is a ceiling estimate, and the off/on ceiling gap is the sampler
+    // cost. A discarded warmup arm absorbs cold-start effects, the arm
+    // order alternates per round to kill ordering bias, and the arms stay
+    // full-size even under QUICK: the 2% overhead gate in
+    // scripts/bench-check.sh needs ceilings, not coin flips. The on-arm
+    // ticks at 10ms — 100x the default rate — so the measured overhead is
+    // an upper bound on the shipping cost.
     let clients = 4;
-    let per_client = if quick() { 10 } else { 50 };
-    let (wall_ns, completed, latency) = steady_phase(&addr, &elf, clients, per_client);
-    let steady_shed = server.sheds();
-    if scrape(&addr, "/healthz").as_deref().unwrap_or("") != "ok\n" {
-        crashes += 1;
+    let per_client = 50;
+    let rounds = 6;
+    let mut steady_shed = 0u64;
+    let _ = steady_arm(&elf, 0, clients, per_client, &mut crashes, &mut steady_shed);
+    let mut rps_off = 0.0f64;
+    let mut best_on: Option<(f64, u64, Histogram)> = None;
+    for round in 0..rounds {
+        let intervals = if round % 2 == 0 { [0, 10] } else { [10, 0] };
+        for interval in intervals {
+            let arm = steady_arm(
+                &elf,
+                interval,
+                clients,
+                per_client,
+                &mut crashes,
+                &mut steady_shed,
+            );
+            if interval == 0 {
+                rps_off = rps_off.max(arm.0);
+            } else if best_on.as_ref().is_none_or(|b| arm.0 > b.0) {
+                best_on = Some(arm);
+            }
+        }
     }
-    server.shutdown();
+    let (rps, completed, latency) = best_on.expect("rounds >= 1");
+    let overhead_pct = ((rps_off - rps) / rps_off * 100.0).max(0.0);
     let s = latency.summary();
-    let rps = completed as f64 / (wall_ns as f64 / 1e9);
     let (p50_ns, p99_ns) = (s.quantile(0.5), s.quantile(0.99));
-    println!("serve rps = {rps:.1} ({completed} requests, {clients} clients)");
+    println!("serve rps = {rps:.1} ({completed} requests, {clients} clients, sampler on)");
     println!(
         "serve p50 = {} us, p99 = {} us",
         p50_ns / 1_000,
         p99_ns / 1_000
     );
+    println!("serve sampler overhead = {overhead_pct:.1}% (off {rps_off:.1} rps, on {rps:.1} rps)");
 
     // -- phase 2: 2x overload ----------------------------------------------
     // one worker, two-deep queue: a 16-wide burst is far past 2x capacity,
@@ -283,6 +339,8 @@ fn main() {
     w.begin_obj();
     w.field_str("schema", "metadis.bench.serve.v1");
     w.field_f64("rps", (rps * 10.0).round() / 10.0);
+    w.field_f64("rps_sampler_off", (rps_off * 10.0).round() / 10.0);
+    w.field_f64("sampler_overhead_pct", (overhead_pct * 10.0).round() / 10.0);
     w.field_u64("requests", completed);
     w.field_u64("p50_ns", p50_ns);
     w.field_u64("p99_ns", p99_ns);

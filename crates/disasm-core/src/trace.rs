@@ -66,6 +66,10 @@ use crate::Disassembly;
 use obs::json::JsonWriter;
 use obs::TextTable;
 
+/// Schema tag of the trace report JSON ([`trace_report_json`] /
+/// [`merged_report_json`]).
+pub const SCHEMA: &str = "metadis.trace.v6";
+
 /// Timing and volume of one pipeline phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseStat {
@@ -413,7 +417,7 @@ pub fn trace_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v6");
+    w.field_str("schema", SCHEMA);
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();
@@ -438,7 +442,7 @@ pub fn merged_report_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.begin_obj();
-    w.field_str("schema", "metadis.trace.v6");
+    w.field_str("schema", SCHEMA);
     w.field_str("command", command);
     w.key("tools");
     w.begin_arr();

@@ -38,6 +38,8 @@ pub mod log;
 pub mod metrics;
 pub mod provenance;
 pub mod registry;
+pub mod series;
+pub mod slo;
 pub mod span;
 pub mod table;
 pub mod timeline;

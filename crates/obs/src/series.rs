@@ -1,0 +1,405 @@
+//! Rolling time-series of metric snapshots.
+//!
+//! The serve reactor samples its counters, gauges, and histogram summaries
+//! on a fixed tick into a bounded [`SeriesRing`]. Each [`Sample`] carries
+//! *cumulative* values — deltas and rates are derived between any two
+//! samples with [`counter_delta`], [`rate_per_sec`], and [`window_summary`],
+//! so consumers (the SLO engine, `metadis top`, dashboards scraping
+//! `/debug/metrics/history`) can pick their own windows after the fact.
+//!
+//! The ring serializes to the stable `metadis.series.v1` JSON schema via
+//! [`write_history_json`] and parses back with [`samples_from_json`]; the
+//! round trip is byte-exact and golden-pinned like the log and trace
+//! schemas.
+
+use crate::json::{JsonValue, JsonWriter};
+use crate::metrics::{bucket_bound, HistogramSummary};
+use crate::slo::SloStatus;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Schema tag written by [`write_history_json`].
+pub const SCHEMA: &str = "metadis.series.v1";
+
+/// One periodic snapshot of cumulative metric state.
+///
+/// Maps are `BTreeMap` so serialization order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sample {
+    /// Nanoseconds since the server started (monotonic, strictly increasing
+    /// across samples).
+    pub ts_ns: u64,
+    /// Cumulative counters (requests, errors, sheds, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous gauges (queue depth, inflight, connections, ...).
+    pub gauges: BTreeMap<String, u64>,
+    /// Cumulative histogram summaries (latency, queue wait, ...).
+    pub summaries: BTreeMap<String, HistogramSummary>,
+    /// SLO statuses evaluated at this sample (empty when no engine runs).
+    pub slo: Vec<SloStatus>,
+}
+
+impl Sample {
+    /// Counter value by name; 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name; 0 when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary by name.
+    pub fn summary(&self, name: &str) -> Option<&HistogramSummary> {
+        self.summaries.get(name)
+    }
+}
+
+/// A bounded ring of [`Sample`]s, oldest first.
+#[derive(Debug)]
+pub struct SeriesRing {
+    cap: usize,
+    samples: VecDeque<Sample>,
+}
+
+impl SeriesRing {
+    /// New ring holding at most `cap` samples (clamped to ≥ 2 so a delta is
+    /// always derivable once the ring warms up).
+    pub fn new(cap: usize) -> SeriesRing {
+        let cap = cap.max(2);
+        SeriesRing {
+            cap,
+            samples: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Append a sample, evicting the oldest when full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// The newest sample.
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// Mutable access to the newest sample (used to attach SLO statuses
+    /// evaluated after the push).
+    pub fn latest_mut(&mut self) -> Option<&mut Sample> {
+        self.samples.back_mut()
+    }
+
+    /// The sample `steps` back from the newest (0 = newest), clamped to the
+    /// oldest retained sample. `None` only when the ring is empty.
+    pub fn back(&self, steps: usize) -> Option<&Sample> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let idx = self.samples.len().saturating_sub(1).saturating_sub(steps);
+        self.samples.get(idx)
+    }
+
+    /// Iterate samples oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+}
+
+/// Increase of counter `name` from `older` to `newer` (saturating, so a
+/// reset or missing counter reads as 0 rather than wrapping).
+pub fn counter_delta(newer: &Sample, older: &Sample, name: &str) -> u64 {
+    newer.counter(name).saturating_sub(older.counter(name))
+}
+
+/// Per-second rate of counter `name` between two samples; 0 when the
+/// samples are not strictly ordered in time.
+pub fn rate_per_sec(newer: &Sample, older: &Sample, name: &str) -> f64 {
+    let dt_ns = newer.ts_ns.saturating_sub(older.ts_ns);
+    if dt_ns == 0 {
+        return 0.0;
+    }
+    counter_delta(newer, older, name) as f64 / (dt_ns as f64 / 1e9)
+}
+
+/// Inclusive lower bound of log2 bucket `b` (companion to
+/// [`bucket_bound`]).
+fn bucket_floor(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Histogram of the samples recorded between `older` and `newer`
+/// (bucket-wise saturating subtraction of the cumulative summaries).
+///
+/// Exact per-window `min`/`max` are not recoverable from cumulative state,
+/// so they are approximated from the window's occupied bucket range
+/// (tightened by the cumulative extrema when those fall inside it). Bucket
+/// counts — and therefore [`HistogramSummary::quantile`] — are exact.
+pub fn window_summary(newer: &Sample, older: &Sample, name: &str) -> HistogramSummary {
+    let empty = HistogramSummary::default();
+    let n = newer.summary(name).unwrap_or(&empty);
+    let Some(o) = older.summary(name) else {
+        return n.clone();
+    };
+    let mut buckets: Vec<(u8, u64)> = Vec::new();
+    for &(b, c) in &n.buckets {
+        let prev = o
+            .buckets
+            .iter()
+            .find(|&&(ob, _)| ob == b)
+            .map(|&(_, oc)| oc)
+            .unwrap_or(0);
+        let d = c.saturating_sub(prev);
+        if d > 0 {
+            buckets.push((b, d));
+        }
+    }
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if count == 0 {
+        return HistogramSummary::default();
+    }
+    let lo = buckets.first().map(|&(b, _)| b as usize).unwrap_or(0);
+    let hi = buckets.last().map(|&(b, _)| b as usize).unwrap_or(0);
+    let min = n.min.clamp(bucket_floor(lo), bucket_bound(lo));
+    let max = n.max.clamp(bucket_floor(hi), bucket_bound(hi));
+    HistogramSummary {
+        count,
+        sum: n.sum.saturating_sub(o.sum),
+        min,
+        max,
+        buckets,
+    }
+}
+
+fn write_summary(w: &mut JsonWriter, s: &HistogramSummary) {
+    w.begin_obj();
+    w.field_u64("count", s.count);
+    w.field_u64("sum", s.sum);
+    w.field_u64("min", s.min);
+    w.field_u64("max", s.max);
+    w.key("buckets");
+    w.begin_arr();
+    for &(b, c) in &s.buckets {
+        w.begin_arr();
+        w.u64_val(b as u64);
+        w.u64_val(c);
+        w.end_arr();
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+fn write_sample(w: &mut JsonWriter, s: &Sample) {
+    w.begin_obj();
+    w.field_u64("ts_ns", s.ts_ns);
+    w.key("counters");
+    w.begin_obj();
+    for (k, v) in &s.counters {
+        w.field_u64(k, *v);
+    }
+    w.end_obj();
+    w.key("gauges");
+    w.begin_obj();
+    for (k, v) in &s.gauges {
+        w.field_u64(k, *v);
+    }
+    w.end_obj();
+    w.key("summaries");
+    w.begin_obj();
+    for (k, v) in &s.summaries {
+        w.key(k);
+        write_summary(w, v);
+    }
+    w.end_obj();
+    w.key("slo");
+    w.begin_arr();
+    for st in &s.slo {
+        st.write_json(w);
+    }
+    w.end_arr();
+    w.end_obj();
+}
+
+/// Serialize a sample window as `metadis.series.v1` JSON.
+///
+/// Pure function of its inputs (no clocks, no global state) so the schema
+/// can be golden-pinned. `interval_ms` and `window` echo the sampler
+/// configuration; `samples` must be oldest first.
+pub fn write_history_json<'a>(
+    interval_ms: u64,
+    window: usize,
+    samples: impl IntoIterator<Item = &'a Sample>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_str("schema", SCHEMA);
+    w.field_u64("interval_ms", interval_ms);
+    w.field_u64("window", window as u64);
+    w.key("samples");
+    w.begin_arr();
+    for s in samples {
+        write_sample(&mut w, s);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+fn summary_from_json(v: &JsonValue) -> Option<HistogramSummary> {
+    let mut buckets = Vec::new();
+    for pair in v.get("buckets")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        buckets.push((pair[0].as_u64()? as u8, pair[1].as_u64()?));
+    }
+    Some(HistogramSummary {
+        count: v.get("count")?.as_u64()?,
+        sum: v.get("sum")?.as_u64()?,
+        min: v.get("min")?.as_u64()?,
+        max: v.get("max")?.as_u64()?,
+        buckets,
+    })
+}
+
+fn sample_from_json(v: &JsonValue) -> Option<Sample> {
+    let mut s = Sample {
+        ts_ns: v.get("ts_ns")?.as_u64()?,
+        ..Sample::default()
+    };
+    for (k, c) in v.get("counters")?.as_obj()? {
+        s.counters.insert(k.clone(), c.as_u64()?);
+    }
+    for (k, g) in v.get("gauges")?.as_obj()? {
+        s.gauges.insert(k.clone(), g.as_u64()?);
+    }
+    for (k, h) in v.get("summaries")?.as_obj()? {
+        s.summaries.insert(k.clone(), summary_from_json(h)?);
+    }
+    for st in v.get("slo")?.as_arr()? {
+        s.slo.push(SloStatus::from_json(st)?);
+    }
+    Some(s)
+}
+
+/// Parse the `samples` array of a `metadis.series.v1` document back into
+/// [`Sample`]s (the client half of the schema, used by `metadis top`).
+///
+/// `None` when the schema tag is missing/unknown or any sample is
+/// malformed.
+pub fn samples_from_json(doc: &JsonValue) -> Option<Vec<Sample>> {
+    if doc.get("schema")?.as_str()? != SCHEMA {
+        return None;
+    }
+    doc.get("samples")?
+        .as_arr()?
+        .iter()
+        .map(sample_from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn sample(ts_ns: u64, requests: u64, lat: &[u64]) -> Sample {
+        let h = Histogram::new();
+        for &v in lat {
+            h.record(v);
+        }
+        let mut s = Sample {
+            ts_ns,
+            ..Sample::default()
+        };
+        s.counters.insert("requests".into(), requests);
+        s.gauges.insert("queue".into(), 1);
+        s.summaries.insert("latency_ns".into(), h.summary());
+        s
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = SeriesRing::new(3);
+        for i in 0..5u64 {
+            r.push(sample(i, i, &[]));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.latest().unwrap().ts_ns, 4);
+        assert_eq!(r.back(0).unwrap().ts_ns, 4);
+        assert_eq!(r.back(2).unwrap().ts_ns, 2);
+        // clamped to the oldest retained sample
+        assert_eq!(r.back(100).unwrap().ts_ns, 2);
+        let ts: Vec<u64> = r.iter().map(|s| s.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn deltas_and_rates() {
+        let a = sample(1_000_000_000, 10, &[100]);
+        let b = sample(3_000_000_000, 50, &[100, 200, 300]);
+        assert_eq!(counter_delta(&b, &a, "requests"), 40);
+        assert_eq!(counter_delta(&a, &b, "requests"), 0); // saturating
+        assert_eq!(counter_delta(&b, &a, "missing"), 0);
+        let r = rate_per_sec(&b, &a, "requests");
+        assert!((r - 20.0).abs() < 1e-9, "rate {r}");
+        assert_eq!(rate_per_sec(&a, &a, "requests"), 0.0);
+    }
+
+    #[test]
+    fn window_summary_subtracts_buckets() {
+        let a = sample(1, 0, &[100, 100]);
+        let b = sample(2, 0, &[100, 100, 100, 5000]);
+        let w = window_summary(&b, &a, "latency_ns");
+        assert_eq!(w.count, 2);
+        assert_eq!(w.sum, 5100);
+        // window quantiles come from the subtracted buckets
+        assert_eq!(w.quantile(0.99), w.max);
+        assert!(w.min >= 64 && w.min <= 127, "min {}", w.min);
+        assert_eq!(w.max, 5000); // cumulative max falls inside the top bucket
+                                 // identical samples → empty window
+        assert_eq!(window_summary(&b, &b, "latency_ns").count, 0);
+        // missing older summary → cumulative passthrough
+        assert_eq!(window_summary(&b, &a, "other"), HistogramSummary::default());
+    }
+
+    #[test]
+    fn history_json_roundtrip() {
+        let samples = vec![sample(5, 1, &[100]), sample(10, 3, &[100, 900, 40_000])];
+        let json = write_history_json(1000, 300, &samples);
+        let doc = crate::json::parse(&json).expect("valid json");
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), SCHEMA);
+        assert_eq!(doc.get("interval_ms").unwrap().as_u64().unwrap(), 1000);
+        assert_eq!(doc.get("window").unwrap().as_u64().unwrap(), 300);
+        let back = samples_from_json(&doc).expect("roundtrip");
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn samples_from_json_rejects_unknown_schema() {
+        let doc = crate::json::parse(r#"{"schema":"metadis.series.v999","samples":[]}"#).unwrap();
+        assert!(samples_from_json(&doc).is_none());
+    }
+}

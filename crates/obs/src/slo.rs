@@ -1,0 +1,360 @@
+//! Declarative service-level objectives with multi-window burn-rate
+//! evaluation over a [`SeriesRing`].
+//!
+//! An [`Objective`] names either an availability target (bad-request
+//! fraction vs an error budget) or a latency-quantile ceiling. The
+//! [`SloEngine`] evaluates every objective over two windows of the ring —
+//! a fast window for paging-speed detection and a slow window for
+//! sustained burn (the classic multi-window burn-rate pattern, scaled to
+//! however much history the ring retains) — and latches breach state so
+//! threshold *crossings* can be reported exactly once.
+//!
+//! Burn rate 1.0 means "consuming error budget exactly as fast as the
+//! objective allows"; an objective is breached only when **both** windows
+//! burn at or above the threshold, which suppresses blips (fast-only) and
+//! stale incidents (slow-only).
+
+use crate::json::{JsonValue, JsonWriter};
+use crate::series::{self, Sample, SeriesRing};
+
+/// What an [`Objective`] measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveKind {
+    /// Fraction of bad requests must stay under `1 - target`.
+    ///
+    /// `bad` and `total` name counters in each [`Sample`]; deltas over the
+    /// window are summed across the listed names. `total` should include
+    /// the bad counters (attempted = served + failed + shed).
+    Availability {
+        /// Counter names whose window delta counts against the budget.
+        bad: Vec<String>,
+        /// Counter names whose window delta is the traffic denominator.
+        total: Vec<String>,
+        /// Availability target in (0, 1), e.g. 0.999.
+        target: f64,
+    },
+    /// Windowed quantile of a histogram must stay under a ceiling.
+    LatencyQuantile {
+        /// Summary name in each [`Sample`] (e.g. `latency_ns`).
+        summary: String,
+        /// Quantile in (0, 1], e.g. 0.99.
+        q: f64,
+        /// Ceiling in the summary's unit (nanoseconds for latency).
+        ceiling_ns: u64,
+    },
+}
+
+/// A named service-level objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Stable name used in gauges, logs, and the healthz detail block.
+    pub name: String,
+    /// What to measure.
+    pub kind: ObjectiveKind,
+}
+
+/// Fast/slow window lengths (in samples) and the shared burn threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindows {
+    /// Short window, in samples — detects fast burn.
+    pub fast: usize,
+    /// Long window, in samples — confirms sustained burn.
+    pub slow: usize,
+    /// Burn rate at or above which a window is considered burning.
+    pub threshold: f64,
+}
+
+impl BurnWindows {
+    /// Windows scaled to a ring of `capacity` samples: fast ≈ a tenth of
+    /// the ring (≥ 2 samples so a delta exists), slow = the whole ring —
+    /// the 1m/30m shape of production burn alerts, scaled to whatever
+    /// history is retained.
+    pub fn scaled_to(capacity: usize) -> BurnWindows {
+        let fast = (capacity / 10).max(2);
+        BurnWindows {
+            fast,
+            slow: capacity.max(fast),
+            threshold: 1.0,
+        }
+    }
+}
+
+/// Evaluated state of one objective at one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub objective: String,
+    /// Burn rate over the fast window.
+    pub burn_fast: f64,
+    /// Burn rate over the slow window.
+    pub burn_slow: f64,
+    /// `true` while both windows burn at ≥ threshold.
+    pub breached: bool,
+}
+
+impl SloStatus {
+    /// Write as a JSON object (shared by the series schema and healthz).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.field_str("objective", &self.objective);
+        w.field_f64("burn_fast", self.burn_fast);
+        w.field_f64("burn_slow", self.burn_slow);
+        w.field_bool("breached", self.breached);
+        w.end_obj();
+    }
+
+    /// Parse the object written by [`SloStatus::write_json`].
+    pub fn from_json(v: &JsonValue) -> Option<SloStatus> {
+        Some(SloStatus {
+            objective: v.get("objective")?.as_str()?.to_string(),
+            burn_fast: v.get("burn_fast")?.as_f64()?,
+            burn_slow: v.get("burn_slow")?.as_f64()?,
+            breached: match v.get("breached")? {
+                JsonValue::Bool(b) => *b,
+                _ => return None,
+            },
+        })
+    }
+}
+
+/// Result of one [`SloEngine::evaluate`] pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloEval {
+    /// Per-objective status, in objective order.
+    pub statuses: Vec<SloStatus>,
+    /// Objectives that crossed into breach on this pass.
+    pub crossed: Vec<String>,
+    /// Objectives that recovered from breach on this pass.
+    pub recovered: Vec<String>,
+}
+
+/// Evaluates a fixed set of objectives against a ring, latching breach
+/// state between passes so crossings fire once.
+#[derive(Debug)]
+pub struct SloEngine {
+    objectives: Vec<Objective>,
+    windows: BurnWindows,
+    breached: Vec<bool>,
+}
+
+/// Round to 3 decimals so burn rates serialize stably and read cleanly.
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+impl SloEngine {
+    /// New engine over `objectives` with the given windows.
+    pub fn new(objectives: Vec<Objective>, windows: BurnWindows) -> SloEngine {
+        let breached = vec![false; objectives.len()];
+        SloEngine {
+            objectives,
+            windows,
+            breached,
+        }
+    }
+
+    /// The configured objectives.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// The configured windows.
+    pub fn windows(&self) -> BurnWindows {
+        self.windows
+    }
+
+    fn burn(kind: &ObjectiveKind, newer: &Sample, older: &Sample) -> f64 {
+        match kind {
+            ObjectiveKind::Availability { bad, total, target } => {
+                let bad_d: u64 = bad
+                    .iter()
+                    .map(|n| series::counter_delta(newer, older, n))
+                    .sum();
+                let total_d: u64 = total
+                    .iter()
+                    .map(|n| series::counter_delta(newer, older, n))
+                    .sum();
+                if total_d == 0 {
+                    return 0.0; // no traffic burns no budget
+                }
+                let budget = (1.0 - target).max(f64::EPSILON);
+                (bad_d as f64 / total_d as f64) / budget
+            }
+            ObjectiveKind::LatencyQuantile {
+                summary,
+                q,
+                ceiling_ns,
+            } => {
+                let w = series::window_summary(newer, older, summary);
+                if w.count == 0 || *ceiling_ns == 0 {
+                    return 0.0;
+                }
+                w.quantile(*q) as f64 / *ceiling_ns as f64
+            }
+        }
+    }
+
+    /// Evaluate all objectives against the newest sample of `ring`.
+    ///
+    /// With fewer than two samples every burn is 0 (no window exists yet).
+    /// Window starts are clamped to the oldest retained sample, so a
+    /// cold ring simply evaluates over what it has.
+    pub fn evaluate(&mut self, ring: &SeriesRing) -> SloEval {
+        let mut eval = SloEval::default();
+        let Some(newest) = ring.latest() else {
+            return eval;
+        };
+        let fast_ref = ring.back(self.windows.fast).unwrap_or(newest);
+        let slow_ref = ring.back(self.windows.slow).unwrap_or(newest);
+        for (i, obj) in self.objectives.iter().enumerate() {
+            let (burn_fast, burn_slow) = if ring.len() < 2 {
+                (0.0, 0.0)
+            } else {
+                (
+                    round3(Self::burn(&obj.kind, newest, fast_ref)),
+                    round3(Self::burn(&obj.kind, newest, slow_ref)),
+                )
+            };
+            let breached =
+                burn_fast >= self.windows.threshold && burn_slow >= self.windows.threshold;
+            if breached && !self.breached[i] {
+                eval.crossed.push(obj.name.clone());
+            }
+            if !breached && self.breached[i] {
+                eval.recovered.push(obj.name.clone());
+            }
+            self.breached[i] = breached;
+            eval.statuses.push(SloStatus {
+                objective: obj.name.clone(),
+                burn_fast,
+                burn_slow,
+                breached,
+            });
+        }
+        eval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    fn availability() -> Objective {
+        Objective {
+            name: "availability".into(),
+            kind: ObjectiveKind::Availability {
+                bad: vec!["sheds".into(), "errors".into()],
+                total: vec!["requests".into(), "errors".into(), "sheds".into()],
+                target: 0.999,
+            },
+        }
+    }
+
+    fn latency() -> Objective {
+        Objective {
+            name: "latency_p99".into(),
+            kind: ObjectiveKind::LatencyQuantile {
+                summary: "latency_ns".into(),
+                q: 0.99,
+                ceiling_ns: 1_000_000,
+            },
+        }
+    }
+
+    fn sample(ts_ns: u64, requests: u64, sheds: u64, lat: &[u64]) -> Sample {
+        let h = Histogram::new();
+        for &v in lat {
+            h.record(v);
+        }
+        let mut s = Sample {
+            ts_ns,
+            ..Sample::default()
+        };
+        s.counters.insert("requests".into(), requests);
+        s.counters.insert("errors".into(), 0);
+        s.counters.insert("sheds".into(), sheds);
+        s.summaries.insert("latency_ns".into(), h.summary());
+        s
+    }
+
+    #[test]
+    fn windows_scale_to_ring() {
+        let w = BurnWindows::scaled_to(300);
+        assert_eq!(w.fast, 30);
+        assert_eq!(w.slow, 300);
+        let tiny = BurnWindows::scaled_to(5);
+        assert_eq!(tiny.fast, 2);
+        assert_eq!(tiny.slow, 5);
+    }
+
+    #[test]
+    fn healthy_traffic_does_not_burn() {
+        let mut ring = SeriesRing::new(10);
+        ring.push(sample(1_000, 0, 0, &[]));
+        ring.push(sample(2_000, 100, 0, &[1000, 2000]));
+        let mut eng = SloEngine::new(vec![availability(), latency()], BurnWindows::scaled_to(10));
+        let eval = eng.evaluate(&ring);
+        assert_eq!(eval.statuses.len(), 2);
+        assert!(eval.statuses.iter().all(|s| !s.breached));
+        assert!(eval.crossed.is_empty());
+        assert_eq!(eval.statuses[0].burn_fast, 0.0);
+        // p99 ≈ 2047 vs 1ms ceiling → tiny but nonzero burn
+        assert!(eval.statuses[1].burn_fast > 0.0);
+        assert!(eval.statuses[1].burn_fast < 0.01);
+    }
+
+    #[test]
+    fn total_shedding_breaches_and_crosses_once() {
+        let mut ring = SeriesRing::new(10);
+        let mut eng = SloEngine::new(vec![availability()], BurnWindows::scaled_to(10));
+        ring.push(sample(1_000, 5, 0, &[]));
+        assert!(eng.evaluate(&ring).crossed.is_empty()); // single sample: no window
+        ring.push(sample(2_000, 5, 40, &[]));
+        let eval = eng.evaluate(&ring);
+        assert_eq!(eval.crossed, vec!["availability".to_string()]);
+        let st = &eval.statuses[0];
+        assert!(st.breached);
+        // bad fraction 1.0 against a 0.1% budget → burn 1000x
+        assert!(st.burn_fast > 900.0, "burn {}", st.burn_fast);
+        // still breached on the next tick, but the crossing fired already
+        ring.push(sample(3_000, 5, 80, &[]));
+        let again = eng.evaluate(&ring);
+        assert!(again.statuses[0].breached);
+        assert!(again.crossed.is_empty());
+        // recovery: budget stops burning once traffic is healthy again
+        let mut last = sample(4_000, 100_000, 80, &[]);
+        last.counters.insert("requests".into(), 1_000_000);
+        ring.push(last);
+        let rec = eng.evaluate(&ring);
+        assert!(!rec.statuses[0].breached);
+        assert_eq!(rec.recovered, vec!["availability".to_string()]);
+    }
+
+    #[test]
+    fn latency_ceiling_breach() {
+        let mut ring = SeriesRing::new(10);
+        let mut eng = SloEngine::new(vec![latency()], BurnWindows::scaled_to(10));
+        ring.push(sample(1_000, 0, 0, &[]));
+        ring.push(sample(2_000, 0, 0, &[5_000_000, 6_000_000]));
+        let eval = eng.evaluate(&ring);
+        let st = &eval.statuses[0];
+        assert!(st.breached, "burn {}", st.burn_fast);
+        assert!(st.burn_fast > 1.0);
+        assert_eq!(eval.crossed, vec!["latency_p99".to_string()]);
+    }
+
+    #[test]
+    fn status_json_roundtrip() {
+        let st = SloStatus {
+            objective: "availability".into(),
+            burn_fast: 12.5,
+            burn_slow: 0.25,
+            breached: true,
+        };
+        let mut w = JsonWriter::new();
+        st.write_json(&mut w);
+        let doc = crate::json::parse(&w.finish()).unwrap();
+        assert_eq!(SloStatus::from_json(&doc).unwrap(), st);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: log2-histogram quantile estimates stay within one
+//! bucket of the exact sample quantiles.
+//!
+//! The SLO engine turns `HistogramSummary::quantile` output into burn
+//! rates, so its error bound matters: by construction the estimate is the
+//! upper bound of the bucket holding the exact quantile (clamped to the
+//! recorded max), i.e. at most one bucket away. This pins that bound over
+//! seeded uniform, geometric-ish, and heavy-tailed distributions without
+//! an external property-testing dependency.
+
+use obs::metrics::{bucket_of, Histogram};
+
+/// splitmix64 — tiny, seedable, good enough distribution for test data.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Exact quantile by sorting, with the same ceil-rank convention the
+/// histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn draw(dist: usize, rng: &mut Rng) -> u64 {
+    match dist {
+        // uniform latencies, 1ns..1ms
+        0 => 1 + rng.below(1_000_000),
+        // geometric-ish: uniform bit length 0..=40, then uniform in bucket
+        1 => {
+            let bits = rng.below(41);
+            if bits == 0 {
+                0
+            } else {
+                let lo = 1u64 << (bits - 1);
+                lo + rng.below(lo)
+            }
+        }
+        // heavy tail: mostly fast, occasional 1000x outliers
+        _ => {
+            let base = 100 + rng.below(10_000);
+            if rng.below(100) < 3 {
+                base * 1000
+            } else {
+                base
+            }
+        }
+    }
+}
+
+#[test]
+fn p50_p99_within_one_bucket_of_exact_on_seeded_distributions() {
+    for dist in 0..3usize {
+        for seed in 0..24u64 {
+            let mut rng = Rng(0xfeed_0000 + seed * 7919 + dist as u64);
+            let h = Histogram::new();
+            let mut values: Vec<u64> = (0..1000).map(|_| draw(dist, &mut rng)).collect();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            let s = h.summary();
+            for q in [0.5, 0.99] {
+                let exact = exact_quantile(&values, q);
+                let est = s.quantile(q);
+                let (be, bx) = (bucket_of(est) as i64, bucket_of(exact) as i64);
+                assert!(
+                    (be - bx).abs() <= 1,
+                    "dist {dist} seed {seed} q{q}: estimate {est} (bucket {be}) vs exact {exact} (bucket {bx})"
+                );
+                // the estimate never undershoots the exact quantile by
+                // more than a bucket boundary and never exceeds the max
+                assert!(est <= s.max);
+                assert!(est >= exact / 2, "q{q}: {est} < {exact}/2");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantile_is_monotone_in_q() {
+    let mut rng = Rng(42);
+    let h = Histogram::new();
+    for _ in 0..500 {
+        h.record(draw(2, &mut rng));
+    }
+    let s = h.summary();
+    let qs = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0];
+    let est: Vec<u64> = qs.iter().map(|&q| s.quantile(q)).collect();
+    assert!(est.windows(2).all(|w| w[0] <= w[1]), "{est:?}");
+    assert_eq!(*est.last().unwrap(), s.max);
+}

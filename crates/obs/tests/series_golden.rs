@@ -1,0 +1,121 @@
+//! Golden-file pinning of the `metadis.series.v1` history document.
+//!
+//! [`obs::series::write_history_json`] is pure (no clocks, no global
+//! state), so a fixed sample window must serialize byte-for-byte to the
+//! checked-in golden forever. Changing any byte of the encoding is a
+//! schema break and needs a new schema tag, not a blessed golden.
+//!
+//! Regenerate after an *intentional* schema change with
+//! `BLESS=1 cargo test -p obs --test series_golden`.
+
+use obs::metrics::Histogram;
+use obs::series::{samples_from_json, write_history_json, Sample, SCHEMA};
+use obs::slo::SloStatus;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/series_v1_golden.json"
+);
+
+/// Three samples exercising every field shape: an empty warm-up sample, a
+/// steady sample with counters/gauges/summaries, and a breached sample
+/// with SLO statuses attached.
+fn sample_window() -> Vec<Sample> {
+    let warmup = Sample {
+        ts_ns: 1_000_000,
+        slo: vec![SloStatus {
+            objective: "availability".into(),
+            burn_fast: 0.0,
+            burn_slow: 0.0,
+            breached: false,
+        }],
+        ..Sample::default()
+    };
+
+    let mut steady = Sample {
+        ts_ns: 1_001_000_000,
+        ..Sample::default()
+    };
+    for (k, v) in [("errors", 1u64), ("requests", 240), ("sheds", 0)] {
+        steady.counters.insert(k.into(), v);
+    }
+    for (k, v) in [("connections", 4u64), ("inflight", 2), ("queue_depth", 0)] {
+        steady.gauges.insert(k.into(), v);
+    }
+    let lat = Histogram::new();
+    for v in [90_000u64, 120_000, 130_000, 2_000_000] {
+        lat.record(v);
+    }
+    steady.summaries.insert("latency_ns".into(), lat.summary());
+    steady.slo = vec![
+        SloStatus {
+            objective: "availability".into(),
+            burn_fast: 4.167,
+            burn_slow: 4.167,
+            breached: false,
+        },
+        SloStatus {
+            objective: "latency_p99".into(),
+            burn_fast: 0.001,
+            burn_slow: 0.001,
+            breached: false,
+        },
+    ];
+
+    let mut breached = steady.clone();
+    breached.ts_ns = 2_001_000_000;
+    breached.counters.insert("sheds".into(), 160);
+    breached.gauges.insert("queue_depth".into(), 64);
+    breached.slo = vec![
+        SloStatus {
+            objective: "availability".into(),
+            burn_fast: 400.0,
+            burn_slow: 250.5,
+            breached: true,
+        },
+        SloStatus {
+            objective: "latency_p99".into(),
+            burn_fast: 0.001,
+            burn_slow: 0.001,
+            breached: false,
+        },
+    ];
+
+    vec![warmup, steady, breached]
+}
+
+#[test]
+fn series_v1_history_matches_golden_byte_for_byte() {
+    let got = write_history_json(1000, 300, &sample_window());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap();
+    assert_eq!(
+        got, want,
+        "metadis.series.v1 encoding drifted; a byte-level change needs a new schema tag"
+    );
+}
+
+#[test]
+fn golden_document_is_well_formed_and_roundtrips() {
+    let text = std::fs::read_to_string(GOLDEN).unwrap();
+    let doc = obs::json::parse(&text).expect("golden parses as JSON");
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+    for key in ["schema", "interval_ms", "window", "samples"] {
+        assert!(doc.get(key).is_some(), "missing {key}");
+    }
+    let raw = doc.get("samples").unwrap().as_arr().unwrap();
+    assert_eq!(raw.len(), 3);
+    for s in raw {
+        for key in ["ts_ns", "counters", "gauges", "summaries", "slo"] {
+            assert!(s.get(key).is_some(), "sample missing {key}");
+        }
+    }
+    // the client parser accepts its own golden and reproduces the window
+    let back = samples_from_json(&doc).expect("golden roundtrips");
+    assert_eq!(back, sample_window());
+    // re-serializing the parse tree reproduces the bytes (writer/parser
+    // are exact inverses on this schema)
+    assert_eq!(doc.to_json(), text);
+}

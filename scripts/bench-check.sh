@@ -14,7 +14,9 @@
 # injection against the nonblocking service front-end) and checks its
 # metadis.bench.serve.v1 record: zero crashes, /healthz live under hostile
 # clients, two-sided shed behavior under 2x overload (sheds AND successes),
-# and a generous p99 latency ceiling.
+# and a generous p99 latency ceiling. It also gates the series-sampler
+# overhead: the bench's interleaved best-of A/B arms (sampler off vs a 10ms
+# tick) must show under 2% RPS cost.
 #
 # Regenerate the baselines after an intentional perf-relevant change with:
 #   QUICK=1 BENCH_JSON_DIR=tests/data/bench \
@@ -81,7 +83,7 @@ echo "== bench-check: serve gate vs $SERVE_BASELINE"
 field() { sed -n "s/.*\"$2\":\([0-9.]*\).*/\1/p" "$1"; }
 flag()  { sed -n "s/.*\"$2\":\(true\|false\).*/\1/p" "$1"; }
 SERVE_JSON="$TMP/BENCH_serve.json"
-for f in crashes overload_shed overload_success p99_ns; do
+for f in crashes overload_shed overload_success p99_ns sampler_overhead_pct rps_sampler_off; do
     if [[ -z "$(field "$SERVE_JSON" "$f")" ]]; then
         echo "bench-check: serve record carried no '$f' field" >&2
         exit 3
@@ -118,5 +120,16 @@ if ! awk -v p="$P99" 'BEGIN { exit !(p <= 5000000000) }'; then
 fi
 echo "bench-check: serve p99 = ${P99}ns, overload shed/success = \
 $(field "$SERVE_JSON" overload_shed)/$(field "$SERVE_JSON" overload_success), crashes = 0"
+
+echo "== bench-check: series-sampler overhead gate"
+# Best-of-N interleaved arms: sampler off vs a 10ms tick (100x the default
+# rate). Over 2% RPS cost means the sampler leaked onto the request path.
+OVERHEAD="$(field "$SERVE_JSON" sampler_overhead_pct)"
+if ! awk -v o="$OVERHEAD" 'BEGIN { exit !(o <= 2.0) }'; then
+    echo "bench-check: series sampler costs ${OVERHEAD}% RPS, past the 2% budget" >&2
+    exit 5
+fi
+echo "bench-check: sampler overhead = ${OVERHEAD}% \
+(off $(field "$SERVE_JSON" rps_sampler_off) rps, on $(field "$SERVE_JSON" rps) rps)"
 
 echo "bench-check passed."

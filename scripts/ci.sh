@@ -78,6 +78,50 @@ cargo run --release --offline --bin metadis -- \
   --trace-json artifacts/ci-trace.json > artifacts/ci-metrics.txt
 cp "$TD_TMP/trace.json" artifacts/ci-trace-gate.json 2>/dev/null || true
 
+echo "== series-history soak snapshot"
+# Short live-serve soak with a fast sampler tick: discover the ephemeral
+# port from the structured 'listening' log event, drive a few requests
+# through the repo's own scrape client, then save the rolling
+# /debug/metrics/history ring and one `metadis top --once` frame as
+# artifacts. A file dropped into the watch dir satisfies --max-requests
+# and lets the server drain and exit cleanly.
+SOAK_WATCH="$TD_TMP/soak-watch"
+SOAK_LOG="$TD_TMP/soak.log"
+mkdir -p "$SOAK_WATCH"
+cargo run --release --offline --bin metadis -- \
+  gen -o "$TD_TMP/soak.elf" --seed 43 --functions 8
+cargo run --release --offline --bin metadis -- \
+  serve --watch "$SOAK_WATCH" --max-requests 1 --poll-ms 20 \
+  --series-interval-ms 50 --log "$SOAK_LOG" >/dev/null &
+SOAK_PID=$!
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR="$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$SOAK_LOG" 2>/dev/null | head -n1)"
+  [[ -n "$ADDR" ]] && break
+  sleep 0.05
+done
+if [[ -z "$ADDR" ]]; then
+  echo "ci: soak server never logged its listening address" >&2
+  kill "$SOAK_PID" 2>/dev/null || true
+  exit 1
+fi
+for _ in 1 2 3; do
+  cargo run --release --offline --bin metadis -- \
+    scrape "$ADDR" --path "/analyze?path=$TD_TMP/soak.elf" >/dev/null
+done
+sleep 0.3  # ≥2 sampler ticks at 50ms
+cargo run --release --offline --bin metadis -- \
+  scrape "$ADDR" --path /debug/metrics/history > artifacts/ci-series-history.json
+cargo run --release --offline --bin metadis -- \
+  top "$ADDR" --once > artifacts/ci-top.txt
+grep -q '"schema":"metadis.series.v1"' artifacts/ci-series-history.json || {
+  echo "ci: history snapshot is not a metadis.series.v1 document" >&2
+  kill "$SOAK_PID" 2>/dev/null || true
+  exit 1
+}
+cp "$TD_TMP/soak.elf" "$SOAK_WATCH/done.elf"
+wait "$SOAK_PID"
+
 echo "== flight-recorder profile artifacts"
 # Profile the same seed corpus at 4 threads with the flight recorder on and
 # upload both views of the run: the Chrome trace-event JSON (loadable in

@@ -18,6 +18,9 @@
 //!   file, or a watched directory while exposing Prometheus `/metrics` and
 //!   `/healthz` over HTTP (see [`crate::serve`]).
 //! * `scrape <host:port>` — fetch and print a serve-mode endpoint.
+//! * `top <host:port>` — live service console: poll the serve-mode
+//!   `/debug/metrics/history` ring and render rates, windowed latency
+//!   quantiles, and SLO burn rates as an auto-refreshing table.
 //!
 //! Every analysis command also accepts `--threads N` (worker threads for
 //! the sharded pipeline phases and batch processing; the output is
@@ -149,7 +152,10 @@ USAGE:
     metadis serve [--addr HOST:PORT] [--from FILE | --watch DIR]
                 [--max-requests N] [--poll-ms N] [--max-inflight N]
                 [--queue-depth N] [--client-deadline-ms N] [--drain-ms N]
+                [--series-interval-ms N] [--series-window N]
     metadis scrape <host:port> [--path /metrics]
+    metadis top <host:port> [--once] [--interval-ms N] [--count N]
+                [--rows N]
 
 OPTIONS:
     --listing       print a full annotated listing instead of the summary
@@ -215,9 +221,22 @@ SERVE:
                        analysis deadline (default 10000; 0 = unlimited)
     --drain-ms N       graceful-shutdown drain bound for in-flight work
                        (default 2000)
+    --series-interval-ms N
+                       metric time-series sampler tick feeding
+                       /debug/metrics/history and the SLO burn gauges
+                       (default 1000; 0 disables sampling)
+    --series-window N  samples the history ring retains; also scales the
+                       SLO burn windows (default 300, minimum 2)
 
 SCRAPE:
     --path P           endpoint to fetch (default /metrics)
+
+TOP (live console over /debug/metrics/history; rates and windowed
+quantiles are derived client-side from adjacent samples):
+    --once             print one frame and exit instead of refreshing
+    --interval-ms N    refresh interval (default 1000)
+    --count N          stop after N refreshes (default: run until ^C)
+    --rows N           table rows to show, newest last (default 10)
 
 EXPLAIN:
     --json             emit the metadis.explain.v1 JSON record instead of
@@ -318,6 +337,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
         "trace-diff" => cmd_trace_diff(&rest)?,
         "serve" => cmd_serve(&rest)?,
         "scrape" => cmd_scrape(&rest)?,
+        "top" => cmd_top(&rest)?,
         "help" | "--help" | "-h" => CmdOutput::text_only(USAGE.to_string()),
         other => return Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -526,6 +546,7 @@ fn positionals<'a>(rest: &'a [&String]) -> Vec<&'a str> {
                     | "json"
                     | "allow-degradations"
                     | "profile-summary"
+                    | "once"
             );
             continue;
         }
@@ -1123,6 +1144,18 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
             .parse()
             .map_err(|_| err("--drain-ms expects an integer"))?;
     }
+    if let Some(v) = flag_value(rest, "--series-interval-ms") {
+        opts.series_interval_ms = v
+            .parse()
+            .map_err(|_| err("--series-interval-ms expects an integer"))?;
+    }
+    if let Some(v) = flag_value(rest, "--series-window") {
+        opts.series_window = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 2)
+            .ok_or_else(|| err("--series-window expects an integer >= 2"))?;
+    }
     let server = crate::serve::Server::start_with(addr, opts, cfg.clone())
         .map_err(|e| io_err(format!("cannot bind '{addr}': {e}")))?;
 
@@ -1218,6 +1251,128 @@ fn cmd_scrape(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let body = crate::serve::scrape(addr, path)
         .map_err(|e| io_err(format!("scrape {addr}{path}: {e}")))?;
     Ok(CmdOutput::text_only(body))
+}
+
+/// Live service console: poll `/debug/metrics/history`, derive rates and
+/// windowed quantiles from adjacent samples *client-side*, and render an
+/// auto-refreshing table. Works against any running instance — the server
+/// only ever ships cumulative snapshots.
+fn cmd_top(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let addr =
+        positional(rest).ok_or_else(|| err(format!("top: missing <host:port>\n\n{USAGE}")))?;
+    let addr = addr
+        .strip_prefix("http://")
+        .unwrap_or(addr)
+        .trim_end_matches('/');
+    let once = has_flag(rest, "--once");
+    let interval_ms: u64 = match flag_value(rest, "--interval-ms") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| err("--interval-ms expects an integer"))?,
+        None => 1000,
+    };
+    let count: u64 = match flag_value(rest, "--count") {
+        Some(v) => v.parse().map_err(|_| err("--count expects an integer"))?,
+        None => 0,
+    };
+    let rows: usize = match flag_value(rest, "--rows") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| err("--rows expects a positive integer"))?,
+        None => 10,
+    };
+    let refreshes = match (once, count) {
+        (true, _) => 1,
+        (false, 0) => u64::MAX,
+        (false, n) => n,
+    };
+    let mut frame;
+    let mut done = 0u64;
+    loop {
+        let body = crate::http::fetch(addr, "/debug/metrics/history")
+            .map_err(|e| io_err(format!("top {addr}/debug/metrics/history: {e}")))?;
+        frame = render_top(addr, &body, rows)?;
+        done += 1;
+        if done >= refreshes {
+            break;
+        }
+        // Live mode: repaint in place (clear screen + home), then sleep
+        // until the next poll. The final frame is returned as the command
+        // output so `--once` behaves like any other one-shot command.
+        use std::io::Write as _;
+        let mut out = std::io::stdout().lock();
+        let _ = write!(out, "\x1b[2J\x1b[H{frame}");
+        let _ = out.flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    Ok(CmdOutput::text_only(frame))
+}
+
+/// Render one `top` frame from a `metadis.series.v1` body: an SLO
+/// headline off the newest sample plus one table row per adjacent sample
+/// pair (newest last), capped at `rows`.
+fn render_top(addr: &str, body: &str, rows: usize) -> Result<String, CliError> {
+    let doc = obs::json::parse(body)
+        .map_err(|e| parse_err(format!("top: history endpoint answered invalid JSON: {e}")))?;
+    let samples = obs::series::samples_from_json(&doc).ok_or_else(|| {
+        parse_err("top: server did not answer a metadis.series.v1 document (old build?)")
+    })?;
+    let interval_ms = doc.get("interval_ms").and_then(|v| v.as_u64()).unwrap_or(0);
+    let window = doc.get("window").and_then(|v| v.as_u64()).unwrap_or(0);
+    let mut out = format!(
+        "metadis top — {addr}  interval={interval_ms}ms  window={window}  samples={}\n",
+        samples.len()
+    );
+    if samples.len() < 2 {
+        out.push_str("warming up: need two samples to derive rates (is the sampler enabled?)\n");
+        return Ok(out);
+    }
+    let newest = samples.last().expect("checked non-empty");
+    if !newest.slo.is_empty() {
+        out.push_str("slo:");
+        for s in &newest.slo {
+            out.push_str(&format!(
+                " {} fast={} slow={}{}",
+                s.objective,
+                s.burn_fast,
+                s.burn_slow,
+                if s.breached { " [BREACHED]" } else { "" }
+            ));
+        }
+        out.push('\n');
+    }
+    let mut t = obs::TextTable::new([
+        "t(s)", "rps", "err/s", "shed/s", "queue", "inflight", "p50(ms)", "p99(ms)", "burn",
+    ]);
+    let lo = samples.len().saturating_sub(rows + 1);
+    for pair in samples[lo..].windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let lat = obs::series::window_summary(b, a, "latency_ns");
+        let (p50, p99) = if lat.count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                lat.quantile(0.5) as f64 / 1e6,
+                lat.quantile(0.99) as f64 / 1e6,
+            )
+        };
+        let burn = b.slo.iter().map(|s| s.burn_fast).fold(0.0, f64::max);
+        t.row([
+            format!("{:.1}", b.ts_ns as f64 / 1e9),
+            format!("{:.1}", obs::series::rate_per_sec(b, a, "requests")),
+            format!("{:.1}", obs::series::rate_per_sec(b, a, "errors")),
+            format!("{:.1}", obs::series::rate_per_sec(b, a, "sheds")),
+            b.gauge("queue_depth").to_string(),
+            b.gauge("inflight").to_string(),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            format!("{burn}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
 }
 
 #[cfg(test)]

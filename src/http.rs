@@ -252,6 +252,20 @@ pub fn request(
     Ok((code, body.to_string()))
 }
 
+/// `GET path` against `addr` and return the body; any non-200 status is an
+/// error carrying the status code. The one keep-alive-less client path
+/// shared by `metadis scrape`, `metadis top`, and the tests — one fresh
+/// connection per call, `Connection: close`, bounded 10s timeouts.
+pub fn fetch(addr: &str, path: &str) -> std::io::Result<String> {
+    let (status, body) = request(addr, "GET", path, None)?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!(
+            "server answered '{status}' for {path}"
+        )));
+    }
+    Ok(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,11 +36,25 @@
 //!   is draining, so load balancers rotate a drowning instance out.
 //! * `GET|POST /analyze` — submit one ELF path (`?path=` or request body);
 //!   answers a JSON summary, a structured error, or a `503` shed.
-//! * `GET /metrics` — Prometheus text exposition of the service counters,
-//!   including the shed/bad-request/disconnect counters and the
-//!   request-latency and queue-wait summaries.
+//! * `GET /metrics` — Prometheus text exposition of the service counters
+//!   (request totals and latency summaries labeled by `endpoint`), the
+//!   shed/bad-request/disconnect counters, a `metadis_build_info` gauge,
+//!   and the `metadis_slo_*` burn-rate gauges.
 //! * `GET /debug/timeline` — Chrome trace-event JSON of the rolling flight
 //!   buffer (the last [`FLIGHT_CAPACITY`] request timelines).
+//! * `GET /debug/metrics/history` — the rolling time-series ring as a
+//!   `metadis.series.v1` JSON document: cumulative snapshots taken by the
+//!   reactor every [`ServeOptions::series_interval_ms`] (bounded by
+//!   [`ServeOptions::series_window`]), each carrying counters, gauges,
+//!   histogram summaries, and the SLO verdicts. `metadis top` renders it
+//!   live; rates and windowed quantiles are derived client-side.
+//!
+//! A **sampler** on the reactor thread snapshots the counters into an
+//! [`obs::series::SeriesRing`] each tick and feeds an [`obs::slo::SloEngine`]
+//! evaluating multi-window burn rates (availability vs a 99.9% target,
+//! p99 latency vs a 5s ceiling). Threshold crossings emit one `slo burn`
+//! warn event; the current verdicts ride `/metrics`, `/healthz`'s 503
+//! JSON, and every history sample.
 //!
 //! Shutdown is graceful: [`Server::shutdown`] (or drop) refuses new
 //! connections, drains queued and in-flight work bounded by
@@ -55,6 +69,8 @@ use crate::http::{self, RequestParser};
 use disasm_core::limits::Deadline;
 use disasm_core::{Config, Disassembler, Image};
 use obs::log::Value;
+use obs::series::{Sample, SeriesRing};
+use obs::slo::{BurnWindows, Objective, ObjectiveKind, SloEngine, SloStatus};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -82,6 +98,14 @@ pub struct ServeOptions {
     /// How long [`Server::shutdown`] waits for queued and in-flight work
     /// to drain before forcing connections closed.
     pub drain_ms: u64,
+    /// Tick of the metric time-series sampler, milliseconds. The reactor
+    /// snapshots every counter/gauge/summary into the history ring on this
+    /// cadence and re-evaluates the SLO engine. `0` disables sampling
+    /// (`/debug/metrics/history` answers an empty window).
+    pub series_interval_ms: u64,
+    /// How many samples the history ring retains (oldest evicted first);
+    /// also scales the SLO burn windows. Clamped to ≥ 2.
+    pub series_window: usize,
 }
 
 impl Default for ServeOptions {
@@ -91,8 +115,33 @@ impl Default for ServeOptions {
             queue_depth: 64,
             client_deadline_ms: 10_000,
             drain_ms: 2_000,
+            series_interval_ms: 1_000,
+            series_window: 300,
         }
     }
+}
+
+/// Endpoint label values for the per-endpoint request counter and latency
+/// summary. `"batch"` is the serve command's stdin/file/watch ingestion
+/// path; `"other"` catches 404s and rejected methods.
+const ENDPOINTS: [&str; 7] = [
+    "/analyze",
+    "batch",
+    "/metrics",
+    "/healthz",
+    "/debug/timeline",
+    "/debug/metrics/history",
+    "other",
+];
+const EP_ANALYZE: usize = 0;
+const EP_BATCH: usize = 1;
+
+/// Label index for a request path.
+fn endpoint_index(path: &str) -> usize {
+    ENDPOINTS
+        .iter()
+        .position(|&e| e == path)
+        .unwrap_or(ENDPOINTS.len() - 1)
 }
 
 /// One request's captured flight-recorder timeline, kept in the rolling
@@ -139,8 +188,11 @@ struct State {
     alloc_bytes: AtomicU64,
     alloc_peak: AtomicU64,
     http_requests: AtomicU64,
+    endpoint_requests: [AtomicU64; ENDPOINTS.len()],
+    endpoint_latency: [obs::Histogram; ENDPOINTS.len()],
     latency: obs::Histogram,
     queue_wait: obs::Histogram,
+    series: Mutex<SeriesTracker>,
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     completions: Mutex<Vec<(u64, Vec<u8>)>>,
@@ -148,6 +200,172 @@ struct State {
     flight_dumps: AtomicU64,
     draining: AtomicBool,
     stop: AtomicBool,
+}
+
+/// The rolling metric history and its SLO engine, sampled by the reactor
+/// on the [`ServeOptions::series_interval_ms`] tick. One mutex, touched
+/// once per tick and per `/debug/metrics/history` or `/healthz` render —
+/// never on the request path.
+#[derive(Debug)]
+struct SeriesTracker {
+    /// Monotonic origin for sample timestamps (server start).
+    origin: Instant,
+    ring: SeriesRing,
+    engine: SloEngine,
+    /// Statuses from the most recent evaluation, for `/metrics` gauges and
+    /// the `/healthz` detail block between ticks.
+    statuses: Vec<SloStatus>,
+}
+
+impl Default for SeriesTracker {
+    fn default() -> SeriesTracker {
+        SeriesTracker::new(&ServeOptions::default())
+    }
+}
+
+impl SeriesTracker {
+    fn new(opts: &ServeOptions) -> SeriesTracker {
+        let cap = opts.series_window.max(2);
+        SeriesTracker {
+            origin: Instant::now(),
+            ring: SeriesRing::new(cap),
+            engine: SloEngine::new(slo_objectives(), BurnWindows::scaled_to(cap)),
+            statuses: Vec::new(),
+        }
+    }
+}
+
+/// The service's declarative SLOs.
+///
+/// * `availability` — sheds + errors may consume at most 0.1% of attempted
+///   requests (0.999 target) before the budget burns at 1.0.
+/// * `latency_p99` — the windowed p99 of per-request service latency must
+///   stay under 5s (the same ceiling the serve bench gates on).
+fn slo_objectives() -> Vec<Objective> {
+    vec![
+        Objective {
+            name: "availability".to_string(),
+            kind: ObjectiveKind::Availability {
+                bad: vec!["sheds".to_string(), "errors".to_string()],
+                total: vec![
+                    "requests".to_string(),
+                    "errors".to_string(),
+                    "sheds".to_string(),
+                ],
+                target: 0.999,
+            },
+        },
+        Objective {
+            name: "latency_p99".to_string(),
+            kind: ObjectiveKind::LatencyQuantile {
+                summary: "latency_ns".to_string(),
+                q: 0.99,
+                ceiling_ns: 5_000_000_000,
+            },
+        },
+    ]
+}
+
+/// Snapshot every cumulative counter, gauge, and histogram into one
+/// [`Sample`] at `ts_ns`.
+fn build_sample(st: &State, ts_ns: u64) -> Sample {
+    let mut s = Sample {
+        ts_ns,
+        ..Sample::default()
+    };
+    for (name, v) in [
+        ("requests", &st.requests),
+        ("errors", &st.errors),
+        ("sheds", &st.sheds),
+        ("shed_queue", &st.shed_queue),
+        ("shed_deadline", &st.shed_deadline),
+        ("shed_connections", &st.shed_connections),
+        ("bad_requests", &st.bad_requests),
+        ("disconnects", &st.disconnects),
+        ("http_requests", &st.http_requests),
+        ("text_bytes", &st.text_bytes),
+        ("instructions", &st.instructions),
+        ("degradations", &st.degradations),
+    ] {
+        s.counters
+            .insert(name.to_string(), v.load(Ordering::Relaxed));
+    }
+    for (name, v) in [
+        ("connections", &st.connections),
+        ("queue_depth", &st.queue_len),
+        ("inflight", &st.analysis_inflight),
+    ] {
+        s.gauges.insert(name.to_string(), v.load(Ordering::Relaxed));
+    }
+    s.summaries
+        .insert("latency_ns".to_string(), st.latency.summary());
+    s.summaries
+        .insert("queue_wait_ns".to_string(), st.queue_wait.summary());
+    s
+}
+
+/// One sampler tick: push a snapshot into the ring, re-evaluate the SLO
+/// engine against it, attach the statuses to the sample, and log burn
+/// threshold crossings (once per crossing, not per tick).
+fn sample_series(st: &State) {
+    let eval = {
+        let mut tr = st.series.lock().unwrap();
+        let ts_ns = tr.origin.elapsed().as_nanos() as u64;
+        let sample = build_sample(st, ts_ns);
+        let SeriesTracker {
+            ring,
+            engine,
+            statuses,
+            ..
+        } = &mut *tr;
+        ring.push(sample);
+        let eval = engine.evaluate(ring);
+        if let Some(latest) = ring.latest_mut() {
+            latest.slo = eval.statuses.clone();
+        }
+        statuses.clone_from(&eval.statuses);
+        eval
+    };
+    for name in &eval.crossed {
+        let s = eval
+            .statuses
+            .iter()
+            .find(|s| &s.objective == name)
+            .expect("crossed objective has a status");
+        obs::log::warn(
+            "serve",
+            "slo burn",
+            &[
+                ("objective", Value::Str(name.clone())),
+                ("burn_fast", Value::F64(s.burn_fast)),
+                ("burn_slow", Value::F64(s.burn_slow)),
+            ],
+        );
+    }
+    for name in &eval.recovered {
+        obs::log::info(
+            "serve",
+            "slo recovered",
+            &[("objective", Value::Str(name.clone()))],
+        );
+    }
+}
+
+/// `metadis.series.v1` JSON of the current history ring, for
+/// `/debug/metrics/history`.
+fn render_history(st: &State) -> String {
+    let tr = st.series.lock().unwrap();
+    obs::series::write_history_json(
+        st.opts.series_interval_ms,
+        st.opts.series_window,
+        tr.ring.iter(),
+    )
+}
+
+/// Account one answered request against its endpoint label.
+fn note_endpoint(st: &State, ep: usize, latency_ns: u64) {
+    st.endpoint_requests[ep].fetch_add(1, Ordering::Relaxed);
+    st.endpoint_latency[ep].record(latency_ns);
 }
 
 /// Outcome of one processed request, for the serve loop's own accounting.
@@ -196,6 +414,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let state = Arc::new(State {
             opts,
+            series: Mutex::new(SeriesTracker::new(&opts)),
             ..State::default()
         });
         let reactor_state = Arc::clone(&state);
@@ -244,7 +463,7 @@ impl Server {
     /// Disassemble the ELF at `path` with `cfg`, folding the run into the
     /// service counters and emitting request-scoped log events.
     pub fn process_path(&self, path: &str, cfg: &Config) -> Result<RequestSummary, String> {
-        process_on(&self.state, path, cfg)
+        process_on(&self.state, path, cfg, EP_BATCH)
     }
 
     /// Disassemble a batch of ELF paths concurrently on a bounded worker
@@ -338,9 +557,9 @@ impl Drop for Server {
 
 /// Disassemble the ELF at `path` with `cfg` on the calling thread, folding
 /// the run into the service counters, the latency histogram, the flight
-/// buffer, and the structured log. Shared by the batch entry points and
-/// the dispatcher's HTTP jobs.
-fn process_on(st: &State, path: &str, cfg: &Config) -> Result<RequestSummary, String> {
+/// buffer, and the structured log. Shared by the batch entry points
+/// (`ep` = [`EP_BATCH`]) and the dispatcher's HTTP jobs ([`EP_ANALYZE`]).
+fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<RequestSummary, String> {
     obs::log::info(
         "serve",
         "request begin",
@@ -353,7 +572,9 @@ fn process_on(st: &State, path: &str, cfg: &Config) -> Result<RequestSummary, St
         Ok(img) => img,
         Err(e) => {
             obs::timeline::end("serve.request");
-            st.latency.record(started.elapsed().as_nanos() as u64);
+            let elapsed_ns = started.elapsed().as_nanos() as u64;
+            st.latency.record(elapsed_ns);
+            note_endpoint(st, ep, elapsed_ns);
             st.errors.fetch_add(1, Ordering::Relaxed);
             capture_flight(st, path, tl_mark);
             obs::log::error(
@@ -388,7 +609,9 @@ fn process_on(st: &State, path: &str, cfg: &Config) -> Result<RequestSummary, St
     st.alloc_peak
         .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
     obs::timeline::end("serve.request");
-    st.latency.record(started.elapsed().as_nanos() as u64);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    st.latency.record(elapsed_ns);
+    note_endpoint(st, ep, elapsed_ns);
     capture_flight(st, path, tl_mark);
     obs::log::info(
         "serve",
@@ -527,11 +750,12 @@ fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
     let waited_ns = job.queued.elapsed().as_nanos() as u64;
     st.queue_wait.record(waited_ns);
     if job.deadline.exceeded() {
+        note_endpoint(st, EP_ANALYZE, waited_ns);
         return shed(st, "deadline", &job.path);
     }
     let remaining_ns = job.deadline.remaining_ns();
     let result = if remaining_ns == u64::MAX {
-        process_on(st, &job.path, cfg)
+        process_on(st, &job.path, cfg, EP_ANALYZE)
     } else {
         // Queue wait spent part of the client's budget; the analysis gets
         // only what is left (floored at 1ms so the run degrades through
@@ -542,7 +766,7 @@ fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
             Some(ms) => ms.min(remaining_ms),
             None => remaining_ms,
         });
-        process_on(st, &job.path, &scoped)
+        process_on(st, &job.path, &scoped, EP_ANALYZE)
     };
     match result {
         Ok(s) => {
@@ -629,8 +853,21 @@ fn run_reactor(listener: TcpListener, st: &Arc<State>) {
         0 => u64::MAX,
         ms => ms.saturating_mul(1_000_000),
     };
+    let series_tick =
+        (st.opts.series_interval_ms > 0).then(|| Duration::from_millis(st.opts.series_interval_ms));
+    let mut last_sample = Instant::now();
     while !st.stop.load(Ordering::Relaxed) {
         let mut progressed = false;
+        // Series sampler: snapshot the counters into the history ring and
+        // re-evaluate the SLOs on the configured tick. Runs on the reactor
+        // thread (resolution bounded by the 1ms idle sleep), so the
+        // request path pays nothing for it.
+        if let Some(tick) = series_tick {
+            if last_sample.elapsed() >= tick {
+                sample_series(st);
+                last_sample = Instant::now();
+            }
+        }
         // Accept — up to the connection cap; beyond it (or while
         // draining), answer a structured 503 best-effort and close.
         loop {
@@ -784,6 +1021,8 @@ fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> 
 /// `/analyze` goes through admission control.
 fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
     st.http_requests.fetch_add(1, Ordering::Relaxed);
+    let ep = endpoint_index(req.path());
+    let sw = obs::Stopwatch::start();
     let method = req.method.as_str();
     if method != "GET" && method != "POST" {
         c.start_write(http::respond(
@@ -791,19 +1030,25 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
             "application/json",
             &error_body("method not allowed", "usage"),
         ));
+        note_endpoint(st, ep, sw.elapsed_ns());
         return;
     }
     match req.path() {
-        "/metrics" => c.start_write(http::respond(
-            "200 OK",
-            "text/plain; version=0.0.4",
-            &render_prometheus(st),
-        )),
-        "/debug/timeline" => c.start_write(http::respond(
-            "200 OK",
-            "application/json",
-            &render_timeline(st),
-        )),
+        "/metrics" => {
+            let body = render_prometheus(st);
+            c.start_write(http::respond("200 OK", "text/plain; version=0.0.4", &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
+        "/debug/timeline" => {
+            let body = render_timeline(st);
+            c.start_write(http::respond("200 OK", "application/json", &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
+        "/debug/metrics/history" => {
+            let body = render_history(st);
+            c.start_write(http::respond("200 OK", "application/json", &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
         "/healthz" => {
             let (ready, body) = readiness(st);
             let status = if ready {
@@ -817,6 +1062,7 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
                 "application/json"
             };
             c.start_write(http::respond(status, content_type, &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/analyze" => {
             let path = req.query_param("path").map(str::to_string).or_else(|| {
@@ -830,11 +1076,13 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
                     "application/json",
                     &error_body("missing ELF path ('?path=' or request body)", "usage"),
                 ));
+                note_endpoint(st, ep, sw.elapsed_ns());
                 return;
             };
             if st.draining.load(Ordering::Relaxed) {
                 let body = shed(st, "draining", &path);
                 c.start_write(body);
+                note_endpoint(st, ep, sw.elapsed_ns());
                 return;
             }
             let mut q = st.queue.lock().unwrap();
@@ -843,6 +1091,7 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
                 st.shed_queue.fetch_add(1, Ordering::Relaxed);
                 let body = shed(st, "queue-full", &path);
                 c.start_write(body);
+                note_endpoint(st, ep, sw.elapsed_ns());
             } else {
                 q.push_back(Job {
                     conn: id,
@@ -853,14 +1102,20 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
                 st.queue_len.store(q.len() as u64, Ordering::Relaxed);
                 drop(q);
                 st.queue_cv.notify_one();
+                // Admitted: the endpoint is accounted when the worker
+                // answers (`handle_job` / `process_on`), with the same
+                // load+analysis latency the overall summary records.
                 c.state = ConnState::Waiting;
             }
         }
-        _ => c.start_write(http::respond(
-            "404 Not Found",
-            "application/json",
-            &error_body("not found", "usage"),
-        )),
+        _ => {
+            c.start_write(http::respond(
+                "404 Not Found",
+                "application/json",
+                &error_body("not found", "usage"),
+            ));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
     }
 }
 
@@ -926,6 +1181,14 @@ fn readiness(st: &State) -> (bool, String) {
     w.field_u64("inflight", st.analysis_inflight.load(Ordering::Relaxed));
     w.field_u64("connections", st.connections.load(Ordering::Relaxed));
     w.field_u64("shed_total", st.sheds.load(Ordering::Relaxed));
+    // SLO detail: which objectives are burning while the instance is
+    // unready, so an operator can tell saturation from a budget incident.
+    w.key("slo");
+    w.begin_arr();
+    for s in &st.series.lock().unwrap().statuses {
+        s.write_json(&mut w);
+    }
+    w.end_arr();
     w.end_obj();
     (false, w.finish())
 }
@@ -948,7 +1211,18 @@ fn render_timeline(st: &State) -> String {
 }
 
 fn render_prometheus(st: &State) -> String {
-    let mut out = String::with_capacity(2048);
+    let mut out = String::with_capacity(4096);
+    // Per-endpoint request counter: every answered request, labeled by
+    // what it hit ("batch" = the serve command's stdin/file/watch path).
+    out.push_str(
+        "# HELP metadis_requests_total Requests answered, by endpoint.\n# TYPE metadis_requests_total counter\n",
+    );
+    for (i, ep) in ENDPOINTS.iter().enumerate() {
+        out.push_str(&format!(
+            "metadis_requests_total{{endpoint=\"{ep}\"}} {}\n",
+            st.endpoint_requests[i].load(Ordering::Relaxed)
+        ));
+    }
     let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
         out.push_str("# HELP ");
         out.push_str(name);
@@ -964,12 +1238,6 @@ fn render_prometheus(st: &State) -> String {
         out.push_str(&value.to_string());
         out.push('\n');
     };
-    metric(
-        "metadis_requests_total",
-        "counter",
-        "Disassembly requests processed.",
-        st.requests.load(Ordering::Relaxed),
-    );
     metric(
         "metadis_request_errors_total",
         "counter",
@@ -1085,46 +1353,86 @@ fn render_prometheus(st: &State) -> String {
         st.http_requests.load(Ordering::Relaxed),
     );
     metric("metadis_up", "gauge", "1 while the server is running.", 1);
+    // Build identity: lets scrapes correlate metric shape with the
+    // running build and its schema tags. (Direct pushes from here on —
+    // after the `metric` closure's last call so they can reuse `out`.)
+    out.push_str(&format!(
+        "# HELP metadis_build_info Build and schema identity; value is always 1.\n\
+         # TYPE metadis_build_info gauge\n\
+         metadis_build_info{{version=\"{}\",trace_schema=\"{}\",log_schema=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        disasm_core::trace::SCHEMA,
+        obs::log::SCHEMA,
+    ));
+    // SLO burn gauges from the latest sampler evaluation. With the
+    // sampler disabled (or before its first tick) the families are
+    // declared but carry no series.
+    let statuses = st.series.lock().unwrap().statuses.clone();
+    out.push_str(
+        "# HELP metadis_slo_burn_rate Error-budget burn rate per objective and window; 1.0 burns exactly the budget.\n# TYPE metadis_slo_burn_rate gauge\n",
+    );
+    for s in &statuses {
+        for (window, burn) in [("fast", s.burn_fast), ("slow", s.burn_slow)] {
+            out.push_str(&format!(
+                "metadis_slo_burn_rate{{objective=\"{}\",window=\"{window}\"}} {burn}\n",
+                s.objective
+            ));
+        }
+    }
+    out.push_str(
+        "# HELP metadis_slo_breached 1 while both burn windows of the objective exceed the threshold.\n# TYPE metadis_slo_breached gauge\n",
+    );
+    for s in &statuses {
+        out.push_str(&format!(
+            "metadis_slo_breached{{objective=\"{}\"}} {}\n",
+            s.objective,
+            u64::from(s.breached)
+        ));
+    }
     // Latency summaries: bucket-resolution quantiles from the log2
     // histograms, plus the exact sum/count pairs scrapers use to derive
-    // rates and means. (After the closure's last call so they can reuse
-    // `out` directly.)
-    let mut summary = |name: &str, help: &str, h: &obs::Histogram| {
-        let s = h.summary();
-        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    // rates and means. The request summary is labeled by endpoint.
+    out.push_str(
+        "# HELP metadis_request_latency_ns Per-request service latency by endpoint (analysis endpoints: load + pipeline), nanoseconds.\n# TYPE metadis_request_latency_ns summary\n",
+    );
+    for (i, ep) in ENDPOINTS.iter().enumerate() {
+        let s = st.endpoint_latency[i].summary();
         for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
             out.push_str(&format!(
-                "{name}{{quantile=\"{label}\"}} {}\n",
+                "metadis_request_latency_ns{{endpoint=\"{ep}\",quantile=\"{label}\"}} {}\n",
                 s.quantile(q)
             ));
         }
-        out.push_str(&format!("{name}_sum {}\n", s.sum));
-        out.push_str(&format!("{name}_count {}\n", s.count));
-    };
-    summary(
-        "metadis_request_latency_ns",
-        "Per-request service latency (load + pipeline), nanoseconds.",
-        &st.latency,
+        out.push_str(&format!(
+            "metadis_request_latency_ns_sum{{endpoint=\"{ep}\"}} {}\n",
+            s.sum
+        ));
+        out.push_str(&format!(
+            "metadis_request_latency_ns_count{{endpoint=\"{ep}\"}} {}\n",
+            s.count
+        ));
+    }
+    let s = st.queue_wait.summary();
+    out.push_str(
+        "# HELP metadis_queue_wait_ns Time admitted requests spent queued before a worker started them, nanoseconds.\n# TYPE metadis_queue_wait_ns summary\n",
     );
-    summary(
-        "metadis_queue_wait_ns",
-        "Time admitted requests spent queued before a worker started them, nanoseconds.",
-        &st.queue_wait,
-    );
+    for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+        out.push_str(&format!(
+            "metadis_queue_wait_ns{{quantile=\"{label}\"}} {}\n",
+            s.quantile(q)
+        ));
+    }
+    out.push_str(&format!("metadis_queue_wait_ns_sum {}\n", s.sum));
+    out.push_str(&format!("metadis_queue_wait_ns_count {}\n", s.count));
     out
 }
 
 /// Fetch `path` from the server at `addr` over a fresh connection and
 /// return the response body. Errors on connection failure or a non-200
-/// status line.
+/// status line. Thin alias over [`http::fetch`] — `scrape` and `top`
+/// share that one client path.
 pub fn scrape(addr: &str, path: &str) -> std::io::Result<String> {
-    let (status, body) = http::request(addr, "GET", path, None)?;
-    if status != 200 {
-        return Err(std::io::Error::other(format!(
-            "server answered '{status}' for {path}"
-        )));
-    }
-    Ok(body)
+    http::fetch(addr, path)
 }
 
 #[cfg(test)]
@@ -1146,12 +1454,14 @@ mod tests {
     #[test]
     fn metrics_render_all_families() {
         let st = State::default();
-        st.requests.store(3, Ordering::Relaxed);
+        st.endpoint_requests[EP_BATCH].store(3, Ordering::Relaxed);
         st.alloc_peak.store(4096, Ordering::Relaxed);
         st.sheds.store(2, Ordering::Relaxed);
         let text = render_prometheus(&st);
         for family in [
-            "metadis_requests_total 3",
+            "metadis_requests_total{endpoint=\"batch\"} 3",
+            "metadis_requests_total{endpoint=\"/analyze\"} 0",
+            "metadis_requests_total{endpoint=\"/metrics\"} 0",
             "metadis_request_errors_total 0",
             "metadis_requests_shed_total 2",
             "metadis_requests_shed_queue_total 0",
@@ -1168,10 +1478,15 @@ mod tests {
             "metadis_degradations_total",
             "metadis_alloc_bytes_total",
             "metadis_alloc_peak_bytes 4096",
-            "metadis_request_latency_ns{quantile=\"0.5\"} 0",
-            "metadis_request_latency_ns{quantile=\"0.99\"} 0",
-            "metadis_request_latency_ns_sum 0",
-            "metadis_request_latency_ns_count 0",
+            "metadis_build_info{version=\"",
+            "trace_schema=\"metadis.trace.v6\"",
+            "log_schema=\"metadis.log.v1\"} 1",
+            "# TYPE metadis_slo_burn_rate gauge",
+            "# TYPE metadis_slo_breached gauge",
+            "metadis_request_latency_ns{endpoint=\"/analyze\",quantile=\"0.5\"} 0",
+            "metadis_request_latency_ns{endpoint=\"batch\",quantile=\"0.99\"} 0",
+            "metadis_request_latency_ns_sum{endpoint=\"/analyze\"} 0",
+            "metadis_request_latency_ns_count{endpoint=\"batch\"} 0",
             "metadis_queue_wait_ns{quantile=\"0.5\"} 0",
             "metadis_queue_wait_ns_sum 0",
             "metadis_log_warns_total",
@@ -1191,7 +1506,7 @@ mod tests {
     fn latency_summary_reports_quantiles() {
         let st = State::default();
         for v in [100u64, 200, 300, 400, 100_000] {
-            st.latency.record(v);
+            st.endpoint_latency[EP_BATCH].record(v);
         }
         let text = render_prometheus(&st);
         let line = |needle: &str| {
@@ -1201,24 +1516,78 @@ mod tests {
                 .to_string()
         };
         assert_eq!(
-            line("metadis_request_latency_ns_count"),
-            "metadis_request_latency_ns_count 5"
+            line("metadis_request_latency_ns_count{endpoint=\"batch\"}"),
+            "metadis_request_latency_ns_count{endpoint=\"batch\"} 5"
         );
         assert_eq!(
-            line("metadis_request_latency_ns_sum"),
-            "metadis_request_latency_ns_sum 101000"
+            line("metadis_request_latency_ns_sum{endpoint=\"batch\"}"),
+            "metadis_request_latency_ns_sum{endpoint=\"batch\"} 101000"
         );
         // log2 buckets: p50 lands in the bucket of 300 (256..511), p99 in
         // the bucket of the outlier, clamped to the exact max.
         assert_eq!(
-            line("metadis_request_latency_ns{quantile=\"0.5\"}"),
-            "metadis_request_latency_ns{quantile=\"0.5\"} 511"
+            line("metadis_request_latency_ns{endpoint=\"batch\",quantile=\"0.5\"}"),
+            "metadis_request_latency_ns{endpoint=\"batch\",quantile=\"0.5\"} 511"
         );
         assert_eq!(
-            line("metadis_request_latency_ns{quantile=\"0.99\"}"),
-            "metadis_request_latency_ns{quantile=\"0.99\"} 100000"
+            line("metadis_request_latency_ns{endpoint=\"batch\",quantile=\"0.99\"}"),
+            "metadis_request_latency_ns{endpoint=\"batch\",quantile=\"0.99\"} 100000"
+        );
+        // untouched endpoints stay declared but empty
+        assert_eq!(
+            line("metadis_request_latency_ns_count{endpoint=\"/analyze\"}"),
+            "metadis_request_latency_ns_count{endpoint=\"/analyze\"} 0"
         );
         assert!(text.contains("# TYPE metadis_request_latency_ns summary"));
+    }
+
+    #[test]
+    fn endpoint_labels_cover_every_route() {
+        assert_eq!(endpoint_index("/analyze"), EP_ANALYZE);
+        assert_eq!(endpoint_index("/metrics"), 2);
+        assert_eq!(
+            ENDPOINTS[endpoint_index("/debug/metrics/history")],
+            "/debug/metrics/history"
+        );
+        assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
+    }
+
+    #[test]
+    fn sampler_builds_series_and_evaluates_slos() {
+        let st = State::default();
+        st.requests.store(10, Ordering::Relaxed);
+        st.latency.record(1_000_000);
+        sample_series(&st);
+        st.requests.store(20, Ordering::Relaxed);
+        st.sheds.store(0, Ordering::Relaxed);
+        sample_series(&st);
+        {
+            let tr = st.series.lock().unwrap();
+            assert_eq!(tr.ring.len(), 2);
+            let latest = tr.ring.latest().unwrap();
+            assert_eq!(latest.counter("requests"), 20);
+            assert!(latest.summary("latency_ns").is_some());
+            // statuses attached to the sample and cached for /metrics
+            assert_eq!(latest.slo.len(), 2);
+            assert_eq!(tr.statuses.len(), 2);
+            assert!(tr.statuses.iter().all(|s| !s.breached));
+        }
+        // the history endpoint renders the ring as series.v1
+        let body = render_history(&st);
+        let doc = obs::json::parse(&body).unwrap();
+        let samples = obs::series::samples_from_json(&doc).expect("valid series.v1");
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].counter("requests"), 20);
+        // and the gauges show up in the exposition
+        let metrics = render_prometheus(&st);
+        assert!(
+            metrics.contains("metadis_slo_burn_rate{objective=\"availability\",window=\"fast\"} 0"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("metadis_slo_breached{objective=\"latency_p99\"} 0"),
+            "{metrics}"
+        );
     }
 
     #[test]

@@ -38,9 +38,12 @@ fn serve_answers_metrics_and_healthz_and_counts_requests() {
     assert!(a.instructions > 0);
     assert_eq!(a.instructions, b.instructions, "same input, same result");
 
-    // the exposition surface reflects both requests
+    // the exposition surface reflects both requests, labeled by endpoint
     let metrics = scrape(&addr, "/metrics").unwrap();
-    assert!(metrics.contains("metadis_requests_total 2"), "{metrics}");
+    assert!(
+        metrics.contains(r#"metadis_requests_total{endpoint="batch"} 2"#),
+        "{metrics}"
+    );
     assert!(
         metrics.contains("metadis_request_errors_total 0"),
         "{metrics}"
@@ -70,7 +73,13 @@ fn serve_answers_metrics_and_healthz_and_counts_requests() {
         metrics.contains("metadis_request_errors_total 1"),
         "{metrics}"
     );
-    assert!(metrics.contains("metadis_requests_total 2"), "{metrics}");
+    // the error is answered too, so the per-endpoint counter includes it
+    // while the internal success counter does not
+    assert!(
+        metrics.contains(r#"metadis_requests_total{endpoint="batch"} 3"#),
+        "{metrics}"
+    );
+    assert_eq!(server.requests(), 2);
 
     server.shutdown();
 }
@@ -106,7 +115,10 @@ fn serve_command_drains_a_request_file() {
     .collect();
     let out = metadis::cli::run(&args).unwrap();
     assert!(out.contains("served 2 request(s), 0 error(s)"), "{out}");
-    assert!(out.contains("metadis_requests_total 2"), "{out}");
+    assert!(
+        out.contains(r#"metadis_requests_total{endpoint="batch"} 2"#),
+        "{out}"
+    );
 
     // the log stream recorded the lifecycle as metadis.log.v1 records
     let logged = std::fs::read_to_string(&log).unwrap();
@@ -551,4 +563,175 @@ fn serve_strict_exits_overload_when_requests_were_shed() {
     assert!(logged.contains(r#""category":"overload""#), "{logged}");
     assert!(logged.contains(r#""msg":"draining""#), "{logged}");
     assert!(logged.contains(r#""msg":"shutdown complete""#), "{logged}");
+}
+
+// ---------------------------------------------------------------------------
+// Time-series telemetry: the /debug/metrics/history endpoint, the SLO
+// burn-rate engine under induced overload, and the `metadis top` console.
+// ---------------------------------------------------------------------------
+
+/// Poll the history endpoint until the sampler has accumulated at least
+/// `want` snapshots, returning the first body that satisfies it.
+fn wait_for_history(addr: &str, want: usize) -> String {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = scrape(addr, "/debug/metrics/history").unwrap();
+        let doc = obs::json::parse(&body).unwrap();
+        if let Some(samples) = obs::series::samples_from_json(&doc) {
+            if samples.len() >= want {
+                break body;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never produced {want} snapshots: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn history_endpoint_answers_the_pinned_series_schema() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-hist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("hist.elf");
+    write_elf(&elf, 81);
+
+    let opts = ServeOptions {
+        series_interval_ms: 20,
+        series_window: 50,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+    server
+        .process_path(elf.to_str().unwrap(), &Config::default())
+        .unwrap();
+
+    let body = wait_for_history(&addr, 2);
+    let doc = obs::json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(obs::series::SCHEMA),
+        "{body}"
+    );
+    assert_eq!(doc.get("interval_ms").and_then(|v| v.as_u64()), Some(20));
+    assert_eq!(doc.get("window").and_then(|v| v.as_u64()), Some(50));
+
+    // the document round-trips through the typed representation byte-for-byte
+    let samples = obs::series::samples_from_json(&doc).unwrap();
+    assert_eq!(
+        obs::series::write_history_json(20, 50, &samples),
+        body,
+        "history JSON must round-trip"
+    );
+
+    // samples are cumulative snapshots in time order carrying the counters,
+    // gauges, and SLO verdicts the top console consumes
+    assert!(
+        samples.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns),
+        "timestamps must strictly increase"
+    );
+    let latest = samples.last().unwrap();
+    assert!(latest.counter("requests") >= 1, "{body}");
+    assert!(latest.counter("instructions") > 0, "{body}");
+    let objectives: Vec<&str> = latest.slo.iter().map(|s| s.objective.as_str()).collect();
+    assert_eq!(objectives, ["availability", "latency_p99"], "{body}");
+    assert!(latest.slo.iter().all(|s| !s.breached), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn induced_overload_breaches_availability_slo_and_healthz_reports_it() {
+    // queue-depth 0 sheds every HTTP analyze request; a fast sampler tick
+    // lets the burn windows cross within the test budget
+    let opts = ServeOptions {
+        queue_depth: 0,
+        series_interval_ms: 10,
+        series_window: 64,
+        drain_ms: 200,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    // keep shedding across sampler ticks until both burn windows cross:
+    // 100% of traffic shed against a 0.1% error budget is a burn of 1000
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let metrics = loop {
+        let (status, body) = http::request(&addr, "GET", "/analyze?path=/tmp/x", None).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains(r#""category":"overload""#), "{body}");
+        let metrics = scrape(&addr, "/metrics").unwrap();
+        if metrics.contains(r#"metadis_slo_breached{objective="availability"} 1"#) {
+            break metrics;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "availability SLO never breached:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    };
+
+    // the burn-rate gauge rose past the 1.0 alert threshold
+    let burn_line = metrics
+        .lines()
+        .find(|l| l.starts_with(r#"metadis_slo_burn_rate{objective="availability",window="fast"}"#))
+        .unwrap_or_else(|| panic!("no fast-window burn gauge:\n{metrics}"));
+    let burn: f64 = burn_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(burn > 1.0, "{burn_line}");
+
+    // /healthz is saturated (queue depth 0) and its JSON detail names the
+    // breached objective
+    let (status, body) = http::request(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let json = obs::json::parse(&body).unwrap();
+    let slo = json
+        .get("slo")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("healthz JSON lacks slo block: {body}"));
+    let avail = slo
+        .iter()
+        .find(|s| s.get("objective").and_then(|v| v.as_str()) == Some("availability"))
+        .unwrap_or_else(|| panic!("no availability status: {body}"));
+    assert!(avail.to_json().contains(r#""breached":true"#), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn top_once_renders_a_snapshot_from_a_live_server() {
+    let dir = std::env::temp_dir().join(format!("metadis-serve-top-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let elf = dir.join("top.elf");
+    write_elf(&elf, 82);
+
+    let opts = ServeOptions {
+        series_interval_ms: 20,
+        series_window: 50,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+    server
+        .process_path(elf.to_str().unwrap(), &Config::default())
+        .unwrap();
+    wait_for_history(&addr, 2);
+
+    let _cli = CLI_LOCK.lock().unwrap();
+    let args: Vec<String> = ["top", &addr, "--once"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let out = metadis::cli::run(&args).unwrap();
+    assert!(out.contains("metadis top"), "{out}");
+    assert!(out.contains(&addr), "{out}");
+    // the SLO headline and every table column are present
+    assert!(out.contains("availability"), "{out}");
+    assert!(out.contains("latency_p99"), "{out}");
+    for col in [
+        "t(s)", "rps", "err/s", "shed/s", "queue", "inflight", "p50(ms)", "p99(ms)", "burn",
+    ] {
+        assert!(out.contains(col), "missing column {col}: {out}");
+    }
+    server.shutdown();
 }
