@@ -105,6 +105,9 @@ where
     }
     let f = &f;
     let shard = &shard;
+    // workers are fresh threads with empty request context; propagate the
+    // caller's so a request served in parallel stays correlated end to end
+    let ctx = obs::ctx::current();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
     slots.resize_with(jobs, || None);
     let mut worker_allocs = Vec::with_capacity(threads);
@@ -114,6 +117,7 @@ where
             .map(|w| {
                 s.spawn(move || {
                     obs::timeline::set_lane(w as u32 + 1);
+                    obs::ctx::set(ctx);
                     let mut out = Vec::new();
                     let mut j = w;
                     while j < jobs {
@@ -197,6 +201,14 @@ mod tests {
         }
         assert_eq!(run_jobs("par.test", 0, 4, f), Vec::<usize>::new());
         assert_eq!(run_jobs("par.test", 1, 4, f), vec![1]);
+    }
+
+    #[test]
+    fn workers_inherit_the_request_context() {
+        let id = obs::ctx::RequestId::mint();
+        let _scope = obs::ctx::scope(id);
+        let got = run_jobs("par.test.ctx", 8, 4, |_| obs::ctx::current());
+        assert!(got.iter().all(|c| *c == Some(id)), "{got:?}");
     }
 
     #[test]

@@ -312,7 +312,7 @@ pub fn write_chrome_trace(events: &[Event]) -> String {
         if e.kind == EventKind::Instant {
             w.field_str("s", "t");
         }
-        if e.shard != NO_SHARD || e.arg != 0 {
+        if e.shard != NO_SHARD || e.arg != 0 || e.req_id != 0 {
             w.key("args");
             w.begin_obj();
             if e.shard != NO_SHARD {
@@ -320,6 +320,9 @@ pub fn write_chrome_trace(events: &[Event]) -> String {
             }
             if e.arg != 0 {
                 w.field_u64("arg", e.arg);
+            }
+            if e.req_id != 0 {
+                w.field_str("req_id", &format!("{:016x}", e.req_id));
             }
             w.end_obj();
         }
@@ -405,6 +408,7 @@ mod tests {
             name,
             shard,
             arg: 0,
+            req_id: 0,
         }
     }
 
@@ -506,6 +510,14 @@ mod tests {
         );
         // shard args survive
         assert!(json.contains(r#""args":{"shard":1}"#), "{json}");
+        // a correlated event carries its request id in args
+        let mut tagged = ev(5, 0, EventKind::Instant, "req.ev", NO_SHARD);
+        tagged.req_id = 0xabc;
+        let json = write_chrome_trace(&[tagged]);
+        assert!(
+            json.contains(r#""args":{"req_id":"0000000000000abc"}"#),
+            "{json}"
+        );
         assert_eq!(
             v.path("otherData.dropped_events").and_then(|d| d.as_u64()),
             Some(crate::timeline::dropped())

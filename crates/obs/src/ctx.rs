@@ -1,0 +1,197 @@
+//! Request correlation context: a process-unique [`RequestId`] carried in
+//! a thread-local so every log line, timeline event, and histogram
+//! exemplar recorded while a request is being served can be tied back to
+//! that request without threading an ID parameter through every call.
+//!
+//! The id is minted with an in-repo splitmix64 generator (no external
+//! dependencies) seeded once from wall-clock time and the process id, so
+//! ids are unique within a process and collide across processes only with
+//! ~2^-64 probability. Id zero is reserved to mean "no request context".
+//!
+//! ```
+//! let id = obs::ctx::RequestId::mint();
+//! let _guard = obs::ctx::scope(id);
+//! assert_eq!(obs::ctx::current(), Some(id));
+//! drop(_guard);
+//! assert_eq!(obs::ctx::current(), None);
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A correlation id for one request (or one CLI invocation). Never zero:
+/// zero is the "no context" sentinel in [`current_raw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+/// splitmix64: tiny, fast, and well-distributed — the standard seeding
+/// mix from Vigna's xoshiro family, implemented in-repo to stay
+/// dependency-free.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static MINT_STATE: AtomicU64 = AtomicU64::new(0);
+
+impl RequestId {
+    /// Mint a fresh process-unique id. Never returns the zero sentinel.
+    pub fn mint() -> RequestId {
+        // lazily seed from wall clock ^ pid the first time through; a
+        // race between two first-minters just means both seeds win a CAS
+        // slot in sequence, which is fine for uniqueness.
+        if MINT_STATE.load(Ordering::Relaxed) == 0 {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5eed);
+            let seed = now ^ (u64::from(std::process::id()) << 32) | 1;
+            let _ = MINT_STATE.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+        }
+        loop {
+            let prev = MINT_STATE.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+            let id = splitmix64(prev);
+            if id != 0 {
+                return RequestId(id);
+            }
+        }
+    }
+
+    /// Wrap a raw nonzero value (e.g. one recovered from a timeline
+    /// event). Returns `None` for the zero sentinel.
+    pub fn from_raw(raw: u64) -> Option<RequestId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(RequestId(raw))
+        }
+    }
+
+    /// The raw u64 payload (never zero).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Parse the canonical 16-hex-digit form (shorter forms accepted,
+    /// case-insensitive). Rejects zero, empty, and non-hex input.
+    pub fn parse(s: &str) -> Option<RequestId> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16)
+            .ok()
+            .and_then(RequestId::from_raw)
+    }
+}
+
+impl fmt::Display for RequestId {
+    /// Canonical form: exactly 16 lowercase hex digits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current thread's request id, if one is in scope.
+pub fn current() -> Option<RequestId> {
+    RequestId::from_raw(current_raw())
+}
+
+/// The current thread's raw id — `0` when no request is in scope. This is
+/// the hot-path accessor: a single thread-local read, no branching.
+pub fn current_raw() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Set the current thread's request context directly (workers inheriting
+/// a parent's context use this; prefer [`scope`] elsewhere so the context
+/// can't leak past its request).
+pub fn set(id: Option<RequestId>) {
+    CURRENT.with(|c| c.set(id.map_or(0, RequestId::raw)));
+}
+
+/// Enter `id` for the current thread; the returned guard restores the
+/// previous context (usually none) when dropped, even on panic unwind.
+pub fn scope(id: RequestId) -> CtxGuard {
+    let prev = current_raw();
+    CURRENT.with(|c| c.set(id.raw()));
+    CtxGuard { prev }
+}
+
+/// RAII guard returned by [`scope`]; restores the prior context on drop.
+#[must_use = "dropping the guard immediately exits the request scope"]
+pub struct CtxGuard {
+    prev: u64,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = RequestId::mint();
+            assert_ne!(id.raw(), 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let id = RequestId::mint();
+        let s = id.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(RequestId::parse(&s), Some(id));
+        // short and uppercase forms parse too
+        assert_eq!(RequestId::parse("a").map(RequestId::raw), Some(0xa));
+        assert_eq!(RequestId::parse("DEAD").map(RequestId::raw), Some(0xdead));
+        // rejects zero, junk, and oversized input
+        assert_eq!(RequestId::parse("0"), None);
+        assert_eq!(RequestId::parse(""), None);
+        assert_eq!(RequestId::parse("zz"), None);
+        assert_eq!(RequestId::parse("00000000000000000"), None);
+    }
+
+    #[test]
+    fn scope_nests_and_restores() {
+        assert_eq!(current(), None);
+        let a = RequestId::mint();
+        let b = RequestId::mint();
+        {
+            let _ga = scope(a);
+            assert_eq!(current(), Some(a));
+            {
+                let _gb = scope(b);
+                assert_eq!(current(), Some(b));
+            }
+            assert_eq!(current(), Some(a));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn set_overrides_directly() {
+        let id = RequestId::mint();
+        set(Some(id));
+        assert_eq!(current(), Some(id));
+        set(None);
+        assert_eq!(current(), None);
+        assert_eq!(current_raw(), 0);
+    }
+}

@@ -139,6 +139,15 @@ impl JsonWriter {
         self.out.push_str("null");
     }
 
+    /// Splice pre-serialized JSON verbatim as one value. The caller
+    /// guarantees `json` is a single valid JSON value; this is how
+    /// documents embed already-encoded records (structured log lines,
+    /// trace events) without a parse/re-serialize round trip.
+    pub fn raw_val(&mut self, json: &str) {
+        self.sep();
+        self.out.push_str(json);
+    }
+
     /// `"k": "v"` shorthand.
     pub fn field_str(&mut self, k: &str, v: &str) {
         self.key(k);
@@ -609,6 +618,25 @@ mod tests {
         w.end_obj();
         w.end_obj();
         assert_eq!(w.finish(), r#"{"a":[],"b":{}}"#);
+    }
+
+    #[test]
+    fn raw_val_splices_preencoded_json() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("lines");
+        w.begin_arr();
+        w.raw_val(r#"{"schema":"metadis.log.v2","msg":"a"}"#);
+        w.raw_val("7");
+        w.end_arr();
+        w.field_u64("n", 2);
+        w.end_obj();
+        let got = w.finish();
+        assert_eq!(
+            got,
+            r#"{"lines":[{"schema":"metadis.log.v2","msg":"a"},7],"n":2}"#
+        );
+        parse(&got).expect("spliced document stays valid JSON");
     }
 
     #[test]

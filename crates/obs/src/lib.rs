@@ -33,6 +33,7 @@
 
 pub mod alloc;
 pub mod chrome;
+pub mod ctx;
 pub mod json;
 pub mod log;
 pub mod metrics;

@@ -1,10 +1,10 @@
-//! Leveled, structured JSON-lines logging (schema `metadis.log.v1`).
+//! Leveled, structured JSON-lines logging (schema `metadis.log.v2`).
 //!
 //! One log record is one JSON object on one line, with a stable field
 //! order:
 //!
 //! ```json
-//! {"schema":"metadis.log.v1","ts_ns":1234,"level":"info","phase":"superset","span":2,"msg":"phase done","fields":{"bytes":4096}}
+//! {"schema":"metadis.log.v2","ts_ns":1234,"level":"info","phase":"superset","span":2,"req_id":"00000000000004d2","msg":"phase done","fields":{"bytes":4096}}
 //! ```
 //!
 //! * `ts_ns` — monotonic nanoseconds since the logger's origin (the first
@@ -14,7 +14,13 @@
 //! * `phase` — the pipeline phase (or subsystem) that spoke; reuses the
 //!   trace phase-name contract where applicable.
 //! * `span` — the [`crate::Span`] id the record belongs to, or `null`.
+//! * `req_id` — the [`crate::ctx`] request id in scope when the record was
+//!   emitted (16 lowercase hex digits), or `null` outside any request.
 //! * `fields` — structured key=value payload, in emission order.
+//!
+//! v2 is v1 plus the `req_id` member: stripping `req_id` and retagging the
+//! schema yields a byte-valid v1 line ([`downgrade_line_to_v1`]), so v1
+//! consumers keep working on downgraded streams.
 //!
 //! The global logger is off by default ([`level`] returns `None`) and a
 //! disabled emission costs one relaxed atomic load. When enabled, every
@@ -43,7 +49,10 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 /// The schema tag stamped on every log line.
-pub const SCHEMA: &str = "metadis.log.v1";
+pub const SCHEMA: &str = "metadis.log.v2";
+
+/// The previous schema tag, still produced by [`downgrade_line_to_v1`].
+pub const SCHEMA_V1: &str = "metadis.log.v1";
 
 /// Default ring-buffer capacity in lines.
 pub const DEFAULT_RING_CAP: usize = 1024;
@@ -138,14 +147,16 @@ impl From<i64> for Value {
     }
 }
 
-/// Render one `metadis.log.v1` line from explicit parts. Pure — no clocks,
+/// Render one `metadis.log.v2` line from explicit parts. Pure — no clocks,
 /// no global state — so golden tests can pin the encoding byte-for-byte.
+/// `req_id` is the raw correlation id (`0` = no request in scope → `null`).
 /// The returned string has no trailing newline.
 pub fn format_line(
     ts_ns: u64,
     level: Level,
     phase: &str,
     span: Option<u32>,
+    req_id: u64,
     msg: &str,
     fields: &[(&str, Value)],
 ) -> String {
@@ -162,6 +173,12 @@ pub fn format_line(
             w.null_val();
         }
     }
+    if req_id == 0 {
+        w.key("req_id");
+        w.null_val();
+    } else {
+        w.field_str("req_id", &format!("{req_id:016x}"));
+    }
     w.field_str("msg", msg);
     w.key("fields");
     w.begin_obj();
@@ -177,6 +194,35 @@ pub fn format_line(
     w.end_obj();
     w.end_obj();
     w.finish()
+}
+
+/// Downgrade one v2 line to a byte-valid `metadis.log.v1` line: strip the
+/// `req_id` member and retag the schema, preserving everything else in
+/// order. Returns `None` if `line` is not a v2 object.
+pub fn downgrade_line_to_v1(line: &str) -> Option<String> {
+    let doc = crate::json::parse(line).ok()?;
+    let members = match &doc {
+        crate::json::JsonValue::Obj(members) => members,
+        _ => return None,
+    };
+    if doc.get("schema").and_then(|v| v.as_str()) != Some(SCHEMA) {
+        return None;
+    }
+    let kept: Vec<(String, crate::json::JsonValue)> = members
+        .iter()
+        .filter(|(k, _)| k != "req_id")
+        .map(|(k, v)| {
+            if k == "schema" {
+                (
+                    k.clone(),
+                    crate::json::JsonValue::Str(SCHEMA_V1.to_string()),
+                )
+            } else {
+                (k.clone(), v.clone())
+            }
+        })
+        .collect();
+    Some(crate::json::JsonValue::Obj(kept).to_json())
 }
 
 /// Level encoding in the atomic: 255 = off.
@@ -276,9 +322,10 @@ pub fn emit(level: Level, phase: &str, span: Option<u32>, msg: &str, fields: &[(
         _ => {}
     }
     EMITTED.fetch_add(1, Ordering::Relaxed);
+    let req_id = crate::ctx::current_raw();
     let mut st = STATE.lock().unwrap();
     let ts_ns = st.origin.get_or_insert_with(Stopwatch::start).elapsed_ns();
-    let line = format_line(ts_ns, level, phase, span, msg, fields);
+    let line = format_line(ts_ns, level, phase, span, req_id, msg, fields);
     if let Some(sink) = st.sink.as_mut() {
         let _ = sink.write_all(line.as_bytes());
         let _ = sink.write_all(b"\n");
@@ -386,6 +433,7 @@ mod tests {
             Level::Warn,
             "viability",
             Some(2),
+            0xdead_beef,
             "budget hit",
             &[
                 ("limit", Value::Str("deadline".into())),
@@ -395,14 +443,54 @@ mod tests {
         );
         assert_eq!(
             line,
-            r#"{"schema":"metadis.log.v1","ts_ns":1234,"level":"warn","phase":"viability","span":2,"msg":"budget hit","fields":{"limit":"deadline","completed":17,"partial":true}}"#
+            r#"{"schema":"metadis.log.v2","ts_ns":1234,"level":"warn","phase":"viability","span":2,"req_id":"00000000deadbeef","msg":"budget hit","fields":{"limit":"deadline","completed":17,"partial":true}}"#
         );
-        // no-span, no-fields shape
-        let line = format_line(0, Level::Info, "cli", None, "start", &[]);
+        // no-span, no-request, no-fields shape
+        let line = format_line(0, Level::Info, "cli", None, 0, "start", &[]);
         assert_eq!(
             line,
-            r#"{"schema":"metadis.log.v1","ts_ns":0,"level":"info","phase":"cli","span":null,"msg":"start","fields":{}}"#
+            r#"{"schema":"metadis.log.v2","ts_ns":0,"level":"info","phase":"cli","span":null,"req_id":null,"msg":"start","fields":{}}"#
         );
+    }
+
+    #[test]
+    fn downgrade_strips_req_id_and_retags() {
+        let v2 = format_line(7, Level::Info, "serve", Some(1), 0x4d2, "request done", &[]);
+        let v1 = downgrade_line_to_v1(&v2).unwrap();
+        assert_eq!(
+            v1,
+            r#"{"schema":"metadis.log.v1","ts_ns":7,"level":"info","phase":"serve","span":1,"msg":"request done","fields":{}}"#
+        );
+        // null req_id strips identically
+        let v2 = format_line(7, Level::Info, "serve", None, 0, "x", &[]);
+        assert!(!downgrade_line_to_v1(&v2).unwrap().contains("req_id"));
+        // non-v2 input is refused, not mangled
+        assert_eq!(
+            downgrade_line_to_v1(&downgrade_line_to_v1(&v2).unwrap()),
+            None
+        );
+        assert_eq!(downgrade_line_to_v1("not json"), None);
+    }
+
+    #[test]
+    fn emit_stamps_current_request_context() {
+        let _g = TEST_LOCK.lock().unwrap();
+        reset();
+        set_level(Some(Level::Info));
+        let id = crate::ctx::RequestId::mint();
+        {
+            let _scope = crate::ctx::scope(id);
+            info("t", "inside", &[]);
+        }
+        info("t", "outside", &[]);
+        let lines = ring();
+        assert!(
+            lines[0].contains(&format!(r#""req_id":"{id}""#)),
+            "{lines:?}"
+        );
+        assert!(lines[1].contains(r#""req_id":null"#), "{lines:?}");
+        set_level(None);
+        reset();
     }
 
     #[test]

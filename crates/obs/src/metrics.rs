@@ -53,6 +53,10 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// OpenMetrics-style exemplars: the last correlation tag (request id)
+    /// and sample value that landed in each bucket. Zero tag = no exemplar.
+    ex_tag: [AtomicU64; BUCKETS],
+    ex_val: [AtomicU64; BUCKETS],
 }
 
 impl Default for Histogram {
@@ -63,6 +67,8 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            ex_tag: std::array::from_fn(|_| AtomicU64::new(0)),
+            ex_val: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -89,11 +95,39 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.record_tagged(v, 0);
+    }
+
+    /// Record one sample carrying a correlation tag (a raw
+    /// `obs::ctx::RequestId`). When `tag` is nonzero the sample becomes
+    /// the bucket's exemplar, replacing any earlier one — "the last
+    /// request that landed here" is exactly what tail forensics wants.
+    pub fn record_tagged(&self, v: u64, tag: u64) {
+        let b = bucket_of(v);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        if tag != 0 {
+            // tag and value race independently under concurrent writers;
+            // an exemplar is a debugging hint, not an invariant, so a
+            // torn pair (tag from one writer, value from another) is an
+            // accepted trade for staying lock-free.
+            self.ex_tag[b].store(tag, Ordering::Relaxed);
+            self.ex_val[b].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Sparse `(bucket index, tag, value)` exemplar triples, ascending by
+    /// bucket, buckets without an exemplar omitted.
+    pub fn exemplars(&self) -> Vec<(u8, u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|b| {
+                let tag = self.ex_tag[b].load(Ordering::Relaxed);
+                (tag != 0).then(|| (b as u8, tag, self.ex_val[b].load(Ordering::Relaxed)))
+            })
+            .collect()
     }
 
     /// Number of recorded samples.
@@ -111,6 +145,10 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        for (t, v) in self.ex_tag.iter().zip(&self.ex_val) {
+            t.store(0, Ordering::Relaxed);
+            v.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Sum of all samples (wrapping).
@@ -254,6 +292,23 @@ mod tests {
         assert_eq!(s.quantile(0.5), 3);
         // p100 clamps to the exact max
         assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn exemplars_remember_the_last_tagged_sample_per_bucket() {
+        let h = Histogram::new();
+        h.record(5); // untagged: counted, no exemplar
+        h.record_tagged(5, 0xaa); // bucket 3 (4..=7)
+        h.record_tagged(6, 0xbb); // same bucket: replaces
+        h.record_tagged(1000, 0xcc); // bucket 10
+        let ex = h.exemplars();
+        assert_eq!(ex, vec![(3, 0xbb, 6), (10, 0xcc, 1000)]);
+        // summary counts include the untagged sample
+        assert_eq!(h.summary().count, 4);
+        // reset clears exemplars along with everything else
+        h.reset();
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.summary().count, 0);
     }
 
     #[test]

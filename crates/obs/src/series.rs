@@ -34,6 +34,11 @@ pub struct Sample {
     pub gauges: BTreeMap<String, u64>,
     /// Cumulative histogram summaries (latency, queue wait, ...).
     pub summaries: BTreeMap<String, HistogramSummary>,
+    /// Per-histogram exemplars: `(bucket, req_id, value)` triples naming
+    /// the last correlated request that landed in each bucket. Serialized
+    /// only when non-empty, so pre-exemplar `metadis.series.v1` documents
+    /// stay byte-identical.
+    pub exemplars: BTreeMap<String, Vec<(u8, u64, u64)>>,
     /// SLO statuses evaluated at this sample (empty when no engine runs).
     pub slo: Vec<SloStatus>,
 }
@@ -232,6 +237,28 @@ fn write_sample(w: &mut JsonWriter, s: &Sample) {
         write_summary(w, v);
     }
     w.end_obj();
+    // optional member: absent entirely when no histogram has exemplars,
+    // keeping pre-exemplar documents (and their goldens) byte-identical
+    if s.exemplars.values().any(|v| !v.is_empty()) {
+        w.key("exemplars");
+        w.begin_obj();
+        for (k, triples) in &s.exemplars {
+            if triples.is_empty() {
+                continue;
+            }
+            w.key(k);
+            w.begin_arr();
+            for &(b, tag, val) in triples {
+                w.begin_obj();
+                w.field_u64("bucket", b as u64);
+                w.field_str("req_id", &format!("{tag:016x}"));
+                w.field_u64("value", val);
+                w.end_obj();
+            }
+            w.end_arr();
+        }
+        w.end_obj();
+    }
     w.key("slo");
     w.begin_arr();
     for st in &s.slo {
@@ -297,6 +324,21 @@ fn sample_from_json(v: &JsonValue) -> Option<Sample> {
     }
     for (k, h) in v.get("summaries")?.as_obj()? {
         s.summaries.insert(k.clone(), summary_from_json(h)?);
+    }
+    // tolerate absence: pre-exemplar documents simply have no member
+    if let Some(ex) = v.get("exemplars").and_then(|e| e.as_obj()) {
+        for (k, arr) in ex {
+            let mut triples = Vec::new();
+            for t in arr.as_arr()? {
+                let tag = u64::from_str_radix(t.get("req_id")?.as_str()?, 16).ok()?;
+                triples.push((
+                    t.get("bucket")?.as_u64()? as u8,
+                    tag,
+                    t.get("value")?.as_u64()?,
+                ));
+            }
+            s.exemplars.insert(k.clone(), triples);
+        }
     }
     for st in v.get("slo")?.as_arr()? {
         s.slo.push(SloStatus::from_json(st)?);
@@ -395,6 +437,26 @@ mod tests {
         assert_eq!(doc.get("window").unwrap().as_u64().unwrap(), 300);
         let back = samples_from_json(&doc).expect("roundtrip");
         assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn exemplars_roundtrip_and_stay_optional() {
+        // a sample without exemplars serializes without the member at all
+        let plain = sample(5, 1, &[100]);
+        let json = write_history_json(1000, 300, std::slice::from_ref(&plain));
+        assert!(!json.contains("exemplars"), "{json}");
+        // with exemplars, the member appears and round-trips exactly
+        let mut tagged = sample(10, 2, &[100]);
+        tagged
+            .exemplars
+            .insert("latency_ns".into(), vec![(7, 0xdead, 100)]);
+        let json = write_history_json(1000, 300, &[plain.clone(), tagged.clone()]);
+        assert!(
+            json.contains(r#""exemplars":{"latency_ns":[{"bucket":7,"req_id":"000000000000dead","value":100}]}"#),
+            "{json}"
+        );
+        let back = samples_from_json(&crate::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, vec![plain, tagged]);
     }
 
     #[test]

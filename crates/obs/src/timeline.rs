@@ -74,6 +74,11 @@ pub struct Event {
     pub shard: u32,
     /// Free-form argument (counter snapshot, byte count, …); 0 if unused.
     pub arg: u64,
+    /// Raw [`crate::ctx`] request id in scope when the event was recorded,
+    /// `0` outside any request. Lets a correlated trace viewer (or the
+    /// serve retention buffer) slice one request's events out of a ring
+    /// shared by many.
+    pub req_id: u64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -140,6 +145,7 @@ fn push(kind: EventKind, name: &'static str, shard: u32, arg: u64) {
         name,
         shard,
         arg,
+        req_id: crate::ctx::current_raw(),
     };
     RING.with(|r| {
         let mut r = r.borrow_mut();
@@ -305,6 +311,7 @@ mod tests {
             name: "tl.test.foreign",
             shard: NO_SHARD,
             arg: 0,
+            req_id: 0,
         }];
         absorb(foreign.clone());
         end("tl.test.outer");
@@ -315,6 +322,22 @@ mod tests {
         set_enabled(false);
         assert_eq!(drained, snap);
         assert!(snapshot_since(m).is_empty());
+    }
+
+    #[test]
+    fn events_carry_the_request_context() {
+        set_enabled(true);
+        let m = mark();
+        let id = crate::ctx::RequestId::mint();
+        {
+            let _scope = crate::ctx::scope(id);
+            instant("tl.test.ctx", 1);
+        }
+        instant("tl.test.noctx", 2);
+        let evs = take_since(m);
+        set_enabled(false);
+        assert_eq!(evs[0].req_id, id.raw());
+        assert_eq!(evs[1].req_id, 0);
     }
 
     #[test]

@@ -1,30 +1,42 @@
-//! Golden-file pinning of the `metadis.log.v1` line encoding.
+//! Golden-file pinning of the `metadis.log.v2` line encoding — and of the
+//! v2→v1 downgrade path.
 //!
 //! [`obs::log::format_line`] is pure (no clocks, no global state), so a
 //! fixed set of records must serialize byte-for-byte to the checked-in
 //! golden forever. Changing any byte of the encoding is a schema break and
 //! needs a new schema tag, not a blessed golden.
 //!
+//! The v1 golden is retained: [`obs::log::downgrade_line_to_v1`] applied
+//! to every v2 line must reproduce it byte-for-byte, proving the
+//! downgrade-by-stripping contract (v2 = v1 + `req_id`, nothing else).
+//!
 //! Regenerate after an *intentional* schema change with
 //! `BLESS=1 cargo test -p obs --test log_golden`.
 
-use obs::log::{format_line, Level, Value};
+use obs::log::{downgrade_line_to_v1, format_line, Level, Value};
 
-const GOLDEN: &str = concat!(
+const GOLDEN_V2: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/log_v2_golden.jsonl"
+);
+
+const GOLDEN_V1: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/tests/data/log_v1_golden.jsonl"
 );
 
 /// One record per level, exercising every field shape: with and without a
-/// span id, empty and multi-typed field payloads, string escaping.
+/// span id, with and without a request context, empty and multi-typed
+/// field payloads, string escaping.
 fn sample_lines() -> Vec<String> {
     vec![
-        format_line(0, Level::Trace, "superset", None, "candidate kept", &[]),
+        format_line(0, Level::Trace, "superset", None, 0, "candidate kept", &[]),
         format_line(
             1_500,
             Level::Debug,
             "stats",
             Some(3),
+            0,
             "token window",
             &[
                 ("width", Value::U64(4)),
@@ -36,6 +48,7 @@ fn sample_lines() -> Vec<String> {
             Level::Info,
             "pipeline",
             Some(0),
+            0xdead_beef_cafe_f00d,
             "run done",
             &[
                 ("wall_ns", Value::U64(2_000_000)),
@@ -49,6 +62,7 @@ fn sample_lines() -> Vec<String> {
             Level::Warn,
             "correct",
             Some(0),
+            0x4d2,
             "budget hit",
             &[
                 ("limit", Value::Str("correction_steps".into())),
@@ -60,6 +74,7 @@ fn sample_lines() -> Vec<String> {
             Level::Error,
             "serve",
             None,
+            0,
             "request failed",
             &[("error", Value::Str("cannot read \"x.elf\"".into()))],
         ),
@@ -67,36 +82,56 @@ fn sample_lines() -> Vec<String> {
 }
 
 #[test]
-fn log_v1_lines_match_golden_byte_for_byte() {
+fn log_v2_lines_match_golden_byte_for_byte() {
     let mut got = sample_lines().join("\n");
     got.push('\n');
     if std::env::var_os("BLESS").is_some() {
-        std::fs::write(GOLDEN, &got).unwrap();
+        std::fs::write(GOLDEN_V2, &got).unwrap();
     }
-    let want = std::fs::read_to_string(GOLDEN).unwrap();
+    let want = std::fs::read_to_string(GOLDEN_V2).unwrap();
     assert_eq!(
         got, want,
-        "metadis.log.v1 encoding drifted; a byte-level change needs a new schema tag"
+        "metadis.log.v2 encoding drifted; a byte-level change needs a new schema tag"
+    );
+}
+
+#[test]
+fn downgraded_v2_lines_match_the_v1_golden_byte_for_byte() {
+    let mut got = sample_lines()
+        .iter()
+        .map(|l| downgrade_line_to_v1(l).expect("every v2 line downgrades"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    got.push('\n');
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_V1, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(GOLDEN_V1).unwrap();
+    assert_eq!(
+        got, want,
+        "v2→v1 downgrade drifted from the pinned metadis.log.v1 golden"
     );
 }
 
 #[test]
 fn golden_lines_are_well_formed_records() {
-    let text = std::fs::read_to_string(GOLDEN).unwrap();
+    let text = std::fs::read_to_string(GOLDEN_V2).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 5);
     for line in &lines {
         assert!(
-            line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+            line.starts_with(r#"{"schema":"metadis.log.v2","ts_ns":"#),
             "{line}"
         );
         let parsed = obs::json::parse(line).expect("golden line parses as JSON");
-        for key in ["schema", "ts_ns", "level", "phase", "span", "msg", "fields"] {
+        for key in [
+            "schema", "ts_ns", "level", "phase", "span", "req_id", "msg", "fields",
+        ] {
             assert!(parsed.get(key).is_some(), "missing {key}: {line}");
         }
         assert_eq!(
             parsed.get("schema").and_then(|v| v.as_str()),
-            Some("metadis.log.v1")
+            Some("metadis.log.v2")
         );
     }
     // one record per level, in severity order
@@ -105,5 +140,15 @@ fn golden_lines_are_well_formed_records() {
         .zip(["trace", "debug", "info", "warn", "error"])
     {
         assert!(line.contains(&format!(r#""level":"{level}""#)), "{line}");
+    }
+    // the v1 golden stays req_id-free and v1-tagged
+    let v1 = std::fs::read_to_string(GOLDEN_V1).unwrap();
+    assert_eq!(v1.lines().count(), 5);
+    for line in v1.lines() {
+        assert!(
+            line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+            "{line}"
+        );
+        assert!(!line.contains("req_id"), "{line}");
     }
 }

@@ -109,6 +109,10 @@ for _ in 1 2 3; do
   cargo run --release --offline --bin metadis -- \
     scrape "$ADDR" --path "/analyze?path=$TD_TMP/soak.elf" >/dev/null
 done
+# one failing request so tail-based retention has an anomaly to keep (the
+# 422 makes scrape exit non-zero by design — that is the point)
+cargo run --release --offline --bin metadis -- \
+  scrape "$ADDR" --path "/analyze?path=$TD_TMP/does-not-exist.elf" >/dev/null 2>&1 || true
 sleep 0.3  # ≥2 sampler ticks at 50ms
 cargo run --release --offline --bin metadis -- \
   scrape "$ADDR" --path /debug/metrics/history > artifacts/ci-series-history.json
@@ -116,6 +120,25 @@ cargo run --release --offline --bin metadis -- \
   top "$ADDR" --once > artifacts/ci-top.txt
 grep -q '"schema":"metadis.series.v1"' artifacts/ci-series-history.json || {
   echo "ci: history snapshot is not a metadis.series.v1 document" >&2
+  kill "$SOAK_PID" 2>/dev/null || true
+  exit 1
+}
+
+echo "== forensics support bundle"
+# Snapshot the live instance's whole forensic surface — /metrics with
+# exemplars, the history ring, the retention index, and every retained
+# metadis.request.v1 bundle — exactly as an operator would during an
+# incident. The workflow uploads artifacts/ci-forensics even when the
+# gate fails, so a red run still ships its own diagnosis.
+cargo run --release --offline --bin metadis -- \
+  forensics "$ADDR" -o artifacts/ci-forensics
+grep -q '"schema":"metadis.request.v1"' artifacts/ci-forensics/request-*.json || {
+  echo "ci: forensics bundle carried no metadis.request.v1 record" >&2
+  kill "$SOAK_PID" 2>/dev/null || true
+  exit 1
+}
+grep -q '# {req_id="' artifacts/ci-forensics/metrics.prom || {
+  echo "ci: forensics /metrics snapshot carried no exemplars" >&2
   kill "$SOAK_PID" 2>/dev/null || true
   exit 1
 }

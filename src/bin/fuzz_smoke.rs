@@ -143,7 +143,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // failures stream to stderr as structured metadis.log.v1 records, so a
+    // failures stream to stderr as structured metadis.log.v2 records, so a
     // CI harness can machine-read them alongside the human summary on stdout
     obs::log::set_level(Some(obs::log::Level::Warn));
     obs::log::to_stderr();

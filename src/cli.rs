@@ -21,6 +21,9 @@
 //! * `top <host:port>` — live service console: poll the serve-mode
 //!   `/debug/metrics/history` ring and render rates, windowed latency
 //!   quantiles, and SLO burn rates as an auto-refreshing table.
+//! * `forensics <host:port>` — snapshot a running instance's `/metrics`,
+//!   metric history, and retained `metadis.request.v1` bundles into an
+//!   on-disk support bundle for incident review.
 //!
 //! Every analysis command also accepts `--threads N` (worker threads for
 //! the sharded pipeline phases and batch processing; the output is
@@ -29,8 +32,9 @@
 //! the global counter/histogram snapshot to the output, `--trace-json
 //! <path>` writes a machine-readable trace record (schema
 //! `metadis.trace.v6`, see the README "Observability" section), `--log
-//! <path|->` / `--log-level <level>` stream structured `metadis.log.v1`
-//! JSON lines to a file or stderr, and
+//! <path|->` / `--log-level <level>` stream structured `metadis.log.v2`
+//! JSON lines to a file or stderr (each carrying the invocation's minted
+//! `req_id`), and
 //! `--provenance` collects the per-byte evidence ledger (`explain` turns
 //! it on automatically), plus the robustness flags:
 //! `--deadline-ms` / `--max-iterations` bound the pipeline's resource use
@@ -153,9 +157,11 @@ USAGE:
                 [--max-requests N] [--poll-ms N] [--max-inflight N]
                 [--queue-depth N] [--client-deadline-ms N] [--drain-ms N]
                 [--series-interval-ms N] [--series-window N]
+                [--flight-capacity N]
     metadis scrape <host:port> [--path /metrics]
     metadis top <host:port> [--once] [--interval-ms N] [--count N]
                 [--rows N]
+    metadis forensics <host:port> [--id REQ_ID] [-o DIR]
 
 OPTIONS:
     --listing       print a full annotated listing instead of the summary
@@ -181,8 +187,9 @@ OBSERVABILITY (any analysis command):
                        and the global counter/histogram snapshot
     --trace-json PATH  write a machine-readable trace record
                        (schema metadis.trace.v6) to PATH
-    --log DEST         stream structured metadis.log.v1 JSON lines to DEST
-                       (a file path, or '-' for stderr)
+    --log DEST         stream structured metadis.log.v2 JSON lines to DEST
+                       (a file path, or '-' for stderr); every line carries
+                       the invocation's req_id for cross-artifact correlation
     --log-level L      keep records at level L and above: trace, debug,
                        info, warn, error (default info when --log is given)
     --provenance       collect the per-byte evidence ledger (the explain
@@ -199,10 +206,10 @@ PROFILE (runs the pipeline with the flight recorder on):
                          headline
 
 SERVE:
-    --addr HOST:PORT   bind address for /metrics, /healthz and
-                       /debug/timeline
+    --addr HOST:PORT   bind address for /metrics, /healthz, /debug/timeline
+                       and /debug/requests
                        (default 127.0.0.1:0 — an ephemeral port, logged at
-                       startup as a metadis.log.v1 'listening' event)
+                       startup as a metadis.log.v2 'listening' event)
     --from FILE        read ELF paths (one per line) from FILE instead of
                        stdin
     --watch DIR        poll DIR for new files and disassemble each once
@@ -227,6 +234,10 @@ SERVE:
                        (default 1000; 0 disables sampling)
     --series-window N  samples the history ring retains; also scales the
                        SLO burn windows (default 300, minimum 2)
+    --flight-capacity N
+                       retained request records for /debug/requests; tail
+                       retention keeps anomalous requests preferentially
+                       (default 8, minimum 1)
 
 SCRAPE:
     --path P           endpoint to fetch (default /metrics)
@@ -237,6 +248,12 @@ quantiles are derived client-side from adjacent samples):
     --interval-ms N    refresh interval (default 1000)
     --count N          stop after N refreshes (default: run until ^C)
     --rows N           table rows to show, newest last (default 10)
+
+FORENSICS (snapshot a running instance into an on-disk support bundle:
+/metrics, /debug/metrics/history, the /debug/requests index, and one
+metadis.request.v1 bundle per retained request):
+    --id REQ_ID        fetch only the bundle for REQ_ID (16-hex request id)
+    -o DIR             output directory (default metadis-forensics-<addr>)
 
 EXPLAIN:
     --json             emit the metadis.explain.v1 JSON record instead of
@@ -323,6 +340,10 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
     // accumulate stale counters across invocations
     obs::global().reset();
     obs::log::reset();
+    // one invocation = one request: mint a correlation id so every log
+    // line, timeline event, and exemplar this run produces carries the
+    // same req_id a served request would (explain/profile output included)
+    let _req = obs::ctx::scope(obs::ctx::RequestId::mint());
     configure_logging(&rest)?;
     let mut out = match cmd.as_str() {
         "disasm" => cmd_disasm(&rest)?,
@@ -338,6 +359,7 @@ fn run_inner(args: &[String]) -> Result<String, CliError> {
         "serve" => cmd_serve(&rest)?,
         "scrape" => cmd_scrape(&rest)?,
         "top" => cmd_top(&rest)?,
+        "forensics" => cmd_forensics(&rest)?,
         "help" | "--help" | "-h" => CmdOutput::text_only(USAGE.to_string()),
         other => return Err(err(format!("unknown command '{other}'\n\n{USAGE}"))),
     };
@@ -1156,6 +1178,13 @@ fn cmd_serve(rest: &[&String]) -> Result<CmdOutput, CliError> {
             .filter(|n| *n >= 2)
             .ok_or_else(|| err("--series-window expects an integer >= 2"))?;
     }
+    if let Some(v) = flag_value(rest, "--flight-capacity") {
+        opts.flight_capacity = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or_else(|| err("--flight-capacity expects a positive integer"))?;
+    }
     let server = crate::serve::Server::start_with(addr, opts, cfg.clone())
         .map_err(|e| io_err(format!("cannot bind '{addr}': {e}")))?;
 
@@ -1310,6 +1339,82 @@ fn cmd_top(rest: &[&String]) -> Result<CmdOutput, CliError> {
     Ok(CmdOutput::text_only(frame))
 }
 
+/// Snapshot a running instance's forensic surface into an on-disk support
+/// bundle: the `/metrics` exposition, the `/debug/metrics/history` series
+/// ring, the `/debug/requests` retention index, and every retained
+/// `metadis.request.v1` bundle (or just the one named by `--id`). The
+/// result is a directory an operator can attach to an incident report —
+/// correlation ids make the files cross-reference each other.
+fn cmd_forensics(rest: &[&String]) -> Result<CmdOutput, CliError> {
+    let addr = positional(rest)
+        .ok_or_else(|| err(format!("forensics: missing <host:port>\n\n{USAGE}")))?;
+    let addr = addr
+        .strip_prefix("http://")
+        .unwrap_or(addr)
+        .trim_end_matches('/');
+    let out_dir = match flag_value(rest, "-o") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::path::PathBuf::from(format!(
+            "metadis-forensics-{}",
+            addr.replace([':', '/'], "-")
+        )),
+    };
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| io_err(format!("cannot create '{}': {e}", out_dir.display())))?;
+    let fetch = |path: &str| -> Result<String, CliError> {
+        crate::serve::scrape(addr, path).map_err(|e| io_err(format!("forensics {addr}{path}: {e}")))
+    };
+    let save = |name: &str, body: &str| -> Result<(), CliError> {
+        let p = out_dir.join(name);
+        std::fs::write(&p, body).map_err(|e| io_err(format!("cannot write '{}': {e}", p.display())))
+    };
+    let mut text = format!("forensics bundle from {addr} -> {}\n", out_dir.display());
+    let metrics = fetch("/metrics")?;
+    save("metrics.prom", &metrics)?;
+    text.push_str("  metrics.prom\n");
+    let history = fetch("/debug/metrics/history")?;
+    save("history.json", &history)?;
+    text.push_str("  history.json\n");
+    let index = fetch("/debug/requests")?;
+    save("requests.json", &index)?;
+    text.push_str("  requests.json\n");
+    // which request bundles to pull: one (--id) or every retained id
+    let ids: Vec<String> = match flag_value(rest, "--id") {
+        Some(id) => vec![id.to_string()],
+        None => {
+            let doc = obs::json::parse(&index)
+                .map_err(|e| parse_err(format!("forensics: bad /debug/requests JSON: {e}")))?;
+            doc.get("retained")
+                .and_then(|v| v.as_arr())
+                .map(|records| {
+                    records
+                        .iter()
+                        .filter_map(|r| r.path("req_id").and_then(|v| v.as_str()))
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+    };
+    let mut saved = 0usize;
+    for id in &ids {
+        // a record can race out of the buffer between the index fetch and
+        // this one; a missing id is a note, not a failure
+        match fetch(&format!("/debug/requests/{id}")) {
+            Ok(bundle) => {
+                save(&format!("request-{id}.json"), &bundle)?;
+                let _ = writeln!(text, "  request-{id}.json");
+                saved += 1;
+            }
+            Err(e) => {
+                let _ = writeln!(text, "  request-{id}.json: skipped ({})", e.message);
+            }
+        }
+    }
+    let _ = writeln!(text, "saved {saved} request bundle(s)");
+    Ok(CmdOutput::text_only(text))
+}
+
 /// Render one `top` frame from a `metadis.series.v1` body: an SLO
 /// headline off the newest sample plus one table row per adjacent sample
 /// pair (newest last), capped at `rows`.
@@ -1394,6 +1499,50 @@ mod tests {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(run(&args(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn top_rates_stay_non_negative_across_a_counter_reset() {
+        // a server restart resets cumulative counters to zero mid-series;
+        // deltas must saturate, never render as negative rates
+        let h = obs::metrics::Histogram::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            h.record(v);
+        }
+        let mut before = obs::series::Sample {
+            ts_ns: 1_000_000_000,
+            ..obs::series::Sample::default()
+        };
+        before.counters.insert("requests".into(), 500);
+        before.counters.insert("errors".into(), 40);
+        before.counters.insert("sheds".into(), 10);
+        before.summaries.insert("latency_ns".into(), h.summary());
+        // restarted: every cumulative value dropped below its predecessor
+        let mut after = obs::series::Sample {
+            ts_ns: 2_000_000_000,
+            ..obs::series::Sample::default()
+        };
+        after.counters.insert("requests".into(), 3);
+        after.counters.insert("errors".into(), 0);
+        after.counters.insert("sheds".into(), 0);
+        after.summaries.insert(
+            "latency_ns".into(),
+            obs::metrics::Histogram::new().summary(),
+        );
+        let body = obs::series::write_history_json(1000, 300, &[before, after]);
+        let out = render_top("127.0.0.1:1", &body, 10).unwrap();
+        // the data row derived across the reset carries only finite,
+        // non-negative numbers (the separator rule is the only dashed line)
+        let row = out
+            .lines()
+            .last()
+            .unwrap_or_else(|| panic!("no table row: {out}"));
+        for cell in row.split_whitespace().skip(1) {
+            let v: f64 = cell
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric cell '{cell}': {out}"));
+            assert!(v >= 0.0 && v.is_finite(), "negative rate '{cell}': {out}");
+        }
     }
 
     #[test]
@@ -1806,7 +1955,7 @@ mod tests {
         ]))
         .unwrap();
 
-        // --log FILE streams metadis.log.v1 JSON lines covering the run
+        // --log FILE streams metadis.log.v2 JSON lines covering the run
         let log = dir.join("run.log");
         let log_s = log.to_str().unwrap();
         run(&args(&["disasm", elf_s, "--log", log_s])).unwrap();
@@ -1815,11 +1964,16 @@ mod tests {
         assert!(lines.len() >= 8, "expected a line per phase, got:\n{text}");
         for line in &lines {
             assert!(
-                line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+                line.starts_with(r#"{"schema":"metadis.log.v2","ts_ns":"#),
                 "{line}"
             );
             assert!(line.ends_with('}'), "{line}");
         }
+        // one invocation = one request id: every line carries the same one
+        assert!(
+            text.contains(r#""req_id":""#),
+            "expected req_id on log lines:\n{text}"
+        );
         for needle in [
             r#""msg":"run begin""#,
             r#""phase":"superset""#,

@@ -63,13 +63,17 @@ impl ParseError {
     }
 }
 
-/// One parsed request: method, target (path plus optional query), body.
+/// One parsed request: method, target (path plus optional query), headers,
+/// body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// HTTP method verbatim (`GET`, `POST`, ...).
     pub method: String,
     /// Request target verbatim, e.g. `/analyze?path=/tmp/a.elf`.
     pub target: String,
+    /// Header `(name, value)` pairs in wire order, names as sent, values
+    /// trimmed. Bounded by [`MAX_HEADER_BYTES`] like the rest of the head.
+    pub headers: Vec<(String, String)>,
     /// Request body (`Content-Length` bytes; empty without the header).
     pub body: Vec<u8>,
 }
@@ -78,6 +82,14 @@ impl Request {
     /// The target without its query string.
     pub fn path(&self) -> &str {
         self.target.split('?').next().unwrap_or("")
+    }
+
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// The value of query parameter `key`, if present (no percent-decoding
@@ -102,6 +114,7 @@ pub struct RequestParser {
     content_length: usize,
     method: String,
     target: String,
+    headers: Vec<(String, String)>,
 }
 
 impl RequestParser {
@@ -143,6 +156,7 @@ impl RequestParser {
         Ok(Some(Request {
             method: std::mem::take(&mut self.method),
             target: std::mem::take(&mut self.target),
+            headers: std::mem::take(&mut self.headers),
             body,
         }))
     }
@@ -179,6 +193,7 @@ impl RequestParser {
             return Err(ParseError::Malformed);
         }
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for line in lines {
             if let Some((name, value)) = line.split_once(':') {
                 if name.eq_ignore_ascii_case("content-length") {
@@ -187,6 +202,7 @@ impl RequestParser {
                         .parse::<usize>()
                         .map_err(|_| ParseError::Malformed)?;
                 }
+                headers.push((name.to_string(), value.trim().to_string()));
             }
         }
         if content_length > MAX_BODY_BYTES {
@@ -194,6 +210,7 @@ impl RequestParser {
         }
         self.method = method.to_string();
         self.target = target.to_string();
+        self.headers = headers;
         self.content_length = content_length;
         self.headers_end = Some(end);
         Ok(())
@@ -212,11 +229,27 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
 
 /// Render one complete `Connection: close` HTTP response as wire bytes.
 pub fn respond(status: &str, content_type: &str, body: &str) -> Vec<u8> {
-    format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    respond_with(status, content_type, &[], body)
+}
+
+/// [`respond`] plus extra `(name, value)` headers, inserted between
+/// `Content-Type` and `Content-Length`. Used by the serve reactor to echo
+/// `X-Metadis-Request-Id` on every response.
+pub fn respond_with(
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> Vec<u8> {
+    let mut head = format!("HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n");
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    )
-    .into_bytes()
+    ));
+    head.into_bytes()
 }
 
 /// Blocking one-shot HTTP client: send `method path` (plus optional body)
@@ -228,14 +261,35 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<(u16, String)> {
+    let (code, _headers, body) = request_full(addr, method, path, body, &[])?;
+    Ok((code, body))
+}
+
+/// A parsed client-side response: `(status, headers, body)`.
+pub type Response = (u16, Vec<(String, String)>, String);
+
+/// [`request`] with extra request headers, returning the response headers
+/// too: `(status, headers, body)`. The correlation tests use this to send
+/// `X-Metadis-Request-Id` and assert the echo.
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
     let body = body.unwrap_or("");
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (k, v) in extra_headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str(&format!(
+        "Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
-    );
+    ));
     stream.write_all(req.as_bytes())?;
     let mut response = Vec::new();
     stream.read_to_end(&mut response)?;
@@ -249,7 +303,15 @@ pub fn request(
         .nth(1)
         .and_then(|c| c.parse().ok())
         .ok_or_else(|| std::io::Error::other(format!("bad status line '{status_line}'")))?;
-    Ok((code, body.to_string()))
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            Some((k.to_string(), v.trim().to_string()))
+        })
+        .collect();
+    Ok((code, headers, body.to_string()))
 }
 
 /// `GET path` against `addr` and return the body; any non-200 status is an
@@ -279,6 +341,10 @@ mod tests {
         assert_eq!(r.method, "GET");
         assert_eq!(r.path(), "/healthz");
         assert!(r.body.is_empty());
+        // headers are retained, lookup is case-insensitive
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.header("x-missing"), None);
     }
 
     #[test]
@@ -365,6 +431,19 @@ mod tests {
         assert!(text.contains("Content-Length: 3\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+        // extra headers land between Content-Type and Content-Length
+        let bytes = respond_with(
+            "200 OK",
+            "text/plain",
+            &[("X-Metadis-Request-Id", "00000000000004d2")],
+            "ok\n",
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.contains("\r\nX-Metadis-Request-Id: 00000000000004d2\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
     }
 
     #[test]

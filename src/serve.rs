@@ -41,13 +41,33 @@
 //!   shed/bad-request/disconnect counters, a `metadis_build_info` gauge,
 //!   and the `metadis_slo_*` burn-rate gauges.
 //! * `GET /debug/timeline` — Chrome trace-event JSON of the rolling flight
-//!   buffer (the last [`FLIGHT_CAPACITY`] request timelines).
+//!   buffer (the last [`ServeOptions::flight_capacity`] request timelines).
 //! * `GET /debug/metrics/history` — the rolling time-series ring as a
 //!   `metadis.series.v1` JSON document: cumulative snapshots taken by the
 //!   reactor every [`ServeOptions::series_interval_ms`] (bounded by
 //!   [`ServeOptions::series_window`]), each carrying counters, gauges,
 //!   histogram summaries, and the SLO verdicts. `metadis top` renders it
 //!   live; rates and windowed quantiles are derived client-side.
+//! * `GET /debug/requests` — index of the retained per-request forensic
+//!   records; `GET /debug/requests/<id>` answers one record as a
+//!   `metadis.request.v1` bundle (timeline, correlated log slice, trace
+//!   summary). `metadis forensics` snapshots both into a support bundle.
+//!
+//! **Request correlation**: the reactor mints an [`obs::ctx::RequestId`]
+//! at accept time (or honors a client-supplied `X-Metadis-Request-Id`
+//! header) and enters it as the thread's [`obs::ctx`] scope for
+//! everything the request touches — so every log line (`req_id` field of
+//! `metadis.log.v2`), timeline event, latency/queue-wait histogram
+//! exemplar, and retained bundle carries the same id the client reads
+//! back from the `X-Metadis-Request-Id` response header. Worker fan-out
+//! through [`disasm_core::par::run_jobs`] propagates the scope, so a
+//! request analyzed in parallel stays correlated end to end.
+//!
+//! The flight buffer itself is **tail-retaining**: when full, the oldest
+//! *routine* record is evicted first; anomalous requests (error, shed,
+//! degraded, p99-tail latency, or completed while an SLO window burned)
+//! survive until only anomalies remain. Evictions are counted and the
+//! occupancy exported, so a scrape can tell "quiet" from "churning".
 //!
 //! A **sampler** on the reactor thread snapshots the counters into an
 //! [`obs::series::SeriesRing`] each tick and feeds an [`obs::slo::SloEngine`]
@@ -68,6 +88,7 @@
 use crate::http::{self, RequestParser};
 use disasm_core::limits::Deadline;
 use disasm_core::{Config, Disassembler, Image};
+use obs::ctx::RequestId;
 use obs::log::Value;
 use obs::series::{Sample, SeriesRing};
 use obs::slo::{BurnWindows, Objective, ObjectiveKind, SloEngine, SloStatus};
@@ -75,12 +96,16 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// How many request timelines the rolling flight buffer retains. Old
-/// entries fall off the front as new requests complete.
+/// Default for [`ServeOptions::flight_capacity`]: how many per-request
+/// forensic records the tail-retaining flight buffer holds.
 pub const FLIGHT_CAPACITY: usize = 8;
+
+/// Schema tag of the per-request forensic bundle served by
+/// `/debug/requests/<id>` and written by [`write_request_bundle`].
+pub const REQUEST_SCHEMA: &str = "metadis.request.v1";
 
 /// Admission-control and lifecycle knobs for [`Server::start_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +131,9 @@ pub struct ServeOptions {
     /// How many samples the history ring retains (oldest evicted first);
     /// also scales the SLO burn windows. Clamped to ≥ 2.
     pub series_window: usize,
+    /// How many per-request forensic records the flight buffer retains
+    /// (anomalies preferentially — see the module docs). Clamped to ≥ 1.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -117,6 +145,7 @@ impl Default for ServeOptions {
             drain_ms: 2_000,
             series_interval_ms: 1_000,
             series_window: 300,
+            flight_capacity: FLIGHT_CAPACITY,
         }
     }
 }
@@ -124,39 +153,75 @@ impl Default for ServeOptions {
 /// Endpoint label values for the per-endpoint request counter and latency
 /// summary. `"batch"` is the serve command's stdin/file/watch ingestion
 /// path; `"other"` catches 404s and rejected methods.
-const ENDPOINTS: [&str; 7] = [
+const ENDPOINTS: [&str; 8] = [
     "/analyze",
     "batch",
     "/metrics",
     "/healthz",
     "/debug/timeline",
     "/debug/metrics/history",
+    "/debug/requests",
     "other",
 ];
 const EP_ANALYZE: usize = 0;
 const EP_BATCH: usize = 1;
+const EP_OTHER: usize = ENDPOINTS.len() - 1;
 
-/// Label index for a request path.
+/// Label index for a request path. Per-id bundle fetches
+/// (`/debug/requests/<id>`) account under the `/debug/requests` label.
 fn endpoint_index(path: &str) -> usize {
+    let path = if path.starts_with("/debug/requests") {
+        "/debug/requests"
+    } else {
+        path
+    };
     ENDPOINTS
         .iter()
         .position(|&e| e == path)
-        .unwrap_or(ENDPOINTS.len() - 1)
+        .unwrap_or(EP_OTHER)
 }
 
-/// One request's captured flight-recorder timeline, kept in the rolling
-/// buffer for `/debug/timeline` and anomaly dumps.
-#[derive(Debug)]
-struct FlightRecord {
-    path: String,
-    events: Vec<obs::timeline::Event>,
+/// One request's forensic record: identity, outcome, captured timeline,
+/// and the correlated slice of the structured log. Retained in the
+/// tail-preferential flight buffer behind `/debug/timeline` and
+/// `/debug/requests`.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Raw request-correlation id (`0` only for pre-context batch work).
+    pub req_id: u64,
+    /// What was analyzed (or the shed detail).
+    pub path: String,
+    /// Endpoint label the request accounted under.
+    pub endpoint: &'static str,
+    /// `"ok"`, `"error"`, or `"shed"`.
+    pub outcome: &'static str,
+    /// Why the record is worth keeping; empty for routine requests.
+    pub anomalies: Vec<&'static str>,
+    /// End-to-end service latency (load + pipeline), nanoseconds.
+    pub latency_ns: u64,
+    /// Accepted instructions (0 on error/shed).
+    pub instructions: u64,
+    /// Budget hits recorded by the run.
+    pub degradations: u64,
+    /// The request's flight-recorder timeline slice.
+    pub events: Vec<obs::timeline::Event>,
+    /// `metadis.log.v2` lines carrying this request's `req_id`.
+    pub logs: Vec<String>,
+}
+
+impl RequestRecord {
+    fn anomalous(&self) -> bool {
+        !self.anomalies.is_empty()
+    }
 }
 
 /// An admitted `/analyze` request waiting for a worker: which connection
-/// to answer, what to analyze, and the client's remaining deadline.
+/// to answer, what to analyze, the correlation id minted (or honored) for
+/// it, and the client's remaining deadline.
 #[derive(Debug)]
 struct Job {
     conn: u64,
+    req_id: RequestId,
     path: String,
     deadline: Deadline,
     queued: Instant,
@@ -196,10 +261,29 @@ struct State {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     completions: Mutex<Vec<(u64, Vec<u8>)>>,
-    flight: Mutex<VecDeque<FlightRecord>>,
+    flight: Mutex<VecDeque<RequestRecord>>,
     flight_dumps: AtomicU64,
+    flight_evictions: AtomicU64,
+    lock_poisoned: AtomicU64,
     draining: AtomicBool,
     stop: AtomicBool,
+}
+
+impl State {
+    /// Take a reactor-shared mutex, recovering from poisoning instead of
+    /// propagating it. A worker that panics while holding one of these
+    /// locks must not cascade into every later scrape and request
+    /// unwinding too — the guarded structures (queue, completions, flight
+    /// buffer, series ring) all tolerate a half-applied update (a lost
+    /// job, a duplicate sample) far better than a dead service. Each
+    /// recovery increments `metadis_lock_poisoned_total` so the incident
+    /// is visible, not silent.
+    fn lock<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| {
+            self.lock_poisoned.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
 }
 
 /// The rolling metric history and its SLO engine, sampled by the reactor
@@ -301,6 +385,17 @@ fn build_sample(st: &State, ts_ns: u64) -> Sample {
         .insert("latency_ns".to_string(), st.latency.summary());
     s.summaries
         .insert("queue_wait_ns".to_string(), st.queue_wait.summary());
+    // Exemplars ride the sample only when a tagged request has landed;
+    // a series with none serializes byte-identically to pre-exemplar docs.
+    for (name, h) in [
+        ("latency_ns", &st.latency),
+        ("queue_wait_ns", &st.queue_wait),
+    ] {
+        let ex = h.exemplars();
+        if !ex.is_empty() {
+            s.exemplars.insert(name.to_string(), ex);
+        }
+    }
     s
 }
 
@@ -309,7 +404,7 @@ fn build_sample(st: &State, ts_ns: u64) -> Sample {
 /// threshold crossings (once per crossing, not per tick).
 fn sample_series(st: &State) {
     let eval = {
-        let mut tr = st.series.lock().unwrap();
+        let mut tr = st.lock(&st.series);
         let ts_ns = tr.origin.elapsed().as_nanos() as u64;
         let sample = build_sample(st, ts_ns);
         let SeriesTracker {
@@ -354,7 +449,7 @@ fn sample_series(st: &State) {
 /// `metadis.series.v1` JSON of the current history ring, for
 /// `/debug/metrics/history`.
 fn render_history(st: &State) -> String {
-    let tr = st.series.lock().unwrap();
+    let tr = st.lock(&st.series);
     obs::series::write_history_json(
         st.opts.series_interval_ms,
         st.opts.series_window,
@@ -520,7 +615,7 @@ impl Server {
             let idle = st.queue_len.load(Ordering::Relaxed) == 0
                 && st.analysis_inflight.load(Ordering::Relaxed) == 0
                 && st.connections.load(Ordering::Relaxed) == 0
-                && st.completions.lock().unwrap().is_empty();
+                && st.lock(&st.completions).is_empty();
             if idle {
                 break;
             }
@@ -560,6 +655,8 @@ impl Drop for Server {
 /// buffer, and the structured log. Shared by the batch entry points
 /// (`ep` = [`EP_BATCH`]) and the dispatcher's HTTP jobs ([`EP_ANALYZE`]).
 fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<RequestSummary, String> {
+    let req_id = obs::ctx::current_raw();
+    let log_mark = obs::log::seq();
     obs::log::info(
         "serve",
         "request begin",
@@ -573,10 +670,9 @@ fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<Request
         Err(e) => {
             obs::timeline::end("serve.request");
             let elapsed_ns = started.elapsed().as_nanos() as u64;
-            st.latency.record(elapsed_ns);
+            st.latency.record_tagged(elapsed_ns, req_id);
             note_endpoint(st, ep, elapsed_ns);
             st.errors.fetch_add(1, Ordering::Relaxed);
-            capture_flight(st, path, tl_mark);
             obs::log::error(
                 "serve",
                 "request failed",
@@ -584,6 +680,10 @@ fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<Request
                     ("path", Value::Str(path.to_string())),
                     ("error", Value::Str(e.clone())),
                 ],
+            );
+            retain_request(
+                st,
+                make_record(st, path, ep, "error", elapsed_ns, 0, 0, tl_mark, log_mark),
             );
             dump_flight(st, "error", path);
             return Err(e);
@@ -610,9 +710,8 @@ fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<Request
         .fetch_max(d.trace.alloc_peak, Ordering::Relaxed);
     obs::timeline::end("serve.request");
     let elapsed_ns = started.elapsed().as_nanos() as u64;
-    st.latency.record(elapsed_ns);
+    st.latency.record_tagged(elapsed_ns, req_id);
     note_endpoint(st, ep, elapsed_ns);
-    capture_flight(st, path, tl_mark);
     obs::log::info(
         "serve",
         "request done",
@@ -623,30 +722,124 @@ fn process_on(st: &State, path: &str, cfg: &Config, ep: usize) -> Result<Request
             ("degradations", summary.degradations.into()),
         ],
     );
+    retain_request(
+        st,
+        make_record(
+            st,
+            path,
+            ep,
+            "ok",
+            elapsed_ns,
+            summary.instructions,
+            summary.degradations,
+            tl_mark,
+            log_mark,
+        ),
+    );
     if summary.degradations > 0 {
         dump_flight(st, "degradation", path);
     }
     Ok(summary)
 }
 
-/// Drain the calling thread's timeline events since `mark` into the
-/// rolling flight buffer. Each worker drains its own ring, so requests
-/// never mix events; the shard bookkeeping events recorded by
-/// `par::run_jobs` before the mark stay in the ring for the batch-level
-/// trace.
-fn capture_flight(st: &State, path: &str, mark: obs::timeline::Mark) {
-    let events = obs::timeline::take_since(mark);
-    if events.is_empty() {
-        return;
-    }
-    let mut flight = st.flight.lock().unwrap();
-    while flight.len() >= FLIGHT_CAPACITY {
-        flight.pop_front();
-    }
-    flight.push_back(FlightRecord {
+/// Assemble one [`RequestRecord`]: drain the calling thread's timeline
+/// events since `mark` (each worker drains its own ring, so requests never
+/// mix events), slice the structured log down to this request's lines, and
+/// classify what — if anything — makes the request anomalous.
+#[allow(clippy::too_many_arguments)]
+fn make_record(
+    st: &State,
+    path: &str,
+    ep: usize,
+    outcome: &'static str,
+    latency_ns: u64,
+    instructions: u64,
+    degradations: u64,
+    mark: obs::timeline::Mark,
+    log_mark: u64,
+) -> RequestRecord {
+    let req_id = obs::ctx::current_raw();
+    RequestRecord {
+        req_id,
         path: path.to_string(),
-        events,
-    });
+        endpoint: ENDPOINTS[ep],
+        outcome,
+        anomalies: classify_anomalies(st, outcome, latency_ns, degradations),
+        latency_ns,
+        instructions,
+        degradations,
+        events: obs::timeline::take_since(mark),
+        logs: log_slice(log_mark, req_id),
+    }
+}
+
+/// Why a request deserves preferential retention. Ordering is stable:
+/// outcome first, then latency, then the SLO state at completion time.
+fn classify_anomalies(
+    st: &State,
+    outcome: &'static str,
+    latency_ns: u64,
+    degradations: u64,
+) -> Vec<&'static str> {
+    let mut anomalies = Vec::new();
+    match outcome {
+        "error" => anomalies.push("error"),
+        "shed" => anomalies.push("shed"),
+        _ => {}
+    }
+    if degradations > 0 {
+        anomalies.push("degraded");
+    }
+    // p99 tail: once the histogram has enough mass for the quantile to
+    // mean anything, a request at or above the cumulative p99 is tail
+    // latency worth keeping.
+    let s = st.latency.summary();
+    if s.count >= 20 && latency_ns >= s.quantile(0.99) {
+        anomalies.push("p99-tail");
+    }
+    // SLO burn: a request that completed while an objective's fast window
+    // was burning hot is evidence for the incident review.
+    let burning = st
+        .lock(&st.series)
+        .statuses
+        .iter()
+        .any(|slo| slo.breached || slo.burn_fast > 1.0);
+    if burning {
+        anomalies.push("slo-burn");
+    }
+    anomalies
+}
+
+/// The structured-log lines belonging to one request: everything still in
+/// the ring at or after `from` that carries the request's `req_id`. Empty
+/// outside a request context (there is nothing safe to attribute).
+fn log_slice(from: u64, req_id: u64) -> Vec<String> {
+    if req_id == 0 {
+        return Vec::new();
+    }
+    let tag = format!("\"req_id\":\"{req_id:016x}\"");
+    obs::log::since(from)
+        .into_iter()
+        .filter(|line| line.contains(&tag))
+        .collect()
+}
+
+/// Push one record into the flight buffer under tail-based retention:
+/// when full, the oldest *routine* record is evicted first; only a buffer
+/// already full of anomalies evicts its oldest anomaly. Every eviction is
+/// counted (`metadis_flight_evictions_total`).
+fn retain_request(st: &State, rec: RequestRecord) {
+    let cap = st.opts.flight_capacity.max(1);
+    let mut flight = st.lock(&st.flight);
+    while flight.len() >= cap {
+        let victim = flight
+            .iter()
+            .position(|r| !r.anomalous())
+            .unwrap_or_default();
+        flight.remove(victim);
+        st.flight_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    flight.push_back(rec);
 }
 
 /// Anomaly hook: write the buffered request timelines to disk as one
@@ -655,7 +848,7 @@ fn capture_flight(st: &State, path: &str, mark: obs::timeline::Mark) {
 /// the dump is diagnostic, not part of the request.
 fn dump_flight(st: &State, reason: &str, path: &str) {
     let (events, requests) = {
-        let flight = st.flight.lock().unwrap();
+        let flight = st.lock(&st.flight);
         let events: Vec<obs::timeline::Event> = flight
             .iter()
             .flat_map(|r| r.events.iter().copied())
@@ -711,7 +904,7 @@ fn run_dispatcher(st: &Arc<State>, cfg: Config) {
     let threads = cfg.threads.max(1);
     loop {
         let batch: Vec<Job> = {
-            let mut q = st.queue.lock().unwrap();
+            let mut q = st.lock(&st.queue);
             while q.is_empty() {
                 if st.stop.load(Ordering::Relaxed) {
                     return;
@@ -719,7 +912,10 @@ fn run_dispatcher(st: &Arc<State>, cfg: Config) {
                 let (guard, _) = st
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(20))
-                    .unwrap();
+                    .unwrap_or_else(|poisoned| {
+                        st.lock_poisoned.fetch_add(1, Ordering::Relaxed);
+                        poisoned.into_inner()
+                    });
                 q = guard;
             }
             let n = q.len().min(threads);
@@ -733,7 +929,7 @@ fn run_dispatcher(st: &Arc<State>, cfg: Config) {
             handle_job(st, &batch[i], &cfg)
         });
         {
-            let mut done = st.completions.lock().unwrap();
+            let mut done = st.lock(&st.completions);
             for (job, resp) in batch.iter().zip(responses) {
                 done.push((job.conn, resp));
             }
@@ -747,11 +943,15 @@ fn run_dispatcher(st: &Arc<State>, cfg: Config) {
 /// client's deadline is already spent, otherwise analyze under the
 /// *remaining* deadline budget and render the HTTP response.
 fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
+    // Re-enter the request's correlation scope on the worker: the job was
+    // minted on the reactor, the analysis happens here, and both must
+    // stamp the same id on logs, events, and exemplars.
+    let _ctx = obs::ctx::scope(job.req_id);
     let waited_ns = job.queued.elapsed().as_nanos() as u64;
-    st.queue_wait.record(waited_ns);
+    st.queue_wait.record_tagged(waited_ns, job.req_id.raw());
     if job.deadline.exceeded() {
         note_endpoint(st, EP_ANALYZE, waited_ns);
-        return shed(st, "deadline", &job.path);
+        return shed(st, "deadline", &job.path, EP_ANALYZE);
     }
     let remaining_ns = job.deadline.remaining_ns();
     let result = if remaining_ns == u64::MAX {
@@ -779,7 +979,7 @@ fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
             w.field_u64("degradations", s.degradations);
             w.field_u64("queue_wait_ns", waited_ns);
             w.end_obj();
-            http::respond("200 OK", "application/json", &w.finish())
+            respond("200 OK", "application/json", &w.finish())
         }
         Err(e) => {
             let category = if e.starts_with("cannot read") {
@@ -787,12 +987,29 @@ fn handle_job(st: &State, job: &Job, cfg: &Config) -> Vec<u8> {
             } else {
                 "parse"
             };
-            http::respond(
+            respond(
                 "422 Unprocessable Entity",
                 "application/json",
                 &error_body(&e, category),
             )
         }
+    }
+}
+
+/// Build an HTTP response that echoes the request-correlation id: when a
+/// request scope is active, the `X-Metadis-Request-Id` header carries the
+/// same id stamped on the request's logs, events, and exemplars — the
+/// client-side end of the correlation chain. Outside a scope this is
+/// plain [`http::respond`].
+fn respond(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    match obs::ctx::current() {
+        Some(id) => http::respond_with(
+            status,
+            content_type,
+            &[("X-Metadis-Request-Id", &id.to_string())],
+            body,
+        ),
+        None => http::respond(status, content_type, body),
     }
 }
 
@@ -820,6 +1037,9 @@ struct Conn {
     written: usize,
     state: ConnState,
     deadline: Deadline,
+    /// Correlation id minted at accept time; replaced by a valid
+    /// client-supplied `X-Metadis-Request-Id` once the request parses.
+    req_id: RequestId,
 }
 
 impl Conn {
@@ -831,6 +1051,7 @@ impl Conn {
             written: 0,
             state: ConnState::Reading,
             deadline,
+            req_id: RequestId::mint(),
         }
     }
 
@@ -894,7 +1115,7 @@ fn run_reactor(listener: TcpListener, st: &Arc<State>) {
         // Deliver completed analyses to their waiting connections before
         // driving the write side, so responses go out this tick.
         {
-            let mut done = st.completions.lock().unwrap();
+            let mut done = st.lock(&st.completions);
             for (id, resp) in done.drain(..) {
                 if let Some(c) = conns.get_mut(&id) {
                     if c.state == ConnState::Waiting {
@@ -934,7 +1155,10 @@ fn run_reactor(listener: TcpListener, st: &Arc<State>) {
 /// Answer a connection we will not hold (cap hit or draining) with a
 /// structured 503, best-effort and nonblocking, then close it.
 fn refuse(st: &State, stream: TcpStream, reason: &'static str) {
-    let body = shed(st, reason, "pre-admission");
+    // Even a refused connection gets a correlation id: the 503 body and
+    // header match the shed's log line and retained record.
+    let _ctx = obs::ctx::scope(RequestId::mint());
+    let body = shed(st, reason, "pre-admission", EP_OTHER);
     if stream.set_nonblocking(true).is_ok() {
         let mut s = stream;
         let _ = s.write(&body);
@@ -945,6 +1169,9 @@ fn refuse(st: &State, stream: TcpStream, reason: &'static str) {
 /// (response fully written, peer gone, or write deadline blown) and should
 /// be dropped.
 fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> bool {
+    // Everything the reactor does on this connection's behalf — parse
+    // warnings, sheds, routing — logs and records under its request id.
+    let _ctx = obs::ctx::scope(c.req_id);
     if c.state == ConnState::Reading {
         let mut buf = [0u8; 4096];
         loop {
@@ -971,7 +1198,7 @@ fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> 
                                     ("buffered", (c.parser.buffered() as u64).into()),
                                 ],
                             );
-                            c.start_write(http::respond(
+                            c.start_write(respond(
                                 pe.status(),
                                 "application/json",
                                 &error_body(pe.reason(), "parse"),
@@ -991,7 +1218,7 @@ fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> 
         // Slowloris guard: a client that cannot finish its request within
         // its deadline is shed, freeing the slot.
         if c.state == ConnState::Reading && c.deadline.exceeded() {
-            let body = shed(st, "deadline", "read");
+            let body = shed(st, "deadline", "read", EP_OTHER);
             c.start_write(body);
         }
     }
@@ -1021,11 +1248,21 @@ fn drive_conn(st: &Arc<State>, id: u64, c: &mut Conn, progressed: &mut bool) -> 
 /// `/analyze` goes through admission control.
 fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
     st.http_requests.fetch_add(1, Ordering::Relaxed);
+    // Honor a client-supplied correlation id (distributed callers thread
+    // one id through a whole fan-out); otherwise keep the accept-time
+    // mint. Either way the id governs every log line, event, exemplar,
+    // and the response header from here on.
+    if let Some(supplied) = req.header("X-Metadis-Request-Id") {
+        if let Some(rid) = RequestId::parse(supplied) {
+            c.req_id = rid;
+        }
+    }
+    let _ctx = obs::ctx::scope(c.req_id);
     let ep = endpoint_index(req.path());
     let sw = obs::Stopwatch::start();
     let method = req.method.as_str();
     if method != "GET" && method != "POST" {
-        c.start_write(http::respond(
+        c.start_write(respond(
             "405 Method Not Allowed",
             "application/json",
             &error_body("method not allowed", "usage"),
@@ -1036,17 +1273,37 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
     match req.path() {
         "/metrics" => {
             let body = render_prometheus(st);
-            c.start_write(http::respond("200 OK", "text/plain; version=0.0.4", &body));
+            c.start_write(respond("200 OK", "text/plain; version=0.0.4", &body));
             note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/debug/timeline" => {
             let body = render_timeline(st);
-            c.start_write(http::respond("200 OK", "application/json", &body));
+            c.start_write(respond("200 OK", "application/json", &body));
             note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/debug/metrics/history" => {
             let body = render_history(st);
-            c.start_write(http::respond("200 OK", "application/json", &body));
+            c.start_write(respond("200 OK", "application/json", &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
+        "/debug/requests" => {
+            let body = render_requests_index(st);
+            c.start_write(respond("200 OK", "application/json", &body));
+            note_endpoint(st, ep, sw.elapsed_ns());
+        }
+        path if path.starts_with("/debug/requests/") => {
+            let wanted = path
+                .strip_prefix("/debug/requests/")
+                .and_then(RequestId::parse);
+            let bundle = wanted.and_then(|rid| render_request_bundle(st, rid));
+            match bundle {
+                Some(body) => c.start_write(respond("200 OK", "application/json", &body)),
+                None => c.start_write(respond(
+                    "404 Not Found",
+                    "application/json",
+                    &error_body("no retained record for that request id", "usage"),
+                )),
+            }
             note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/healthz" => {
@@ -1061,7 +1318,7 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
             } else {
                 "application/json"
             };
-            c.start_write(http::respond(status, content_type, &body));
+            c.start_write(respond(status, content_type, &body));
             note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/analyze" => {
@@ -1071,7 +1328,7 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
             });
             let Some(path) = path else {
                 st.bad_requests.fetch_add(1, Ordering::Relaxed);
-                c.start_write(http::respond(
+                c.start_write(respond(
                     "400 Bad Request",
                     "application/json",
                     &error_body("missing ELF path ('?path=' or request body)", "usage"),
@@ -1080,21 +1337,22 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
                 return;
             };
             if st.draining.load(Ordering::Relaxed) {
-                let body = shed(st, "draining", &path);
+                let body = shed(st, "draining", &path, ep);
                 c.start_write(body);
                 note_endpoint(st, ep, sw.elapsed_ns());
                 return;
             }
-            let mut q = st.queue.lock().unwrap();
+            let mut q = st.lock(&st.queue);
             if q.len() >= st.opts.queue_depth {
                 drop(q);
                 st.shed_queue.fetch_add(1, Ordering::Relaxed);
-                let body = shed(st, "queue-full", &path);
+                let body = shed(st, "queue-full", &path, ep);
                 c.start_write(body);
                 note_endpoint(st, ep, sw.elapsed_ns());
             } else {
                 q.push_back(Job {
                     conn: id,
+                    req_id: c.req_id,
                     path,
                     deadline: c.deadline,
                     queued: Instant::now(),
@@ -1109,7 +1367,7 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
             }
         }
         _ => {
-            c.start_write(http::respond(
+            c.start_write(respond(
                 "404 Not Found",
                 "application/json",
                 &error_body("not found", "usage"),
@@ -1123,11 +1381,13 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
 /// full, connection cap, deadline spent, draining — funnels through here,
 /// so the counter, the warn log event, and the timeline instant always
 /// agree.
-fn shed(st: &State, reason: &'static str, detail: &str) -> Vec<u8> {
+fn shed(st: &State, reason: &'static str, detail: &str, ep: usize) -> Vec<u8> {
     st.sheds.fetch_add(1, Ordering::Relaxed);
     if reason == "deadline" {
         st.shed_deadline.fetch_add(1, Ordering::Relaxed);
     }
+    let log_mark = obs::log::seq();
+    let tl_mark = obs::timeline::mark();
     obs::timeline::instant("serve.shed", 0);
     obs::log::warn(
         "serve",
@@ -1140,6 +1400,15 @@ fn shed(st: &State, reason: &'static str, detail: &str) -> Vec<u8> {
             ("shed_total", st.sheds.load(Ordering::Relaxed).into()),
         ],
     );
+    // Sheds are anomalies by definition: retain the evidence (the warn
+    // line and the shed instant) under the request's id so the 503 a
+    // client holds resolves to a server-side record.
+    if obs::ctx::current().is_some() {
+        retain_request(
+            st,
+            make_record(st, detail, ep, "shed", 0, 0, 0, tl_mark, log_mark),
+        );
+    }
     let mut w = obs::json::JsonWriter::new();
     w.begin_obj();
     w.field_str("error", "server overloaded");
@@ -1150,7 +1419,7 @@ fn shed(st: &State, reason: &'static str, detail: &str) -> Vec<u8> {
     w.field_u64("inflight", st.analysis_inflight.load(Ordering::Relaxed));
     w.field_u64("shed_total", st.sheds.load(Ordering::Relaxed));
     w.end_obj();
-    http::respond("503 Service Unavailable", "application/json", &w.finish())
+    respond("503 Service Unavailable", "application/json", &w.finish())
 }
 
 /// A small structured error body: `{"error": ..., "category": ...}`.
@@ -1185,7 +1454,7 @@ fn readiness(st: &State) -> (bool, String) {
     // unready, so an operator can tell saturation from a budget incident.
     w.key("slo");
     w.begin_arr();
-    for s in &st.series.lock().unwrap().statuses {
+    for s in &st.lock(&st.series).statuses {
         s.write_json(&mut w);
     }
     w.end_arr();
@@ -1197,7 +1466,7 @@ fn readiness(st: &State) -> (bool, String) {
 /// carry absolute timestamps from a shared origin, so the concatenation
 /// renders as one coherent Chrome trace.
 fn buffered_events(st: &State) -> Vec<obs::timeline::Event> {
-    let flight = st.flight.lock().unwrap();
+    let flight = st.lock(&st.flight);
     flight
         .iter()
         .flat_map(|r| r.events.iter().copied())
@@ -1208,6 +1477,99 @@ fn buffered_events(st: &State) -> Vec<obs::timeline::Event> {
 /// `/debug/timeline`.
 fn render_timeline(st: &State) -> String {
     obs::chrome::write_chrome_trace(&buffered_events(st))
+}
+
+/// Index of the retained forensic records for `GET /debug/requests`:
+/// newest last, one summary line per record, plus the buffer's capacity
+/// and how many records eviction has sacrificed so far.
+fn render_requests_index(st: &State) -> String {
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.key("retained");
+    w.begin_arr();
+    {
+        let flight = st.lock(&st.flight);
+        for r in flight.iter() {
+            w.begin_obj();
+            w.field_str("req_id", &format!("{:016x}", r.req_id));
+            w.field_str("path", &r.path);
+            w.field_str("endpoint", r.endpoint);
+            w.field_str("outcome", r.outcome);
+            w.key("anomalies");
+            w.begin_arr();
+            for a in &r.anomalies {
+                w.str_val(a);
+            }
+            w.end_arr();
+            w.field_u64("latency_ns", r.latency_ns);
+            w.end_obj();
+        }
+    }
+    w.end_arr();
+    w.field_u64("capacity", st.opts.flight_capacity.max(1) as u64);
+    w.field_u64("evictions", st.flight_evictions.load(Ordering::Relaxed));
+    w.end_obj();
+    w.finish()
+}
+
+/// The `metadis.request.v1` bundle for one retained request id, or `None`
+/// when nothing with that id is retained. When a client reused one id
+/// across requests, the newest record wins (it is the one the client's
+/// latest response pointed at).
+fn render_request_bundle(st: &State, rid: RequestId) -> Option<String> {
+    let rec = {
+        let flight = st.lock(&st.flight);
+        flight.iter().rev().find(|r| r.req_id == rid.raw()).cloned()
+    }?;
+    Some(write_request_bundle(&rec))
+}
+
+/// Serialize one [`RequestRecord`] as a `metadis.request.v1` document —
+/// the per-request forensic bundle: identity and outcome, a trace summary
+/// (event/span counts, request wall span), the full timeline slice as an
+/// embedded Chrome trace, and the correlated `metadis.log.v2` lines
+/// spliced verbatim. Pure in the record, so the encoding is golden-pinned.
+pub fn write_request_bundle(rec: &RequestRecord) -> String {
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_obj();
+    w.field_str("schema", REQUEST_SCHEMA);
+    w.field_str("req_id", &format!("{:016x}", rec.req_id));
+    w.field_str("path", &rec.path);
+    w.field_str("endpoint", rec.endpoint);
+    w.field_str("outcome", rec.outcome);
+    w.key("anomalies");
+    w.begin_arr();
+    for a in &rec.anomalies {
+        w.str_val(a);
+    }
+    w.end_arr();
+    w.field_u64("latency_ns", rec.latency_ns);
+    w.field_u64("instructions", rec.instructions);
+    w.field_u64("degradations", rec.degradations);
+    w.key("trace");
+    w.begin_obj();
+    w.field_u64("events", rec.events.len() as u64);
+    w.field_u64(
+        "spans",
+        rec.events
+            .iter()
+            .filter(|e| e.kind == obs::timeline::EventKind::Begin)
+            .count() as u64,
+    );
+    let first = rec.events.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    let last = rec.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+    w.field_u64("wall_ns", last.saturating_sub(first));
+    w.end_obj();
+    w.key("timeline");
+    w.raw_val(&obs::chrome::write_chrome_trace(&rec.events));
+    w.key("logs");
+    w.begin_arr();
+    for line in &rec.logs {
+        w.raw_val(line);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
 }
 
 fn render_prometheus(st: &State) -> String {
@@ -1352,6 +1714,30 @@ fn render_prometheus(st: &State) -> String {
         "HTTP requests answered by the exposition endpoint.",
         st.http_requests.load(Ordering::Relaxed),
     );
+    metric(
+        "metadis_lock_poisoned_total",
+        "counter",
+        "Reactor-shared mutexes recovered from poisoning (a worker panicked while holding one).",
+        st.lock_poisoned.load(Ordering::Relaxed),
+    );
+    metric(
+        "metadis_flight_occupancy",
+        "gauge",
+        "Forensic request records currently retained in the flight buffer.",
+        st.lock(&st.flight).len() as u64,
+    );
+    metric(
+        "metadis_flight_capacity",
+        "gauge",
+        "Configured flight-buffer capacity (--flight-capacity).",
+        st.opts.flight_capacity.max(1) as u64,
+    );
+    metric(
+        "metadis_flight_evictions_total",
+        "counter",
+        "Request records evicted from the flight buffer (routine records first).",
+        st.flight_evictions.load(Ordering::Relaxed),
+    );
     metric("metadis_up", "gauge", "1 while the server is running.", 1);
     // Build identity: lets scrapes correlate metric shape with the
     // running build and its schema tags. (Direct pushes from here on —
@@ -1367,7 +1753,7 @@ fn render_prometheus(st: &State) -> String {
     // SLO burn gauges from the latest sampler evaluation. With the
     // sampler disabled (or before its first tick) the families are
     // declared but carry no series.
-    let statuses = st.series.lock().unwrap().statuses.clone();
+    let statuses = st.lock(&st.series).statuses.clone();
     out.push_str(
         "# HELP metadis_slo_burn_rate Error-budget burn rate per objective and window; 1.0 burns exactly the budget.\n# TYPE metadis_slo_burn_rate gauge\n",
     );
@@ -1424,7 +1810,49 @@ fn render_prometheus(st: &State) -> String {
     }
     out.push_str(&format!("metadis_queue_wait_ns_sum {}\n", s.sum));
     out.push_str(&format!("metadis_queue_wait_ns_count {}\n", s.count));
+    // Full log2 histograms with OpenMetrics exemplars: each populated
+    // bucket line may carry `# {req_id="…"} value` — the last correlated
+    // request that landed there — so a dashboard can jump from a latency
+    // spike straight to `/debug/requests/<id>`.
+    write_histogram_with_exemplars(
+        &mut out,
+        "metadis_request_latency_histogram_ns",
+        "Per-request service latency, log2 buckets with request-id exemplars.",
+        &st.latency,
+    );
+    write_histogram_with_exemplars(
+        &mut out,
+        "metadis_queue_wait_histogram_ns",
+        "Queue wait before a worker started the request, log2 buckets with request-id exemplars.",
+        &st.queue_wait,
+    );
     out
+}
+
+/// Render one histogram as an OpenMetrics-style `histogram` family:
+/// cumulative `_bucket{le=…}` lines (sparse — only populated buckets plus
+/// `+Inf`), `_sum`, `_count`, and an exemplar suffix on every bucket that
+/// has recorded a correlated request.
+fn write_histogram_with_exemplars(out: &mut String, name: &str, help: &str, h: &obs::Histogram) {
+    let s = h.summary();
+    let exemplars = h.exemplars();
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for &(b, c) in &s.buckets {
+        cumulative += c;
+        let le = obs::metrics::bucket_bound(b as usize);
+        let suffix = exemplars
+            .iter()
+            .find(|&&(eb, _, _)| eb == b)
+            .map(|&(_, tag, v)| format!(" # {{req_id=\"{tag:016x}\"}} {v}"))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{le}\"}} {cumulative}{suffix}\n"
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", s.count));
+    out.push_str(&format!("{name}_sum {}\n", s.sum));
+    out.push_str(&format!("{name}_count {}\n", s.count));
 }
 
 /// Fetch `path` from the server at `addr` over a fresh connection and
@@ -1480,7 +1908,15 @@ mod tests {
             "metadis_alloc_peak_bytes 4096",
             "metadis_build_info{version=\"",
             "trace_schema=\"metadis.trace.v6\"",
-            "log_schema=\"metadis.log.v1\"} 1",
+            "log_schema=\"metadis.log.v2\"} 1",
+            "metadis_lock_poisoned_total 0",
+            "metadis_flight_occupancy 0",
+            "metadis_flight_capacity 8",
+            "metadis_flight_evictions_total 0",
+            "# TYPE metadis_request_latency_histogram_ns histogram",
+            "metadis_request_latency_histogram_ns_bucket{le=\"+Inf\"} 0",
+            "# TYPE metadis_queue_wait_histogram_ns histogram",
+            "metadis_queue_wait_histogram_ns_count 0",
             "# TYPE metadis_slo_burn_rate gauge",
             "# TYPE metadis_slo_breached gauge",
             "metadis_request_latency_ns{endpoint=\"/analyze\",quantile=\"0.5\"} 0",
@@ -1549,6 +1985,15 @@ mod tests {
             ENDPOINTS[endpoint_index("/debug/metrics/history")],
             "/debug/metrics/history"
         );
+        assert_eq!(
+            ENDPOINTS[endpoint_index("/debug/requests")],
+            "/debug/requests"
+        );
+        // per-id bundle fetches account under the same label
+        assert_eq!(
+            ENDPOINTS[endpoint_index("/debug/requests/00000000000004d2")],
+            "/debug/requests"
+        );
         assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
     }
 
@@ -1594,19 +2039,27 @@ mod tests {
     fn flight_buffer_is_bounded_and_serves_debug_timeline() {
         let server = Server::start("127.0.0.1:0").unwrap();
         // Force more requests than the buffer holds; every one fails to
-        // load, but still records a serve.request span.
+        // load (all anomalous), so eviction falls back to oldest-first
+        // and still records a serve.request span per request.
         for i in 0..(FLIGHT_CAPACITY + 3) {
             let _ = server.process_path(&format!("/nonexistent/f{i}.elf"), &Config::default());
         }
         {
-            let flight = server.state.flight.lock().unwrap();
+            let flight = server.state.lock(&server.state.flight);
             assert_eq!(flight.len(), FLIGHT_CAPACITY);
             // oldest entries fell off the front
             assert!(flight.front().unwrap().path.contains("f3.elf"));
             for rec in flight.iter() {
                 assert!(!rec.events.is_empty());
+                assert_eq!(rec.outcome, "error");
+                assert!(rec.anomalies.contains(&"error"), "{:?}", rec.anomalies);
             }
         }
+        assert_eq!(
+            server.state.flight_evictions.load(Ordering::Relaxed),
+            3,
+            "three over capacity, three evictions"
+        );
         let addr = server.addr().to_string();
         let body = scrape(&addr, "/debug/timeline").unwrap();
         let json = obs::json::parse(&body).expect("timeline is valid JSON");
@@ -1618,6 +2071,150 @@ mod tests {
             .count();
         assert_eq!(begins, FLIGHT_CAPACITY);
         server.shutdown();
+    }
+
+    #[test]
+    fn tail_retention_keeps_anomalies_over_routine_requests() {
+        let dir = tmpdir("retain");
+        let elf = write_elf(&dir, "ok.elf", 41);
+        let opts = ServeOptions {
+            flight_capacity: 3,
+            ..ServeOptions::default()
+        };
+        let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+        // three routine requests fill the buffer...
+        for _ in 0..3 {
+            server.process_path(&elf, &Config::default()).unwrap();
+        }
+        // ...then more anomalies than capacity: each evicts a routine
+        // record first, then the oldest anomaly once none remain.
+        for i in 0..4 {
+            let _ = server.process_path(&format!("/nonexistent/e{i}.elf"), &Config::default());
+        }
+        {
+            let flight = server.state.lock(&server.state.flight);
+            assert_eq!(flight.len(), 3);
+            assert!(
+                flight.iter().all(|r| r.anomalies.contains(&"error")),
+                "anomalies outlive routine records: {:?}",
+                flight.iter().map(|r| r.path.clone()).collect::<Vec<_>>()
+            );
+            // oldest anomaly was sacrificed only after every routine one
+            assert!(flight.front().unwrap().path.contains("e1.elf"));
+        }
+        assert_eq!(server.state.flight_evictions.load(Ordering::Relaxed), 4);
+        let metrics = server.render_metrics();
+        assert!(metrics.contains("metadis_flight_occupancy 3"), "{metrics}");
+        assert!(metrics.contains("metadis_flight_capacity 3"), "{metrics}");
+        assert!(
+            metrics.contains("metadis_flight_evictions_total 4"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_ids_echo_and_resolve_to_bundles() {
+        // the log slice in a bundle comes from the global log ring, which
+        // only captures when a level is set (the serve CLI does this; a
+        // bare Server::start does not)
+        if obs::log::level().is_none() {
+            obs::log::set_level(Some(obs::log::Level::Info));
+        }
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        // an error request is retained; its response header names the id.
+        // Concurrent CLI-invocation tests reset the global logger, which
+        // can wipe a request's log slice mid-capture — issue a fresh
+        // request until one lands with its slice intact.
+        let mut picked = None;
+        for _ in 0..32 {
+            obs::log::set_level(Some(obs::log::Level::Info));
+            let (status, headers, _body) =
+                http::request_full(&addr, "GET", "/analyze?path=/nonexistent/zz.elf", None, &[])
+                    .unwrap();
+            assert_eq!(status, 422);
+            let rid = headers
+                .iter()
+                .find(|(k, _)| k.eq_ignore_ascii_case("x-metadis-request-id"))
+                .map(|(_, v)| v.clone())
+                .expect("every response carries X-Metadis-Request-Id");
+            assert_eq!(rid.len(), 16, "{rid}");
+            let bundle = scrape(&addr, &format!("/debug/requests/{rid}")).unwrap();
+            let doc = obs::json::parse(&bundle).expect("bundle is valid JSON");
+            let has_logs = doc
+                .path("logs")
+                .and_then(|v| v.as_arr())
+                .is_some_and(|l| !l.is_empty());
+            if has_logs {
+                picked = Some((rid, bundle));
+                break;
+            }
+        }
+        let (rid, bundle) = picked.expect("a request with an intact log slice");
+        // the index lists it...
+        let index = scrape(&addr, "/debug/requests").unwrap();
+        assert!(index.contains(&rid), "{index}");
+        let doc = obs::json::parse(&index).unwrap();
+        assert_eq!(doc.path("capacity").and_then(|v| v.as_u64()), Some(8));
+        // ...and the per-id bundle carries the same id, the timeline, and
+        // the correlated log slice
+        let doc = obs::json::parse(&bundle).expect("bundle is valid JSON");
+        assert_eq!(
+            doc.path("schema").and_then(|v| v.as_str()),
+            Some(REQUEST_SCHEMA)
+        );
+        assert_eq!(doc.path("req_id").and_then(|v| v.as_str()), Some(&rid[..]));
+        assert_eq!(doc.path("outcome").and_then(|v| v.as_str()), Some("error"));
+        assert!(!doc
+            .path("timeline.traceEvents")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .is_empty());
+        let logs = doc.path("logs").and_then(|v| v.as_arr()).unwrap();
+        assert!(
+            logs.iter().any(|l| {
+                l.path("msg").and_then(|m| m.as_str()) == Some("request failed")
+                    && l.path("req_id").and_then(|m| m.as_str()) == Some(&rid[..])
+            }),
+            "{bundle}"
+        );
+        // an unknown id is a clean 404
+        let err = scrape(&addr, "/debug/requests/ffffffffffffffff").unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        // a client-supplied id is honored and echoed back verbatim
+        let (_, headers, _) = http::request_full(
+            &addr,
+            "GET",
+            "/healthz",
+            None,
+            &[("X-Metadis-Request-Id", "00c0ffee00c0ffee")],
+        )
+        .unwrap();
+        let echoed = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("x-metadis-request-id"))
+            .map(|(_, v)| v.clone());
+        assert_eq!(echoed.as_deref(), Some("00c0ffee00c0ffee"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn poisoned_locks_recover_and_count() {
+        let st = State::default();
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = st.lock(&st.flight);
+            panic!("poison the flight buffer");
+        }));
+        assert!(poison.is_err());
+        // the next taker recovers instead of propagating the panic
+        assert_eq!(st.lock(&st.flight).len(), 0);
+        assert_eq!(st.lock_poisoned.load(Ordering::Relaxed), 1);
+        let metrics = render_prometheus(&st);
+        assert!(
+            metrics.contains("metadis_lock_poisoned_total 1"),
+            "{metrics}"
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Golden-file pinning of the `metadis.request.v1` bundle encoding.
+//!
+//! [`metadis::serve::write_request_bundle`] is pure in its record (no
+//! clocks, no global state), so a fixed record must serialize
+//! byte-for-byte to the checked-in golden forever. Changing any byte of
+//! the encoding is a schema break and needs a new schema tag, not a
+//! blessed golden.
+//!
+//! Regenerate after an *intentional* schema change with
+//! `BLESS=1 cargo test --test request_golden`.
+
+use metadis::serve::{write_request_bundle, RequestRecord, REQUEST_SCHEMA};
+use obs::timeline::{Event, EventKind, NO_SHARD};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/request_v1_golden.json"
+);
+
+/// One fully-populated record: an anomalous (error + tail) request with a
+/// two-event timeline span and two correlated log lines, exercising every
+/// member the schema defines — including the embedded Chrome trace and the
+/// verbatim-spliced `metadis.log.v2` lines.
+fn sample_record() -> RequestRecord {
+    let rid = 0xdead_beef_cafe_f00d_u64;
+    RequestRecord {
+        req_id: rid,
+        path: "/srv/bins/example.elf".to_string(),
+        endpoint: "/analyze",
+        outcome: "error",
+        anomalies: vec!["error", "p99-tail"],
+        latency_ns: 1_234_567,
+        instructions: 0,
+        degradations: 0,
+        events: vec![
+            Event {
+                ts_ns: 1_000,
+                tid: 4,
+                kind: EventKind::Begin,
+                name: "serve.request",
+                shard: NO_SHARD,
+                arg: 0,
+                req_id: rid,
+            },
+            Event {
+                ts_ns: 1_235_567,
+                tid: 4,
+                kind: EventKind::End,
+                name: "serve.request",
+                shard: NO_SHARD,
+                arg: 0,
+                req_id: rid,
+            },
+        ],
+        logs: vec![
+            obs::log::format_line(
+                1_100,
+                obs::log::Level::Info,
+                "serve",
+                None,
+                rid,
+                "request begin",
+                &[("path", obs::log::Value::Str("/srv/bins/example.elf".into()))],
+            ),
+            obs::log::format_line(
+                1_235_000,
+                obs::log::Level::Error,
+                "serve",
+                None,
+                rid,
+                "request failed",
+                &[(
+                    "error",
+                    obs::log::Value::Str("cannot read '/srv/bins/example.elf'".into()),
+                )],
+            ),
+        ],
+    }
+}
+
+#[test]
+fn request_v1_bundle_matches_golden_byte_for_byte() {
+    let mut got = write_request_bundle(&sample_record());
+    got.push('\n');
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(GOLDEN).unwrap();
+    assert_eq!(
+        got, want,
+        "metadis.request.v1 encoding drifted; a byte-level change needs a new schema tag"
+    );
+}
+
+#[test]
+fn golden_bundle_is_a_well_formed_document() {
+    let text = std::fs::read_to_string(GOLDEN).unwrap();
+    let doc = obs::json::parse(text.trim_end()).expect("golden parses as JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(REQUEST_SCHEMA)
+    );
+    for key in [
+        "schema",
+        "req_id",
+        "path",
+        "endpoint",
+        "outcome",
+        "anomalies",
+        "latency_ns",
+        "instructions",
+        "degradations",
+        "trace",
+        "timeline",
+        "logs",
+    ] {
+        assert!(doc.get(key).is_some(), "missing {key}: {text}");
+    }
+    // req_id is the 16-hex form every other surface (header, log line,
+    // exemplar) uses, so the bundle joins on it verbatim
+    let rid = doc.get("req_id").and_then(|v| v.as_str()).unwrap();
+    assert_eq!(rid.len(), 16, "{rid}");
+    // the trace summary agrees with the embedded timeline
+    assert_eq!(doc.path("trace.events").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.path("trace.spans").and_then(|v| v.as_u64()), Some(1));
+    let events = doc
+        .path("timeline.traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("embedded Chrome trace");
+    assert!(!events.is_empty());
+    // every correlated log line is a metadis.log.v2 record tagged with the
+    // bundle's own id
+    let logs = doc.get("logs").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(logs.len(), 2);
+    for line in logs {
+        assert_eq!(
+            line.get("schema").and_then(|v| v.as_str()),
+            Some("metadis.log.v2")
+        );
+        assert_eq!(line.get("req_id").and_then(|v| v.as_str()), Some(rid));
+    }
+}

@@ -120,9 +120,9 @@ fn serve_command_drains_a_request_file() {
         "{out}"
     );
 
-    // the log stream recorded the lifecycle as metadis.log.v1 records
+    // the log stream recorded the lifecycle as metadis.log.v2 records
     let logged = std::fs::read_to_string(&log).unwrap();
-    assert!(logged.contains(r#""schema":"metadis.log.v1""#), "{logged}");
+    assert!(logged.contains(r#""schema":"metadis.log.v2""#), "{logged}");
     assert!(logged.contains(r#""msg":"listening""#), "{logged}");
     assert!(logged.contains(r#""msg":"request done""#), "{logged}");
 }
@@ -171,7 +171,7 @@ fn concurrent_clients_keep_per_request_capture_isolated() {
     let logged = std::fs::read_to_string(&log).unwrap();
     for line in logged.lines() {
         assert!(
-            line.starts_with(r#"{"schema":"metadis.log.v1","ts_ns":"#),
+            line.starts_with(r#"{"schema":"metadis.log.v2","ts_ns":"#),
             "interleaved or malformed log line: {line}"
         );
         assert!(line.ends_with('}'), "truncated log line: {line}");
@@ -733,5 +733,159 @@ fn top_once_renders_a_snapshot_from_a_live_server() {
     ] {
         assert!(out.contains(col), "missing column {col}: {out}");
     }
+    server.shutdown();
+}
+
+/// The tentpole contract end to end: one request id, supplied by the
+/// client, shows up verbatim on every observability surface — the response
+/// header, the structured log lines, the `/metrics` exemplars, and the
+/// `/debug/requests/<id>` forensic bundle (timeline and log slice
+/// included).
+#[test]
+fn one_request_id_correlates_every_surface() {
+    // hold the CLI lock so no run()-based test tears down the global
+    // logger while this request's log slice is being captured
+    let _cli = CLI_LOCK.lock().unwrap();
+    obs::log::set_level(Some(obs::log::Level::Info));
+
+    let server = Server::start("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+    let rid = "1badb002deadc0de";
+
+    // an error request (nonexistent input) is always anomalous → retained
+    let (status, headers, body) = http::request_full(
+        &addr,
+        "GET",
+        "/analyze?path=/nonexistent/corr.elf",
+        None,
+        &[("X-Metadis-Request-Id", rid)],
+    )
+    .unwrap();
+    assert_eq!(status, 422, "{body}");
+
+    // 1. the response echoes the client's id verbatim
+    let echoed = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("x-metadis-request-id"))
+        .map(|(_, v)| v.as_str());
+    assert_eq!(echoed, Some(rid));
+
+    // 2. the latency exemplar on /metrics names the same id
+    let metrics = scrape(&addr, "/metrics").unwrap();
+    assert!(
+        metrics.contains(&format!("# {{req_id=\"{rid}\"}}")),
+        "no exemplar for {rid}:\n{metrics}"
+    );
+    let exemplar_line = metrics
+        .lines()
+        .find(|l| l.contains("metadis_request_latency_histogram_ns_bucket") && l.contains(rid))
+        .unwrap_or_else(|| panic!("exemplar not on a latency bucket:\n{metrics}"));
+    assert!(exemplar_line.contains("le=\""), "{exemplar_line}");
+
+    // 3. the retention index lists the id, and the bundle resolves
+    let index = scrape(&addr, "/debug/requests").unwrap();
+    assert!(index.contains(rid), "{index}");
+    let bundle = scrape(&addr, &format!("/debug/requests/{rid}")).unwrap();
+    let doc = obs::json::parse(&bundle).expect("bundle is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("metadis.request.v1")
+    );
+    assert_eq!(doc.get("req_id").and_then(|v| v.as_str()), Some(rid));
+    assert_eq!(doc.get("outcome").and_then(|v| v.as_str()), Some("error"));
+    assert!(doc
+        .get("anomalies")
+        .and_then(|v| v.as_arr())
+        .is_some_and(|a| a.iter().any(|x| x.as_str() == Some("error"))));
+
+    // 4. the embedded timeline slice is tagged with the id
+    let events = doc
+        .path("timeline.traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("bundle embeds a Chrome trace");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.path("args.req_id").and_then(|v| v.as_str()) == Some(rid)),
+        "{bundle}"
+    );
+
+    // 5. the correlated log slice carries the request lifecycle under the
+    // same id
+    let logs = doc.get("logs").and_then(|v| v.as_arr()).unwrap();
+    assert!(!logs.is_empty(), "{bundle}");
+    for line in logs {
+        assert_eq!(
+            line.get("schema").and_then(|v| v.as_str()),
+            Some("metadis.log.v2"),
+            "{bundle}"
+        );
+        assert_eq!(
+            line.get("req_id").and_then(|v| v.as_str()),
+            Some(rid),
+            "{bundle}"
+        );
+    }
+    assert!(
+        logs.iter()
+            .any(|l| l.get("msg").and_then(|v| v.as_str()) == Some("request failed")),
+        "{bundle}"
+    );
+    server.shutdown();
+}
+
+/// Soak the sampler well past `--series-window`: the ring must wrap
+/// (evicting oldest samples) while `/debug/metrics/history` stays a valid,
+/// round-trippable `metadis.series.v1` document with strictly increasing
+/// timestamps and exactly `window` retained samples.
+#[test]
+fn history_ring_stays_schema_valid_across_wraparound() {
+    let window = 4usize;
+    let opts = ServeOptions {
+        series_interval_ms: 5,
+        series_window: window,
+        ..ServeOptions::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", opts, Config::default()).unwrap();
+    let addr = server.addr().to_string();
+
+    // fill the ring, remember the oldest retained timestamp...
+    let body = wait_for_history(&addr, window);
+    let first = obs::series::samples_from_json(&obs::json::parse(&body).unwrap()).unwrap();
+    let oldest_ts = first.first().unwrap().ts_ns;
+
+    // ...then soak until eviction is provable: the ring stays at capacity
+    // while its oldest sample is newer than the one we saw before
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let (body, samples) = loop {
+        let body = scrape(&addr, "/debug/metrics/history").unwrap();
+        let doc = obs::json::parse(&body).expect("history stays valid JSON");
+        let samples = obs::series::samples_from_json(&doc).expect("history stays series.v1");
+        if samples.len() == window && samples.first().unwrap().ts_ns > oldest_ts {
+            break (body, samples);
+        }
+        assert!(
+            samples.len() <= window,
+            "ring exceeded its window: {} > {window}",
+            samples.len()
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ring never wrapped past its window:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    // after eviction the document still round-trips byte-for-byte and its
+    // samples are still strictly time-ordered cumulative snapshots
+    assert_eq!(
+        obs::series::write_history_json(5, window, &samples),
+        body,
+        "post-wraparound history must round-trip"
+    );
+    assert!(
+        samples.windows(2).all(|w| w[0].ts_ns < w[1].ts_ns),
+        "{body}"
+    );
     server.shutdown();
 }
