@@ -96,7 +96,11 @@ cargo run --release --offline --bin metadis -- \
 SOAK_PID=$!
 ADDR=""
 for _ in $(seq 1 200); do
-  ADDR="$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$SOAK_LOG" 2>/dev/null | head -n1)"
+  # the backgrounded server may not have created its log yet; skipping
+  # the read keeps sed's ENOENT from tripping set -e/pipefail
+  if [[ -f "$SOAK_LOG" ]]; then
+    ADDR="$(sed -n 's/.*"msg":"listening".*"addr":"\([^"]*\)".*/\1/p' "$SOAK_LOG" | head -n1)"
+  fi
   [[ -n "$ADDR" ]] && break
   sleep 0.05
 done

@@ -1378,9 +1378,19 @@ fn cmd_forensics(rest: &[&String]) -> Result<CmdOutput, CliError> {
     let index = fetch("/debug/requests")?;
     save("requests.json", &index)?;
     text.push_str("  requests.json\n");
-    // which request bundles to pull: one (--id) or every retained id
-    let ids: Vec<String> = match flag_value(rest, "--id") {
-        Some(id) => vec![id.to_string()],
+    // Which request bundles to pull: one (--id) or every retained id.
+    // Every id — flag or remote index — must parse as a RequestId before
+    // it is interpolated into a URL or an output filename: the index
+    // comes from the network, and an unvalidated string like
+    // `../../.bashrc` would otherwise name a file outside the bundle
+    // directory. The canonical 16-hex rendering is used from here on.
+    let mut invalid = 0usize;
+    let ids: Vec<obs::ctx::RequestId> = match flag_value(rest, "--id") {
+        Some(id) => vec![obs::ctx::RequestId::parse(id).ok_or_else(|| {
+            err(format!(
+                "forensics: --id '{id}' is not a request id (1-16 hex digits, nonzero)"
+            ))
+        })?],
         None => {
             let doc = obs::json::parse(&index)
                 .map_err(|e| parse_err(format!("forensics: bad /debug/requests JSON: {e}")))?;
@@ -1390,14 +1400,26 @@ fn cmd_forensics(rest: &[&String]) -> Result<CmdOutput, CliError> {
                     records
                         .iter()
                         .filter_map(|r| r.path("req_id").and_then(|v| v.as_str()))
-                        .map(str::to_string)
+                        .filter_map(|s| {
+                            let rid = obs::ctx::RequestId::parse(s);
+                            invalid += usize::from(rid.is_none());
+                            rid
+                        })
                         .collect()
                 })
                 .unwrap_or_default()
         }
     };
+    if invalid > 0 {
+        let _ = writeln!(
+            text,
+            "  skipped {invalid} index entr{} with invalid request ids",
+            if invalid == 1 { "y" } else { "ies" }
+        );
+    }
     let mut saved = 0usize;
-    for id in &ids {
+    for rid in &ids {
+        let id = rid.to_string();
         // a record can race out of the buffer between the index fetch and
         // this one; a missing id is a note, not a failure
         match fetch(&format!("/debug/requests/{id}")) {
@@ -2030,5 +2052,88 @@ mod tests {
         drop(dead);
         let e = run(&args(&["scrape", &addr])).unwrap_err();
         assert_eq!(e.category, ErrorCategory::Io, "{e}");
+    }
+
+    #[test]
+    fn forensics_validates_request_ids_from_flag_and_remote_index() {
+        use std::io::{Read as _, Write as _};
+        // A hostile/compromised server whose retention index names a
+        // path-traversal "id". The CLI must validate every id before
+        // interpolating it into a fetch URL or an output filename.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // exactly 7 requests cross the wire: 4 for the clean run
+        // (metrics, history, index, one valid bundle) and 3 for the
+        // --id run, which fails validation after the index fetch
+        let server = std::thread::spawn(move || {
+            for _ in 0..7 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    return;
+                };
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    match s.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                let req = String::from_utf8_lossy(&buf).into_owned();
+                let target = req.split_whitespace().nth(1).unwrap_or("").to_string();
+                let body = match target.as_str() {
+                    "/debug/requests" => {
+                        r#"{"retained":[{"req_id":"../../evil"},{"req_id":"000000000000dead"}]}"#
+                    }
+                    t if t.starts_with("/debug/requests/") => r#"{"schema":"metadis.request.v1"}"#,
+                    _ => "{}",
+                };
+                let _ = write!(
+                    s,
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+        });
+
+        let dir = tmpdir().join("forensics-hostile");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let out = run(&args(&["forensics", &addr, "-o", &dir_s])).unwrap();
+        // the traversal entry is reported, not fetched or written...
+        assert!(
+            out.contains("skipped 1 index entry with invalid request ids"),
+            "{out}"
+        );
+        assert!(out.contains("request-000000000000dead.json"), "{out}");
+        assert!(out.contains("saved 1 request bundle(s)"), "{out}");
+        // ...and the bundle directory holds exactly the expected files,
+        // all inside the directory
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            [
+                "history.json",
+                "metrics.prom",
+                "request-000000000000dead.json",
+                "requests.json"
+            ]
+        );
+
+        // an invalid --id is a usage error before any fetch loop runs
+        let e = run(&args(&[
+            "forensics",
+            &addr,
+            "--id",
+            "../../etc/passwd",
+            "-o",
+            &dir_s,
+        ]))
+        .unwrap_err();
+        assert!(e.to_string().contains("not a request id"), "{e}");
+        server.join().unwrap();
     }
 }

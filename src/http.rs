@@ -314,12 +314,20 @@ pub fn request_full(
     Ok((code, headers, body.to_string()))
 }
 
+/// The `Accept` header [`fetch`] sends: prefer the OpenMetrics exposition
+/// (whose histogram buckets carry request-id exemplars) with the legacy
+/// Prometheus text format as fallback — the same negotiation a modern
+/// Prometheus scraper performs. Non-metrics endpoints ignore it.
+pub const SCRAPE_ACCEPT: &str =
+    "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5";
+
 /// `GET path` against `addr` and return the body; any non-200 status is an
 /// error carrying the status code. The one keep-alive-less client path
 /// shared by `metadis scrape`, `metadis top`, and the tests — one fresh
 /// connection per call, `Connection: close`, bounded 10s timeouts.
 pub fn fetch(addr: &str, path: &str) -> std::io::Result<String> {
-    let (status, body) = request(addr, "GET", path, None)?;
+    let (status, _headers, body) =
+        request_full(addr, "GET", path, None, &[("Accept", SCRAPE_ACCEPT)])?;
     if status != 200 {
         return Err(std::io::Error::other(format!(
             "server answered '{status}' for {path}"

@@ -168,9 +168,11 @@ const EP_BATCH: usize = 1;
 const EP_OTHER: usize = ENDPOINTS.len() - 1;
 
 /// Label index for a request path. Per-id bundle fetches
-/// (`/debug/requests/<id>`) account under the `/debug/requests` label.
+/// (`/debug/requests/<id>`) account under the `/debug/requests` label;
+/// merely-prefixed paths like `/debug/requestsfoo` route to the 404
+/// handler and must account under `other`.
 fn endpoint_index(path: &str) -> usize {
-    let path = if path.starts_with("/debug/requests") {
+    let path = if path == "/debug/requests" || path.starts_with("/debug/requests/") {
         "/debug/requests"
     } else {
         path
@@ -577,9 +579,12 @@ impl Server {
         })
     }
 
-    /// Render the Prometheus text exposition of the service counters.
+    /// Render the legacy (`text/plain; version=0.0.4`) Prometheus text
+    /// exposition of the service counters — no exemplar suffixes, which
+    /// only the OpenMetrics format served by `GET /metrics` under an
+    /// `Accept: application/openmetrics-text` header may carry.
     pub fn render_metrics(&self) -> String {
-        render_prometheus(&self.state)
+        render_prometheus(&self.state, false)
     }
 
     /// Gracefully stop: refuse new connections, drain queued and in-flight
@@ -1252,6 +1257,14 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
     // one id through a whole fan-out); otherwise keep the accept-time
     // mint. Either way the id governs every log line, event, exemplar,
     // and the response header from here on.
+    //
+    // Trust model: supplied ids are taken at face value — no uniqueness
+    // check against retained records. A client that deliberately reuses
+    // another request's id can shadow that request's forensic bundle
+    // (`render_request_bundle` resolves duplicates newest-wins) and
+    // pollute its log/exemplar correlation. The debug surface therefore
+    // assumes callers are trusted operators/peers, the same assumption
+    // `/debug/*` already makes; deploy behind the same boundary.
     if let Some(supplied) = req.header("X-Metadis-Request-Id") {
         if let Some(rid) = RequestId::parse(supplied) {
             c.req_id = rid;
@@ -1272,8 +1285,19 @@ fn route(st: &Arc<State>, id: u64, c: &mut Conn, req: &http::Request) {
     }
     match req.path() {
         "/metrics" => {
-            let body = render_prometheus(st);
-            c.start_write(respond("200 OK", "text/plain; version=0.0.4", &body));
+            // Content negotiation: exemplars are only legal in the
+            // OpenMetrics exposition, so the legacy version=0.0.4 text
+            // (which a plain parser reads as "value then optional
+            // timestamp") must never carry them or the whole scrape
+            // becomes unparsable.
+            let om = accepts_openmetrics(req.header("Accept"));
+            let body = render_prometheus(st, om);
+            let content_type = if om {
+                OPENMETRICS_CONTENT_TYPE
+            } else {
+                PROM_TEXT_CONTENT_TYPE
+            };
+            c.start_write(respond("200 OK", content_type, &body));
             note_endpoint(st, ep, sw.elapsed_ns());
         }
         "/debug/timeline" => {
@@ -1572,12 +1596,16 @@ pub fn write_request_bundle(rec: &RequestRecord) -> String {
     w.finish()
 }
 
-fn render_prometheus(st: &State) -> String {
+fn render_prometheus(st: &State, openmetrics: bool) -> String {
     let mut out = String::with_capacity(4096);
     // Per-endpoint request counter: every answered request, labeled by
     // what it hit ("batch" = the serve command's stdin/file/watch path).
-    out.push_str(
-        "# HELP metadis_requests_total Requests answered, by endpoint.\n# TYPE metadis_requests_total counter\n",
+    family_head(
+        &mut out,
+        "metadis_requests_total",
+        "counter",
+        "Requests answered, by endpoint.",
+        openmetrics,
     );
     for (i, ep) in ENDPOINTS.iter().enumerate() {
         out.push_str(&format!(
@@ -1586,15 +1614,7 @@ fn render_prometheus(st: &State) -> String {
         ));
     }
     let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
-        out.push_str("# HELP ");
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(help);
-        out.push_str("\n# TYPE ");
-        out.push_str(name);
-        out.push(' ');
-        out.push_str(kind);
-        out.push('\n');
+        family_head(&mut out, name, kind, help, openmetrics);
         out.push_str(name);
         out.push(' ');
         out.push_str(&value.to_string());
@@ -1810,30 +1830,77 @@ fn render_prometheus(st: &State) -> String {
     }
     out.push_str(&format!("metadis_queue_wait_ns_sum {}\n", s.sum));
     out.push_str(&format!("metadis_queue_wait_ns_count {}\n", s.count));
-    // Full log2 histograms with OpenMetrics exemplars: each populated
-    // bucket line may carry `# {req_id="…"} value` — the last correlated
-    // request that landed there — so a dashboard can jump from a latency
-    // spike straight to `/debug/requests/<id>`.
-    write_histogram_with_exemplars(
+    // Full log2 histograms. Only the OpenMetrics exposition may carry
+    // exemplars — each populated bucket line then gets a
+    // `# {req_id="…"} value` suffix (the last correlated request that
+    // landed there) so a dashboard can jump from a latency spike straight
+    // to `/debug/requests/<id>`. The legacy text format has no exemplar
+    // grammar; emitting the suffix there breaks the whole scrape.
+    write_histogram(
         &mut out,
         "metadis_request_latency_histogram_ns",
         "Per-request service latency, log2 buckets with request-id exemplars.",
         &st.latency,
+        openmetrics,
     );
-    write_histogram_with_exemplars(
+    write_histogram(
         &mut out,
         "metadis_queue_wait_histogram_ns",
         "Queue wait before a worker started the request, log2 buckets with request-id exemplars.",
         &st.queue_wait,
+        openmetrics,
     );
+    if openmetrics {
+        // OpenMetrics requires the exposition to end with an EOF marker.
+        out.push_str("# EOF\n");
+    }
     out
 }
 
-/// Render one histogram as an OpenMetrics-style `histogram` family:
-/// cumulative `_bucket{le=…}` lines (sparse — only populated buckets plus
-/// `+Inf`), `_sum`, `_count`, and an exemplar suffix on every bucket that
-/// has recorded a correlated request.
-fn write_histogram_with_exemplars(out: &mut String, name: &str, help: &str, h: &obs::Histogram) {
+/// `text/plain; version=0.0.4` content type of the legacy Prometheus text
+/// exposition: no exemplars, no `# EOF` trailer.
+const PROM_TEXT_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+/// OpenMetrics exposition content type: histogram buckets carry exemplar
+/// suffixes and the body ends with `# EOF`.
+const OPENMETRICS_CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Whether an `Accept` header asks for the OpenMetrics exposition.
+/// Prometheus ≥ 2.5 scrapers (and [`http::fetch`]) send
+/// `application/openmetrics-text` with the legacy type as a fallback;
+/// a bare `curl` sends nothing and gets the legacy text.
+fn accepts_openmetrics(accept: Option<&str>) -> bool {
+    accept.is_some_and(|a| {
+        a.to_ascii_lowercase()
+            .contains("application/openmetrics-text")
+    })
+}
+
+/// Write one family's `# HELP` / `# TYPE` head. OpenMetrics names a
+/// counter family *without* the `_total` suffix its sample lines carry
+/// (`# TYPE x counter` + `x_total … 1`); the legacy format declares the
+/// sample name verbatim.
+fn family_head(out: &mut String, name: &str, kind: &str, help: &str, openmetrics: bool) {
+    let declared = if openmetrics && kind == "counter" {
+        name.strip_suffix("_total").unwrap_or(name)
+    } else {
+        name
+    };
+    out.push_str(&format!(
+        "# HELP {declared} {help}\n# TYPE {declared} {kind}\n"
+    ));
+}
+
+/// Render one histogram family: cumulative `_bucket{le=…}` lines (sparse
+/// — only populated buckets plus `+Inf`), `_sum`, `_count`. In OpenMetrics
+/// mode every bucket that has recorded a correlated request gets an
+/// exemplar suffix.
+fn write_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    h: &obs::Histogram,
+    openmetrics: bool,
+) {
     let s = h.summary();
     let exemplars = h.exemplars();
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
@@ -1841,11 +1908,15 @@ fn write_histogram_with_exemplars(out: &mut String, name: &str, help: &str, h: &
     for &(b, c) in &s.buckets {
         cumulative += c;
         let le = obs::metrics::bucket_bound(b as usize);
-        let suffix = exemplars
-            .iter()
-            .find(|&&(eb, _, _)| eb == b)
-            .map(|&(_, tag, v)| format!(" # {{req_id=\"{tag:016x}\"}} {v}"))
-            .unwrap_or_default();
+        let suffix = if openmetrics {
+            exemplars
+                .iter()
+                .find(|&&(eb, _, _)| eb == b)
+                .map(|&(_, tag, v)| format!(" # {{req_id=\"{tag:016x}\"}} {v}"))
+                .unwrap_or_default()
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "{name}_bucket{{le=\"{le}\"}} {cumulative}{suffix}\n"
         ));
@@ -1885,7 +1956,7 @@ mod tests {
         st.endpoint_requests[EP_BATCH].store(3, Ordering::Relaxed);
         st.alloc_peak.store(4096, Ordering::Relaxed);
         st.sheds.store(2, Ordering::Relaxed);
-        let text = render_prometheus(&st);
+        let text = render_prometheus(&st, false);
         for family in [
             "metadis_requests_total{endpoint=\"batch\"} 3",
             "metadis_requests_total{endpoint=\"/analyze\"} 0",
@@ -1944,7 +2015,7 @@ mod tests {
         for v in [100u64, 200, 300, 400, 100_000] {
             st.endpoint_latency[EP_BATCH].record(v);
         }
-        let text = render_prometheus(&st);
+        let text = render_prometheus(&st, false);
         let line = |needle: &str| {
             text.lines()
                 .find(|l| l.starts_with(needle))
@@ -1995,6 +2066,65 @@ mod tests {
             "/debug/requests"
         );
         assert_eq!(ENDPOINTS[endpoint_index("/nope")], "other");
+        // a merely-prefixed path is a 404 and must NOT inflate the
+        // /debug/requests counters
+        assert_eq!(ENDPOINTS[endpoint_index("/debug/requestsfoo")], "other");
+    }
+
+    #[test]
+    fn metrics_content_negotiation_gates_exemplars() {
+        let st = State::default();
+        let rid = 0x1badb002deadc0deu64;
+        st.latency.record_tagged(1_000, rid);
+
+        // Legacy version=0.0.4 text: no exemplar suffixes (the legacy
+        // parser reads "# {...}" as a parse error), no EOF marker, and
+        // counter families declared under their sample name.
+        let legacy = render_prometheus(&st, false);
+        assert!(!legacy.contains("# {req_id="), "{legacy}");
+        assert!(!legacy.contains("# EOF"), "{legacy}");
+        assert!(
+            legacy.contains("# TYPE metadis_requests_total counter"),
+            "{legacy}"
+        );
+
+        // OpenMetrics: exemplars on populated buckets, counter families
+        // declared without the _total suffix their samples carry, and a
+        // mandatory trailing EOF marker.
+        let om = render_prometheus(&st, true);
+        assert!(
+            om.contains(&format!("# {{req_id=\"{rid:016x}\"}} 1000")),
+            "{om}"
+        );
+        assert!(om.ends_with("# EOF\n"), "{om}");
+        assert!(om.contains("# TYPE metadis_requests counter"), "{om}");
+        assert!(!om.contains("# TYPE metadis_requests_total"), "{om}");
+        // sample lines keep the _total name in both formats
+        for text in [&legacy, &om] {
+            assert!(
+                text.contains("metadis_requests_total{endpoint=\"/analyze\"} 0"),
+                "{text}"
+            );
+        }
+        // gauges and summaries are declared identically in both formats
+        for text in [&legacy, &om] {
+            assert!(text.contains("# TYPE metadis_queue_depth gauge"), "{text}");
+            assert!(
+                text.contains("# TYPE metadis_request_latency_ns summary"),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn accept_header_selects_the_openmetrics_exposition() {
+        assert!(!accepts_openmetrics(None));
+        assert!(!accepts_openmetrics(Some("text/plain; version=0.0.4")));
+        assert!(!accepts_openmetrics(Some("*/*")));
+        assert!(accepts_openmetrics(Some(
+            "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5"
+        )));
+        assert!(accepts_openmetrics(Some("Application/OpenMetrics-Text")));
     }
 
     #[test]
@@ -2024,7 +2154,7 @@ mod tests {
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[1].counter("requests"), 20);
         // and the gauges show up in the exposition
-        let metrics = render_prometheus(&st);
+        let metrics = render_prometheus(&st, false);
         assert!(
             metrics.contains("metadis_slo_burn_rate{objective=\"availability\",window=\"fast\"} 0"),
             "{metrics}"
@@ -2210,7 +2340,7 @@ mod tests {
         // the next taker recovers instead of propagating the panic
         assert_eq!(st.lock(&st.flight).len(), 0);
         assert_eq!(st.lock_poisoned.load(Ordering::Relaxed), 1);
-        let metrics = render_prometheus(&st);
+        let metrics = render_prometheus(&st, false);
         assert!(
             metrics.contains("metadis_lock_poisoned_total 1"),
             "{metrics}"

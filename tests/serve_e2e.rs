@@ -48,10 +48,14 @@ fn serve_answers_metrics_and_healthz_and_counts_requests() {
         metrics.contains("metadis_request_errors_total 0"),
         "{metrics}"
     );
+    // scrape() negotiates the OpenMetrics exposition, where a counter
+    // family is declared without the _total suffix its samples carry and
+    // the body ends with the mandatory EOF marker
     assert!(
-        metrics.contains("# TYPE metadis_requests_total counter"),
+        metrics.contains("# TYPE metadis_requests counter"),
         "{metrics}"
     );
+    assert!(metrics.ends_with("# EOF\n"), "{metrics}");
     assert!(metrics.contains("metadis_up 1"), "{metrics}");
     // instructions accumulate across requests
     let want = format!("metadis_instructions_total {}", a.instructions * 2);
@@ -781,6 +785,20 @@ fn one_request_id_correlates_every_surface() {
         .find(|l| l.contains("metadis_request_latency_histogram_ns_bucket") && l.contains(rid))
         .unwrap_or_else(|| panic!("exemplar not on a latency bucket:\n{metrics}"));
     assert!(exemplar_line.contains("le=\""), "{exemplar_line}");
+
+    // 2b. a legacy scrape (no Accept header, as a version=0.0.4-only
+    // Prometheus sends) gets the plain text exposition: correct content
+    // type, no exemplar suffixes (a parse error in that format), no EOF
+    let (status, headers, legacy) =
+        http::request_full(&addr, "GET", "/metrics", None, &[]).unwrap();
+    assert_eq!(status, 200);
+    let ctype = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.as_str());
+    assert_eq!(ctype, Some("text/plain; version=0.0.4"));
+    assert!(!legacy.contains("# {req_id="), "{legacy}");
+    assert!(!legacy.contains("# EOF"), "{legacy}");
 
     // 3. the retention index lists the id, and the bundle resolves
     let index = scrape(&addr, "/debug/requests").unwrap();
